@@ -1,0 +1,297 @@
+use std::fmt;
+use std::str::FromStr;
+
+use bist_logicsim::Pattern;
+
+/// A partially specified test pattern: the primary-input assignments a
+/// PODEM search actually committed to, before don't-care fill.
+///
+/// Deterministic BIST architectures that *encode* rather than *replay*
+/// test sets — most notably LFSR reseeding (\[Hel92\], reproduced in
+/// `bist-baselines`) — exploit the fact that a typical ATPG cube specifies
+/// only a handful of its bits: a degree-`k` LFSR seed can satisfy any cube
+/// with at most `k` specified bits (with high probability for `k ≥ s+20`),
+/// so the storage cost tracks *specified bits*, not pattern width.
+///
+/// # Example
+///
+/// ```
+/// use bist_atpg::TestCube;
+///
+/// let cube: TestCube = "1X0XX".parse()?;
+/// assert_eq!(cube.len(), 5);
+/// assert_eq!(cube.num_specified(), 2);
+/// assert_eq!(cube.get(0), Some(true));
+/// assert_eq!(cube.get(1), None);
+/// # Ok::<(), bist_atpg::ParseTestCubeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TestCube {
+    bits: Vec<Option<bool>>,
+}
+
+impl TestCube {
+    /// A cube of `len` bits, all unspecified.
+    pub fn unspecified(len: usize) -> Self {
+        TestCube {
+            bits: vec![None; len],
+        }
+    }
+
+    /// Builds a cube from explicit per-bit assignments.
+    pub fn from_bits(bits: Vec<Option<bool>>) -> Self {
+        TestCube { bits }
+    }
+
+    /// A fully specified cube carrying exactly the bits of `pattern`.
+    pub fn from_pattern(pattern: &Pattern) -> Self {
+        TestCube {
+            bits: pattern.iter().map(Some).collect(),
+        }
+    }
+
+    /// Number of bits (specified or not).
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True if the cube has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The assignment of bit `i` (`None` = don't-care).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> Option<bool> {
+        self.bits[i]
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, value: Option<bool>) {
+        self.bits[i] = value;
+    }
+
+    /// How many bits are specified (non-X).
+    pub fn num_specified(&self) -> usize {
+        self.bits.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Iterates over `(position, value)` for the specified bits only.
+    pub fn specified_bits(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.map(|v| (i, v)))
+    }
+
+    /// Iterates over all bit assignments.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Option<bool>>> {
+        self.bits.iter().copied()
+    }
+
+    /// True if `pattern` agrees with every specified bit of the cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn matches(&self, pattern: &Pattern) -> bool {
+        assert_eq!(
+            pattern.len(),
+            self.len(),
+            "cube width {} vs pattern width {}",
+            self.len(),
+            pattern.len()
+        );
+        self.specified_bits().all(|(i, v)| pattern.get(i) == v)
+    }
+
+    /// Expands the cube to a full pattern, filling don't-cares with `fill`.
+    pub fn fill_with(&self, fill: bool) -> Pattern {
+        Pattern::from_fn(self.len(), |i| self.bits[i].unwrap_or(fill))
+    }
+
+    /// True if every bit of `self` is compatible with `other` (no position
+    /// where both are specified with opposite values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn compatible(&self, other: &TestCube) -> bool {
+        assert_eq!(self.len(), other.len(), "cube width mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .all(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => x == y,
+                _ => true,
+            })
+    }
+
+    /// The intersection of two compatible cubes (union of their specified
+    /// bits), or `None` if they conflict. Static compaction merges cubes
+    /// this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn merge(&self, other: &TestCube) -> Option<TestCube> {
+        if !self.compatible(other) {
+            return None;
+        }
+        Some(TestCube {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a.or(*b))
+                .collect(),
+        })
+    }
+}
+
+impl fmt::Display for TestCube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bits {
+            f.write_str(match b {
+                Some(false) => "0",
+                Some(true) => "1",
+                None => "X",
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`TestCube`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTestCubeError {
+    /// Byte offset of the offending character.
+    pub position: usize,
+    /// The character that is not one of `0`, `1`, `x`, `X`.
+    pub found: char,
+}
+
+impl fmt::Display for ParseTestCubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid cube character {:?} at position {} (expected 0, 1 or X)",
+            self.found, self.position
+        )
+    }
+}
+
+impl std::error::Error for ParseTestCubeError {}
+
+impl FromStr for TestCube {
+    type Err = ParseTestCubeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut bits = Vec::with_capacity(s.len());
+        for (position, found) in s.chars().enumerate() {
+            bits.push(match found {
+                '0' => Some(false),
+                '1' => Some(true),
+                'x' | 'X' => None,
+                _ => return Err(ParseTestCubeError { position, found }),
+            });
+        }
+        Ok(TestCube { bits })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_round_trip() {
+        for text in ["", "0", "1", "X", "10X01XX1"] {
+            let cube: TestCube = text.parse().unwrap();
+            assert_eq!(cube.to_string(), text);
+            assert_eq!(cube.len(), text.len());
+        }
+    }
+
+    #[test]
+    fn parse_accepts_lowercase_x() {
+        let cube: TestCube = "1x0".parse().unwrap();
+        assert_eq!(cube.to_string(), "1X0");
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        let err = "102".parse::<TestCube>().unwrap_err();
+        assert_eq!(err.position, 2);
+        assert_eq!(err.found, '2');
+        assert!(err.to_string().contains("position 2"));
+    }
+
+    #[test]
+    fn specified_bits_and_counts() {
+        let cube: TestCube = "1X0XX1".parse().unwrap();
+        assert_eq!(cube.num_specified(), 3);
+        let spec: Vec<_> = cube.specified_bits().collect();
+        assert_eq!(spec, vec![(0, true), (2, false), (5, true)]);
+    }
+
+    #[test]
+    fn matches_checks_only_specified_bits() {
+        let cube: TestCube = "1X0".parse().unwrap();
+        assert!(cube.matches(&Pattern::from_bits(&[true, false, false])));
+        assert!(cube.matches(&Pattern::from_bits(&[true, true, false])));
+        assert!(!cube.matches(&Pattern::from_bits(&[false, true, false])));
+        assert!(!cube.matches(&Pattern::from_bits(&[true, true, true])));
+    }
+
+    #[test]
+    fn fill_expands_dont_cares() {
+        let cube: TestCube = "1X0X".parse().unwrap();
+        assert_eq!(cube.fill_with(false).to_string(), "1000");
+        assert_eq!(cube.fill_with(true).to_string(), "1101");
+    }
+
+    #[test]
+    fn merge_unions_compatible_cubes() {
+        let a: TestCube = "1XX0".parse().unwrap();
+        let b: TestCube = "1X1X".parse().unwrap();
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m.to_string(), "1X10");
+        assert_eq!(a.merge(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn merge_rejects_conflicts() {
+        let a: TestCube = "1X".parse().unwrap();
+        let b: TestCube = "0X".parse().unwrap();
+        assert!(a.merge(&b).is_none());
+        assert!(!a.compatible(&b));
+    }
+
+    #[test]
+    fn from_pattern_is_fully_specified() {
+        let p = Pattern::from_bits(&[true, false, true]);
+        let cube = TestCube::from_pattern(&p);
+        assert_eq!(cube.num_specified(), 3);
+        assert!(cube.matches(&p));
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut cube = TestCube::unspecified(4);
+        assert_eq!(cube.num_specified(), 0);
+        cube.set(2, Some(true));
+        cube.set(3, Some(false));
+        assert_eq!(cube.get(2), Some(true));
+        assert_eq!(cube.to_string(), "XX10");
+        cube.set(2, None);
+        assert_eq!(cube.num_specified(), 1);
+    }
+}

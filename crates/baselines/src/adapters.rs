@@ -1,0 +1,170 @@
+use bist_lfsr::{Lfsr, Polynomial, ScanExpander};
+use bist_logicsim::Pattern;
+use bist_lfsrom::LfsromGenerator;
+use bist_synth::{CellCount, CellKind};
+
+use crate::tpg::TestPatternGenerator;
+
+/// [`TestPatternGenerator`] face of the paper's LFSROM (the contribution
+/// under comparison), so it can sit in the same bake-off table as the
+/// baselines.
+///
+/// # Example
+///
+/// ```
+/// use bist_baselines::{LfsromTpg, TestPatternGenerator};
+/// use bist_lfsrom::LfsromGenerator;
+/// use bist_logicsim::Pattern;
+///
+/// let seq: Vec<Pattern> =
+///     ["00101", "11010", "00011"].iter().map(|s| s.parse()).collect::<Result<_, _>>()?;
+/// let tpg = LfsromTpg::new(LfsromGenerator::synthesize(&seq)?);
+/// assert_eq!(tpg.sequence(), seq);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LfsromTpg {
+    inner: LfsromGenerator,
+}
+
+impl LfsromTpg {
+    /// Wraps a synthesized LFSROM.
+    pub fn new(inner: LfsromGenerator) -> Self {
+        LfsromTpg { inner }
+    }
+
+    /// The wrapped generator.
+    pub fn inner(&self) -> &LfsromGenerator {
+        &self.inner
+    }
+
+    /// Unwraps the generator.
+    pub fn into_inner(self) -> LfsromGenerator {
+        self.inner
+    }
+}
+
+impl TestPatternGenerator for LfsromTpg {
+    fn architecture(&self) -> &'static str {
+        "lfsrom"
+    }
+
+    fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    fn test_length(&self) -> usize {
+        self.inner.sequence().len()
+    }
+
+    fn sequence(&self) -> Vec<Pattern> {
+        self.inner.replay(self.inner.sequence().len())
+    }
+
+    fn cells(&self) -> CellCount {
+        self.inner.cells()
+    }
+}
+
+/// The paper's reference pseudo-random generator: a plain Fibonacci LFSR
+/// expanded through the (shared) scan register. The cost charged is the
+/// LFSR core alone — `k` flip-flops plus the feedback XOR tree — matching
+/// the paper's 0.25 mm² accounting, which reuses the circuit's scan chain
+/// for the expansion register.
+#[derive(Debug, Clone)]
+pub struct PlainLfsr {
+    poly: Polynomial,
+    seed: u64,
+    width: usize,
+    test_length: usize,
+}
+
+impl PlainLfsr {
+    /// Creates a generator emitting `test_length` patterns of `width`
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `test_length` is 0, or if the seed is invalid
+    /// for the polynomial (see [`Lfsr::fibonacci`]).
+    pub fn new(poly: Polynomial, seed: u64, width: usize, test_length: usize) -> Self {
+        assert!(width > 0, "pattern width must be positive");
+        assert!(test_length > 0, "test length must be positive");
+        let _check = Lfsr::fibonacci(poly, seed);
+        PlainLfsr {
+            poly,
+            seed,
+            width,
+            test_length,
+        }
+    }
+
+    /// The feedback polynomial.
+    pub fn poly(&self) -> Polynomial {
+        self.poly
+    }
+}
+
+impl TestPatternGenerator for PlainLfsr {
+    fn architecture(&self) -> &'static str {
+        "lfsr"
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn test_length(&self) -> usize {
+        self.test_length
+    }
+
+    fn sequence(&self) -> Vec<Pattern> {
+        let lfsr = Lfsr::fibonacci(self.poly, self.seed);
+        ScanExpander::new(lfsr, self.width).patterns(self.test_length)
+    }
+
+    fn cells(&self) -> CellCount {
+        let mut cells = CellCount::new();
+        cells.add(CellKind::Dff, self.poly.degree() as usize);
+        cells.add(CellKind::Xor2, self.poly.taps().len().saturating_sub(1));
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_synth::AreaModel;
+
+    #[test]
+    fn plain_lfsr_matches_paper_anchor() {
+        let tpg = PlainLfsr::new(bist_lfsr::paper_poly(), 1, 50, 100);
+        let mm2 = tpg.area_mm2(&AreaModel::es2_1um());
+        assert!(
+            (0.2..0.3).contains(&mm2),
+            "paper charges 0.25 mm², got {mm2:.3}"
+        );
+        assert_eq!(tpg.sequence().len(), 100);
+    }
+
+    #[test]
+    fn plain_lfsr_sequence_matches_expander() {
+        let a = PlainLfsr::new(bist_lfsr::paper_poly(), 1, 23, 40).sequence();
+        let b = bist_lfsr::pseudo_random_patterns(bist_lfsr::paper_poly(), 23, 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lfsrom_adapter_round_trips() {
+        let seq: Vec<Pattern> = ["0110", "1001", "1111", "0000"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let tpg = LfsromTpg::new(LfsromGenerator::synthesize(&seq).unwrap());
+        assert_eq!(tpg.architecture(), "lfsrom");
+        assert_eq!(tpg.test_length(), 4);
+        assert_eq!(tpg.sequence(), seq);
+        assert!(tpg.cells().get(CellKind::Dff) >= 4);
+        assert_eq!(tpg.inner().width(), 4);
+    }
+}

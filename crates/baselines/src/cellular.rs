@@ -1,0 +1,395 @@
+use std::fmt;
+
+use bist_logicsim::Pattern;
+use bist_synth::{CellCount, CellKind};
+
+use crate::tpg::TestPatternGenerator;
+
+/// The update rule of one cell in a hybrid one-dimensional cellular
+/// automaton (\[Ser90\], \[Van91\]; the paper's §1/§2.2 "cellular automata"
+/// alternative to the LFSR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaRule {
+    /// Wolfram rule 90: `next = left XOR right`.
+    Rule90,
+    /// Wolfram rule 150: `next = left XOR self XOR right`.
+    Rule150,
+}
+
+impl fmt::Display for CaRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CaRule::Rule90 => "90",
+            CaRule::Rule150 => "150",
+        })
+    }
+}
+
+/// A hybrid rule-90/150 one-dimensional cellular automaton register with
+/// null boundary conditions, plus its BIST pattern-expansion harness.
+///
+/// CA registers were proposed as LFSR replacements because their patterns
+/// carry less cross-bit correlation (no pure shift between neighbouring
+/// cells); the price is one or two extra XOR2 per cell. With the right
+/// rule vector a hybrid 90/150 CA is *maximum length* — its state walks
+/// all `2^n − 1` non-zero values — which [`CaRegister::find_max_length`]
+/// searches for by direct period measurement.
+///
+/// # Example
+///
+/// ```
+/// use bist_baselines::{CaRegister, CaRule};
+///
+/// // the classic <90,150,90,150> hybrid of length 4 is maximum-length
+/// let rules = vec![CaRule::Rule90, CaRule::Rule150, CaRule::Rule90, CaRule::Rule150];
+/// let ca = CaRegister::new(rules, 0b0001);
+/// assert_eq!(ca.period(), 15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaRegister {
+    rules: Vec<CaRule>,
+    state: u64,
+    seed: u64,
+}
+
+impl CaRegister {
+    /// Creates a CA with one rule per cell and the given non-zero seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rules` is empty or longer than 63 cells, or if `seed` is
+    /// zero (the all-zero state is a fixed point) or wider than the
+    /// register.
+    pub fn new(rules: Vec<CaRule>, seed: u64) -> Self {
+        let n = rules.len();
+        assert!((1..=63).contains(&n), "unsupported CA length {n}");
+        assert_ne!(seed, 0, "all-zero seed is a fixed point");
+        assert!(seed < (1u64 << n), "seed 0x{seed:x} wider than {n} cells");
+        CaRegister {
+            rules,
+            state: seed,
+            seed,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Always false — a CA has at least one cell.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The per-cell rule vector.
+    pub fn rules(&self) -> &[CaRule] {
+        &self.rules
+    }
+
+    /// The current state (bit `i` = cell `i`).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Returns to the seed state.
+    pub fn reset(&mut self) {
+        self.state = self.seed;
+    }
+
+    /// Advances one clock; returns the new value of cell 0 (the cell BIST
+    /// harnesses tap as the serial stream).
+    pub fn step(&mut self) -> bool {
+        let n = self.rules.len();
+        let s = self.state;
+        let mut next = 0u64;
+        for (i, rule) in self.rules.iter().enumerate() {
+            let left = if i == 0 { false } else { (s >> (i - 1)) & 1 == 1 };
+            let right = if i + 1 == n {
+                false
+            } else {
+                (s >> (i + 1)) & 1 == 1
+            };
+            let own = (s >> i) & 1 == 1;
+            let v = match rule {
+                CaRule::Rule90 => left ^ right,
+                CaRule::Rule150 => left ^ own ^ right,
+            };
+            if v {
+                next |= 1 << i;
+            }
+        }
+        self.state = next;
+        next & 1 == 1
+    }
+
+    /// Measures the state period by stepping until the seed recurs —
+    /// `O(period)`, intended for construction-time checks at modest sizes.
+    pub fn period(&self) -> u64 {
+        let mut probe = self.clone();
+        probe.reset();
+        let mut count = 0u64;
+        loop {
+            probe.step();
+            count += 1;
+            if probe.state == probe.seed {
+                return count;
+            }
+            if count > (1u64 << (self.len() as u32 + 1)) {
+                // longer than any cycle through 2^n states: the seed left
+                // its own cycle (possible for non-maximal rule vectors that
+                // are not permutations... which 90/150 hybrids always are,
+                // but keep the probe total anyway)
+                return count;
+            }
+        }
+    }
+
+    /// The characteristic polynomial of the CA's (tridiagonal) transition
+    /// matrix over GF(2), computed with the classical continuant
+    /// recurrence `Δ_k = (x + d_k)·Δ_{k-1} + Δ_{k-2}` where `d_k` is 1 for
+    /// a rule-150 cell. The CA is maximum-length exactly when this
+    /// polynomial is primitive — the same criterion as for an LFSR, which
+    /// is why hybrid 90/150 registers are drop-in LFSR replacements.
+    pub fn characteristic_poly(&self) -> bist_lfsr::Polynomial {
+        let mut prev = 1u64; // Δ_0
+        let mut cur = 2u64 | u64::from(self.rules[0] == CaRule::Rule150); // Δ_1 = x + d_1
+        for rule in &self.rules[1..] {
+            let d = u64::from(*rule == CaRule::Rule150);
+            let next = (cur << 1) ^ (cur * d) ^ prev;
+            prev = cur;
+            cur = next;
+        }
+        bist_lfsr::Polynomial::from_mask(cur)
+    }
+
+    /// Searches rule vectors (by enumeration) for a maximum-length hybrid
+    /// of `n` cells — one whose state walks all `2^n − 1` non-zero values.
+    /// Maximality is decided by primitivity of the characteristic
+    /// polynomial, so the search is fast even for wide registers. Returns
+    /// `None` when `tries` vectors were tested without success — for most
+    /// register lengths a maximum-length 90/150 hybrid exists and is found
+    /// within a few dozen tries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `1..=63`.
+    pub fn find_max_length(n: usize, tries: usize) -> Option<CaRegister> {
+        assert!((1..=63).contains(&n), "register length out of range");
+        let cap = if n >= 63 { usize::MAX } else { tries.min(1 << n) };
+        for code in 0..cap.min(tries) {
+            let rules: Vec<CaRule> = (0..n)
+                .map(|i| {
+                    if (code >> i) & 1 == 1 {
+                        CaRule::Rule150
+                    } else {
+                        CaRule::Rule90
+                    }
+                })
+                .collect();
+            let ca = CaRegister::new(rules, 1);
+            if ca.characteristic_poly().is_primitive() {
+                return Some(ca);
+            }
+        }
+        None
+    }
+}
+
+/// A cellular-automaton BIST pattern generator: a [`CaRegister`] whose
+/// cell-0 stream is shifted through a `width`-bit scan chain, one pattern
+/// per `width` clocks — the same shared-register arrangement the paper
+/// assumes for its wide-circuit LFSR (\[Hel92\] note, §4.2).
+#[derive(Debug, Clone)]
+pub struct CaTpg {
+    ca: CaRegister,
+    chain: Vec<bool>,
+    width: usize,
+    test_length: usize,
+}
+
+impl CaTpg {
+    /// Creates a generator emitting `test_length` patterns of `width` bits
+    /// from `ca`'s serial stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `test_length` is 0.
+    pub fn new(ca: CaRegister, width: usize, test_length: usize) -> Self {
+        assert!(width > 0, "pattern width must be positive");
+        assert!(test_length > 0, "test length must be positive");
+        CaTpg {
+            ca,
+            chain: vec![false; width],
+            width,
+            test_length,
+        }
+    }
+
+    /// The underlying CA register.
+    pub fn ca(&self) -> &CaRegister {
+        &self.ca
+    }
+
+    /// Advances `width` clocks and returns the resulting pattern.
+    pub fn next_pattern(&mut self) -> Pattern {
+        for _ in 0..self.width {
+            let bit = self.ca.step();
+            self.chain.rotate_right(1);
+            self.chain[0] = bit;
+        }
+        Pattern::from_fn(self.width, |i| self.chain[self.width - 1 - i])
+    }
+}
+
+impl TestPatternGenerator for CaTpg {
+    fn architecture(&self) -> &'static str {
+        "cellular-automaton"
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn test_length(&self) -> usize {
+        self.test_length
+    }
+
+    fn sequence(&self) -> Vec<Pattern> {
+        let mut probe = CaTpg {
+            ca: {
+                let mut ca = self.ca.clone();
+                ca.reset();
+                ca
+            },
+            chain: vec![false; self.width],
+            width: self.width,
+            test_length: self.test_length,
+        };
+        (0..self.test_length).map(|_| probe.next_pattern()).collect()
+    }
+
+    /// CA cells (DFF + one XOR2 for rule 90, two for rule 150; boundary
+    /// cells save one XOR2) plus the scan-chain flip-flops beyond the CA
+    /// register.
+    fn cells(&self) -> CellCount {
+        let n = self.ca.len();
+        let mut cells = CellCount::new();
+        cells.add(CellKind::Dff, n.max(self.width));
+        for (i, rule) in self.ca.rules().iter().enumerate() {
+            let boundary = i == 0 || i + 1 == n;
+            let xors = match rule {
+                CaRule::Rule90 => usize::from(!boundary),
+                CaRule::Rule150 => 2 - usize::from(boundary),
+            };
+            cells.add(CellKind::Xor2, xors);
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_synth::AreaModel;
+
+    #[test]
+    fn rule_semantics_hand_checked() {
+        // 3 cells, all rule 90, state 010 -> left/right neighbours of the
+        // middle are 0... cell0 = right(=1), cell1 = left^right = 0^0,
+        // cell2 = left(=1)
+        let mut ca = CaRegister::new(vec![CaRule::Rule90; 3], 0b010);
+        ca.step();
+        assert_eq!(ca.state(), 0b101);
+    }
+
+    #[test]
+    fn max_length_hybrids_exist_for_small_sizes() {
+        for n in [3usize, 4, 5, 6, 8, 10, 12] {
+            let ca = CaRegister::find_max_length(n, 4096)
+                .unwrap_or_else(|| panic!("no max-length hybrid of {n} cells found"));
+            assert_eq!(ca.period(), (1u64 << n) - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn characteristic_poly_criterion_matches_measured_period() {
+        // exhaustively over all 5-cell hybrids: primitivity of the
+        // characteristic polynomial <=> measured period 2^5 - 1
+        for code in 0..32u64 {
+            let rules: Vec<CaRule> = (0..5)
+                .map(|i| {
+                    if (code >> i) & 1 == 1 {
+                        CaRule::Rule150
+                    } else {
+                        CaRule::Rule90
+                    }
+                })
+                .collect();
+            let ca = CaRegister::new(rules, 1);
+            let by_poly = ca.characteristic_poly().is_primitive();
+            let by_period = ca.period() == 31;
+            assert_eq!(by_poly, by_period, "rule code {code:05b}");
+        }
+    }
+
+    #[test]
+    fn pure_rule90_is_not_maximal_for_4_cells() {
+        let ca = CaRegister::new(vec![CaRule::Rule90; 4], 1);
+        assert_ne!(ca.period(), 15);
+    }
+
+    #[test]
+    fn patterns_look_random() {
+        let ca = CaRegister::find_max_length(16, 4096).unwrap();
+        let mut tpg = CaTpg::new(ca, 40, 500);
+        let ones: usize = (0..500).map(|_| tpg.next_pattern().count_ones()).sum();
+        let density = ones as f64 / (500.0 * 40.0);
+        assert!((0.45..0.55).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn sequence_is_reproducible_and_sized() {
+        let ca = CaRegister::find_max_length(8, 1024).unwrap();
+        let tpg = CaTpg::new(ca, 12, 30);
+        let a = tpg.sequence();
+        let b = tpg.sequence();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        assert!(a.iter().all(|p| p.len() == 12));
+    }
+
+    #[test]
+    fn ca_costs_slightly_more_than_an_lfsr() {
+        // same register length: the CA pays more XOR2 than the 3-tap LFSR
+        let ca = CaRegister::find_max_length(16, 4096).unwrap();
+        let tpg = CaTpg::new(ca, 16, 100);
+        let ca_cells = tpg.cells();
+        assert_eq!(ca_cells.get(CellKind::Dff), 16);
+        assert!(
+            ca_cells.get(CellKind::Xor2) > 3,
+            "hybrid CA needs more XOR than the paper's LFSR-16: {ca_cells}"
+        );
+        let model = AreaModel::es2_1um();
+        let mm2 = model.area_mm2(&ca_cells);
+        assert!((0.2..0.5).contains(&mm2), "CA-16 area {mm2:.3} mm²");
+    }
+
+    #[test]
+    fn reset_and_state_accessors() {
+        let mut ca = CaRegister::new(vec![CaRule::Rule150; 5], 0b10011);
+        let s0 = ca.state();
+        ca.step();
+        assert_ne!(ca.state(), s0);
+        ca.reset();
+        assert_eq!(ca.state(), s0);
+        assert_eq!(ca.len(), 5);
+        assert_eq!(ca.rules().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero seed")]
+    fn zero_seed_rejected() {
+        CaRegister::new(vec![CaRule::Rule90; 4], 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Dense GF(2) linear algebra on `u64`-packed rows, sized for LFSR
+//! reseeding: systems have at most 63 unknowns (the seed bits), so one
+//! word per row suffices.
+
+/// A linear system `A·x = b` over GF(2) with `unknowns ≤ 64` variables.
+/// Row `i` is the pair `(mask, rhs)`: the XOR of the seed bits selected by
+/// `mask` must equal `rhs`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Gf2System {
+    unknowns: u32,
+    rows: Vec<(u64, bool)>,
+}
+
+impl Gf2System {
+    /// An empty system over `unknowns` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unknowns` exceeds 64.
+    pub fn new(unknowns: u32) -> Self {
+        assert!(unknowns <= 64, "at most 64 unknowns per system");
+        Gf2System {
+            unknowns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn unknowns(&self) -> u32 {
+        self.unknowns
+    }
+
+    /// Number of equations added so far.
+    pub fn num_equations(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds the equation "XOR of the variables in `mask` equals `rhs`".
+    pub fn add_equation(&mut self, mask: u64, rhs: bool) {
+        self.rows.push((mask, rhs));
+    }
+
+    /// Solves the system by Gaussian elimination. Returns a solution
+    /// vector (bit `i` = variable `i`), or `None` if the system is
+    /// inconsistent. Free variables are set to 0.
+    pub fn solve(&self) -> Option<u64> {
+        self.solve_with_nullspace().map(|(x, _)| x)
+    }
+
+    /// Solves the system and also returns a basis of the nullspace of
+    /// `A` — callers add any combination of basis vectors to the
+    /// particular solution to enumerate all solutions (LFSR reseeding uses
+    /// this to avoid the all-zero seed).
+    pub fn solve_with_nullspace(&self) -> Option<(u64, Vec<u64>)> {
+        let n = self.unknowns as usize;
+        let mut rows: Vec<(u64, bool)> = self
+            .rows
+            .iter()
+            .copied()
+            .filter(|&(m, r)| m != 0 || r)
+            .collect();
+        let mut pivot_of_col: Vec<Option<usize>> = vec![None; n];
+        let mut rank = 0usize;
+        for col in 0..n {
+            let Some(pr) = (rank..rows.len()).find(|&r| rows[r].0 >> col & 1 == 1) else {
+                continue;
+            };
+            rows.swap(rank, pr);
+            let (pm, pb) = rows[rank];
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank && row.0 >> col & 1 == 1 {
+                    row.0 ^= pm;
+                    row.1 ^= pb;
+                }
+            }
+            pivot_of_col[col] = Some(rank);
+            rank += 1;
+        }
+        // inconsistent: a zero row with rhs 1
+        if rows[rank..].iter().any(|&(m, r)| m == 0 && r) {
+            return None;
+        }
+        // particular solution: free variables 0, pivots take their rhs
+        let mut x = 0u64;
+        for col in 0..n {
+            if let Some(r) = pivot_of_col[col] {
+                if rows[r].1 {
+                    x |= 1 << col;
+                }
+            }
+        }
+        // nullspace basis: one vector per free column
+        let mut basis = Vec::new();
+        for free in 0..n {
+            if pivot_of_col[free].is_some() {
+                continue;
+            }
+            let mut v = 1u64 << free;
+            for col in 0..n {
+                if let Some(r) = pivot_of_col[col] {
+                    if rows[r].0 >> free & 1 == 1 {
+                        v |= 1 << col;
+                    }
+                }
+            }
+            basis.push(v);
+        }
+        Some((x, basis))
+    }
+
+    /// True if assignment `x` satisfies every equation.
+    pub fn check(&self, x: u64) -> bool {
+        self.rows
+            .iter()
+            .all(|&(m, r)| ((x & m).count_ones() & 1 == 1) == r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_invertible_system() {
+        // x0 ^ x1 = 1, x1 = 1, x0 ^ x2 = 0
+        let mut sys = Gf2System::new(3);
+        sys.add_equation(0b011, true);
+        sys.add_equation(0b010, true);
+        sys.add_equation(0b101, false);
+        let x = sys.solve().unwrap();
+        assert!(sys.check(x));
+        assert_eq!(x, 0b010);
+    }
+
+    #[test]
+    fn detects_inconsistency() {
+        let mut sys = Gf2System::new(2);
+        sys.add_equation(0b11, true);
+        sys.add_equation(0b11, false);
+        assert_eq!(sys.solve(), None);
+    }
+
+    #[test]
+    fn underdetermined_systems_expose_nullspace() {
+        // one equation, three unknowns: nullspace has dimension 2
+        let mut sys = Gf2System::new(3);
+        sys.add_equation(0b111, true);
+        let (x, basis) = sys.solve_with_nullspace().unwrap();
+        assert!(sys.check(x));
+        assert_eq!(basis.len(), 2);
+        for combo in 1u64..4 {
+            let mut y = x;
+            for (i, &v) in basis.iter().enumerate() {
+                if combo >> i & 1 == 1 {
+                    y ^= v;
+                }
+            }
+            assert!(sys.check(y), "nullspace shift broke the solution");
+        }
+    }
+
+    #[test]
+    fn homogeneous_system_solves_to_zero() {
+        let mut sys = Gf2System::new(4);
+        sys.add_equation(0b1010, false);
+        sys.add_equation(0b0110, false);
+        assert_eq!(sys.solve(), Some(0));
+    }
+
+    #[test]
+    fn empty_system_is_trivially_solvable() {
+        let sys = Gf2System::new(8);
+        assert_eq!(sys.solve(), Some(0));
+        let (_, basis) = sys.solve_with_nullspace().unwrap();
+        assert_eq!(basis.len(), 8);
+    }
+
+    #[test]
+    fn randomized_round_trip() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..=24u32);
+            let truth: u64 = rng.gen::<u64>() & ((1 << n) - 1);
+            let mut sys = Gf2System::new(n);
+            for _ in 0..rng.gen_range(0..2 * n) {
+                let mask = rng.gen::<u64>() & ((1 << n) - 1);
+                let rhs = (truth & mask).count_ones() & 1 == 1;
+                sys.add_equation(mask, rhs);
+            }
+            // built from a ground truth: always consistent
+            let x = sys.solve().expect("consistent by construction");
+            assert!(sys.check(x));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Baseline BIST test-pattern-generator architectures for the LFSROM
+//! mixed-BIST reproduction.
+//!
+//! The paper's §1 surveys the TPG design space the LFSROM competes in:
+//! counter-addressed ROMs (\[Abo83\], \[Aga81\], \[Dan84\]), counters with
+//! decoders (\[Ake89\]), cellular automata (\[Van91\], \[Ser90\]), LFSR
+//! reseeding (\[Hel92\]) and plain/weighted LFSRs (\[Bar87\]). The 1995
+//! evaluation compares against only the two extremes (full-deterministic
+//! LFSROM vs plain LFSR); this crate implements the surveyed baselines so
+//! the comparison can be *run* rather than cited:
+//!
+//! * [`RomCounter`] — store-and-generate: counter + `d·w`-bit ROM.
+//! * [`CounterPla`] — test-set embedding: counter + minimized two-level
+//!   decode (the LFSROM with the "pattern-as-state" trick removed).
+//! * [`CaRegister`] / [`CaTpg`] — maximum-length hybrid rule-90/150
+//!   cellular automata, with a characteristic-polynomial primitivity
+//!   search.
+//! * [`WeightedLfsr`] — weighted pseudo-random patterns with
+//!   structure-derived weights ([`weights_from_structure`]).
+//! * [`Reseeding`] — multiple-polynomial LFSR reseeding over ATPG test
+//!   cubes, seeds solved by GF(2) elimination ([`Gf2System`]).
+//! * [`PlainLfsr`] / [`LfsromTpg`] — adapters putting the paper's own two
+//!   architectures behind the same [`TestPatternGenerator`] trait.
+//! * [`bakeoff`] — the whole field over one circuit, equal terms, graded
+//!   by fault simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_baselines::{RomCounter, TestPatternGenerator};
+//! use bist_logicsim::Pattern;
+//! use bist_synth::AreaModel;
+//!
+//! let patterns: Vec<Pattern> =
+//!     ["00101", "11010", "00011"].iter().map(|s| s.parse()).collect::<Result<_, _>>()?;
+//! let rom = RomCounter::new(&patterns)?;
+//! println!("{:.3} mm²", rom.area_mm2(&AreaModel::es2_1um()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adapters;
+mod cellular;
+mod comparison;
+mod counter_pla;
+mod gf2;
+mod reseed;
+mod rom_counter;
+mod tpg;
+mod weighted;
+
+pub use adapters::{LfsromTpg, PlainLfsr};
+pub use cellular::{CaRegister, CaRule, CaTpg};
+pub use comparison::{bakeoff, Bakeoff, BakeoffConfig, BakeoffRow};
+pub use counter_pla::{BuildCounterPlaError, CounterPla};
+pub use gf2::Gf2System;
+pub use reseed::{EncodeSeedsError, Reseeding, SeedWord};
+pub use rom_counter::{BuildRomCounterError, RomCounter};
+pub use tpg::TestPatternGenerator;
+pub use weighted::{weights_from_structure, Weight, WeightedLfsr};

@@ -1,0 +1,462 @@
+use std::fmt;
+
+use bist_atpg::TestCube;
+use bist_lfsr::{Lfsr, Polynomial, ScanExpander};
+use bist_logicsim::Pattern;
+use bist_synth::{CellCount, CellKind};
+
+use crate::gf2::Gf2System;
+use crate::tpg::{address_bits, counter_cells, TestPatternGenerator};
+
+/// Error returned by [`Reseeding::encode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeSeedsError {
+    /// No cubes were given.
+    EmptyCubeSet,
+    /// Cube `index` has a different width than cube 0.
+    WidthMismatch {
+        /// Offending cube position.
+        index: usize,
+        /// Width of cube 0.
+        expected: usize,
+        /// Width found.
+        got: usize,
+    },
+}
+
+impl fmt::Display for EncodeSeedsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeSeedsError::EmptyCubeSet => write!(f, "empty cube set"),
+            EncodeSeedsError::WidthMismatch {
+                index,
+                expected,
+                got,
+            } => write!(f, "cube {index} is {got} bits wide, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeSeedsError {}
+
+/// One encoded test: either a `(polynomial, seed)` pair whose expansion
+/// realizes the cube, or — for cubes too dense for any tabulated degree —
+/// the pattern stored verbatim in a side ROM (the "top-off" patterns of
+/// practical reseeding flows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedWord {
+    /// Expand a seed through the selected polynomial.
+    Seed {
+        /// Index into [`Reseeding::polys`].
+        poly: usize,
+        /// The seed value (within the selected polynomial's degree).
+        seed: u64,
+    },
+    /// Shift this pattern in directly from the side ROM.
+    Stored(Pattern),
+}
+
+/// The *multiple-polynomial LFSR reseeding* baseline (\[Hel92\], which the
+/// paper cites for shifting patterns into wide circuits): instead of
+/// storing each deterministic pattern (`w` bits), store one LFSR *seed*
+/// whose `w`-clock expansion through the scan register matches the
+/// pattern's test cube on every specified bit.
+///
+/// The expansion is linear over GF(2), so a seed for a cube with `s`
+/// specified bits solves an `s × k` linear system; this encoder walks a
+/// degree ladder per cube and keeps the smallest solvable degree, exactly
+/// the "multiple-polynomial" refinement \[Hel92\] introduces for cubes that
+/// defeat a single short LFSR. Each ROM word stores the seed (at the
+/// largest degree used) plus a polynomial-select field.
+///
+/// Storage drops from `d·w` ROM bits (the [`RomCounter`](crate::RomCounter))
+/// to roughly `d·(s_max + log₂ #polys)` — the trade being that don't-care
+/// bits become LFSR noise rather than shared logic, so (unlike the
+/// LFSROM) reseeding cannot exploit *cross-pattern* structure.
+///
+/// # Example
+///
+/// ```
+/// use bist_atpg::TestCube;
+/// use bist_baselines::{Reseeding, TestPatternGenerator};
+///
+/// let cubes: Vec<TestCube> = ["1XXX0XXX", "XX01XXXX", "XXXXXX11"]
+///     .iter()
+///     .map(|s| s.parse())
+///     .collect::<Result<_, _>>()?;
+/// let tpg = Reseeding::encode(&cubes)?;
+/// let patterns = tpg.sequence();
+/// for (cube, pattern) in cubes.iter().zip(&patterns) {
+///     assert!(cube.matches(pattern));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reseeding {
+    /// Distinct polynomials actually used, ordered by degree.
+    polys: Vec<Polynomial>,
+    words: Vec<SeedWord>,
+    cubes: Vec<TestCube>,
+    width: usize,
+}
+
+impl Reseeding {
+    /// Encodes `cubes` into per-cube `(polynomial, seed)` words, choosing
+    /// the smallest solvable degree per cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeSeedsError`] for empty input, inconsistent widths,
+    /// or cubes that stay unsolvable at every tabulated degree.
+    pub fn encode(cubes: &[TestCube]) -> Result<Self, EncodeSeedsError> {
+        if cubes.is_empty() {
+            return Err(EncodeSeedsError::EmptyCubeSet);
+        }
+        let width = cubes[0].len();
+        for (index, c) in cubes.iter().enumerate() {
+            if c.len() != width {
+                return Err(EncodeSeedsError::WidthMismatch {
+                    index,
+                    expected: width,
+                    got: c.len(),
+                });
+            }
+        }
+
+        // precompute expansion rows lazily per degree
+        let mut rows_cache: Vec<Option<Vec<u64>>> = vec![None; 33];
+        let mut chosen: Vec<Option<(u32, u64)>> = Vec::with_capacity(cubes.len());
+        for cube in cubes {
+            let start = (cube.num_specified() as u32).clamp(2, 32);
+            let mut found = None;
+            if start <= 32 && cube.num_specified() <= 32 {
+                for degree in start..=32 {
+                    let poly = bist_lfsr::primitive_poly(degree);
+                    let rows = rows_cache[degree as usize]
+                        .get_or_insert_with(|| expansion_rows(poly, width));
+                    if let Some(seed) = solve_cube(cube, rows, degree) {
+                        found = Some((degree, seed));
+                        break;
+                    }
+                }
+            }
+            chosen.push(found);
+        }
+
+        let mut degrees: Vec<u32> = chosen.iter().flatten().map(|&(d, _)| d).collect();
+        degrees.sort_unstable();
+        degrees.dedup();
+        let polys: Vec<Polynomial> = degrees.iter().map(|&d| bist_lfsr::primitive_poly(d)).collect();
+        let words = chosen
+            .iter()
+            .zip(cubes)
+            .map(|(hit, cube)| match hit {
+                Some((d, seed)) => SeedWord::Seed {
+                    poly: degrees.binary_search(d).expect("degree recorded"),
+                    seed: *seed,
+                },
+                None => SeedWord::Stored(cube.fill_with(false)),
+            })
+            .collect();
+        Ok(Reseeding {
+            polys,
+            words,
+            cubes: cubes.to_vec(),
+            width,
+        })
+    }
+
+    /// The polynomial set of the generator (ordered by degree).
+    pub fn polys(&self) -> &[Polynomial] {
+        &self.polys
+    }
+
+    /// The per-cube seed words, parallel to the input cubes.
+    pub fn words(&self) -> &[SeedWord] {
+        &self.words
+    }
+
+    /// The encoded cubes.
+    pub fn cubes(&self) -> &[TestCube] {
+        &self.cubes
+    }
+
+    /// The largest LFSR degree in use (the stored seed width).
+    pub fn max_degree(&self) -> u32 {
+        self.polys.last().map_or(0, |p| p.degree())
+    }
+
+    /// Number of cubes that fell back to verbatim pattern storage.
+    pub fn num_stored(&self) -> usize {
+        self.words
+            .iter()
+            .filter(|w| matches!(w, SeedWord::Stored(_)))
+            .count()
+    }
+
+    /// Bits needed per seed-ROM word: seed at the widest degree plus the
+    /// polynomial-select field.
+    pub fn word_bits(&self) -> usize {
+        let select = if self.polys.len() > 1 {
+            address_bits(self.polys.len())
+        } else {
+            0
+        };
+        self.max_degree() as usize + select
+    }
+
+    /// Total ROM bits: seed words plus the side ROM of verbatim patterns.
+    pub fn rom_bits(&self) -> usize {
+        let seeds = self.words.len() - self.num_stored();
+        seeds * self.word_bits() + self.num_stored() * self.width
+    }
+}
+
+/// Solves one cube at one degree; returns a non-zero satisfying seed.
+fn solve_cube(cube: &TestCube, rows: &[u64], degree: u32) -> Option<u64> {
+    let mut sys = Gf2System::new(degree);
+    for (bit, value) in cube.specified_bits() {
+        sys.add_equation(rows[bit], value);
+    }
+    let (x, basis) = sys.solve_with_nullspace()?;
+    let seed = if x != 0 {
+        x
+    } else {
+        x ^ basis.first()? // avoid the LFSR lock-up seed
+    };
+    debug_assert!(sys.check(seed));
+    Some(seed)
+}
+
+/// The linear map from seed bits to pattern bits: `rows[i]` is the mask of
+/// seed bits whose XOR gives pattern bit `i` after `width` clocks of the
+/// shared scan register. Computed by symbolic simulation of
+/// [`ScanExpander`]'s exact clocking.
+fn expansion_rows(poly: Polynomial, width: usize) -> Vec<u64> {
+    let k = poly.degree() as usize;
+    let taps = poly.taps();
+    // reg[i] = mask over seed bits; seed bit i starts in cell i
+    let mut reg: Vec<u64> = vec![0; width.max(k)];
+    for (i, cell) in reg.iter_mut().enumerate().take(k) {
+        *cell = 1 << i;
+    }
+    for _ in 0..width {
+        let fb = taps
+            .iter()
+            .fold(0u64, |acc, &t| acc ^ reg[(t - 1) as usize]);
+        reg.rotate_right(1);
+        reg[0] = fb;
+    }
+    // pattern bit i = cell (width-1-i)
+    (0..width).map(|i| reg[width - 1 - i]).collect()
+}
+
+impl TestPatternGenerator for Reseeding {
+    fn architecture(&self) -> &'static str {
+        "lfsr-reseeding"
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn test_length(&self) -> usize {
+        self.words.len()
+    }
+
+    fn sequence(&self) -> Vec<Pattern> {
+        self.words
+            .iter()
+            .map(|w| match w {
+                SeedWord::Seed { poly, seed } => {
+                    let lfsr = Lfsr::fibonacci(self.polys[*poly], *seed);
+                    ScanExpander::new(lfsr, self.width).next_pattern()
+                }
+                SeedWord::Stored(p) => p.clone(),
+            })
+            .collect()
+    }
+
+    /// Shared scan register (`max(w, k)` flip-flops), per-polynomial
+    /// feedback XOR trees with a select MUX, parallel seed-load MUXes,
+    /// seed ROM and its address counter/decoder.
+    fn cells(&self) -> CellCount {
+        let k = self.max_degree() as usize;
+        let mut cells = CellCount::new();
+        cells.add(CellKind::Dff, self.width.max(k));
+        for p in &self.polys {
+            cells.add(CellKind::Xor2, p.taps().len().saturating_sub(1));
+        }
+        cells.add(CellKind::Mux2, self.polys.len().saturating_sub(1)); // feedback select
+        cells.add(CellKind::Mux2, k); // parallel seed load
+        let words = self.words.len();
+        let addr = address_bits(words);
+        cells.merge(&counter_cells(addr));
+        cells.add(CellKind::Inv, addr);
+        cells.add(CellKind::And2, words * addr.saturating_sub(1));
+        cells.add(CellKind::RomBit, self.rom_bits());
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn cube(s: &str) -> TestCube {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn expansion_rows_match_concrete_expansion() {
+        let poly = bist_lfsr::primitive_poly(12);
+        let width = 30;
+        let rows = expansion_rows(poly, width);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let seed = rng.gen_range(1u64..(1 << 12));
+            let lfsr = Lfsr::fibonacci(poly, seed);
+            let pattern = ScanExpander::new(lfsr, width).next_pattern();
+            for (i, &mask) in rows.iter().enumerate() {
+                let predicted = (seed & mask).count_ones() & 1 == 1;
+                assert_eq!(pattern.get(i), predicted, "bit {i}, seed {seed:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_expanded_pattern_matches_its_cube() {
+        let cubes = vec![
+            cube("1XXXXXXX0XXXXXXX"),
+            cube("XX01XXXXXXXX1XXX"),
+            cube("XXXXXX11XXXXXXX0"),
+            cube("0101XXXXXXXXXXXX"),
+        ];
+        let tpg = Reseeding::encode(&cubes).unwrap();
+        let seq = tpg.sequence();
+        assert_eq!(seq.len(), cubes.len());
+        for (c, p) in cubes.iter().zip(&seq) {
+            assert!(c.matches(p), "cube {c} vs pattern {p}");
+        }
+    }
+
+    #[test]
+    fn random_cube_sets_encode_and_verify() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        for trial in 0..20 {
+            let width = rng.gen_range(8..60);
+            let n = rng.gen_range(1..12);
+            let cubes: Vec<TestCube> = (0..n)
+                .map(|_| {
+                    let specified = rng.gen_range(1..=width.min(20));
+                    let mut c = TestCube::unspecified(width);
+                    for _ in 0..specified {
+                        let pos = rng.gen_range(0..width);
+                        c.set(pos, Some(rng.gen()));
+                    }
+                    c
+                })
+                .collect();
+            let tpg = Reseeding::encode(&cubes).unwrap();
+            for (c, p) in cubes.iter().zip(tpg.sequence().iter()) {
+                assert!(c.matches(p), "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_storage_beats_pattern_storage_for_sparse_cubes() {
+        // 100-bit-wide cubes with <= 10 specified bits: the degree ladder
+        // stays low, so d·k << d·w
+        let mut rng = StdRng::seed_from_u64(1);
+        let cubes: Vec<TestCube> = (0..16)
+            .map(|_| {
+                let mut c = TestCube::unspecified(100);
+                for _ in 0..10 {
+                    let pos = rng.gen_range(0..100);
+                    c.set(pos, Some(rng.gen()));
+                }
+                c
+            })
+            .collect();
+        let tpg = Reseeding::encode(&cubes).unwrap();
+        assert!(
+            tpg.rom_bits() <= 16 * 24,
+            "seed ROM unexpectedly large: {} bits (max degree {})",
+            tpg.rom_bits(),
+            tpg.max_degree()
+        );
+        assert!(tpg.rom_bits() < 16 * 100 / 2, "no storage win");
+    }
+
+    #[test]
+    fn mixed_sparsity_uses_multiple_polynomials() {
+        let mut dense = TestCube::unspecified(40);
+        for i in 0..28 {
+            dense.set(i, Some(i % 3 == 0));
+        }
+        let cubes = vec![cube(&format!("1X0{}", "X".repeat(37))), dense];
+        let tpg = Reseeding::encode(&cubes).unwrap();
+        for (c, p) in cubes.iter().zip(tpg.sequence().iter()) {
+            assert!(c.matches(p));
+        }
+        // the sparse cube must not pay the dense cube's degree
+        assert!(tpg.polys().len() >= 2, "expected a polynomial ladder");
+        assert!(tpg.word_bits() > tpg.max_degree() as usize, "select field");
+    }
+
+    #[test]
+    fn fully_specified_cubes_need_full_degree() {
+        let cubes = vec![cube("10110100"), cube("01101001")];
+        let tpg = Reseeding::encode(&cubes).unwrap();
+        assert!(tpg.max_degree() >= 8);
+        for (c, p) in cubes.iter().zip(tpg.sequence().iter()) {
+            assert!(c.matches(p));
+        }
+    }
+
+    #[test]
+    fn all_zero_cube_avoids_the_lockup_seed() {
+        // requires pattern bits to be 0 — solvable by seed 0, which must
+        // be rejected in favour of a nullspace shift
+        let cubes = vec![cube("00XXXXXXXXXXXXXX")];
+        let tpg = Reseeding::encode(&cubes).unwrap();
+        match &tpg.words()[0] {
+            SeedWord::Seed { seed, .. } => assert_ne!(*seed, 0),
+            SeedWord::Stored(_) => panic!("sparse cube must encode as a seed"),
+        }
+        assert!(cubes[0].matches(&tpg.sequence()[0]));
+    }
+
+    #[test]
+    fn over_dense_cubes_fall_back_to_stored_patterns() {
+        // 40 specified bits cannot fit any tabulated degree: stored word
+        let mut dense = TestCube::unspecified(48);
+        for i in 0..40 {
+            dense.set(i, Some(i % 2 == 0));
+        }
+        let sparse = cube(&format!("10{}", "X".repeat(46)));
+        let cubes = vec![sparse.clone(), dense.clone()];
+        let tpg = Reseeding::encode(&cubes).unwrap();
+        assert_eq!(tpg.num_stored(), 1);
+        let seq = tpg.sequence();
+        assert!(sparse.matches(&seq[0]));
+        assert!(dense.matches(&seq[1]));
+        // the side ROM charges full width for the stored word
+        assert!(tpg.rom_bits() >= 48);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            Reseeding::encode(&[]).unwrap_err(),
+            EncodeSeedsError::EmptyCubeSet
+        );
+        let err = Reseeding::encode(&[cube("1X"), cube("1XX")]).unwrap_err();
+        assert!(matches!(
+            err,
+            EncodeSeedsError::WidthMismatch { index: 1, .. }
+        ));
+    }
+}

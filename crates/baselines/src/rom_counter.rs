@@ -1,0 +1,192 @@
+use std::fmt;
+
+use bist_logicsim::Pattern;
+use bist_synth::{CellCount, CellKind};
+
+use crate::tpg::{address_bits, counter_cells, TestPatternGenerator};
+
+/// Error returned by [`RomCounter::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildRomCounterError {
+    /// The test set holds no patterns.
+    EmptySequence,
+    /// Pattern `index` has a different width than pattern 0.
+    WidthMismatch {
+        /// Offending pattern position.
+        index: usize,
+        /// Width of pattern 0.
+        expected: usize,
+        /// Width found.
+        got: usize,
+    },
+}
+
+impl fmt::Display for BuildRomCounterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildRomCounterError::EmptySequence => write!(f, "empty test sequence"),
+            BuildRomCounterError::WidthMismatch {
+                index,
+                expected,
+                got,
+            } => write!(f, "pattern {index} is {got} bits wide, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildRomCounterError {}
+
+/// The *store-and-generate* baseline (\[Aga81\], \[Abo83\], \[Dan84\]; the
+/// paper's §1): a binary counter addressing a mask-programmed ROM that
+/// stores the deterministic test set verbatim.
+///
+/// The paper calls this "the most efficient of the TPG architectures since
+/// it produces only the necessary deterministic test patterns,
+/// unfortunately, it requires too much hardware": the array grows as
+/// `d·w` ROM bits plus a `d`-word row decoder, with no opportunity for the
+/// don't-care-driven logic sharing the LFSROM exploits.
+///
+/// # Example
+///
+/// ```
+/// use bist_baselines::{RomCounter, TestPatternGenerator};
+/// use bist_logicsim::Pattern;
+///
+/// let patterns: Vec<Pattern> =
+///     ["00101", "11010", "00011"].iter().map(|s| s.parse()).collect::<Result<_, _>>()?;
+/// let rom = RomCounter::new(&patterns)?;
+/// assert_eq!(rom.sequence(), patterns);
+/// assert_eq!(rom.rom_bits(), 3 * 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RomCounter {
+    patterns: Vec<Pattern>,
+    width: usize,
+    addr_bits: usize,
+}
+
+impl RomCounter {
+    /// Builds a generator storing `patterns` verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildRomCounterError`] for empty sequences or
+    /// inconsistent widths.
+    pub fn new(patterns: &[Pattern]) -> Result<Self, BuildRomCounterError> {
+        if patterns.is_empty() {
+            return Err(BuildRomCounterError::EmptySequence);
+        }
+        let width = patterns[0].len();
+        for (index, p) in patterns.iter().enumerate() {
+            if p.len() != width {
+                return Err(BuildRomCounterError::WidthMismatch {
+                    index,
+                    expected: width,
+                    got: p.len(),
+                });
+            }
+        }
+        Ok(RomCounter {
+            addr_bits: address_bits(patterns.len()),
+            width,
+            patterns: patterns.to_vec(),
+        })
+    }
+
+    /// Size of the ROM array in bits (`d · w`).
+    pub fn rom_bits(&self) -> usize {
+        self.patterns.len() * self.width
+    }
+
+    /// Width of the address counter in flip-flops.
+    pub fn addr_bits(&self) -> usize {
+        self.addr_bits
+    }
+}
+
+impl TestPatternGenerator for RomCounter {
+    fn architecture(&self) -> &'static str {
+        "rom-counter"
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn test_length(&self) -> usize {
+        self.patterns.len()
+    }
+
+    fn sequence(&self) -> Vec<Pattern> {
+        self.patterns.clone()
+    }
+
+    /// Counter + row decoder + ROM array. The decoder is one AND tree per
+    /// word over the (complemented) address lines: `a−1` AND2 per word
+    /// plus `a` shared inverters.
+    fn cells(&self) -> CellCount {
+        let mut cells = counter_cells(self.addr_bits);
+        cells.add(CellKind::Inv, self.addr_bits);
+        cells.add(CellKind::And2, self.patterns.len() * self.addr_bits.saturating_sub(1));
+        cells.add(CellKind::RomBit, self.rom_bits());
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_synth::AreaModel;
+
+    fn p(s: &str) -> Pattern {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn sequence_is_stored_verbatim() {
+        let seq = vec![p("1100"), p("0011"), p("1010"), p("0101"), p("1111")];
+        let rom = RomCounter::new(&seq).unwrap();
+        assert_eq!(rom.sequence(), seq);
+        assert_eq!(rom.test_length(), 5);
+        assert_eq!(rom.width(), 4);
+        assert_eq!(rom.addr_bits(), 3);
+    }
+
+    #[test]
+    fn cells_scale_linearly_with_the_test_set() {
+        let short = RomCounter::new(&vec![p("10101010"); 16]).unwrap();
+        let long = RomCounter::new(&vec![p("10101010"); 128]).unwrap();
+        assert_eq!(short.cells().get(CellKind::RomBit), 16 * 8);
+        assert_eq!(long.cells().get(CellKind::RomBit), 128 * 8);
+        let model = AreaModel::es2_1um();
+        assert!(long.area_mm2(&model) > 4.0 * short.area_mm2(&model));
+    }
+
+    #[test]
+    fn paper_scale_rom_for_c3540_is_expensive() {
+        // 144 patterns × 50 bits — the paper's full deterministic set for
+        // C3540. The ROM must land above the LFSR's 0.25 mm² by a wide
+        // margin (the "requires too much hardware" claim).
+        let seq: Vec<Pattern> = (0..144)
+            .map(|i| Pattern::from_fn(50, |b| (i * 7 + b) % 3 == 0))
+            .collect();
+        let rom = RomCounter::new(&seq).unwrap();
+        let mm2 = rom.area_mm2(&AreaModel::es2_1um());
+        assert!(mm2 > 1.5, "ROM area {mm2:.2} mm² suspiciously small");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            RomCounter::new(&[]).unwrap_err(),
+            BuildRomCounterError::EmptySequence
+        );
+        let err = RomCounter::new(&[p("01"), p("011")]).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildRomCounterError::WidthMismatch { index: 1, .. }
+        ));
+        assert!(err.to_string().contains("pattern 1"));
+    }
+}

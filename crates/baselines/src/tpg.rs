@@ -1,0 +1,83 @@
+use bist_logicsim::Pattern;
+use bist_synth::{AreaModel, CellCount};
+
+/// The common face of every BIST test-pattern-generator architecture in
+/// this crate (and of the paper's LFSROM, adapted via
+/// [`LfsromTpg`](crate::LfsromTpg)): a pattern sequence plus a silicon
+/// cost, so architectures can be compared on the paper's two axes — test
+/// length and area overhead.
+pub trait TestPatternGenerator {
+    /// Architecture name for reports (e.g. `"rom-counter"`).
+    fn architecture(&self) -> &'static str;
+
+    /// Width of the emitted patterns (number of CUT primary inputs).
+    fn width(&self) -> usize;
+
+    /// Number of patterns the generator is designed to emit per test
+    /// session.
+    fn test_length(&self) -> usize;
+
+    /// The emitted pattern sequence, in order.
+    fn sequence(&self) -> Vec<Pattern>;
+
+    /// The generator's standard-cell inventory (flip-flops, gates, ROM
+    /// bits).
+    fn cells(&self) -> CellCount;
+
+    /// Silicon area in mm² under `model`, routing included.
+    fn area_mm2(&self, model: &AreaModel) -> f64 {
+        model.area_mm2(&self.cells())
+    }
+}
+
+/// Standard-cell inventory of a ripple binary counter with `bits`
+/// flip-flops: bit 0 toggles (one inverter), every further bit is
+/// `q XOR carry` with `carry AND q` chaining (one XOR2 + one AND2 each).
+pub(crate) fn counter_cells(bits: usize) -> CellCount {
+    use bist_synth::CellKind;
+    let mut cells = CellCount::new();
+    if bits == 0 {
+        return cells;
+    }
+    cells.add(CellKind::Dff, bits);
+    cells.add(CellKind::Inv, 1);
+    cells.add(CellKind::Xor2, bits - 1);
+    cells.add(CellKind::And2, bits - 1);
+    cells
+}
+
+/// `ceil(log2(n))` with a floor of 1 — the counter width needed to address
+/// `n` words.
+pub(crate) fn address_bits(n: usize) -> usize {
+    debug_assert!(n > 0);
+    (usize::BITS - (n - 1).leading_zeros()).max(1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_synth::CellKind;
+
+    #[test]
+    fn address_bit_math() {
+        assert_eq!(address_bits(1), 1);
+        assert_eq!(address_bits(2), 1);
+        assert_eq!(address_bits(3), 2);
+        assert_eq!(address_bits(4), 2);
+        assert_eq!(address_bits(5), 3);
+        assert_eq!(address_bits(144), 8);
+        assert_eq!(address_bits(256), 8);
+        assert_eq!(address_bits(257), 9);
+    }
+
+    #[test]
+    fn counter_inventory() {
+        let cells = counter_cells(8);
+        assert_eq!(cells.get(CellKind::Dff), 8);
+        assert_eq!(cells.get(CellKind::Xor2), 7);
+        assert_eq!(cells.get(CellKind::And2), 7);
+        assert_eq!(cells.get(CellKind::Inv), 1);
+        assert_eq!(counter_cells(0).total(), 0);
+        assert_eq!(counter_cells(1).total(), 2); // DFF + INV
+    }
+}

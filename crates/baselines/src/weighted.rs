@@ -1,0 +1,314 @@
+use std::fmt;
+
+use bist_lfsr::{Lfsr, Polynomial};
+use bist_logicsim::Pattern;
+use bist_netlist::{Circuit, GateKind};
+use bist_synth::{CellCount, CellKind};
+
+use crate::tpg::TestPatternGenerator;
+
+/// The one-probability a weighted-random generator imposes on one CUT
+/// input. Weights are the dyadic values cheap weighting logic can realize:
+/// AND of `k` equiprobable bits gives `2^-k`, OR gives `1 − 2^-k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Weight {
+    /// Probability 1/2 — the raw LFSR bit, no gate.
+    #[default]
+    Half,
+    /// Probability 1/4 — AND of two raw bits.
+    Quarter,
+    /// Probability 1/8 — AND of three raw bits.
+    Eighth,
+    /// Probability 3/4 — OR of two raw bits.
+    ThreeQuarters,
+    /// Probability 7/8 — OR of three raw bits.
+    SevenEighths,
+}
+
+impl Weight {
+    /// All weights, for iteration.
+    pub const ALL: [Weight; 5] = [
+        Weight::Half,
+        Weight::Quarter,
+        Weight::Eighth,
+        Weight::ThreeQuarters,
+        Weight::SevenEighths,
+    ];
+
+    /// Raw LFSR bits consumed per output bit.
+    pub fn raw_bits(self) -> usize {
+        match self {
+            Weight::Half => 1,
+            Weight::Quarter | Weight::ThreeQuarters => 2,
+            Weight::Eighth | Weight::SevenEighths => 3,
+        }
+    }
+
+    /// The imposed one-probability.
+    pub fn probability(self) -> f64 {
+        match self {
+            Weight::Half => 0.5,
+            Weight::Quarter => 0.25,
+            Weight::Eighth => 0.125,
+            Weight::ThreeQuarters => 0.75,
+            Weight::SevenEighths => 0.875,
+        }
+    }
+
+    /// Combines `bits` (length [`Weight::raw_bits`]) into the weighted bit.
+    fn combine(self, bits: &[bool]) -> bool {
+        match self {
+            Weight::Half => bits[0],
+            Weight::Quarter | Weight::Eighth => bits.iter().all(|&b| b),
+            Weight::ThreeQuarters | Weight::SevenEighths => bits.iter().any(|&b| b),
+        }
+    }
+
+    /// The nearest realizable weight below/above a target probability.
+    pub fn nearest(p: f64) -> Weight {
+        Weight::ALL
+            .into_iter()
+            .min_by(|a, b| {
+                (a.probability() - p)
+                    .abs()
+                    .partial_cmp(&(b.probability() - p).abs())
+                    .expect("probabilities are finite")
+            })
+            .expect("ALL is non-empty")
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Weight::Half => "1/2",
+            Weight::Quarter => "1/4",
+            Weight::Eighth => "1/8",
+            Weight::ThreeQuarters => "3/4",
+            Weight::SevenEighths => "7/8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A *weighted pseudo-random* generator: the paper's plain LFSR with a
+/// per-input weighting network biasing each CUT input's one-probability.
+///
+/// Weighted patterns were the classic industrial answer to random-pattern-
+/// resistant faults *before* mixed/deterministic schemes: keep the cheap
+/// LFSR, spend a few AND/OR gates to skew inputs toward the values that
+/// sensitize deep gate trees. The weights here come from a structural
+/// heuristic ([`weights_from_structure`]) — inputs feeding mostly
+/// AND-family logic are biased high (non-controlling), OR-family low.
+///
+/// # Example
+///
+/// ```
+/// use bist_baselines::{TestPatternGenerator, WeightedLfsr};
+///
+/// let c880 = bist_netlist::iscas85::circuit("c880").expect("known benchmark");
+/// let weights = bist_baselines::weights_from_structure(&c880);
+/// let tpg = WeightedLfsr::new(bist_lfsr::paper_poly(), 1, weights, 256);
+/// assert_eq!(tpg.sequence().len(), 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedLfsr {
+    poly: Polynomial,
+    seed: u64,
+    weights: Vec<Weight>,
+    test_length: usize,
+}
+
+impl WeightedLfsr {
+    /// Creates a generator with one weight per CUT input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, `test_length` is 0, or the seed is
+    /// invalid for the polynomial (see [`Lfsr::fibonacci`]).
+    pub fn new(poly: Polynomial, seed: u64, weights: Vec<Weight>, test_length: usize) -> Self {
+        assert!(!weights.is_empty(), "at least one output weight");
+        assert!(test_length > 0, "test length must be positive");
+        let _check = Lfsr::fibonacci(poly, seed);
+        WeightedLfsr {
+            poly,
+            seed,
+            weights,
+            test_length,
+        }
+    }
+
+    /// The per-input weights.
+    pub fn weights(&self) -> &[Weight] {
+        &self.weights
+    }
+}
+
+impl TestPatternGenerator for WeightedLfsr {
+    fn architecture(&self) -> &'static str {
+        "weighted-random"
+    }
+
+    fn width(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn test_length(&self) -> usize {
+        self.test_length
+    }
+
+    fn sequence(&self) -> Vec<Pattern> {
+        let mut lfsr = Lfsr::fibonacci(self.poly, self.seed);
+        let mut patterns = Vec::with_capacity(self.test_length);
+        let mut raw = Vec::with_capacity(3);
+        for _ in 0..self.test_length {
+            let p = Pattern::from_fn(self.weights.len(), |i| {
+                let w = self.weights[i];
+                raw.clear();
+                raw.extend((0..w.raw_bits()).map(|_| lfsr.step()));
+                w.combine(&raw)
+            });
+            patterns.push(p);
+        }
+        patterns
+    }
+
+    /// LFSR core + one scan cell per raw bit + the weighting gates.
+    fn cells(&self) -> CellCount {
+        let mut cells = CellCount::new();
+        let k = self.poly.degree() as usize;
+        cells.add(CellKind::Dff, k);
+        cells.add(CellKind::Xor2, self.poly.taps().len().saturating_sub(1));
+        let raw_total: usize = self.weights.iter().map(|w| w.raw_bits()).sum();
+        cells.add(CellKind::Dff, raw_total.saturating_sub(k));
+        for w in &self.weights {
+            match w {
+                Weight::Half => {}
+                Weight::Quarter => cells.add(CellKind::And2, 1),
+                Weight::Eighth => cells.add(CellKind::And2, 2),
+                Weight::ThreeQuarters => cells.add(CellKind::Or2, 1),
+                Weight::SevenEighths => cells.add(CellKind::Or2, 2),
+            }
+        }
+        cells
+    }
+}
+
+/// Derives a weight per primary input from the CUT's structure: an input
+/// whose fan-out feeds mostly AND/NAND gates wants to sit at the
+/// non-controlling 1 (weight above 1/2) so deep conjunctions get
+/// exercised; mostly OR/NOR fan-out wants 0. Balanced inputs stay at 1/2.
+pub fn weights_from_structure(circuit: &Circuit) -> Vec<Weight> {
+    circuit
+        .inputs()
+        .iter()
+        .map(|&pi| {
+            let mut pull_high = 0i64;
+            let mut total = 0i64;
+            for &g in circuit.fanout(pi) {
+                total += 1;
+                match circuit.node(g).kind() {
+                    GateKind::And | GateKind::Nand => pull_high += 1,
+                    GateKind::Or | GateKind::Nor => pull_high -= 1,
+                    _ => {}
+                }
+            }
+            if total == 0 {
+                return Weight::Half;
+            }
+            let bias = pull_high as f64 / total as f64;
+            if bias > 0.6 {
+                Weight::ThreeQuarters
+            } else if bias < -0.6 {
+                Weight::Quarter
+            } else {
+                Weight::Half
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_lfsr::{paper_poly, primitive_poly};
+
+    #[test]
+    fn weight_arithmetic() {
+        assert_eq!(Weight::nearest(0.5), Weight::Half);
+        assert_eq!(Weight::nearest(0.2), Weight::Quarter);
+        assert_eq!(Weight::nearest(0.9), Weight::SevenEighths);
+        assert_eq!(Weight::Eighth.raw_bits(), 3);
+        assert_eq!(Weight::Half.to_string(), "1/2");
+    }
+
+    #[test]
+    fn empirical_densities_track_weights() {
+        let weights = vec![
+            Weight::Half,
+            Weight::Quarter,
+            Weight::Eighth,
+            Weight::ThreeQuarters,
+            Weight::SevenEighths,
+        ];
+        let tpg = WeightedLfsr::new(primitive_poly(20), 1, weights.clone(), 4000);
+        let seq = tpg.sequence();
+        for (i, w) in weights.iter().enumerate() {
+            let ones = seq.iter().filter(|p| p.get(i)).count();
+            let density = ones as f64 / seq.len() as f64;
+            assert!(
+                (density - w.probability()).abs() < 0.05,
+                "bit {i}: density {density:.3} vs weight {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_half_matches_unweighted_cost_shape() {
+        let tpg = WeightedLfsr::new(paper_poly(), 1, vec![Weight::Half; 30], 10);
+        let cells = tpg.cells();
+        assert_eq!(cells.get(CellKind::And2) + cells.get(CellKind::Or2), 0);
+        assert_eq!(cells.get(CellKind::Dff), 30, "16 LFSR cells + 14 chain");
+    }
+
+    #[test]
+    fn weighting_gates_are_counted() {
+        let tpg = WeightedLfsr::new(
+            paper_poly(),
+            1,
+            vec![Weight::Quarter, Weight::SevenEighths, Weight::Half],
+            10,
+        );
+        let cells = tpg.cells();
+        assert_eq!(cells.get(CellKind::And2), 1);
+        assert_eq!(cells.get(CellKind::Or2), 2);
+    }
+
+    #[test]
+    fn structural_weights_bias_and_heavy_inputs_high() {
+        use bist_netlist::CircuitBuilder;
+        let mut b = CircuitBuilder::new("w");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_input("c").unwrap();
+        b.add_gate("g1", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("g2", GateKind::Nand, &["a", "c"]).unwrap();
+        b.add_gate("g3", GateKind::Nor, &["b", "c"]).unwrap();
+        b.add_gate("y", GateKind::Or, &["g1", "g2", "g3"]).unwrap();
+        b.mark_output("y").unwrap();
+        let c = b.build().unwrap();
+        let weights = weights_from_structure(&c);
+        // input a feeds AND+NAND only -> biased high
+        assert_eq!(weights[0], Weight::ThreeQuarters);
+        // input b feeds AND and NOR -> balanced
+        assert_eq!(weights[1], Weight::Half);
+    }
+
+    #[test]
+    fn sequence_is_deterministic() {
+        let w = vec![Weight::Quarter; 8];
+        let a = WeightedLfsr::new(paper_poly(), 1, w.clone(), 50).sequence();
+        let b = WeightedLfsr::new(paper_poly(), 1, w, 50).sequence();
+        assert_eq!(a, b);
+    }
+}

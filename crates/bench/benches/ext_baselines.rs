@@ -1,0 +1,64 @@
+//! Criterion bench for the **Extension B** kernels: the baseline TPG
+//! encoders. Prints the bake-off once, then measures each encoder's
+//! construction cost — the CAD-runtime axis the paper's §3.1 mentions
+//! ("practical case studies can be preserved").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bist_atpg::{AtpgOptions, TestCube, TestGenerator};
+use bist_baselines::{
+    bakeoff, BakeoffConfig, CaRegister, CounterPla, Reseeding, RomCounter, TestPatternGenerator,
+};
+use bist_fault::FaultList;
+
+fn series() {
+    let c = bist_netlist::iscas85::circuit("c432").expect("known benchmark");
+    let result = bakeoff(
+        &c,
+        &BakeoffConfig {
+            random_length: 200,
+            ..BakeoffConfig::default()
+        },
+    );
+    println!("\n[ext_baselines] c432 bake-off:");
+    for row in &result.rows {
+        println!("  {row}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let circuit = bist_netlist::iscas85::circuit("c432").expect("known benchmark");
+    let faults = FaultList::mixed_model(&circuit);
+    let run = TestGenerator::new(&circuit, faults, AtpgOptions::default()).run();
+    let patterns = run.sequence();
+    let cubes: Vec<TestCube> = run
+        .units
+        .iter()
+        .flat_map(|u| u.cubes.iter().cloned())
+        .collect();
+
+    let mut group = c.benchmark_group("ext_baselines");
+    group.sample_size(10);
+    group.bench_function("rom_counter_encode_c432", |b| {
+        b.iter(|| RomCounter::new(&patterns).expect("valid set").rom_bits())
+    });
+    group.bench_function("counter_pla_synthesize_c432", |b| {
+        b.iter(|| {
+            CounterPla::synthesize(&patterns)
+                .expect("valid set")
+                .cells()
+                .total()
+        })
+    });
+    group.bench_function("reseeding_encode_c432", |b| {
+        b.iter(|| Reseeding::encode(&cubes).expect("encodable").rom_bits())
+    });
+    group.bench_function("ca_max_length_search_16", |b| {
+        b.iter(|| CaRegister::find_max_length(16, 1 << 16).expect("exists").len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

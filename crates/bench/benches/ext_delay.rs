@@ -1,0 +1,61 @@
+//! Criterion bench for the **Extension D** kernels: packed transition-
+//! fault simulation and two-pattern delay ATPG. Prints the reproduced
+//! trade-off series once, then measures the engines it rests on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use bist_delay::{DelayAtpgOptions, DelayTestGenerator, TransitionFaultList, TransitionSim};
+use bist_lfsr::{paper_poly, pseudo_random_patterns};
+
+fn series() {
+    let c = bist_netlist::iscas85::circuit("c880").expect("known benchmark");
+    let faults = TransitionFaultList::universe(&c);
+    println!("\n[ext_delay] c880 transition-fault mixed trade-off:");
+    for p in [0usize, 256] {
+        let prefix = pseudo_random_patterns(paper_poly(), c.inputs().len(), p);
+        let run = DelayTestGenerator::new(
+            &c,
+            faults.clone(),
+            DelayAtpgOptions {
+                prefix,
+                ..DelayAtpgOptions::default()
+            },
+        )
+        .run();
+        println!(
+            "  p={p:>4}  d={:>4}  final {:.2} %",
+            run.num_patterns(),
+            run.report.coverage_pct()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let circuit = bist_netlist::iscas85::circuit("c880").expect("known benchmark");
+    let faults = TransitionFaultList::universe(&circuit);
+    let patterns = pseudo_random_patterns(paper_poly(), circuit.inputs().len(), 256);
+
+    let mut group = c.benchmark_group("ext_delay");
+    group.sample_size(10);
+    group.bench_function("transition_sim_c880_256_patterns", |b| {
+        b.iter_batched(
+            || TransitionSim::new(&circuit, faults.clone()),
+            |mut sim| sim.simulate(&patterns),
+            BatchSize::LargeInput,
+        )
+    });
+    let c432 = bist_netlist::iscas85::circuit("c432").expect("known benchmark");
+    let c432_faults = TransitionFaultList::universe(&c432);
+    group.bench_function("delay_atpg_c432_full", |b| {
+        b.iter(|| {
+            DelayTestGenerator::new(&c432, c432_faults.clone(), DelayAtpgOptions::default())
+                .run()
+                .num_patterns()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for the **Figure 4** kernel: PPSFP fault simulation of
+//! pseudo-random patterns under the mixed (stuck-at + stuck-open) fault
+//! model. Prints the reproduced coverage series once, then measures the
+//! grading throughput that the figure's x-axis sweep rests on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use bist_core::prelude::*;
+
+fn series() {
+    let c = iscas85::circuit("c3540").expect("known benchmark");
+    let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
+    let curve = scheme.random_coverage_curve(&[0, 100, 200, 500, 1000]);
+    println!("\n[fig4] c3540 coverage vs pseudo-random length (paper: 88.4 % @ 200):");
+    print!("{curve}");
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let circuit = iscas85::circuit("c3540").expect("known benchmark");
+    let patterns = pseudo_random_patterns(paper_poly(), circuit.inputs().len(), 256);
+    let faults = FaultList::mixed_model(&circuit);
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("ppsfp_c3540_256_random_patterns", |b| {
+        b.iter_batched(
+            || FaultSim::new(&circuit, faults.clone()),
+            |mut sim| sim.simulate(&patterns),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("lfsr_scan_expansion_1000x50", |b| {
+        b.iter(|| pseudo_random_patterns(paper_poly(), 50, 1000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

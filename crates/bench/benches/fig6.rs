@@ -1,0 +1,56 @@
+//! Criterion bench for the **Figure 6** kernel: LFSROM synthesis of a full
+//! deterministic test set (the per-circuit bars of the figure). Prints the
+//! reproduced per-circuit areas once for the small benchmarks, then
+//! measures synthesis latency on a c432-profile test set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bist_core::prelude::*;
+
+fn series() {
+    println!("\n[fig6] full deterministic LFSROM areas (paper overheads: c17 560 %, c432 217 %):");
+    let model = AreaModel::es2_1um();
+    for name in ["c17", "c432", "c880"] {
+        let c = iscas85::circuit(name).expect("known benchmark");
+        let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
+        let s = scheme.solve(0).expect("deterministic flow");
+        let chip = model.circuit_area_mm2(&c);
+        println!(
+            "  {name:>6}: {:>4} patterns, generator {:.3} mm², chip {:.3} mm², overhead {:.0} %",
+            s.det_len,
+            s.generator_area_mm2,
+            chip,
+            s.overhead_pct()
+        );
+    }
+}
+
+fn deterministic_set(circuit: &Circuit) -> Vec<Pattern> {
+    let faults = FaultList::mixed_model(circuit);
+    TestGenerator::new(circuit, faults, AtpgOptions::default())
+        .run()
+        .sequence()
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let circuit = iscas85::circuit("c432").expect("known benchmark");
+    let sequence = deterministic_set(&circuit);
+    println!("benchmarking LFSROM synthesis of {} x {} bits", sequence.len(), circuit.inputs().len());
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("lfsrom_synthesis_c432_full_set", |b| {
+        b.iter(|| LfsromGenerator::synthesize(&sequence).expect("synthesis succeeds"))
+    });
+    group.bench_function("atpg_full_deterministic_c17", |b| {
+        let c17 = iscas85::c17();
+        let faults = FaultList::mixed_model(&c17);
+        b.iter(|| {
+            TestGenerator::new(&c17, faults.clone(), AtpgOptions::default()).run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

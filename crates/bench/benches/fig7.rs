@@ -1,0 +1,41 @@
+//! Criterion bench for the **Figure 7** kernel: building (and verifying)
+//! the shared-register mixed hardware generator whose cost the figure
+//! plots against the mixed sequence length.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bist_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn series() {
+    let c = iscas85::circuit("c432").expect("known benchmark");
+    let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
+    println!("\n[fig7] c432 generator cost vs mixed length (paper shape: monotone fall):");
+    for p in [0usize, 100, 400] {
+        let s = scheme.solve(p).expect("flow succeeds");
+        println!(
+            "  p={:>4} d={:>4} -> {:.3} mm²",
+            s.prefix_len, s.det_len, s.generator_area_mm2
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let mut rng = StdRng::seed_from_u64(7);
+    let det: Vec<Pattern> = (0..24).map(|_| Pattern::random(&mut rng, 36)).collect();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("mixed_generator_build_w36_p200_d24", |b| {
+        b.iter(|| MixedGenerator::build(36, paper_poly(), 200, &det).expect("builds"))
+    });
+    group.bench_function("mixed_generator_replay_verify", |b| {
+        let generator = MixedGenerator::build(36, paper_poly(), 200, &det).expect("builds");
+        b.iter(|| assert!(generator.verify()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

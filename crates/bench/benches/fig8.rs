@@ -1,0 +1,41 @@
+//! Criterion bench for the **Figure 8** kernel: the area model — cell
+//! counting and pricing of generator and CUT netlists, which normalizes
+//! Figure 7's curve into "% of nominal chip size".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bist_core::prelude::*;
+
+fn series() {
+    let c = iscas85::circuit("c432").expect("known benchmark");
+    let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
+    println!("\n[fig8] c432 overhead vs mixed length (paper c3540 shape: 68 % -> 7.5 %):");
+    for p in [0usize, 100, 400] {
+        let s = scheme.solve(p).expect("flow succeeds");
+        println!(
+            "  p={:>4} d={:>4} -> {:.1} % of chip",
+            s.prefix_len,
+            s.det_len,
+            s.overhead_pct()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let model = AreaModel::es2_1um();
+    let c3540 = iscas85::circuit("c3540").expect("known benchmark");
+    let lfsr = lfsr_netlist(paper_poly());
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(20);
+    group.bench_function("area_model_c3540_nominal", |b| {
+        b.iter(|| model.circuit_area_mm2(&c3540))
+    });
+    group.bench_function("area_model_lfsr16", |b| {
+        b.iter(|| model.circuit_area_mm2(&lfsr))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the **Table 2** kernel: the per-circuit trade-off
+//! sweep. Prints one reproduced mini-table, then measures a three-point
+//! explorer sweep end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bist_core::prelude::*;
+
+fn series() {
+    let c = iscas85::circuit("c432").expect("known benchmark");
+    let explorer = TradeoffExplorer::new(&c, MixedSchemeConfig::default());
+    let summary = explorer.sweep(&[0, 100, 400]).expect("sweep succeeds");
+    println!("\n[table2] c432 mixed solutions:");
+    print!("{summary}");
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let c17 = iscas85::c17();
+    let explorer = TradeoffExplorer::new(&c17, MixedSchemeConfig::default());
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("explorer_sweep_c17_3_points", |b| {
+        b.iter(|| explorer.sweep(&[0, 8, 32]).expect("sweep succeeds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! **Extension I** — the \[Hwa93\] cross-check: how well do the paper's
+//! stuck-at/stuck-open-derived BIST sequences detect *bridging* defects?
+//!
+//! The paper's coverage ceiling cites \[Hwa93\] and its §3 lists Iddq
+//! merging among BIST's advantages. This experiment samples a
+//! non-feedback wired-AND/wired-OR short universe per circuit and grades
+//! the pure-random and mixed sequences against it, under both detection
+//! criteria: voltage-sense (propagate to an output) and Iddq (merely
+//! excite the short).
+//!
+//! ```text
+//! cargo run --release -p bist-bench --bin ext_bridging_coverage
+//! cargo run --release -p bist-bench --bin ext_bridging_coverage -- --circuits c432 --quick
+//! ```
+
+use bist_bench::{banner, ExperimentArgs};
+use bist_bridging::{BridgingFaultList, BridgingSim};
+use bist_core::prelude::*;
+
+fn main() {
+    banner(
+        "Extension I",
+        "bridging-fault coverage of stuck-at-derived BIST sequences ([Hwa93] cross-check)",
+    );
+    let args = ExperimentArgs::parse(&["c432", "c880"]);
+    let samples = if args.quick { 150 } else { 400 };
+    for circuit in args.load_circuits() {
+        let width = circuit.inputs().len();
+        let bridges = BridgingFaultList::sample(&circuit, samples, 0x1dd9);
+        let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
+        println!(
+            "\n{} — {} sampled non-feedback bridges",
+            circuit.name(),
+            bridges.len()
+        );
+        println!(
+            "{:<26} {:>9} {:>12} {:>10}",
+            "sequence", "patterns", "voltage %", "Iddq %"
+        );
+
+        let p = if args.quick { 128 } else { 512 };
+        let random_only = scheme.pseudo_random_patterns(p);
+        let mut sim = BridgingSim::new(&circuit, bridges.clone());
+        sim.simulate(&random_only);
+        let (rand_v, rand_q) = (sim.report().coverage_pct(), sim.iddq_coverage_pct());
+        println!(
+            "{:<26} {:>9} {:>11.2}% {:>9.2}%",
+            format!("pseudo-random (p={p})"),
+            p,
+            rand_v,
+            rand_q
+        );
+
+        let solution = scheme.solve(p).expect("solvable");
+        let (prefix, suffix) = solution.generator.replay();
+        let mixed: Vec<Pattern> = prefix.into_iter().chain(suffix).collect();
+        let mixed_len = mixed.len();
+        let mut sim = BridgingSim::new(&circuit, bridges.clone());
+        sim.simulate(&mixed);
+        let (mix_v, mix_q) = (sim.report().coverage_pct(), sim.iddq_coverage_pct());
+        println!(
+            "{:<26} {:>9} {:>11.2}% {:>9.2}%",
+            format!("mixed (p={p}, d={})", solution.det_len),
+            mixed_len,
+            mix_v,
+            mix_q
+        );
+
+        assert!(
+            mix_v >= rand_v - 1e-9,
+            "the mixed sequence extends the random prefix, so bridge coverage \
+             cannot drop: {mix_v:.2} vs {rand_v:.2}"
+        );
+        assert!(mix_q >= mix_v, "Iddq (excitation) dominates voltage-sense");
+    }
+    println!("\nShape claim ([Hwa93]): stuck-at-derived sequences detect a large");
+    println!("fraction of realistic shorts, and the Iddq criterion — excitation");
+    println!("without propagation — always reads higher than voltage-sense, which");
+    println!("is exactly why the paper lists Iddq merging among BIST's advantages.");
+}

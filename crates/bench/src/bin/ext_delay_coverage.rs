@@ -1,0 +1,75 @@
+//! **Extension D** — the mixed-scheme trade-off under the transition
+//! (delay) fault model.
+//!
+//! The paper motivates the mixed scheme with delay faults (§2.2, §3.1)
+//! but evaluates only stuck-at + stuck-open. This experiment re-runs the
+//! Figure 5 sweep — coverage and deterministic top-up size versus
+//! pseudo-random prefix length — under the gate-level transition fault
+//! model, where every deterministic test is an ordered two-pattern pair
+//! that the LFSROM's order-preserving replay applies verbatim.
+//!
+//! ```text
+//! cargo run --release -p bist-bench --bin ext_delay_coverage
+//! cargo run --release -p bist-bench --bin ext_delay_coverage -- --circuits c432 --quick
+//! ```
+
+use bist_bench::{banner, ExperimentArgs};
+use bist_delay::{DelayAtpgOptions, DelayTestGenerator, TransitionFaultList};
+use bist_lfsr::{paper_poly, pseudo_random_patterns};
+
+fn main() {
+    banner(
+        "Extension D",
+        "transition-fault coverage vs mixed sequence composition",
+    );
+    let args = ExperimentArgs::parse(&["c880", "c1355"]);
+    let prefixes: &[usize] = if args.quick {
+        &[0, 64]
+    } else {
+        &[0, 64, 256, 1024]
+    };
+    for circuit in args.load_circuits() {
+        let width = circuit.inputs().len();
+        let faults = TransitionFaultList::universe(&circuit);
+        println!(
+            "\n{} — {} transition faults",
+            circuit.name(),
+            faults.len()
+        );
+        println!(
+            "{:>6}  {:>12}  {:>12}  {:>12}  {:>12}",
+            "p", "prefix cov %", "top-up d", "final cov %", "redundant"
+        );
+        let mut last_d = usize::MAX;
+        for &p in prefixes {
+            let prefix = pseudo_random_patterns(paper_poly(), width, p);
+            let run = DelayTestGenerator::new(
+                &circuit,
+                faults.clone(),
+                DelayAtpgOptions {
+                    prefix,
+                    ..DelayAtpgOptions::default()
+                },
+            )
+            .run();
+            let prefix_cov =
+                100.0 * run.prefix_detected as f64 / run.report.total().max(1) as f64;
+            println!(
+                "{:>6}  {:>11.2}%  {:>12}  {:>11.2}%  {:>12}",
+                p,
+                prefix_cov,
+                run.num_patterns(),
+                run.report.coverage_pct(),
+                run.report.redundant
+            );
+            assert!(
+                run.num_patterns() <= last_d.saturating_add(6),
+                "top-up must shrink as the prefix grows (compaction jitter aside)"
+            );
+            last_d = run.num_patterns();
+        }
+    }
+    println!("\nShape claim: like the paper's Figure 5, every prefix length reaches");
+    println!("(essentially) the same final coverage; the deterministic pair count d");
+    println!("falls monotonically with p.");
+}

@@ -1,0 +1,67 @@
+//! **Figure 7** — C3540 mixed hardware generator cost versus mixed
+//! sequence length.
+//!
+//! The frontier runs from the pure-deterministic extreme (the paper:
+//! `d_max = 2.5 mm²`) down towards the bare-LFSR asymptote
+//! (`p_min = 0.25 mm²`): the longer the pseudo-random prefix, the fewer
+//! deterministic patterns remain to encode, the cheaper the generator.
+//!
+//! ```text
+//! cargo run --release -p bist-bench --bin fig7_mixed_cost
+//! ```
+
+use bist_bench::{banner, paper, ExperimentArgs};
+use bist_core::prelude::*;
+
+fn main() {
+    banner("Figure 7", "mixed generator cost vs mixed sequence length");
+    let args = ExperimentArgs::parse(&["c3540"]);
+    let prefixes: Vec<usize> = if args.quick {
+        vec![0, 200]
+    } else {
+        vec![0, 100, 200, 500, 1000, 2000]
+    };
+    for circuit in args.load_circuits() {
+        println!("\n{circuit}");
+        let explorer = TradeoffExplorer::new(&circuit, MixedSchemeConfig::default());
+        let summary = explorer.sweep(&prefixes).expect("flow succeeds");
+        println!(
+            "{:>8} {:>8} {:>8} {:>14}",
+            "p", "d", "p+d", "cost (mm2)"
+        );
+        for s in summary.solutions() {
+            println!(
+                "{:>8} {:>8} {:>8} {:>14.3}",
+                s.prefix_len,
+                s.det_len,
+                s.total_len(),
+                s.generator_area_mm2
+            );
+        }
+        // asymptote: the bare LFSR
+        let scheme = explorer.scheme();
+        let lfsr_only = scheme
+            .pseudo_random_solution(prefixes.iter().copied().max().unwrap_or(1000).max(1))
+            .expect("LFSR-only solution");
+        println!(
+            "bare LFSR asymptote: {:.3} mm² (paper p-min: {:.2} mm²)",
+            lfsr_only.generator_area_mm2,
+            paper::c3540::LFSR_MM2
+        );
+        if circuit.name() == "c3540" {
+            println!(
+                "paper d-max: {:.1} mm² (full deterministic LFSROM)",
+                paper::c3540::LFSROM_MM2
+            );
+        }
+        let areas: Vec<f64> = summary
+            .solutions()
+            .iter()
+            .map(|s| s.generator_area_mm2)
+            .collect();
+        assert!(
+            areas.first() > areas.last(),
+            "cost must fall as the mixed sequence grows"
+        );
+    }
+}

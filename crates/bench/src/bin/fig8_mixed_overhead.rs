@@ -1,0 +1,60 @@
+//! **Figure 8** — C3540 mixed generator silicon increase as a percentage
+//! of the nominal chip size, versus mixed sequence length.
+//!
+//! The same frontier as Figure 7 normalized to the chip: from the paper's
+//! `d_max = 68 %` (pure deterministic) towards `p_min = 7.5 %` (bare
+//! LFSR), with the highlighted practical point `(p = 1000, d = 26)` at
+//! ≈20 %.
+//!
+//! ```text
+//! cargo run --release -p bist-bench --bin fig8_mixed_overhead
+//! ```
+
+use bist_bench::{banner, paper, ExperimentArgs};
+use bist_core::prelude::*;
+
+fn main() {
+    banner(
+        "Figure 8",
+        "mixed generator overhead (% of nominal chip) vs mixed length",
+    );
+    let args = ExperimentArgs::parse(&["c3540"]);
+    let prefixes: Vec<usize> = if args.quick {
+        vec![0, 200]
+    } else {
+        vec![0, 100, 200, 500, 1000, 2000]
+    };
+    for circuit in args.load_circuits() {
+        println!("\n{circuit}");
+        let explorer = TradeoffExplorer::new(&circuit, MixedSchemeConfig::default());
+        let summary = explorer.sweep(&prefixes).expect("flow succeeds");
+        println!(
+            "{:>8} {:>8} {:>8} {:>12} {:>12}",
+            "p", "d", "p+d", "cost (mm2)", "% of chip"
+        );
+        for s in summary.solutions() {
+            println!(
+                "{:>8} {:>8} {:>8} {:>12.3} {:>12.1}",
+                s.prefix_len,
+                s.det_len,
+                s.total_len(),
+                s.generator_area_mm2,
+                s.overhead_pct()
+            );
+        }
+        let scheme = explorer.scheme();
+        let lfsr_only = scheme.pseudo_random_solution(1000).expect("LFSR-only");
+        println!(
+            "bare LFSR asymptote: {:.1} % of chip (paper p-min: {:.1} %)",
+            lfsr_only.overhead_pct(),
+            paper::c3540::LFSR_OVERHEAD_PCT
+        );
+        if circuit.name() == "c3540" {
+            println!(
+                "paper d-max: {:.0} %; paper highlighted point (p=1000): ≈{:.0} %",
+                paper::c3540::LFSROM_OVERHEAD_PCT,
+                paper::c3540::MIXED_OVERHEAD_PCT
+            );
+        }
+    }
+}

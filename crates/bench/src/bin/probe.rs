@@ -1,0 +1,34 @@
+//! Scratch calibration probe used while tuning the reproduction; prints
+//! per-circuit full-deterministic flow results with wall-clock timings.
+
+use bist_core::prelude::*;
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        vec!["c432", "c3540"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in names {
+        let c = iscas85::circuit(name).unwrap();
+        let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
+        for p in [0usize, 1000] {
+            let t1 = Instant::now();
+            let run = scheme.solve(p).unwrap();
+            println!(
+                "{name}: solve({p}) {:.0}s  d={} cov {:.1}% ceiling {:.1}% gen {:.2}mm2 ({:.0}%) chip {:.2}mm2",
+                t1.elapsed().as_secs_f64(),
+                run.det_len,
+                run.coverage.coverage_pct(),
+                run.coverage.achievable_pct(),
+                run.generator_area_mm2,
+                run.overhead_pct(),
+                run.chip_area_mm2
+            );
+            std::io::stdout().flush().ok();
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! **Table 1** — the two extremes of the trade-off for every ISCAS-85
+//! circuit: the full-deterministic LFSROM generator versus the pure
+//! pseudo-random LFSR.
+//!
+//! Columns mirror the paper: circuit, I/O, nominal chip area, full
+//! deterministic test set size and generator cost (with % increase), and
+//! the shared 16-bit LFSR cost (with % increase). The paper's reading:
+//! full-deterministic costs tens-to-hundreds of percent; the LFSR costs
+//! almost nothing but cannot reach deterministic coverage.
+//!
+//! ```text
+//! cargo run --release -p bist-bench --bin table1_extremes
+//! cargo run --release -p bist-bench --bin table1_extremes -- --circuits c17,c432
+//! ```
+
+use bist_bench::{banner, ExperimentArgs};
+use bist_core::prelude::*;
+
+fn main() {
+    banner(
+        "Table 1",
+        "full deterministic vs pure pseudo-random extremes, all ISCAS-85",
+    );
+    let args = ExperimentArgs::parse(&[
+        "c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288",
+        "c7552",
+    ]);
+    println!(
+        "{:>7} {:>9} {:>10} | {:>10} {:>11} {:>10} | {:>9} {:>10}",
+        "circuit",
+        "#I/#O",
+        "chip mm2",
+        "#patterns",
+        "LFSROM mm2",
+        "incr %",
+        "LFSR mm2",
+        "incr %"
+    );
+    for circuit in args.load_circuits() {
+        let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
+        let deterministic = scheme.solve(0).expect("deterministic flow");
+        // The pure pseudo-random column: the paper prices the same 16-bit
+        // LFSR (0.25 mm²) for every circuit; we synthesize it with the
+        // same area model.
+        let lfsr_hw = lfsr_netlist(scheme.config().poly);
+        let lfsr_mm2 = scheme.config().area.circuit_area_mm2(&lfsr_hw);
+        let chip = deterministic.chip_area_mm2;
+        println!(
+            "{:>7} {:>9} {:>10.2} | {:>10} {:>11.2} {:>10.1} | {:>9.2} {:>10.1}",
+            circuit.name(),
+            format!("{}/{}", circuit.inputs().len(), circuit.outputs().len()),
+            chip,
+            deterministic.det_len,
+            deterministic.generator_area_mm2,
+            deterministic.overhead_pct(),
+            lfsr_mm2,
+            100.0 * lfsr_mm2 / chip
+        );
+    }
+    println!("\n(paper reference: C3540 row = 3.8 | 144 patterns, 2.5 mm², 68 % | 0.25 mm², 7.5 %)");
+}

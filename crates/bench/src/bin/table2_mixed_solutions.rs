@@ -1,0 +1,59 @@
+//! **Table 2** — mixed test solutions for the larger ISCAS-85 circuits:
+//! the `(p, d)` composition of each mixed sequence with the corresponding
+//! generator cost and overhead.
+//!
+//! The paper sweeps prefix lengths per circuit (its rows run up to the
+//! pure pseudo-random `∞` row); the reproduction sweeps the same ladder
+//! and prints the same columns. The reading: every circuit exhibits the
+//! inverse length/cost relationship, and a `p ≈ 1000` point cuts the
+//! overhead by a factor of a few versus the deterministic extreme.
+//!
+//! ```text
+//! cargo run --release -p bist-bench --bin table2_mixed_solutions
+//! cargo run --release -p bist-bench --bin table2_mixed_solutions -- --circuits c3540 --quick
+//! ```
+
+use bist_bench::{banner, paper, ExperimentArgs};
+use bist_core::prelude::*;
+
+fn main() {
+    banner("Table 2", "mixed test solutions for the larger ISCAS-85 circuits");
+    let args = ExperimentArgs::parse(&paper::TABLE2_CIRCUITS);
+    let prefixes: Vec<usize> = if args.quick {
+        vec![0, 200]
+    } else {
+        vec![0, 100, 500, 1000, 2000]
+    };
+    for circuit in args.load_circuits() {
+        println!("\n=== {circuit} ===");
+        let explorer = TradeoffExplorer::new(&circuit, MixedSchemeConfig::default());
+        let summary = explorer.sweep(&prefixes).expect("flow succeeds");
+        println!(
+            "{:>8} {:>8} {:>8} {:>12} {:>12} {:>12}",
+            "p", "d", "p+d", "cost (mm2)", "incr %", "coverage %"
+        );
+        for s in summary.solutions() {
+            println!(
+                "{:>8} {:>8} {:>8} {:>12.3} {:>12.1} {:>12.2}",
+                s.prefix_len,
+                s.det_len,
+                s.total_len(),
+                s.generator_area_mm2,
+                s.overhead_pct(),
+                s.coverage.coverage_pct()
+            );
+        }
+        // the ∞ row: pure pseudo-random
+        let scheme = explorer.scheme();
+        let inf = scheme.pseudo_random_solution(5000).expect("LFSR-only");
+        println!(
+            "{:>8} {:>8} {:>8} {:>12.3} {:>12.1} {:>12.2}   (pure pseudo-random)",
+            "inf",
+            0,
+            "inf",
+            inf.generator_area_mm2,
+            inf.overhead_pct(),
+            inf.coverage.coverage_pct()
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Experiment harness for the LFSROM mixed-BIST reproduction.
+//!
+//! One binary per table/figure of the paper regenerates the corresponding
+//! data (`src/bin/fig4_random_coverage.rs` … `table2_mixed_solutions.rs`),
+//! and one Criterion bench per experiment measures the underlying kernels
+//! (`benches/`). This library holds the pieces they share: the paper's
+//! reference numbers, result formatting, and experiment configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+
+use bist_core::prelude::*;
+
+/// The default sequence-length checkpoints of the paper's Figures 4/5
+/// (its x-axis runs 0..1000).
+pub const LENGTH_CHECKPOINTS: [usize; 11] = [0, 25, 50, 100, 200, 300, 400, 500, 700, 900, 1000];
+
+/// The prefix lengths the paper sweeps for the mixed trade-off
+/// (Figures 5/7/8, Table 2).
+pub const PREFIX_SWEEP: [usize; 6] = [0, 100, 200, 500, 1000, 5000];
+
+/// Parses `--circuits a,b,c` and `--quick` style command-line arguments
+/// shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// Benchmark circuits to run on.
+    pub circuits: Vec<String>,
+    /// Reduced parameter ranges for smoke runs.
+    pub quick: bool,
+}
+
+impl ExperimentArgs {
+    /// Parses `std::env::args`, with `default_circuits` when none are
+    /// requested.
+    pub fn parse(default_circuits: &[&str]) -> Self {
+        let mut circuits: Vec<String> = Vec::new();
+        let mut quick = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--circuits" => {
+                    if let Some(list) = args.next() {
+                        circuits = list.split(',').map(str::to_owned).collect();
+                    }
+                }
+                other => eprintln!("ignoring unknown argument `{other}`"),
+            }
+        }
+        if circuits.is_empty() {
+            circuits = default_circuits.iter().map(|s| (*s).to_owned()).collect();
+        }
+        ExperimentArgs { circuits, quick }
+    }
+
+    /// Loads the requested circuits (panicking on unknown names, which is
+    /// the right behaviour for a harness binary).
+    pub fn load_circuits(&self) -> Vec<Circuit> {
+        self.circuits
+            .iter()
+            .map(|n| iscas85::circuit(n).unwrap_or_else(|| panic!("unknown circuit `{n}`")))
+            .collect()
+    }
+}
+
+/// Renders a `(length, coverage)` curve as an aligned two-column table,
+/// optionally annotated with the paper's reference points.
+pub fn format_curve(curve: &CoverageCurve, reference: &[(usize, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8}  {:>10}  {:>12}\n",
+        "length", "coverage", "paper (ref)"
+    ));
+    for &(len, cov) in curve.points() {
+        let reference_txt = reference
+            .iter()
+            .find(|(l, _)| *l == len)
+            .map(|(_, c)| format!("{c:8.1} %"))
+            .unwrap_or_else(|| "-".to_owned());
+        out.push_str(&format!("{len:>8}  {cov:9.2} %  {reference_txt:>12}\n"));
+    }
+    out
+}
+
+/// A standard banner so every experiment binary's output is self-dating
+/// and self-describing.
+pub fn banner(experiment: &str, what: &str) {
+    println!("================================================================");
+    println!("{experiment} — {what}");
+    println!("reproduction of Dufaza/Viallon/Chevalier, ED&TC 1995");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_curve_aligns_reference_points() {
+        let curve = CoverageCurve::new(vec![(0, 0.0), (200, 88.4)]);
+        let text = format_curve(&curve, &[(200, 88.4)]);
+        assert!(text.contains("88.40"));
+        assert!(text.lines().count() == 3);
+    }
+
+    #[test]
+    fn default_circuits_load() {
+        let args = ExperimentArgs {
+            circuits: vec!["c17".into()],
+            quick: true,
+        };
+        assert_eq!(args.load_circuits().len(), 1);
+    }
+}

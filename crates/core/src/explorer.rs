@@ -1,0 +1,174 @@
+use std::fmt;
+
+use bist_netlist::Circuit;
+
+use crate::scheme::{MixedScheme, MixedSchemeConfig, MixedSchemeError, MixedSolution};
+
+/// Sweeps the `(p, d)` trade-off for one circuit — the machinery behind the
+/// paper's Figures 5/7/8 and Table 2.
+///
+/// For every requested prefix length the full flow is solved (fault
+/// simulation → ATPG top-up → generator synthesis → replay verification),
+/// yielding a cost/length frontier from the pure-deterministic extreme
+/// (`p = 0`, maximal generator) towards the bare-LFSR asymptote.
+///
+/// # Example
+///
+/// ```no_run
+/// use bist_core::{MixedSchemeConfig, TradeoffExplorer};
+///
+/// let c = bist_netlist::iscas85::circuit("c3540").unwrap();
+/// let explorer = TradeoffExplorer::new(&c, MixedSchemeConfig::default());
+/// let summary = explorer.sweep(&[0, 100, 200, 500, 1000])?;
+/// for s in summary.solutions() {
+///     println!("{s}");
+/// }
+/// # Ok::<(), bist_core::MixedSchemeError>(())
+/// ```
+#[derive(Debug)]
+pub struct TradeoffExplorer<'c> {
+    scheme: MixedScheme<'c>,
+}
+
+impl<'c> TradeoffExplorer<'c> {
+    /// Creates an explorer for `circuit`.
+    pub fn new(circuit: &'c Circuit, config: MixedSchemeConfig) -> Self {
+        TradeoffExplorer {
+            scheme: MixedScheme::new(circuit, config),
+        }
+    }
+
+    /// The underlying flow.
+    pub fn scheme(&self) -> &MixedScheme<'c> {
+        &self.scheme
+    }
+
+    /// Solves the scheme for every prefix length in `prefix_lengths`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MixedSchemeError`] encountered.
+    pub fn sweep(&self, prefix_lengths: &[usize]) -> Result<ExplorerSummary, MixedSchemeError> {
+        let mut solutions = Vec::with_capacity(prefix_lengths.len());
+        for &p in prefix_lengths {
+            solutions.push(self.scheme.solve(p)?);
+        }
+        Ok(ExplorerSummary { solutions })
+    }
+}
+
+/// The result of a trade-off sweep: one [`MixedSolution`] per prefix
+/// length, with selection helpers.
+#[derive(Debug, Clone)]
+pub struct ExplorerSummary {
+    solutions: Vec<MixedSolution>,
+}
+
+impl ExplorerSummary {
+    /// All solved points, in sweep order.
+    pub fn solutions(&self) -> &[MixedSolution] {
+        &self.solutions
+    }
+
+    /// The cheapest solution (by generator area).
+    pub fn cheapest(&self) -> Option<&MixedSolution> {
+        self.solutions
+            .iter()
+            .min_by(|a, b| a.generator_area_mm2.total_cmp(&b.generator_area_mm2))
+    }
+
+    /// The shortest total sequence.
+    pub fn shortest(&self) -> Option<&MixedSolution> {
+        self.solutions.iter().min_by_key(|s| s.total_len())
+    }
+
+    /// The cheapest solution whose total sequence length stays within
+    /// `max_len` — the paper's "careful balance" selection rule.
+    pub fn cheapest_within_length(&self, max_len: usize) -> Option<&MixedSolution> {
+        self.solutions
+            .iter()
+            .filter(|s| s.total_len() <= max_len)
+            .min_by(|a, b| a.generator_area_mm2.total_cmp(&b.generator_area_mm2))
+    }
+
+    /// The cheapest solution with overhead at most `max_overhead_pct` of
+    /// the nominal chip area.
+    pub fn within_overhead(&self, max_overhead_pct: f64) -> Option<&MixedSolution> {
+        self.solutions
+            .iter()
+            .filter(|s| s.overhead_pct() <= max_overhead_pct)
+            .min_by_key(|s| s.total_len())
+    }
+}
+
+impl fmt::Display for ExplorerSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>8} {:>8} {:>8} {:>12} {:>10}",
+            "p", "d", "p+d", "cost (mm2)", "% of chip"
+        )?;
+        for s in &self.solutions {
+            writeln!(
+                f,
+                "{:>8} {:>8} {:>8} {:>12.3} {:>10.1}",
+                s.prefix_len,
+                s.det_len,
+                s.total_len(),
+                s.generator_area_mm2,
+                s.overhead_pct()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_monotone_cost_frontier_on_c432() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let explorer = TradeoffExplorer::new(&c, MixedSchemeConfig::default());
+        let summary = explorer.sweep(&[0, 100, 400]).unwrap();
+        let areas: Vec<f64> = summary
+            .solutions()
+            .iter()
+            .map(|s| s.generator_area_mm2)
+            .collect();
+        // the paper's central claim: longer mixed sequence, cheaper generator
+        assert!(
+            areas[0] > areas[2],
+            "p=0 generator ({:.3}) must cost more than p=400 ({:.3})",
+            areas[0],
+            areas[2]
+        );
+        // all points reach (essentially) the same coverage; longer
+        // prefixes may catch a few faults the ATPG aborted on, so exact
+        // equality is not guaranteed — closeness is
+        let covs: Vec<usize> = summary
+            .solutions()
+            .iter()
+            .map(|s| s.coverage.detected)
+            .collect();
+        let total = summary.solutions()[0].coverage.total();
+        let spread = covs.iter().max().unwrap() - covs.iter().min().unwrap();
+        assert!(
+            spread * 100 <= total,
+            "coverage spread {spread} too wide for universe {total}"
+        );
+    }
+
+    #[test]
+    fn selection_helpers() {
+        let c = bist_netlist::iscas85::c17();
+        let explorer = TradeoffExplorer::new(&c, MixedSchemeConfig::default());
+        let summary = explorer.sweep(&[0, 8, 32]).unwrap();
+        assert!(summary.cheapest().is_some());
+        assert_eq!(summary.shortest().unwrap().prefix_len, 0);
+        assert!(summary.cheapest_within_length(10_000).is_some());
+        let display = summary.to_string();
+        assert!(display.contains("% of chip"));
+    }
+}

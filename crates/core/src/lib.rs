@@ -1,0 +1,61 @@
+//! The mixed BIST test scheme — the paper's end-to-end contribution.
+//!
+//! A *mixed test sequence* is a pseudo-random prefix of length `p`
+//! (classical LFSR, scan-expanded for wide circuits) followed by a
+//! deterministic suffix of length `d` computed by an ATPG for exactly the
+//! faults the prefix left undetected. The corresponding *mixed hardware
+//! generator* shares one register of D flip-flops between both phases: an
+//! LFSR recurrence drives it during the prefix, a decoder recognizes the
+//! hand-over state, and from then on a synthesized LFSROM next-pattern
+//! network replays the deterministic suffix — order preserved, which the
+//! two-pattern stuck-open tests require.
+//!
+//! This crate is the workspace facade: it implements the flow
+//! ([`MixedScheme`]), the shared-register hardware ([`MixedGenerator`],
+//! verified by cycle-accurate replay) and the `(p, d)` trade-off
+//! exploration ([`TradeoffExplorer`]) behind the paper's Figures 5/7/8 and
+//! Table 2, and re-exports the substrate crates under [`prelude`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bist_core::{MixedScheme, MixedSchemeConfig};
+//!
+//! let c17 = bist_netlist::iscas85::c17();
+//! let scheme = MixedScheme::new(&c17, MixedSchemeConfig::default());
+//! let solution = scheme.solve(8)?; // 8 pseudo-random patterns, then ATPG
+//! assert!(solution.coverage.efficiency_pct() == 100.0);
+//! assert!(solution.generator.verify());
+//! # Ok::<(), bist_core::MixedSchemeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explorer;
+mod mixed;
+mod scheme;
+/// The complete simulated self-test loop of the paper's Figure 1:
+/// generator → circuit under test → MISR signature → PASS/FAIL.
+pub mod selftest;
+
+pub use explorer::{ExplorerSummary, TradeoffExplorer};
+pub use mixed::{BuildMixedError, MixedGenerator};
+pub use scheme::{MixedScheme, MixedSchemeConfig, MixedSchemeError, MixedSolution};
+
+/// One-stop re-exports of the substrate crates.
+pub mod prelude {
+    pub use bist_atpg::{AtpgOptions, TestGenerator};
+    pub use bist_fault::{Fault, FaultList, FaultStatus};
+    pub use bist_faultsim::{CoverageCurve, CoverageReport, FaultSim, Testability};
+    pub use bist_lfsr::{
+        lfsr_netlist, paper_poly, primitive_poly, pseudo_random_patterns, Lfsr, Misr, Polynomial,
+        ScanExpander,
+    };
+    pub use bist_lfsrom::LfsromGenerator;
+    pub use bist_logicsim::{PackedSim, Pattern, SeqSim};
+    pub use bist_netlist::{iscas85, Circuit, CircuitBuilder, GateKind};
+    pub use bist_synth::{AreaModel, CellCount};
+
+    pub use crate::{MixedGenerator, MixedScheme, MixedSchemeConfig, MixedSolution, TradeoffExplorer};
+}

@@ -1,0 +1,335 @@
+use std::fmt;
+
+use bist_atpg::{AtpgOptions, TestGenerator};
+use bist_fault::FaultList;
+use bist_faultsim::{CoverageCurve, CoverageReport, FaultSim};
+use bist_lfsr::{Lfsr, Polynomial, ScanExpander};
+use bist_logicsim::Pattern;
+use bist_netlist::Circuit;
+use bist_synth::AreaModel;
+
+use crate::mixed::{BuildMixedError, MixedGenerator};
+
+/// Configuration of the mixed test scheme flow.
+#[derive(Debug, Clone)]
+pub struct MixedSchemeConfig {
+    /// LFSR feedback polynomial for the pseudo-random phase (default: the
+    /// paper's degree-16 polynomial, typo corrected — see `bist-lfsr`).
+    pub poly: Polynomial,
+    /// ATPG options for the deterministic top-up.
+    pub atpg: AtpgOptions,
+    /// Area model used for all silicon cost figures.
+    pub area: AreaModel,
+}
+
+impl Default for MixedSchemeConfig {
+    fn default() -> Self {
+        MixedSchemeConfig {
+            poly: bist_lfsr::paper_poly(),
+            atpg: AtpgOptions::default(),
+            area: AreaModel::es2_1um(),
+        }
+    }
+}
+
+/// Error returned by [`MixedScheme::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixedSchemeError {
+    /// Building the hardware generator failed.
+    Build(BuildMixedError),
+}
+
+impl fmt::Display for MixedSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MixedSchemeError::Build(e) => write!(f, "generator construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MixedSchemeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MixedSchemeError::Build(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildMixedError> for MixedSchemeError {
+    fn from(e: BuildMixedError) -> Self {
+        MixedSchemeError::Build(e)
+    }
+}
+
+/// One solved point of the mixed trade-off: the tuple `(p, d)` with its
+/// coverage and silicon cost — one row of the paper's Table 2.
+#[derive(Debug, Clone)]
+pub struct MixedSolution {
+    /// Pseudo-random prefix length `p`.
+    pub prefix_len: usize,
+    /// Deterministic suffix length `d`.
+    pub det_len: usize,
+    /// Coverage over the full mixed fault universe.
+    pub coverage: CoverageReport,
+    /// Coverage reached by the pseudo-random prefix alone.
+    pub prefix_coverage: CoverageReport,
+    /// Silicon area of the mixed hardware generator, mm².
+    pub generator_area_mm2: f64,
+    /// Nominal silicon area of the circuit under test, mm².
+    pub chip_area_mm2: f64,
+    /// The verified hardware generator.
+    pub generator: MixedGenerator,
+}
+
+impl MixedSolution {
+    /// Total mixed sequence length `p + d`.
+    pub fn total_len(&self) -> usize {
+        self.prefix_len + self.det_len
+    }
+
+    /// Generator area as a percentage of the nominal chip area — the
+    /// paper's "% increase vs. chip size".
+    pub fn overhead_pct(&self) -> f64 {
+        100.0 * self.generator_area_mm2 / self.chip_area_mm2
+    }
+}
+
+impl fmt::Display for MixedSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(p={}, d={}): coverage {:.2} %, generator {:.2} mm² ({:.1} % of chip)",
+            self.prefix_len,
+            self.det_len,
+            self.coverage.coverage_pct(),
+            self.generator_area_mm2,
+            self.overhead_pct()
+        )
+    }
+}
+
+/// The end-to-end mixed BIST flow for one circuit under test.
+///
+/// For a chosen prefix length `p`: generate `p` pseudo-random patterns,
+/// fault-simulate them, run the ATPG on the surviving faults, synthesize
+/// the shared-register mixed generator for the resulting `(p, d)` pair,
+/// verify it by replay, and report coverage plus silicon cost.
+///
+/// # Example
+///
+/// ```
+/// use bist_core::{MixedScheme, MixedSchemeConfig};
+///
+/// let c17 = bist_netlist::iscas85::c17();
+/// let scheme = MixedScheme::new(&c17, MixedSchemeConfig::default());
+/// let s = scheme.solve(10)?;
+/// assert_eq!(s.prefix_len, 10);
+/// assert!(s.generator.verify());
+/// # Ok::<(), bist_core::MixedSchemeError>(())
+/// ```
+#[derive(Debug)]
+pub struct MixedScheme<'c> {
+    circuit: &'c Circuit,
+    config: MixedSchemeConfig,
+}
+
+impl<'c> MixedScheme<'c> {
+    /// Creates the flow for `circuit`.
+    pub fn new(circuit: &'c Circuit, config: MixedSchemeConfig) -> Self {
+        MixedScheme { circuit, config }
+    }
+
+    /// The circuit under test.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The flow configuration.
+    pub fn config(&self) -> &MixedSchemeConfig {
+        &self.config
+    }
+
+    /// Nominal silicon area of the circuit under test, mm².
+    pub fn chip_area_mm2(&self) -> f64 {
+        self.config.area.circuit_area_mm2(self.circuit)
+    }
+
+    /// The first `count` pseudo-random patterns of the scheme.
+    pub fn pseudo_random_patterns(&self, count: usize) -> Vec<Pattern> {
+        let lfsr = Lfsr::fibonacci(self.config.poly, 1);
+        ScanExpander::new(lfsr, self.circuit.inputs().len()).patterns(count)
+    }
+
+    /// Solves the mixed scheme for prefix length `p`.
+    ///
+    /// `p = 0` yields the pure deterministic extreme (maximal generator,
+    /// shortest sequence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixedSchemeError`] when the generator cannot be built
+    /// (e.g. the circuit needs no patterns at all — not reachable for real
+    /// fault universes).
+    pub fn solve(&self, p: usize) -> Result<MixedSolution, MixedSchemeError> {
+        let faults = FaultList::mixed_model(self.circuit);
+        let mut sim = FaultSim::new(self.circuit, faults.clone());
+        let random = self.pseudo_random_patterns(p);
+        sim.simulate(&random);
+        let prefix_coverage = sim.report();
+
+        // ATPG over the faults the prefix left open
+        let open = sim.open_faults();
+        let remaining: FaultList = open.iter().map(|(_, f)| *f).collect();
+        let run = TestGenerator::new(self.circuit, remaining, self.config.atpg).run();
+
+        // merge statuses back into the full universe
+        let mut statuses = sim.statuses().to_vec();
+        for ((orig_idx, _), status) in open.iter().zip(&run.statuses) {
+            statuses[*orig_idx] = *status;
+        }
+        let coverage = CoverageReport::from_statuses(&statuses);
+
+        let det = run.sequence();
+        let generator = MixedGenerator::build(
+            self.circuit.inputs().len(),
+            self.config.poly,
+            p,
+            &det,
+        )?;
+        debug_assert!(generator.verify(), "mixed generator failed replay");
+
+        Ok(MixedSolution {
+            prefix_len: p,
+            det_len: det.len(),
+            coverage,
+            prefix_coverage,
+            generator_area_mm2: generator.area_mm2(&self.config.area),
+            chip_area_mm2: self.chip_area_mm2(),
+            generator,
+        })
+    }
+
+    /// The pure pseudo-random extreme `(p, d = 0)`: coverage of the prefix
+    /// alone and the bare LFSR generator cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixedSchemeError`] if `p` is zero.
+    pub fn pseudo_random_solution(&self, p: usize) -> Result<MixedSolution, MixedSchemeError> {
+        let faults = FaultList::mixed_model(self.circuit);
+        let mut sim = FaultSim::new(self.circuit, faults);
+        let random = self.pseudo_random_patterns(p);
+        sim.simulate(&random);
+        let report = sim.report();
+        let generator =
+            MixedGenerator::build(self.circuit.inputs().len(), self.config.poly, p, &[])?;
+        Ok(MixedSolution {
+            prefix_len: p,
+            det_len: 0,
+            coverage: report,
+            prefix_coverage: report,
+            generator_area_mm2: generator.area_mm2(&self.config.area),
+            chip_area_mm2: self.chip_area_mm2(),
+            generator,
+        })
+    }
+
+    /// Coverage-versus-length curve of the pure pseudo-random sequence —
+    /// the paper's Figure 4. `checkpoints` must be increasing.
+    pub fn random_coverage_curve(&self, checkpoints: &[usize]) -> CoverageCurve {
+        let faults = FaultList::mixed_model(self.circuit);
+        let mut sim = FaultSim::new(self.circuit, faults);
+        let lfsr = Lfsr::fibonacci(self.config.poly, 1);
+        let mut expander = ScanExpander::new(lfsr, self.circuit.inputs().len());
+        let mut points = Vec::with_capacity(checkpoints.len());
+        let mut done = 0usize;
+        for &cp in checkpoints {
+            assert!(cp >= done, "checkpoints must be increasing");
+            if cp > done {
+                let chunk = expander.patterns(cp - done);
+                sim.simulate(&chunk);
+                done = cp;
+            }
+            points.push((cp, sim.report().coverage_pct()));
+        }
+        CoverageCurve::new(points)
+    }
+
+    /// Marks redundancy over the full universe by running the ATPG with an
+    /// empty prefix and returning the achievable ceiling (the paper's
+    /// "96.7 %" for C3540).
+    pub fn achievable_coverage_pct(&self) -> f64 {
+        let faults = FaultList::mixed_model(self.circuit);
+        let run = TestGenerator::new(self.circuit, faults, self.config.atpg).run();
+        run.report.achievable_pct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_solution_reaches_full_coverage() {
+        let c17 = bist_netlist::iscas85::c17();
+        let scheme = MixedScheme::new(&c17, MixedSchemeConfig::default());
+        for p in [0usize, 4, 16] {
+            let s = scheme.solve(p).unwrap();
+            assert_eq!(s.coverage.undetected, 0, "p={p}");
+            assert_eq!(s.coverage.efficiency_pct(), 100.0, "p={p}");
+            assert!(s.generator.verify(), "p={p}");
+            assert_eq!(s.prefix_len, p);
+        }
+    }
+
+    #[test]
+    fn longer_prefix_means_shorter_suffix() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
+        let short = scheme.solve(0).unwrap();
+        let long = scheme.solve(200).unwrap();
+        assert!(
+            long.det_len < short.det_len,
+            "d(p=200)={} must undercut d(p=0)={}",
+            long.det_len,
+            short.det_len
+        );
+        // the longer prefix reaches at least the deterministic run's
+        // coverage (it may additionally catch faults the ATPG aborted on)
+        assert!(long.coverage.detected >= short.coverage.detected);
+    }
+
+    #[test]
+    fn longer_prefix_means_cheaper_generator() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
+        let full_det = scheme.solve(0).unwrap();
+        let mixed = scheme.solve(200).unwrap();
+        assert!(
+            mixed.generator_area_mm2 < full_det.generator_area_mm2,
+            "mixed {:.3} mm² must undercut pure deterministic {:.3} mm²",
+            mixed.generator_area_mm2,
+            full_det.generator_area_mm2
+        );
+    }
+
+    #[test]
+    fn random_curve_is_monotone_and_saturating() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
+        let curve = scheme.random_coverage_curve(&[0, 25, 50, 100, 200]);
+        assert!(curve.is_monotone());
+        assert_eq!(curve.points()[0].1, 0.0);
+        assert!(curve.final_coverage().unwrap() > 50.0);
+    }
+
+    #[test]
+    fn pseudo_random_extreme() {
+        let c17 = bist_netlist::iscas85::c17();
+        let scheme = MixedScheme::new(&c17, MixedSchemeConfig::default());
+        let s = scheme.pseudo_random_solution(64).unwrap();
+        assert_eq!(s.det_len, 0);
+        assert!(s.coverage.coverage_pct() > 80.0);
+        assert!(s.generator_area_mm2 < 0.3, "a bare LFSR is cheap");
+    }
+}

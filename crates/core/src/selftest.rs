@@ -1,0 +1,165 @@
+use bist_fault::Fault;
+use bist_faultsim::serial;
+use bist_lfsr::{Misr, Polynomial};
+use bist_logicsim::{eval_pattern, Pattern};
+use bist_netlist::Circuit;
+
+/// Result of one simulated self-test session (the paper's Figure 1 loop:
+/// generator → CUT → output response analyzer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BistRun {
+    /// Final MISR signature.
+    pub signature: u64,
+    /// Number of test patterns applied.
+    pub patterns_applied: usize,
+}
+
+impl BistRun {
+    /// The PASS/FAIL verdict against a golden signature.
+    pub fn passes(&self, golden: u64) -> bool {
+        self.signature == golden
+    }
+}
+
+/// Computes the golden (fault-free) signature: every pattern is applied
+/// to the CUT and the response vector compacted into a MISR on
+/// `misr_poly`.
+///
+/// # Example
+///
+/// ```
+/// use bist_core::selftest::golden_signature;
+/// use bist_core::prelude::*;
+///
+/// let c17 = iscas85::c17();
+/// let patterns = pseudo_random_patterns(paper_poly(), 5, 20);
+/// let run = golden_signature(&c17, &patterns, paper_poly());
+/// assert_eq!(run.patterns_applied, 20);
+/// ```
+pub fn golden_signature(cut: &Circuit, patterns: &[Pattern], misr_poly: Polynomial) -> BistRun {
+    let mut misr = Misr::new(misr_poly);
+    for p in patterns {
+        let response = Pattern::from_bits(&eval_pattern(cut, p));
+        misr.absorb(&response);
+    }
+    BistRun {
+        signature: misr.signature(),
+        patterns_applied: patterns.len(),
+    }
+}
+
+/// Computes the signature of a *faulty* machine: the given fault is
+/// injected (with the correct two-pattern memory semantics for stuck-open
+/// faults) while the same sequence is applied.
+pub fn faulty_signature(
+    cut: &Circuit,
+    patterns: &[Pattern],
+    fault: Fault,
+    misr_poly: Polynomial,
+) -> BistRun {
+    let mut misr = Misr::new(misr_poly);
+    let mut prev: Option<&Pattern> = None;
+    for p in patterns {
+        let values = serial::faulty_eval(cut, fault, prev, p)
+            .unwrap_or_else(|| bist_logicsim::naive_eval(cut, &p.to_bits()));
+        let response =
+            Pattern::from_fn(cut.outputs().len(), |o| values[cut.outputs()[o].index()]);
+        misr.absorb(&response);
+        prev = Some(p);
+    }
+    BistRun {
+        signature: misr.signature(),
+        patterns_applied: patterns.len(),
+    }
+}
+
+/// Samples `sample` faults from the universe, runs the full self-test loop
+/// for each, and reports how many produce a failing signature. Detected
+/// faults can still alias in the MISR (probability ≈ `2^-k`), so the rate
+/// is bounded by, and normally within a hair of, the sequence's fault
+/// coverage.
+pub fn fail_rate(
+    cut: &Circuit,
+    patterns: &[Pattern],
+    faults: &[Fault],
+    misr_poly: Polynomial,
+    sample: usize,
+) -> f64 {
+    let golden = golden_signature(cut, patterns, misr_poly).signature;
+    let step = (faults.len() / sample.max(1)).max(1);
+    let sampled: Vec<Fault> = faults.iter().copied().step_by(step).collect();
+    if sampled.is_empty() {
+        return 0.0;
+    }
+    let failing = sampled
+        .iter()
+        .filter(|&&f| faulty_signature(cut, patterns, f, misr_poly).signature != golden)
+        .count();
+    failing as f64 / sampled.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_fault::FaultList;
+    use bist_lfsr::{paper_poly, pseudo_random_patterns};
+    use bist_netlist::iscas85;
+
+    #[test]
+    fn golden_signature_is_deterministic() {
+        let c17 = iscas85::c17();
+        let patterns = pseudo_random_patterns(paper_poly(), 5, 30);
+        let a = golden_signature(&c17, &patterns, paper_poly());
+        let b = golden_signature(&c17, &patterns, paper_poly());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_fault_fails_the_signature() {
+        let c17 = iscas85::c17();
+        // an exhaustive-ish sequence detects everything; signatures differ
+        let patterns = pseudo_random_patterns(paper_poly(), 5, 64);
+        let golden = golden_signature(&c17, &patterns, paper_poly());
+        let faults = FaultList::stuck_at_collapsed(&c17);
+        let mut failing = 0;
+        for &f in faults.iter() {
+            let run = faulty_signature(&c17, &patterns, f, paper_poly());
+            if !run.passes(golden.signature) {
+                failing += 1;
+            }
+        }
+        // all 22 collapsed faults are detected by 64 patterns and a 16-bit
+        // MISR makes aliasing (p = 2^-16 per fault) vanishingly unlikely
+        assert_eq!(failing, faults.len());
+    }
+
+    #[test]
+    fn fail_rate_tracks_coverage() {
+        let c17 = iscas85::c17();
+        let patterns = pseudo_random_patterns(paper_poly(), 5, 64);
+        let faults = FaultList::mixed_model(&c17);
+        let rate = fail_rate(&c17, &patterns, faults.faults(), paper_poly(), 40);
+        assert!(rate > 0.9, "self-test should flag nearly all faults: {rate}");
+    }
+
+    #[test]
+    fn undetected_fault_passes() {
+        // a sequence too short to detect anything interesting
+        let c17 = iscas85::c17();
+        let patterns = vec![Pattern::zeros(5)];
+        let golden = golden_signature(&c17, &patterns, paper_poly());
+        // G22 stuck-at-0: all-zero inputs drive G22 to 0 anyway
+        let g22 = c17.find("G22").unwrap();
+        let run = faulty_signature(
+            &c17,
+            &patterns,
+            Fault::StuckAt {
+                site: g22,
+                pin: None,
+                value: false,
+            },
+            paper_poly(),
+        );
+        assert!(run.passes(golden.signature));
+    }
+}

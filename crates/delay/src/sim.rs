@@ -1,0 +1,488 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bist_fault::FaultStatus;
+use bist_faultsim::CoverageReport;
+use bist_logicsim::{Pattern, PatternBlock};
+use bist_netlist::{Circuit, GateKind, NodeId};
+
+use crate::model::{TransitionFault, TransitionFaultList};
+
+/// Parallel-pattern transition-fault simulator with fault dropping.
+///
+/// Patterns are applied as one continuous sequence — exactly what a BIST
+/// generator does — so pattern `t-1` doubles as the initialization vector
+/// of pattern `t`. A [`TransitionFault`] is detected at step `t` when the
+/// faulted line transitions between `t-1` and `t` in the good machine
+/// (launch) and the line's erroneously retained value is observed at a
+/// primary output under pattern `t` (capture). The engine mirrors the
+/// PPSFP structure of [`bist_faultsim::FaultSim`]: 64 patterns per block,
+/// single-fault forward propagation over the fan-out cone, carry of the
+/// last good values across block boundaries.
+///
+/// # Example
+///
+/// ```
+/// use bist_delay::{TransitionFaultList, TransitionSim};
+/// use bist_logicsim::Pattern;
+///
+/// let c17 = bist_netlist::iscas85::c17();
+/// let faults = TransitionFaultList::universe(&c17);
+/// let mut sim = TransitionSim::new(&c17, faults);
+/// // one pattern alone launches no transition
+/// assert_eq!(sim.simulate(&[Pattern::zeros(5)]), 0);
+/// ```
+#[derive(Debug)]
+pub struct TransitionSim<'c> {
+    circuit: &'c Circuit,
+    faults: TransitionFaultList,
+    status: Vec<FaultStatus>,
+    first_detection: Vec<Option<u32>>,
+    patterns_seen: u32,
+    /// Good-machine value of every node for the last pattern of the
+    /// previous block (the launch carry).
+    last_bits: Vec<bool>,
+    // --- scratch buffers, reused across blocks ---
+    good: Vec<u64>,
+    prev: Vec<u64>,
+    fval: Vec<u64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    topo_pos: Vec<u32>,
+}
+
+impl<'c> TransitionSim<'c> {
+    /// Creates a simulator grading `faults` on `circuit`.
+    pub fn new(circuit: &'c Circuit, faults: TransitionFaultList) -> Self {
+        let n = circuit.num_nodes();
+        let mut topo_pos = vec![0u32; n];
+        for (pos, &id) in circuit.topo_order().iter().enumerate() {
+            topo_pos[id.index()] = pos as u32;
+        }
+        let len = faults.len();
+        TransitionSim {
+            circuit,
+            faults,
+            status: vec![FaultStatus::Undetected; len],
+            first_detection: vec![None; len],
+            patterns_seen: 0,
+            last_bits: vec![false; n],
+            good: vec![0; n],
+            prev: vec![0; n],
+            fval: vec![0; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            topo_pos,
+        }
+    }
+
+    /// The circuit under test.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The fault universe being graded.
+    pub fn faults(&self) -> &TransitionFaultList {
+        &self.faults
+    }
+
+    /// Status of fault `index`.
+    pub fn status_of(&self, index: usize) -> FaultStatus {
+        self.status[index]
+    }
+
+    /// All statuses, parallel to [`TransitionSim::faults`].
+    pub fn statuses(&self) -> &[FaultStatus] {
+        &self.status
+    }
+
+    /// Overrides the status of fault `index` (the delay ATPG uses this for
+    /// redundant / aborted bookkeeping).
+    pub fn set_status(&mut self, index: usize, status: FaultStatus) {
+        self.status[index] = status;
+    }
+
+    /// Global index of the first pattern whose capture detected fault
+    /// `index`.
+    pub fn first_detection(&self, index: usize) -> Option<u32> {
+        self.first_detection[index]
+    }
+
+    /// Number of patterns consumed so far.
+    pub fn patterns_seen(&self) -> u32 {
+        self.patterns_seen
+    }
+
+    /// Forgets all grading results and the sequence position.
+    pub fn reset(&mut self) {
+        self.status.fill(FaultStatus::Undetected);
+        self.first_detection.fill(None);
+        self.patterns_seen = 0;
+        self.last_bits.fill(false);
+    }
+
+    /// Grades `patterns` (in order, continuing any previously fed
+    /// sequence). Returns the number of newly detected faults.
+    pub fn simulate(&mut self, patterns: &[Pattern]) -> usize {
+        let mut newly = 0;
+        for chunk in patterns.chunks(64) {
+            let block = PatternBlock::pack(self.circuit, chunk);
+            newly += self.simulate_block(&block);
+        }
+        newly
+    }
+
+    /// Coverage summary over the whole universe.
+    pub fn report(&self) -> CoverageReport {
+        CoverageReport::from_statuses(&self.status)
+    }
+
+    /// The faults still open (undetected or aborted), with their indices.
+    pub fn open_faults(&self) -> Vec<(usize, TransitionFault)> {
+        self.faults
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.status[*i].is_open())
+            .map(|(i, f)| (i, *f))
+            .collect()
+    }
+
+    fn simulate_block(&mut self, block: &PatternBlock) -> usize {
+        let valid = block.valid_mask();
+        self.good_simulate(block);
+        let first_ever = self.patterns_seen == 0;
+        for (i, g) in self.good.iter().enumerate() {
+            let carry = if first_ever {
+                g & 1 // pattern 0 has no predecessor: prev := self (no launch)
+            } else {
+                u64::from(self.last_bits[i])
+            };
+            self.prev[i] = (g << 1) | carry;
+        }
+        let last = block.count() - 1;
+        for (i, g) in self.good.iter().enumerate() {
+            self.last_bits[i] = (g >> last) & 1 == 1;
+        }
+
+        let mut newly = 0;
+        for fi in 0..self.faults.len() {
+            if self.status[fi] != FaultStatus::Undetected {
+                continue;
+            }
+            let fault = *self.faults.get(fi).expect("index in range");
+            if let Some(mask) = self.try_detect(fault, valid) {
+                let first = mask.trailing_zeros();
+                self.status[fi] = FaultStatus::Detected;
+                self.first_detection[fi] = Some(self.patterns_seen + first);
+                newly += 1;
+            }
+        }
+        self.patterns_seen += block.count() as u32;
+        newly
+    }
+
+    fn good_simulate(&mut self, block: &PatternBlock) {
+        for (i, &pi) in self.circuit.inputs().iter().enumerate() {
+            self.good[pi.index()] = block.input_word(i);
+        }
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        for &id in self.circuit.topo_order() {
+            let node = self.circuit.node(id);
+            match node.kind() {
+                GateKind::Input => {}
+                GateKind::Dff => self.good[id.index()] = 0,
+                kind => {
+                    fanin_buf.clear();
+                    fanin_buf.extend(node.fanin().iter().map(|f| self.good[f.index()]));
+                    self.good[id.index()] = kind.eval_word(&fanin_buf);
+                }
+            }
+        }
+    }
+
+    /// Word of patterns where the faulted line launches its transition:
+    /// driver held the initial value at `t-1` and the final value at `t`.
+    fn launch_mask(&self, fault: TransitionFault) -> u64 {
+        let driver = fault.driver(self.circuit);
+        let g = self.good[driver.index()];
+        let before = self.prev[driver.index()];
+        let init = fault.initial_value();
+        let was_init = if init { before } else { !before };
+        let is_final = if init { !g } else { g };
+        was_init & is_final
+    }
+
+    /// Computes the faulty value at the effect site for this block, or
+    /// `None` if the fault changes nothing.
+    fn seed_value(&self, fault: TransitionFault, valid: u64) -> Option<(NodeId, u64)> {
+        let excite = self.launch_mask(fault);
+        if excite & valid == 0 {
+            return None;
+        }
+        let init_word = if fault.initial_value() { !0u64 } else { 0 };
+        match fault.pin {
+            None => {
+                // The stem erroneously retains the initial value where
+                // excited; elsewhere it follows the good machine.
+                let g = self.good[fault.site.index()];
+                let fv = (g & !excite) | (init_word & excite);
+                let diff = (fv ^ g) & valid;
+                (diff != 0).then_some((fault.site, fv))
+            }
+            Some(p) => {
+                // Only the branch into pin `p` is late: re-evaluate the gate
+                // with that pin forced to the initial value where excited.
+                let node = self.circuit.node(fault.site);
+                let fanin: Vec<u64> = node
+                    .fanin()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, f)| {
+                        let g = self.good[f.index()];
+                        if k == p as usize {
+                            (g & !excite) | (init_word & excite)
+                        } else {
+                            g
+                        }
+                    })
+                    .collect();
+                let fv = node.kind().eval_word(&fanin);
+                let g = self.good[fault.site.index()];
+                let diff = (fv ^ g) & valid;
+                (diff != 0).then_some((fault.site, fv))
+            }
+        }
+    }
+
+    /// Injects `fault` and propagates through its fan-out cone; returns the
+    /// mask of patterns detecting it at a primary output, or `None`.
+    fn try_detect(&mut self, fault: TransitionFault, valid: u64) -> Option<u64> {
+        let (site, seed) = self.seed_value(fault, valid)?;
+
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        self.fval[site.index()] = seed;
+        self.stamp[site.index()] = epoch;
+        let mut detect = 0u64;
+        if self.circuit.is_output(site) {
+            detect |= (seed ^ self.good[site.index()]) & valid;
+        }
+        for &s in self.circuit.fanout(site) {
+            heap.push(Reverse((self.topo_pos[s.index()], s.index() as u32)));
+        }
+
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        let mut last_popped = u32::MAX;
+        while let Some(Reverse((pos, idx))) = heap.pop() {
+            if pos == last_popped {
+                continue;
+            }
+            last_popped = pos;
+            let id = NodeId::from_index(idx as usize);
+            let node = self.circuit.node(id);
+            if !node.kind().is_combinational() {
+                continue;
+            }
+            fanin_buf.clear();
+            fanin_buf.extend(node.fanin().iter().map(|f| {
+                if self.stamp[f.index()] == epoch {
+                    self.fval[f.index()]
+                } else {
+                    self.good[f.index()]
+                }
+            }));
+            let fv = node.kind().eval_word(&fanin_buf);
+            if fv == self.good[id.index()] {
+                continue;
+            }
+            self.fval[id.index()] = fv;
+            self.stamp[id.index()] = epoch;
+            if self.circuit.is_output(id) {
+                detect |= (fv ^ self.good[id.index()]) & valid;
+            }
+            for &s in self.circuit.fanout(id) {
+                heap.push(Reverse((self.topo_pos[s.index()], s.index() as u32)));
+            }
+        }
+        (detect != 0).then_some(detect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Transition;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn random_sequence(width: usize, count: usize, seed: u64) -> Vec<Pattern> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| Pattern::random(&mut rng, width)).collect()
+    }
+
+    #[test]
+    fn c17_random_sequence_reaches_full_transition_coverage() {
+        let c17 = bist_netlist::iscas85::c17();
+        let faults = TransitionFaultList::universe(&c17);
+        let total = faults.len();
+        let mut sim = TransitionSim::new(&c17, faults);
+        sim.simulate(&random_sequence(5, 3000, 7));
+        assert_eq!(
+            sim.report().detected,
+            total,
+            "c17 transition faults are all two-pattern testable"
+        );
+    }
+
+    #[test]
+    fn single_pattern_detects_nothing() {
+        let c17 = bist_netlist::iscas85::c17();
+        let faults = TransitionFaultList::universe(&c17);
+        let mut sim = TransitionSim::new(&c17, faults);
+        assert_eq!(sim.simulate(&[Pattern::from_fn(5, |_| true)]), 0);
+    }
+
+    #[test]
+    fn repeated_pattern_launches_nothing() {
+        let c17 = bist_netlist::iscas85::c17();
+        let faults = TransitionFaultList::universe(&c17);
+        let mut sim = TransitionSim::new(&c17, faults);
+        let p = Pattern::from_fn(5, |i| i % 2 == 0);
+        assert_eq!(sim.simulate(&[p.clone(), p.clone(), p]), 0);
+    }
+
+    #[test]
+    fn hand_checked_buffer_chain() {
+        // a -> buf -> y : slow-to-rise at "a" is detected exactly by the
+        // ordered pair (0, 1); slow-to-fall by (1, 0).
+        use bist_netlist::CircuitBuilder;
+        let mut b = CircuitBuilder::new("chain");
+        b.add_input("a").unwrap();
+        b.add_gate("y", GateKind::Buf, &["a"]).unwrap();
+        b.mark_output("y").unwrap();
+        let c = b.build().unwrap();
+        let a = c.find("a").unwrap();
+
+        let rise: TransitionFaultList =
+            [TransitionFault::stem(a, Transition::SlowToRise)].into_iter().collect();
+        let mut sim = TransitionSim::new(&c, rise.clone());
+        let zero = Pattern::from_bits(&[false]);
+        let one = Pattern::from_bits(&[true]);
+        sim.simulate(&[zero.clone(), one.clone()]);
+        assert_eq!(sim.report().detected, 1);
+        assert_eq!(sim.first_detection(0), Some(1), "capture happens at t=1");
+
+        let mut sim = TransitionSim::new(&c, rise);
+        sim.simulate(&[one.clone(), zero.clone()]);
+        assert_eq!(sim.report().detected, 0, "falling pair cannot launch a rise");
+
+        let fall: TransitionFaultList =
+            [TransitionFault::stem(a, Transition::SlowToFall)].into_iter().collect();
+        let mut sim = TransitionSim::new(&c, fall);
+        sim.simulate(&[one, zero]);
+        assert_eq!(sim.report().detected, 1);
+    }
+
+    #[test]
+    fn branch_fault_requires_propagation_through_its_gate_only() {
+        // stem s fans out to AND(s, en) and to output y2 = BUF(s).
+        // The branch fault s->AND slow-to-rise needs en=1 at capture;
+        // the stem fault is observable through the buffer regardless.
+        use bist_netlist::CircuitBuilder;
+        let mut b = CircuitBuilder::new("fan");
+        b.add_input("s").unwrap();
+        b.add_input("en").unwrap();
+        b.add_gate("y1", GateKind::And, &["s", "en"]).unwrap();
+        b.add_gate("y2", GateKind::Buf, &["s"]).unwrap();
+        b.mark_output("y1").unwrap();
+        b.mark_output("y2").unwrap();
+        let c = b.build().unwrap();
+        let y1 = c.find("y1").unwrap();
+        let s = c.find("s").unwrap();
+
+        let faults: TransitionFaultList = [
+            TransitionFault::branch(y1, 0, Transition::SlowToRise),
+            TransitionFault::stem(s, Transition::SlowToRise),
+        ]
+        .into_iter()
+        .collect();
+
+        // launch s: 0 -> 1 with en=0 at capture: branch undetected, stem
+        // detected via y2
+        let mut sim = TransitionSim::new(&c, faults.clone());
+        sim.simulate(&[
+            Pattern::from_bits(&[false, false]),
+            Pattern::from_bits(&[true, false]),
+        ]);
+        assert_eq!(sim.status_of(0), FaultStatus::Undetected);
+        assert_eq!(sim.status_of(1), FaultStatus::Detected);
+
+        // same launch with en=1 at capture: both detected
+        let mut sim = TransitionSim::new(&c, faults);
+        sim.simulate(&[
+            Pattern::from_bits(&[false, true]),
+            Pattern::from_bits(&[true, true]),
+        ]);
+        assert_eq!(sim.status_of(0), FaultStatus::Detected);
+        assert_eq!(sim.status_of(1), FaultStatus::Detected);
+    }
+
+    #[test]
+    fn chunked_equals_monolithic() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let faults = TransitionFaultList::universe(&c);
+        let patterns = random_sequence(c.inputs().len(), 300, 42);
+
+        let mut mono = TransitionSim::new(&c, faults.clone());
+        mono.simulate(&patterns);
+
+        let mut chunked = TransitionSim::new(&c, faults);
+        for chunk in patterns.chunks(37) {
+            chunked.simulate(chunk);
+        }
+        assert_eq!(mono.statuses(), chunked.statuses());
+        for i in 0..mono.faults().len() {
+            assert_eq!(mono.first_detection(i), chunked.first_detection(i), "fault {i}");
+        }
+    }
+
+    #[test]
+    fn transition_coverage_lags_stuck_at_coverage() {
+        // the paper's premise: the same random sequence detects fewer
+        // delay faults than stuck-at faults (two-pattern tests are rarer)
+        let c = bist_netlist::iscas85::circuit("c880").unwrap();
+        let patterns = random_sequence(c.inputs().len(), 128, 880);
+
+        let tf = TransitionFaultList::universe(&c);
+        let mut tsim = TransitionSim::new(&c, tf);
+        tsim.simulate(&patterns);
+
+        let sa = bist_fault::FaultList::stuck_at_collapsed(&c);
+        let mut ssim = bist_faultsim::FaultSim::new(&c, sa);
+        ssim.simulate(&patterns);
+
+        assert!(
+            tsim.report().coverage_pct() < ssim.report().coverage_pct(),
+            "transition {:.2}% vs stuck-at {:.2}%",
+            tsim.report().coverage_pct(),
+            ssim.report().coverage_pct()
+        );
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let c17 = bist_netlist::iscas85::c17();
+        let faults = TransitionFaultList::universe(&c17);
+        let mut sim = TransitionSim::new(&c17, faults);
+        sim.simulate(&random_sequence(5, 100, 1));
+        assert!(sim.report().detected > 0);
+        sim.reset();
+        assert_eq!(sim.report().detected, 0);
+        assert_eq!(sim.patterns_seen(), 0);
+    }
+}

@@ -1,0 +1,486 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bist_fault::{Fault, FaultList, FaultStatus};
+use bist_logicsim::{Pattern, PatternBlock};
+use bist_netlist::{Circuit, GateKind, NodeId};
+
+/// Parallel-pattern single-fault-propagation simulator with fault dropping.
+///
+/// Create one per (circuit, fault list) pair, feed it patterns with
+/// [`FaultSim::simulate`] — in one call or incrementally; the engine keeps
+/// the sequence position and the previous pattern, so stuck-open pairs
+/// spanning call boundaries are honoured — then read results via
+/// [`FaultSim::report`], [`FaultSim::status_of`] and
+/// [`FaultSim::first_detection`].
+#[derive(Debug)]
+pub struct FaultSim<'c> {
+    circuit: &'c Circuit,
+    faults: FaultList,
+    status: Vec<FaultStatus>,
+    /// Global index of the first pattern that detected each fault.
+    first_detection: Vec<Option<u32>>,
+    /// Patterns consumed so far (across all `simulate` calls).
+    patterns_seen: u32,
+    /// Good-machine value of every node for the last pattern of the
+    /// previous block (the stuck-open carry).
+    last_bits: Vec<bool>,
+    // --- scratch buffers, reused across blocks ---
+    good: Vec<u64>,
+    prev: Vec<u64>,
+    fval: Vec<u64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    topo_pos: Vec<u32>,
+}
+
+impl<'c> FaultSim<'c> {
+    /// Creates a simulator grading `faults` on `circuit`.
+    pub fn new(circuit: &'c Circuit, faults: FaultList) -> Self {
+        let n = circuit.num_nodes();
+        let mut topo_pos = vec![0u32; n];
+        for (pos, &id) in circuit.topo_order().iter().enumerate() {
+            topo_pos[id.index()] = pos as u32;
+        }
+        let len = faults.len();
+        FaultSim {
+            circuit,
+            faults,
+            status: vec![FaultStatus::Undetected; len],
+            first_detection: vec![None; len],
+            patterns_seen: 0,
+            last_bits: vec![false; n],
+            good: vec![0; n],
+            prev: vec![0; n],
+            fval: vec![0; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            topo_pos,
+        }
+    }
+
+    /// The circuit under test.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The fault universe being graded.
+    pub fn faults(&self) -> &FaultList {
+        &self.faults
+    }
+
+    /// Status of fault `index`.
+    pub fn status_of(&self, index: usize) -> FaultStatus {
+        self.status[index]
+    }
+
+    /// All statuses, parallel to [`FaultSim::faults`].
+    pub fn statuses(&self) -> &[FaultStatus] {
+        &self.status
+    }
+
+    /// Overrides the status of fault `index` (the ATPG uses this to mark
+    /// redundant or aborted faults).
+    pub fn set_status(&mut self, index: usize, status: FaultStatus) {
+        self.status[index] = status;
+    }
+
+    /// Global index (0-based position in the full sequence fed so far) of
+    /// the first pattern that detected fault `index`.
+    pub fn first_detection(&self, index: usize) -> Option<u32> {
+        self.first_detection[index]
+    }
+
+    /// Number of patterns consumed so far.
+    pub fn patterns_seen(&self) -> u32 {
+        self.patterns_seen
+    }
+
+    /// Forgets all grading results and the sequence position.
+    pub fn reset(&mut self) {
+        self.status.fill(FaultStatus::Undetected);
+        self.first_detection.fill(None);
+        self.patterns_seen = 0;
+        self.last_bits.fill(false);
+    }
+
+    /// Grades `patterns` (in order, continuing any previously fed
+    /// sequence). Returns the number of newly detected faults.
+    pub fn simulate(&mut self, patterns: &[Pattern]) -> usize {
+        let mut newly = 0;
+        for chunk in patterns.chunks(64) {
+            let block = PatternBlock::pack(self.circuit, chunk);
+            newly += self.simulate_block(&block);
+        }
+        newly
+    }
+
+    /// Coverage summary over the whole universe.
+    pub fn report(&self) -> crate::CoverageReport {
+        crate::CoverageReport::from_statuses(&self.status)
+    }
+
+    /// The faults that are still open (undetected or aborted), with their
+    /// indices in the original universe.
+    pub fn open_faults(&self) -> Vec<(usize, Fault)> {
+        self.faults
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.status[*i].is_open())
+            .map(|(i, f)| (i, *f))
+            .collect()
+    }
+
+    fn simulate_block(&mut self, block: &PatternBlock) -> usize {
+        let valid = block.valid_mask();
+        self.good_simulate(block);
+        // previous-pattern words: bit j of prev = bit j-1 of good, with the
+        // carry from the previous block in bit 0
+        let first_ever = self.patterns_seen == 0;
+        for (i, g) in self.good.iter().enumerate() {
+            let carry = if first_ever {
+                g & 1 // pattern 0 has no predecessor: prev := self (kills excitation)
+            } else {
+                u64::from(self.last_bits[i])
+            };
+            self.prev[i] = (g << 1) | carry;
+        }
+        // stash the carry for the next block
+        let last = block.count() - 1;
+        for (i, g) in self.good.iter().enumerate() {
+            self.last_bits[i] = (g >> last) & 1 == 1;
+        }
+
+        let mut newly = 0;
+        for fi in 0..self.faults.len() {
+            if self.status[fi] != FaultStatus::Undetected {
+                continue;
+            }
+            let fault = *self.faults.get(fi).expect("index in range");
+            if let Some(mask) = self.try_detect(fault, valid) {
+                let first = mask.trailing_zeros();
+                self.status[fi] = FaultStatus::Detected;
+                self.first_detection[fi] = Some(self.patterns_seen + first);
+                newly += 1;
+            }
+        }
+        self.patterns_seen += block.count() as u32;
+        newly
+    }
+
+    fn good_simulate(&mut self, block: &PatternBlock) {
+        for (i, &pi) in self.circuit.inputs().iter().enumerate() {
+            self.good[pi.index()] = block.input_word(i);
+        }
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        for &id in self.circuit.topo_order() {
+            let node = self.circuit.node(id);
+            match node.kind() {
+                GateKind::Input => {}
+                GateKind::Dff => self.good[id.index()] = 0,
+                kind => {
+                    fanin_buf.clear();
+                    fanin_buf.extend(node.fanin().iter().map(|f| self.good[f.index()]));
+                    self.good[id.index()] = kind.eval_word(&fanin_buf);
+                }
+            }
+        }
+    }
+
+    /// Computes the faulty seed value at the fault site, or `None` if the
+    /// fault cannot change anything in this block.
+    fn seed_value(&self, fault: Fault, valid: u64) -> Option<(NodeId, u64)> {
+        match fault {
+            Fault::StuckAt {
+                site,
+                pin: None,
+                value,
+            } => {
+                let forced = if value { !0u64 } else { 0 };
+                let diff = (self.good[site.index()] ^ forced) & valid;
+                (diff != 0).then_some((site, forced))
+            }
+            Fault::StuckAt {
+                site,
+                pin: Some(p),
+                value,
+            } => {
+                let node = self.circuit.node(site);
+                let forced = if value { !0u64 } else { 0 };
+                let fanin: Vec<u64> = node
+                    .fanin()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, f)| {
+                        if k == p as usize {
+                            forced
+                        } else {
+                            self.good[f.index()]
+                        }
+                    })
+                    .collect();
+                let fv = node.kind().eval_word(&fanin);
+                let diff = (fv ^ self.good[site.index()]) & valid;
+                (diff != 0).then_some((site, fv))
+            }
+            Fault::OpenSeries { site } => {
+                let excite = self.series_excitation(site);
+                self.memory_seed(site, excite, valid)
+            }
+            Fault::OpenParallel { site, pin } => {
+                let excite = self.parallel_excitation(site, pin);
+                self.memory_seed(site, excite, valid)
+            }
+            Fault::OpenRise { site } => {
+                let g = self.good[site.index()];
+                let excite = g & !self.prev[site.index()];
+                self.memory_seed(site, excite, valid)
+            }
+            Fault::OpenFall { site } => {
+                let g = self.good[site.index()];
+                let excite = !g & self.prev[site.index()];
+                self.memory_seed(site, excite, valid)
+            }
+        }
+    }
+
+    /// Faulty value of a stuck-open site: the output retains its previous
+    /// good value wherever the fault is excited.
+    fn memory_seed(&self, site: NodeId, excite: u64, valid: u64) -> Option<(NodeId, u64)> {
+        let g = self.good[site.index()];
+        let fv = (g & !excite) | (self.prev[site.index()] & excite);
+        let diff = (fv ^ g) & valid;
+        (diff != 0).then_some((site, fv))
+    }
+
+    /// Mask of patterns where *all* inputs of `site` hold the
+    /// non-controlling value at `t` but not at `t-1` (series-open
+    /// excitation).
+    fn series_excitation(&self, site: NodeId) -> u64 {
+        let node = self.circuit.node(site);
+        let c = match node.kind().controlling_value() {
+            Some(c) => c,
+            None => return 0,
+        };
+        let mut all_nc_now = !0u64;
+        let mut all_nc_prev = !0u64;
+        for f in node.fanin() {
+            let now = self.good[f.index()];
+            let before = self.prev[f.index()];
+            // non-controlling: value != c
+            all_nc_now &= if c { !now } else { now };
+            all_nc_prev &= if c { !before } else { before };
+        }
+        all_nc_now & !all_nc_prev
+    }
+
+    /// Mask of patterns where pin `p` is the only controlling input at `t`
+    /// and all inputs were non-controlling at `t-1` (parallel-open
+    /// excitation).
+    fn parallel_excitation(&self, site: NodeId, p: u8) -> u64 {
+        let node = self.circuit.node(site);
+        let c = match node.kind().controlling_value() {
+            Some(c) => c,
+            None => return 0,
+        };
+        let mut only_p_now = !0u64;
+        let mut all_nc_prev = !0u64;
+        for (k, f) in node.fanin().iter().enumerate() {
+            let now = self.good[f.index()];
+            let before = self.prev[f.index()];
+            if k == p as usize {
+                only_p_now &= if c { now } else { !now };
+            } else {
+                only_p_now &= if c { !now } else { now };
+            }
+            all_nc_prev &= if c { !before } else { before };
+        }
+        only_p_now & all_nc_prev
+    }
+
+    /// Injects `fault` and propagates through its fan-out cone; returns the
+    /// mask of patterns detecting it at a primary output, or `None`.
+    fn try_detect(&mut self, fault: Fault, valid: u64) -> Option<u64> {
+        let (site, seed) = self.seed_value(fault, valid)?;
+
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        self.fval[site.index()] = seed;
+        self.stamp[site.index()] = epoch;
+        let mut detect = 0u64;
+        if self.circuit.is_output(site) {
+            detect |= (seed ^ self.good[site.index()]) & valid;
+        }
+        for &s in self.circuit.fanout(site) {
+            heap.push(Reverse((self.topo_pos[s.index()], s.index() as u32)));
+        }
+
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        let mut last_popped = u32::MAX;
+        while let Some(Reverse((pos, idx))) = heap.pop() {
+            if pos == last_popped {
+                continue; // duplicate entry for the same node
+            }
+            last_popped = pos;
+            let id = NodeId::from_index(idx as usize);
+            let node = self.circuit.node(id);
+            if !node.kind().is_combinational() {
+                continue;
+            }
+            fanin_buf.clear();
+            fanin_buf.extend(node.fanin().iter().map(|f| {
+                if self.stamp[f.index()] == epoch {
+                    self.fval[f.index()]
+                } else {
+                    self.good[f.index()]
+                }
+            }));
+            let fv = node.kind().eval_word(&fanin_buf);
+            if fv == self.good[id.index()] {
+                continue; // fault effect died here
+            }
+            self.fval[id.index()] = fv;
+            self.stamp[id.index()] = epoch;
+            if self.circuit.is_output(id) {
+                detect |= (fv ^ self.good[id.index()]) & valid;
+            }
+            for &s in self.circuit.fanout(id) {
+                heap.push(Reverse((self.topo_pos[s.index()], s.index() as u32)));
+            }
+        }
+        (detect != 0).then_some(detect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_fault::FaultList;
+
+    fn exhaustive_patterns(width: usize) -> Vec<Pattern> {
+        (0u32..(1 << width))
+            .map(|v| Pattern::from_fn(width, |i| (v >> i) & 1 == 1))
+            .collect()
+    }
+
+    #[test]
+    fn c17_stuck_at_full_coverage() {
+        let c17 = bist_netlist::iscas85::c17();
+        let faults = FaultList::stuck_at_collapsed(&c17);
+        let total = faults.len();
+        let mut sim = FaultSim::new(&c17, faults);
+        let newly = sim.simulate(&exhaustive_patterns(5));
+        assert_eq!(newly, total, "all 22 collapsed faults detectable");
+    }
+
+    #[test]
+    fn c17_stuck_open_coverage_with_transitions() {
+        let c17 = bist_netlist::iscas85::c17();
+        let faults = FaultList::stuck_open(&c17);
+        let mut sim = FaultSim::new(&c17, faults);
+        // a long random sequence supplies every needed transition pair
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let seq: Vec<Pattern> = (0..2000).map(|_| Pattern::random(&mut rng, 5)).collect();
+        sim.simulate(&seq);
+        let rep = sim.report();
+        // NAND-only circuit: all stuck-open faults are two-pattern testable
+        assert_eq!(
+            rep.coverage_pct(),
+            100.0,
+            "stuck-open coverage too low: {}",
+            rep.coverage_pct()
+        );
+    }
+
+    #[test]
+    fn first_pattern_cannot_detect_stuck_open() {
+        let c17 = bist_netlist::iscas85::c17();
+        let faults = FaultList::stuck_open(&c17);
+        let mut sim = FaultSim::new(&c17, faults);
+        // a single pattern has no predecessor: nothing may be detected
+        let newly = sim.simulate(&[Pattern::from_fn(5, |_| true)]);
+        assert_eq!(newly, 0);
+    }
+
+    #[test]
+    fn chunked_equals_monolithic() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let faults = FaultList::mixed_model(&c);
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let patterns: Vec<Pattern> = (0..300)
+            .map(|_| Pattern::random(&mut rng, c.inputs().len()))
+            .collect();
+
+        let mut mono = FaultSim::new(&c, faults.clone());
+        mono.simulate(&patterns);
+
+        let mut chunked = FaultSim::new(&c, faults);
+        for chunk in patterns.chunks(37) {
+            chunked.simulate(chunk);
+        }
+        assert_eq!(mono.statuses(), chunked.statuses());
+        for i in 0..mono.faults().len() {
+            assert_eq!(mono.first_detection(i), chunked.first_detection(i), "fault {i}");
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let c17 = bist_netlist::iscas85::c17();
+        let faults = FaultList::stuck_at_collapsed(&c17);
+        let mut sim = FaultSim::new(&c17, faults);
+        sim.simulate(&exhaustive_patterns(5));
+        assert!(sim.report().detected > 0);
+        sim.reset();
+        assert_eq!(sim.report().detected, 0);
+        assert_eq!(sim.patterns_seen(), 0);
+    }
+
+    #[test]
+    fn planted_redundant_faults_stay_undetected() {
+        // OR(a, AND(a, b)): AND-output stuck-at-0 is redundant.
+        use bist_netlist::CircuitBuilder;
+        let mut b = CircuitBuilder::new("red");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate("t", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("r", GateKind::Or, &["a", "t"]).unwrap();
+        b.mark_output("r").unwrap();
+        let c = b.build().unwrap();
+        let t = c.find("t").unwrap();
+        let faults: FaultList = [Fault::StuckAt {
+            site: t,
+            pin: None,
+            value: false,
+        }]
+        .into_iter()
+        .collect();
+        let mut sim = FaultSim::new(&c, faults);
+        sim.simulate(&exhaustive_patterns(2));
+        assert_eq!(sim.report().detected, 0, "redundant fault must not be detected");
+    }
+
+    #[test]
+    fn detection_indices_are_global() {
+        let c17 = bist_netlist::iscas85::c17();
+        let faults = FaultList::stuck_at_collapsed(&c17);
+        let mut sim = FaultSim::new(&c17, faults);
+        let all = exhaustive_patterns(5);
+        sim.simulate(&all[..3]);
+        sim.simulate(&all[3..]);
+        let max_idx = (0..sim.faults().len())
+            .filter_map(|i| sim.first_detection(i))
+            .max()
+            .unwrap();
+        assert!(max_idx >= 3, "later chunks must report global indices");
+        assert_eq!(sim.patterns_seen(), 32);
+    }
+}

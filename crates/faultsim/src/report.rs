@@ -1,0 +1,177 @@
+use std::fmt;
+
+use bist_fault::FaultStatus;
+
+/// Coverage summary over a fault universe.
+///
+/// Two figures of merit are reported, matching the paper's conventions:
+///
+/// * [`CoverageReport::coverage_pct`] — detected / total. This is what
+///   Figure 4 plots; it saturates *below* 100 % on circuits with redundant
+///   faults (96.7 % for C3540 in the paper).
+/// * [`CoverageReport::efficiency_pct`] — detected / (total − redundant),
+///   the ATPG-style metric that reaches 100 % when everything testable is
+///   covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Faults detected by the graded sequence.
+    pub detected: usize,
+    /// Faults proven untestable.
+    pub redundant: usize,
+    /// Faults the ATPG gave up on.
+    pub aborted: usize,
+    /// Faults still undetected (and not proven redundant).
+    pub undetected: usize,
+}
+
+impl CoverageReport {
+    /// Builds a report by counting statuses.
+    pub fn from_statuses(statuses: &[FaultStatus]) -> Self {
+        let mut r = CoverageReport {
+            detected: 0,
+            redundant: 0,
+            aborted: 0,
+            undetected: 0,
+        };
+        for s in statuses {
+            match s {
+                FaultStatus::Detected => r.detected += 1,
+                FaultStatus::Redundant => r.redundant += 1,
+                FaultStatus::Aborted => r.aborted += 1,
+                FaultStatus::Undetected => r.undetected += 1,
+            }
+        }
+        r
+    }
+
+    /// Total number of faults in the universe.
+    pub fn total(&self) -> usize {
+        self.detected + self.redundant + self.aborted + self.undetected
+    }
+
+    /// Raw fault coverage: detected / total, in percent.
+    pub fn coverage_pct(&self) -> f64 {
+        if self.total() == 0 {
+            return 100.0;
+        }
+        100.0 * self.detected as f64 / self.total() as f64
+    }
+
+    /// Test efficiency: detected / (total − redundant), in percent. The
+    /// ceiling of [`CoverageReport::coverage_pct`] once redundancy is
+    /// proven.
+    pub fn efficiency_pct(&self) -> f64 {
+        let testable = self.total() - self.redundant;
+        if testable == 0 {
+            return 100.0;
+        }
+        100.0 * self.detected as f64 / testable as f64
+    }
+
+    /// The maximum achievable coverage_pct given the proven redundancy —
+    /// the paper's "96.7 %" ceiling for C3540.
+    pub fn achievable_pct(&self) -> f64 {
+        if self.total() == 0 {
+            return 100.0;
+        }
+        100.0 * (self.total() - self.redundant) as f64 / self.total() as f64
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} detected ({:.2} %), {} redundant, {} aborted, {} undetected",
+            self.detected,
+            self.total(),
+            self.coverage_pct(),
+            self.redundant,
+            self.aborted,
+            self.undetected
+        )
+    }
+}
+
+/// A coverage-versus-sequence-length curve: the data behind the paper's
+/// Figure 4 (pure pseudo-random) and Figure 5 (mixed sequences).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageCurve {
+    points: Vec<(usize, f64)>,
+}
+
+impl CoverageCurve {
+    /// Builds a curve from `(sequence length, coverage %)` points.
+    pub fn new(points: Vec<(usize, f64)>) -> Self {
+        CoverageCurve { points }
+    }
+
+    /// The `(length, coverage %)` points, in increasing length order.
+    pub fn points(&self) -> &[(usize, f64)] {
+        &self.points
+    }
+
+    /// Coverage at the longest measured length.
+    pub fn final_coverage(&self) -> Option<f64> {
+        self.points.last().map(|&(_, c)| c)
+    }
+
+    /// The shortest measured length reaching at least `target` percent.
+    pub fn length_for(&self, target: f64) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|&&(_, c)| c >= target)
+            .map(|&(l, _)| l)
+    }
+
+    /// True if coverage never decreases with length (a sanity invariant:
+    /// fault dropping makes coverage monotone).
+    pub fn is_monotone(&self) -> bool {
+        self.points.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-9)
+    }
+}
+
+impl fmt::Display for CoverageCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (len, cov) in &self.points {
+            writeln!(f, "{len:>8}  {cov:6.2} %")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_arithmetic() {
+        let statuses = [
+            FaultStatus::Detected,
+            FaultStatus::Detected,
+            FaultStatus::Redundant,
+            FaultStatus::Undetected,
+        ];
+        let r = CoverageReport::from_statuses(&statuses);
+        assert_eq!(r.total(), 4);
+        assert!((r.coverage_pct() - 50.0).abs() < 1e-9);
+        assert!((r.efficiency_pct() - 2.0 / 3.0 * 100.0).abs() < 1e-9);
+        assert!((r.achievable_pct() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_universe_is_fully_covered() {
+        let r = CoverageReport::from_statuses(&[]);
+        assert_eq!(r.coverage_pct(), 100.0);
+        assert_eq!(r.efficiency_pct(), 100.0);
+    }
+
+    #[test]
+    fn curve_queries() {
+        let c = CoverageCurve::new(vec![(0, 0.0), (100, 70.0), (200, 88.4), (1000, 96.7)]);
+        assert!(c.is_monotone());
+        assert_eq!(c.length_for(85.0), Some(200));
+        assert_eq!(c.length_for(99.0), None);
+        assert_eq!(c.final_coverage(), Some(96.7));
+    }
+}

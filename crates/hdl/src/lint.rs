@@ -1,0 +1,314 @@
+//! Lightweight structural checks over emitted HDL text.
+//!
+//! Not a parser — a tokenizer-level consistency audit that catches the
+//! classes of emission bugs a real tool would reject immediately:
+//! undeclared identifiers, unbalanced module/entity brackets, duplicate
+//! declarations. The test suites of [`crate::emit_verilog`] and
+//! [`crate::emit_vhdl`] run every emitted file through these checks.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// A lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintError {
+    /// 1-based line of the finding.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+const VERILOG_KEYWORDS: &[&str] = &[
+    "module", "endmodule", "input", "output", "wire", "reg", "assign", "always", "posedge",
+    "negedge", "begin", "end", "if", "else", "initial", "integer", "for", "timescale",
+];
+
+const VHDL_KEYWORDS: &[&str] = &[
+    "library", "use", "all", "entity", "is", "port", "in", "out", "std_logic", "end",
+    "architecture", "of", "signal", "begin", "process", "rising_edge", "if", "then", "else",
+    "not", "and", "or", "xor", "nand", "nor", "xnor", "ieee", "std_logic_1164",
+];
+
+fn identifiers(line: &str) -> impl Iterator<Item = &str> {
+    line.split(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_' || ch == '$'))
+        .filter(|t| !t.is_empty())
+        .filter(|t| !t.chars().next().expect("non-empty").is_ascii_digit())
+}
+
+/// Strips Verilog sized literals (`2'b10`), named port references
+/// (`.clk(` — ports of an *instantiated* module live in its own scope)
+/// and comments from a line.
+fn strip_verilog_noise(line: &str) -> String {
+    let line = line.split("//").next().unwrap_or("");
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            // string literal: swallow to the closing quote
+            for d in chars.by_ref() {
+                if d == '"' {
+                    break;
+                }
+            }
+            out.push(' ');
+        } else if c == '\'' {
+            // swallow the base char and the literal digits
+            let _base = chars.next();
+            while chars
+                .peek()
+                .is_some_and(|d| d.is_ascii_alphanumeric() || *d == '_')
+            {
+                chars.next();
+            }
+            out.push(' ');
+        } else if c == '.' && chars.peek().is_some_and(|d| d.is_ascii_alphabetic() || *d == '_') {
+            while chars
+                .peek()
+                .is_some_and(|d| d.is_ascii_alphanumeric() || *d == '_' || *d == '$')
+            {
+                chars.next();
+            }
+            out.push(' ');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Checks emitted Verilog: balanced `module`/`endmodule` and
+/// `begin`/`end`, no duplicate declarations, and no identifier used
+/// without a declaration.
+///
+/// # Errors
+///
+/// Returns the first [`LintError`] found.
+pub fn check_verilog(text: &str) -> Result<(), LintError> {
+    let mut declared: HashSet<String> = HashSet::new();
+    let mut ports: HashSet<String> = HashSet::new();
+    let mut nets: HashSet<String> = HashSet::new();
+    let keywords: HashSet<&str> = VERILOG_KEYWORDS.iter().copied().collect();
+    let mut module_depth = 0i64;
+    let mut begin_depth = 0i64;
+
+    // pass 1: declarations. `output y; wire y;` is the legal port+net
+    // idiom; a second *port* declaration or a second *net* declaration of
+    // the same name is a real bug.
+    for (ln, raw) in text.lines().enumerate() {
+        let line = strip_verilog_noise(raw);
+        let trimmed = line.trim();
+        if trimmed.starts_with("module ") {
+            if let Some(name) = identifiers(trimmed).nth(1) {
+                declared.insert(name.to_owned());
+            }
+        }
+        // module instantiation: `<module> <instance> (` declares both
+        // names in this scope (the module's ports live in its own)
+        if trimmed.ends_with('(') {
+            let ids: Vec<&str> = identifiers(trimmed).collect();
+            if ids.len() == 2 && !keywords.contains(ids[0]) && !keywords.contains(ids[1]) {
+                declared.insert(ids[0].to_owned());
+                declared.insert(ids[1].to_owned());
+            }
+        }
+        let is_port = trimmed.starts_with("input ") || trimmed.starts_with("output ");
+        let is_net = ["wire ", "reg ", "integer "]
+            .iter()
+            .any(|k| trimmed.starts_with(k));
+        if is_port || is_net {
+            for id in identifiers(trimmed) {
+                if keywords.contains(id) {
+                    continue;
+                }
+                let category = if is_port { &mut ports } else { &mut nets };
+                if !category.insert(id.to_owned()) {
+                    return Err(LintError {
+                        line: ln + 1,
+                        message: format!("duplicate declaration of `{id}`"),
+                    });
+                }
+                declared.insert(id.to_owned());
+            }
+        }
+    }
+
+    // pass 2: uses and balance
+    for (ln, raw) in text.lines().enumerate() {
+        let line = strip_verilog_noise(raw);
+        for tok in identifiers(&line) {
+            if tok.starts_with('$') {
+                continue; // system tasks
+            }
+            if keywords.contains(tok) {
+                match tok {
+                    "module" => module_depth += 1,
+                    "endmodule" => module_depth -= 1,
+                    "begin" => begin_depth += 1,
+                    "end" => begin_depth -= 1,
+                    _ => {}
+                }
+                continue;
+            }
+            if !declared.contains(tok) {
+                return Err(LintError {
+                    line: ln + 1,
+                    message: format!("identifier `{tok}` used but never declared"),
+                });
+            }
+        }
+    }
+    if module_depth != 0 {
+        return Err(LintError {
+            line: text.lines().count(),
+            message: format!("unbalanced module/endmodule (depth {module_depth})"),
+        });
+    }
+    if begin_depth != 0 {
+        return Err(LintError {
+            line: text.lines().count(),
+            message: format!("unbalanced begin/end (depth {begin_depth})"),
+        });
+    }
+    Ok(())
+}
+
+/// Checks emitted VHDL: every identifier used in the architecture body is
+/// a declared signal, a port, or a keyword; `entity`/`architecture`/
+/// `process` blocks all close.
+///
+/// # Errors
+///
+/// Returns the first [`LintError`] found.
+pub fn check_vhdl(text: &str) -> Result<(), LintError> {
+    let keywords: HashSet<&str> = VHDL_KEYWORDS.iter().copied().collect();
+    let mut declared: HashSet<String> = HashSet::new();
+
+    for raw in text.lines() {
+        let line = raw.split("--").next().unwrap_or("").trim();
+        if line.starts_with("entity ") || line.starts_with("architecture ") {
+            for id in identifiers(line) {
+                declared.insert(id.to_owned());
+            }
+        }
+        if line.starts_with("signal ") {
+            if let Some(name) = identifiers(line).nth(1) {
+                declared.insert(name.to_owned());
+            }
+        }
+        if line.contains(": in std_logic") || line.contains(": out std_logic") {
+            if let Some(name) = identifiers(line).next() {
+                declared.insert(name.to_owned());
+            }
+        }
+        // process labels
+        if line.contains(": process") {
+            if let Some(name) = identifiers(line).next() {
+                declared.insert(name.to_owned());
+            }
+        }
+    }
+
+    let mut opens = 0i64;
+    let mut closes = 0i64;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split("--").next().unwrap_or("");
+        // strip character literals '0' / '1'
+        let line: String = {
+            let mut s = line.to_owned();
+            for lit in ["'0'", "'1'"] {
+                s = s.replace(lit, " ");
+            }
+            s
+        };
+        let trimmed = line.trim();
+        if trimmed.starts_with("entity ")
+            || trimmed.starts_with("architecture ")
+            || trimmed.contains(": process")
+        {
+            opens += 1;
+        }
+        if trimmed.starts_with("end entity")
+            || trimmed.starts_with("end architecture")
+            || trimmed.starts_with("end process")
+        {
+            closes += 1;
+        }
+        for tok in identifiers(&line) {
+            if keywords.contains(tok.to_ascii_lowercase().as_str()) {
+                continue;
+            }
+            if !declared.contains(tok) {
+                return Err(LintError {
+                    line: ln + 1,
+                    message: format!("identifier `{tok}` used but never declared"),
+                });
+            }
+        }
+    }
+    if opens != closes {
+        return Err(LintError {
+            line: text.lines().count(),
+            message: format!("unbalanced blocks: {opens} opened, {closes} closed"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_minimal_verilog_module() {
+        let text = "module t (\n  a,\n  y\n);\n  input a;\n  output y;\n  wire y;\n  assign y = ~a;\nendmodule\n";
+        check_verilog(text).unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_verilog_identifiers() {
+        let text = "module t (\n  a\n);\n  input a;\n  assign y = ~a;\nendmodule\n";
+        let err = check_verilog(text).unwrap_err();
+        assert!(err.message.contains("`y`"), "{err}");
+        assert_eq!(err.line, 5);
+    }
+
+    #[test]
+    fn rejects_unbalanced_verilog_modules() {
+        let text = "module t (\n  a\n);\n  input a;\n";
+        let err = check_verilog(text).unwrap_err();
+        assert!(err.message.contains("unbalanced module"));
+    }
+
+    #[test]
+    fn verilog_literals_are_not_identifiers() {
+        let text = "module t (\n  y\n);\n  output y;\n  wire y;\n  assign y = 1'b0;\nendmodule\n";
+        check_verilog(text).unwrap();
+    }
+
+    #[test]
+    fn instantiations_and_port_references_are_in_scope() {
+        let text = "module tb;\n  reg a;\n  wire y;\n  inv_cell dut (\n    .in_pin(a),\n    .out_pin(y)\n  );\nendmodule\n";
+        check_verilog(text).unwrap();
+    }
+
+    #[test]
+    fn accepts_minimal_vhdl() {
+        let text = "entity t is\n  port (\n    a : in std_logic;\n    y : out std_logic\n  );\nend entity t;\narchitecture structural of t is\n  signal y_s : std_logic;\nbegin\n  y_s <= not a;\n  y <= y_s;\nend architecture structural;\n";
+        check_vhdl(text).unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_vhdl_identifiers() {
+        let text = "entity t is\n  port (\n    a : in std_logic\n  );\nend entity t;\narchitecture structural of t is\nbegin\n  ghost <= not a;\nend architecture structural;\n";
+        let err = check_vhdl(text).unwrap_err();
+        assert!(err.message.contains("`ghost`"), "{err}");
+    }
+}

@@ -1,0 +1,125 @@
+use std::collections::{HashMap, HashSet};
+
+use bist_netlist::{Circuit, NodeId};
+
+/// Deterministic mapping from netlist node names to identifiers legal in
+/// both Verilog-1995 and VHDL-87: `[a-zA-Z][a-zA-Z0-9_]*`, no trailing or
+/// doubled underscores (VHDL forbids them), case-insensitively unique
+/// (VHDL is case-insensitive), and clear of both languages' reserved
+/// words.
+#[derive(Debug, Clone)]
+pub struct NameTable {
+    by_node: Vec<String>,
+}
+
+/// Words reserved in either target language (lowercase).
+const RESERVED: &[&str] = &[
+    "abs", "access", "after", "alias", "all", "always", "and", "architecture", "array", "assert",
+    "assign", "attribute", "begin", "begin_keywords", "block", "body", "buf", "buffer", "bus",
+    "case", "component", "configuration", "constant", "deassign", "default", "defparam",
+    "disable", "disconnect", "downto", "edge", "else", "elsif", "end", "endcase", "endfunction",
+    "endmodule", "endprimitive", "endspecify", "endtable", "endtask", "entity", "event", "exit",
+    "file", "for", "force", "forever", "fork", "function", "generate", "generic", "group",
+    "guarded", "if", "impure", "in", "inertial", "initial", "inout", "input", "is", "join",
+    "label", "library", "linkage", "literal", "loop", "map", "mod", "module", "nand", "negedge",
+    "new", "next", "nmos", "nor", "not", "null", "of", "on", "open", "or", "others", "out",
+    "output", "package", "parameter", "pmos", "port", "posedge", "postponed", "primitive",
+    "procedure", "process", "pure", "range", "record", "reg", "register", "reject", "release",
+    "rem", "repeat", "report", "return", "rol", "ror", "scalared", "select", "severity",
+    "shared", "signal", "signed", "sla", "sll", "specify", "specparam", "sra", "srl", "subtype",
+    "table", "task", "then", "time", "to", "transport", "tri", "type", "unaffected", "units",
+    "unsigned", "until", "use", "variable", "vectored", "wait", "wand", "when", "while", "wire",
+    "with", "wor", "xnor", "xor",
+];
+
+fn sanitize(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else if !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    let out = out.trim_matches('_').to_owned();
+    let mut out = if out.is_empty() { "n".to_owned() } else { out };
+    if out.chars().next().expect("non-empty").is_ascii_digit() {
+        out.insert(0, 'n');
+    }
+    if RESERVED.contains(&out.to_ascii_lowercase().as_str()) {
+        out.push_str("_w");
+    }
+    out
+}
+
+impl NameTable {
+    /// Builds the table for every node of `circuit`, reserving `extra`
+    /// (clock/reset names etc.) so no node collides with them.
+    pub fn new(circuit: &Circuit, extra: &[&str]) -> Self {
+        let mut taken: HashSet<String> = extra.iter().map(|s| s.to_ascii_lowercase()).collect();
+        let mut by_node = Vec::with_capacity(circuit.num_nodes());
+        let mut dedup: HashMap<String, usize> = HashMap::new();
+        for node in circuit.nodes() {
+            let base = sanitize(node.name());
+            let mut candidate = base.clone();
+            loop {
+                let key = candidate.to_ascii_lowercase();
+                if !taken.contains(&key) {
+                    taken.insert(key);
+                    break;
+                }
+                let n = dedup.entry(base.clone()).or_insert(1);
+                *n += 1;
+                candidate = format!("{base}_{n}");
+            }
+            by_node.push(candidate);
+        }
+        NameTable { by_node }
+    }
+
+    /// The identifier of `id`.
+    pub fn get(&self, id: NodeId) -> &str {
+        &self.by_node[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn sanitizes_hostile_names() {
+        assert_eq!(sanitize("G10"), "G10");
+        assert_eq!(sanitize("10gat"), "n10gat");
+        assert_eq!(sanitize("a->b (pin 3)"), "a_b_pin_3");
+        assert_eq!(sanitize("___"), "n");
+        assert_eq!(sanitize("output"), "output_w");
+        assert_eq!(sanitize("PROCESS"), "PROCESS_w");
+    }
+
+    #[test]
+    fn case_insensitive_uniqueness() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("sig").unwrap();
+        b.add_input("SIG").unwrap();
+        b.add_gate("y", GateKind::And, &["sig", "SIG"]).unwrap();
+        b.mark_output("y").unwrap();
+        let c = b.build().unwrap();
+        let table = NameTable::new(&c, &["clk", "rst"]);
+        let a = table.get(c.find("sig").unwrap());
+        let z = table.get(c.find("SIG").unwrap());
+        assert!(!a.eq_ignore_ascii_case(z), "{a} vs {z}");
+    }
+
+    #[test]
+    fn extra_names_are_reserved() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("clk").unwrap();
+        b.add_gate("y", GateKind::Not, &["clk"]).unwrap();
+        b.mark_output("y").unwrap();
+        let c = b.build().unwrap();
+        let table = NameTable::new(&c, &["clk", "rst"]);
+        assert_ne!(table.get(c.find("clk").unwrap()), "clk");
+    }
+}

@@ -1,0 +1,123 @@
+use std::collections::BTreeMap;
+
+use bist_netlist::{Circuit, NodeId};
+
+/// Emission options shared by the Verilog and VHDL back-ends.
+///
+/// # Example
+///
+/// ```
+/// use bist_hdl::HdlOptions;
+///
+/// let options = HdlOptions::default()
+///     .with_module_name("bist_generator")
+///     .with_clock("ck")
+///     .with_reset("rstn");
+/// assert_eq!(options.clock, "ck");
+/// ```
+#[derive(Debug, Clone)]
+pub struct HdlOptions {
+    /// Module/entity name; defaults to the netlist's own (sanitized) name.
+    pub module: Option<String>,
+    /// Clock port name (only emitted when the netlist has flip-flops).
+    pub clock: String,
+    /// Synchronous active-high reset port name.
+    pub reset: String,
+    /// Per-flip-flop reset value — the generator seed. Unlisted flip-flops
+    /// reset to 0.
+    pub reset_values: BTreeMap<NodeId, bool>,
+}
+
+impl Default for HdlOptions {
+    fn default() -> Self {
+        HdlOptions {
+            module: None,
+            clock: "clk".to_owned(),
+            reset: "rst".to_owned(),
+            reset_values: BTreeMap::new(),
+        }
+    }
+}
+
+impl HdlOptions {
+    /// Sets the module/entity name.
+    pub fn with_module_name(mut self, name: impl Into<String>) -> Self {
+        self.module = Some(name.into());
+        self
+    }
+
+    /// Sets the clock port name.
+    pub fn with_clock(mut self, name: impl Into<String>) -> Self {
+        self.clock = name.into();
+        self
+    }
+
+    /// Sets the reset port name.
+    pub fn with_reset(mut self, name: impl Into<String>) -> Self {
+        self.reset = name.into();
+        self
+    }
+
+    /// Sets the reset (seed) value of one flip-flop.
+    pub fn with_reset_value(mut self, dff: NodeId, value: bool) -> Self {
+        self.reset_values.insert(dff, value);
+        self
+    }
+
+    /// The reset value of `dff` (0 unless configured).
+    pub fn reset_value(&self, dff: NodeId) -> bool {
+        self.reset_values.get(&dff).copied().unwrap_or(false)
+    }
+
+    /// The module name to emit for `circuit`.
+    pub fn module_name(&self, circuit: &Circuit) -> String {
+        match &self.module {
+            Some(m) => m.clone(),
+            None => {
+                let mut s: String = circuit
+                    .name()
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                    .collect();
+                if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                    s.insert(0, 'm');
+                }
+                s
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_names() {
+        let o = HdlOptions::default();
+        assert_eq!(o.clock, "clk");
+        assert_eq!(o.reset, "rst");
+        let c17 = bist_netlist::iscas85::c17();
+        assert_eq!(o.module_name(&c17), "c17");
+    }
+
+    #[test]
+    fn hostile_circuit_names_are_sanitized() {
+        let o = HdlOptions::default();
+        let mut b = bist_netlist::CircuitBuilder::new("3540-profile v2");
+        b.add_input("a").unwrap();
+        b.add_gate("y", bist_netlist::GateKind::Not, &["a"]).unwrap();
+        b.mark_output("y").unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(o.module_name(&c), "m3540_profile_v2");
+    }
+
+    #[test]
+    fn reset_values_default_to_zero() {
+        let c17 = bist_netlist::iscas85::c17();
+        let g10 = c17.find("G10").unwrap();
+        let o = HdlOptions::default().with_reset_value(g10, true);
+        assert!(o.reset_value(g10));
+        assert!(!o.reset_value(c17.find("G11").unwrap()));
+    }
+}

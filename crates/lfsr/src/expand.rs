@@ -1,0 +1,218 @@
+use bist_logicsim::Pattern;
+
+use crate::poly::Polynomial;
+use crate::stepper::Lfsr;
+
+/// Expansion of an LFSR's bit stream into test patterns of arbitrary
+/// width, modelling the *shared-register* BIST arrangement of the paper's
+/// mixed generator (its Figure 3, citing [Hel92] for wide circuits).
+///
+/// The hardware picture: one register of `max(width, k)` D flip-flops.
+/// Cells `q0..q{k-1}` run the LFSR recurrence (the feedback bit enters
+/// `q0`), and any cells beyond `q{k-1}` extend the register as a delay
+/// line. One *pattern* is the register window `q0..q{width-1}` sampled
+/// every `width` clocks, with pattern bit `i` = cell `q{width-1-i}` (the
+/// oldest bit of the window first). This software model is **bit-exact**
+/// against the synthesized mixed-generator netlist — that equivalence is
+/// what lets the mode decoder recognize the hand-over state.
+///
+/// # Example
+///
+/// ```
+/// use bist_lfsr::{paper_poly, Lfsr, ScanExpander};
+///
+/// let lfsr = Lfsr::fibonacci(paper_poly(), 1);
+/// let mut expander = ScanExpander::new(lfsr, 50); // e.g. C3540 has 50 inputs
+/// let patterns = expander.patterns(200);
+/// assert_eq!(patterns.len(), 200);
+/// assert_eq!(patterns[0].len(), 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScanExpander {
+    poly: Polynomial,
+    taps: Vec<u32>,
+    /// Register cells, `reg[i]` = hardware flip-flop `q{i}`.
+    reg: Vec<bool>,
+    width: usize,
+    k: usize,
+    clocks: u64,
+}
+
+impl ScanExpander {
+    /// Creates an expander emitting `width`-bit patterns, taking the
+    /// polynomial and current state from `lfsr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0.
+    pub fn new(lfsr: Lfsr, width: usize) -> Self {
+        assert!(width > 0, "pattern width must be positive");
+        let poly = lfsr.poly();
+        let k = poly.degree() as usize;
+        let mut reg = vec![false; width.max(k)];
+        for (i, cell) in reg.iter_mut().enumerate().take(k) {
+            *cell = (lfsr.state() >> i) & 1 == 1;
+        }
+        ScanExpander {
+            poly,
+            taps: poly.taps(),
+            reg,
+            width,
+            k,
+            clocks: 0,
+        }
+    }
+
+    /// The pattern width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The feedback polynomial.
+    pub fn poly(&self) -> Polynomial {
+        self.poly
+    }
+
+    /// Total register length, `max(width, k)`.
+    pub fn register_len(&self) -> usize {
+        self.reg.len()
+    }
+
+    /// Clocks consumed so far (`width` per emitted pattern).
+    pub fn clocks(&self) -> u64 {
+        self.clocks
+    }
+
+    fn clock(&mut self) {
+        let fb = self
+            .taps
+            .iter()
+            .fold(false, |acc, &t| acc ^ self.reg[(t - 1) as usize]);
+        self.reg.rotate_right(1);
+        self.reg[0] = fb;
+        self.clocks += 1;
+    }
+
+    /// Advances `width` clocks and returns the resulting pattern.
+    pub fn next_pattern(&mut self) -> Pattern {
+        for _ in 0..self.width {
+            self.clock();
+        }
+        self.chain()
+    }
+
+    /// Emits the next `count` patterns.
+    pub fn patterns(&mut self, count: usize) -> Vec<Pattern> {
+        (0..count).map(|_| self.next_pattern()).collect()
+    }
+
+    /// The LFSR-part state (cells `q0..q{k-1}` as a bit mask) — the value
+    /// the mixed generator's mode decoder recognizes at hand-over.
+    pub fn lfsr_state(&self) -> u64 {
+        (0..self.k).fold(0u64, |acc, i| acc | (u64::from(self.reg[i]) << i))
+    }
+
+    /// The current pattern window (pattern bit `i` = cell
+    /// `q{width-1-i}`).
+    pub fn chain(&self) -> Pattern {
+        Pattern::from_fn(self.width, |i| self.reg[self.width - 1 - i])
+    }
+}
+
+/// Convenience: the first `count` pseudo-random `width`-bit patterns from a
+/// Fibonacci LFSR with polynomial `poly` and seed 1 — the configuration
+/// every experiment in the paper uses.
+pub fn pseudo_random_patterns(
+    poly: crate::Polynomial,
+    width: usize,
+    count: usize,
+) -> Vec<Pattern> {
+    let lfsr = Lfsr::fibonacci(poly, 1);
+    ScanExpander::new(lfsr, width).patterns(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::{paper_poly, primitive_poly};
+
+    #[test]
+    fn patterns_are_deterministic() {
+        let a = ScanExpander::new(Lfsr::fibonacci(paper_poly(), 1), 36).patterns(50);
+        let b = ScanExpander::new(Lfsr::fibonacci(paper_poly(), 1), 36).patterns(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn patterns_look_random() {
+        // ones density near 50 % over a long stretch
+        let ps = ScanExpander::new(Lfsr::fibonacci(paper_poly(), 1), 64).patterns(500);
+        let ones: usize = ps.iter().map(Pattern::count_ones).sum();
+        let total = 500 * 64;
+        let density = ones as f64 / total as f64;
+        assert!((0.45..0.55).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn consecutive_patterns_differ() {
+        let ps = ScanExpander::new(Lfsr::fibonacci(paper_poly(), 1), 50).patterns(100);
+        for w in ps.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn chain_matches_last_pattern() {
+        let mut e = ScanExpander::new(Lfsr::fibonacci(primitive_poly(8), 1), 20);
+        let p = e.next_pattern();
+        assert_eq!(e.chain(), p);
+    }
+
+    #[test]
+    fn lfsr_part_tracks_the_software_stepper() {
+        // the register's first k cells must follow the plain LFSR stepped
+        // the same number of clocks
+        let poly = primitive_poly(8);
+        let mut e = ScanExpander::new(Lfsr::fibonacci(poly, 1), 20);
+        let mut sw = Lfsr::fibonacci(poly, 1);
+        for _ in 0..7 {
+            e.next_pattern();
+            for _ in 0..20 {
+                sw.step();
+            }
+            assert_eq!(e.lfsr_state(), sw.state());
+        }
+    }
+
+    #[test]
+    fn narrow_patterns_are_state_windows() {
+        // width <= k: pattern bit i = state bit (width-1-i)
+        let poly = primitive_poly(8);
+        let mut e = ScanExpander::new(Lfsr::fibonacci(poly, 1), 5);
+        let mut sw = Lfsr::fibonacci(poly, 1);
+        for _ in 0..10 {
+            let p = e.next_pattern();
+            for _ in 0..5 {
+                sw.step();
+            }
+            for i in 0..5 {
+                assert_eq!(p.get(i), (sw.state() >> (4 - i)) & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn convenience_helper_matches_expander() {
+        let a = pseudo_random_patterns(paper_poly(), 41, 30);
+        let b = ScanExpander::new(Lfsr::fibonacci(paper_poly(), 1), 41).patterns(30);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clock_accounting() {
+        let mut e = ScanExpander::new(Lfsr::fibonacci(paper_poly(), 1), 33);
+        e.patterns(4);
+        assert_eq!(e.clocks(), 4 * 33);
+        assert_eq!(e.register_len(), 33);
+    }
+}

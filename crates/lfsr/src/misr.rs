@@ -1,0 +1,180 @@
+//! Multiple-input signature register (MISR) — the output response
+//! analyzer of the paper's Figure 1 BIST scheme.
+//!
+//! The mixed generator stimulates the CUT; its output responses must be
+//! compacted on-chip into a short signature compared against a golden
+//! value ("PASS/FAIL"). The classic compactor is a MISR: an LFSR whose
+//! cells additionally XOR in one response bit each per clock. A faulty
+//! response leaves a different signature unless aliasing occurs
+//! (probability ≈ `2^-k` for a `k`-bit MISR).
+
+use bist_logicsim::Pattern;
+
+use crate::poly::Polynomial;
+
+/// A multiple-input signature register over the feedback polynomial
+/// `poly`, compacting response vectors of up to `poly.degree()` bits per
+/// clock.
+///
+/// # Example
+///
+/// ```
+/// use bist_lfsr::{paper_poly, Misr};
+/// use bist_logicsim::Pattern;
+///
+/// let mut misr = Misr::new(paper_poly());
+/// let response: Pattern = "0110".parse()?;
+/// misr.absorb(&response);
+/// let signature = misr.signature();
+/// assert_ne!(signature, 0); // the response left a trace
+/// # Ok::<(), bist_logicsim::ParsePatternError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misr {
+    poly: Polynomial,
+    taps: Vec<u32>,
+    state: u64,
+}
+
+impl Misr {
+    /// Creates a zero-initialized MISR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial degree is 0 or above 63.
+    pub fn new(poly: Polynomial) -> Self {
+        let n = poly.degree();
+        assert!((1..=63).contains(&n), "unsupported MISR degree {n}");
+        Misr {
+            poly,
+            taps: poly.taps(),
+            state: 0,
+        }
+    }
+
+    /// The register length.
+    pub fn len(&self) -> u32 {
+        self.poly.degree()
+    }
+
+    /// Always false: a MISR has at least one cell.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The current signature.
+    pub fn signature(&self) -> u64 {
+        self.state
+    }
+
+    /// Clears the register back to zero.
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+
+    /// Clocks the register once, XOR-ing in one response vector. Response
+    /// bit `i` enters cell `i`; responses wider than the register fold
+    /// around (bit `i` enters cell `i mod k`), responses narrower leave
+    /// the upper cells to the plain LFSR recurrence.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; any response width is accepted (folding is part of
+    /// the compaction semantics).
+    pub fn absorb(&mut self, response: &Pattern) {
+        let n = self.poly.degree();
+        let mut fb = 0u64;
+        for &t in &self.taps {
+            fb ^= (self.state >> (t - 1)) & 1;
+        }
+        let mut inject = 0u64;
+        for (i, bit) in response.iter().enumerate() {
+            if bit {
+                inject ^= 1 << (i as u32 % n);
+            }
+        }
+        self.state = (((self.state << 1) | fb) ^ inject) & ((1u64 << n) - 1);
+    }
+
+    /// Compacts a whole response sequence and returns the final signature.
+    pub fn absorb_all<'a>(&mut self, responses: impl IntoIterator<Item = &'a Pattern>) -> u64 {
+        for r in responses {
+            self.absorb(r);
+        }
+        self.signature()
+    }
+
+    /// The aliasing probability estimate for this register length
+    /// (`2^-k`), the classic steady-state approximation.
+    pub fn aliasing_probability(&self) -> f64 {
+        2f64.powi(-(self.poly.degree() as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::{paper_poly, primitive_poly};
+
+    fn responses(seed: u64, width: usize, count: usize) -> Vec<Pattern> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| Pattern::random(&mut rng, width)).collect()
+    }
+
+    #[test]
+    fn identical_streams_give_identical_signatures() {
+        let rs = responses(1, 10, 50);
+        let mut a = Misr::new(paper_poly());
+        let mut b = Misr::new(paper_poly());
+        assert_eq!(a.absorb_all(&rs), b.absorb_all(&rs));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_signature() {
+        let rs = responses(2, 12, 40);
+        let mut golden = Misr::new(paper_poly());
+        let golden_sig = golden.absorb_all(&rs);
+        for t in [0usize, 17, 39] {
+            let mut corrupted = rs.clone();
+            let flip = corrupted[t].get(5);
+            corrupted[t].set(5, !flip);
+            let mut m = Misr::new(paper_poly());
+            assert_ne!(
+                m.absorb_all(&corrupted),
+                golden_sig,
+                "flip at time {t} aliased"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_responses_fold() {
+        let rs = responses(3, 40, 20); // wider than the 16-bit register
+        let mut m = Misr::new(paper_poly());
+        let sig = m.absorb_all(&rs);
+        assert!(sig < (1 << 16));
+    }
+
+    #[test]
+    fn reset_restores_zero() {
+        let rs = responses(4, 8, 10);
+        let mut m = Misr::new(primitive_poly(8));
+        m.absorb_all(&rs);
+        m.reset();
+        assert_eq!(m.signature(), 0);
+    }
+
+    #[test]
+    fn empty_stream_keeps_zero_signature() {
+        let mut m = Misr::new(primitive_poly(8));
+        assert_eq!(m.absorb_all(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn aliasing_probability_is_two_to_minus_k() {
+        let m = Misr::new(paper_poly());
+        assert!((m.aliasing_probability() - 2f64.powi(-16)).abs() < 1e-12);
+    }
+}

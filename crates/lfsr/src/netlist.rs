@@ -1,0 +1,114 @@
+use bist_netlist::{Circuit, CircuitBuilder, GateKind};
+
+use crate::poly::Polynomial;
+
+/// Emits a Fibonacci LFSR as a structural netlist: `n` D flip-flops
+/// (`lfsr_q0` … `lfsr_q{n-1}`) and an XOR feedback network.
+///
+/// * `lfsr_q0.D` = XOR of the tap cells (one parity gate; the technology
+///   mapper decomposes it into XOR2 cells when costing area),
+/// * `lfsr_q{i}.D = lfsr_q{i-1}`,
+/// * the serial output `lfsr_q{n-1}` is the primary output.
+///
+/// The single primary input `scan_enable` is a placeholder pin (netlists
+/// require at least one input); it does not influence the register.
+///
+/// The emitted hardware replays bit-exactly against the software
+/// [`Lfsr`](crate::Lfsr) model — proven by this crate's tests using
+/// [`SeqSim`](bist_logicsim::SeqSim).
+///
+/// # Panics
+///
+/// Panics if the polynomial degree is 0 or above 63.
+///
+/// # Example
+///
+/// ```
+/// use bist_lfsr::{lfsr_netlist, paper_poly};
+///
+/// let hw = lfsr_netlist(paper_poly());
+/// assert_eq!(hw.num_dffs(), 16);
+/// ```
+pub fn lfsr_netlist(poly: Polynomial) -> Circuit {
+    let n = poly.degree();
+    assert!((1..=63).contains(&n), "unsupported LFSR degree {n}");
+    let mut b = CircuitBuilder::new(format!("lfsr{n}"));
+    b.add_input("scan_enable").expect("fresh name");
+    for i in 0..n {
+        let d = if i == 0 {
+            "lfsr_fb".to_owned()
+        } else {
+            format!("lfsr_q{}", i - 1)
+        };
+        b.add_gate(&format!("lfsr_q{i}"), GateKind::Dff, &[&d])
+            .expect("fresh name");
+    }
+    let taps: Vec<String> = poly
+        .taps()
+        .iter()
+        .map(|&t| format!("lfsr_q{}", t - 1))
+        .collect();
+    let tap_refs: Vec<&str> = taps.iter().map(String::as_str).collect();
+    if tap_refs.len() == 1 {
+        b.add_gate("lfsr_fb", GateKind::Buf, &tap_refs)
+            .expect("fresh name");
+    } else {
+        b.add_gate("lfsr_fb", GateKind::Xor, &tap_refs)
+            .expect("fresh name");
+    }
+    b.mark_output(&format!("lfsr_q{}", n - 1)).expect("exists");
+    b.build().expect("LFSR netlist is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::primitive_poly;
+    use crate::stepper::Lfsr;
+    use bist_logicsim::SeqSim;
+
+    #[test]
+    fn hardware_replays_software_model() {
+        for degree in [4u32, 8, 16] {
+            let poly = primitive_poly(degree);
+            let hw = lfsr_netlist(poly);
+            let mut sim = SeqSim::new(&hw);
+            // seed state 1: q0 = 1
+            sim.set_state(hw.find("lfsr_q0").unwrap(), true);
+            let mut sw = Lfsr::fibonacci(poly, 1);
+            for cycle in 0..200 {
+                let out = sim.step(&[false])[0];
+                let expect = sw.step();
+                assert_eq!(out, expect, "degree {degree} cycle {cycle}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_trajectory_matches() {
+        let poly = primitive_poly(8);
+        let hw = lfsr_netlist(poly);
+        let mut sim = SeqSim::new(&hw);
+        sim.set_state(hw.find("lfsr_q0").unwrap(), true);
+        let mut sw = Lfsr::fibonacci(poly, 1);
+        for _ in 0..50 {
+            sim.step(&[false]);
+            sw.step();
+            let hw_state: u64 = (0..8)
+                .map(|i| {
+                    let q = hw.find(&format!("lfsr_q{i}")).unwrap();
+                    (sim.state(q) as u64) << i
+                })
+                .sum();
+            assert_eq!(hw_state, sw.state());
+        }
+    }
+
+    #[test]
+    fn structure_counts() {
+        let hw = lfsr_netlist(primitive_poly(16));
+        assert_eq!(hw.num_dffs(), 16);
+        // one parity feedback gate + placeholder input
+        assert_eq!(hw.num_gates(), 1);
+    }
+}

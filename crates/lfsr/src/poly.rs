@@ -1,0 +1,394 @@
+use std::fmt;
+
+/// A polynomial over GF(2) of degree at most 63, stored as a bit mask
+/// (bit `i` = coefficient of `x^i`).
+///
+/// Used as LFSR feedback polynomials; the interesting predicate is
+/// [`Polynomial::is_primitive`], which decides whether the corresponding
+/// LFSR is maximal-length.
+///
+/// # Example
+///
+/// ```
+/// use bist_lfsr::Polynomial;
+///
+/// // x^4 + x + 1, a primitive polynomial of degree 4
+/// let p = Polynomial::from_exponents(&[4, 1, 0]);
+/// assert_eq!(p.degree(), 4);
+/// assert!(p.is_primitive());
+/// assert_eq!(p.to_string(), "x^4+x^1+1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Polynomial(u64);
+
+impl Polynomial {
+    /// Builds a polynomial from its coefficient bit mask.
+    pub fn from_mask(mask: u64) -> Self {
+        Polynomial(mask)
+    }
+
+    /// Builds a polynomial from the exponents of its non-zero terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any exponent exceeds 63.
+    pub fn from_exponents(exponents: &[u32]) -> Self {
+        let mut mask = 0u64;
+        for &e in exponents {
+            assert!(e < 64, "exponent {e} out of range");
+            mask |= 1 << e;
+        }
+        Polynomial(mask)
+    }
+
+    /// The coefficient bit mask.
+    pub fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// The polynomial degree (0 for the zero polynomial).
+    pub fn degree(self) -> u32 {
+        63u32.saturating_sub(self.0.leading_zeros())
+    }
+
+    /// The exponents of the non-zero terms, highest first.
+    pub fn exponents(self) -> Vec<u32> {
+        (0..64).rev().filter(|&i| (self.0 >> i) & 1 == 1).collect()
+    }
+
+    /// The feedback tap exponents for an LFSR: all non-zero terms except
+    /// the constant 1.
+    pub fn taps(self) -> Vec<u32> {
+        self.exponents().into_iter().filter(|&e| e != 0).collect()
+    }
+
+    /// Polynomial multiplication modulo `modulus` over GF(2).
+    fn mul_mod(a: u64, b: u64, modulus: u64) -> u64 {
+        let deg = 63 - modulus.leading_zeros();
+        let mut result = 0u64;
+        let mut a = a;
+        let mut b = b;
+        while b != 0 {
+            if b & 1 == 1 {
+                result ^= a;
+            }
+            b >>= 1;
+            a <<= 1;
+            if (a >> deg) & 1 == 1 {
+                a ^= modulus;
+            }
+        }
+        result
+    }
+
+    /// Computes `x^e mod self` over GF(2).
+    fn x_pow_mod(self, mut e: u64) -> u64 {
+        let modulus = self.0;
+        let mut base = 0b10u64; // x
+        let mut result = 1u64;
+        // reduce base if degree <= 1
+        if self.degree() <= 1 {
+            base %= 2; // degenerate
+        }
+        while e != 0 {
+            if e & 1 == 1 {
+                result = Self::mul_mod(result, base, modulus);
+            }
+            base = Self::mul_mod(base, base, modulus);
+            e >>= 1;
+        }
+        result
+    }
+
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        // polynomial gcd over GF(2)
+        while b != 0 {
+            if a == 0 {
+                return b;
+            }
+            let da = 63 - a.leading_zeros();
+            let db = 63 - b.leading_zeros();
+            if da < db {
+                std::mem::swap(&mut a, &mut b);
+                continue;
+            }
+            a ^= b << (da - db);
+        }
+        a
+    }
+
+    /// True if the polynomial is irreducible over GF(2) (Rabin's test).
+    pub fn is_irreducible(self) -> bool {
+        let n = self.degree();
+        if n == 0 {
+            return false;
+        }
+        if self.0 & 1 == 0 {
+            // divisible by x
+            return n == 1 && self.0 == 0b10;
+        }
+        if n == 1 {
+            return true;
+        }
+        // x^(2^n) == x (mod self)
+        let xq = self.x_pow_mod(1u64 << n);
+        if xq != 0b10 {
+            return false;
+        }
+        // for each prime divisor q of n: gcd(x^(2^(n/q)) - x, self) == 1
+        for q in prime_divisors(n) {
+            let e = 1u64 << (n / q);
+            let t = self.x_pow_mod(e) ^ 0b10;
+            if Self::gcd(self.0, t) != 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if the polynomial is primitive over GF(2): irreducible, and the
+    /// multiplicative order of `x` in `GF(2)[x]/(p)` equals `2^n − 1`.
+    /// Primitive feedback polynomials give maximal-length
+    /// (`2^n − 1`-state) LFSRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degree exceeds 32 (the factor table of `2^n − 1` ends
+    /// there).
+    pub fn is_primitive(self) -> bool {
+        let n = self.degree();
+        if n == 0 || n > 32 {
+            assert!(n <= 32, "primitivity test supports degrees up to 32");
+            return false;
+        }
+        if !self.is_irreducible() {
+            return false;
+        }
+        let order = (1u64 << n) - 1;
+        if self.x_pow_mod(order) != 1 {
+            return false;
+        }
+        for &q in factors_of_2n_minus_1(n) {
+            if self.x_pow_mod(order / q) == 1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let exps = self.exponents();
+        if exps.is_empty() {
+            return f.write_str("0");
+        }
+        let terms: Vec<String> = exps
+            .iter()
+            .map(|&e| match e {
+                0 => "1".to_owned(),
+                e => format!("x^{e}"),
+            })
+            .collect();
+        f.write_str(&terms.join("+"))
+    }
+}
+
+fn prime_divisors(mut n: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Prime factors of `2^n − 1` for `n` in 2..=32 (precomputed; all are the
+/// well-known Mersenne factorizations).
+fn factors_of_2n_minus_1(n: u32) -> &'static [u64] {
+    const TABLE: [(u32, &[u64]); 31] = [
+        (2, &[3]),
+        (3, &[7]),
+        (4, &[3, 5]),
+        (5, &[31]),
+        (6, &[3, 7]),
+        (7, &[127]),
+        (8, &[3, 5, 17]),
+        (9, &[7, 73]),
+        (10, &[3, 11, 31]),
+        (11, &[23, 89]),
+        (12, &[3, 5, 7, 13]),
+        (13, &[8191]),
+        (14, &[3, 43, 127]),
+        (15, &[7, 31, 151]),
+        (16, &[3, 5, 17, 257]),
+        (17, &[131071]),
+        (18, &[3, 7, 19, 73]),
+        (19, &[524287]),
+        (20, &[3, 5, 11, 31, 41]),
+        (21, &[7, 127, 337]),
+        (22, &[3, 23, 89, 683]),
+        (23, &[47, 178481]),
+        (24, &[3, 5, 7, 13, 17, 241]),
+        (25, &[31, 601, 1801]),
+        (26, &[3, 2731, 8191]),
+        (27, &[7, 73, 262657]),
+        (28, &[3, 5, 29, 43, 113, 127]),
+        (29, &[233, 1103, 2089]),
+        (30, &[3, 7, 11, 31, 151, 331]),
+        (31, &[2147483647]),
+        (32, &[3, 5, 17, 257, 65537]),
+    ];
+    TABLE
+        .iter()
+        .find(|(deg, _)| *deg == n)
+        .map(|(_, f)| *f)
+        .expect("degree in 2..=32")
+}
+
+/// A primitive polynomial of the requested degree (2..=32), from a
+/// standard table — every entry is re-proven primitive by this crate's
+/// test suite.
+///
+/// # Panics
+///
+/// Panics if `degree` is outside 2..=32.
+pub fn primitive_poly(degree: u32) -> Polynomial {
+    let exps: &[u32] = match degree {
+        2 => &[2, 1, 0],
+        3 => &[3, 1, 0],
+        4 => &[4, 1, 0],
+        5 => &[5, 2, 0],
+        6 => &[6, 1, 0],
+        7 => &[7, 1, 0],
+        8 => &[8, 4, 3, 2, 0],
+        9 => &[9, 4, 0],
+        10 => &[10, 3, 0],
+        11 => &[11, 2, 0],
+        12 => &[12, 6, 4, 1, 0],
+        13 => &[13, 4, 3, 1, 0],
+        14 => &[14, 10, 6, 1, 0],
+        15 => &[15, 1, 0],
+        16 => &[16, 5, 3, 2, 0],
+        17 => &[17, 3, 0],
+        18 => &[18, 7, 0],
+        19 => &[19, 5, 2, 1, 0],
+        20 => &[20, 3, 0],
+        21 => &[21, 2, 0],
+        22 => &[22, 1, 0],
+        23 => &[23, 5, 0],
+        24 => &[24, 7, 2, 1, 0],
+        25 => &[25, 3, 0],
+        26 => &[26, 6, 2, 1, 0],
+        27 => &[27, 5, 2, 1, 0],
+        28 => &[28, 3, 0],
+        29 => &[29, 2, 0],
+        30 => &[30, 23, 2, 1, 0],
+        31 => &[31, 3, 0],
+        32 => &[32, 22, 2, 1, 0],
+        d => panic!("no primitive polynomial tabulated for degree {d}"),
+    };
+    Polynomial::from_exponents(exps)
+}
+
+/// The degree-16 polynomial this reproduction uses for the paper's
+/// reference LFSR: `x^16+x^5+x^3+x^2+1` (primitive — see the
+/// [crate docs](crate) for why this replaces the printed polynomial).
+pub fn paper_poly() -> Polynomial {
+    Polynomial::from_exponents(&[16, 5, 3, 2, 0])
+}
+
+/// The polynomial *as printed in the paper*, `x^16+x^4+x^3+x^2+1` — kept
+/// for documentation; it is not primitive (LFSR period 19 685).
+pub fn paper_poly_printed() -> Polynomial {
+    Polynomial::from_exponents(&[16, 4, 3, 2, 0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_exponents() {
+        let p = Polynomial::from_exponents(&[16, 5, 3, 2, 0]);
+        assert_eq!(p.degree(), 16);
+        assert_eq!(p.exponents(), vec![16, 5, 3, 2, 0]);
+        assert_eq!(p.taps(), vec![16, 5, 3, 2]);
+    }
+
+    #[test]
+    fn small_primitive_and_non_primitive() {
+        // x^4+x+1 is primitive
+        assert!(Polynomial::from_exponents(&[4, 1, 0]).is_primitive());
+        // x^4+x^3+x^2+x+1 is irreducible but has order 5, not 15
+        let p = Polynomial::from_exponents(&[4, 3, 2, 1, 0]);
+        assert!(p.is_irreducible());
+        assert!(!p.is_primitive());
+        // x^4+x^2+1 = (x^2+x+1)^2 is reducible
+        assert!(!Polynomial::from_exponents(&[4, 2, 0]).is_irreducible());
+    }
+
+    #[test]
+    fn whole_table_is_primitive() {
+        for degree in 2..=32 {
+            let p = primitive_poly(degree);
+            assert_eq!(p.degree(), degree);
+            assert!(p.is_primitive(), "table entry for degree {degree}: {p}");
+        }
+    }
+
+    #[test]
+    fn paper_polynomial_finding() {
+        assert!(paper_poly().is_primitive());
+        // the reproduction finding: the printed polynomial is NOT primitive
+        assert!(!paper_poly_printed().is_primitive());
+        // (it is not even irreducible: 19685 = period observed by stepping)
+        assert!(!paper_poly_printed().is_irreducible());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(paper_poly().to_string(), "x^16+x^5+x^3+x^2+1");
+        assert_eq!(Polynomial::from_mask(0).to_string(), "0");
+    }
+
+    #[test]
+    fn primitivity_agrees_with_brute_force_period() {
+        // brute-force the LFSR period for all degree-8 candidates
+        for mask in 0..=255u64 {
+            let p = Polynomial::from_mask(0x100 | (mask << 1) | 1); // force x^8 and 1 terms
+            let n = 8;
+            let full = (1u64 << n) - 1;
+            // Fibonacci stepping
+            let taps = p.taps();
+            let mut state = 1u64;
+            let mut period = 0u64;
+            for i in 1..=full {
+                let mut fb = 0u64;
+                for &t in &taps {
+                    fb ^= (state >> (t - 1)) & 1;
+                }
+                state = ((state << 1) | fb) & full;
+                if state == 1 {
+                    period = i;
+                    break;
+                }
+            }
+            let maximal = period == full;
+            assert_eq!(
+                p.is_primitive(),
+                maximal,
+                "degree-8 poly {p}: period {period}"
+            );
+        }
+    }
+}

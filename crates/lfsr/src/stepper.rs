@@ -1,0 +1,224 @@
+use crate::poly::Polynomial;
+
+/// A linear feedback shift register in Fibonacci (external-XOR) or Galois
+/// (internal-XOR) form.
+///
+/// State is a `u64` bit mask of the `n = poly.degree()` flip-flops, bit 0
+/// being the register's first cell. One [`Lfsr::step`] emits one serial
+/// output bit (the bit shifted out of the last cell) and advances the
+/// state. With a primitive feedback polynomial and a non-zero seed, the
+/// state walks all `2^n − 1` non-zero values.
+///
+/// # Example
+///
+/// ```
+/// use bist_lfsr::{primitive_poly, Lfsr};
+///
+/// let mut lfsr = Lfsr::fibonacci(primitive_poly(4), 0b0001);
+/// assert_eq!(lfsr.period(), 15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    poly: Polynomial,
+    taps: Vec<u32>,
+    state: u64,
+    seed: u64,
+    galois: bool,
+}
+
+impl Lfsr {
+    /// Fibonacci (external-XOR) LFSR with the given feedback polynomial
+    /// and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degree is 0 or above 63, or if `seed` is zero (the
+    /// LFSR would lock up) or has bits beyond the degree.
+    pub fn fibonacci(poly: Polynomial, seed: u64) -> Self {
+        Self::new(poly, seed, false)
+    }
+
+    /// Galois (internal-XOR) LFSR with the given feedback polynomial and
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Lfsr::fibonacci`].
+    pub fn galois(poly: Polynomial, seed: u64) -> Self {
+        Self::new(poly, seed, true)
+    }
+
+    fn new(poly: Polynomial, seed: u64, galois: bool) -> Self {
+        let n = poly.degree();
+        assert!((1..=63).contains(&n), "unsupported LFSR degree {n}");
+        assert_ne!(seed, 0, "all-zero seed locks an LFSR up");
+        assert!(
+            seed < (1u64 << n),
+            "seed 0x{seed:x} wider than degree {n}"
+        );
+        Lfsr {
+            poly,
+            taps: poly.taps(),
+            state: seed,
+            seed,
+            galois,
+        }
+    }
+
+    /// The feedback polynomial.
+    pub fn poly(&self) -> Polynomial {
+        self.poly
+    }
+
+    /// The register length (polynomial degree).
+    pub fn len(&self) -> u32 {
+        self.poly.degree()
+    }
+
+    /// Always false: an LFSR has at least one cell.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The current register state.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Returns to the seed state.
+    pub fn reset(&mut self) {
+        self.state = self.seed;
+    }
+
+    /// Advances one clock; returns the serial output bit (the bit shifted
+    /// out of the last cell).
+    pub fn step(&mut self) -> bool {
+        let n = self.poly.degree();
+        let out = (self.state >> (n - 1)) & 1 == 1;
+        if self.galois {
+            // shift left; if the bit shifted out is 1, XOR the tap mask in
+            let mask = (1u64 << n) - 1;
+            self.state = (self.state << 1) & mask;
+            if out {
+                self.state ^= self.poly.mask() & mask;
+            }
+        } else {
+            let mut fb = 0u64;
+            for &t in &self.taps {
+                fb ^= (self.state >> (t - 1)) & 1;
+            }
+            self.state = ((self.state << 1) | fb) & ((1u64 << n) - 1);
+        }
+        out
+    }
+
+    /// Emits the next `count` serial output bits.
+    pub fn bits(&mut self, count: usize) -> Vec<bool> {
+        (0..count).map(|_| self.step()).collect()
+    }
+
+    /// Visits the next `count` register states (after each clock).
+    pub fn states(&mut self, count: usize) -> Vec<u64> {
+        (0..count)
+            .map(|_| {
+                self.step();
+                self.state
+            })
+            .collect()
+    }
+
+    /// Measures the state period by stepping until the seed state recurs.
+    /// Intended for tests and small degrees — this is `O(period)`.
+    pub fn period(&self) -> u64 {
+        let mut probe = self.clone();
+        probe.state = probe.seed;
+        let mut count = 0u64;
+        loop {
+            probe.step();
+            count += 1;
+            if probe.state == probe.seed {
+                return count;
+            }
+            if count > (1u64 << 40) {
+                unreachable!("period beyond supported range");
+            }
+        }
+    }
+}
+
+impl Iterator for Lfsr {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        Some(self.step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::{paper_poly, paper_poly_printed, primitive_poly};
+
+    #[test]
+    fn fibonacci_period_is_maximal_for_primitive_polys() {
+        for degree in [2u32, 3, 4, 5, 8, 10, 12, 16] {
+            let lfsr = Lfsr::fibonacci(primitive_poly(degree), 1);
+            assert_eq!(lfsr.period(), (1 << degree) - 1, "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn galois_period_matches_fibonacci() {
+        for degree in [4u32, 8, 12, 16] {
+            let f = Lfsr::fibonacci(primitive_poly(degree), 1);
+            let g = Lfsr::galois(primitive_poly(degree), 1);
+            assert_eq!(f.period(), g.period(), "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn printed_paper_poly_has_short_period() {
+        let lfsr = Lfsr::fibonacci(paper_poly_printed(), 1);
+        assert_eq!(lfsr.period(), 19_685); // the reproduction finding
+        let fixed = Lfsr::fibonacci(paper_poly(), 1);
+        assert_eq!(fixed.period(), 65_535);
+    }
+
+    #[test]
+    fn states_visit_distinct_values() {
+        let mut lfsr = Lfsr::fibonacci(primitive_poly(8), 1);
+        let states = lfsr.states(255);
+        let unique: std::collections::HashSet<_> = states.iter().collect();
+        assert_eq!(unique.len(), 255);
+        assert!(states.iter().all(|&s| s != 0));
+    }
+
+    #[test]
+    fn reset_restores_seed() {
+        let mut lfsr = Lfsr::fibonacci(primitive_poly(8), 0x5a);
+        lfsr.bits(100);
+        lfsr.reset();
+        assert_eq!(lfsr.state(), 0x5a);
+    }
+
+    #[test]
+    fn iterator_yields_bits() {
+        let lfsr = Lfsr::fibonacci(primitive_poly(5), 1);
+        let bits: Vec<bool> = lfsr.take(10).collect();
+        assert_eq!(bits.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero seed")]
+    fn zero_seed_rejected() {
+        Lfsr::fibonacci(primitive_poly(8), 0);
+    }
+
+    #[test]
+    fn serial_stream_is_balanced() {
+        // An m-sequence of period 2^n - 1 has 2^(n-1) ones.
+        let mut lfsr = Lfsr::fibonacci(primitive_poly(10), 1);
+        let ones = lfsr.bits(1023).iter().filter(|&&b| b).count();
+        assert_eq!(ones, 512);
+    }
+}

@@ -1,0 +1,230 @@
+use bist_netlist::{Circuit, GateKind, NodeId};
+
+use crate::pattern::{Pattern, PatternBlock};
+
+/// Two-valued, 64-pattern bit-parallel simulator.
+///
+/// Evaluates the whole circuit in topological order; node values are `u64`
+/// words whose bit `j` is the node's value under pattern `j` of the current
+/// [`PatternBlock`]. D flip-flop outputs are treated as externally supplied
+/// state (default all-zero) — combinational test circuits have none, and
+/// sequential generator replay uses [`SeqSim`](crate::SeqSim) instead.
+///
+/// # Example
+///
+/// ```
+/// use bist_logicsim::{PackedSim, Pattern, PatternBlock};
+///
+/// let c17 = bist_netlist::iscas85::c17();
+/// let patterns: Vec<Pattern> = ["00000", "11111", "10101"]
+///     .iter()
+///     .map(|s| s.parse().unwrap())
+///     .collect();
+/// let block = PatternBlock::pack(&c17, &patterns);
+/// let mut sim = PackedSim::new(&c17);
+/// sim.run(&block);
+/// let g22 = c17.find("G22").unwrap();
+/// // bit j of the word = value of G22 under pattern j
+/// let word = sim.value(g22);
+/// assert_eq!(word & 0b001, 0); // all-zero inputs drive G22 low
+/// assert_eq!(word & 0b010, 0b010); // all-one inputs drive G22 high
+/// ```
+#[derive(Debug)]
+pub struct PackedSim<'c> {
+    circuit: &'c Circuit,
+    values: Vec<u64>,
+    dff_state: Vec<u64>,
+}
+
+impl<'c> PackedSim<'c> {
+    /// Creates a simulator bound to `circuit`.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        PackedSim {
+            circuit,
+            values: vec![0; circuit.num_nodes()],
+            dff_state: vec![0; circuit.num_nodes()],
+        }
+    }
+
+    /// The circuit this simulator is bound to.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Simulates one packed block and returns the primary output words (in
+    /// `circuit.outputs()` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block was packed for a circuit with a different input
+    /// count.
+    pub fn run(&mut self, block: &PatternBlock) -> Vec<u64> {
+        assert_eq!(
+            block.input_words().len(),
+            self.circuit.inputs().len(),
+            "pattern block width mismatch"
+        );
+        for (i, &pi) in self.circuit.inputs().iter().enumerate() {
+            self.values[pi.index()] = block.input_word(i);
+        }
+        self.propagate();
+        self.circuit
+            .outputs()
+            .iter()
+            .map(|o| self.values[o.index()])
+            .collect()
+    }
+
+    /// Re-evaluates all combinational nodes from the current input and DFF
+    /// state words.
+    fn propagate(&mut self) {
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        for &id in self.circuit.topo_order() {
+            let node = self.circuit.node(id);
+            match node.kind() {
+                GateKind::Input => {}
+                GateKind::Dff => self.values[id.index()] = self.dff_state[id.index()],
+                kind => {
+                    fanin_buf.clear();
+                    fanin_buf.extend(node.fanin().iter().map(|f| self.values[f.index()]));
+                    self.values[id.index()] = kind.eval_word(&fanin_buf);
+                }
+            }
+        }
+    }
+
+    /// The value word of `id` after the last [`PackedSim::run`].
+    pub fn value(&self, id: NodeId) -> u64 {
+        self.values[id.index()]
+    }
+
+    /// All value words, indexed by [`NodeId::index`].
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Overrides the registered value word of a D flip-flop (used by
+    /// sequential engines layered on top).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a DFF.
+    pub fn set_dff_state(&mut self, id: NodeId, word: u64) {
+        assert_eq!(
+            self.circuit.node(id).kind(),
+            GateKind::Dff,
+            "set_dff_state on non-DFF node"
+        );
+        self.dff_state[id.index()] = word;
+    }
+}
+
+/// Reference evaluator: simulates a single pattern with plain booleans.
+///
+/// Deliberately naive — used as the oracle in property tests of the packed
+/// and five-valued engines. Returns the value of every node, indexed by
+/// [`NodeId::index`]. DFF outputs evaluate to `false`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the circuit's input count.
+pub fn naive_eval(circuit: &Circuit, inputs: &[bool]) -> Vec<bool> {
+    assert_eq!(inputs.len(), circuit.inputs().len(), "input width mismatch");
+    let mut values = vec![false; circuit.num_nodes()];
+    for (i, &pi) in circuit.inputs().iter().enumerate() {
+        values[pi.index()] = inputs[i];
+    }
+    for &id in circuit.topo_order() {
+        let node = circuit.node(id);
+        match node.kind() {
+            GateKind::Input | GateKind::Dff => {}
+            kind => {
+                let fanin: Vec<bool> = node.fanin().iter().map(|f| values[f.index()]).collect();
+                values[id.index()] = kind.eval_bool(&fanin);
+            }
+        }
+    }
+    values
+}
+
+/// Convenience: simulates a single [`Pattern`] and returns the output bits.
+pub fn eval_pattern(circuit: &Circuit, pattern: &Pattern) -> Vec<bool> {
+    let values = naive_eval(circuit, &pattern.to_bits());
+    circuit
+        .outputs()
+        .iter()
+        .map(|o| values[o.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternBlock;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn packed_matches_naive_on_c17_exhaustively() {
+        let c17 = bist_netlist::iscas85::c17();
+        let patterns: Vec<Pattern> = (0u32..32)
+            .map(|v| Pattern::from_fn(5, |i| (v >> i) & 1 == 1))
+            .collect();
+        let block = PatternBlock::pack(&c17, &patterns);
+        let mut sim = PackedSim::new(&c17);
+        sim.run(&block);
+        for (j, p) in patterns.iter().enumerate() {
+            let naive = naive_eval(&c17, &p.to_bits());
+            for id in 0..c17.num_nodes() {
+                let id = NodeId::from_index(id);
+                let packed_bit = (sim.value(id) >> j) & 1 == 1;
+                assert_eq!(packed_bit, naive[id.index()], "node {id} pattern {j}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn packed_matches_naive_on_c432(seed in any::<u64>()) {
+            let c = bist_netlist::iscas85::circuit("c432").unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let patterns: Vec<Pattern> =
+                (0..16).map(|_| Pattern::random(&mut rng, 36)).collect();
+            let block = PatternBlock::pack(&c, &patterns);
+            let mut sim = PackedSim::new(&c);
+            let outs = sim.run(&block);
+            for (j, p) in patterns.iter().enumerate() {
+                let expect = eval_pattern(&c, p);
+                for (o, &word) in outs.iter().enumerate() {
+                    prop_assert_eq!((word >> j) & 1 == 1, expect[o]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dff_state_is_respected() {
+        use bist_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("reg");
+        b.add_input("d").unwrap();
+        b.add_gate("q", GateKind::Dff, &["d"]).unwrap();
+        b.add_gate("y", GateKind::Not, &["q"]).unwrap();
+        b.mark_output("y").unwrap();
+        let c = b.build().unwrap();
+        let mut sim = PackedSim::new(&c);
+        let q = c.find("q").unwrap();
+        sim.set_dff_state(q, 0b10);
+        let block = PatternBlock::pack(&c, &[Pattern::zeros(1), Pattern::zeros(1)]);
+        let outs = sim.run(&block);
+        assert_eq!(outs[0] & 0b11, 0b01); // y = !q
+    }
+
+    #[test]
+    #[should_panic(expected = "non-DFF")]
+    fn dff_state_guard() {
+        let c17 = bist_netlist::iscas85::c17();
+        let mut sim = PackedSim::new(&c17);
+        sim.set_dff_state(c17.inputs()[0], 0);
+    }
+}

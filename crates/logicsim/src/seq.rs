@@ -1,0 +1,244 @@
+use bist_netlist::{Circuit, GateKind, NodeId};
+
+use crate::pattern::Pattern;
+
+/// Cycle-accurate sequential simulator for netlists containing D
+/// flip-flops.
+///
+/// Used to *replay* synthesized LFSROM / mixed BIST generators: the
+/// generator hardware is emitted as a structural [`Circuit`] whose flip-flop
+/// outputs are the pattern bits, and this engine proves — cycle by cycle —
+/// that the hardware reproduces the intended test sequence.
+///
+/// Clocking model: [`SeqSim::step`] evaluates the combinational logic with
+/// the current register state and inputs, samples the primary outputs, then
+/// clocks every flip-flop (`state ← D`).
+///
+/// # Example
+///
+/// ```
+/// use bist_netlist::{CircuitBuilder, GateKind};
+/// use bist_logicsim::SeqSim;
+///
+/// # fn main() -> Result<(), bist_netlist::BuildCircuitError> {
+/// // a 1-bit toggle: q <= NOT(q)
+/// let mut b = CircuitBuilder::new("toggle");
+/// b.add_input("en")?; // unused enable, circuits need >= 1 input
+/// b.add_gate("q", GateKind::Dff, &["d"])?;
+/// b.add_gate("d", GateKind::Not, &["q"])?;
+/// b.mark_output("q")?;
+/// let c = b.build()?;
+///
+/// let mut sim = SeqSim::new(&c);
+/// assert_eq!(sim.step(&[false]), vec![false]);
+/// assert_eq!(sim.step(&[false]), vec![true]);
+/// assert_eq!(sim.step(&[false]), vec![false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SeqSim<'c> {
+    circuit: &'c Circuit,
+    /// Registered value per node (meaningful only at DFF indices).
+    state: Vec<bool>,
+    /// Combinational values from the latest evaluation.
+    values: Vec<bool>,
+    dffs: Vec<NodeId>,
+}
+
+impl<'c> SeqSim<'c> {
+    /// Creates a simulator with all flip-flops reset to 0.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        let dffs = circuit
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind() == GateKind::Dff)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect();
+        SeqSim {
+            circuit,
+            state: vec![false; circuit.num_nodes()],
+            values: vec![false; circuit.num_nodes()],
+            dffs,
+        }
+    }
+
+    /// The circuit this simulator is bound to.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// All flip-flop nodes, in declaration order.
+    pub fn dffs(&self) -> &[NodeId] {
+        &self.dffs
+    }
+
+    /// Resets every flip-flop to 0.
+    pub fn reset(&mut self) {
+        self.state.fill(false);
+    }
+
+    /// Sets the registered value of one flip-flop (e.g. an LFSR seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a DFF.
+    pub fn set_state(&mut self, id: NodeId, value: bool) {
+        assert_eq!(
+            self.circuit.node(id).kind(),
+            GateKind::Dff,
+            "set_state on non-DFF node"
+        );
+        self.state[id.index()] = value;
+    }
+
+    /// Reads the registered value of one flip-flop.
+    pub fn state(&self, id: NodeId) -> bool {
+        self.state[id.index()]
+    }
+
+    /// Evaluates combinational logic for the current state and `inputs`,
+    /// returns the primary output values, then clocks the flip-flops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the circuit's input count.
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let outputs = self.evaluate(inputs);
+        // clock: state <= D
+        let new_state: Vec<(usize, bool)> = self
+            .dffs
+            .iter()
+            .map(|&q| {
+                let d = self.circuit.node(q).fanin()[0];
+                (q.index(), self.values[d.index()])
+            })
+            .collect();
+        for (idx, v) in new_state {
+            self.state[idx] = v;
+        }
+        outputs
+    }
+
+    /// Evaluates combinational logic without clocking (a "peek" at the
+    /// current cycle). Returns the primary output values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the circuit's input count.
+    pub fn evaluate(&mut self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.circuit.inputs().len(),
+            "input width mismatch"
+        );
+        for (i, &pi) in self.circuit.inputs().iter().enumerate() {
+            self.values[pi.index()] = inputs[i];
+        }
+        let mut fanin_buf: Vec<bool> = Vec::with_capacity(8);
+        for &id in self.circuit.topo_order() {
+            let node = self.circuit.node(id);
+            match node.kind() {
+                GateKind::Input => {}
+                GateKind::Dff => self.values[id.index()] = self.state[id.index()],
+                kind => {
+                    fanin_buf.clear();
+                    fanin_buf.extend(node.fanin().iter().map(|f| self.values[f.index()]));
+                    self.values[id.index()] = kind.eval_bool(&fanin_buf);
+                }
+            }
+        }
+        self.circuit
+            .outputs()
+            .iter()
+            .map(|o| self.values[o.index()])
+            .collect()
+    }
+
+    /// The combinational value of any node after the latest
+    /// [`SeqSim::step`] / [`SeqSim::evaluate`].
+    pub fn value(&self, id: NodeId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// Runs `cycles` steps with constant `inputs`, collecting the values of
+    /// `watch` nodes *before* each clock edge as one [`Pattern`] per cycle.
+    ///
+    /// This is how generator replay extracts the emitted test sequence: the
+    /// watched nodes are the generator's pattern register bits.
+    pub fn trace(&mut self, inputs: &[bool], watch: &[NodeId], cycles: usize) -> Vec<Pattern> {
+        let mut out = Vec::with_capacity(cycles);
+        for _ in 0..cycles {
+            self.evaluate(inputs);
+            out.push(Pattern::from_fn(watch.len(), |i| {
+                self.value(watch[i])
+            }));
+            self.step(inputs);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::CircuitBuilder;
+
+    /// 3-bit one-hot rotator: q0 -> q1 -> q2 -> q0.
+    fn rotator() -> Circuit {
+        let mut b = CircuitBuilder::new("rot");
+        b.add_input("en").unwrap();
+        b.add_gate("q0", GateKind::Dff, &["q2"]).unwrap();
+        b.add_gate("q1", GateKind::Dff, &["q0"]).unwrap();
+        b.add_gate("q2", GateKind::Dff, &["q1"]).unwrap();
+        b.mark_output("q2").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rotation_cycles_state() {
+        let c = rotator();
+        let mut sim = SeqSim::new(&c);
+        let q0 = c.find("q0").unwrap();
+        sim.set_state(q0, true);
+        let outs: Vec<bool> = (0..6).map(|_| sim.step(&[false])[0]).collect();
+        // q2 sees the 1 after two clocks, then every three.
+        assert_eq!(outs, vec![false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn trace_captures_pre_clock_values() {
+        let c = rotator();
+        let mut sim = SeqSim::new(&c);
+        let q0 = c.find("q0").unwrap();
+        let q1 = c.find("q1").unwrap();
+        let q2 = c.find("q2").unwrap();
+        sim.set_state(q0, true);
+        let trace = sim.trace(&[false], &[q0, q1, q2], 3);
+        assert_eq!(trace[0].to_string(), "100");
+        assert_eq!(trace[1].to_string(), "010");
+        assert_eq!(trace[2].to_string(), "001");
+    }
+
+    #[test]
+    fn evaluate_does_not_clock() {
+        let c = rotator();
+        let mut sim = SeqSim::new(&c);
+        let q0 = c.find("q0").unwrap();
+        sim.set_state(q0, true);
+        sim.evaluate(&[false]);
+        sim.evaluate(&[false]);
+        assert!(sim.state(q0)); // still set: no clock happened
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let c = rotator();
+        let mut sim = SeqSim::new(&c);
+        let q0 = c.find("q0").unwrap();
+        sim.set_state(q0, true);
+        sim.reset();
+        assert!(!sim.state(q0));
+    }
+}

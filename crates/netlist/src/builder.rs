@@ -1,0 +1,356 @@
+use std::collections::HashMap;
+
+use crate::circuit::{Circuit, Node, NodeId};
+use crate::error::BuildCircuitError;
+use crate::gate::GateKind;
+
+/// Incremental constructor for [`Circuit`].
+///
+/// Nodes may be declared in any order; fan-in references are resolved and
+/// the whole structure validated (arities, acyclicity, output sanity) when
+/// [`CircuitBuilder::build`] is called.
+///
+/// # Example
+///
+/// ```
+/// use bist_netlist::{CircuitBuilder, GateKind};
+///
+/// # fn main() -> Result<(), bist_netlist::BuildCircuitError> {
+/// let mut b = CircuitBuilder::new("mux");
+/// b.add_input("s")?;
+/// b.add_input("a")?;
+/// b.add_input("b")?;
+/// b.add_gate("ns", GateKind::Not, &["s"])?;
+/// b.add_gate("t0", GateKind::And, &["ns", "a"])?;
+/// b.add_gate("t1", GateKind::And, &["s", "b"])?;
+/// b.add_gate("y", GateKind::Or, &["t0", "t1"])?;
+/// b.mark_output("y")?;
+/// let mux = b.build()?;
+/// assert_eq!(mux.depth(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    nodes: Vec<PendingNode>,
+    name_index: HashMap<String, usize>,
+    outputs: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingNode {
+    name: String,
+    kind: GateKind,
+    fanin_names: Vec<String>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder for a circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            name_index: HashMap::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    fn declare(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        fanin: &[&str],
+    ) -> Result<NodeId, BuildCircuitError> {
+        if self.name_index.contains_key(name) {
+            return Err(BuildCircuitError::DuplicateName(name.to_owned()));
+        }
+        let (lo, hi) = kind.fanin_range();
+        if fanin.len() < lo || fanin.len() > hi {
+            return Err(BuildCircuitError::BadFanin {
+                name: name.to_owned(),
+                kind: kind.to_string(),
+                got: fanin.len(),
+            });
+        }
+        let idx = self.nodes.len();
+        self.name_index.insert(name.to_owned(), idx);
+        self.nodes.push(PendingNode {
+            name: name.to_owned(),
+            kind,
+            fanin_names: fanin.iter().map(|s| (*s).to_owned()).collect(),
+        });
+        Ok(NodeId(idx as u32))
+    }
+
+    /// Declares a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError::DuplicateName`] if the name is taken.
+    pub fn add_input(&mut self, name: &str) -> Result<NodeId, BuildCircuitError> {
+        self.declare(name, GateKind::Input, &[])
+    }
+
+    /// Declares a gate, constant or flip-flop with the given fan-in names.
+    /// Fan-ins may be declared later; they are resolved at
+    /// [`CircuitBuilder::build`] time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError::DuplicateName`] or
+    /// [`BuildCircuitError::BadFanin`].
+    pub fn add_gate(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        fanin: &[&str],
+    ) -> Result<NodeId, BuildCircuitError> {
+        self.declare(name, kind, fanin)
+    }
+
+    /// Marks a declared (or to-be-declared) node as a primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError::DuplicateOutput`] if already marked.
+    pub fn mark_output(&mut self, name: &str) -> Result<(), BuildCircuitError> {
+        if self.outputs.iter().any(|o| o == name) {
+            return Err(BuildCircuitError::DuplicateOutput(name.to_owned()));
+        }
+        self.outputs.push(name.to_owned());
+        Ok(())
+    }
+
+    /// Number of nodes declared so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no node has been declared yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True if `name` has already been declared.
+    pub fn contains(&self, name: &str) -> bool {
+        self.name_index.contains_key(name)
+    }
+
+    /// Validates and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildCircuitError::UnknownName`] — a fan-in or output was never
+    ///   declared,
+    /// * [`BuildCircuitError::CombinationalCycle`] — the combinational part
+    ///   is cyclic (cycles through flip-flops are fine),
+    /// * [`BuildCircuitError::NoInputs`] / [`BuildCircuitError::NoOutputs`].
+    pub fn build(self) -> Result<Circuit, BuildCircuitError> {
+        let CircuitBuilder {
+            name,
+            nodes: pending,
+            name_index,
+            outputs,
+        } = self;
+
+        let mut nodes = Vec::with_capacity(pending.len());
+        for p in &pending {
+            let mut fanin = Vec::with_capacity(p.fanin_names.len());
+            for f in &p.fanin_names {
+                let idx = name_index
+                    .get(f)
+                    .ok_or_else(|| BuildCircuitError::UnknownName(f.clone()))?;
+                fanin.push(NodeId(*idx as u32));
+            }
+            nodes.push(Node {
+                name: p.name.clone(),
+                kind: p.kind,
+                fanin,
+            });
+        }
+
+        let mut out_ids = Vec::with_capacity(outputs.len());
+        let mut is_output = vec![false; nodes.len()];
+        for o in &outputs {
+            let idx = name_index
+                .get(o)
+                .ok_or_else(|| BuildCircuitError::UnknownName(o.clone()))?;
+            out_ids.push(NodeId(*idx as u32));
+            is_output[*idx] = true;
+        }
+
+        let inputs: Vec<NodeId> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == GateKind::Input)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        if inputs.is_empty() {
+            return Err(BuildCircuitError::NoInputs);
+        }
+        if out_ids.is_empty() {
+            return Err(BuildCircuitError::NoOutputs);
+        }
+
+        // Fan-out lists. A consumer appears once per pin it connects.
+        let mut fanout: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            for f in &n.fanin {
+                fanout[f.index()].push(NodeId(i as u32));
+            }
+        }
+
+        // Kahn topological sort of the combinational graph. Flip-flop
+        // outputs are sources; their D pins do not create ordering edges.
+        let mut indeg: Vec<usize> = nodes
+            .iter()
+            .map(|n| if n.kind.is_source() { 0 } else { n.fanin.len() })
+            .collect();
+        let mut queue: Vec<NodeId> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let mut topo = Vec::with_capacity(nodes.len());
+        let mut level = vec![0u32; nodes.len()];
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            topo.push(id);
+            for &consumer in &fanout[id.index()] {
+                if nodes[consumer.index()].kind.is_source() {
+                    continue; // edge into a DFF D pin: sequential, not ordering
+                }
+                level[consumer.index()] = level[consumer.index()].max(level[id.index()] + 1);
+                indeg[consumer.index()] -= 1;
+                if indeg[consumer.index()] == 0 {
+                    queue.push(consumer);
+                }
+            }
+        }
+        if topo.len() != nodes.len() {
+            let mut seen = vec![false; nodes.len()];
+            for id in &topo {
+                seen[id.index()] = true;
+            }
+            let culprit = nodes
+                .iter()
+                .enumerate()
+                .find(|(i, _)| !seen[*i])
+                .map(|(_, n)| n.name.clone())
+                .unwrap_or_default();
+            return Err(BuildCircuitError::CombinationalCycle(culprit));
+        }
+
+        let name_index = name_index
+            .into_iter()
+            .map(|(k, v)| (k, NodeId(v as u32)))
+            .collect();
+
+        Ok(Circuit {
+            name,
+            nodes,
+            inputs,
+            outputs: out_ids,
+            fanout,
+            topo,
+            level,
+            name_index,
+            is_output,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        assert_eq!(
+            b.add_input("a"),
+            Err(BuildCircuitError::DuplicateName("a".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_fanin() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate("g", GateKind::And, &["a", "ghost"]).unwrap();
+        b.mark_output("g").unwrap();
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildCircuitError::UnknownName("ghost".into())
+        );
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        let err = b.add_gate("g", GateKind::Not, &["a", "a"]).unwrap_err();
+        assert!(matches!(err, BuildCircuitError::BadFanin { .. }));
+    }
+
+    #[test]
+    fn rejects_combinational_cycle() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate("g1", GateKind::And, &["a", "g2"]).unwrap();
+        b.add_gate("g2", GateKind::Not, &["g1"]).unwrap();
+        b.mark_output("g2").unwrap();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildCircuitError::CombinationalCycle(_)
+        ));
+    }
+
+    #[test]
+    fn allows_cycles_through_dffs() {
+        // Classic feedback register: q = DFF(d), d = NOT(q).
+        let mut b = CircuitBuilder::new("toggle");
+        b.add_input("unused").unwrap();
+        b.add_gate("q", GateKind::Dff, &["d"]).unwrap();
+        b.add_gate("d", GateKind::Not, &["q"]).unwrap();
+        b.mark_output("q").unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.num_dffs(), 1);
+    }
+
+    #[test]
+    fn rejects_empty_io() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        assert_eq!(b.build().unwrap_err(), BuildCircuitError::NoOutputs);
+
+        let b = CircuitBuilder::new("t");
+        assert_eq!(b.build().unwrap_err(), BuildCircuitError::NoInputs);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_gate("g", GateKind::Buf, &["a"]).unwrap(); // `a` declared later
+        b.add_input("a").unwrap();
+        b.mark_output("g").unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn duplicate_output_rejected() {
+        let mut b = CircuitBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.mark_output("a").unwrap();
+        assert_eq!(
+            b.mark_output("a"),
+            Err(BuildCircuitError::DuplicateOutput("a".into()))
+        );
+    }
+}

@@ -1,0 +1,303 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::stats::CircuitStats;
+
+/// Compact identifier of a node inside one [`Circuit`].
+///
+/// Node ids are dense (`0..circuit.num_nodes()`), so downstream crates index
+/// per-node side tables with them directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The id as a dense array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    ///
+    /// Intended for side-table iteration in downstream crates; indices must
+    /// come from the same circuit the id is used with.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One node of a [`Circuit`]: a primary input, gate, constant or flip-flop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: GateKind,
+    pub(crate) fanin: Vec<NodeId>,
+}
+
+impl Node {
+    /// The node's (unique) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's logic function.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The node's fan-in nodes, in pin order.
+    pub fn fanin(&self) -> &[NodeId] {
+        &self.fanin
+    }
+}
+
+/// An immutable, validated, levelized gate-level netlist.
+///
+/// Construct via [`CircuitBuilder`](crate::CircuitBuilder),
+/// [`bench::parse`](crate::bench::parse) or the
+/// [`iscas85`](crate::iscas85) substrate. The structure is guaranteed to be
+/// combinationally acyclic; fan-out lists, a topological order and logic
+/// levels are precomputed.
+///
+/// # Example
+///
+/// ```
+/// let c17 = bist_netlist::iscas85::c17();
+/// assert_eq!(c17.inputs().len(), 5);
+/// assert_eq!(c17.outputs().len(), 2);
+/// assert_eq!(c17.num_gates(), 6); // six NAND gates
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) fanout: Vec<Vec<NodeId>>,
+    /// Combinational evaluation order: sources first, then gates such that
+    /// every gate appears after all of its fan-ins.
+    pub(crate) topo: Vec<NodeId>,
+    /// Logic level per node: sources are level 0, a gate is
+    /// `1 + max(level of fanins)`.
+    pub(crate) level: Vec<u32>,
+    pub(crate) name_index: HashMap<String, NodeId>,
+    pub(crate) is_output: Vec<bool>,
+}
+
+impl Circuit {
+    /// The circuit's name (e.g. `"c17"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes (inputs + constants + gates + flip-flops).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of combinational gates (excludes inputs, constants and
+    /// flip-flops).
+    pub fn num_gates(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.is_combinational())
+            .count()
+    }
+
+    /// Number of D flip-flops.
+    pub fn num_dffs(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == GateKind::Dff)
+            .count()
+    }
+
+    /// Looks a node up by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes, indexable by [`NodeId::index`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Primary inputs in declaration order. Pattern bit `i` drives
+    /// `inputs()[i]`.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// True if `id` is marked as a primary output.
+    pub fn is_output(&self, id: NodeId) -> bool {
+        self.is_output[id.index()]
+    }
+
+    /// Fan-out list of `id` (each consumer listed once per pin it uses).
+    pub fn fanout(&self, id: NodeId) -> &[NodeId] {
+        &self.fanout[id.index()]
+    }
+
+    /// Combinational topological order: sources first, then every gate after
+    /// its fan-ins. Flip-flop outputs count as sources; their D pins are
+    /// sinks.
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Logic level of `id` (0 for sources).
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// Largest logic level in the circuit (its combinational depth).
+    pub fn depth(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Resolves a node name to its id.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The transitive fan-out cone of `seed` (inclusive), in topological
+    /// order. This is the set of nodes whose value can change when `seed`
+    /// changes — the region a fault simulator must re-evaluate.
+    pub fn fanout_cone(&self, seed: NodeId) -> Vec<NodeId> {
+        let mut in_cone = vec![false; self.nodes.len()];
+        in_cone[seed.index()] = true;
+        let mut cone = Vec::new();
+        for &id in &self.topo {
+            if in_cone[id.index()] {
+                cone.push(id);
+                for &f in &self.fanout[id.index()] {
+                    in_cone[f.index()] = true;
+                }
+            }
+        }
+        cone
+    }
+
+    /// The transitive fan-in cone of `seed` (inclusive), in topological
+    /// order.
+    pub fn fanin_cone(&self, seed: NodeId) -> Vec<NodeId> {
+        let mut in_cone = vec![false; self.nodes.len()];
+        in_cone[seed.index()] = true;
+        for &id in self.topo.iter().rev() {
+            if in_cone[id.index()] {
+                for &f in &self.nodes[id.index()].fanin {
+                    in_cone[f.index()] = true;
+                }
+            }
+        }
+        self.topo
+            .iter()
+            .copied()
+            .filter(|id| in_cone[id.index()])
+            .collect()
+    }
+
+    /// Summary statistics (gate mix, depth, fan-in/fan-out profile).
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats::of(self)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} inputs, {} outputs, {} gates, depth {}",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.num_gates(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CircuitBuilder, GateKind};
+
+    fn tiny() -> crate::Circuit {
+        let mut b = CircuitBuilder::new("tiny");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate("n1", GateKind::Nand, &["a", "b"]).unwrap();
+        b.add_gate("n2", GateKind::Not, &["n1"]).unwrap();
+        b.mark_output("n2").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_fanin() {
+        let c = tiny();
+        let pos: std::collections::HashMap<_, _> = c
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        for node in c.topo_order() {
+            for f in c.node(*node).fanin() {
+                assert!(pos[f] < pos[node]);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_increase_along_paths() {
+        let c = tiny();
+        let n1 = c.find("n1").unwrap();
+        let n2 = c.find("n2").unwrap();
+        let a = c.find("a").unwrap();
+        assert_eq!(c.level(a), 0);
+        assert_eq!(c.level(n1), 1);
+        assert_eq!(c.level(n2), 2);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn fanout_is_inverse_of_fanin() {
+        let c = tiny();
+        let a = c.find("a").unwrap();
+        let n1 = c.find("n1").unwrap();
+        assert_eq!(c.fanout(a), &[n1]);
+    }
+
+    #[test]
+    fn cones() {
+        let c = tiny();
+        let a = c.find("a").unwrap();
+        let n2 = c.find("n2").unwrap();
+        let cone = c.fanout_cone(a);
+        assert_eq!(cone.len(), 3); // a, n1, n2
+        let fic = c.fanin_cone(n2);
+        assert_eq!(fic.len(), 4); // a, b, n1, n2
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let c = tiny();
+        let s = c.to_string();
+        assert!(s.contains("2 inputs"));
+        assert!(s.contains("2 gates"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Graphviz (`.dot`) export of netlists — handy for inspecting the small
+//! synthesized generators (LFSROM next-state networks, mode decoders) and
+//! for documentation figures.
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Renders the circuit as a Graphviz digraph.
+///
+/// Primary inputs are drawn as plain boxes, flip-flops as double octagons,
+/// gates as ellipses labelled `name\nKIND`, and primary outputs are
+/// highlighted. Paste the result into `dot -Tsvg` to visualize.
+///
+/// # Example
+///
+/// ```
+/// let c17 = bist_netlist::iscas85::c17();
+/// let dot = bist_netlist::dot::to_dot(&c17);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("G22"));
+/// ```
+pub fn to_dot(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", circuit.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (idx, node) in circuit.nodes().iter().enumerate() {
+        let id = crate::NodeId::from_index(idx);
+        let (shape, label) = match node.kind() {
+            GateKind::Input => ("box", node.name().to_owned()),
+            GateKind::Dff => ("doubleoctagon", format!("{}\\nDFF", node.name())),
+            kind => ("ellipse", format!("{}\\n{}", node.name(), kind)),
+        };
+        let color = if circuit.is_output(id) {
+            " style=filled fillcolor=lightblue"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  n{idx} [shape={shape} label=\"{label}\"{color}];"
+        );
+    }
+    for (idx, node) in circuit.nodes().iter().enumerate() {
+        for f in node.fanin() {
+            let _ = writeln!(out, "  n{} -> n{idx};", f.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_dot_structure() {
+        let c17 = crate::iscas85::c17();
+        let dot = to_dot(&c17);
+        assert!(dot.starts_with("digraph \"c17\""));
+        // 11 nodes + 12 edges
+        assert_eq!(dot.matches("shape=").count(), 11);
+        assert_eq!(dot.matches(" -> ").count(), 12);
+        // outputs highlighted
+        assert_eq!(dot.matches("lightblue").count(), 2);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dffs_render_distinctly() {
+        use crate::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("reg");
+        b.add_input("d").unwrap();
+        b.add_gate("q", GateKind::Dff, &["d"]).unwrap();
+        b.mark_output("q").unwrap();
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("doubleoctagon"));
+    }
+}

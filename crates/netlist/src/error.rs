@@ -1,0 +1,93 @@
+use std::fmt;
+
+/// Error produced while assembling a circuit with
+/// [`CircuitBuilder`](crate::CircuitBuilder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildCircuitError {
+    /// A node name was declared twice.
+    DuplicateName(String),
+    /// A fan-in or output referred to a name that was never declared.
+    UnknownName(String),
+    /// A gate was declared with an illegal number of fan-ins for its kind.
+    BadFanin {
+        /// Offending node name.
+        name: String,
+        /// Gate kind as declared.
+        kind: String,
+        /// Number of fan-ins supplied.
+        got: usize,
+    },
+    /// The combinational part of the netlist contains a cycle through the
+    /// named node.
+    CombinationalCycle(String),
+    /// The circuit has no primary inputs (and is therefore untestable).
+    NoInputs,
+    /// The circuit has no primary outputs (and is therefore unobservable).
+    NoOutputs,
+    /// The same node was marked as a primary output twice.
+    DuplicateOutput(String),
+}
+
+impl fmt::Display for BuildCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildCircuitError::DuplicateName(n) => write!(f, "duplicate node name `{n}`"),
+            BuildCircuitError::UnknownName(n) => write!(f, "reference to undeclared node `{n}`"),
+            BuildCircuitError::BadFanin { name, kind, got } => {
+                write!(f, "gate `{name}` of kind {kind} has illegal fan-in count {got}")
+            }
+            BuildCircuitError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through node `{n}`")
+            }
+            BuildCircuitError::NoInputs => write!(f, "circuit has no primary inputs"),
+            BuildCircuitError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            BuildCircuitError::DuplicateOutput(n) => {
+                write!(f, "node `{n}` marked as primary output twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildCircuitError {}
+
+/// Error produced while parsing a `.bench` file with
+/// [`bench::parse`](crate::bench::parse).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// A line could not be understood as a declaration.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what went wrong.
+        message: String,
+    },
+    /// The declarations parsed, but the resulting netlist is structurally
+    /// invalid.
+    Build(BuildCircuitError),
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBenchError::Syntax { line, message } => {
+                write!(f, "bench syntax error at line {line}: {message}")
+            }
+            ParseBenchError::Build(e) => write!(f, "bench netlist invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseBenchError::Build(e) => Some(e),
+            ParseBenchError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<BuildCircuitError> for ParseBenchError {
+    fn from(e: BuildCircuitError) -> Self {
+        ParseBenchError::Build(e)
+    }
+}

@@ -1,0 +1,333 @@
+use std::fmt;
+use std::str::FromStr;
+
+/// The logic function computed by a netlist node.
+///
+/// `Input` nodes are primary inputs and have no fan-in. `Dff` nodes are
+/// D flip-flops: their single fan-in is the D pin and their output is the
+/// registered value, which a sequential simulator updates on each clock.
+/// All other kinds are combinational gates; `Buf`/`Not` take exactly one
+/// fan-in, the rest take two or more.
+///
+/// # Example
+///
+/// ```
+/// use bist_netlist::GateKind;
+///
+/// assert!(GateKind::Nand.eval_bool(&[true, false]));
+/// assert!(!GateKind::Nand.eval_bool(&[true, true]));
+/// assert_eq!("NAND".parse::<GateKind>(), Ok(GateKind::Nand));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Primary input (no fan-in).
+    Input,
+    /// Non-inverting buffer (one fan-in).
+    Buf,
+    /// Inverter (one fan-in).
+    Not,
+    /// Logical AND.
+    And,
+    /// Logical NAND.
+    Nand,
+    /// Logical OR.
+    Or,
+    /// Logical NOR.
+    Nor,
+    /// Logical exclusive-OR (parity).
+    Xor,
+    /// Logical exclusive-NOR (inverted parity).
+    Xnor,
+    /// Constant logic 0 (no fan-in).
+    Const0,
+    /// Constant logic 1 (no fan-in).
+    Const1,
+    /// D flip-flop (one fan-in: the D pin).
+    Dff,
+}
+
+impl GateKind {
+    /// All combinational multi-input kinds, useful for iteration in tests
+    /// and generators.
+    pub const MULTI_INPUT: [GateKind; 6] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// Returns the legal fan-in range `(min, max)` for this kind.
+    /// `max` is `usize::MAX` for unbounded multi-input gates.
+    pub fn fanin_range(self) -> (usize, usize) {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => (0, 0),
+            GateKind::Buf | GateKind::Not | GateKind::Dff => (1, 1),
+            GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => (1, usize::MAX),
+        }
+    }
+
+    /// True for nodes that source value from outside the combinational
+    /// network: primary inputs, constants and flip-flop outputs.
+    pub fn is_source(self) -> bool {
+        matches!(
+            self,
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff
+        )
+    }
+
+    /// True for combinational gates (everything that is not a source).
+    pub fn is_combinational(self) -> bool {
+        !self.is_source()
+    }
+
+    /// True if the gate inverts its "natural" core function
+    /// (NAND/NOR/XNOR/NOT).
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not
+        )
+    }
+
+    /// The controlling input value of the gate, if it has one.
+    ///
+    /// A value `c` is controlling when any input at `c` forces the output
+    /// regardless of the other inputs (0 for AND/NAND, 1 for OR/NOR).
+    /// XOR-family gates and single-input gates have none.
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The output value produced when a controlling input is present.
+    pub fn controlled_output(self) -> Option<bool> {
+        let c = self.controlling_value()?;
+        Some(self.eval_bool(&[c, !c]))
+    }
+
+    /// Evaluates the gate over plain booleans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is outside [`GateKind::fanin_range`], or if
+    /// called on `Input`/`Dff` (sources have no combinational function).
+    pub fn eval_bool(self, inputs: &[bool]) -> bool {
+        let (lo, hi) = self.fanin_range();
+        assert!(
+            inputs.len() >= lo && inputs.len() <= hi,
+            "gate {self} evaluated with {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateKind::Input | GateKind::Dff => panic!("source node {self} has no logic function"),
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().all(|&v| v),
+            GateKind::Nand => !inputs.iter().all(|&v| v),
+            GateKind::Or => inputs.iter().any(|&v| v),
+            GateKind::Nor => !inputs.iter().any(|&v| v),
+            GateKind::Xor => inputs.iter().fold(false, |a, &v| a ^ v),
+            GateKind::Xnor => !inputs.iter().fold(false, |a, &v| a ^ v),
+        }
+    }
+
+    /// Evaluates the gate bit-parallel over 64-pattern words.
+    ///
+    /// Bit `i` of the result is the gate output for pattern `i`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`GateKind::eval_bool`].
+    pub fn eval_word(self, inputs: &[u64]) -> u64 {
+        let (lo, hi) = self.fanin_range();
+        assert!(
+            inputs.len() >= lo && inputs.len() <= hi,
+            "gate {self} evaluated with {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateKind::Input | GateKind::Dff => panic!("source node {self} has no logic function"),
+            GateKind::Const0 => 0,
+            GateKind::Const1 => !0,
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().fold(!0u64, |a, &v| a & v),
+            GateKind::Nand => !inputs.iter().fold(!0u64, |a, &v| a & v),
+            GateKind::Or => inputs.iter().fold(0u64, |a, &v| a | v),
+            GateKind::Nor => !inputs.iter().fold(0u64, |a, &v| a | v),
+            GateKind::Xor => inputs.iter().fold(0u64, |a, &v| a ^ v),
+            GateKind::Xnor => !inputs.iter().fold(0u64, |a, &v| a ^ v),
+        }
+    }
+
+    /// The `.bench` keyword for this kind (upper case), e.g. `"NAND"`.
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+            GateKind::Dff => "DFF",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_keyword())
+    }
+}
+
+/// Error returned when parsing a [`GateKind`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateKindError {
+    token: String,
+}
+
+impl fmt::Display for ParseGateKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind `{}`", self.token)
+    }
+}
+
+impl std::error::Error for ParseGateKindError {}
+
+impl FromStr for GateKind {
+    type Err = ParseGateKindError;
+
+    /// Parses a `.bench` keyword, case-insensitively. `BUFF` is accepted as
+    /// an alias for `BUF` (both spellings appear in circulating ISCAS
+    /// files).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "INPUT" => Ok(GateKind::Input),
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            "CONST0" => Ok(GateKind::Const0),
+            "CONST1" => Ok(GateKind::Const1),
+            "DFF" => Ok(GateKind::Dff),
+            _ => Err(ParseGateKindError {
+                token: s.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_and_word_agree_on_two_inputs() {
+        for kind in GateKind::MULTI_INPUT {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let expect = kind.eval_bool(&[a, b]);
+                    let wa = if a { !0u64 } else { 0 };
+                    let wb = if b { !0u64 } else { 0 };
+                    let got = kind.eval_word(&[wa, wb]);
+                    assert_eq!(got, if expect { !0 } else { 0 }, "{kind} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bool_and_word_agree_on_single_input() {
+        for kind in [GateKind::Buf, GateKind::Not] {
+            for a in [false, true] {
+                let expect = kind.eval_bool(&[a]);
+                let wa = if a { !0u64 } else { 0 };
+                assert_eq!(kind.eval_word(&[wa]), if expect { !0 } else { 0 });
+            }
+        }
+    }
+
+    #[test]
+    fn word_eval_is_bitwise_independent() {
+        // patterns: a = 0101..., b = 0011...
+        let a = 0xAAAA_AAAA_AAAA_AAAAu64;
+        let b = 0xCCCC_CCCC_CCCC_CCCCu64;
+        assert_eq!(GateKind::And.eval_word(&[a, b]), a & b);
+        assert_eq!(GateKind::Nor.eval_word(&[a, b]), !(a | b));
+        assert_eq!(GateKind::Xor.eval_word(&[a, b]), a ^ b);
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+        assert_eq!(GateKind::Or.controlling_value(), Some(true));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Not.controlling_value(), None);
+    }
+
+    #[test]
+    fn controlled_outputs() {
+        assert_eq!(GateKind::And.controlled_output(), Some(false));
+        assert_eq!(GateKind::Nand.controlled_output(), Some(true));
+        assert_eq!(GateKind::Or.controlled_output(), Some(true));
+        assert_eq!(GateKind::Nor.controlled_output(), Some(false));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for kind in [
+            GateKind::Input,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Const0,
+            GateKind::Const1,
+            GateKind::Dff,
+        ] {
+            assert_eq!(kind.bench_keyword().parse::<GateKind>(), Ok(kind));
+        }
+        assert_eq!("buff".parse::<GateKind>(), Ok(GateKind::Buf));
+        assert!("FROB".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn xor_is_parity_for_wide_gates() {
+        assert!(GateKind::Xor.eval_bool(&[true, true, true]));
+        assert!(!GateKind::Xor.eval_bool(&[true, true, true, true]));
+        assert!(GateKind::Xnor.eval_bool(&[true, true, false, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluated with")]
+    fn arity_is_checked() {
+        GateKind::Not.eval_bool(&[true, false]);
+    }
+}

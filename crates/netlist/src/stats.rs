@@ -1,0 +1,122 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Summary statistics of a [`Circuit`], used by the synthetic-benchmark
+/// generator's self-checks and by the experiment reports.
+///
+/// # Example
+///
+/// ```
+/// let c17 = bist_netlist::iscas85::c17();
+/// let stats = c17.stats();
+/// assert_eq!(stats.num_gates, 6);
+/// assert_eq!(stats.gate_mix.get(&bist_netlist::GateKind::Nand), Some(&6));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Number of combinational gates.
+    pub num_gates: usize,
+    /// Number of D flip-flops.
+    pub num_dffs: usize,
+    /// Combinational depth (maximum logic level).
+    pub depth: u32,
+    /// Count of gates per kind.
+    pub gate_mix: BTreeMap<GateKind, usize>,
+    /// Largest fan-in of any gate.
+    pub max_fanin: usize,
+    /// Largest fan-out of any node.
+    pub max_fanout: usize,
+    /// Total fan-in connections (≈ wire count).
+    pub total_pins: usize,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut gate_mix = BTreeMap::new();
+        let mut max_fanin = 0;
+        let mut total_pins = 0;
+        let mut num_gates = 0;
+        for node in circuit.nodes() {
+            total_pins += node.fanin().len();
+            if node.kind().is_combinational() {
+                num_gates += 1;
+                max_fanin = max_fanin.max(node.fanin().len());
+                *gate_mix.entry(node.kind()).or_insert(0) += 1;
+            }
+        }
+        let max_fanout = (0..circuit.num_nodes())
+            .map(|i| circuit.fanout(crate::NodeId::from_index(i)).len())
+            .max()
+            .unwrap_or(0);
+        CircuitStats {
+            num_inputs: circuit.inputs().len(),
+            num_outputs: circuit.outputs().len(),
+            num_gates,
+            num_dffs: circuit.num_dffs(),
+            depth: circuit.depth(),
+            gate_mix,
+            max_fanin,
+            max_fanout,
+            total_pins,
+        }
+    }
+
+    /// Average gate fan-in (0 if there are no gates).
+    pub fn avg_fanin(&self) -> f64 {
+        if self.num_gates == 0 {
+            return 0.0;
+        }
+        let gate_pins: usize = self
+            .gate_mix
+            .iter()
+            .map(|(_, &c)| c)
+            .sum::<usize>()
+            .max(1);
+        let _ = gate_pins;
+        self.total_pins as f64 / self.num_gates as f64
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "I/O {}/{}  gates {}  dffs {}  depth {}  max fan-in {}  max fan-out {}",
+            self.num_inputs,
+            self.num_outputs,
+            self.num_gates,
+            self.num_dffs,
+            self.depth,
+            self.max_fanin,
+            self.max_fanout
+        )?;
+        for (kind, count) in &self.gate_mix {
+            writeln!(f, "  {kind:>6}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::iscas85;
+
+    #[test]
+    fn c17_stats() {
+        let s = iscas85::c17().stats();
+        assert_eq!(s.num_inputs, 5);
+        assert_eq!(s.num_outputs, 2);
+        assert_eq!(s.num_gates, 6);
+        assert_eq!(s.num_dffs, 0);
+        assert_eq!(s.depth, 3);
+        assert!(s.avg_fanin() > 1.9 && s.avg_fanin() < 2.1);
+    }
+}

@@ -1,0 +1,311 @@
+use std::collections::HashSet;
+use std::fmt;
+
+use bist_logicsim::{Pattern, SeqSim};
+use bist_netlist::{Circuit, CircuitBuilder, GateKind, NodeId};
+use bist_synth::{AreaModel, CellCount, CellKind};
+
+/// Error returned by [`ScanDesign::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertScanError {
+    /// The circuit holds no flip-flops — nothing to scan; test it as pure
+    /// combinational logic.
+    NoFlipFlops,
+}
+
+impl fmt::Display for InsertScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsertScanError::NoFlipFlops => write!(f, "circuit has no flip-flops to scan"),
+        }
+    }
+}
+
+impl std::error::Error for InsertScanError {}
+
+/// Full-scan insertion of a sequential circuit: every D flip-flop becomes
+/// a mux-scan cell stitched into one chain, making the state fully
+/// controllable and observable — the paper's §1 premise ("inserting
+/// memory elements ... in the form of a scan chain") that turns a
+/// sequential test problem into the combinational one the whole LFSROM
+/// flow solves.
+///
+/// The central artefact is the **test view** ([`ScanDesign::test_view`]):
+/// a combinational circuit whose extra primary inputs are the flip-flop
+/// outputs (scanned in) and whose extra primary outputs are the flip-flop
+/// D-pins (scanned out). Every combinational engine in the workspace —
+/// fault simulation, PODEM, the mixed scheme, LFSROM synthesis — applies
+/// to the test view unchanged; [`ScanDesign::clocks_for`] then converts
+/// pattern counts back into tester clocks through the chain.
+///
+/// # Example
+///
+/// ```
+/// use bist_scan::ScanDesign;
+///
+/// let s27 = bist_netlist::iscas89::s27();
+/// let scan = ScanDesign::insert(&s27)?;
+/// assert_eq!(scan.chain_len(), 3);
+/// assert_eq!(scan.pattern_width(), 4 + 3); // PIs + scanned state
+/// # Ok::<(), bist_scan::InsertScanError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScanDesign {
+    original: Circuit,
+    test_view: Circuit,
+    /// Flip-flop names in scan-chain order (scan-in first).
+    chain: Vec<String>,
+}
+
+impl ScanDesign {
+    /// Inserts full scan into `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsertScanError::NoFlipFlops`] for purely combinational
+    /// circuits.
+    pub fn insert(circuit: &Circuit) -> Result<Self, InsertScanError> {
+        let dffs: Vec<NodeId> = circuit
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind() == GateKind::Dff)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect();
+        if dffs.is_empty() {
+            return Err(InsertScanError::NoFlipFlops);
+        }
+        let chain: Vec<String> = dffs
+            .iter()
+            .map(|&q| circuit.node(q).name().to_owned())
+            .collect();
+
+        // --- build the combinational test view ---
+        let mut b = CircuitBuilder::new(format!("{}_testview", circuit.name()));
+        for &pi in circuit.inputs() {
+            b.add_input(circuit.node(pi).name())
+                .expect("original names are unique");
+        }
+        // flip-flop outputs become pseudo-primary inputs, same names so
+        // fault sites correspond one-to-one
+        for name in &chain {
+            b.add_input(name).expect("original names are unique");
+        }
+        // copy every combinational gate verbatim (fan-in names that used
+        // to reference a flip-flop now reference its pseudo-input)
+        for node in circuit.nodes() {
+            match node.kind() {
+                GateKind::Input | GateKind::Dff => {}
+                kind => {
+                    let fanin: Vec<&str> = node
+                        .fanin()
+                        .iter()
+                        .map(|&f| circuit.node(f).name())
+                        .collect();
+                    b.add_gate(node.name(), kind, &fanin)
+                        .expect("original names are unique");
+                }
+            }
+        }
+        // original primary outputs, plus every flip-flop's D driver as a
+        // pseudo-primary output (deduplicated: one node is observed once)
+        let mut marked: HashSet<String> = HashSet::new();
+        for &po in circuit.outputs() {
+            let name = circuit.node(po).name();
+            if marked.insert(name.to_owned()) {
+                b.mark_output(name).expect("node exists");
+            }
+        }
+        for &q in &dffs {
+            let d = circuit.node(q).fanin()[0];
+            let name = circuit.node(d).name();
+            if marked.insert(name.to_owned()) {
+                b.mark_output(name).expect("node exists");
+            }
+        }
+        let test_view = b.build().expect("test view of a valid circuit is valid");
+        Ok(ScanDesign {
+            original: circuit.clone(),
+            test_view,
+            chain,
+        })
+    }
+
+    /// The sequential circuit scan was inserted into.
+    pub fn original(&self) -> &Circuit {
+        &self.original
+    }
+
+    /// The combinational test view: inputs = PIs then chain state, outputs
+    /// = POs then (deduplicated) flip-flop D drivers.
+    pub fn test_view(&self) -> &Circuit {
+        &self.test_view
+    }
+
+    /// Flip-flop names in scan order.
+    pub fn chain(&self) -> &[String] {
+        &self.chain
+    }
+
+    /// Number of scan cells.
+    pub fn chain_len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Width of one test-view pattern: primary inputs plus scanned state.
+    pub fn pattern_width(&self) -> usize {
+        self.original.inputs().len() + self.chain.len()
+    }
+
+    /// Splits a test-view pattern into `(primary inputs, state)` halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is not [`ScanDesign::pattern_width`] wide.
+    pub fn split_pattern(&self, pattern: &Pattern) -> (Pattern, Pattern) {
+        assert_eq!(pattern.len(), self.pattern_width(), "pattern width");
+        let pis = self.original.inputs().len();
+        (
+            Pattern::from_fn(pis, |i| pattern.get(i)),
+            Pattern::from_fn(self.chain.len(), |i| pattern.get(pis + i)),
+        )
+    }
+
+    /// Scan hardware overhead: one 2-to-1 scan mux per flip-flop plus a
+    /// scan-enable distribution buffer per 16 cells.
+    pub fn scan_overhead_cells(&self) -> CellCount {
+        let mut cells = CellCount::new();
+        cells.add(CellKind::Mux2, self.chain.len());
+        cells.add(CellKind::Buf, self.chain.len().div_ceil(16));
+        cells
+    }
+
+    /// Scan overhead in mm² under `model`.
+    pub fn scan_overhead_mm2(&self, model: &AreaModel) -> f64 {
+        model.area_mm2(&self.scan_overhead_cells())
+    }
+
+    /// Tester clocks to apply `patterns` test-view patterns through the
+    /// chain: each pattern shifts `chain_len` state bits in (primary
+    /// inputs are applied in parallel), one capture clock, and the last
+    /// response shifts out during the next load — plus one final
+    /// `chain_len` unload.
+    pub fn clocks_for(&self, patterns: usize) -> u64 {
+        let chain = self.chain.len() as u64;
+        (patterns as u64) * (chain + 1) + chain
+    }
+
+    /// Checks the structural equivalence that makes scan testing sound:
+    /// for state `s` and input `x`, the original's combinational step
+    /// (outputs and next state) must equal the test view's evaluation of
+    /// `(x, s)`. Returns the first mismatch description, or `None` when
+    /// `trials` random `(x, s)` pairs all agree.
+    pub fn verify(&self, trials: usize, seed: u64) -> Option<String> {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pis = self.original.inputs().len();
+        for t in 0..trials {
+            let x = Pattern::random(&mut rng, pis);
+            let s = Pattern::random(&mut rng, self.chain.len());
+
+            // original: set state, evaluate outputs, clock, read next state
+            let mut sim = SeqSim::new(&self.original);
+            for (i, name) in self.chain.iter().enumerate() {
+                let q = self.original.find(name).expect("chain name exists");
+                sim.set_state(q, s.get(i));
+            }
+            let outs = sim.step(&x.to_bits());
+            let next: Vec<bool> = self
+                .chain
+                .iter()
+                .map(|name| sim.state(self.original.find(name).expect("exists")))
+                .collect();
+
+            // test view: one combinational evaluation of (x, s)
+            let stimulus: Vec<bool> = x.iter().chain(s.iter()).collect();
+            let values = bist_logicsim::naive_eval(&self.test_view, &stimulus);
+            for (k, &po) in self.original.outputs().iter().enumerate() {
+                let name = self.original.node(po).name();
+                let tv = self.test_view.find(name).expect("copied node");
+                if values[tv.index()] != outs[k] {
+                    return Some(format!("trial {t}: output {name} differs"));
+                }
+            }
+            for (i, name) in self.chain.iter().enumerate() {
+                let q = self.original.find(name).expect("exists");
+                let d = self.original.node(q).fanin()[0];
+                let d_name = self.original.node(d).name();
+                let tv = self.test_view.find(d_name).expect("copied node");
+                if values[tv.index()] != next[i] {
+                    return Some(format!("trial {t}: next-state {name} differs"));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::iscas89;
+
+    #[test]
+    fn s27_test_view_shape() {
+        let s27 = iscas89::s27();
+        let scan = ScanDesign::insert(&s27).unwrap();
+        assert_eq!(scan.chain_len(), 3);
+        assert_eq!(scan.pattern_width(), 7);
+        let tv = scan.test_view();
+        assert_eq!(tv.inputs().len(), 7);
+        // 1 PO + 3 distinct D drivers (G10, G11, G13); G11 also drives
+        // G17 but is itself distinct
+        assert_eq!(tv.outputs().len(), 4);
+        assert_eq!(tv.num_dffs(), 0, "test view is combinational");
+    }
+
+    #[test]
+    fn s27_view_is_cycle_accurate() {
+        let scan = ScanDesign::insert(&iscas89::s27()).unwrap();
+        assert_eq!(scan.verify(200, 27), None);
+    }
+
+    #[test]
+    fn synthetic_profiles_verify() {
+        for name in ["s298", "s344", "s641"] {
+            let c = iscas89::circuit(name).unwrap();
+            let scan = ScanDesign::insert(&c).unwrap();
+            assert_eq!(scan.verify(50, 89), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn combinational_circuits_are_rejected() {
+        let c17 = bist_netlist::iscas85::c17();
+        assert_eq!(
+            ScanDesign::insert(&c17).unwrap_err(),
+            InsertScanError::NoFlipFlops
+        );
+    }
+
+    #[test]
+    fn overhead_and_test_time_models() {
+        let scan = ScanDesign::insert(&iscas89::circuit("s344").unwrap()).unwrap();
+        let cells = scan.scan_overhead_cells();
+        assert_eq!(cells.get(CellKind::Mux2), 15);
+        assert_eq!(cells.get(CellKind::Buf), 1);
+        assert!(scan.scan_overhead_mm2(&AreaModel::es2_1um()) > 0.0);
+        // 10 patterns through a 15-cell chain: 10*(15+1) + 15
+        assert_eq!(scan.clocks_for(10), 175);
+        assert_eq!(scan.clocks_for(0), 15);
+    }
+
+    #[test]
+    fn split_pattern_partitions_correctly() {
+        let scan = ScanDesign::insert(&iscas89::s27()).unwrap();
+        let p: Pattern = "1010110".parse().unwrap();
+        let (x, s) = scan.split_pattern(&p);
+        assert_eq!(x.to_string(), "1010");
+        assert_eq!(s.to_string(), "110");
+    }
+}

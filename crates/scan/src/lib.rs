@@ -1,0 +1,41 @@
+//! Full-scan insertion for the LFSROM mixed-BIST reproduction.
+//!
+//! The paper's opening argument is that VLSI testing became tractable by
+//! "inserting memory elements on some of the nodes and then connecting
+//! these memory elements — in the form of a scan chain" (§1), and its
+//! wide-circuit cost accounting assumes patterns are shifted through
+//! exactly such a chain (\[Hel92\] note, §4.2). This crate supplies that
+//! substrate for *sequential* circuits:
+//!
+//! * [`ScanDesign::insert`] — full-scan insertion: every flip-flop
+//!   becomes a mux-scan cell on one chain.
+//! * [`ScanDesign::test_view`] — the combinational test view (state in,
+//!   next-state out) that the whole workspace — fault models, PPSFP,
+//!   PODEM, the mixed scheme, LFSROM synthesis — consumes unchanged.
+//! * [`ScanDesign::verify`] — randomized cycle-accurate equivalence
+//!   between the sequential original and the test view.
+//! * [`ScanDesign::scan_overhead_cells`] / [`ScanDesign::clocks_for`] —
+//!   the silicon and test-time prices of the chain, so mixed-scheme
+//!   trade-offs can be quoted in tester clocks, not just pattern counts.
+//!
+//! # Example: the full mixed flow on a sequential circuit
+//!
+//! ```
+//! use bist_scan::ScanDesign;
+//!
+//! let s27 = bist_netlist::iscas89::s27();
+//! let scan = ScanDesign::insert(&s27)?;
+//! assert_eq!(scan.verify(100, 7), None); // test view is cycle-accurate
+//!
+//! // any combinational engine now applies to scan.test_view(); pattern
+//! // counts convert to tester clocks through the chain:
+//! assert_eq!(scan.clocks_for(100), 100 * (3 + 1) + 3);
+//! # Ok::<(), bist_scan::InsertScanError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod design;
+
+pub use design::{InsertScanError, ScanDesign};

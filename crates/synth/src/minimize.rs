@@ -1,0 +1,368 @@
+use std::collections::HashMap;
+
+use bist_logicsim::Pattern;
+
+use crate::cube::Cube;
+use crate::network::{OutputFunc, TwoLevelNetwork};
+
+/// Care-set specification of one output: minterms that must evaluate to 1
+/// (`on`) and to 0 (`off`); *everything else is a don't-care*.
+///
+/// This is exactly the LFSROM situation: of the `2^w` possible register
+/// states only the `d` sequence states are ever visited, so `on.len() +
+/// off.len() == d` and the minimizer has an astronomically large don't-care
+/// set to expand into.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OutputSpec {
+    /// Minterms where the output must be 1.
+    pub on: Vec<Pattern>,
+    /// Minterms where the output must be 0.
+    pub off: Vec<Pattern>,
+}
+
+/// Tuning knobs for [`synthesize_pla`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisOptions {
+    /// Reuse product terms across outputs (PLA-style sharing). Disabling
+    /// this is the ablation knob for the paper's cost model: each output
+    /// then pays for its own terms.
+    pub share_terms: bool,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions { share_terms: true }
+    }
+}
+
+/// Transposed view of a minterm set: one multi-word bit column per
+/// variable, bit `j` of column `v` being minterm `j`'s value of variable
+/// `v`. Expansion tests become word-parallel AND chains over columns.
+struct Columns {
+    cols: Vec<Vec<u64>>,
+    valid: Vec<u64>,
+    words: usize,
+}
+
+impl Columns {
+    fn new(width: usize, minterms: &[Pattern]) -> Self {
+        let words = minterms.len().div_ceil(64).max(1);
+        let mut cols = vec![vec![0u64; words]; width];
+        for (j, m) in minterms.iter().enumerate() {
+            for (v, col) in cols.iter_mut().enumerate() {
+                if m.get(v) {
+                    col[j / 64] |= 1 << (j % 64);
+                }
+            }
+        }
+        let mut valid = vec![0u64; words];
+        for j in 0..minterms.len() {
+            valid[j / 64] |= 1 << (j % 64);
+        }
+        Columns { cols, valid, words }
+    }
+
+    /// The mask of minterms *agreeing* with literal `(var, polarity)`.
+    fn agree(&self, var: usize, polarity: bool, out: &mut [u64]) {
+        for w in 0..self.words {
+            let c = self.cols[var][w];
+            out[w] = if polarity { c } else { !c } & self.valid[w];
+        }
+    }
+}
+
+/// Expands the minterm `m` against the off-set (single greedy pass):
+/// literals are dropped, in rotated order, whenever the grown cube still
+/// avoids every off minterm.
+fn expand_minterm(width: usize, m: &Pattern, off: &Columns, rotation: usize) -> Cube {
+    let words = off.words;
+    // agree masks per variable for this minterm's literals
+    let mut agree = vec![vec![0u64; words]; width];
+    for v in 0..width {
+        off.agree(v, m.get(v), &mut agree[v]);
+    }
+    let order: Vec<usize> = (0..width).map(|i| (i + rotation) % width).collect();
+    // suffix[k] = AND of agree[order[k..]]
+    let mut suffix = vec![vec![!0u64; words]; width + 1];
+    for k in (0..width).rev() {
+        for w in 0..words {
+            suffix[k][w] = suffix[k + 1][w] & agree[order[k]][w];
+        }
+    }
+    let mut prefix = vec![!0u64; words];
+    let mut cube = Cube::from_minterm(m);
+    for (k, &v) in order.iter().enumerate() {
+        // can we drop literal v? the cube would cover an off minterm only
+        // if all *other* kept literals still agree with it somewhere
+        let mut covers_off = false;
+        for w in 0..words {
+            if prefix[w] & suffix[k + 1][w] & off.valid[w] != 0 {
+                covers_off = true;
+                break;
+            }
+        }
+        if covers_off {
+            // must keep literal v
+            for w in 0..words {
+                prefix[w] &= agree[v][w];
+            }
+        } else {
+            cube.remove_literal(v);
+        }
+    }
+    cube
+}
+
+/// Minimizes a single output: expanded cubes + greedy irredundant cover.
+/// Returns the selected cubes.
+///
+/// # Panics
+///
+/// Panics if the on- and off-sets intersect (an inconsistent
+/// specification) or if any minterm width differs from `width`.
+pub fn minimize_single_output(width: usize, spec: &OutputSpec) -> Vec<Cube> {
+    let candidates = expand_all(width, spec);
+    greedy_cover(&spec.on, candidates)
+}
+
+fn expand_all(width: usize, spec: &OutputSpec) -> Vec<Cube> {
+    for m in spec.on.iter().chain(&spec.off) {
+        assert_eq!(m.len(), width, "minterm width mismatch");
+    }
+    let off = Columns::new(width, &spec.off);
+    let mut seen = HashMap::new();
+    let mut candidates = Vec::new();
+    for (j, m) in spec.on.iter().enumerate() {
+        debug_assert!(
+            !spec.off.contains(m),
+            "minterm {m} appears in both on- and off-set"
+        );
+        let cube = expand_minterm(width, m, &off, j % width.max(1));
+        if seen.insert(cube.clone(), true).is_none() {
+            candidates.push(cube);
+        }
+    }
+    candidates
+}
+
+/// Greedy set cover of the on-set by candidate cubes.
+fn greedy_cover(on: &[Pattern], candidates: Vec<Cube>) -> Vec<Cube> {
+    let mut covered = vec![false; on.len()];
+    let mut cover_sets: Vec<Vec<usize>> = candidates
+        .iter()
+        .map(|c| {
+            on.iter()
+                .enumerate()
+                .filter(|(_, m)| c.contains(m))
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect();
+    let mut selected = Vec::new();
+    let mut remaining = on.len();
+    while remaining > 0 {
+        let (best, _) = cover_sets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.iter().filter(|&&j| !covered[j]).count())
+            .expect("on-set non-empty implies candidates exist");
+        let gain: Vec<usize> = cover_sets[best]
+            .iter()
+            .copied()
+            .filter(|&j| !covered[j])
+            .collect();
+        assert!(!gain.is_empty(), "cover stalled: inconsistent candidates");
+        for j in gain {
+            covered[j] = true;
+            remaining -= 1;
+        }
+        selected.push(candidates[best].clone());
+        cover_sets[best].clear();
+    }
+    selected
+}
+
+/// Synthesizes a multi-output two-level network with default options.
+///
+/// `specs[o]` describes output `o`; all minterms are `width` bits wide.
+/// See [`OutputSpec`] for the don't-care convention and
+/// [`synthesize_pla_with`] for the option knobs.
+pub fn synthesize_pla(width: usize, specs: &[OutputSpec]) -> TwoLevelNetwork {
+    synthesize_pla_with(width, specs, SynthesisOptions::default())
+}
+
+/// Synthesizes a multi-output two-level network.
+///
+/// With `share_terms`, a product term selected for one output is offered to
+/// later outputs (when compatible with their off-sets), modelling PLA-style
+/// AND-plane sharing.
+///
+/// # Panics
+///
+/// Panics on inconsistent specifications (a minterm in both the on- and
+/// off-set of one output).
+pub fn synthesize_pla_with(
+    width: usize,
+    specs: &[OutputSpec],
+    options: SynthesisOptions,
+) -> TwoLevelNetwork {
+    let mut terms: Vec<Cube> = Vec::new();
+    let mut term_index: HashMap<Cube, usize> = HashMap::new();
+    let mut outputs = Vec::with_capacity(specs.len());
+
+    for spec in specs {
+        if spec.on.is_empty() {
+            outputs.push(OutputFunc::Const(false));
+            continue;
+        }
+        if spec.off.is_empty() {
+            outputs.push(OutputFunc::Const(true));
+            continue;
+        }
+        let mut candidates = expand_all(width, spec);
+        if options.share_terms {
+            // offer previously selected terms that avoid this off-set and
+            // cover something from this on-set
+            for t in &terms {
+                if spec.off.iter().all(|m| !t.contains(m))
+                    && spec.on.iter().any(|m| t.contains(m))
+                    && !candidates.contains(t)
+                {
+                    candidates.push(t.clone());
+                }
+            }
+        }
+        let selected = greedy_cover(&spec.on, candidates);
+        let mut indices = Vec::with_capacity(selected.len());
+        for cube in selected {
+            let idx = if options.share_terms {
+                *term_index.entry(cube.clone()).or_insert_with(|| {
+                    terms.push(cube.clone());
+                    terms.len() - 1
+                })
+            } else {
+                terms.push(cube.clone());
+                terms.len() - 1
+            };
+            indices.push(idx);
+        }
+        indices.sort_unstable();
+        indices.dedup();
+        outputs.push(OutputFunc::Terms(indices));
+    }
+    TwoLevelNetwork::new(width, terms, outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Pattern {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn single_literal_collapse() {
+        // on = {110, 111}, off = {000, 001}: variable 0 separates them.
+        let spec = OutputSpec {
+            on: vec![p("110"), p("111")],
+            off: vec![p("000"), p("001")],
+        };
+        let cubes = minimize_single_output(3, &spec);
+        assert_eq!(cubes.len(), 1);
+        assert_eq!(cubes[0].num_literals(), 1);
+    }
+
+    #[test]
+    fn cover_is_correct_on_all_care_minterms() {
+        let spec = OutputSpec {
+            on: vec![p("0011"), p("1011"), p("1110")],
+            off: vec![p("0000"), p("1000"), p("0110")],
+        };
+        let cubes = minimize_single_output(4, &spec);
+        for m in &spec.on {
+            assert!(cubes.iter().any(|c| c.contains(m)), "uncovered on {m}");
+        }
+        for m in &spec.off {
+            assert!(cubes.iter().all(|c| !c.contains(m)), "off violated {m}");
+        }
+    }
+
+    #[test]
+    fn dont_cares_shrink_the_cover() {
+        // with a full truth table (no DCs) the parity function needs 2^{n-1}
+        // terms; with only 2 care minterms it needs 1.
+        let spec = OutputSpec {
+            on: vec![p("10101010")],
+            off: vec![p("01010101")],
+        };
+        let cubes = minimize_single_output(8, &spec);
+        assert_eq!(cubes.len(), 1);
+        assert_eq!(cubes[0].num_literals(), 1, "one literal distinguishes them");
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let net = synthesize_pla(
+            3,
+            &[
+                OutputSpec {
+                    on: vec![],
+                    off: vec![p("000")],
+                },
+                OutputSpec {
+                    on: vec![p("000")],
+                    off: vec![],
+                },
+            ],
+        );
+        assert_eq!(net.eval(&p("101")).to_string(), "01");
+    }
+
+    #[test]
+    fn sharing_reuses_terms() {
+        // two outputs with identical care specs share their single term
+        let spec = OutputSpec {
+            on: vec![p("110"), p("111")],
+            off: vec![p("000")],
+        };
+        let shared = synthesize_pla(3, &[spec.clone(), spec.clone()]);
+        assert_eq!(shared.num_terms(), 1);
+        let unshared = synthesize_pla_with(
+            3,
+            &[spec.clone(), spec],
+            SynthesisOptions { share_terms: false },
+        );
+        assert_eq!(unshared.num_terms(), 2);
+    }
+
+    #[test]
+    fn random_specs_evaluate_correctly() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let width = rng.gen_range(4..40);
+            let count = rng.gen_range(2..30);
+            let mut minterms: Vec<Pattern> = Vec::new();
+            while minterms.len() < count {
+                let m = Pattern::random(&mut rng, width);
+                if !minterms.contains(&m) {
+                    minterms.push(m);
+                }
+            }
+            let split = rng.gen_range(1..minterms.len());
+            let spec = OutputSpec {
+                on: minterms[..split].to_vec(),
+                off: minterms[split..].to_vec(),
+            };
+            let net = synthesize_pla(width, std::slice::from_ref(&spec));
+            for m in &spec.on {
+                assert!(net.eval(m).get(0), "trial {trial}: on {m} evaluated 0");
+            }
+            for m in &spec.off {
+                assert!(!net.eval(m).get(0), "trial {trial}: off {m} evaluated 1");
+            }
+        }
+    }
+}

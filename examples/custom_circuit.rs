@@ -1,0 +1,88 @@
+//! Bring your own netlist: run the mixed-BIST flow on a user-supplied
+//! ISCAS-style `.bench` file.
+//!
+//! ```text
+//! cargo run --release -p bist-core --example custom_circuit -- my_design.bench 100
+//! cargo run --release -p bist-core --example custom_circuit            # built-in demo
+//! ```
+//!
+//! With no arguments, a small demo design (a 4-bit carry-ripple
+//! comparator) is built programmatically, written out as `.bench` text,
+//! parsed back, and then pushed through the flow — demonstrating both the
+//! file format round-trip and the `CircuitBuilder` API.
+
+use bist_core::prelude::*;
+
+fn demo_design() -> Circuit {
+    // a 4-bit equality comparator with a ripple-AND spine
+    let mut b = CircuitBuilder::new("eq4");
+    for i in 0..4 {
+        b.add_input(&format!("a{i}")).expect("fresh");
+        b.add_input(&format!("b{i}")).expect("fresh");
+    }
+    for i in 0..4 {
+        b.add_gate(
+            &format!("x{i}"),
+            GateKind::Xnor,
+            &[&format!("a{i}"), &format!("b{i}")],
+        )
+        .expect("fresh");
+    }
+    b.add_gate("e01", GateKind::And, &["x0", "x1"]).expect("fresh");
+    b.add_gate("e012", GateKind::And, &["e01", "x2"]).expect("fresh");
+    b.add_gate("eq", GateKind::And, &["e012", "x3"]).expect("fresh");
+    b.mark_output("eq").expect("fresh");
+    b.build().expect("demo design is valid")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let circuit = match args.next() {
+        Some(path) => {
+            let src = std::fs::read_to_string(&path)?;
+            let name = std::path::Path::new(&path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("custom")
+                .to_owned();
+            bist_netlist::bench::parse(&name, &src)?
+        }
+        None => {
+            // demonstrate the .bench round-trip on the built-in demo
+            let demo = demo_design();
+            let text = bist_netlist::bench::write(&demo);
+            println!("demo .bench netlist:\n{text}");
+            bist_netlist::bench::parse("eq4", &text)?
+        }
+    };
+    let prefix: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(50);
+
+    println!("{circuit}");
+    let faults = FaultList::mixed_model(&circuit);
+    println!(
+        "fault universe: {} ({} stuck-at + {} stuck-open)",
+        faults.len(),
+        faults.num_stuck_at(),
+        faults.num_stuck_open()
+    );
+
+    let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
+    let s = scheme.solve(prefix)?;
+    println!(
+        "mixed solution: p={}, d={} -> {:.2} % coverage ({} redundant, {} aborted)",
+        s.prefix_len,
+        s.det_len,
+        s.coverage.coverage_pct(),
+        s.coverage.redundant,
+        s.coverage.aborted
+    );
+    println!(
+        "generator: {:.4} mm² = {:.1} % of the {:.4} mm² design",
+        s.generator_area_mm2,
+        s.overhead_pct(),
+        s.chip_area_mm2
+    );
+    assert!(s.generator.verify());
+    println!("hardware replay: OK");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! TPG architecture bake-off: the paper's §1 survey, actually run.
+//!
+//! ```text
+//! cargo run --release -p bist-baselines --example tpg_bakeoff
+//! ```
+//!
+//! The paper's introduction surveys the BIST TPG design space — ROMs,
+//! counters with decoders, cellular automata, (weighted) LFSRs, reseeding
+//! — but its evaluation compares only the two extremes. This example puts
+//! every surveyed architecture on one board for the c432 profile: the
+//! deterministic encoders all embed the same ATPG test set, the
+//! pseudo-random generators all get the same pattern budget, and every
+//! row is re-graded by fault simulation of what the hardware would
+//! actually emit.
+
+use bist_baselines::{bakeoff, BakeoffConfig};
+
+fn main() {
+    let circuit = bist_netlist::iscas85::circuit("c432").expect("known benchmark");
+    let config = BakeoffConfig {
+        random_length: 1000,
+        ..BakeoffConfig::default()
+    };
+    let result = bakeoff(&circuit, &config);
+
+    println!("circuit {}", circuit.name());
+    println!(
+        "deterministic ATPG set: {} patterns; coverage ceiling {:.2} % (ATPG reaches {:.2} %)",
+        result.deterministic_patterns, result.achievable_pct, result.atpg_coverage_pct
+    );
+    println!();
+    println!(
+        "{:<20} {:>8} {:>10} {:>10}   kind",
+        "architecture", "patterns", "area mm²", "coverage"
+    );
+    for row in &result.rows {
+        println!(
+            "{:<20} {:>8} {:>10.3} {:>9.2}%   {}",
+            row.architecture,
+            row.test_length,
+            row.area_mm2,
+            row.coverage_pct,
+            if row.deterministic {
+                "deterministic"
+            } else {
+                "pseudo-random"
+            }
+        );
+    }
+
+    println!();
+    println!("Reading: the plain LFSR is the cheapest device on the board but stalls");
+    println!("below the ceiling; every deterministic encoder reaches the ATPG's");
+    println!("coverage and pays for it in silicon. Where each encoder lands — ROM");
+    println!("array vs counter-PLA vs reseeding vs the paper's LFSROM — is the");
+    println!("architecture trade the mixed scheme then relaxes by shrinking d.");
+}
