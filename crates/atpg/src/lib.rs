@@ -40,4 +40,6 @@ mod podem;
 
 pub use cube::{ParseTestCubeError, TestCube};
 pub use engine::{AtpgOptions, AtpgRun, TestGenerator, TestUnit};
-pub use podem::{justify, justify_cube, podem, podem_cube, CubeOutcome, PodemOptions, PodemOutcome};
+pub use podem::{
+    justify, justify_cube, podem, podem_cube, CubeOutcome, PodemOptions, PodemOutcome,
+};

@@ -315,8 +315,7 @@ impl<'c> Search<'c> {
             match self.objective() {
                 Objective::Achieved => {
                     let width = self.circuit.inputs().len();
-                    let cube =
-                        TestCube::from_bits((0..width).map(|i| self.sim.input(i)).collect());
+                    let cube = TestCube::from_bits((0..width).map(|i| self.sim.input(i)).collect());
                     // Sparse xorshift fill for unassigned inputs: 1s with
                     // probability 1/8. Fully random fill maximizes collateral
                     // detection but makes the deterministic sequence
@@ -600,12 +599,10 @@ mod tests {
         let faults = FaultList::stuck_at_collapsed(&c);
         let mut tested = 0;
         let mut failures = Vec::new();
-        for fault in faults.iter().filter(|f| {
-            matches!(
-                f,
-                Fault::StuckAt { pin: Some(_), .. }
-            )
-        }) {
+        for fault in faults
+            .iter()
+            .filter(|f| matches!(f, Fault::StuckAt { pin: Some(_), .. }))
+        {
             let injected = as_injected(*fault).unwrap();
             match podem(&c, injected, PodemOptions::default()) {
                 PodemOutcome::Test(p) => {

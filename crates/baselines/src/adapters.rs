@@ -1,18 +1,21 @@
-use bist_lfsr::{Lfsr, Polynomial, ScanExpander};
-use bist_logicsim::Pattern;
 use bist_lfsrom::LfsromGenerator;
-use bist_synth::{CellCount, CellKind};
+use bist_logicsim::Pattern;
+use bist_netlist::Circuit;
+use bist_synth::CellCount;
+use bist_tpg::Tpg;
 
-use crate::tpg::TestPatternGenerator;
+/// Back-compat re-export: the plain-LFSR generator now lives in
+/// [`bist_tpg`] next to the trait it implements.
+pub use bist_tpg::PlainLfsr;
 
-/// [`TestPatternGenerator`] face of the paper's LFSROM (the contribution
-/// under comparison), so it can sit in the same bake-off table as the
-/// baselines.
+/// [`Tpg`] wrapper around the paper's LFSROM, kept for compatibility
+/// with code written before [`LfsromGenerator`] implemented [`Tpg`]
+/// directly — new code should use the generator itself.
 ///
 /// # Example
 ///
 /// ```
-/// use bist_baselines::{LfsromTpg, TestPatternGenerator};
+/// use bist_baselines::{LfsromTpg, Tpg};
 /// use bist_lfsrom::LfsromGenerator;
 /// use bist_logicsim::Pattern;
 ///
@@ -44,97 +47,40 @@ impl LfsromTpg {
     }
 }
 
-impl TestPatternGenerator for LfsromTpg {
+impl Tpg for LfsromTpg {
     fn architecture(&self) -> &'static str {
-        "lfsrom"
+        Tpg::architecture(&self.inner)
     }
 
     fn width(&self) -> usize {
-        self.inner.width()
+        Tpg::width(&self.inner)
     }
 
     fn test_length(&self) -> usize {
-        self.inner.sequence().len()
+        Tpg::test_length(&self.inner)
     }
 
     fn sequence(&self) -> Vec<Pattern> {
-        self.inner.replay(self.inner.sequence().len())
+        Tpg::sequence(&self.inner)
     }
 
     fn cells(&self) -> CellCount {
-        self.inner.cells()
-    }
-}
-
-/// The paper's reference pseudo-random generator: a plain Fibonacci LFSR
-/// expanded through the (shared) scan register. The cost charged is the
-/// LFSR core alone — `k` flip-flops plus the feedback XOR tree — matching
-/// the paper's 0.25 mm² accounting, which reuses the circuit's scan chain
-/// for the expansion register.
-#[derive(Debug, Clone)]
-pub struct PlainLfsr {
-    poly: Polynomial,
-    seed: u64,
-    width: usize,
-    test_length: usize,
-}
-
-impl PlainLfsr {
-    /// Creates a generator emitting `test_length` patterns of `width`
-    /// bits.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `width` or `test_length` is 0, or if the seed is invalid
-    /// for the polynomial (see [`Lfsr::fibonacci`]).
-    pub fn new(poly: Polynomial, seed: u64, width: usize, test_length: usize) -> Self {
-        assert!(width > 0, "pattern width must be positive");
-        assert!(test_length > 0, "test length must be positive");
-        let _check = Lfsr::fibonacci(poly, seed);
-        PlainLfsr {
-            poly,
-            seed,
-            width,
-            test_length,
-        }
+        Tpg::cells(&self.inner)
     }
 
-    /// The feedback polynomial.
-    pub fn poly(&self) -> Polynomial {
-        self.poly
-    }
-}
-
-impl TestPatternGenerator for PlainLfsr {
-    fn architecture(&self) -> &'static str {
-        "lfsr"
+    fn netlist(&self) -> Option<&Circuit> {
+        Tpg::netlist(&self.inner)
     }
 
-    fn width(&self) -> usize {
-        self.width
-    }
-
-    fn test_length(&self) -> usize {
-        self.test_length
-    }
-
-    fn sequence(&self) -> Vec<Pattern> {
-        let lfsr = Lfsr::fibonacci(self.poly, self.seed);
-        ScanExpander::new(lfsr, self.width).patterns(self.test_length)
-    }
-
-    fn cells(&self) -> CellCount {
-        let mut cells = CellCount::new();
-        cells.add(CellKind::Dff, self.poly.degree() as usize);
-        cells.add(CellKind::Xor2, self.poly.taps().len().saturating_sub(1));
-        cells
+    fn replay_netlist(&self) -> Option<Vec<Pattern>> {
+        Tpg::replay_netlist(&self.inner)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bist_synth::AreaModel;
+    use bist_synth::{AreaModel, CellKind};
 
     #[test]
     fn plain_lfsr_matches_paper_anchor() {
@@ -166,5 +112,7 @@ mod tests {
         assert_eq!(tpg.sequence(), seq);
         assert!(tpg.cells().get(CellKind::Dff) >= 4);
         assert_eq!(tpg.inner().width(), 4);
+        // the adapter and the direct impl agree
+        assert_eq!(tpg.sequence(), Tpg::sequence(tpg.inner()));
     }
 }

@@ -3,7 +3,7 @@ use std::fmt;
 use bist_logicsim::Pattern;
 use bist_synth::{CellCount, CellKind};
 
-use crate::tpg::TestPatternGenerator;
+use bist_tpg::Tpg;
 
 /// The update rule of one cell in a hybrid one-dimensional cellular
 /// automaton (\[Ser90\], \[Van91\]; the paper's §1/§2.2 "cellular automata"
@@ -104,7 +104,11 @@ impl CaRegister {
         let s = self.state;
         let mut next = 0u64;
         for (i, rule) in self.rules.iter().enumerate() {
-            let left = if i == 0 { false } else { (s >> (i - 1)) & 1 == 1 };
+            let left = if i == 0 {
+                false
+            } else {
+                (s >> (i - 1)) & 1 == 1
+            };
             let right = if i + 1 == n {
                 false
             } else {
@@ -176,7 +180,11 @@ impl CaRegister {
     /// Panics if `n` is outside `1..=63`.
     pub fn find_max_length(n: usize, tries: usize) -> Option<CaRegister> {
         assert!((1..=63).contains(&n), "register length out of range");
-        let cap = if n >= 63 { usize::MAX } else { tries.min(1 << n) };
+        let cap = if n >= 63 {
+            usize::MAX
+        } else {
+            tries.min(1 << n)
+        };
         for code in 0..cap.min(tries) {
             let rules: Vec<CaRule> = (0..n)
                 .map(|i| {
@@ -242,7 +250,7 @@ impl CaTpg {
     }
 }
 
-impl TestPatternGenerator for CaTpg {
+impl Tpg for CaTpg {
     fn architecture(&self) -> &'static str {
         "cellular-automaton"
     }
@@ -266,7 +274,9 @@ impl TestPatternGenerator for CaTpg {
             width: self.width,
             test_length: self.test_length,
         };
-        (0..self.test_length).map(|_| probe.next_pattern()).collect()
+        (0..self.test_length)
+            .map(|_| probe.next_pattern())
+            .collect()
     }
 
     /// CA cells (DFF + one XOR2 for rule 90, two for rule 150; boundary

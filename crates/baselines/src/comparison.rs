@@ -3,17 +3,17 @@ use std::fmt;
 use bist_atpg::{AtpgOptions, TestGenerator};
 use bist_fault::FaultList;
 use bist_faultsim::FaultSim;
-use bist_logicsim::Pattern;
 use bist_lfsrom::LfsromGenerator;
+use bist_logicsim::Pattern;
 use bist_netlist::Circuit;
 use bist_synth::AreaModel;
 
-use crate::adapters::{LfsromTpg, PlainLfsr};
+use bist_tpg::{PlainLfsr, Tpg};
+
 use crate::cellular::{CaRegister, CaTpg};
 use crate::counter_pla::CounterPla;
 use crate::reseed::Reseeding;
 use crate::rom_counter::RomCounter;
-use crate::tpg::TestPatternGenerator;
 use crate::weighted::{weights_from_structure, WeightedLfsr};
 
 /// Configuration for [`bakeoff`].
@@ -128,7 +128,7 @@ pub fn bakeoff(circuit: &Circuit, config: &BakeoffConfig) -> Bakeoff {
     let atpg_coverage_pct = run.report.coverage_pct();
 
     let mut rows = Vec::new();
-    let mut push = |tpg: &dyn TestPatternGenerator, deterministic: bool| {
+    let mut push = |tpg: &dyn Tpg, deterministic: bool| {
         let sequence = tpg.sequence();
         rows.push(BakeoffRow {
             architecture: tpg.architecture(),
@@ -140,8 +140,9 @@ pub fn bakeoff(circuit: &Circuit, config: &BakeoffConfig) -> Bakeoff {
     };
 
     // --- deterministic encoders over the same ATPG set ---
+    // (the LFSROM needs no adapter: it implements `Tpg` directly)
     if let Ok(lfsrom) = LfsromGenerator::synthesize(&det_patterns) {
-        push(&LfsromTpg::new(lfsrom), true);
+        push(&lfsrom, true);
     }
     if let Ok(rom) = RomCounter::new(&det_patterns) {
         push(&rom, true);
@@ -248,7 +249,10 @@ mod tests {
         // be free
         for name in ["lfsrom", "rom-counter", "counter-pla", "lfsr-reseeding"] {
             let row = result.row(name).unwrap();
-            assert!(row.area_mm2 > 2.0 * lfsr.area_mm2, "{name} suspiciously cheap");
+            assert!(
+                row.area_mm2 > 2.0 * lfsr.area_mm2,
+                "{name} suspiciously cheap"
+            );
         }
     }
 

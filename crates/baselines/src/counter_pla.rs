@@ -6,7 +6,9 @@ use bist_synth::{
     count_cells, synthesize_pla_with, CellCount, OutputSpec, SynthesisOptions, TwoLevelNetwork,
 };
 
-use crate::tpg::{address_bits, TestPatternGenerator};
+use bist_tpg::Tpg;
+
+use crate::tpg::address_bits;
 
 /// Error returned by [`CounterPla::synthesize`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,7 +56,7 @@ impl std::error::Error for BuildCounterPlaError {}
 /// # Example
 ///
 /// ```
-/// use bist_baselines::{CounterPla, TestPatternGenerator};
+/// use bist_baselines::{CounterPla, Tpg};
 /// use bist_logicsim::Pattern;
 ///
 /// let patterns: Vec<Pattern> =
@@ -179,11 +181,17 @@ fn build_netlist(addr_bits: usize, network: &TwoLevelNetwork) -> Circuit {
                 .expect("fresh");
             carry = c;
         }
-        b.add_gate(&format!("inc{i}"), GateKind::Xor, &[&format!("q{i}"), &carry])
-            .expect("fresh");
+        b.add_gate(
+            &format!("inc{i}"),
+            GateKind::Xor,
+            &[&format!("q{i}"), &carry],
+        )
+        .expect("fresh");
     }
     let ff_refs: Vec<&str> = ff_names.iter().map(String::as_str).collect();
-    let out_names = network.emit(&mut b, &ff_refs, "pla").expect("fresh namespace");
+    let out_names = network
+        .emit(&mut b, &ff_refs, "pla")
+        .expect("fresh namespace");
     for (i, ff) in ff_names.iter().enumerate() {
         b.add_gate(ff, GateKind::Dff, &[&format!("inc{i}")])
             .expect("fresh");
@@ -191,10 +199,11 @@ fn build_netlist(addr_bits: usize, network: &TwoLevelNetwork) -> Circuit {
     for name in &out_names {
         b.mark_output(name).expect("output exists");
     }
-    b.build().expect("counter-PLA netlist is structurally valid")
+    b.build()
+        .expect("counter-PLA netlist is structurally valid")
 }
 
-impl TestPatternGenerator for CounterPla {
+impl Tpg for CounterPla {
     fn architecture(&self) -> &'static str {
         "counter-pla"
     }
@@ -249,9 +258,7 @@ mod tests {
         for trial in 0..8 {
             let width = 4 + trial;
             let len = 3 + 3 * trial;
-            let seq: Vec<Pattern> = (0..len)
-                .map(|_| Pattern::random(&mut rng, width))
-                .collect();
+            let seq: Vec<Pattern> = (0..len).map(|_| Pattern::random(&mut rng, width)).collect();
             let tpg = CounterPla::synthesize(&seq).unwrap();
             assert_eq!(tpg.replay(len), seq, "trial {trial}");
         }

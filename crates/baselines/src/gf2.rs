@@ -61,7 +61,7 @@ impl Gf2System {
             .collect();
         let mut pivot_of_col: Vec<Option<usize>> = vec![None; n];
         let mut rank = 0usize;
-        for col in 0..n {
+        for (col, pivot) in pivot_of_col.iter_mut().enumerate() {
             let Some(pr) = (rank..rows.len()).find(|&r| rows[r].0 >> col & 1 == 1) else {
                 continue;
             };
@@ -73,7 +73,7 @@ impl Gf2System {
                     row.1 ^= pb;
                 }
             }
-            pivot_of_col[col] = Some(rank);
+            *pivot = Some(rank);
             rank += 1;
         }
         // inconsistent: a zero row with rhs 1
@@ -82,8 +82,8 @@ impl Gf2System {
         }
         // particular solution: free variables 0, pivots take their rhs
         let mut x = 0u64;
-        for col in 0..n {
-            if let Some(r) = pivot_of_col[col] {
+        for (col, pivot) in pivot_of_col.iter().enumerate() {
+            if let Some(r) = *pivot {
                 if rows[r].1 {
                     x |= 1 << col;
                 }
@@ -96,8 +96,8 @@ impl Gf2System {
                 continue;
             }
             let mut v = 1u64 << free;
-            for col in 0..n {
-                if let Some(r) = pivot_of_col[col] {
+            for (col, pivot) in pivot_of_col.iter().enumerate() {
+                if let Some(r) = *pivot {
                     if rows[r].0 >> free & 1 == 1 {
                         v |= 1 << col;
                     }

@@ -19,15 +19,19 @@
 //!   structure-derived weights ([`weights_from_structure`]).
 //! * [`Reseeding`] — multiple-polynomial LFSR reseeding over ATPG test
 //!   cubes, seeds solved by GF(2) elimination ([`Gf2System`]).
-//! * [`PlainLfsr`] / [`LfsromTpg`] — adapters putting the paper's own two
-//!   architectures behind the same [`TestPatternGenerator`] trait.
 //! * [`bakeoff`] — the whole field over one circuit, equal terms, graded
 //!   by fault simulation.
+//!
+//! Every architecture implements the workspace-level [`Tpg`] trait
+//! (re-exported here, with [`TestPatternGenerator`] as the historical
+//! alias), which is also how the paper's own two architectures join the
+//! board: [`bist_lfsrom::LfsromGenerator`] implements it directly and
+//! [`PlainLfsr`] (now in [`bist_tpg`]) covers the bare LFSR.
 //!
 //! # Example
 //!
 //! ```
-//! use bist_baselines::{RomCounter, TestPatternGenerator};
+//! use bist_baselines::{RomCounter, Tpg};
 //! use bist_logicsim::Pattern;
 //! use bist_synth::AreaModel;
 //!
@@ -58,5 +62,5 @@ pub use counter_pla::{BuildCounterPlaError, CounterPla};
 pub use gf2::Gf2System;
 pub use reseed::{EncodeSeedsError, Reseeding, SeedWord};
 pub use rom_counter::{BuildRomCounterError, RomCounter};
-pub use tpg::TestPatternGenerator;
+pub use tpg::{TestPatternGenerator, Tpg};
 pub use weighted::{weights_from_structure, Weight, WeightedLfsr};

@@ -6,7 +6,9 @@ use bist_logicsim::Pattern;
 use bist_synth::{CellCount, CellKind};
 
 use crate::gf2::Gf2System;
-use crate::tpg::{address_bits, counter_cells, TestPatternGenerator};
+use bist_tpg::Tpg;
+
+use crate::tpg::{address_bits, counter_cells};
 
 /// Error returned by [`Reseeding::encode`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,7 +80,7 @@ pub enum SeedWord {
 ///
 /// ```
 /// use bist_atpg::TestCube;
-/// use bist_baselines::{Reseeding, TestPatternGenerator};
+/// use bist_baselines::{Reseeding, Tpg};
 ///
 /// let cubes: Vec<TestCube> = ["1XXX0XXX", "XX01XXXX", "XXXXXX11"]
 ///     .iter()
@@ -146,7 +148,10 @@ impl Reseeding {
         let mut degrees: Vec<u32> = chosen.iter().flatten().map(|&(d, _)| d).collect();
         degrees.sort_unstable();
         degrees.dedup();
-        let polys: Vec<Polynomial> = degrees.iter().map(|&d| bist_lfsr::primitive_poly(d)).collect();
+        let polys: Vec<Polynomial> = degrees
+            .iter()
+            .map(|&d| bist_lfsr::primitive_poly(d))
+            .collect();
         let words = chosen
             .iter()
             .zip(cubes)
@@ -251,7 +256,7 @@ fn expansion_rows(poly: Polynomial, width: usize) -> Vec<u64> {
     (0..width).map(|i| reg[width - 1 - i]).collect()
 }
 
-impl TestPatternGenerator for Reseeding {
+impl Tpg for Reseeding {
     fn architecture(&self) -> &'static str {
         "lfsr-reseeding"
     }
@@ -345,7 +350,7 @@ mod tests {
     fn random_cube_sets_encode_and_verify() {
         let mut rng = StdRng::seed_from_u64(4242);
         for trial in 0..20 {
-            let width = rng.gen_range(8..60);
+            let width = rng.gen_range(8..60usize);
             let n = rng.gen_range(1..12);
             let cubes: Vec<TestCube> = (0..n)
                 .map(|_| {

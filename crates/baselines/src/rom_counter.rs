@@ -3,7 +3,9 @@ use std::fmt;
 use bist_logicsim::Pattern;
 use bist_synth::{CellCount, CellKind};
 
-use crate::tpg::{address_bits, counter_cells, TestPatternGenerator};
+use bist_tpg::Tpg;
+
+use crate::tpg::{address_bits, counter_cells};
 
 /// Error returned by [`RomCounter::new`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,7 +51,7 @@ impl std::error::Error for BuildRomCounterError {}
 /// # Example
 ///
 /// ```
-/// use bist_baselines::{RomCounter, TestPatternGenerator};
+/// use bist_baselines::{RomCounter, Tpg};
 /// use bist_logicsim::Pattern;
 ///
 /// let patterns: Vec<Pattern> =
@@ -105,7 +107,7 @@ impl RomCounter {
     }
 }
 
-impl TestPatternGenerator for RomCounter {
+impl Tpg for RomCounter {
     fn architecture(&self) -> &'static str {
         "rom-counter"
     }
@@ -128,7 +130,10 @@ impl TestPatternGenerator for RomCounter {
     fn cells(&self) -> CellCount {
         let mut cells = counter_cells(self.addr_bits);
         cells.add(CellKind::Inv, self.addr_bits);
-        cells.add(CellKind::And2, self.patterns.len() * self.addr_bits.saturating_sub(1));
+        cells.add(
+            CellKind::And2,
+            self.patterns.len() * self.addr_bits.saturating_sub(1),
+        );
         cells.add(CellKind::RomBit, self.rom_bits());
         cells
     }

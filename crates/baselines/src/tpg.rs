@@ -1,34 +1,19 @@
-use bist_logicsim::Pattern;
-use bist_synth::{AreaModel, CellCount};
+//! Trait re-exports and shared cost helpers.
+//!
+//! The [`TestPatternGenerator`] trait this module used to define was
+//! promoted to the workspace-level [`bist_tpg::Tpg`] trait so *every*
+//! generator in the workspace — including the mixed generator and the
+//! paper's LFSROM, which live outside this crate — presents one face.
+//! The old name stays re-exported here for compatibility.
 
-/// The common face of every BIST test-pattern-generator architecture in
-/// this crate (and of the paper's LFSROM, adapted via
-/// [`LfsromTpg`](crate::LfsromTpg)): a pattern sequence plus a silicon
-/// cost, so architectures can be compared on the paper's two axes — test
-/// length and area overhead.
-pub trait TestPatternGenerator {
-    /// Architecture name for reports (e.g. `"rom-counter"`).
-    fn architecture(&self) -> &'static str;
+/// The unified TPG trait (promoted to [`bist_tpg`]).
+pub use bist_tpg::Tpg;
 
-    /// Width of the emitted patterns (number of CUT primary inputs).
-    fn width(&self) -> usize;
+/// Back-compat alias for [`Tpg`], the name this crate exported before
+/// the trait was promoted to `bist-tpg`.
+pub use bist_tpg::Tpg as TestPatternGenerator;
 
-    /// Number of patterns the generator is designed to emit per test
-    /// session.
-    fn test_length(&self) -> usize;
-
-    /// The emitted pattern sequence, in order.
-    fn sequence(&self) -> Vec<Pattern>;
-
-    /// The generator's standard-cell inventory (flip-flops, gates, ROM
-    /// bits).
-    fn cells(&self) -> CellCount;
-
-    /// Silicon area in mm² under `model`, routing included.
-    fn area_mm2(&self, model: &AreaModel) -> f64 {
-        model.area_mm2(&self.cells())
-    }
-}
+use bist_synth::CellCount;
 
 /// Standard-cell inventory of a ripple binary counter with `bits`
 /// flip-flops: bit 0 toggles (one inverter), every further bit is

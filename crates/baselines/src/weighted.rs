@@ -5,7 +5,7 @@ use bist_logicsim::Pattern;
 use bist_netlist::{Circuit, GateKind};
 use bist_synth::{CellCount, CellKind};
 
-use crate::tpg::TestPatternGenerator;
+use bist_tpg::Tpg;
 
 /// The one-probability a weighted-random generator imposes on one CUT
 /// input. Weights are the dyadic values cheap weighting logic can realize:
@@ -104,7 +104,7 @@ impl fmt::Display for Weight {
 /// # Example
 ///
 /// ```
-/// use bist_baselines::{TestPatternGenerator, WeightedLfsr};
+/// use bist_baselines::{Tpg, WeightedLfsr};
 ///
 /// let c880 = bist_netlist::iscas85::circuit("c880").expect("known benchmark");
 /// let weights = bist_baselines::weights_from_structure(&c880);
@@ -144,7 +144,7 @@ impl WeightedLfsr {
     }
 }
 
-impl TestPatternGenerator for WeightedLfsr {
+impl Tpg for WeightedLfsr {
     fn architecture(&self) -> &'static str {
         "weighted-random"
     }

@@ -24,7 +24,9 @@ fn deterministic_set(circuit: &Circuit, compact: bool) -> Vec<Pattern> {
         no_compaction: !compact,
         ..AtpgOptions::default()
     };
-    TestGenerator::new(circuit, faults, options).run().sequence()
+    TestGenerator::new(circuit, faults, options)
+        .run()
+        .sequence()
 }
 
 fn ablation_report() {

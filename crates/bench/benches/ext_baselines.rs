@@ -55,7 +55,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| Reseeding::encode(&cubes).expect("encodable").rom_bits())
     });
     group.bench_function("ca_max_length_search_16", |b| {
-        b.iter(|| CaRegister::find_max_length(16, 1 << 16).expect("exists").len())
+        b.iter(|| {
+            CaRegister::find_max_length(16, 1 << 16)
+                .expect("exists")
+                .len()
+        })
     });
     group.finish();
 }

@@ -9,8 +9,8 @@ use bist_core::prelude::*;
 
 fn series() {
     let c = iscas85::circuit("c3540").expect("known benchmark");
-    let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
-    let curve = scheme.random_coverage_curve(&[0, 100, 200, 500, 1000]);
+    let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+    let curve = session.random_coverage_curve(&[0, 100, 200, 500, 1000]);
     println!("\n[fig4] c3540 coverage vs pseudo-random length (paper: 88.4 % @ 200):");
     print!("{curve}");
 }

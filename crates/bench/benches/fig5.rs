@@ -4,16 +4,16 @@
 //! profile (the full c3540 sweep lives in the `fig5_mixed_coverage`
 //! binary), then measures the solve latency.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use bist_core::prelude::*;
 
 fn series() {
     let c = iscas85::circuit("c432").expect("known benchmark");
-    let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
+    let mut session = BistSession::new(&c, MixedSchemeConfig::default());
     println!("\n[fig5] c432 mixed tuples (every tuple reaches maximal coverage):");
     for p in [0usize, 100, 400] {
-        let s = scheme.solve(p).expect("flow succeeds");
+        let s = session.solve_at(p).expect("flow succeeds");
         println!(
             "  p={:>4} d={:>4}  prefix {:>6.2} %  final {:>6.2} %",
             s.prefix_len,
@@ -27,11 +27,14 @@ fn series() {
 fn bench(c: &mut Criterion) {
     series();
     let circuit = iscas85::circuit("c432").expect("known benchmark");
-    let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);
     group.bench_function("mixed_solve_c432_p100", |b| {
-        b.iter(|| scheme.solve(100).expect("flow succeeds"))
+        b.iter_batched(
+            || BistSession::new(&circuit, MixedSchemeConfig::default()),
+            |mut session| session.solve_at(100).expect("flow succeeds"),
+            BatchSize::LargeInput,
+        )
     });
     group.finish();
 }

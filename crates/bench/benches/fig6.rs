@@ -12,8 +12,8 @@ fn series() {
     let model = AreaModel::es2_1um();
     for name in ["c17", "c432", "c880"] {
         let c = iscas85::circuit(name).expect("known benchmark");
-        let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
-        let s = scheme.solve(0).expect("deterministic flow");
+        let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+        let s = session.solve_at(0).expect("deterministic flow");
         let chip = model.circuit_area_mm2(&c);
         println!(
             "  {name:>6}: {:>4} patterns, generator {:.3} mm², chip {:.3} mm², overhead {:.0} %",
@@ -36,7 +36,11 @@ fn bench(c: &mut Criterion) {
     series();
     let circuit = iscas85::circuit("c432").expect("known benchmark");
     let sequence = deterministic_set(&circuit);
-    println!("benchmarking LFSROM synthesis of {} x {} bits", sequence.len(), circuit.inputs().len());
+    println!(
+        "benchmarking LFSROM synthesis of {} x {} bits",
+        sequence.len(),
+        circuit.inputs().len()
+    );
     let mut group = c.benchmark_group("fig6");
     group.sample_size(10);
     group.bench_function("lfsrom_synthesis_c432_full_set", |b| {
@@ -45,9 +49,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("atpg_full_deterministic_c17", |b| {
         let c17 = iscas85::c17();
         let faults = FaultList::mixed_model(&c17);
-        b.iter(|| {
-            TestGenerator::new(&c17, faults.clone(), AtpgOptions::default()).run()
-        })
+        b.iter(|| TestGenerator::new(&c17, faults.clone(), AtpgOptions::default()).run())
     });
     group.finish();
 }

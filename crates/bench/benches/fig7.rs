@@ -10,10 +10,10 @@ use rand::SeedableRng;
 
 fn series() {
     let c = iscas85::circuit("c432").expect("known benchmark");
-    let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
+    let mut session = BistSession::new(&c, MixedSchemeConfig::default());
     println!("\n[fig7] c432 generator cost vs mixed length (paper shape: monotone fall):");
     for p in [0usize, 100, 400] {
-        let s = scheme.solve(p).expect("flow succeeds");
+        let s = session.solve_at(p).expect("flow succeeds");
         println!(
             "  p={:>4} d={:>4} -> {:.3} mm²",
             s.prefix_len, s.det_len, s.generator_area_mm2

@@ -8,10 +8,10 @@ use bist_core::prelude::*;
 
 fn series() {
     let c = iscas85::circuit("c432").expect("known benchmark");
-    let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
+    let mut session = BistSession::new(&c, MixedSchemeConfig::default());
     println!("\n[fig8] c432 overhead vs mixed length (paper c3540 shape: 68 % -> 7.5 %):");
     for p in [0usize, 100, 400] {
-        let s = scheme.solve(p).expect("flow succeeds");
+        let s = session.solve_at(p).expect("flow succeeds");
         println!(
             "  p={:>4} d={:>4} -> {:.1} % of chip",
             s.prefix_len,

@@ -2,18 +2,20 @@
 //! circuit. Prints the c17/c432 rows once, then measures the full
 //! deterministic flow (the expensive column of the table).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use bist_core::prelude::*;
 
 fn series() {
-    println!("\n[table1] extremes (paper c3540 row: 144 patterns, 2.5 mm² / 68 % vs 0.25 mm² / 7.5 %):");
+    println!(
+        "\n[table1] extremes (paper c3540 row: 144 patterns, 2.5 mm² / 68 % vs 0.25 mm² / 7.5 %):"
+    );
     for name in ["c17", "c432"] {
         let c = iscas85::circuit(name).expect("known benchmark");
-        let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
-        let det = scheme.solve(0).expect("deterministic flow");
-        let lfsr = lfsr_netlist(scheme.config().poly);
-        let lfsr_mm2 = scheme.config().area.circuit_area_mm2(&lfsr);
+        let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+        let det = session.solve_at(0).expect("deterministic flow");
+        let lfsr = lfsr_netlist(session.config().poly);
+        let lfsr_mm2 = session.config().area.circuit_area_mm2(&lfsr);
         println!(
             "  {name:>6}: deterministic {:>4} patterns {:.3} mm² ({:.0} %) | LFSR {:.3} mm² ({:.1} %)",
             det.det_len,
@@ -28,11 +30,14 @@ fn series() {
 fn bench(c: &mut Criterion) {
     series();
     let circuit = iscas85::circuit("c432").expect("known benchmark");
-    let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
     group.bench_function("full_deterministic_extreme_c432", |b| {
-        b.iter(|| scheme.solve(0).expect("deterministic flow"))
+        b.iter_batched(
+            || BistSession::new(&circuit, MixedSchemeConfig::default()),
+            |mut session| session.solve_at(0).expect("deterministic flow"),
+            BatchSize::LargeInput,
+        )
     });
     group.finish();
 }

@@ -1,15 +1,15 @@
 //! Criterion bench for the **Table 2** kernel: the per-circuit trade-off
 //! sweep. Prints one reproduced mini-table, then measures a three-point
-//! explorer sweep end to end.
+//! session sweep end to end (cold session per sample).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use bist_core::prelude::*;
 
 fn series() {
     let c = iscas85::circuit("c432").expect("known benchmark");
-    let explorer = TradeoffExplorer::new(&c, MixedSchemeConfig::default());
-    let summary = explorer.sweep(&[0, 100, 400]).expect("sweep succeeds");
+    let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+    let summary = session.sweep(&[0, 100, 400]).expect("sweep succeeds");
     println!("\n[table2] c432 mixed solutions:");
     print!("{summary}");
 }
@@ -17,11 +17,14 @@ fn series() {
 fn bench(c: &mut Criterion) {
     series();
     let c17 = iscas85::c17();
-    let explorer = TradeoffExplorer::new(&c17, MixedSchemeConfig::default());
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
-    group.bench_function("explorer_sweep_c17_3_points", |b| {
-        b.iter(|| explorer.sweep(&[0, 8, 32]).expect("sweep succeeds"))
+    group.bench_function("session_sweep_c17_3_points", |b| {
+        b.iter_batched(
+            || BistSession::new(&c17, MixedSchemeConfig::default()),
+            |mut session| session.sweep(&[0, 8, 32]).expect("sweep succeeds"),
+            BatchSize::LargeInput,
+        )
     });
     group.finish();
 }

@@ -1,0 +1,183 @@
+//! **BENCH_sweep** — wall-time of the trade-off sweep, old one-shot path
+//! versus the incremental `BistSession` path, recorded machine-readably
+//! so the perf trajectory of the workspace is tracked over time.
+//!
+//! ```text
+//! cargo run --release -p bist-bench --bin bench_sweep
+//! cargo run --release -p bist-bench --bin bench_sweep -- --quick
+//! cargo run --release -p bist-bench --bin bench_sweep -- --circuits c432
+//! ```
+//!
+//! Writes `BENCH_sweep.json` into the current directory: per circuit the
+//! end-to-end sweep wall-times of both paths, the isolated
+//! *prefix-grading* wall-times (fault-list construction + pseudo-random
+//! fault simulation — the component the session de-quadratifies; the
+//! end-to-end sweep on these ladders is dominated by the per-frontier
+//! ATPG top-ups, which both paths share), the session's work counters
+//! (patterns simulated once vs. re-graded per point, ATPG runs vs. cache
+//! hits) and the solved `(p, d)` frontier. Both paths produce
+//! bit-identical solutions — enforced here before the numbers are
+//! written.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bist_bench::{banner, ExperimentArgs};
+use bist_core::prelude::*;
+
+struct CircuitResult {
+    name: String,
+    session_s: f64,
+    oneshot_s: f64,
+    grading_session_s: f64,
+    grading_oneshot_s: f64,
+    stats: SessionStats,
+    points: Vec<(usize, usize)>,
+}
+
+fn main() {
+    banner(
+        "BENCH sweep",
+        "incremental BistSession::sweep vs point-wise one-shot solves",
+    );
+    let args = ExperimentArgs::parse(&["c432", "c3540"]);
+    let prefixes: Vec<usize> = if args.quick {
+        vec![0, 50, 100]
+    } else {
+        vec![0, 100, 200, 500, 1000]
+    };
+    println!("prefix checkpoints: {prefixes:?}\n");
+
+    let mut results: Vec<CircuitResult> = Vec::new();
+    for circuit in args.load_circuits() {
+        // --- new path: one session, one incremental pass ---
+        let t = Instant::now();
+        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+        let summary = session.sweep(&prefixes).expect("sweep succeeds");
+        let session_s = t.elapsed().as_secs_f64();
+        let stats = session.stats();
+
+        // --- old path: the historical MixedScheme::solve(p) per point ---
+        #[allow(deprecated)]
+        let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
+        let t = Instant::now();
+        let mut oneshot = Vec::with_capacity(prefixes.len());
+        for &p in &prefixes {
+            #[allow(deprecated)]
+            let s = scheme.solve(p).expect("solve succeeds");
+            oneshot.push(s);
+        }
+        let oneshot_s = t.elapsed().as_secs_f64();
+
+        // both paths must agree bit-for-bit before the numbers count
+        for (a, b) in summary.solutions().iter().zip(&oneshot) {
+            assert_eq!(a.det_len, b.det_len, "paths diverge at p={}", a.prefix_len);
+            assert_eq!(
+                a.generator.deterministic(),
+                b.generator.deterministic(),
+                "paths diverge at p={}",
+                a.prefix_len
+            );
+        }
+
+        // --- the component the session de-quadratifies, in isolation:
+        // fault-list construction + pseudo-random prefix grading ---
+        let t = Instant::now();
+        let mut grading = BistSession::new(&circuit, MixedSchemeConfig::default());
+        let curve = grading.random_coverage_curve(&prefixes);
+        let grading_session_s = t.elapsed().as_secs_f64();
+
+        let width = circuit.inputs().len();
+        let poly = MixedSchemeConfig::default().poly;
+        let t = Instant::now();
+        let mut oneshot_curve = Vec::with_capacity(prefixes.len());
+        for &p in &prefixes {
+            // the historical per-point restart: rebuild the universe,
+            // regenerate and re-grade the whole prefix
+            let mut sim = FaultSim::new(&circuit, FaultList::mixed_model(&circuit));
+            sim.simulate(&pseudo_random_patterns(poly, width, p));
+            oneshot_curve.push((p, sim.report().coverage_pct()));
+        }
+        let grading_oneshot_s = t.elapsed().as_secs_f64();
+        assert_eq!(curve.points(), &oneshot_curve[..], "grading paths diverge");
+
+        println!(
+            "{:>6}: sweep {session_s:8.2}s vs {oneshot_s:8.2}s ({:4.2}x) | prefix grading \
+             {grading_session_s:6.2}s vs {grading_oneshot_s:6.2}s ({:4.2}x) | patterns {} \
+             once vs {} re-graded | ATPG {} runs, {} cache hits",
+            circuit.name(),
+            oneshot_s / session_s,
+            grading_oneshot_s / grading_session_s,
+            stats.patterns_simulated,
+            prefixes.iter().sum::<usize>(),
+            stats.atpg_runs,
+            stats.atpg_cache_hits,
+        );
+        results.push(CircuitResult {
+            name: circuit.name().to_owned(),
+            session_s,
+            oneshot_s,
+            grading_session_s,
+            grading_oneshot_s,
+            stats,
+            points: summary
+                .solutions()
+                .iter()
+                .map(|s| (s.prefix_len, s.det_len))
+                .collect(),
+        });
+    }
+
+    let json = render_json(&prefixes, &results);
+    std::fs::write("BENCH_sweep.json", &json).expect("writable working directory");
+    println!("\nwrote BENCH_sweep.json ({} bytes)", json.len());
+}
+
+fn render_json(prefixes: &[usize], results: &[CircuitResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"sweep\",\n");
+    let _ = writeln!(
+        out,
+        "  \"prefix_lengths\": [{}],",
+        prefixes
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    out.push_str("  \"circuits\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let points = r
+            .points
+            .iter()
+            .map(|(p, d)| format!("{{\"p\": {p}, \"d\": {d}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            out,
+            "    {{\n      \"circuit\": \"{}\",\n      \"session_seconds\": {:.4},\n      \
+             \"oneshot_seconds\": {:.4},\n      \"speedup\": {:.3},\n      \
+             \"prefix_grading_session_seconds\": {:.4},\n      \
+             \"prefix_grading_oneshot_seconds\": {:.4},\n      \
+             \"prefix_grading_speedup\": {:.3},\n      \
+             \"patterns_simulated\": {},\n      \"patterns_resimulated\": {},\n      \
+             \"atpg_runs\": {},\n      \"atpg_cache_hits\": {},\n      \
+             \"points\": [{}]\n    }}",
+            r.name,
+            r.session_s,
+            r.oneshot_s,
+            r.oneshot_s / r.session_s,
+            r.grading_session_s,
+            r.grading_oneshot_s,
+            r.grading_oneshot_s / r.grading_session_s,
+            r.stats.patterns_simulated,
+            r.stats.patterns_resimulated,
+            r.stats.atpg_runs,
+            r.stats.atpg_cache_hits,
+            points
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

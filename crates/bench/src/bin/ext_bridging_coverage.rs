@@ -25,9 +25,8 @@ fn main() {
     let args = ExperimentArgs::parse(&["c432", "c880"]);
     let samples = if args.quick { 150 } else { 400 };
     for circuit in args.load_circuits() {
-        let width = circuit.inputs().len();
         let bridges = BridgingFaultList::sample(&circuit, samples, 0x1dd9);
-        let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
+        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
         println!(
             "\n{} — {} sampled non-feedback bridges",
             circuit.name(),
@@ -39,7 +38,7 @@ fn main() {
         );
 
         let p = if args.quick { 128 } else { 512 };
-        let random_only = scheme.pseudo_random_patterns(p);
+        let random_only = session.pseudo_random_patterns(p);
         let mut sim = BridgingSim::new(&circuit, bridges.clone());
         sim.simulate(&random_only);
         let (rand_v, rand_q) = (sim.report().coverage_pct(), sim.iddq_coverage_pct());
@@ -51,7 +50,7 @@ fn main() {
             rand_q
         );
 
-        let solution = scheme.solve(p).expect("solvable");
+        let solution = session.solve_at(p).expect("solvable");
         let (prefix, suffix) = solution.generator.replay();
         let mixed: Vec<Pattern> = prefix.into_iter().chain(suffix).collect();
         let mixed_len = mixed.len();

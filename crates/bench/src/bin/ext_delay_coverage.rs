@@ -31,11 +31,7 @@ fn main() {
     for circuit in args.load_circuits() {
         let width = circuit.inputs().len();
         let faults = TransitionFaultList::universe(&circuit);
-        println!(
-            "\n{} — {} transition faults",
-            circuit.name(),
-            faults.len()
-        );
+        println!("\n{} — {} transition faults", circuit.name(), faults.len());
         println!(
             "{:>6}  {:>12}  {:>12}  {:>12}  {:>12}",
             "p", "prefix cov %", "top-up d", "final cov %", "redundant"
@@ -52,8 +48,7 @@ fn main() {
                 },
             )
             .run();
-            let prefix_cov =
-                100.0 * run.prefix_detected as f64 / run.report.total().max(1) as f64;
+            let prefix_cov = 100.0 * run.prefix_detected as f64 / run.report.total().max(1) as f64;
             println!(
                 "{:>6}  {:>11.2}%  {:>12}  {:>11.2}%  {:>12}",
                 p,

@@ -36,7 +36,7 @@ fn main() {
             None,
             "{name}: test view must be cycle-accurate"
         );
-        let scheme = MixedScheme::new(scan.test_view(), MixedSchemeConfig::default());
+        let mut session = BistSession::new(scan.test_view(), MixedSchemeConfig::default());
         println!(
             "\n{name}: {} flip-flops, {} gates, chain overhead {:.4} mm²",
             sequential.num_dffs(),
@@ -50,7 +50,7 @@ fn main() {
         let mut last_area = f64::INFINITY;
         let mut coverages: Vec<f64> = Vec::new();
         for p in [0usize, 128, 512] {
-            let solution = scheme.solve(p).expect("solvable");
+            let solution = session.solve_at(p).expect("solvable");
             assert!(solution.generator.verify(), "{name}: replay must hold");
             println!(
                 "{:>6}  {:>6}  {:>11.2}%  {:>10.3}  {:>14}",
@@ -74,7 +74,10 @@ fn main() {
         }
         let spread = coverages.iter().cloned().fold(f64::MIN, f64::max)
             - coverages.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread < 1.5, "{name}: all compositions reach the same coverage");
+        assert!(
+            spread < 1.5,
+            "{name}: all compositions reach the same coverage"
+        );
     }
     println!("\nShape claim: the paper's Figure 7 cost fall carries over unchanged to");
     println!("scan designs; the chain converts patterns to clocks at a fixed rate, so");

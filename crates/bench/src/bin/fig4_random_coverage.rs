@@ -27,8 +27,8 @@ fn main() {
         LENGTH_CHECKPOINTS.to_vec()
     };
     for circuit in args.load_circuits() {
-        let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
-        let curve = scheme.random_coverage_curve(&checkpoints);
+        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+        let curve = session.random_coverage_curve(&checkpoints);
         println!("\n{circuit}");
         let reference: &[(usize, f64)] = if circuit.name() == "c3540" {
             &paper::FIG4_C3540

@@ -27,8 +27,8 @@ fn main() {
     };
     for circuit in args.load_circuits() {
         println!("\n{circuit}");
-        let explorer = TradeoffExplorer::new(&circuit, MixedSchemeConfig::default());
-        let summary = explorer.sweep(&prefixes).expect("flow succeeds");
+        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+        let summary = session.sweep(&prefixes).expect("flow succeeds");
         println!(
             "{:>8} {:>8} {:>8} {:>16} {:>16}",
             "p", "d", "p+d", "prefix cov (%)", "final cov (%)"

@@ -31,8 +31,8 @@ fn main() {
         "circuit", "#I", "#patterns", "chip mm2", "LFSROM mm2", "overhead %", "paper %"
     );
     for circuit in args.load_circuits() {
-        let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
-        let solution = scheme.solve(0).expect("pure deterministic flow");
+        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+        let solution = session.solve_at(0).expect("pure deterministic flow");
         let chip = solution.chip_area_mm2;
         let generator = solution.generator_area_mm2;
         let overhead = solution.overhead_pct();

@@ -26,8 +26,8 @@ fn main() {
     };
     for circuit in args.load_circuits() {
         println!("\n{circuit}");
-        let explorer = TradeoffExplorer::new(&circuit, MixedSchemeConfig::default());
-        let summary = explorer.sweep(&prefixes).expect("flow succeeds");
+        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+        let summary = session.sweep(&prefixes).expect("flow succeeds");
         println!(
             "{:>8} {:>8} {:>8} {:>12} {:>12}",
             "p", "d", "p+d", "cost (mm2)", "% of chip"
@@ -42,8 +42,7 @@ fn main() {
                 s.overhead_pct()
             );
         }
-        let scheme = explorer.scheme();
-        let lfsr_only = scheme.pseudo_random_solution(1000).expect("LFSR-only");
+        let lfsr_only = session.pseudo_random_solution(1000).expect("LFSR-only");
         println!(
             "bare LFSR asymptote: {:.1} % of chip (paper p-min: {:.1} %)",
             lfsr_only.overhead_pct(),

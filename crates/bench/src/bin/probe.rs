@@ -14,10 +14,10 @@ fn main() {
     };
     for name in names {
         let c = iscas85::circuit(name).unwrap();
-        let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
+        let mut session = BistSession::new(&c, MixedSchemeConfig::default());
         for p in [0usize, 1000] {
             let t1 = Instant::now();
-            let run = scheme.solve(p).unwrap();
+            let run = session.solve_at(p).unwrap();
             println!(
                 "{name}: solve({p}) {:.0}s  d={} cov {:.1}% ceiling {:.1}% gen {:.2}mm2 ({:.0}%) chip {:.2}mm2",
                 t1.elapsed().as_secs_f64(),

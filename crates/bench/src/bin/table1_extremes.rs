@@ -27,23 +27,16 @@ fn main() {
     ]);
     println!(
         "{:>7} {:>9} {:>10} | {:>10} {:>11} {:>10} | {:>9} {:>10}",
-        "circuit",
-        "#I/#O",
-        "chip mm2",
-        "#patterns",
-        "LFSROM mm2",
-        "incr %",
-        "LFSR mm2",
-        "incr %"
+        "circuit", "#I/#O", "chip mm2", "#patterns", "LFSROM mm2", "incr %", "LFSR mm2", "incr %"
     );
     for circuit in args.load_circuits() {
-        let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
-        let deterministic = scheme.solve(0).expect("deterministic flow");
+        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+        let deterministic = session.solve_at(0).expect("deterministic flow");
         // The pure pseudo-random column: the paper prices the same 16-bit
         // LFSR (0.25 mm²) for every circuit; we synthesize it with the
         // same area model.
-        let lfsr_hw = lfsr_netlist(scheme.config().poly);
-        let lfsr_mm2 = scheme.config().area.circuit_area_mm2(&lfsr_hw);
+        let lfsr_hw = lfsr_netlist(session.config().poly);
+        let lfsr_mm2 = session.config().area.circuit_area_mm2(&lfsr_hw);
         let chip = deterministic.chip_area_mm2;
         println!(
             "{:>7} {:>9} {:>10.2} | {:>10} {:>11.2} {:>10.1} | {:>9.2} {:>10.1}",
@@ -57,5 +50,7 @@ fn main() {
             100.0 * lfsr_mm2 / chip
         );
     }
-    println!("\n(paper reference: C3540 row = 3.8 | 144 patterns, 2.5 mm², 68 % | 0.25 mm², 7.5 %)");
+    println!(
+        "\n(paper reference: C3540 row = 3.8 | 144 patterns, 2.5 mm², 68 % | 0.25 mm², 7.5 %)"
+    );
 }

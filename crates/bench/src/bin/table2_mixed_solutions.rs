@@ -17,7 +17,10 @@ use bist_bench::{banner, paper, ExperimentArgs};
 use bist_core::prelude::*;
 
 fn main() {
-    banner("Table 2", "mixed test solutions for the larger ISCAS-85 circuits");
+    banner(
+        "Table 2",
+        "mixed test solutions for the larger ISCAS-85 circuits",
+    );
     let args = ExperimentArgs::parse(&paper::TABLE2_CIRCUITS);
     let prefixes: Vec<usize> = if args.quick {
         vec![0, 200]
@@ -26,8 +29,8 @@ fn main() {
     };
     for circuit in args.load_circuits() {
         println!("\n=== {circuit} ===");
-        let explorer = TradeoffExplorer::new(&circuit, MixedSchemeConfig::default());
-        let summary = explorer.sweep(&prefixes).expect("flow succeeds");
+        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+        let summary = session.sweep(&prefixes).expect("flow succeeds");
         println!(
             "{:>8} {:>8} {:>8} {:>12} {:>12} {:>12}",
             "p", "d", "p+d", "cost (mm2)", "incr %", "coverage %"
@@ -43,9 +46,8 @@ fn main() {
                 s.coverage.coverage_pct()
             );
         }
-        // the ∞ row: pure pseudo-random
-        let scheme = explorer.scheme();
-        let inf = scheme.pseudo_random_solution(5000).expect("LFSR-only");
+        // the ∞ row: pure pseudo-random, on the same session
+        let inf = session.pseudo_random_solution(5000).expect("LFSR-only");
         println!(
             "{:>8} {:>8} {:>8} {:>12.3} {:>12.1} {:>12.2}   (pure pseudo-random)",
             "inf",

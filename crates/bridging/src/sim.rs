@@ -108,8 +108,7 @@ impl<'c> BridgingSim<'c> {
         if self.faults.is_empty() {
             return 0.0;
         }
-        100.0 * self.iddq_detected.iter().filter(|&&d| d).count() as f64
-            / self.faults.len() as f64
+        100.0 * self.iddq_detected.iter().filter(|&&d| d).count() as f64 / self.faults.len() as f64
     }
 
     /// Global index of the first pattern that detected fault `index` at

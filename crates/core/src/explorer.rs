@@ -1,20 +1,26 @@
-use std::fmt;
+//! The historical sweep driver, now a thin shim over
+//! [`BistSession::sweep`](crate::BistSession::sweep).
 
 use bist_netlist::Circuit;
 
-use crate::scheme::{MixedScheme, MixedSchemeConfig, MixedSchemeError, MixedSolution};
+use crate::session::{BistSession, MixedSchemeConfig, MixedSchemeError, SweepSummary};
+
+/// Back-compat alias: the sweep result type now lives with the session.
+pub type ExplorerSummary = SweepSummary;
 
 /// Sweeps the `(p, d)` trade-off for one circuit — the machinery behind the
 /// paper's Figures 5/7/8 and Table 2.
 ///
-/// For every requested prefix length the full flow is solved (fault
-/// simulation → ATPG top-up → generator synthesis → replay verification),
-/// yielding a cost/length frontier from the pure-deterministic extreme
-/// (`p = 0`, maximal generator) towards the bare-LFSR asymptote.
+/// Deprecated: [`BistSession::sweep`] exposes the same operation on the
+/// incremental pipeline, plus `solve_at` for individual points, sharing
+/// fault simulation and deterministic top-ups across the whole sweep.
+/// This shim opens a fresh session per `sweep` call (so a single call is
+/// already incremental) and is kept for one release.
 ///
 /// # Example
 ///
 /// ```no_run
+/// # #![allow(deprecated)]
 /// use bist_core::{MixedSchemeConfig, TradeoffExplorer};
 ///
 /// let c = bist_netlist::iscas85::circuit("c3540").unwrap();
@@ -25,105 +31,47 @@ use crate::scheme::{MixedScheme, MixedSchemeConfig, MixedSchemeError, MixedSolut
 /// }
 /// # Ok::<(), bist_core::MixedSchemeError>(())
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use BistSession::sweep — the session keeps its incremental state \
+            alive across calls, this shim rebuilds it per sweep"
+)]
 #[derive(Debug)]
 pub struct TradeoffExplorer<'c> {
-    scheme: MixedScheme<'c>,
+    circuit: &'c Circuit,
+    config: MixedSchemeConfig,
 }
 
+#[allow(deprecated)]
 impl<'c> TradeoffExplorer<'c> {
     /// Creates an explorer for `circuit`.
     pub fn new(circuit: &'c Circuit, config: MixedSchemeConfig) -> Self {
-        TradeoffExplorer {
-            scheme: MixedScheme::new(circuit, config),
-        }
+        TradeoffExplorer { circuit, config }
     }
 
-    /// The underlying flow.
-    pub fn scheme(&self) -> &MixedScheme<'c> {
-        &self.scheme
+    /// The flow configuration.
+    pub fn config(&self) -> &MixedSchemeConfig {
+        &self.config
     }
 
-    /// Solves the scheme for every prefix length in `prefix_lengths`.
+    /// The circuit under test.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Solves the scheme for every prefix length in `prefix_lengths`, on
+    /// one fresh incremental session.
     ///
     /// # Errors
     ///
     /// Propagates the first [`MixedSchemeError`] encountered.
     pub fn sweep(&self, prefix_lengths: &[usize]) -> Result<ExplorerSummary, MixedSchemeError> {
-        let mut solutions = Vec::with_capacity(prefix_lengths.len());
-        for &p in prefix_lengths {
-            solutions.push(self.scheme.solve(p)?);
-        }
-        Ok(ExplorerSummary { solutions })
-    }
-}
-
-/// The result of a trade-off sweep: one [`MixedSolution`] per prefix
-/// length, with selection helpers.
-#[derive(Debug, Clone)]
-pub struct ExplorerSummary {
-    solutions: Vec<MixedSolution>,
-}
-
-impl ExplorerSummary {
-    /// All solved points, in sweep order.
-    pub fn solutions(&self) -> &[MixedSolution] {
-        &self.solutions
-    }
-
-    /// The cheapest solution (by generator area).
-    pub fn cheapest(&self) -> Option<&MixedSolution> {
-        self.solutions
-            .iter()
-            .min_by(|a, b| a.generator_area_mm2.total_cmp(&b.generator_area_mm2))
-    }
-
-    /// The shortest total sequence.
-    pub fn shortest(&self) -> Option<&MixedSolution> {
-        self.solutions.iter().min_by_key(|s| s.total_len())
-    }
-
-    /// The cheapest solution whose total sequence length stays within
-    /// `max_len` — the paper's "careful balance" selection rule.
-    pub fn cheapest_within_length(&self, max_len: usize) -> Option<&MixedSolution> {
-        self.solutions
-            .iter()
-            .filter(|s| s.total_len() <= max_len)
-            .min_by(|a, b| a.generator_area_mm2.total_cmp(&b.generator_area_mm2))
-    }
-
-    /// The cheapest solution with overhead at most `max_overhead_pct` of
-    /// the nominal chip area.
-    pub fn within_overhead(&self, max_overhead_pct: f64) -> Option<&MixedSolution> {
-        self.solutions
-            .iter()
-            .filter(|s| s.overhead_pct() <= max_overhead_pct)
-            .min_by_key(|s| s.total_len())
-    }
-}
-
-impl fmt::Display for ExplorerSummary {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "{:>8} {:>8} {:>8} {:>12} {:>10}",
-            "p", "d", "p+d", "cost (mm2)", "% of chip"
-        )?;
-        for s in &self.solutions {
-            writeln!(
-                f,
-                "{:>8} {:>8} {:>8} {:>12.3} {:>10.1}",
-                s.prefix_len,
-                s.det_len,
-                s.total_len(),
-                s.generator_area_mm2,
-                s.overhead_pct()
-            )?;
-        }
-        Ok(())
+        BistSession::new(self.circuit, self.config.clone()).sweep(prefix_lengths)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -10,20 +10,25 @@
 //! network replays the deterministic suffix — order preserved, which the
 //! two-pattern stuck-open tests require.
 //!
-//! This crate is the workspace facade: it implements the flow
-//! ([`MixedScheme`]), the shared-register hardware ([`MixedGenerator`],
-//! verified by cycle-accurate replay) and the `(p, d)` trade-off
-//! exploration ([`TradeoffExplorer`]) behind the paper's Figures 5/7/8 and
-//! Table 2, and re-exports the substrate crates under [`prelude`].
+//! This crate is the workspace facade: it implements the incremental flow
+//! ([`BistSession`]: fault universe built once, prefix fault simulation
+//! advanced across checkpoints, ATPG cached per open-fault frontier), the
+//! shared-register hardware ([`MixedGenerator`], verified by
+//! cycle-accurate replay and implementing the workspace-wide
+//! [`Tpg`](bist_tpg::Tpg) trait), and the `(p, d)` trade-off sweep behind
+//! the paper's Figures 5/7/8 and Table 2 ([`BistSession::sweep`]); the
+//! substrate crates are re-exported under [`prelude`]. The historical
+//! one-shot faces ([`MixedScheme`], [`TradeoffExplorer`]) remain as
+//! deprecated shims for one release.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use bist_core::{MixedScheme, MixedSchemeConfig};
+//! use bist_core::{BistSession, MixedSchemeConfig};
 //!
 //! let c17 = bist_netlist::iscas85::c17();
-//! let scheme = MixedScheme::new(&c17, MixedSchemeConfig::default());
-//! let solution = scheme.solve(8)?; // 8 pseudo-random patterns, then ATPG
+//! let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
+//! let solution = session.solve_at(8)?; // 8 pseudo-random patterns, then ATPG
 //! assert!(solution.coverage.efficiency_pct() == 100.0);
 //! assert!(solution.generator.verify());
 //! # Ok::<(), bist_core::MixedSchemeError>(())
@@ -38,10 +43,16 @@ mod scheme;
 /// The complete simulated self-test loop of the paper's Figure 1:
 /// generator → circuit under test → MISR signature → PASS/FAIL.
 pub mod selftest;
+mod session;
 
+#[allow(deprecated)]
 pub use explorer::{ExplorerSummary, TradeoffExplorer};
-pub use mixed::{BuildMixedError, MixedGenerator};
-pub use scheme::{MixedScheme, MixedSchemeConfig, MixedSchemeError, MixedSolution};
+pub use mixed::{BuildMixedError, HandoverDecode, MixedGenerator};
+#[allow(deprecated)]
+pub use scheme::MixedScheme;
+pub use session::{
+    BistSession, MixedSchemeConfig, MixedSchemeError, MixedSolution, SessionStats, SweepSummary,
+};
 
 /// One-stop re-exports of the substrate crates.
 pub mod prelude {
@@ -56,6 +67,11 @@ pub mod prelude {
     pub use bist_logicsim::{PackedSim, Pattern, SeqSim};
     pub use bist_netlist::{iscas85, Circuit, CircuitBuilder, GateKind};
     pub use bist_synth::{AreaModel, CellCount};
+    pub use bist_tpg::Tpg;
 
-    pub use crate::{MixedGenerator, MixedScheme, MixedSchemeConfig, MixedSolution, TradeoffExplorer};
+    pub use crate::{
+        BistSession, MixedGenerator, MixedSchemeConfig, MixedSolution, SessionStats, SweepSummary,
+    };
+    #[allow(deprecated)]
+    pub use crate::{MixedScheme, TradeoffExplorer};
 }

@@ -283,8 +283,7 @@ impl MixedGenerator {
                     .expect("pattern flip-flop exists")
             })
             .collect();
-        let sample =
-            |sim: &SeqSim<'_>| Pattern::from_fn(self.width, |b| sim.state(pattern_ffs[b]));
+        let sample = |sim: &SeqSim<'_>| Pattern::from_fn(self.width, |b| sim.state(pattern_ffs[b]));
 
         let mut random = Vec::with_capacity(self.prefix_len);
         let mut det = Vec::with_capacity(self.deterministic.len());
@@ -305,8 +304,8 @@ impl MixedGenerator {
         } else {
             // seed directly with the first deterministic state
             let first = &self.deterministic[0];
-            for b in 0..self.width {
-                sim.set_state(pattern_ffs[b], first.get(b));
+            for (b, &ff) in pattern_ffs.iter().enumerate() {
+                sim.set_state(ff, first.get(b));
             }
             for cb in 0..self.code_bits {
                 let c = self.netlist.find(&format!("c{cb}")).expect("code FF");
@@ -327,6 +326,41 @@ impl MixedGenerator {
     pub fn verify(&self) -> bool {
         let (random, det) = self.replay();
         random == self.expected_random && det == self.deterministic
+    }
+}
+
+impl bist_tpg::Tpg for MixedGenerator {
+    fn architecture(&self) -> &'static str {
+        "mixed"
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn test_length(&self) -> usize {
+        self.total_len()
+    }
+
+    fn sequence(&self) -> Vec<Pattern> {
+        self.expected_random
+            .iter()
+            .chain(&self.deterministic)
+            .cloned()
+            .collect()
+    }
+
+    fn cells(&self) -> CellCount {
+        MixedGenerator::cells(self)
+    }
+
+    fn netlist(&self) -> Option<&Circuit> {
+        Some(&self.netlist)
+    }
+
+    fn replay_netlist(&self) -> Option<Vec<Pattern>> {
+        let (random, det) = self.replay();
+        Some(random.into_iter().chain(det).collect())
     }
 }
 

@@ -1,123 +1,25 @@
-use std::fmt;
+//! The historical one-shot flow, now a thin shim over
+//! [`BistSession`](crate::BistSession).
 
-use bist_atpg::{AtpgOptions, TestGenerator};
-use bist_fault::FaultList;
-use bist_faultsim::{CoverageCurve, CoverageReport, FaultSim};
-use bist_lfsr::{Lfsr, Polynomial, ScanExpander};
+use bist_faultsim::CoverageCurve;
 use bist_logicsim::Pattern;
 use bist_netlist::Circuit;
-use bist_synth::AreaModel;
 
-use crate::mixed::{BuildMixedError, MixedGenerator};
+use crate::session::{BistSession, MixedSchemeConfig, MixedSchemeError, MixedSolution};
 
-/// Configuration of the mixed test scheme flow.
-#[derive(Debug, Clone)]
-pub struct MixedSchemeConfig {
-    /// LFSR feedback polynomial for the pseudo-random phase (default: the
-    /// paper's degree-16 polynomial, typo corrected — see `bist-lfsr`).
-    pub poly: Polynomial,
-    /// ATPG options for the deterministic top-up.
-    pub atpg: AtpgOptions,
-    /// Area model used for all silicon cost figures.
-    pub area: AreaModel,
-}
-
-impl Default for MixedSchemeConfig {
-    fn default() -> Self {
-        MixedSchemeConfig {
-            poly: bist_lfsr::paper_poly(),
-            atpg: AtpgOptions::default(),
-            area: AreaModel::es2_1um(),
-        }
-    }
-}
-
-/// Error returned by [`MixedScheme::solve`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum MixedSchemeError {
-    /// Building the hardware generator failed.
-    Build(BuildMixedError),
-}
-
-impl fmt::Display for MixedSchemeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MixedSchemeError::Build(e) => write!(f, "generator construction failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for MixedSchemeError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            MixedSchemeError::Build(e) => Some(e),
-        }
-    }
-}
-
-impl From<BuildMixedError> for MixedSchemeError {
-    fn from(e: BuildMixedError) -> Self {
-        MixedSchemeError::Build(e)
-    }
-}
-
-/// One solved point of the mixed trade-off: the tuple `(p, d)` with its
-/// coverage and silicon cost — one row of the paper's Table 2.
-#[derive(Debug, Clone)]
-pub struct MixedSolution {
-    /// Pseudo-random prefix length `p`.
-    pub prefix_len: usize,
-    /// Deterministic suffix length `d`.
-    pub det_len: usize,
-    /// Coverage over the full mixed fault universe.
-    pub coverage: CoverageReport,
-    /// Coverage reached by the pseudo-random prefix alone.
-    pub prefix_coverage: CoverageReport,
-    /// Silicon area of the mixed hardware generator, mm².
-    pub generator_area_mm2: f64,
-    /// Nominal silicon area of the circuit under test, mm².
-    pub chip_area_mm2: f64,
-    /// The verified hardware generator.
-    pub generator: MixedGenerator,
-}
-
-impl MixedSolution {
-    /// Total mixed sequence length `p + d`.
-    pub fn total_len(&self) -> usize {
-        self.prefix_len + self.det_len
-    }
-
-    /// Generator area as a percentage of the nominal chip area — the
-    /// paper's "% increase vs. chip size".
-    pub fn overhead_pct(&self) -> f64 {
-        100.0 * self.generator_area_mm2 / self.chip_area_mm2
-    }
-}
-
-impl fmt::Display for MixedSolution {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "(p={}, d={}): coverage {:.2} %, generator {:.2} mm² ({:.1} % of chip)",
-            self.prefix_len,
-            self.det_len,
-            self.coverage.coverage_pct(),
-            self.generator_area_mm2,
-            self.overhead_pct()
-        )
-    }
-}
-
-/// The end-to-end mixed BIST flow for one circuit under test.
+/// The end-to-end mixed BIST flow for one circuit under test — one-shot
+/// form.
 ///
-/// For a chosen prefix length `p`: generate `p` pseudo-random patterns,
-/// fault-simulate them, run the ATPG on the surviving faults, synthesize
-/// the shared-register mixed generator for the resulting `(p, d)` pair,
-/// verify it by replay, and report coverage plus silicon cost.
+/// Every call rebuilds the fault universe and re-grades the whole
+/// pseudo-random prefix from scratch; [`BistSession`] does the same work
+/// incrementally and caches deterministic top-ups, which is why this
+/// type is deprecated. It remains for one release as a drop-in shim:
+/// results are bit-identical to the session's.
 ///
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use bist_core::{MixedScheme, MixedSchemeConfig};
 ///
 /// let c17 = bist_netlist::iscas85::c17();
@@ -127,12 +29,19 @@ impl fmt::Display for MixedSolution {
 /// assert!(s.generator.verify());
 /// # Ok::<(), bist_core::MixedSchemeError>(())
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use BistSession: it builds the fault universe once, advances fault \
+            simulation incrementally across prefix checkpoints and caches ATPG \
+            top-ups per open-fault frontier"
+)]
 #[derive(Debug)]
 pub struct MixedScheme<'c> {
     circuit: &'c Circuit,
     config: MixedSchemeConfig,
 }
 
+#[allow(deprecated)]
 impl<'c> MixedScheme<'c> {
     /// Creates the flow for `circuit`.
     pub fn new(circuit: &'c Circuit, config: MixedSchemeConfig) -> Self {
@@ -149,123 +58,58 @@ impl<'c> MixedScheme<'c> {
         &self.config
     }
 
+    fn session(&self) -> BistSession<'c> {
+        BistSession::new(self.circuit, self.config.clone())
+    }
+
     /// Nominal silicon area of the circuit under test, mm².
     pub fn chip_area_mm2(&self) -> f64 {
-        self.config.area.circuit_area_mm2(self.circuit)
+        self.session().chip_area_mm2()
     }
 
     /// The first `count` pseudo-random patterns of the scheme.
     pub fn pseudo_random_patterns(&self, count: usize) -> Vec<Pattern> {
-        let lfsr = Lfsr::fibonacci(self.config.poly, 1);
-        ScanExpander::new(lfsr, self.circuit.inputs().len()).patterns(count)
+        self.session().pseudo_random_patterns(count)
     }
 
-    /// Solves the mixed scheme for prefix length `p`.
-    ///
-    /// `p = 0` yields the pure deterministic extreme (maximal generator,
-    /// shortest sequence).
+    /// Solves the mixed scheme for prefix length `p` — one-shot: a fresh
+    /// [`BistSession`] per call.
     ///
     /// # Errors
     ///
-    /// Returns [`MixedSchemeError`] when the generator cannot be built
-    /// (e.g. the circuit needs no patterns at all — not reachable for real
-    /// fault universes).
+    /// Returns [`MixedSchemeError`] when the generator cannot be built.
     pub fn solve(&self, p: usize) -> Result<MixedSolution, MixedSchemeError> {
-        let faults = FaultList::mixed_model(self.circuit);
-        let mut sim = FaultSim::new(self.circuit, faults.clone());
-        let random = self.pseudo_random_patterns(p);
-        sim.simulate(&random);
-        let prefix_coverage = sim.report();
-
-        // ATPG over the faults the prefix left open
-        let open = sim.open_faults();
-        let remaining: FaultList = open.iter().map(|(_, f)| *f).collect();
-        let run = TestGenerator::new(self.circuit, remaining, self.config.atpg).run();
-
-        // merge statuses back into the full universe
-        let mut statuses = sim.statuses().to_vec();
-        for ((orig_idx, _), status) in open.iter().zip(&run.statuses) {
-            statuses[*orig_idx] = *status;
-        }
-        let coverage = CoverageReport::from_statuses(&statuses);
-
-        let det = run.sequence();
-        let generator = MixedGenerator::build(
-            self.circuit.inputs().len(),
-            self.config.poly,
-            p,
-            &det,
-        )?;
-        debug_assert!(generator.verify(), "mixed generator failed replay");
-
-        Ok(MixedSolution {
-            prefix_len: p,
-            det_len: det.len(),
-            coverage,
-            prefix_coverage,
-            generator_area_mm2: generator.area_mm2(&self.config.area),
-            chip_area_mm2: self.chip_area_mm2(),
-            generator,
-        })
+        self.session().solve_at(p)
     }
 
-    /// The pure pseudo-random extreme `(p, d = 0)`: coverage of the prefix
-    /// alone and the bare LFSR generator cost.
+    /// The pure pseudo-random extreme `(p, d = 0)`.
     ///
     /// # Errors
     ///
     /// Returns [`MixedSchemeError`] if `p` is zero.
     pub fn pseudo_random_solution(&self, p: usize) -> Result<MixedSolution, MixedSchemeError> {
-        let faults = FaultList::mixed_model(self.circuit);
-        let mut sim = FaultSim::new(self.circuit, faults);
-        let random = self.pseudo_random_patterns(p);
-        sim.simulate(&random);
-        let report = sim.report();
-        let generator =
-            MixedGenerator::build(self.circuit.inputs().len(), self.config.poly, p, &[])?;
-        Ok(MixedSolution {
-            prefix_len: p,
-            det_len: 0,
-            coverage: report,
-            prefix_coverage: report,
-            generator_area_mm2: generator.area_mm2(&self.config.area),
-            chip_area_mm2: self.chip_area_mm2(),
-            generator,
-        })
+        self.session().pseudo_random_solution(p)
     }
 
     /// Coverage-versus-length curve of the pure pseudo-random sequence —
     /// the paper's Figure 4. `checkpoints` must be increasing.
     pub fn random_coverage_curve(&self, checkpoints: &[usize]) -> CoverageCurve {
-        let faults = FaultList::mixed_model(self.circuit);
-        let mut sim = FaultSim::new(self.circuit, faults);
-        let lfsr = Lfsr::fibonacci(self.config.poly, 1);
-        let mut expander = ScanExpander::new(lfsr, self.circuit.inputs().len());
-        let mut points = Vec::with_capacity(checkpoints.len());
-        let mut done = 0usize;
-        for &cp in checkpoints {
-            assert!(cp >= done, "checkpoints must be increasing");
-            if cp > done {
-                let chunk = expander.patterns(cp - done);
-                sim.simulate(&chunk);
-                done = cp;
-            }
-            points.push((cp, sim.report().coverage_pct()));
-        }
-        CoverageCurve::new(points)
+        assert!(
+            checkpoints.windows(2).all(|w| w[0] <= w[1]),
+            "checkpoints must be increasing"
+        );
+        self.session().random_coverage_curve(checkpoints)
     }
 
     /// Marks redundancy over the full universe by running the ATPG with an
-    /// empty prefix and returning the achievable ceiling (the paper's
-    /// "96.7 %" for C3540).
+    /// empty prefix and returning the achievable ceiling.
     pub fn achievable_coverage_pct(&self) -> f64 {
-        let faults = FaultList::mixed_model(self.circuit);
-        let run = TestGenerator::new(self.circuit, faults, self.config.atpg).run();
-        run.report.achievable_pct()
+        self.session().achievable_coverage_pct()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

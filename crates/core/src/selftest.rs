@@ -62,8 +62,7 @@ pub fn faulty_signature(
     for p in patterns {
         let values = serial::faulty_eval(cut, fault, prev, p)
             .unwrap_or_else(|| bist_logicsim::naive_eval(cut, &p.to_bits()));
-        let response =
-            Pattern::from_fn(cut.outputs().len(), |o| values[cut.outputs()[o].index()]);
+        let response = Pattern::from_fn(cut.outputs().len(), |o| values[cut.outputs()[o].index()]);
         misr.absorb(&response);
         prev = Some(p);
     }
@@ -139,7 +138,10 @@ mod tests {
         let patterns = pseudo_random_patterns(paper_poly(), 5, 64);
         let faults = FaultList::mixed_model(&c17);
         let rate = fail_rate(&c17, &patterns, faults.faults(), paper_poly(), 40);
-        assert!(rate > 0.9, "self-test should flag nearly all faults: {rate}");
+        assert!(
+            rate > 0.9,
+            "self-test should flag nearly all faults: {rate}"
+        );
     }
 
     #[test]

@@ -1,0 +1,603 @@
+//! The incremental mixed-BIST pipeline.
+//!
+//! [`BistSession`] replaces the one-shot `MixedScheme::solve(p)` flow:
+//! instead of rebuilding the fault universe and re-grading the whole
+//! pseudo-random prefix for every requested `p`, a session computes the
+//! fault list **once**, advances one fault simulator **incrementally**
+//! across monotone prefix checkpoints (snapshotting the status vector at
+//! every checkpoint it passes), and caches ATPG results **per open-fault
+//! frontier** — so sweeping `n` prefix lengths fault-simulates every
+//! pseudo-random pattern at most once and never repeats a deterministic
+//! top-up for an already-seen frontier.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+
+use bist_atpg::{AtpgOptions, AtpgRun, TestGenerator};
+use bist_fault::{FaultList, FaultStatus};
+use bist_faultsim::{CoverageCurve, CoverageReport, FaultSim};
+use bist_lfsr::{Lfsr, Polynomial, ScanExpander};
+use bist_logicsim::Pattern;
+use bist_netlist::Circuit;
+use bist_synth::AreaModel;
+
+use crate::mixed::{BuildMixedError, MixedGenerator};
+
+/// Configuration of the mixed test scheme flow.
+#[derive(Debug, Clone)]
+pub struct MixedSchemeConfig {
+    /// LFSR feedback polynomial for the pseudo-random phase (default: the
+    /// paper's degree-16 polynomial, typo corrected — see `bist-lfsr`).
+    pub poly: Polynomial,
+    /// ATPG options for the deterministic top-up.
+    pub atpg: AtpgOptions,
+    /// Area model used for all silicon cost figures.
+    pub area: AreaModel,
+}
+
+impl Default for MixedSchemeConfig {
+    fn default() -> Self {
+        MixedSchemeConfig {
+            poly: bist_lfsr::paper_poly(),
+            atpg: AtpgOptions::default(),
+            area: AreaModel::es2_1um(),
+        }
+    }
+}
+
+/// Error returned by the mixed-scheme flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixedSchemeError {
+    /// Building the hardware generator failed.
+    Build(BuildMixedError),
+}
+
+impl fmt::Display for MixedSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MixedSchemeError::Build(e) => write!(f, "generator construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MixedSchemeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MixedSchemeError::Build(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildMixedError> for MixedSchemeError {
+    fn from(e: BuildMixedError) -> Self {
+        MixedSchemeError::Build(e)
+    }
+}
+
+/// One solved point of the mixed trade-off: the tuple `(p, d)` with its
+/// coverage and silicon cost — one row of the paper's Table 2.
+#[derive(Debug, Clone)]
+pub struct MixedSolution {
+    /// Pseudo-random prefix length `p`.
+    pub prefix_len: usize,
+    /// Deterministic suffix length `d`.
+    pub det_len: usize,
+    /// Coverage over the full mixed fault universe.
+    pub coverage: CoverageReport,
+    /// Coverage reached by the pseudo-random prefix alone.
+    pub prefix_coverage: CoverageReport,
+    /// Silicon area of the mixed hardware generator, mm².
+    pub generator_area_mm2: f64,
+    /// Nominal silicon area of the circuit under test, mm².
+    pub chip_area_mm2: f64,
+    /// The verified hardware generator.
+    pub generator: MixedGenerator,
+}
+
+impl MixedSolution {
+    /// Total mixed sequence length `p + d`.
+    pub fn total_len(&self) -> usize {
+        self.prefix_len + self.det_len
+    }
+
+    /// Generator area as a percentage of the nominal chip area — the
+    /// paper's "% increase vs. chip size".
+    pub fn overhead_pct(&self) -> f64 {
+        100.0 * self.generator_area_mm2 / self.chip_area_mm2
+    }
+}
+
+impl fmt::Display for MixedSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(p={}, d={}): coverage {:.2} %, generator {:.2} mm² ({:.1} % of chip)",
+            self.prefix_len,
+            self.det_len,
+            self.coverage.coverage_pct(),
+            self.generator_area_mm2,
+            self.overhead_pct()
+        )
+    }
+}
+
+/// Work counters of a [`BistSession`] — what the incremental pipeline
+/// actually did, for perf tracking and the `BENCH_sweep` experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Pseudo-random patterns fault-simulated by the shared incremental
+    /// simulator (each pattern counted once, however many checkpoints
+    /// consume it).
+    pub patterns_simulated: usize,
+    /// Pseudo-random patterns graded by fallback simulators for
+    /// non-monotone requests below the incremental front.
+    pub patterns_resimulated: usize,
+    /// Deterministic top-ups actually generated.
+    pub atpg_runs: usize,
+    /// Deterministic top-ups answered from the frontier cache.
+    pub atpg_cache_hits: usize,
+}
+
+/// The incremental mixed-BIST flow for one circuit under test.
+///
+/// A session owns the circuit's fault universe (built once), a fault
+/// simulator advanced monotonically along the pseudo-random sequence
+/// (with a status snapshot at every solved checkpoint), and a cache of
+/// deterministic top-ups keyed by the open-fault frontier. On top of
+/// that substrate it answers:
+///
+/// * [`BistSession::solve_at`] — the full mixed solution for one prefix
+///   length `p` (fault simulation → ATPG top-up → generator synthesis →
+///   replay verification);
+/// * [`BistSession::sweep`] — many prefix lengths at once, sharing all
+///   intermediate state: each pseudo-random pattern is simulated at most
+///   once across the whole sweep;
+/// * [`BistSession::random_coverage_curve`],
+///   [`BistSession::pseudo_random_solution`],
+///   [`BistSession::achievable_coverage_pct`] — the paper's auxiliary
+///   experiments, drawing on the same shared state.
+///
+/// Results are bit-identical to the historical one-shot
+/// `MixedScheme::solve(p)` — the regression tests enforce it — the
+/// session is purely a performance and API improvement.
+///
+/// # Example
+///
+/// ```
+/// use bist_core::{BistSession, MixedSchemeConfig};
+///
+/// let c17 = bist_netlist::iscas85::c17();
+/// let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
+/// let summary = session.sweep(&[0, 4, 8, 16])?;
+/// assert_eq!(summary.solutions().len(), 4);
+/// // the fault universe was built once and each of the 16 prefix
+/// // patterns was fault-simulated exactly once
+/// assert_eq!(session.stats().patterns_simulated, 16);
+/// # Ok::<(), bist_core::MixedSchemeError>(())
+/// ```
+#[derive(Debug)]
+pub struct BistSession<'c> {
+    circuit: &'c Circuit,
+    config: MixedSchemeConfig,
+    faults: FaultList,
+    /// The shared simulator, advanced monotonically; `simulated` prefix
+    /// patterns have been consumed.
+    sim: FaultSim<'c>,
+    expander: ScanExpander,
+    simulated: usize,
+    /// Fault statuses after exactly `p` prefix patterns, for every
+    /// checkpoint `p` solved so far.
+    snapshots: BTreeMap<usize, Rc<Vec<FaultStatus>>>,
+    /// Deterministic top-ups keyed by the open-fault frontier (original
+    /// universe indices, ascending).
+    atpg_cache: HashMap<Vec<usize>, Rc<AtpgRun>>,
+    stats: SessionStats,
+}
+
+impl<'c> BistSession<'c> {
+    /// Opens a session for `circuit`: builds the mixed fault universe
+    /// (once) and seeds the incremental simulator.
+    pub fn new(circuit: &'c Circuit, config: MixedSchemeConfig) -> Self {
+        let faults = FaultList::mixed_model(circuit);
+        let sim = FaultSim::new(circuit, faults.clone());
+        let expander = ScanExpander::new(Lfsr::fibonacci(config.poly, 1), circuit.inputs().len());
+        BistSession {
+            circuit,
+            config,
+            faults,
+            sim,
+            expander,
+            simulated: 0,
+            snapshots: BTreeMap::new(),
+            atpg_cache: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The circuit under test.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The flow configuration.
+    pub fn config(&self) -> &MixedSchemeConfig {
+        &self.config
+    }
+
+    /// The mixed fault universe the session grades against.
+    pub fn faults(&self) -> &FaultList {
+        &self.faults
+    }
+
+    /// Work counters: patterns simulated, ATPG runs and cache hits.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Nominal silicon area of the circuit under test, mm².
+    pub fn chip_area_mm2(&self) -> f64 {
+        self.config.area.circuit_area_mm2(self.circuit)
+    }
+
+    /// The first `count` pseudo-random patterns of the scheme (a fresh
+    /// stream; does not advance the session).
+    pub fn pseudo_random_patterns(&self, count: usize) -> Vec<Pattern> {
+        let lfsr = Lfsr::fibonacci(self.config.poly, 1);
+        ScanExpander::new(lfsr, self.circuit.inputs().len()).patterns(count)
+    }
+
+    /// Fault statuses after exactly `p` prefix patterns. Snapshots are
+    /// cached; requests at or beyond the incremental front advance the
+    /// shared simulator (each pattern graded once); requests *below* the
+    /// front without a snapshot fall back to a one-off simulation.
+    fn statuses_at(&mut self, p: usize) -> Rc<Vec<FaultStatus>> {
+        if let Some(snap) = self.snapshots.get(&p) {
+            return Rc::clone(snap);
+        }
+        let snap = if p >= self.simulated {
+            let chunk = self.expander.patterns(p - self.simulated);
+            self.sim.simulate(&chunk);
+            self.stats.patterns_simulated += chunk.len();
+            self.simulated = p;
+            Rc::new(self.sim.statuses().to_vec())
+        } else {
+            // non-monotone request below the incremental front: grade a
+            // fresh stream without disturbing the shared simulator
+            let mut sim = FaultSim::new(self.circuit, self.faults.clone());
+            sim.simulate(&self.pseudo_random_patterns(p));
+            self.stats.patterns_resimulated += p;
+            Rc::new(sim.statuses().to_vec())
+        };
+        self.snapshots.insert(p, Rc::clone(&snap));
+        snap
+    }
+
+    /// The deterministic top-up for `frontier` (ascending original-universe
+    /// fault indices), answered from the cache when the same frontier was
+    /// already solved.
+    fn atpg_for(&mut self, frontier: &[usize]) -> Rc<AtpgRun> {
+        if let Some(hit) = self.atpg_cache.get(frontier) {
+            self.stats.atpg_cache_hits += 1;
+            return Rc::clone(hit);
+        }
+        let remaining: FaultList = frontier
+            .iter()
+            .map(|&i| *self.faults.get(i).expect("frontier index in range"))
+            .collect();
+        let run = Rc::new(TestGenerator::new(self.circuit, remaining, self.config.atpg).run());
+        self.stats.atpg_runs += 1;
+        self.atpg_cache.insert(frontier.to_vec(), Rc::clone(&run));
+        run
+    }
+
+    /// Solves the mixed scheme for prefix length `p`.
+    ///
+    /// `p = 0` yields the pure deterministic extreme (maximal generator,
+    /// shortest sequence). Within one session, monotonically increasing
+    /// requests reuse all prior fault simulation; equal open-fault
+    /// frontiers reuse the deterministic top-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixedSchemeError`] when the generator cannot be built
+    /// (e.g. the circuit needs no patterns at all — not reachable for real
+    /// fault universes).
+    pub fn solve_at(&mut self, p: usize) -> Result<MixedSolution, MixedSchemeError> {
+        let statuses = self.statuses_at(p);
+        let prefix_coverage = CoverageReport::from_statuses(&statuses);
+
+        // ATPG over the faults the prefix left open
+        let frontier: Vec<usize> = statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_open())
+            .map(|(i, _)| i)
+            .collect();
+        let run = self.atpg_for(&frontier);
+
+        // merge statuses back into the full universe
+        let mut merged = statuses.to_vec();
+        for (&orig, &status) in frontier.iter().zip(&run.statuses) {
+            merged[orig] = status;
+        }
+        let coverage = CoverageReport::from_statuses(&merged);
+
+        let det = run.sequence();
+        let generator =
+            MixedGenerator::build(self.circuit.inputs().len(), self.config.poly, p, &det)?;
+        debug_assert!(generator.verify(), "mixed generator failed replay");
+
+        Ok(MixedSolution {
+            prefix_len: p,
+            det_len: det.len(),
+            coverage,
+            prefix_coverage,
+            generator_area_mm2: generator.area_mm2(&self.config.area),
+            chip_area_mm2: self.chip_area_mm2(),
+            generator,
+        })
+    }
+
+    /// Solves the scheme for every prefix length in `prefix_lengths`,
+    /// sharing the session's incremental state across all points.
+    ///
+    /// Checkpoints are processed in ascending order internally (results
+    /// come back in request order), so a sweep fault-simulates each
+    /// pseudo-random pattern **at most once**, however the request list
+    /// is arranged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MixedSchemeError`] encountered.
+    pub fn sweep(&mut self, prefix_lengths: &[usize]) -> Result<SweepSummary, MixedSchemeError> {
+        let mut ascending: Vec<usize> = prefix_lengths.to_vec();
+        ascending.sort_unstable();
+        ascending.dedup();
+        let mut solved: BTreeMap<usize, MixedSolution> = BTreeMap::new();
+        for &p in &ascending {
+            solved.insert(p, self.solve_at(p)?);
+        }
+        let solutions = prefix_lengths
+            .iter()
+            .map(|p| solved.get(p).expect("every requested point solved").clone())
+            .collect();
+        Ok(SweepSummary { solutions })
+    }
+
+    /// The pure pseudo-random extreme `(p, d = 0)`: coverage of the prefix
+    /// alone and the bare LFSR generator cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixedSchemeError`] if `p` is zero.
+    pub fn pseudo_random_solution(&mut self, p: usize) -> Result<MixedSolution, MixedSchemeError> {
+        let statuses = self.statuses_at(p);
+        let report = CoverageReport::from_statuses(&statuses);
+        let generator =
+            MixedGenerator::build(self.circuit.inputs().len(), self.config.poly, p, &[])?;
+        Ok(MixedSolution {
+            prefix_len: p,
+            det_len: 0,
+            coverage: report,
+            prefix_coverage: report,
+            generator_area_mm2: generator.area_mm2(&self.config.area),
+            chip_area_mm2: self.chip_area_mm2(),
+            generator,
+        })
+    }
+
+    /// Coverage-versus-length curve of the pure pseudo-random sequence —
+    /// the paper's Figure 4. Checkpoints may arrive in any order; the
+    /// session snapshots make every point exact.
+    pub fn random_coverage_curve(&mut self, checkpoints: &[usize]) -> CoverageCurve {
+        let points = checkpoints
+            .iter()
+            .map(|&cp| {
+                let statuses = self.statuses_at(cp);
+                (cp, CoverageReport::from_statuses(&statuses).coverage_pct())
+            })
+            .collect();
+        CoverageCurve::new(points)
+    }
+
+    /// Marks redundancy over the full universe by running the ATPG with an
+    /// empty prefix and returning the achievable ceiling (the paper's
+    /// "96.7 %" for C3540). Shares the `p = 0` frontier cache entry with
+    /// [`BistSession::solve_at`].
+    pub fn achievable_coverage_pct(&mut self) -> f64 {
+        let frontier: Vec<usize> = (0..self.faults.len()).collect();
+        self.atpg_for(&frontier).report.achievable_pct()
+    }
+}
+
+/// The result of a trade-off sweep: one [`MixedSolution`] per requested
+/// prefix length, with the paper's selection helpers.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    solutions: Vec<MixedSolution>,
+}
+
+impl SweepSummary {
+    /// All solved points, in request order.
+    pub fn solutions(&self) -> &[MixedSolution] {
+        &self.solutions
+    }
+
+    /// The cheapest solution (by generator area).
+    pub fn cheapest(&self) -> Option<&MixedSolution> {
+        self.solutions
+            .iter()
+            .min_by(|a, b| a.generator_area_mm2.total_cmp(&b.generator_area_mm2))
+    }
+
+    /// The shortest total sequence.
+    pub fn shortest(&self) -> Option<&MixedSolution> {
+        self.solutions.iter().min_by_key(|s| s.total_len())
+    }
+
+    /// The cheapest solution whose total sequence length stays within
+    /// `max_len` — the paper's "careful balance" selection rule.
+    pub fn cheapest_within_length(&self, max_len: usize) -> Option<&MixedSolution> {
+        self.solutions
+            .iter()
+            .filter(|s| s.total_len() <= max_len)
+            .min_by(|a, b| a.generator_area_mm2.total_cmp(&b.generator_area_mm2))
+    }
+
+    /// The cheapest solution with overhead at most `max_overhead_pct` of
+    /// the nominal chip area.
+    pub fn within_overhead(&self, max_overhead_pct: f64) -> Option<&MixedSolution> {
+        self.solutions
+            .iter()
+            .filter(|s| s.overhead_pct() <= max_overhead_pct)
+            .min_by_key(|s| s.total_len())
+    }
+}
+
+impl fmt::Display for SweepSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>8} {:>8} {:>8} {:>12} {:>10}",
+            "p", "d", "p+d", "cost (mm2)", "% of chip"
+        )?;
+        for s in &self.solutions {
+            writeln!(
+                f,
+                "{:>8} {:>8} {:>8} {:>12.3} {:>10.1}",
+                s.prefix_len,
+                s.det_len,
+                s.total_len(),
+                s.generator_area_mm2,
+                s.overhead_pct()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_matches_one_shot_scheme_bit_for_bit() {
+        #[allow(deprecated)]
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+        #[allow(deprecated)]
+        let scheme = crate::MixedScheme::new(&c, MixedSchemeConfig::default());
+        for p in [0usize, 50, 200] {
+            let incremental = session.solve_at(p).unwrap();
+            #[allow(deprecated)]
+            let one_shot = scheme.solve(p).unwrap();
+            assert_eq!(incremental.prefix_len, one_shot.prefix_len);
+            assert_eq!(incremental.det_len, one_shot.det_len);
+            assert_eq!(
+                incremental.generator.deterministic(),
+                one_shot.generator.deterministic(),
+                "p={p}: deterministic suffixes must be bit-identical"
+            );
+            assert_eq!(incremental.coverage, one_shot.coverage, "p={p}");
+            assert_eq!(
+                incremental.prefix_coverage, one_shot.prefix_coverage,
+                "p={p}"
+            );
+            assert_eq!(
+                incremental.generator_area_mm2, one_shot.generator_area_mm2,
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_sweep_simulates_each_pattern_once() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+        session.sweep(&[0, 25, 100, 250]).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.patterns_simulated, 250, "single incremental pass");
+        assert_eq!(stats.patterns_resimulated, 0);
+        // re-solving any earlier point is free
+        session.solve_at(100).unwrap();
+        assert_eq!(session.stats().patterns_simulated, 250);
+    }
+
+    #[test]
+    fn unordered_sweep_still_simulates_each_pattern_once() {
+        let c = bist_netlist::iscas85::c17();
+        let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+        let summary = session.sweep(&[16, 0, 8]).unwrap();
+        assert_eq!(session.stats().patterns_simulated, 16);
+        assert_eq!(session.stats().patterns_resimulated, 0);
+        // request order preserved in the summary
+        let ps: Vec<usize> = summary.solutions().iter().map(|s| s.prefix_len).collect();
+        assert_eq!(ps, vec![16, 0, 8]);
+    }
+
+    #[test]
+    fn saturated_frontiers_hit_the_atpg_cache() {
+        // far past saturation the open frontier stops changing, so the
+        // deterministic top-up is answered from the cache
+        let c = bist_netlist::iscas85::c17();
+        let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+        session.sweep(&[64, 96, 128]).unwrap();
+        let stats = session.stats();
+        assert!(
+            stats.atpg_cache_hits >= 1,
+            "saturated frontiers must reuse the top-up: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn c17_solutions_reach_full_coverage() {
+        let c17 = bist_netlist::iscas85::c17();
+        let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
+        for p in [0usize, 4, 16] {
+            let s = session.solve_at(p).unwrap();
+            assert_eq!(s.coverage.undetected, 0, "p={p}");
+            assert_eq!(s.coverage.efficiency_pct(), 100.0, "p={p}");
+            assert!(s.generator.verify(), "p={p}");
+            assert_eq!(s.prefix_len, p);
+        }
+    }
+
+    #[test]
+    fn non_monotone_requests_fall_back_without_corruption() {
+        let c17 = bist_netlist::iscas85::c17();
+        let mut forward = BistSession::new(&c17, MixedSchemeConfig::default());
+        let a16 = forward.solve_at(16).unwrap();
+        let a8 = forward.solve_at(8).unwrap(); // below the front: fallback
+        assert!(forward.stats().patterns_resimulated > 0);
+
+        let mut fresh = BistSession::new(&c17, MixedSchemeConfig::default());
+        let b8 = fresh.solve_at(8).unwrap();
+        let b16 = fresh.solve_at(16).unwrap();
+        assert_eq!(a8.det_len, b8.det_len);
+        assert_eq!(a8.coverage, b8.coverage);
+        assert_eq!(a16.det_len, b16.det_len);
+        assert_eq!(a16.coverage, b16.coverage);
+    }
+
+    #[test]
+    fn random_curve_is_monotone_and_saturating() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+        let curve = session.random_coverage_curve(&[0, 25, 50, 100, 200]);
+        assert!(curve.is_monotone());
+        assert_eq!(curve.points()[0].1, 0.0);
+        assert!(curve.final_coverage().unwrap() > 50.0);
+        assert_eq!(session.stats().patterns_simulated, 200);
+    }
+
+    #[test]
+    fn pseudo_random_extreme() {
+        let c17 = bist_netlist::iscas85::c17();
+        let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
+        let s = session.pseudo_random_solution(64).unwrap();
+        assert_eq!(s.det_len, 0);
+        assert!(s.coverage.coverage_pct() > 80.0);
+        assert!(s.generator_area_mm2 < 0.3, "a bare LFSR is cheap");
+    }
+}

@@ -96,7 +96,11 @@ pub struct DelayTestGenerator<'c> {
 
 impl<'c> DelayTestGenerator<'c> {
     /// Creates a generator targeting `faults` on `circuit`.
-    pub fn new(circuit: &'c Circuit, faults: TransitionFaultList, options: DelayAtpgOptions) -> Self {
+    pub fn new(
+        circuit: &'c Circuit,
+        faults: TransitionFaultList,
+        options: DelayAtpgOptions,
+    ) -> Self {
         DelayTestGenerator {
             circuit,
             faults,
@@ -169,7 +173,9 @@ impl<'c> DelayTestGenerator<'c> {
         let mut statuses = final_session.statuses().to_vec();
         for (fi, status) in statuses.iter_mut().enumerate() {
             if *status == FaultStatus::Undetected {
-                if let s @ (FaultStatus::Redundant | FaultStatus::Aborted) = session.status_of(fi) { *status = s }
+                if let s @ (FaultStatus::Redundant | FaultStatus::Aborted) = session.status_of(fi) {
+                    *status = s
+                }
             }
         }
         let report = CoverageReport::from_statuses(&statuses);
@@ -212,12 +218,12 @@ fn generate_unit(
     };
     let driver = fault.driver(circuit);
     *atpg_calls += 1;
-    let (v1, v1_cube) =
-        match justify_cube(circuit, &[(driver, fault.initial_value())], podem_opts) {
-            CubeOutcome::Test { pattern, cube } => (pattern, cube),
-            CubeOutcome::Redundant => return Err(Verdict::Redundant),
-            CubeOutcome::Aborted => return Err(Verdict::Aborted),
-        };
+    let (v1, v1_cube) = match justify_cube(circuit, &[(driver, fault.initial_value())], podem_opts)
+    {
+        CubeOutcome::Test { pattern, cube } => (pattern, cube),
+        CubeOutcome::Redundant => return Err(Verdict::Redundant),
+        CubeOutcome::Aborted => return Err(Verdict::Aborted),
+    };
     Ok(DelayTestUnit {
         patterns: [v1, v2],
         cubes: [v1_cube, v2_cube],
@@ -333,8 +339,7 @@ mod tests {
             },
         )
         .run();
-        let compacted =
-            DelayTestGenerator::new(&c17, faults, DelayAtpgOptions::default()).run();
+        let compacted = DelayTestGenerator::new(&c17, faults, DelayAtpgOptions::default()).run();
         assert!(compacted.num_patterns() <= uncompacted.num_patterns());
         assert_eq!(compacted.report.detected, uncompacted.report.detected);
     }
@@ -353,10 +358,9 @@ mod tests {
         b.mark_output("y").unwrap();
         let c = b.build().unwrap();
         let t = c.find("t").unwrap();
-        let faults: TransitionFaultList =
-            [TransitionFault::stem(t, crate::Transition::SlowToRise)]
-                .into_iter()
-                .collect();
+        let faults: TransitionFaultList = [TransitionFault::stem(t, crate::Transition::SlowToRise)]
+            .into_iter()
+            .collect();
         let run = DelayTestGenerator::new(&c, faults, DelayAtpgOptions::default()).run();
         assert_eq!(run.report.redundant, 1);
         assert_eq!(run.report.undetected, 0);

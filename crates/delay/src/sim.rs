@@ -322,7 +322,9 @@ mod tests {
 
     fn random_sequence(width: usize, count: usize, seed: u64) -> Vec<Pattern> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..count).map(|_| Pattern::random(&mut rng, width)).collect()
+        (0..count)
+            .map(|_| Pattern::random(&mut rng, width))
+            .collect()
     }
 
     #[test]
@@ -368,8 +370,9 @@ mod tests {
         let c = b.build().unwrap();
         let a = c.find("a").unwrap();
 
-        let rise: TransitionFaultList =
-            [TransitionFault::stem(a, Transition::SlowToRise)].into_iter().collect();
+        let rise: TransitionFaultList = [TransitionFault::stem(a, Transition::SlowToRise)]
+            .into_iter()
+            .collect();
         let mut sim = TransitionSim::new(&c, rise.clone());
         let zero = Pattern::from_bits(&[false]);
         let one = Pattern::from_bits(&[true]);
@@ -379,10 +382,15 @@ mod tests {
 
         let mut sim = TransitionSim::new(&c, rise);
         sim.simulate(&[one.clone(), zero.clone()]);
-        assert_eq!(sim.report().detected, 0, "falling pair cannot launch a rise");
+        assert_eq!(
+            sim.report().detected,
+            0,
+            "falling pair cannot launch a rise"
+        );
 
-        let fall: TransitionFaultList =
-            [TransitionFault::stem(a, Transition::SlowToFall)].into_iter().collect();
+        let fall: TransitionFaultList = [TransitionFault::stem(a, Transition::SlowToFall)]
+            .into_iter()
+            .collect();
         let mut sim = TransitionSim::new(&c, fall);
         sim.simulate(&[one, zero]);
         assert_eq!(sim.report().detected, 1);
@@ -447,7 +455,11 @@ mod tests {
         }
         assert_eq!(mono.statuses(), chunked.statuses());
         for i in 0..mono.faults().len() {
-            assert_eq!(mono.first_detection(i), chunked.first_detection(i), "fault {i}");
+            assert_eq!(
+                mono.first_detection(i),
+                chunked.first_detection(i),
+                "fault {i}"
+            );
         }
     }
 

@@ -428,7 +428,11 @@ mod tests {
         }
         assert_eq!(mono.statuses(), chunked.statuses());
         for i in 0..mono.faults().len() {
-            assert_eq!(mono.first_detection(i), chunked.first_detection(i), "fault {i}");
+            assert_eq!(
+                mono.first_detection(i),
+                chunked.first_detection(i),
+                "fault {i}"
+            );
         }
     }
 
@@ -465,7 +469,11 @@ mod tests {
         .collect();
         let mut sim = FaultSim::new(&c, faults);
         sim.simulate(&exhaustive_patterns(2));
-        assert_eq!(sim.report().detected, 0, "redundant fault must not be detected");
+        assert_eq!(
+            sim.report().detected,
+            0,
+            "redundant fault must not be detected"
+        );
     }
 
     #[test]

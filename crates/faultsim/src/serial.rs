@@ -165,9 +165,9 @@ mod tests {
         let serial = grade_sequence(&c17, faults.faults(), &patterns);
         let mut ppsfp = FaultSim::new(&c17, faults);
         ppsfp.simulate(&patterns);
-        for i in 0..serial.len() {
+        for (i, &graded) in serial.iter().enumerate() {
             assert_eq!(
-                serial[i],
+                graded,
                 ppsfp.first_detection(i),
                 "fault {} disagrees",
                 ppsfp.faults().get(i).unwrap().describe(&c17)
@@ -226,7 +226,10 @@ mod tests {
         let p11: Pattern = "11".parse().unwrap();
         assert!(detects(&c, f, Some(&p00), &p11));
         assert!(!detects(&c, f, Some(&p11), &p11), "no transition, no test");
-        assert!(!detects(&c, f, None, &p11), "first pattern cannot test opens");
+        assert!(
+            !detects(&c, f, None, &p11),
+            "first pattern cannot test opens"
+        );
 
         // parallel-open on pin 0: 11 -> 01 ... pin a goes controlling alone
         let fp = Fault::OpenParallel { site: y, pin: 0 };

@@ -61,11 +61,7 @@ impl Testability {
                     }
                 }
                 GateKind::Or | GateKind::Nor => {
-                    let prod: f64 = node
-                        .fanin()
-                        .iter()
-                        .map(|f| 1.0 - c1[f.index()])
-                        .product();
+                    let prod: f64 = node.fanin().iter().map(|f| 1.0 - c1[f.index()]).product();
                     if node.kind() == GateKind::Or {
                         1.0 - prod
                     } else {

@@ -27,14 +27,55 @@ impl fmt::Display for LintError {
 impl std::error::Error for LintError {}
 
 const VERILOG_KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "wire", "reg", "assign", "always", "posedge",
-    "negedge", "begin", "end", "if", "else", "initial", "integer", "for", "timescale",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "posedge",
+    "negedge",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "initial",
+    "integer",
+    "for",
+    "timescale",
 ];
 
 const VHDL_KEYWORDS: &[&str] = &[
-    "library", "use", "all", "entity", "is", "port", "in", "out", "std_logic", "end",
-    "architecture", "of", "signal", "begin", "process", "rising_edge", "if", "then", "else",
-    "not", "and", "or", "xor", "nand", "nor", "xnor", "ieee", "std_logic_1164",
+    "library",
+    "use",
+    "all",
+    "entity",
+    "is",
+    "port",
+    "in",
+    "out",
+    "std_logic",
+    "end",
+    "architecture",
+    "of",
+    "signal",
+    "begin",
+    "process",
+    "rising_edge",
+    "if",
+    "then",
+    "else",
+    "not",
+    "and",
+    "or",
+    "xor",
+    "nand",
+    "nor",
+    "xnor",
+    "ieee",
+    "std_logic_1164",
 ];
 
 fn identifiers(line: &str) -> impl Iterator<Item = &str> {
@@ -69,7 +110,11 @@ fn strip_verilog_noise(line: &str) -> String {
                 chars.next();
             }
             out.push(' ');
-        } else if c == '.' && chars.peek().is_some_and(|d| d.is_ascii_alphabetic() || *d == '_') {
+        } else if c == '.'
+            && chars
+                .peek()
+                .is_some_and(|d| d.is_ascii_alphabetic() || *d == '_')
+        {
             while chars
                 .peek()
                 .is_some_and(|d| d.is_ascii_alphanumeric() || *d == '_' || *d == '$')

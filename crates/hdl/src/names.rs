@@ -14,22 +14,150 @@ pub struct NameTable {
 
 /// Words reserved in either target language (lowercase).
 const RESERVED: &[&str] = &[
-    "abs", "access", "after", "alias", "all", "always", "and", "architecture", "array", "assert",
-    "assign", "attribute", "begin", "begin_keywords", "block", "body", "buf", "buffer", "bus",
-    "case", "component", "configuration", "constant", "deassign", "default", "defparam",
-    "disable", "disconnect", "downto", "edge", "else", "elsif", "end", "endcase", "endfunction",
-    "endmodule", "endprimitive", "endspecify", "endtable", "endtask", "entity", "event", "exit",
-    "file", "for", "force", "forever", "fork", "function", "generate", "generic", "group",
-    "guarded", "if", "impure", "in", "inertial", "initial", "inout", "input", "is", "join",
-    "label", "library", "linkage", "literal", "loop", "map", "mod", "module", "nand", "negedge",
-    "new", "next", "nmos", "nor", "not", "null", "of", "on", "open", "or", "others", "out",
-    "output", "package", "parameter", "pmos", "port", "posedge", "postponed", "primitive",
-    "procedure", "process", "pure", "range", "record", "reg", "register", "reject", "release",
-    "rem", "repeat", "report", "return", "rol", "ror", "scalared", "select", "severity",
-    "shared", "signal", "signed", "sla", "sll", "specify", "specparam", "sra", "srl", "subtype",
-    "table", "task", "then", "time", "to", "transport", "tri", "type", "unaffected", "units",
-    "unsigned", "until", "use", "variable", "vectored", "wait", "wand", "when", "while", "wire",
-    "with", "wor", "xnor", "xor",
+    "abs",
+    "access",
+    "after",
+    "alias",
+    "all",
+    "always",
+    "and",
+    "architecture",
+    "array",
+    "assert",
+    "assign",
+    "attribute",
+    "begin",
+    "begin_keywords",
+    "block",
+    "body",
+    "buf",
+    "buffer",
+    "bus",
+    "case",
+    "component",
+    "configuration",
+    "constant",
+    "deassign",
+    "default",
+    "defparam",
+    "disable",
+    "disconnect",
+    "downto",
+    "edge",
+    "else",
+    "elsif",
+    "end",
+    "endcase",
+    "endfunction",
+    "endmodule",
+    "endprimitive",
+    "endspecify",
+    "endtable",
+    "endtask",
+    "entity",
+    "event",
+    "exit",
+    "file",
+    "for",
+    "force",
+    "forever",
+    "fork",
+    "function",
+    "generate",
+    "generic",
+    "group",
+    "guarded",
+    "if",
+    "impure",
+    "in",
+    "inertial",
+    "initial",
+    "inout",
+    "input",
+    "is",
+    "join",
+    "label",
+    "library",
+    "linkage",
+    "literal",
+    "loop",
+    "map",
+    "mod",
+    "module",
+    "nand",
+    "negedge",
+    "new",
+    "next",
+    "nmos",
+    "nor",
+    "not",
+    "null",
+    "of",
+    "on",
+    "open",
+    "or",
+    "others",
+    "out",
+    "output",
+    "package",
+    "parameter",
+    "pmos",
+    "port",
+    "posedge",
+    "postponed",
+    "primitive",
+    "procedure",
+    "process",
+    "pure",
+    "range",
+    "record",
+    "reg",
+    "register",
+    "reject",
+    "release",
+    "rem",
+    "repeat",
+    "report",
+    "return",
+    "rol",
+    "ror",
+    "scalared",
+    "select",
+    "severity",
+    "shared",
+    "signal",
+    "signed",
+    "sla",
+    "sll",
+    "specify",
+    "specparam",
+    "sra",
+    "srl",
+    "subtype",
+    "table",
+    "task",
+    "then",
+    "time",
+    "to",
+    "transport",
+    "tri",
+    "type",
+    "unaffected",
+    "units",
+    "unsigned",
+    "until",
+    "use",
+    "variable",
+    "vectored",
+    "wait",
+    "wand",
+    "when",
+    "while",
+    "wire",
+    "with",
+    "wor",
+    "xnor",
+    "xor",
 ];
 
 fn sanitize(raw: &str) -> String {

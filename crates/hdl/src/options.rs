@@ -106,7 +106,8 @@ mod tests {
         let o = HdlOptions::default();
         let mut b = bist_netlist::CircuitBuilder::new("3540-profile v2");
         b.add_input("a").unwrap();
-        b.add_gate("y", bist_netlist::GateKind::Not, &["a"]).unwrap();
+        b.add_gate("y", bist_netlist::GateKind::Not, &["a"])
+            .unwrap();
         b.mark_output("y").unwrap();
         let c = b.build().unwrap();
         assert_eq!(o.module_name(&c), "m3540_profile_v2");

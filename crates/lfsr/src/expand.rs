@@ -122,11 +122,7 @@ impl ScanExpander {
 /// Convenience: the first `count` pseudo-random `width`-bit patterns from a
 /// Fibonacci LFSR with polynomial `poly` and seed 1 — the configuration
 /// every experiment in the paper uses.
-pub fn pseudo_random_patterns(
-    poly: crate::Polynomial,
-    width: usize,
-    count: usize,
-) -> Vec<Pattern> {
+pub fn pseudo_random_patterns(poly: crate::Polynomial, width: usize, count: usize) -> Vec<Pattern> {
     let lfsr = Lfsr::fibonacci(poly, 1);
     ScanExpander::new(lfsr, width).patterns(count)
 }

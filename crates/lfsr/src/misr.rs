@@ -120,7 +120,9 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..count).map(|_| Pattern::random(&mut rng, width)).collect()
+        (0..count)
+            .map(|_| Pattern::random(&mut rng, width))
+            .collect()
     }
 
     #[test]

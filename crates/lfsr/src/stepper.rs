@@ -52,10 +52,7 @@ impl Lfsr {
         let n = poly.degree();
         assert!((1..=63).contains(&n), "unsupported LFSR degree {n}");
         assert_ne!(seed, 0, "all-zero seed locks an LFSR up");
-        assert!(
-            seed < (1u64 << n),
-            "seed 0x{seed:x} wider than degree {n}"
-        );
+        assert!(seed < (1u64 << n), "seed 0x{seed:x} wider than degree {n}");
         Lfsr {
             poly,
             taps: poly.taps(),

@@ -41,10 +41,7 @@ impl fmt::Display for SynthesizeLfsromError {
                 index,
                 expected,
                 got,
-            } => write!(
-                f,
-                "pattern {index} is {got} bits wide, expected {expected}"
-            ),
+            } => write!(f, "pattern {index} is {got} bits wide, expected {expected}"),
             SynthesizeLfsromError::ZeroWidth => write!(f, "patterns have zero width"),
         }
     }
@@ -345,9 +342,7 @@ mod tests {
         for trial in 0..10 {
             let width = 4 + trial;
             let len = 3 + trial * 2;
-            let seq: Vec<Pattern> = (0..len)
-                .map(|_| Pattern::random(&mut rng, width))
-                .collect();
+            let seq: Vec<Pattern> = (0..len).map(|_| Pattern::random(&mut rng, width)).collect();
             let generator = LfsromGenerator::synthesize(&seq).unwrap();
             assert_eq!(generator.replay(len), seq, "trial {trial}");
         }
@@ -359,7 +354,9 @@ mod tests {
         let model = AreaModel::es2_1um();
         let short: Vec<Pattern> = (0..8).map(|_| Pattern::random(&mut rng, 20)).collect();
         let long: Vec<Pattern> = (0..80).map(|_| Pattern::random(&mut rng, 20)).collect();
-        let a_short = LfsromGenerator::synthesize(&short).unwrap().area_mm2(&model);
+        let a_short = LfsromGenerator::synthesize(&short)
+            .unwrap()
+            .area_mm2(&model);
         let a_long = LfsromGenerator::synthesize(&long).unwrap().area_mm2(&model);
         assert!(
             a_long > a_short,
@@ -373,8 +370,7 @@ mod tests {
             LfsromGenerator::synthesize(&[]),
             Err(SynthesizeLfsromError::EmptySequence)
         ));
-        let err =
-            LfsromGenerator::synthesize(&[p("01"), p("011")]).unwrap_err();
+        let err = LfsromGenerator::synthesize(&[p("01"), p("011")]).unwrap_err();
         assert!(matches!(
             err,
             SynthesizeLfsromError::WidthMismatch { index: 1, .. }

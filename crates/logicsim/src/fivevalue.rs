@@ -145,7 +145,11 @@ fn eval3(kind: GateKind, inputs: impl Iterator<Item = Option<bool>> + Clone) -> 
                     None => return None,
                 }
             }
-            Some(if kind == GateKind::Xnor { !parity } else { parity })
+            Some(if kind == GateKind::Xnor {
+                !parity
+            } else {
+                parity
+            })
         }
         GateKind::Input | GateKind::Dff => unreachable!("sources are not evaluated"),
     }
@@ -397,14 +401,9 @@ impl<'c> FiveValueSim<'c> {
                 }
             }
         }
-        self.d_frontier().iter().any(|g| {
-            reach[g.index()]
-                || self
-                    .circuit
-                    .fanout(*g)
-                    .iter()
-                    .any(|s| reach[s.index()])
-        })
+        self.d_frontier()
+            .iter()
+            .any(|g| reach[g.index()] || self.circuit.fanout(*g).iter().any(|s| reach[s.index()]))
     }
 }
 
@@ -431,10 +430,10 @@ mod tests {
             sim.imply();
             let bits: Vec<bool> = (0..5).map(|i| (v >> i) & 1 == 1).collect();
             let naive = crate::packed::naive_eval(&c17, &bits);
-            for idx in 0..c17.num_nodes() {
+            for (idx, &expect) in naive.iter().enumerate().take(c17.num_nodes()) {
                 let id = NodeId::from_index(idx);
-                assert_eq!(sim.value(id).good(), Some(naive[idx]), "node {id} v={v}");
-                assert_eq!(sim.value(id).faulty(), Some(naive[idx]));
+                assert_eq!(sim.value(id).good(), Some(expect), "node {id} v={v}");
+                assert_eq!(sim.value(id).faulty(), Some(expect));
             }
         }
     }

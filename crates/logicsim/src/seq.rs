@@ -171,9 +171,7 @@ impl<'c> SeqSim<'c> {
         let mut out = Vec::with_capacity(cycles);
         for _ in 0..cycles {
             self.evaluate(inputs);
-            out.push(Pattern::from_fn(watch.len(), |i| {
-                self.value(watch[i])
-            }));
+            out.push(Pattern::from_fn(watch.len(), |i| self.value(watch[i])));
             self.step(inputs);
         }
         out

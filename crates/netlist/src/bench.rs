@@ -76,8 +76,7 @@ pub fn parse(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
                 return Err(syntax(format!("unterminated gate call `{rhs}`")));
             }
             let kind_str = rhs[..open].trim();
-            let kind = GateKind::from_str(kind_str)
-                .map_err(|e| syntax(e.to_string()))?;
+            let kind = GateKind::from_str(kind_str).map_err(|e| syntax(e.to_string()))?;
             if kind == GateKind::Input {
                 return Err(syntax("INPUT cannot appear on the right of `=`".into()));
             }

@@ -37,10 +37,7 @@ pub fn to_dot(circuit: &Circuit) -> String {
         } else {
             ""
         };
-        let _ = writeln!(
-            out,
-            "  n{idx} [shape={shape} label=\"{label}\"{color}];"
-        );
+        let _ = writeln!(out, "  n{idx} [shape={shape} label=\"{label}\"{color}];");
     }
     for (idx, node) in circuit.nodes().iter().enumerate() {
         for f in node.fanin() {

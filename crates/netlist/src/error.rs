@@ -34,7 +34,10 @@ impl fmt::Display for BuildCircuitError {
             BuildCircuitError::DuplicateName(n) => write!(f, "duplicate node name `{n}`"),
             BuildCircuitError::UnknownName(n) => write!(f, "reference to undeclared node `{n}`"),
             BuildCircuitError::BadFanin { name, kind, got } => {
-                write!(f, "gate `{name}` of kind {kind} has illegal fan-in count {got}")
+                write!(
+                    f,
+                    "gate `{name}` of kind {kind} has illegal fan-in count {got}"
+                )
             }
             BuildCircuitError::CombinationalCycle(n) => {
                 write!(f, "combinational cycle through node `{n}`")

@@ -120,16 +120,116 @@ const MIX_ADDER: &[(GateKind, u32)] = &[
 /// Profiles of the ten synthesized ISCAS-85 circuits (c17 is exact).
 /// I/O and gate counts follow the published benchmark statistics.
 pub const PROFILES: [Profile; 10] = [
-    Profile { name: "c432", inputs: 36, outputs: 7, gates: 160, depth: 17, mix: MIX_NAND, hard_cones: 4, redundant_structs: 2, seed: 0x1985_0432 },
-    Profile { name: "c499", inputs: 41, outputs: 32, gates: 202, depth: 11, mix: MIX_XOR_RICH, hard_cones: 4, redundant_structs: 3, seed: 0x1985_0499 },
-    Profile { name: "c880", inputs: 60, outputs: 26, gates: 383, depth: 24, mix: MIX_NAND, hard_cones: 6, redundant_structs: 0, seed: 0x1985_0880 },
-    Profile { name: "c1355", inputs: 41, outputs: 32, gates: 546, depth: 24, mix: MIX_XOR_RICH, hard_cones: 8, redundant_structs: 3, seed: 0x1985_1355 },
-    Profile { name: "c1908", inputs: 33, outputs: 25, gates: 880, depth: 40, mix: MIX_NAND, hard_cones: 12, redundant_structs: 4, seed: 0x1985_1908 },
-    Profile { name: "c2670", inputs: 233, outputs: 140, gates: 1193, depth: 32, mix: MIX_NAND, hard_cones: 18, redundant_structs: 25, seed: 0x1985_2670 },
-    Profile { name: "c3540", inputs: 50, outputs: 22, gates: 1669, depth: 47, mix: MIX_NAND, hard_cones: 26, redundant_structs: 40, seed: 0x1985_3540 },
-    Profile { name: "c5315", inputs: 178, outputs: 123, gates: 2307, depth: 49, mix: MIX_NAND, hard_cones: 30, redundant_structs: 18, seed: 0x1985_5315 },
-    Profile { name: "c6288", inputs: 32, outputs: 32, gates: 2416, depth: 124, mix: MIX_ADDER, hard_cones: 6, redundant_structs: 10, seed: 0x1985_6288 },
-    Profile { name: "c7552", inputs: 207, outputs: 108, gates: 3512, depth: 43, mix: MIX_NAND, hard_cones: 40, redundant_structs: 45, seed: 0x1985_7552 },
+    Profile {
+        name: "c432",
+        inputs: 36,
+        outputs: 7,
+        gates: 160,
+        depth: 17,
+        mix: MIX_NAND,
+        hard_cones: 4,
+        redundant_structs: 2,
+        seed: 0x1985_0432,
+    },
+    Profile {
+        name: "c499",
+        inputs: 41,
+        outputs: 32,
+        gates: 202,
+        depth: 11,
+        mix: MIX_XOR_RICH,
+        hard_cones: 4,
+        redundant_structs: 3,
+        seed: 0x1985_0499,
+    },
+    Profile {
+        name: "c880",
+        inputs: 60,
+        outputs: 26,
+        gates: 383,
+        depth: 24,
+        mix: MIX_NAND,
+        hard_cones: 6,
+        redundant_structs: 0,
+        seed: 0x1985_0880,
+    },
+    Profile {
+        name: "c1355",
+        inputs: 41,
+        outputs: 32,
+        gates: 546,
+        depth: 24,
+        mix: MIX_XOR_RICH,
+        hard_cones: 8,
+        redundant_structs: 3,
+        seed: 0x1985_1355,
+    },
+    Profile {
+        name: "c1908",
+        inputs: 33,
+        outputs: 25,
+        gates: 880,
+        depth: 40,
+        mix: MIX_NAND,
+        hard_cones: 12,
+        redundant_structs: 4,
+        seed: 0x1985_1908,
+    },
+    Profile {
+        name: "c2670",
+        inputs: 233,
+        outputs: 140,
+        gates: 1193,
+        depth: 32,
+        mix: MIX_NAND,
+        hard_cones: 18,
+        redundant_structs: 25,
+        seed: 0x1985_2670,
+    },
+    Profile {
+        name: "c3540",
+        inputs: 50,
+        outputs: 22,
+        gates: 1669,
+        depth: 47,
+        mix: MIX_NAND,
+        hard_cones: 26,
+        redundant_structs: 40,
+        seed: 0x1985_3540,
+    },
+    Profile {
+        name: "c5315",
+        inputs: 178,
+        outputs: 123,
+        gates: 2307,
+        depth: 49,
+        mix: MIX_NAND,
+        hard_cones: 30,
+        redundant_structs: 18,
+        seed: 0x1985_5315,
+    },
+    Profile {
+        name: "c6288",
+        inputs: 32,
+        outputs: 32,
+        gates: 2416,
+        depth: 124,
+        mix: MIX_ADDER,
+        hard_cones: 6,
+        redundant_structs: 10,
+        seed: 0x1985_6288,
+    },
+    Profile {
+        name: "c7552",
+        inputs: 207,
+        outputs: 108,
+        gates: 3512,
+        depth: 43,
+        mix: MIX_NAND,
+        hard_cones: 40,
+        redundant_structs: 45,
+        seed: 0x1985_7552,
+    },
 ];
 
 /// Returns the profile for a synthesized benchmark (`None` for `"c17"`,
@@ -160,7 +260,10 @@ pub fn circuit(name: &str) -> Option<Circuit> {
 
 /// Generates all eleven benchmarks, smallest first.
 pub fn all() -> Vec<Circuit> {
-    NAMES.iter().map(|n| circuit(n).expect("known name")).collect()
+    NAMES
+        .iter()
+        .map(|n| circuit(n).expect("known name"))
+        .collect()
 }
 
 /// Synthesizes a circuit matching `profile` (deterministic in
@@ -266,7 +369,7 @@ impl<'p> Generator<'p> {
     fn plant_hard_cones(&mut self, rng: &mut StdRng) {
         let n_pi = self.profile.inputs;
         for c in 0..self.profile.hard_cones {
-            let k = rng.gen_range(5..=8).min(n_pi);
+            let k = rng.gen_range(5..=8usize).min(n_pi);
             let use_and = c % 2 == 0;
             let kind = if use_and { GateKind::And } else { GateKind::Or };
             // k distinct PIs

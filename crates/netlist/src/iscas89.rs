@@ -244,7 +244,8 @@ pub fn synthesize(profile: &SeqProfile) -> Circuit {
         } else {
             GateKind::Xor
         };
-        b.add_gate(&format!("d{i}"), kind, &refs).expect("fresh name");
+        b.add_gate(&format!("d{i}"), kind, &refs)
+            .expect("fresh name");
     }
     b.build().expect("synthetic sequential netlist is valid")
 }

@@ -40,8 +40,8 @@
 
 pub mod bench;
 mod builder;
-pub mod dot;
 mod circuit;
+pub mod dot;
 mod error;
 mod gate;
 pub mod iscas85;

@@ -74,12 +74,7 @@ impl CircuitStats {
         if self.num_gates == 0 {
             return 0.0;
         }
-        let gate_pins: usize = self
-            .gate_mix
-            .iter()
-            .map(|(_, &c)| c)
-            .sum::<usize>()
-            .max(1);
+        let gate_pins: usize = self.gate_mix.iter().map(|(_, &c)| c).sum::<usize>().max(1);
         let _ = gate_pins;
         self.total_pins as f64 / self.num_gates as f64
     }

@@ -64,9 +64,9 @@ impl Columns {
 
     /// The mask of minterms *agreeing* with literal `(var, polarity)`.
     fn agree(&self, var: usize, polarity: bool, out: &mut [u64]) {
-        for w in 0..self.words {
+        for (w, slot) in out.iter_mut().enumerate().take(self.words) {
             let c = self.cols[var][w];
-            out[w] = if polarity { c } else { !c } & self.valid[w];
+            *slot = if polarity { c } else { !c } & self.valid[w];
         }
     }
 }
@@ -78,8 +78,8 @@ fn expand_minterm(width: usize, m: &Pattern, off: &Columns, rotation: usize) -> 
     let words = off.words;
     // agree masks per variable for this minterm's literals
     let mut agree = vec![vec![0u64; words]; width];
-    for v in 0..width {
-        off.agree(v, m.get(v), &mut agree[v]);
+    for (v, mask) in agree.iter_mut().enumerate() {
+        off.agree(v, m.get(v), mask);
     }
     let order: Vec<usize> = (0..width).map(|i| (i + rotation) % width).collect();
     // suffix[k] = AND of agree[order[k..]]

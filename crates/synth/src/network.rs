@@ -234,9 +234,7 @@ mod tests {
         b.add_input("x0").unwrap();
         b.add_input("x1").unwrap();
         b.add_input("x2").unwrap();
-        let outs = net
-            .emit(&mut b, &["x0", "x1", "x2"], "pla")
-            .unwrap();
+        let outs = net.emit(&mut b, &["x0", "x1", "x2"], "pla").unwrap();
         for o in &outs {
             b.mark_output(o).unwrap();
         }

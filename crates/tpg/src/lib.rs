@@ -1,0 +1,332 @@
+//! The unified test-pattern-generator face of the workspace.
+//!
+//! Every BIST TPG architecture in this repository — the paper's LFSROM
+//! and shared-register mixed generator, the bare LFSR, and all the
+//! surveyed baselines (ROM+counter, counter+PLA, cellular automata,
+//! weighted LFSR, reseeding) — answers the same two questions: *what
+//! sequence does the hardware emit* and *what does the hardware cost*.
+//! The [`Tpg`] trait captures exactly that face, object-safely, so
+//! bake-offs, area tables and HDL emission consume one interface instead
+//! of per-type adapters:
+//!
+//! * [`Tpg::sequence`] / [`Tpg::test_length`] / [`Tpg::width`] — the
+//!   emitted pattern stream;
+//! * [`Tpg::cells`] / [`Tpg::area_mm2`] — the silicon inventory and its
+//!   cost under any [`AreaModel`];
+//! * [`Tpg::netlist`] / [`Tpg::replay_netlist`] — the structural
+//!   hardware, where one exists, with a cycle-accurate replay of the
+//!   sequence it emits;
+//! * [`Tpg::emit_verilog`] / [`Tpg::emit_vhdl`] — blanket HDL emission
+//!   through [`bist_hdl`] for every implementor that carries a netlist.
+//!
+//! This crate also hosts the two architectures that have no crate of
+//! their own: [`PlainLfsr`] (the paper's pseudo-random extreme) and the
+//! direct [`Tpg`] implementation for
+//! [`LfsromGenerator`](bist_lfsrom::LfsromGenerator) (the deterministic
+//! extreme).
+//!
+//! # Example
+//!
+//! ```
+//! use bist_tpg::{PlainLfsr, Tpg};
+//! use bist_synth::AreaModel;
+//!
+//! let tpg = PlainLfsr::new(bist_lfsr::paper_poly(), 1, 20, 50);
+//! let generators: Vec<&dyn Tpg> = vec![&tpg];
+//! for g in generators {
+//!     assert_eq!(g.sequence().len(), g.test_length());
+//!     assert!(g.area_mm2(&AreaModel::es2_1um()) > 0.0);
+//!     assert!(g.emit_verilog(&Default::default()).is_some());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bist_hdl::HdlOptions;
+use bist_lfsr::{Lfsr, Polynomial, ScanExpander};
+use bist_lfsrom::LfsromGenerator;
+use bist_logicsim::{Pattern, SeqSim};
+use bist_netlist::Circuit;
+use bist_synth::{AreaModel, CellCount, CellKind};
+
+/// The common face of every BIST test-pattern-generator architecture in
+/// the workspace: an emitted pattern sequence plus a silicon cost, so
+/// architectures compare on the paper's two axes — test length and area
+/// overhead — and, where structural hardware exists, a netlist with
+/// cycle-accurate replay and HDL emission.
+///
+/// The trait is object-safe: heterogeneous collections of `&dyn Tpg` /
+/// `Box<dyn Tpg>` are the intended consumption style (see
+/// `bist_baselines::bakeoff`).
+pub trait Tpg {
+    /// Architecture name for reports (e.g. `"rom-counter"`).
+    fn architecture(&self) -> &'static str;
+
+    /// Width of the emitted patterns (number of CUT primary inputs).
+    fn width(&self) -> usize;
+
+    /// Number of patterns the generator is designed to emit per test
+    /// session.
+    fn test_length(&self) -> usize;
+
+    /// The emitted pattern sequence, in order.
+    fn sequence(&self) -> Vec<Pattern>;
+
+    /// The generator's standard-cell inventory (flip-flops, gates, ROM
+    /// bits).
+    fn cells(&self) -> CellCount;
+
+    /// Silicon area in mm² under `model`, routing included.
+    fn area_mm2(&self, model: &AreaModel) -> f64 {
+        model.area_mm2(&self.cells())
+    }
+
+    /// The structural hardware netlist, for architectures that carry
+    /// one. `None` for purely analytical cost models (ROM arrays and
+    /// the like).
+    fn netlist(&self) -> Option<&Circuit> {
+        None
+    }
+
+    /// The pattern sequence as recovered by cycle-accurate simulation
+    /// of [`Tpg::netlist`] — the hardware-truth counterpart of
+    /// [`Tpg::sequence`]. `None` exactly when there is no netlist.
+    ///
+    /// Implementors must guarantee `replay_netlist() == Some(sequence())`
+    /// whenever a netlist exists; the workspace integration tests
+    /// enforce this round-trip for every architecture.
+    fn replay_netlist(&self) -> Option<Vec<Pattern>> {
+        None
+    }
+
+    /// Structural Verilog for the generator hardware, where a netlist
+    /// exists — the blanket emission path through [`bist_hdl`].
+    fn emit_verilog(&self, options: &HdlOptions) -> Option<String> {
+        self.netlist().map(|n| bist_hdl::emit_verilog(n, options))
+    }
+
+    /// Structural VHDL for the generator hardware, where a netlist
+    /// exists.
+    fn emit_vhdl(&self, options: &HdlOptions) -> Option<String> {
+        self.netlist().map(|n| bist_hdl::emit_vhdl(n, options))
+    }
+}
+
+impl Tpg for LfsromGenerator {
+    fn architecture(&self) -> &'static str {
+        "lfsrom"
+    }
+
+    fn width(&self) -> usize {
+        LfsromGenerator::width(self)
+    }
+
+    fn test_length(&self) -> usize {
+        LfsromGenerator::sequence(self).len()
+    }
+
+    fn sequence(&self) -> Vec<Pattern> {
+        LfsromGenerator::sequence(self).to_vec()
+    }
+
+    fn cells(&self) -> CellCount {
+        LfsromGenerator::cells(self)
+    }
+
+    fn netlist(&self) -> Option<&Circuit> {
+        Some(LfsromGenerator::netlist(self))
+    }
+
+    fn replay_netlist(&self) -> Option<Vec<Pattern>> {
+        Some(self.replay(LfsromGenerator::sequence(self).len()))
+    }
+}
+
+/// The paper's reference pseudo-random generator: a plain Fibonacci LFSR
+/// expanded through the (shared) scan register. The cost charged is the
+/// LFSR core alone — `k` flip-flops plus the feedback XOR tree — matching
+/// the paper's 0.25 mm² accounting, which reuses the circuit's scan chain
+/// for the expansion register. The netlist is that core
+/// ([`bist_lfsr::lfsr_netlist`]); [`Tpg::replay_netlist`] clocks it
+/// cycle-accurately and shifts its serial output through the scan-chain
+/// model to recover the emitted patterns.
+#[derive(Debug, Clone)]
+pub struct PlainLfsr {
+    poly: Polynomial,
+    seed: u64,
+    width: usize,
+    test_length: usize,
+    netlist: Circuit,
+}
+
+impl PlainLfsr {
+    /// Creates a generator emitting `test_length` patterns of `width`
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `test_length` is 0, or if the seed is invalid
+    /// for the polynomial (see [`Lfsr::fibonacci`]).
+    pub fn new(poly: Polynomial, seed: u64, width: usize, test_length: usize) -> Self {
+        assert!(width > 0, "pattern width must be positive");
+        assert!(test_length > 0, "test length must be positive");
+        let _check = Lfsr::fibonacci(poly, seed);
+        PlainLfsr {
+            poly,
+            seed,
+            width,
+            test_length,
+            netlist: bist_lfsr::lfsr_netlist(poly),
+        }
+    }
+
+    /// The feedback polynomial.
+    pub fn poly(&self) -> Polynomial {
+        self.poly
+    }
+
+    /// The LFSR seed state.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Tpg for PlainLfsr {
+    fn architecture(&self) -> &'static str {
+        "lfsr"
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn test_length(&self) -> usize {
+        self.test_length
+    }
+
+    fn sequence(&self) -> Vec<Pattern> {
+        let lfsr = Lfsr::fibonacci(self.poly, self.seed);
+        ScanExpander::new(lfsr, self.width).patterns(self.test_length)
+    }
+
+    fn cells(&self) -> CellCount {
+        let mut cells = CellCount::new();
+        cells.add(CellKind::Dff, self.poly.degree() as usize);
+        cells.add(CellKind::Xor2, self.poly.taps().len().saturating_sub(1));
+        cells
+    }
+
+    fn netlist(&self) -> Option<&Circuit> {
+        Some(&self.netlist)
+    }
+
+    fn replay_netlist(&self) -> Option<Vec<Pattern>> {
+        let k = self.poly.degree() as usize;
+        let mut sim = SeqSim::new(&self.netlist);
+        // load the seed into the hardware register
+        for i in 0..k {
+            let q = self
+                .netlist
+                .find(&format!("lfsr_q{i}"))
+                .expect("LFSR cell exists");
+            sim.set_state(q, (self.seed >> i) & 1 == 1);
+        }
+        // the scan-chain extension beyond the LFSR core: cells
+        // q{k}..q{width-1}, shifted from the core's last cell exactly as
+        // the hardware shares the CUT scan register
+        let mut chain = vec![false; self.width.saturating_sub(k)];
+        let core_cells: Vec<_> = (0..k)
+            .map(|i| {
+                self.netlist
+                    .find(&format!("lfsr_q{i}"))
+                    .expect("LFSR cell exists")
+            })
+            .collect();
+        let mut patterns = Vec::with_capacity(self.test_length);
+        for _ in 0..self.test_length {
+            for _ in 0..self.width {
+                let serial = sim.state(core_cells[k - 1]);
+                sim.step(&[false]);
+                if !chain.is_empty() {
+                    chain.rotate_right(1);
+                    chain[0] = serial;
+                }
+            }
+            // register cell q{i}: core state for i < k, chain for i >= k;
+            // pattern bit b = cell q{width-1-b}
+            let p = Pattern::from_fn(self.width, |b| {
+                let cell = self.width - 1 - b;
+                if cell < k {
+                    sim.state(core_cells[cell])
+                } else {
+                    chain[cell - k]
+                }
+            });
+            patterns.push(p);
+        }
+        Some(patterns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_lfsr::{paper_poly, primitive_poly};
+
+    #[test]
+    fn plain_lfsr_matches_paper_anchor() {
+        let tpg = PlainLfsr::new(paper_poly(), 1, 50, 100);
+        let mm2 = tpg.area_mm2(&AreaModel::es2_1um());
+        assert!(
+            (0.2..0.3).contains(&mm2),
+            "paper charges 0.25 mm², got {mm2:.3}"
+        );
+        assert_eq!(tpg.sequence().len(), 100);
+    }
+
+    #[test]
+    fn plain_lfsr_sequence_matches_expander() {
+        let a = PlainLfsr::new(paper_poly(), 1, 23, 40).sequence();
+        let b = bist_lfsr::pseudo_random_patterns(paper_poly(), 23, 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plain_lfsr_netlist_replay_round_trips() {
+        // both regimes: width < k and width > k (scan-chain extension)
+        for (width, degree) in [(5usize, 16u32), (23, 16), (20, 8)] {
+            let tpg = PlainLfsr::new(primitive_poly(degree), 1, width, 12);
+            assert_eq!(
+                tpg.replay_netlist().unwrap(),
+                tpg.sequence(),
+                "width {width} degree {degree}"
+            );
+        }
+    }
+
+    #[test]
+    fn lfsrom_implements_tpg_directly() {
+        let seq: Vec<Pattern> = ["0110", "1001", "1111", "0000"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let generator = LfsromGenerator::synthesize(&seq).unwrap();
+        let tpg: &dyn Tpg = &generator;
+        assert_eq!(tpg.architecture(), "lfsrom");
+        assert_eq!(tpg.test_length(), 4);
+        assert_eq!(tpg.sequence(), seq);
+        assert_eq!(tpg.replay_netlist().unwrap(), seq);
+        assert!(tpg.cells().get(CellKind::Dff) >= 4);
+    }
+
+    #[test]
+    fn hdl_emission_is_lint_clean() {
+        let tpg = PlainLfsr::new(primitive_poly(8), 1, 12, 6);
+        let options = HdlOptions::default();
+        let verilog = tpg.emit_verilog(&options).expect("netlist exists");
+        let vhdl = tpg.emit_vhdl(&options).expect("netlist exists");
+        bist_hdl::lint::check_verilog(&verilog).expect("clean Verilog");
+        bist_hdl::lint::check_vhdl(&vhdl).expect("clean VHDL");
+    }
+}

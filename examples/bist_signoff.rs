@@ -2,8 +2,8 @@
 //! consistent mixed-BIST recipe and print a sign-off sheet.
 //!
 //! ```text
-//! cargo run --release -p bist-core --example bist_signoff
-//! cargo run --release -p bist-core --example bist_signoff -- 200
+//! cargo run --release --example bist_signoff
+//! cargo run --release --example bist_signoff -- 200
 //! ```
 //!
 //! The optional argument is the pseudo-random prefix length (default 500).
@@ -30,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let names = ["c17", "c432", "c499", "c880", "c1355", "c1908", "c3540"];
     for name in names {
         let circuit = iscas85::circuit(name).expect("known benchmark");
-        let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
-        let s = scheme.solve(prefix.min(4 * (1 << circuit.inputs().len().min(16))))?;
+        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+        let s = session.solve_at(prefix.min(4 * (1 << circuit.inputs().len().min(16))))?;
         assert!(s.generator.verify(), "{name}: generator failed replay");
         println!(
             "{:>7} {:>6} | {:>8.2}% {:>5.1}% | {:>10} {:>10} | {:>10.3} {:>8.1}%",

@@ -2,8 +2,8 @@
 //! ISCAS-style `.bench` file.
 //!
 //! ```text
-//! cargo run --release -p bist-core --example custom_circuit -- my_design.bench 100
-//! cargo run --release -p bist-core --example custom_circuit            # built-in demo
+//! cargo run --release --example custom_circuit -- my_design.bench 100
+//! cargo run --release --example custom_circuit            # built-in demo
 //! ```
 //!
 //! With no arguments, a small demo design (a 4-bit carry-ripple
@@ -28,9 +28,12 @@ fn demo_design() -> Circuit {
         )
         .expect("fresh");
     }
-    b.add_gate("e01", GateKind::And, &["x0", "x1"]).expect("fresh");
-    b.add_gate("e012", GateKind::And, &["e01", "x2"]).expect("fresh");
-    b.add_gate("eq", GateKind::And, &["e012", "x3"]).expect("fresh");
+    b.add_gate("e01", GateKind::And, &["x0", "x1"])
+        .expect("fresh");
+    b.add_gate("e012", GateKind::And, &["e01", "x2"])
+        .expect("fresh");
+    b.add_gate("eq", GateKind::And, &["e012", "x3"])
+        .expect("fresh");
     b.mark_output("eq").expect("fresh");
     b.build().expect("demo design is valid")
 }
@@ -66,8 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         faults.num_stuck_open()
     );
 
-    let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
-    let s = scheme.solve(prefix)?;
+    let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+    let s = session.solve_at(prefix)?;
     println!(
         "mixed solution: p={}, d={} -> {:.2} % coverage ({} redundant, {} aborted)",
         s.prefix_len,

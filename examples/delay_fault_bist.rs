@@ -1,7 +1,7 @@
 //! Delay-fault BIST: measuring the paper's motivating claim.
 //!
 //! ```text
-//! cargo run --release -p bist-delay --example delay_fault_bist
+//! cargo run --release --example delay_fault_bist
 //! ```
 //!
 //! Section 2.2 of the paper argues that pseudo-random sequences "are no

@@ -1,7 +1,7 @@
 //! HDL hand-off: the artefact the paper fed to COMPASS.
 //!
 //! ```text
-//! cargo run --release -p bist-hdl --example emit_hdl
+//! cargo run --release --example emit_hdl
 //! ```
 //!
 //! Synthesizes the full deterministic LFSROM for c17's stuck-at +
@@ -9,13 +9,19 @@
 //! paper's §4.1 hand-off format), structural Verilog, and a self-checking
 //! Verilog testbench that replays the expected pattern sequence. Files
 //! land in `results/hdl/`.
+//!
+//! The second half emits Verilog for a whole *fleet* of generator
+//! architectures — LFSROM, bare LFSR, shared-register mixed — through
+//! the one `Tpg` trait, no per-type plumbing.
 
 use std::fs;
 
 use bist_atpg::{AtpgOptions, TestGenerator};
+use bist_core::{BistSession, MixedSchemeConfig};
 use bist_fault::FaultList;
 use bist_hdl::{emit_verilog, emit_verilog_testbench, emit_vhdl, HdlOptions};
 use bist_lfsrom::LfsromGenerator;
+use bist_tpg::{PlainLfsr, Tpg};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c17 = bist_netlist::iscas85::c17();
@@ -58,11 +64,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fs::write("results/hdl/c17_lfsrom.v", &verilog)?;
     fs::write("results/hdl/c17_lfsrom_tb.v", &testbench)?;
 
-    println!("wrote results/hdl/c17_lfsrom.vhd     ({} lines)", vhdl.lines().count());
-    println!("wrote results/hdl/c17_lfsrom.v       ({} lines)", verilog.lines().count());
-    println!("wrote results/hdl/c17_lfsrom_tb.v    ({} lines)", testbench.lines().count());
+    println!(
+        "wrote results/hdl/c17_lfsrom.vhd     ({} lines)",
+        vhdl.lines().count()
+    );
+    println!(
+        "wrote results/hdl/c17_lfsrom.v       ({} lines)",
+        verilog.lines().count()
+    );
+    println!(
+        "wrote results/hdl/c17_lfsrom_tb.v    ({} lines)",
+        testbench.lines().count()
+    );
     println!();
-    println!("The testbench prints TB_PASS after {} cycles under any", expected.len());
+    println!(
+        "The testbench prints TB_PASS after {} cycles under any",
+        expected.len()
+    );
     println!("event-driven simulator (iverilog, Verilator, ModelSim).");
+
+    // --- the generic path: every architecture through one trait ---
+    let lfsr = PlainLfsr::new(bist_lfsr::paper_poly(), 1, c17.inputs().len(), 64);
+    let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
+    let mixed = session.solve_at(8)?.generator;
+    println!();
+    for tpg in [&lfsrom as &dyn Tpg, &lfsr, &mixed] {
+        // distinct `fleet_` paths: the seeded c17_lfsrom.v above (whose
+        // testbench depends on its reset values) must survive
+        let name = format!("fleet_c17_{}", tpg.architecture());
+        let options = HdlOptions::default().with_module_name(name.clone());
+        let verilog = tpg
+            .emit_verilog(&options)
+            .expect("all three architectures carry netlists");
+        bist_hdl::lint::check_verilog(&verilog)?;
+        let path = format!("results/hdl/{name}.v");
+        fs::write(&path, &verilog)?;
+        println!(
+            "wrote {path:<32} ({} lines, {} patterns x {} bits via Tpg)",
+            verilog.lines().count(),
+            tpg.test_length(),
+            tpg.width()
+        );
+    }
     Ok(())
 }

@@ -2,8 +2,8 @@
 //! the C3540-class circuit and picking a practical operating point.
 //!
 //! ```text
-//! cargo run --release -p bist-core --example mixed_tradeoff
-//! cargo run --release -p bist-core --example mixed_tradeoff -- c880
+//! cargo run --release --example mixed_tradeoff
+//! cargo run --release --example mixed_tradeoff -- c880
 //! ```
 //!
 //! For each prefix length the full flow runs (fault simulation, ATPG
@@ -16,13 +16,15 @@
 use bist_core::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "c3540".to_owned());
-    let circuit = iscas85::circuit(&name)
-        .ok_or_else(|| format!("unknown ISCAS-85 circuit `{name}`"))?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "c3540".to_owned());
+    let circuit =
+        iscas85::circuit(&name).ok_or_else(|| format!("unknown ISCAS-85 circuit `{name}`"))?;
     println!("exploring the mixed trade-off for {circuit}\n");
 
-    let explorer = TradeoffExplorer::new(&circuit, MixedSchemeConfig::default());
-    let summary = explorer.sweep(&[0, 100, 200, 500, 1000])?;
+    let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+    let summary = session.sweep(&[0, 100, 200, 500, 1000])?;
     print!("{summary}");
 
     let cheapest = summary.cheapest().expect("sweep is non-empty");

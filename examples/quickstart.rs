@@ -1,7 +1,7 @@
 //! Quickstart: the whole mixed-BIST flow on the classic `c17` circuit.
 //!
 //! ```text
-//! cargo run --release -p bist-core --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 //!
 //! Walks the paper's pipeline end to end on the smallest ISCAS-85
@@ -25,8 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. solve the mixed scheme with an 8-pattern pseudo-random prefix
-    let scheme = MixedScheme::new(&c17, MixedSchemeConfig::default());
-    let solution = scheme.solve(8)?;
+    let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
+    let solution = session.solve_at(8)?;
     println!(
         "prefix coverage    : {:.1} % after {} pseudo-random patterns",
         solution.prefix_coverage.coverage_pct(),
@@ -48,15 +48,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 5. prove the silicon would do the right thing: replay every cycle
-    assert!(generator.verify(), "hardware must replay both phases bit-exactly");
-    println!("replay check       : hardware reproduces all {} patterns bit-exactly",
-        generator.total_len());
+    assert!(
+        generator.verify(),
+        "hardware must replay both phases bit-exactly"
+    );
+    println!(
+        "replay check       : hardware reproduces all {} patterns bit-exactly",
+        generator.total_len()
+    );
 
     // 6. the paper's trade-off in one sentence. (On a 6-gate circuit the
     // 16-bit LFSR dominates the cost, so pure-deterministic wins here —
     // exactly the paper's Figure 6 story for c17. The mixed win appears at
     // scale: see the `mixed_tradeoff` example.)
-    let pure_det = scheme.solve(0)?;
+    let pure_det = session.solve_at(0)?;
     println!(
         "trade-off          : pure deterministic d={} costs {:.4} mm²; mixed (p=8, d={}) costs {:.4} mm²",
         pure_det.det_len, pure_det.generator_area_mm2, solution.det_len, solution.generator_area_mm2

@@ -2,8 +2,8 @@
 //! MISR signature → PASS/FAIL, including a fault-injection campaign.
 //!
 //! ```text
-//! cargo run --release -p bist-core --example self_test
-//! cargo run --release -p bist-core --example self_test -- c880 200
+//! cargo run --release --example self_test
+//! cargo run --release --example self_test -- c880 200
 //! ```
 
 use bist_core::prelude::*;
@@ -13,13 +13,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "c432".to_owned());
     let prefix: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(100);
-    let circuit =
-        iscas85::circuit(&name).ok_or_else(|| format!("unknown circuit `{name}`"))?;
+    let circuit = iscas85::circuit(&name).ok_or_else(|| format!("unknown circuit `{name}`"))?;
     println!("self-test session for {circuit}");
 
     // 1. build and verify the mixed generator
-    let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
-    let solution = scheme.solve(prefix)?;
+    let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+    let solution = session.solve_at(prefix)?;
     assert!(solution.generator.verify());
     println!(
         "generator: p={}, d={}, {:.3} mm² ({:.1} % of chip)",

@@ -1,7 +1,7 @@
 //! Scan-based mixed BIST for a sequential circuit, end to end.
 //!
 //! ```text
-//! cargo run --release -p bist-scan --example sequential_scan
+//! cargo run --release --example sequential_scan
 //! ```
 //!
 //! The paper's flow is combinational; real chips are not. This example
@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. full-scan insertion + equivalence check
     let scan = ScanDesign::insert(&sequential)?;
-    assert_eq!(scan.verify(200, 344), None, "test view must be cycle-accurate");
+    assert_eq!(
+        scan.verify(200, 344),
+        None,
+        "test view must be cycle-accurate"
+    );
     println!(
         "scan insertion     : chain of {} cells, overhead {:.4} mm², test view {} inputs",
         scan.chain_len(),
@@ -37,13 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. the whole mixed scheme, unchanged, on the combinational view
-    let scheme = MixedScheme::new(scan.test_view(), MixedSchemeConfig::default());
+    let mut session = BistSession::new(scan.test_view(), MixedSchemeConfig::default());
     println!(
         "\n{:>6}  {:>8}  {:>12}  {:>12}  {:>14}",
         "p", "d", "coverage %", "gen mm²", "tester clocks"
     );
     for p in [0usize, 128, 512] {
-        let solution = scheme.solve(p)?;
+        let solution = session.solve_at(p)?;
         assert!(solution.generator.verify());
         let patterns = solution.total_len();
         println!(

@@ -1,7 +1,7 @@
 //! TPG architecture bake-off: the paper's §1 survey, actually run.
 //!
 //! ```text
-//! cargo run --release -p bist-baselines --example tpg_bakeoff
+//! cargo run --release --example tpg_bakeoff
 //! ```
 //!
 //! The paper's introduction surveys the BIST TPG design space — ROMs,

@@ -1,0 +1,32 @@
+//! Workspace facade for the LFSROM mixed-BIST reproduction.
+//!
+//! Re-exports every substrate crate under one roof so downstream users
+//! (and the repo-level integration tests and examples) can depend on a
+//! single package. The interesting entry points:
+//!
+//! * [`core::BistSession`](bist_core) — the incremental mixed-scheme
+//!   pipeline (fault universe built once, prefix fault simulation
+//!   advanced across checkpoints, ATPG cached per open-fault frontier).
+//! * [`tpg::Tpg`](bist_tpg) — the unified test-pattern-generator trait
+//!   every architecture in the workspace implements.
+//! * [`baselines::bakeoff`](bist_baselines) — all surveyed TPG
+//!   architectures compared on one circuit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bist_atpg as atpg;
+pub use bist_baselines as baselines;
+pub use bist_bridging as bridging;
+pub use bist_core as core;
+pub use bist_delay as delay;
+pub use bist_fault as fault;
+pub use bist_faultsim as faultsim;
+pub use bist_hdl as hdl;
+pub use bist_lfsr as lfsr;
+pub use bist_lfsrom as lfsrom;
+pub use bist_logicsim as logicsim;
+pub use bist_netlist as netlist;
+pub use bist_scan as scan;
+pub use bist_synth as synth;
+pub use bist_tpg as tpg;

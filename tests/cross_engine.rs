@@ -50,9 +50,9 @@ fn ppsfp_vs_serial_on_c880_sampled_universe() {
     let serial = bist_faultsim::serial::grade_sequence(&c, sampled.faults(), &patterns);
     let mut ppsfp = FaultSim::new(&c, sampled.clone());
     ppsfp.simulate(&patterns);
-    for i in 0..sampled.len() {
+    for (i, &graded) in serial.iter().enumerate() {
         assert_eq!(
-            serial[i],
+            graded,
             ppsfp.first_detection(i),
             "fault {}",
             sampled.get(i).unwrap().describe(&c)

@@ -9,8 +9,8 @@ use bist_core::prelude::*;
 #[test]
 fn c17_hardware_patterns_detect_every_fault() {
     let c17 = iscas85::c17();
-    let scheme = MixedScheme::new(&c17, MixedSchemeConfig::default());
-    let solution = scheme.solve(6).expect("flow succeeds");
+    let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
+    let solution = session.solve_at(6).expect("flow succeeds");
     assert!(solution.generator.verify());
 
     // grade the *hardware-replayed* sequence from scratch
@@ -31,10 +31,12 @@ fn c17_hardware_patterns_detect_every_fault() {
 #[test]
 fn suffix_shrinks_with_prefix_on_c432() {
     let c = iscas85::circuit("c432").unwrap();
-    let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
-    let d0 = scheme.solve(0).unwrap().det_len;
-    let d200 = scheme.solve(200).unwrap().det_len;
-    let d800 = scheme.solve(800).unwrap().det_len;
+    // one monotone session: the prefix grading is shared across all three
+    let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+    let d0 = session.solve_at(0).unwrap().det_len;
+    let d200 = session.solve_at(200).unwrap().det_len;
+    let d800 = session.solve_at(800).unwrap().det_len;
+    assert_eq!(session.stats().patterns_simulated, 800);
     assert!(d0 > d200, "d(0)={d0} vs d(200)={d200}");
     assert!(d200 >= d800, "d(200)={d200} vs d(800)={d800}");
 }
@@ -45,13 +47,13 @@ fn suffix_shrinks_with_prefix_on_c432() {
 #[test]
 fn all_prefixes_reach_equal_coverage_on_c880() {
     let c = iscas85::circuit("c880").unwrap();
-    let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
-    let a = scheme.solve(0).unwrap();
-    let b = scheme.solve(300).unwrap();
-    // the prefixed run may additionally catch faults the ATPG aborted on,
-    // so allow a sliver of spread in its favour
-    assert!(b.coverage.detected >= a.coverage.detected);
-    let spread = b.coverage.detected - a.coverage.detected;
+    let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+    let a = session.solve_at(0).unwrap();
+    let b = session.solve_at(300).unwrap();
+    // abort collateral detection differs between the two runs (the ATPG
+    // sees a different fault list either way), so the spread can lean a
+    // few faults in either direction — but only a sliver of the universe
+    let spread = b.coverage.detected.abs_diff(a.coverage.detected);
     assert!(
         spread * 100 <= a.coverage.total(),
         "coverage spread {spread} too wide"
@@ -65,8 +67,8 @@ fn all_prefixes_reach_equal_coverage_on_c880() {
 #[test]
 fn generator_netlist_round_trips_through_bench_format() {
     let c17 = iscas85::c17();
-    let scheme = MixedScheme::new(&c17, MixedSchemeConfig::default());
-    let solution = scheme.solve(4).expect("flow succeeds");
+    let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
+    let solution = session.solve_at(4).expect("flow succeeds");
     let netlist = solution.generator.netlist();
     let text = bist_netlist::bench::write(netlist);
     let back = bist_netlist::bench::parse("generator", &text).expect("round-trip parses");
@@ -81,8 +83,8 @@ fn generator_netlist_round_trips_through_bench_format() {
 #[test]
 fn redundancy_creates_a_coverage_ceiling() {
     let c = iscas85::circuit("c1908").unwrap();
-    let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
-    let s = scheme.solve(100).unwrap();
+    let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+    let s = session.solve_at(100).unwrap();
     assert!(
         s.coverage.redundant > 0,
         "the c1908 profile plants redundant structures"
@@ -97,9 +99,9 @@ fn redundancy_creates_a_coverage_ceiling() {
 #[test]
 fn pseudo_random_phase_matches_software_model() {
     let c = iscas85::circuit("c499").unwrap();
-    let scheme = MixedScheme::new(&c, MixedSchemeConfig::default());
-    let s = scheme.solve(40).unwrap();
-    let expected = scheme.pseudo_random_patterns(40);
+    let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+    let s = session.solve_at(40).unwrap();
+    let expected = session.pseudo_random_patterns(40);
     assert_eq!(s.generator.expected_random(), &expected[..]);
     let (random, _) = s.generator.replay();
     assert_eq!(random, expected);

@@ -4,13 +4,10 @@
 //! flow.
 
 use bist_atpg::TestCube;
-use bist_baselines::{
-    CounterPla, LfsromTpg, Reseeding, RomCounter, TestPatternGenerator,
-};
+use bist_baselines::{CounterPla, LfsromTpg, Reseeding, RomCounter, TestPatternGenerator};
 use bist_core::prelude::*;
 use bist_delay::{
-    serial, DelayAtpgOptions, DelayTestGenerator,
-    TransitionFaultList, TransitionSim,
+    serial, DelayAtpgOptions, DelayTestGenerator, TransitionFaultList, TransitionSim,
 };
 use bist_hdl::{emit_verilog, emit_verilog_testbench, emit_vhdl, HdlOptions};
 use bist_scan::ScanDesign;
@@ -128,7 +125,11 @@ fn delay_atpg_pairs_check_out_against_the_reference() {
     let c = bist_netlist::iscas85::circuit("c880").expect("known benchmark");
     let faults = TransitionFaultList::universe(&c);
     let run = DelayTestGenerator::new(&c, faults, DelayAtpgOptions::default()).run();
-    assert!(run.report.coverage_pct() > 85.0, "{:.2}", run.report.coverage_pct());
+    assert!(
+        run.report.coverage_pct() > 85.0,
+        "{:.2}",
+        run.report.coverage_pct()
+    );
     for unit in run.units.iter().take(60) {
         assert!(
             serial::detects(&c, unit.target, &unit.patterns[0], &unit.patterns[1]),
@@ -182,8 +183,8 @@ fn mixed_sequence_beats_pure_random_on_transition_faults() {
 #[test]
 fn mixed_generator_netlist_emits_lint_clean_hdl() {
     let c17 = bist_netlist::iscas85::c17();
-    let scheme = MixedScheme::new(&c17, MixedSchemeConfig::default());
-    let solution = scheme.solve(8).expect("solvable");
+    let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
+    let solution = session.solve_at(8).expect("solvable");
     let netlist = solution.generator.netlist();
 
     let options = HdlOptions::default().with_module_name("c17_mixed_bist");
@@ -214,7 +215,10 @@ fn encoders_reproduce_atpg_coverage_on_c880() {
     let seq = run.sequence();
 
     for (name, replay) in [
-        ("rom-counter", RomCounter::new(&seq).expect("valid").sequence()),
+        (
+            "rom-counter",
+            RomCounter::new(&seq).expect("valid").sequence(),
+        ),
         (
             "counter-pla",
             CounterPla::synthesize(&seq).expect("valid").sequence(),

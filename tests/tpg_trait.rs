@@ -1,0 +1,183 @@
+//! The unified-`Tpg` contract, enforced across every implementor in the
+//! workspace, plus the `BistSession` vs point-wise regression.
+
+use bist_baselines::{
+    weights_from_structure, CaRegister, CaTpg, CounterPla, LfsromTpg, Reseeding, RomCounter,
+    WeightedLfsr,
+};
+use bist_core::{BistSession, MixedSchemeConfig};
+use bist_hdl::HdlOptions;
+use bist_lfsrom::LfsromGenerator;
+use bist_tpg::{PlainLfsr, Tpg};
+
+/// One of every architecture in the workspace, built over c17's real
+/// deterministic test set (so the encoders hold meaningful content).
+fn fleet() -> Vec<Box<dyn Tpg>> {
+    let c17 = bist_netlist::iscas85::c17();
+    let faults = bist_fault::FaultList::mixed_model(&c17);
+    let run = bist_atpg::TestGenerator::new(&c17, faults, Default::default()).run();
+    let det = run.sequence();
+    let cubes: Vec<bist_atpg::TestCube> = run
+        .units
+        .iter()
+        .flat_map(|u| u.cubes.iter().cloned())
+        .collect();
+    let width = c17.inputs().len();
+
+    let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
+    let mixed = session.solve_at(6).expect("mixed flow solves").generator;
+
+    let lfsrom = LfsromGenerator::synthesize(&det).expect("synthesizable");
+    vec![
+        Box::new(mixed),
+        Box::new(PlainLfsr::new(bist_lfsr::paper_poly(), 1, width, 40)),
+        Box::new(LfsromTpg::new(lfsrom.clone())),
+        Box::new(lfsrom),
+        Box::new(RomCounter::new(&det).expect("valid set")),
+        Box::new(CounterPla::synthesize(&det).expect("valid set")),
+        Box::new(Reseeding::encode(&cubes).expect("sparse cubes encode")),
+        Box::new(CaTpg::new(
+            CaRegister::find_max_length(16, 1 << 16).expect("rule exists"),
+            width,
+            40,
+        )),
+        Box::new(WeightedLfsr::new(
+            bist_lfsr::paper_poly(),
+            1,
+            weights_from_structure(&c17),
+            40,
+        )),
+    ]
+}
+
+#[test]
+fn every_tpg_implementor_is_internally_consistent() {
+    let model = bist_synth::AreaModel::es2_1um();
+    let mut seen = std::collections::HashSet::new();
+    for tpg in fleet() {
+        let arch = tpg.architecture();
+        let sequence = tpg.sequence();
+        assert_eq!(sequence.len(), tpg.test_length(), "{arch}");
+        assert!(tpg.test_length() > 0, "{arch}");
+        for p in &sequence {
+            assert_eq!(p.len(), tpg.width(), "{arch}");
+        }
+        assert!(tpg.cells().total() > 0, "{arch}: hardware is never free");
+        assert!(tpg.area_mm2(&model) > 0.0, "{arch}");
+        seen.insert(arch);
+    }
+    // the mixed generator, both extremes and every baseline are present
+    for arch in [
+        "mixed",
+        "lfsr",
+        "lfsrom",
+        "rom-counter",
+        "counter-pla",
+        "lfsr-reseeding",
+        "cellular-automaton",
+        "weighted-random",
+    ] {
+        assert!(seen.contains(arch), "fleet is missing {arch}");
+    }
+}
+
+#[test]
+fn netlists_replay_their_emitted_sequence_bit_exactly() {
+    let mut with_netlist = 0;
+    for tpg in fleet() {
+        let arch = tpg.architecture();
+        match (tpg.netlist(), tpg.replay_netlist()) {
+            (Some(netlist), Some(replayed)) => {
+                with_netlist += 1;
+                assert!(netlist.num_dffs() > 0, "{arch}: a TPG is sequential");
+                assert_eq!(
+                    replayed,
+                    tpg.sequence(),
+                    "{arch}: netlist replay must reproduce sequence()"
+                );
+            }
+            (None, None) => {} // analytical cost model only — fine
+            (netlist, replay) => panic!(
+                "{arch}: netlist() and replay_netlist() must agree in presence \
+                 (got netlist {} / replay {})",
+                netlist.is_some(),
+                replay.is_some()
+            ),
+        }
+    }
+    assert!(
+        with_netlist >= 3,
+        "mixed, lfsr and lfsrom all carry netlists, saw {with_netlist}"
+    );
+}
+
+#[test]
+fn hdl_emission_succeeds_exactly_where_netlists_exist_and_lints_clean() {
+    let options = HdlOptions::default();
+    for tpg in fleet() {
+        let arch = tpg.architecture();
+        let verilog = tpg.emit_verilog(&options);
+        let vhdl = tpg.emit_vhdl(&options);
+        assert_eq!(verilog.is_some(), tpg.netlist().is_some(), "{arch}");
+        assert_eq!(vhdl.is_some(), tpg.netlist().is_some(), "{arch}");
+        if let Some(v) = verilog {
+            bist_hdl::lint::check_verilog(&v)
+                .unwrap_or_else(|e| panic!("{arch}: Verilog lint: {e}"));
+        }
+        if let Some(v) = vhdl {
+            bist_hdl::lint::check_vhdl(&v).unwrap_or_else(|e| panic!("{arch}: VHDL lint: {e}"));
+        }
+    }
+}
+
+#[test]
+fn session_sweep_is_bit_identical_to_point_wise_solves() {
+    let c = bist_netlist::iscas85::circuit("c432").expect("known benchmark");
+    let checkpoints = [0usize, 60, 150, 300];
+
+    let mut swept_session = BistSession::new(&c, MixedSchemeConfig::default());
+    let summary = swept_session.sweep(&checkpoints).expect("sweep succeeds");
+    assert_eq!(
+        swept_session.stats().patterns_simulated,
+        *checkpoints.iter().max().unwrap(),
+        "a monotone sweep simulates each pseudo-random pattern exactly once"
+    );
+
+    for (s, &p) in summary.solutions().iter().zip(&checkpoints) {
+        // a completely fresh session per point: the expensive way
+        let mut point = BistSession::new(&c, MixedSchemeConfig::default());
+        let q = point.solve_at(p).expect("point solve succeeds");
+        assert_eq!(s.prefix_len, q.prefix_len);
+        assert_eq!(s.det_len, q.det_len, "p={p}");
+        assert_eq!(
+            s.generator.deterministic(),
+            q.generator.deterministic(),
+            "p={p}: suffixes must be bit-identical"
+        );
+        assert_eq!(
+            s.generator.expected_random(),
+            q.generator.expected_random(),
+            "p={p}: prefixes must be bit-identical"
+        );
+        assert_eq!(s.coverage, q.coverage, "p={p}");
+        assert_eq!(s.prefix_coverage, q.prefix_coverage, "p={p}");
+        assert_eq!(s.generator_area_mm2, q.generator_area_mm2, "p={p}");
+    }
+}
+
+#[test]
+fn session_consumes_its_own_generator_through_the_trait() {
+    // the mixed generator, viewed generically, agrees with the solution's
+    // bookkeeping — the trait carries everything a bake-off needs
+    let c17 = bist_netlist::iscas85::c17();
+    let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
+    let solution = session.solve_at(8).expect("solves");
+    let tpg: &dyn Tpg = &solution.generator;
+    assert_eq!(tpg.architecture(), "mixed");
+    assert_eq!(tpg.test_length(), solution.total_len());
+    assert_eq!(
+        tpg.area_mm2(&session.config().area),
+        solution.generator_area_mm2
+    );
+    assert_eq!(tpg.replay_netlist().unwrap(), tpg.sequence());
+}

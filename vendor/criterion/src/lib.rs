@@ -1,0 +1,182 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! There is no statistical analysis: each benchmark runs a warm-up
+//! iteration plus `sample_size` timed iterations and prints min / mean /
+//! max wall time. Good enough to keep the `benches/` targets building,
+//! runnable and comparable without crates.io access.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; ignored by this stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` with untimed fresh input from `setup` per sample.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} [{} {} {}] ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    quick: bool,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: if self.quick { 1 } else { self.sample_size },
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&format!("{}/{id}", self.name), &bencher.results);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Creates a harness; `--test` (passed by `cargo test`) switches to
+    /// single-iteration smoke mode.
+    pub fn from_args() -> Self {
+        Criterion {
+            quick: std::env::args().any(|a| a == "--test"),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let quick = self.quick;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            quick,
+            _criterion: self,
+        }
+    }
+
+    /// Runs and reports one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: if self.quick { 1 } else { 10 },
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        report(id, &bencher.results);
+        self
+    }
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
