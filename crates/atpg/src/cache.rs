@@ -1,0 +1,209 @@
+//! Memoization of deterministic search results.
+//!
+//! A PODEM search outcome is a pure function of `(circuit, fault, search
+//! options)` — nothing else. The mixed-scheme sweep exploits that: two
+//! adjacent prefix checkpoints leave *mostly the same* hard faults open,
+//! so their deterministic top-ups re-run mostly the same searches. A
+//! [`CubeCache`] carried across [`TestGenerator`](crate::TestGenerator)
+//! runs answers those repeats without searching again, leaving the
+//! results bit-identical to a cold run.
+//!
+//! This only works because the X-fill seed of each search is derived from
+//! the fault's *identity* ([`stable_fill_seed`]) rather than its position
+//! in the per-checkpoint fault sub-list: a position-derived seed (the
+//! historical behaviour) silently changes whenever any earlier fault
+//! leaves the frontier, which keys every checkpoint's searches apart and
+//! drives the cache hit rate to zero.
+
+use std::collections::HashMap;
+
+use bist_fault::Fault;
+use bist_logicsim::Pattern;
+
+use crate::cube::TestCube;
+use crate::podem::PodemOptions;
+
+/// A per-fault fill seed that depends only on what the fault *is* — never
+/// on where it sits in the universe being targeted. SplitMix64 over the
+/// fault's site, variant and polarity: consecutive faults still get
+/// decorrelated fills (maximizing collateral detection during fault
+/// dropping), but the seed survives arbitrary re-slicings of the fault
+/// list, which is what makes cross-checkpoint memoization possible.
+pub fn stable_fill_seed(fault: &Fault) -> u64 {
+    let (tag, site, pin, value) = match *fault {
+        Fault::StuckAt { site, pin, value } => (
+            0u64,
+            site.index() as u64,
+            pin.map_or(0xFFu64, u64::from),
+            u64::from(value),
+        ),
+        Fault::OpenSeries { site } => (1, site.index() as u64, 0xFF, 0),
+        Fault::OpenParallel { site, pin } => (2, site.index() as u64, u64::from(pin), 0),
+        Fault::OpenRise { site } => (3, site.index() as u64, 0xFF, 0),
+        Fault::OpenFall { site } => (4, site.index() as u64, 0xFF, 0),
+    };
+    splitmix64((site << 12) ^ (pin << 4) ^ (value << 3) ^ tag)
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What one target's deterministic generation produced: the complete,
+/// replayable outcome of its PODEM (and, for stuck-open pairs,
+/// justification) searches. `calls` records how many searches a cold run
+/// performs for this outcome, so replaying from cache keeps the
+/// `atpg_calls` accounting identical to an uncached run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CachedGen {
+    /// The searches produced a test unit (one pattern, or an ordered
+    /// initialization/transition pair).
+    Unit {
+        /// Patterns in application order.
+        patterns: Vec<Pattern>,
+        /// Pre-fill cubes, parallel to `patterns`.
+        cubes: Vec<TestCube>,
+        /// Search count of a cold run.
+        calls: usize,
+    },
+    /// The search space was exhausted: the fault is untestable.
+    Redundant {
+        /// Search count of a cold run.
+        calls: usize,
+    },
+    /// The backtrack budget ran out first.
+    Aborted {
+        /// Search count of a cold run.
+        calls: usize,
+    },
+}
+
+/// The full key a search outcome depends on (beyond the circuit, which is
+/// fixed per cache owner): the fault itself and the search options that
+/// steered PODEM. Nothing positional, nothing per-checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fault: Fault,
+    fill_seed: u64,
+    backtrack_limit: u32,
+}
+
+impl CacheKey {
+    fn new(fault: Fault, options: PodemOptions) -> Self {
+        CacheKey {
+            fault,
+            fill_seed: options.fill_seed,
+            backtrack_limit: options.backtrack_limit,
+        }
+    }
+}
+
+/// A cache of per-fault deterministic search results, intended to be
+/// carried across many [`TestGenerator`](crate::TestGenerator) runs on
+/// the **same circuit** (a sweep of the mixed scheme's prefix ladder, a
+/// batch of related ATPG jobs). Results answered from the cache are
+/// bit-identical to fresh searches — memoization of a pure function — so
+/// cached and cold flows produce the same sequences.
+#[derive(Debug, Default)]
+pub struct CubeCache {
+    map: HashMap<CacheKey, CachedGen>,
+    hits: usize,
+    misses: usize,
+}
+
+impl CubeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CubeCache::default()
+    }
+
+    /// Number of memoized search outcomes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Searches answered from memory across the cache's lifetime (only
+    /// targets whose result was actually consumed are counted — wasted
+    /// speculative lookups are not).
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Searches that had to run cold.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    pub(crate) fn get(&self, fault: Fault, options: PodemOptions) -> Option<&CachedGen> {
+        self.map.get(&CacheKey::new(fault, options))
+    }
+
+    pub(crate) fn insert(&mut self, fault: Fault, options: PodemOptions, generated: CachedGen) {
+        self.map.insert(CacheKey::new(fault, options), generated);
+    }
+
+    pub(crate) fn count_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    pub(crate) fn count_miss(&mut self) {
+        self.misses += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::NodeId;
+
+    #[test]
+    fn stable_seed_distinguishes_faults_and_ignores_position() {
+        let a = Fault::StuckAt {
+            site: NodeId::from_index(3),
+            pin: None,
+            value: false,
+        };
+        let b = Fault::StuckAt {
+            site: NodeId::from_index(3),
+            pin: None,
+            value: true,
+        };
+        let c = Fault::OpenSeries {
+            site: NodeId::from_index(3),
+        };
+        assert_ne!(stable_fill_seed(&a), stable_fill_seed(&b));
+        assert_ne!(stable_fill_seed(&a), stable_fill_seed(&c));
+        // determinism: same fault, same seed, every time
+        assert_eq!(stable_fill_seed(&a), stable_fill_seed(&a));
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let mut cache = CubeCache::new();
+        let fault = Fault::OpenRise {
+            site: NodeId::from_index(7),
+        };
+        let opts = PodemOptions::default();
+        assert!(cache.get(fault, opts).is_none());
+        cache.insert(fault, opts, CachedGen::Redundant { calls: 1 });
+        assert_eq!(
+            cache.get(fault, opts),
+            Some(&CachedGen::Redundant { calls: 1 })
+        );
+        // a different backtrack budget is a different search
+        let tighter = PodemOptions {
+            backtrack_limit: 5,
+            ..opts
+        };
+        assert!(cache.get(fault, tighter).is_none());
+        assert_eq!(cache.len(), 1);
+    }
+}

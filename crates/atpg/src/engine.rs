@@ -2,7 +2,9 @@ use bist_fault::{Fault, FaultList, FaultStatus};
 use bist_faultsim::{CoverageReport, FaultSim};
 use bist_logicsim::{InjectedFault, Pattern};
 use bist_netlist::Circuit;
+use bist_par::Pool;
 
+use crate::cache::{stable_fill_seed, CachedGen, CubeCache};
 use crate::cube::TestCube;
 use crate::podem::{justify_cube, podem_cube, CubeOutcome, PodemOptions};
 
@@ -13,6 +15,10 @@ pub struct AtpgOptions {
     pub podem: PodemOptions,
     /// Skip reverse-order compaction (compaction is on by default).
     pub no_compaction: bool,
+    /// Pool width for batched target generation (`0` = automatic:
+    /// `BIST_THREADS` or the machine width). The emitted sequence is
+    /// bit-identical at every width; `1` runs the historical serial loop.
+    pub threads: usize,
 }
 
 /// One entry of a deterministic test sequence: a single pattern for a
@@ -87,116 +93,127 @@ impl<'c> TestGenerator<'c> {
     /// Runs the full flow and returns the ordered deterministic sequence
     /// with its coverage report.
     pub fn run(self) -> AtpgRun {
+        self.run_with_cache(&mut CubeCache::new())
+    }
+
+    /// [`TestGenerator::run`] backed by a search cache carried across
+    /// runs on the same circuit (see [`CubeCache`]). Cached answers are
+    /// memoized pure-function results, so the emitted sequence is
+    /// bit-identical to a cold [`TestGenerator::run`].
+    ///
+    /// Targets are generated in speculative batches sharded across the
+    /// pool (`options.threads`): up to `2 × threads` still-open faults
+    /// have their searches run concurrently, then the batch is *replayed*
+    /// serially in fault order — a speculative result whose target was
+    /// meanwhile dropped by an earlier unit's collateral detection is
+    /// discarded (and kept in the cache), so the unit list, statuses and
+    /// `atpg_calls` match the serial engine exactly.
+    pub fn run_with_cache(self, cache: &mut CubeCache) -> AtpgRun {
         let TestGenerator {
             circuit,
             faults,
             options,
         } = self;
-        let mut session = FaultSim::new(circuit, faults.clone());
+        let pool = Pool::resolve(options.threads);
+        let batch_cap = if pool.is_serial() {
+            1
+        } else {
+            pool.threads() * 2
+        };
+        let mut session = FaultSim::new(circuit, faults.clone()).with_threads(options.threads);
         let mut units: Vec<TestUnit> = Vec::new();
         let mut atpg_calls = 0usize;
 
-        for fi in 0..faults.len() {
-            if session.status_of(fi) != FaultStatus::Undetected {
+        let mut next = 0usize;
+        while next < faults.len() {
+            // the next batch of currently-open targets
+            let mut batch: Vec<usize> = Vec::new();
+            while next < faults.len() && batch.len() < batch_cap {
+                if session.status_of(next) == FaultStatus::Undetected {
+                    batch.push(next);
+                }
+                next += 1;
+            }
+            if batch.is_empty() {
                 continue;
             }
-            let fault = *faults.get(fi).expect("index in range");
-            // vary the X-fill per target so consecutive units exercise
-            // diverse input values (maximizing collateral detection)
-            let podem_opts = PodemOptions {
-                fill_seed: options
-                    .podem
-                    .fill_seed
-                    .wrapping_add((fi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                ..options.podem
-            };
-            let generated = match fault {
-                Fault::StuckAt { site, pin, value } => {
-                    atpg_calls += 1;
-                    match podem_cube(
-                        circuit,
-                        InjectedFault {
-                            site,
-                            pin,
-                            stuck: value,
-                        },
-                        podem_opts,
-                    ) {
-                        CubeOutcome::Test { pattern, cube } => Some((vec![pattern], vec![cube])),
-                        CubeOutcome::Redundant => {
-                            session.set_status(fi, FaultStatus::Redundant);
-                            None
-                        }
-                        CubeOutcome::Aborted => {
+
+            // run the missing searches, concurrently across the batch
+            let misses: Vec<(usize, Fault)> = batch
+                .iter()
+                .map(|&fi| (fi, *faults.get(fi).expect("index in range")))
+                .filter(|(_, fault)| cache.get(*fault, target_options(options, fault)).is_none())
+                .collect();
+            let fresh = pool.par_map(&misses, |&(_, fault)| {
+                generate_for(circuit, fault, target_options(options, &fault))
+            });
+            let freshly_searched: Vec<usize> = misses.iter().map(|&(fi, _)| fi).collect();
+            for ((_, fault), generated) in misses.into_iter().zip(fresh) {
+                cache.insert(fault, target_options(options, &fault), generated);
+            }
+
+            // deterministic replay in fault order: exactly the serial flow,
+            // with every search answered from the (now warm) cache
+            for fi in batch {
+                if session.status_of(fi) != FaultStatus::Undetected {
+                    continue; // dropped by an earlier unit of this batch
+                }
+                let fault = *faults.get(fi).expect("index in range");
+                let generated = cache
+                    .get(fault, target_options(options, &fault))
+                    .expect("batch member resolved above")
+                    .clone();
+                if freshly_searched.contains(&fi) {
+                    cache.count_miss();
+                } else {
+                    cache.count_hit();
+                }
+                match generated {
+                    CachedGen::Unit {
+                        patterns,
+                        cubes,
+                        calls,
+                    } => {
+                        atpg_calls += calls;
+                        session.simulate(&patterns);
+                        if session.status_of(fi) == FaultStatus::Detected {
+                            units.push(TestUnit {
+                                patterns,
+                                cubes,
+                                target: fault,
+                            });
+                        } else {
+                            // The search said "test" but grading disagrees —
+                            // should be unreachable; fail safe instead of
+                            // looping.
+                            debug_assert!(
+                                false,
+                                "generated unit does not detect {}",
+                                fault.describe(circuit)
+                            );
                             session.set_status(fi, FaultStatus::Aborted);
-                            None
                         }
                     }
-                }
-                open => {
-                    let (v2_fault, v1_reqs) = open_fault_targets(circuit, open);
-                    atpg_calls += 1;
-                    match podem_cube(circuit, v2_fault, podem_opts) {
-                        CubeOutcome::Test {
-                            pattern: v2,
-                            cube: v2_cube,
-                        } => {
-                            atpg_calls += 1;
-                            match justify_cube(circuit, &v1_reqs, podem_opts) {
-                                CubeOutcome::Test {
-                                    pattern: v1,
-                                    cube: v1_cube,
-                                } => Some((vec![v1, v2], vec![v1_cube, v2_cube])),
-                                CubeOutcome::Redundant => {
-                                    session.set_status(fi, FaultStatus::Redundant);
-                                    None
-                                }
-                                CubeOutcome::Aborted => {
-                                    session.set_status(fi, FaultStatus::Aborted);
-                                    None
-                                }
-                            }
-                        }
-                        CubeOutcome::Redundant => {
-                            session.set_status(fi, FaultStatus::Redundant);
-                            None
-                        }
-                        CubeOutcome::Aborted => {
-                            session.set_status(fi, FaultStatus::Aborted);
-                            None
-                        }
+                    CachedGen::Redundant { calls } => {
+                        atpg_calls += calls;
+                        session.set_status(fi, FaultStatus::Redundant);
+                    }
+                    CachedGen::Aborted { calls } => {
+                        atpg_calls += calls;
+                        session.set_status(fi, FaultStatus::Aborted);
                     }
                 }
-            };
-            let Some((patterns, cubes)) = generated else {
-                continue;
-            };
-            session.simulate(&patterns);
-            if session.status_of(fi) == FaultStatus::Detected {
-                units.push(TestUnit {
-                    patterns,
-                    cubes,
-                    target: fault,
-                });
-            } else {
-                // The search said "test" but grading disagrees — should be
-                // unreachable; fail safe instead of looping.
-                debug_assert!(
-                    false,
-                    "generated unit does not detect {}",
-                    fault.describe(circuit)
-                );
-                session.set_status(fi, FaultStatus::Aborted);
             }
         }
 
         let baseline_detected = session.report().detected;
         if !options.no_compaction {
-            units = compact(circuit, &faults, units, baseline_detected);
+            units = compact(circuit, &faults, units, baseline_detected, options.threads);
         }
 
         // authoritative final grading of the emitted sequence
-        let mut final_session = FaultSim::new(circuit, faults.clone());
+        let mut final_session =
+            FaultSim::new(circuit, faults.clone()).with_threads(options.threads);
         for unit in &units {
             final_session.simulate(&unit.patterns);
         }
@@ -214,6 +231,72 @@ impl<'c> TestGenerator<'c> {
             report,
             statuses,
             atpg_calls,
+        }
+    }
+}
+
+/// The search options for one target: the flow's limits with the X-fill
+/// seed tied to the fault's identity. Seeding by identity (rather than by
+/// the target's position in the fault list, as the engine historically
+/// did) keeps consecutive units' fills decorrelated — the property that
+/// maximizes collateral detection — while making the search outcome
+/// independent of which *other* faults happen to share the run, so a
+/// [`CubeCache`] keyed on `(fault, options)` hits across re-slicings of
+/// the universe.
+fn target_options(options: AtpgOptions, fault: &Fault) -> PodemOptions {
+    PodemOptions {
+        fill_seed: options
+            .podem
+            .fill_seed
+            .wrapping_add(stable_fill_seed(fault)),
+        ..options.podem
+    }
+}
+
+/// Runs the deterministic searches for one target — a pure function of
+/// its arguments, safe to evaluate speculatively on any worker.
+fn generate_for(circuit: &Circuit, fault: Fault, podem_opts: PodemOptions) -> CachedGen {
+    match fault {
+        Fault::StuckAt { site, pin, value } => {
+            match podem_cube(
+                circuit,
+                InjectedFault {
+                    site,
+                    pin,
+                    stuck: value,
+                },
+                podem_opts,
+            ) {
+                CubeOutcome::Test { pattern, cube } => CachedGen::Unit {
+                    patterns: vec![pattern],
+                    cubes: vec![cube],
+                    calls: 1,
+                },
+                CubeOutcome::Redundant => CachedGen::Redundant { calls: 1 },
+                CubeOutcome::Aborted => CachedGen::Aborted { calls: 1 },
+            }
+        }
+        open => {
+            let (v2_fault, v1_reqs) = open_fault_targets(circuit, open);
+            match podem_cube(circuit, v2_fault, podem_opts) {
+                CubeOutcome::Test {
+                    pattern: v2,
+                    cube: v2_cube,
+                } => match justify_cube(circuit, &v1_reqs, podem_opts) {
+                    CubeOutcome::Test {
+                        pattern: v1,
+                        cube: v1_cube,
+                    } => CachedGen::Unit {
+                        patterns: vec![v1, v2],
+                        cubes: vec![v1_cube, v2_cube],
+                        calls: 2,
+                    },
+                    CubeOutcome::Redundant => CachedGen::Redundant { calls: 2 },
+                    CubeOutcome::Aborted => CachedGen::Aborted { calls: 2 },
+                },
+                CubeOutcome::Redundant => CachedGen::Redundant { calls: 1 },
+                CubeOutcome::Aborted => CachedGen::Aborted { calls: 1 },
+            }
         }
     }
 }
@@ -294,8 +377,9 @@ fn compact(
     faults: &FaultList,
     units: Vec<TestUnit>,
     baseline_detected: usize,
+    threads: usize,
 ) -> Vec<TestUnit> {
-    let mut reverse_session = FaultSim::new(circuit, faults.clone());
+    let mut reverse_session = FaultSim::new(circuit, faults.clone()).with_threads(threads);
     let mut keep = vec![false; units.len()];
     for (k, unit) in units.iter().enumerate().rev() {
         let newly = reverse_session.simulate(&unit.patterns);
@@ -312,7 +396,7 @@ fn compact(
     if compacted.len() == units.len() {
         return units;
     }
-    let mut verify = FaultSim::new(circuit, faults.clone());
+    let mut verify = FaultSim::new(circuit, faults.clone()).with_threads(threads);
     for unit in &compacted {
         verify.simulate(&unit.patterns);
     }
@@ -436,6 +520,87 @@ mod tests {
             for p in &unit.patterns {
                 assert_eq!(&seq[offset], p);
                 offset += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn batched_generation_is_bit_identical_to_serial() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let faults = FaultList::mixed_model(&c);
+        let serial = TestGenerator::new(
+            &c,
+            faults.clone(),
+            AtpgOptions {
+                threads: 1,
+                ..AtpgOptions::default()
+            },
+        )
+        .run();
+        for threads in [2, 4] {
+            let batched = TestGenerator::new(
+                &c,
+                faults.clone(),
+                AtpgOptions {
+                    threads,
+                    ..AtpgOptions::default()
+                },
+            )
+            .run();
+            assert_eq!(serial.units, batched.units, "threads={threads}");
+            assert_eq!(serial.statuses, batched.statuses, "threads={threads}");
+            assert_eq!(serial.atpg_calls, batched.atpg_calls, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn warm_cache_replays_bit_identically_and_hits() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let faults = FaultList::mixed_model(&c);
+        let options = AtpgOptions {
+            threads: 1,
+            ..AtpgOptions::default()
+        };
+        let mut cache = crate::CubeCache::new();
+        let cold = TestGenerator::new(&c, faults.clone(), options).run_with_cache(&mut cache);
+        assert_eq!(cache.hits(), 0, "first run has nothing to reuse");
+        let searched = cache.misses();
+        assert!(searched > 0);
+
+        let warm = TestGenerator::new(&c, faults.clone(), options).run_with_cache(&mut cache);
+        assert_eq!(cold.units, warm.units);
+        assert_eq!(cold.statuses, warm.statuses);
+        assert_eq!(cold.atpg_calls, warm.atpg_calls);
+        assert_eq!(cache.hits(), searched, "every repeat answered from memory");
+
+        // and the cache-free entry point agrees with both
+        let fresh = TestGenerator::new(&c, faults, options).run();
+        assert_eq!(fresh.units, cold.units);
+    }
+
+    #[test]
+    fn fill_seed_is_positional_independent() {
+        // drop the first fault from the universe: every surviving target
+        // must generate exactly the same unit as in the full run, because
+        // seeds are keyed on fault identity, not list position
+        let c17 = bist_netlist::iscas85::c17();
+        let faults = FaultList::stuck_at_collapsed(&c17);
+        let options = AtpgOptions {
+            no_compaction: true,
+            threads: 1,
+            ..AtpgOptions::default()
+        };
+        let full = TestGenerator::new(&c17, faults.clone(), options).run();
+        let tail: FaultList = faults.iter().copied().skip(1).collect();
+        let shifted = TestGenerator::new(&c17, tail, options).run();
+        for unit in &shifted.units {
+            if let Some(counterpart) = full.units.iter().find(|u| u.target == unit.target) {
+                assert_eq!(
+                    counterpart.patterns,
+                    unit.patterns,
+                    "re-slicing the universe changed the unit for {}",
+                    unit.target.describe(&c17)
+                );
             }
         }
     }

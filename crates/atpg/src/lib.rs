@@ -16,7 +16,14 @@
 //!   test (or pattern *pair* for stuck-open faults — initialization then
 //!   transition, kept adjacent and ordered, which is why the paper's
 //!   LFSROM preserves sequence order), fault-simulate for collateral drops,
-//!   optionally compact by reverse-order simulation.
+//!   optionally compact by reverse-order simulation. Independent targets
+//!   are searched in speculative parallel batches (`AtpgOptions::threads`
+//!   / `BIST_THREADS`) and replayed in fault order, so the emitted
+//!   sequence is bit-identical at every pool width.
+//! * [`CubeCache`] — memoization of per-target search results across runs
+//!   on the same circuit; a sweep's adjacent checkpoints re-target mostly
+//!   the same hard faults, and the cache answers those repeats without
+//!   searching again (bit-identically — the searches are pure).
 //!
 //! # Example
 //!
@@ -34,10 +41,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod cube;
 mod engine;
 mod podem;
 
+pub use cache::CubeCache;
 pub use cube::{ParseTestCubeError, TestCube};
 pub use engine::{AtpgOptions, AtpgRun, TestGenerator, TestUnit};
 pub use podem::{

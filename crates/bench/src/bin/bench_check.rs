@@ -1,0 +1,156 @@
+//! **bench_check** — gates CI on a committed `BENCH_sweep.json` baseline.
+//!
+//! ```text
+//! cargo run --release -p bist-bench --bin bench_check -- BENCH_sweep.json ci/bench_baseline.json
+//! cargo run --release -p bist-bench --bin bench_check -- BENCH_sweep.json ci/bench_baseline.json 20
+//! ```
+//!
+//! Three gates, each per circuit:
+//!
+//! 1. **Correctness** — the solved `(p, d)` points and the
+//!    `patterns_simulated` counter must match the baseline exactly; the
+//!    flow is deterministic, so any drift is a real behaviour change.
+//! 2. **Performance** — the session-vs-one-shot `speedup` may not fall
+//!    more than the tolerance (default 20 %) below the baseline's.
+//!    Absolute seconds are meaningless across runner generations; the
+//!    one-shot path measured in the same process is the calibration that
+//!    makes the ratio transferable.
+//! 3. **Cache efficacy** — on multi-point sweeps `atpg_cache_hits` must
+//!    stay positive: a sweep that stops reusing deterministic searches
+//!    has silently lost its main optimization.
+//!
+//! Exits non-zero listing every violated gate. The parser handles exactly
+//! the fixed format `bench_sweep` emits — not general JSON.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (measured_path, baseline_path) = match (args.first(), args.get(1)) {
+        (Some(m), Some(b)) => (m.clone(), b.clone()),
+        _ => {
+            eprintln!("usage: bench_check <measured.json> <baseline.json> [tolerance_pct]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tolerance_pct: f64 = args
+        .get(2)
+        .map(|t| t.parse().expect("tolerance must be a number"))
+        .unwrap_or(20.0);
+
+    let measured = std::fs::read_to_string(&measured_path)
+        .unwrap_or_else(|e| panic!("cannot read {measured_path}: {e}"));
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+
+    let mut failures: Vec<String> = Vec::new();
+    let baseline_circuits = circuit_blocks(&baseline);
+    if baseline_circuits.is_empty() {
+        failures.push(format!("baseline {baseline_path} lists no circuits"));
+    }
+    for (name, base_block) in &baseline_circuits {
+        let Some(meas_block) = circuit_blocks(&measured)
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b)
+        else {
+            failures.push(format!("{name}: missing from {measured_path}"));
+            continue;
+        };
+
+        // gate 1: deterministic outputs
+        match (points_of(base_block), points_of(&meas_block)) {
+            (Some(want), Some(got)) if want == got => {}
+            (want, got) => failures.push(format!(
+                "{name}: solved points drifted from baseline\n  baseline: {want:?}\n  measured: {got:?}"
+            )),
+        }
+        let want_patterns = num_field(base_block, "patterns_simulated");
+        let got_patterns = num_field(&meas_block, "patterns_simulated");
+        if want_patterns != got_patterns {
+            failures.push(format!(
+                "{name}: patterns_simulated {got_patterns:?} != baseline {want_patterns:?}"
+            ));
+        }
+
+        // gate 2: relative performance
+        let base_speedup = num_field(base_block, "speedup").expect("baseline has speedup");
+        let meas_speedup = num_field(&meas_block, "speedup").expect("measured has speedup");
+        let floor = base_speedup * (1.0 - tolerance_pct / 100.0);
+        if meas_speedup < floor {
+            failures.push(format!(
+                "{name}: speedup {meas_speedup:.3} fell below {floor:.3} \
+                 (baseline {base_speedup:.3} - {tolerance_pct}%)"
+            ));
+        } else {
+            println!("{name}: speedup {meas_speedup:.3} (baseline {base_speedup:.3}, floor {floor:.3}) ok");
+        }
+
+        // gate 3: the sweep keeps reusing deterministic searches
+        let points = points_of(&meas_block).map_or(0, |p| p.len());
+        let hits = num_field(&meas_block, "atpg_cache_hits").unwrap_or(0.0);
+        if points > 1 && hits <= 0.0 {
+            failures.push(format!(
+                "{name}: multi-point sweep reports no ATPG cache reuse (atpg_cache_hits = {hits})"
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_check: all gates passed (tolerance {tolerance_pct}%)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_check FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Splits the fixed `bench_sweep` format into `(circuit_name, block)`
+/// pairs, each block running up to the next circuit entry.
+fn circuit_blocks(json: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let marker = "\"circuit\": \"";
+    let mut rest = json;
+    while let Some(at) = rest.find(marker) {
+        let after = &rest[at + marker.len()..];
+        let Some(name_end) = after.find('"') else {
+            break;
+        };
+        let name = after[..name_end].to_owned();
+        let body_end = after.find(marker).unwrap_or(after.len());
+        out.push((name, after[..body_end].to_owned()));
+        rest = &after[body_end..];
+    }
+    out
+}
+
+/// The numeric value following `"key":` in `block`.
+fn num_field(block: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = block.find(&pat)? + pat.len();
+    let rest = block[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The raw `(p, d)` list of a circuit block, order-preserving.
+fn points_of(block: &str) -> Option<Vec<(u64, u64)>> {
+    let start = block.find("\"points\":")?;
+    let seg = &block[start..];
+    let end = seg.find(']')?;
+    let seg = &seg[..end];
+    let mut points = Vec::new();
+    let mut rest = seg;
+    while let Some(at) = rest.find("{\"p\":") {
+        let item = &rest[at..];
+        let p = num_field(item, "p")? as u64;
+        let d = num_field(item, "d")? as u64;
+        points.push((p, d));
+        rest = &item["{\"p\":".len()..];
+    }
+    Some(points)
+}

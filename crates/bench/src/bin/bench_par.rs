@@ -1,0 +1,138 @@
+//! **BENCH_par** — scaling of the parallel PPSFP fault-simulation engine
+//! across pool widths, with the bit-identity contract enforced on every
+//! measurement.
+//!
+//! ```text
+//! cargo run --release -p bist-bench --bin bench_par
+//! cargo run --release -p bist-bench --bin bench_par -- --quick
+//! cargo run --release -p bist-bench --bin bench_par -- --circuits c3540 --threads 8
+//! ```
+//!
+//! For each circuit the full mixed fault universe is graded against a
+//! pseudo-random sequence once per pool width (1, 2, … up to `--threads`
+//! or the machine width), asserting after every run that statuses and
+//! first-detection indices match the one-thread reference bit for bit.
+//! Writes `BENCH_par.json` with per-width wall-times and speedups. On a
+//! single-core container every width measures the same engine — the JSON
+//! then documents the (absent) parallelism rather than the scaling.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bist_bench::{banner, ExperimentArgs};
+use bist_core::prelude::*;
+
+struct CircuitScaling {
+    name: String,
+    patterns: usize,
+    faults: usize,
+    /// `(threads, seconds)` per measured width.
+    times: Vec<(usize, f64)>,
+}
+
+fn main() {
+    banner(
+        "BENCH par",
+        "PPSFP fault-simulation scaling across pool widths",
+    );
+    let args = ExperimentArgs::parse(&["c432", "c3540"]);
+    let budget = if args.quick { 500 } else { 2000 };
+    let max_threads = if args.threads > 0 {
+        args.threads
+    } else {
+        bist_par::num_threads().max(4)
+    };
+    let widths: Vec<usize> = (0..)
+        .map(|e| 1usize << e)
+        .take_while(|&w| w <= max_threads)
+        .collect();
+    println!("pattern budget {budget}, pool widths {widths:?}\n");
+
+    let poly = MixedSchemeConfig::default().poly;
+    let mut results: Vec<CircuitScaling> = Vec::new();
+    for circuit in args.load_circuits() {
+        let faults = FaultList::mixed_model(&circuit);
+        let patterns = pseudo_random_patterns(poly, circuit.inputs().len(), budget);
+
+        let mut reference: Option<FaultSim> = None;
+        let mut times: Vec<(usize, f64)> = Vec::new();
+        for &w in &widths {
+            let mut sim = FaultSim::new(&circuit, faults.clone()).with_threads(w);
+            let t = Instant::now();
+            sim.simulate(&patterns);
+            let seconds = t.elapsed().as_secs_f64();
+            times.push((w, seconds));
+            match &reference {
+                None => reference = Some(sim),
+                Some(serial) => {
+                    assert_eq!(
+                        serial.statuses(),
+                        sim.statuses(),
+                        "{}: width {w} diverged from serial",
+                        circuit.name()
+                    );
+                    for i in 0..faults.len() {
+                        assert_eq!(
+                            serial.first_detection(i),
+                            sim.first_detection(i),
+                            "{}: width {w}, fault {i}",
+                            circuit.name()
+                        );
+                    }
+                }
+            }
+        }
+        let serial_s = times[0].1;
+        let line: Vec<String> = times
+            .iter()
+            .map(|&(w, s)| format!("{w}t {s:.3}s ({:.2}x)", serial_s / s))
+            .collect();
+        println!(
+            "{:>6}: {} faults, {} patterns | {}",
+            circuit.name(),
+            faults.len(),
+            patterns.len(),
+            line.join(" | ")
+        );
+        results.push(CircuitScaling {
+            name: circuit.name().to_owned(),
+            patterns: patterns.len(),
+            faults: faults.len(),
+            times,
+        });
+    }
+
+    let json = render_json(budget, &results);
+    std::fs::write("BENCH_par.json", &json).expect("writable working directory");
+    println!("\nwrote BENCH_par.json ({} bytes)", json.len());
+}
+
+fn render_json(budget: usize, results: &[CircuitScaling]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"par_scaling\",\n");
+    let _ = writeln!(out, "  \"pattern_budget\": {budget},");
+    out.push_str("  \"circuits\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let serial_s = r.times[0].1;
+        let runs = r
+            .times
+            .iter()
+            .map(|&(w, s)| {
+                format!(
+                    "{{\"threads\": {w}, \"seconds\": {s:.4}, \"speedup\": {:.3}}}",
+                    serial_s / s
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            out,
+            "    {{\n      \"circuit\": \"{}\",\n      \"faults\": {},\n      \
+             \"patterns\": {},\n      \"runs\": [{}]\n    }}",
+            r.name, r.faults, r.patterns, runs
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -6,6 +6,7 @@
 //! cargo run --release -p bist-bench --bin bench_sweep
 //! cargo run --release -p bist-bench --bin bench_sweep -- --quick
 //! cargo run --release -p bist-bench --bin bench_sweep -- --circuits c432
+//! cargo run --release -p bist-bench --bin bench_sweep -- --threads 4
 //! ```
 //!
 //! Writes `BENCH_sweep.json` into the current directory: per circuit the
@@ -13,11 +14,24 @@
 //! *prefix-grading* wall-times (fault-list construction + pseudo-random
 //! fault simulation — the component the session de-quadratifies; the
 //! end-to-end sweep on these ladders is dominated by the per-frontier
-//! ATPG top-ups, which both paths share), the session's work counters
-//! (patterns simulated once vs. re-graded per point, ATPG runs vs. cache
-//! hits) and the solved `(p, d)` frontier. Both paths produce
-//! bit-identical solutions — enforced here before the numbers are
-//! written.
+//! ATPG top-ups), the session's work counters (patterns simulated once
+//! vs. re-graded per point, ATPG runs vs. cached answers) and the solved
+//! `(p, d)` frontier. Both paths produce bit-identical solutions —
+//! enforced here before the numbers are written.
+//!
+//! The emitted `atpg_cache_hits` is the total deterministic-search reuse
+//! of the session path: whole top-ups answered for an already-seen
+//! frontier (`atpg_frontier_hits`) plus individual PODEM searches
+//! answered from the per-fault cube cache inside freshly generated
+//! top-ups (`podem_cache_hits`). The pool width (`--threads`, default
+//! `BIST_THREADS`/machine) moves wall-clock only — the *solved results*
+//! (points, coverage, sequences) are bit-identical at every width. The
+//! work counters are not part of that contract: cache-hit counts measure
+//! realized reuse, and a wider pool's speculative searches can seed the
+//! cache with extra entries that later score as hits (e.g. 400 hits at 4
+//! threads vs 397 at 1 for the same c432 sweep). Compare timings and
+//! counters only between runs of the same width; `sweep_digest` is the
+//! width-independent fingerprint.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -46,20 +60,25 @@ fn main() {
     } else {
         vec![0, 100, 200, 500, 1000]
     };
-    println!("prefix checkpoints: {prefixes:?}\n");
+    let config = MixedSchemeConfig {
+        threads: args.threads,
+        ..MixedSchemeConfig::default()
+    };
+    let threads = bist_par::Pool::resolve(config.threads).threads();
+    println!("prefix checkpoints: {prefixes:?}  ({threads} threads)\n");
 
     let mut results: Vec<CircuitResult> = Vec::new();
     for circuit in args.load_circuits() {
         // --- new path: one session, one incremental pass ---
         let t = Instant::now();
-        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+        let mut session = BistSession::new(&circuit, config.clone());
         let summary = session.sweep(&prefixes).expect("sweep succeeds");
         let session_s = t.elapsed().as_secs_f64();
         let stats = session.stats();
 
         // --- old path: the historical MixedScheme::solve(p) per point ---
         #[allow(deprecated)]
-        let scheme = MixedScheme::new(&circuit, MixedSchemeConfig::default());
+        let scheme = MixedScheme::new(&circuit, config.clone());
         let t = Instant::now();
         let mut oneshot = Vec::with_capacity(prefixes.len());
         for &p in &prefixes {
@@ -83,18 +102,19 @@ fn main() {
         // --- the component the session de-quadratifies, in isolation:
         // fault-list construction + pseudo-random prefix grading ---
         let t = Instant::now();
-        let mut grading = BistSession::new(&circuit, MixedSchemeConfig::default());
+        let mut grading = BistSession::new(&circuit, config.clone());
         let curve = grading.random_coverage_curve(&prefixes);
         let grading_session_s = t.elapsed().as_secs_f64();
 
         let width = circuit.inputs().len();
-        let poly = MixedSchemeConfig::default().poly;
+        let poly = config.poly;
         let t = Instant::now();
         let mut oneshot_curve = Vec::with_capacity(prefixes.len());
         for &p in &prefixes {
             // the historical per-point restart: rebuild the universe,
             // regenerate and re-grade the whole prefix
-            let mut sim = FaultSim::new(&circuit, FaultList::mixed_model(&circuit));
+            let mut sim = FaultSim::new(&circuit, FaultList::mixed_model(&circuit))
+                .with_threads(config.threads);
             sim.simulate(&pseudo_random_patterns(poly, width, p));
             oneshot_curve.push((p, sim.report().coverage_pct()));
         }
@@ -104,7 +124,7 @@ fn main() {
         println!(
             "{:>6}: sweep {session_s:8.2}s vs {oneshot_s:8.2}s ({:4.2}x) | prefix grading \
              {grading_session_s:6.2}s vs {grading_oneshot_s:6.2}s ({:4.2}x) | patterns {} \
-             once vs {} re-graded | ATPG {} runs, {} cache hits",
+             once vs {} re-graded | ATPG {} runs, {} frontier hits, {} cube hits",
             circuit.name(),
             oneshot_s / session_s,
             grading_oneshot_s / grading_session_s,
@@ -112,6 +132,7 @@ fn main() {
             prefixes.iter().sum::<usize>(),
             stats.atpg_runs,
             stats.atpg_cache_hits,
+            stats.podem_cache_hits,
         );
         results.push(CircuitResult {
             name: circuit.name().to_owned(),
@@ -128,14 +149,15 @@ fn main() {
         });
     }
 
-    let json = render_json(&prefixes, &results);
+    let json = render_json(&prefixes, threads, &results);
     std::fs::write("BENCH_sweep.json", &json).expect("writable working directory");
     println!("\nwrote BENCH_sweep.json ({} bytes)", json.len());
 }
 
-fn render_json(prefixes: &[usize], results: &[CircuitResult]) -> String {
+fn render_json(prefixes: &[usize], threads: usize, results: &[CircuitResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"experiment\": \"sweep\",\n");
+    let _ = writeln!(out, "  \"threads\": {threads},");
     let _ = writeln!(
         out,
         "  \"prefix_lengths\": [{}],",
@@ -162,6 +184,8 @@ fn render_json(prefixes: &[usize], results: &[CircuitResult]) -> String {
              \"prefix_grading_speedup\": {:.3},\n      \
              \"patterns_simulated\": {},\n      \"patterns_resimulated\": {},\n      \
              \"atpg_runs\": {},\n      \"atpg_cache_hits\": {},\n      \
+             \"atpg_frontier_hits\": {},\n      \"podem_cache_hits\": {},\n      \
+             \"snapshots_taken\": {},\n      \"snapshots_skipped\": {},\n      \
              \"points\": [{}]\n    }}",
             r.name,
             r.session_s,
@@ -173,7 +197,11 @@ fn render_json(prefixes: &[usize], results: &[CircuitResult]) -> String {
             r.stats.patterns_simulated,
             r.stats.patterns_resimulated,
             r.stats.atpg_runs,
+            r.stats.atpg_cache_hits + r.stats.podem_cache_hits,
             r.stats.atpg_cache_hits,
+            r.stats.podem_cache_hits,
+            r.stats.snapshots_taken,
+            r.stats.snapshots_skipped,
             points
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });

@@ -1,0 +1,98 @@
+//! **sweep_digest** — a canonical, timing-free fingerprint of the mixed
+//! trade-off sweep, for determinism checks in CI.
+//!
+//! ```text
+//! cargo run --release -p bist-bench --bin sweep_digest -- --circuits c432 --quick
+//! BIST_THREADS=4 cargo run --release -p bist-bench --bin sweep_digest -- --check-serial
+//! ```
+//!
+//! Prints one line per solved point — circuit, `p`, `d`, the coverage
+//! counters and an FNV-1a hash of every deterministic pattern bit — and a
+//! final `total <hash>` line folding the whole sweep. Two runs agree on
+//! their digests iff they solved bit-identical sweeps, whatever their
+//! pool widths; CI runs this binary under several `BIST_THREADS` values
+//! and diffs the output.
+//!
+//! `--check-serial` additionally re-solves the sweep in-process with one
+//! thread and asserts both digests match, making every invocation a
+//! self-contained determinism test (exit code 101 on divergence).
+
+use bist_bench::ExperimentArgs;
+use bist_core::prelude::*;
+
+fn main() {
+    let args = ExperimentArgs::parse(&["c432"]);
+    let prefixes: Vec<usize> = if args.quick {
+        vec![0, 50, 100]
+    } else {
+        vec![0, 100, 200, 500, 1000]
+    };
+
+    let digest = digest_sweep(&args, &prefixes, args.threads);
+    if args.has_flag("--check-serial") {
+        let serial = digest_sweep(&args, &prefixes, 1);
+        assert_eq!(
+            digest, serial,
+            "sweep diverged from the serial reference engine"
+        );
+        eprintln!("digest matches the one-thread reference");
+    }
+    print!("{digest}");
+}
+
+fn digest_sweep(args: &ExperimentArgs, prefixes: &[usize], threads: usize) -> String {
+    let config = MixedSchemeConfig {
+        threads,
+        ..MixedSchemeConfig::default()
+    };
+    let mut out = String::new();
+    let mut total = Fnv::new();
+    for circuit in args.load_circuits() {
+        let mut session = BistSession::new(&circuit, config.clone());
+        let summary = session.sweep(prefixes).expect("sweep succeeds");
+        for s in summary.solutions() {
+            let mut h = Fnv::new();
+            for pattern in s.generator.deterministic() {
+                for bit in pattern.iter() {
+                    h.push(u8::from(bit));
+                }
+                h.push(0xFE); // pattern separator
+            }
+            let line = format!(
+                "{} p={} d={} detected={} redundant={} aborted={} undetected={} seq={:016x}\n",
+                circuit.name(),
+                s.prefix_len,
+                s.det_len,
+                s.coverage.detected,
+                s.coverage.redundant,
+                s.coverage.aborted,
+                s.coverage.undetected,
+                h.finish()
+            );
+            for b in line.bytes() {
+                total.push(b);
+            }
+            out.push_str(&line);
+        }
+    }
+    out.push_str(&format!("total {:016x}\n", total.finish()));
+    out
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable across platforms.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn push(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}

@@ -29,6 +29,12 @@ pub struct ExperimentArgs {
     pub circuits: Vec<String>,
     /// Reduced parameter ranges for smoke runs.
     pub quick: bool,
+    /// Pool width for the parallel engines (`0` = automatic:
+    /// `BIST_THREADS` or the machine width).
+    pub threads: usize,
+    /// Extra flags the shared parser did not recognize, for binaries with
+    /// private switches.
+    pub extra: Vec<String>,
 }
 
 impl ExperimentArgs {
@@ -37,6 +43,8 @@ impl ExperimentArgs {
     pub fn parse(default_circuits: &[&str]) -> Self {
         let mut circuits: Vec<String> = Vec::new();
         let mut quick = false;
+        let mut threads = 0usize;
+        let mut extra: Vec<String> = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -46,13 +54,34 @@ impl ExperimentArgs {
                         circuits = list.split(',').map(str::to_owned).collect();
                     }
                 }
-                other => eprintln!("ignoring unknown argument `{other}`"),
+                "--threads" => {
+                    threads = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads takes a thread count");
+                }
+                other => {
+                    // binaries with private switches consume these via
+                    // `has_flag`; the note keeps typos diagnosable
+                    eprintln!("note: passing `{other}` through to the binary");
+                    extra.push(other.to_owned());
+                }
             }
         }
         if circuits.is_empty() {
             circuits = default_circuits.iter().map(|s| (*s).to_owned()).collect();
         }
-        ExperimentArgs { circuits, quick }
+        ExperimentArgs {
+            circuits,
+            quick,
+            threads,
+            extra,
+        }
+    }
+
+    /// True when flag `name` appeared among the unrecognized arguments.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.extra.iter().any(|a| a == name)
     }
 
     /// Loads the requested circuits (panicking on unknown names, which is
@@ -110,7 +139,10 @@ mod tests {
         let args = ExperimentArgs {
             circuits: vec!["c17".into()],
             quick: true,
+            threads: 0,
+            extra: Vec::new(),
         };
         assert_eq!(args.load_circuits().len(), 1);
+        assert!(!args.has_flag("--check-serial"));
     }
 }

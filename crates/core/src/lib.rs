@@ -51,7 +51,8 @@ pub use mixed::{BuildMixedError, HandoverDecode, MixedGenerator};
 #[allow(deprecated)]
 pub use scheme::MixedScheme;
 pub use session::{
-    BistSession, MixedSchemeConfig, MixedSchemeError, MixedSolution, SessionStats, SweepSummary,
+    sweep_circuits, BistSession, MixedSchemeConfig, MixedSchemeError, MixedSolution, SessionStats,
+    SweepSummary,
 };
 
 /// One-stop re-exports of the substrate crates.
@@ -70,7 +71,8 @@ pub mod prelude {
     pub use bist_tpg::Tpg;
 
     pub use crate::{
-        BistSession, MixedGenerator, MixedSchemeConfig, MixedSolution, SessionStats, SweepSummary,
+        sweep_circuits, BistSession, MixedGenerator, MixedSchemeConfig, MixedSolution,
+        SessionStats, SweepSummary,
     };
     #[allow(deprecated)]
     pub use crate::{MixedScheme, TradeoffExplorer};

@@ -14,12 +14,13 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::rc::Rc;
 
-use bist_atpg::{AtpgOptions, AtpgRun, TestGenerator};
+use bist_atpg::{AtpgOptions, AtpgRun, CubeCache, TestGenerator};
 use bist_fault::{FaultList, FaultStatus};
 use bist_faultsim::{CoverageCurve, CoverageReport, FaultSim};
 use bist_lfsr::{Lfsr, Polynomial, ScanExpander};
 use bist_logicsim::Pattern;
 use bist_netlist::Circuit;
+use bist_par::Pool;
 use bist_synth::AreaModel;
 
 use crate::mixed::{BuildMixedError, MixedGenerator};
@@ -34,6 +35,11 @@ pub struct MixedSchemeConfig {
     pub atpg: AtpgOptions,
     /// Area model used for all silicon cost figures.
     pub area: AreaModel,
+    /// Pool width for fault simulation and ATPG batching (`0` =
+    /// automatic: `BIST_THREADS` or the machine width; `1` = the
+    /// historical serial engines). Every result is bit-identical at every
+    /// width — this knob moves wall-clock only.
+    pub threads: usize,
 }
 
 impl Default for MixedSchemeConfig {
@@ -42,6 +48,7 @@ impl Default for MixedSchemeConfig {
             poly: bist_lfsr::paper_poly(),
             atpg: AtpgOptions::default(),
             area: AreaModel::es2_1um(),
+            threads: 0,
         }
     }
 }
@@ -135,8 +142,18 @@ pub struct SessionStats {
     pub patterns_resimulated: usize,
     /// Deterministic top-ups actually generated.
     pub atpg_runs: usize,
-    /// Deterministic top-ups answered from the frontier cache.
+    /// Deterministic top-ups answered whole from the frontier cache
+    /// (identical open-fault frontiers, typically past saturation).
     pub atpg_cache_hits: usize,
+    /// Individual PODEM searches answered from the per-fault cube cache
+    /// inside generated top-ups — the cross-checkpoint reuse that makes a
+    /// sweep's later top-ups cheap even when frontiers differ.
+    pub podem_cache_hits: usize,
+    /// Checkpoint snapshots actually retained.
+    pub snapshots_taken: usize,
+    /// Checkpoint snapshots skipped by the adaptive cadence (cheaper to
+    /// re-simulate the short gap than to copy the state).
+    pub snapshots_skipped: usize,
 }
 
 /// The incremental mixed-BIST flow for one circuit under test.
@@ -180,19 +197,37 @@ pub struct SessionStats {
 pub struct BistSession<'c> {
     circuit: &'c Circuit,
     config: MixedSchemeConfig,
+    /// `config.atpg` with the session-wide pool width folded in.
+    atpg_options: AtpgOptions,
     faults: FaultList,
     /// The shared simulator, advanced monotonically; `simulated` prefix
     /// patterns have been consumed.
     sim: FaultSim<'c>,
     expander: ScanExpander,
     simulated: usize,
-    /// Fault statuses after exactly `p` prefix patterns, for every
-    /// checkpoint `p` solved so far.
-    snapshots: BTreeMap<usize, Rc<Vec<FaultStatus>>>,
+    /// Retained checkpoints: fault statuses and the stuck-open carry after
+    /// exactly `p` prefix patterns, for checkpoints the adaptive cadence
+    /// kept (see `statuses_at`).
+    snapshots: BTreeMap<usize, Snapshot>,
     /// Deterministic top-ups keyed by the open-fault frontier (original
     /// universe indices, ascending).
     atpg_cache: HashMap<Vec<usize>, Rc<AtpgRun>>,
+    /// Per-fault search results shared by every top-up the session
+    /// generates — adjacent checkpoints re-target mostly the same hard
+    /// faults, so later top-ups are answered largely from memory.
+    cube_cache: CubeCache,
     stats: SessionStats,
+}
+
+/// A retained checkpoint of the incremental simulator: everything needed
+/// to serve `statuses_at(p)` directly or to resume grading from `p` —
+/// including the pattern source positioned at `p`, so a resume generates
+/// only the gap's patterns, never the whole prefix.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    statuses: Rc<Vec<FaultStatus>>,
+    carry: Vec<bool>,
+    expander: ScanExpander,
 }
 
 impl<'c> BistSession<'c> {
@@ -200,17 +235,27 @@ impl<'c> BistSession<'c> {
     /// (once) and seeds the incremental simulator.
     pub fn new(circuit: &'c Circuit, config: MixedSchemeConfig) -> Self {
         let faults = FaultList::mixed_model(circuit);
-        let sim = FaultSim::new(circuit, faults.clone());
+        let sim = FaultSim::new(circuit, faults.clone()).with_threads(config.threads);
         let expander = ScanExpander::new(Lfsr::fibonacci(config.poly, 1), circuit.inputs().len());
+        let atpg_options = AtpgOptions {
+            threads: if config.atpg.threads == 0 {
+                config.threads
+            } else {
+                config.atpg.threads
+            },
+            ..config.atpg
+        };
         BistSession {
             circuit,
             config,
+            atpg_options,
             faults,
             sim,
             expander,
             simulated: 0,
             snapshots: BTreeMap::new(),
             atpg_cache: HashMap::new(),
+            cube_cache: CubeCache::new(),
             stats: SessionStats::default(),
         }
     }
@@ -247,35 +292,108 @@ impl<'c> BistSession<'c> {
         ScanExpander::new(lfsr, self.circuit.inputs().len()).patterns(count)
     }
 
-    /// Fault statuses after exactly `p` prefix patterns. Snapshots are
-    /// cached; requests at or beyond the incremental front advance the
-    /// shared simulator (each pattern graded once); requests *below* the
-    /// front without a snapshot fall back to a one-off simulation.
+    /// True when retaining a checkpoint snapshot at `p` is worth its copy
+    /// cost: the cost of re-simulating the gap back from the nearest
+    /// retained floor must exceed the cost of copying the status vector
+    /// and the stuck-open carry. Both sides are counted in "elements
+    /// touched", and the rule is a pure function of deterministic session
+    /// state — never of timing or thread count.
+    fn snapshot_pays_off(&self, p: usize, open_faults: usize) -> bool {
+        let floor = self
+            .snapshots
+            .range(..=p)
+            .next_back()
+            .map(|(&q, _)| q)
+            .unwrap_or(0);
+        let gap = p - floor;
+        // per-pattern grading cost: the good machine touches every node
+        // once per 64-pattern block, and each live fault's cone walk is
+        // charged a small constant of node visits
+        let nodes = self.circuit.num_nodes();
+        let per_pattern = 1 + (nodes + 8 * open_faults) / 64;
+        let snapshot_cost = self.faults.len() + nodes;
+        gap * per_pattern >= snapshot_cost
+    }
+
+    /// Fault statuses after exactly `p` prefix patterns. Requests at or
+    /// beyond the incremental front advance the shared simulator (each
+    /// pattern graded once); requests *below* the front resume a fallback
+    /// simulator from the nearest retained snapshot, so they cost the gap
+    /// — not the whole prefix. Checkpoints are snapshotted adaptively:
+    /// only when the copy is cheaper than re-simulating the gap would be
+    /// (`snapshot_pays_off`).
     fn statuses_at(&mut self, p: usize) -> Rc<Vec<FaultStatus>> {
         if let Some(snap) = self.snapshots.get(&p) {
-            return Rc::clone(snap);
+            return Rc::clone(&snap.statuses);
         }
-        let snap = if p >= self.simulated {
+        let (statuses, carry, expander) = if p >= self.simulated {
             let chunk = self.expander.patterns(p - self.simulated);
             self.sim.simulate(&chunk);
             self.stats.patterns_simulated += chunk.len();
             self.simulated = p;
-            Rc::new(self.sim.statuses().to_vec())
+            (
+                Rc::new(self.sim.statuses().to_vec()),
+                self.sim.carry_bits().to_vec(),
+                self.expander.clone(),
+            )
         } else {
-            // non-monotone request below the incremental front: grade a
-            // fresh stream without disturbing the shared simulator
-            let mut sim = FaultSim::new(self.circuit, self.faults.clone());
-            sim.simulate(&self.pseudo_random_patterns(p));
-            self.stats.patterns_resimulated += p;
-            Rc::new(sim.statuses().to_vec())
+            // non-monotone request below the incremental front: resume a
+            // fallback simulator from the nearest retained floor — paying
+            // for the gap only, in generation as well as grading —
+            // without disturbing the shared simulator
+            let (floor, mut sim, mut expander) = match self.snapshots.range(..=p).next_back() {
+                Some((&q, snap)) => (
+                    q,
+                    FaultSim::resume(
+                        self.circuit,
+                        self.faults.clone(),
+                        &snap.statuses,
+                        &snap.carry,
+                        q as u32,
+                    ),
+                    snap.expander.clone(),
+                ),
+                None => (
+                    0,
+                    FaultSim::new(self.circuit, self.faults.clone()),
+                    ScanExpander::new(
+                        Lfsr::fibonacci(self.config.poly, 1),
+                        self.circuit.inputs().len(),
+                    ),
+                ),
+            };
+            sim.set_threads(self.config.threads);
+            let gap = expander.patterns(p - floor);
+            sim.simulate(&gap);
+            self.stats.patterns_resimulated += gap.len();
+            (
+                Rc::new(sim.statuses().to_vec()),
+                sim.carry_bits().to_vec(),
+                expander,
+            )
         };
-        self.snapshots.insert(p, Rc::clone(&snap));
-        snap
+        let open = statuses.iter().filter(|s| s.is_open()).count();
+        if self.snapshot_pays_off(p, open) {
+            self.stats.snapshots_taken += 1;
+            self.snapshots.insert(
+                p,
+                Snapshot {
+                    statuses: Rc::clone(&statuses),
+                    carry,
+                    expander,
+                },
+            );
+        } else {
+            self.stats.snapshots_skipped += 1;
+        }
+        statuses
     }
 
     /// The deterministic top-up for `frontier` (ascending original-universe
     /// fault indices), answered from the cache when the same frontier was
-    /// already solved.
+    /// already solved; freshly generated top-ups still reuse every
+    /// individual search the session has performed before (the per-fault
+    /// cube cache).
     fn atpg_for(&mut self, frontier: &[usize]) -> Rc<AtpgRun> {
         if let Some(hit) = self.atpg_cache.get(frontier) {
             self.stats.atpg_cache_hits += 1;
@@ -285,8 +403,13 @@ impl<'c> BistSession<'c> {
             .iter()
             .map(|&i| *self.faults.get(i).expect("frontier index in range"))
             .collect();
-        let run = Rc::new(TestGenerator::new(self.circuit, remaining, self.config.atpg).run());
+        let hits_before = self.cube_cache.hits();
+        let run = Rc::new(
+            TestGenerator::new(self.circuit, remaining, self.atpg_options)
+                .run_with_cache(&mut self.cube_cache),
+        );
         self.stats.atpg_runs += 1;
+        self.stats.podem_cache_hits += self.cube_cache.hits() - hits_before;
         self.atpg_cache.insert(frontier.to_vec(), Rc::clone(&run));
         run
     }
@@ -365,6 +488,11 @@ impl<'c> BistSession<'c> {
         Ok(SweepSummary { solutions })
     }
 
+    /// Effective pool width of the session's engines.
+    pub fn threads(&self) -> usize {
+        self.sim.threads()
+    }
+
     /// The pure pseudo-random extreme `(p, d = 0)`: coverage of the prefix
     /// alone and the bare LFSR generator cost.
     ///
@@ -409,6 +537,39 @@ impl<'c> BistSession<'c> {
         let frontier: Vec<usize> = (0..self.faults.len()).collect();
         self.atpg_for(&frontier).report.achievable_pct()
     }
+}
+
+/// Sweeps the mixed trade-off over **many circuits at once**, one
+/// independent [`BistSession`] per circuit, sharded across the pool
+/// (`config.threads`, `0` = automatic). When more than one circuit rides
+/// a parallel pool, each circuit's own engines run serially (one level of
+/// parallelism, no oversubscription); a serial pool hands the full width
+/// to every circuit in turn. Results are returned in circuit order and
+/// are bit-identical to running each session by itself — the per-circuit
+/// flows never interact.
+///
+/// # Errors
+///
+/// Propagates the first [`MixedSchemeError`] in circuit order.
+pub fn sweep_circuits(
+    circuits: &[Circuit],
+    config: &MixedSchemeConfig,
+    prefix_lengths: &[usize],
+) -> Result<Vec<SweepSummary>, MixedSchemeError> {
+    let pool = Pool::resolve(config.threads);
+    let inner_threads = if pool.is_serial() || circuits.len() <= 1 {
+        config.threads
+    } else {
+        1
+    };
+    pool.par_map(circuits, |circuit| {
+        let mut per_circuit = config.clone();
+        per_circuit.threads = inner_threads;
+        let mut session = BistSession::new(circuit, per_circuit);
+        session.sweep(prefix_lengths)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// The result of a trade-off sweep: one [`MixedSolution`] per requested
@@ -548,6 +709,96 @@ mod tests {
             stats.atpg_cache_hits >= 1,
             "saturated frontiers must reuse the top-up: {stats:?}"
         );
+    }
+
+    #[test]
+    fn multi_point_sweep_reuses_podem_searches() {
+        // the p=0 top-up searches every fault; later checkpoints re-target
+        // a subset of the same hard faults, so their top-ups must be
+        // answered largely from the per-fault cube cache
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let mut session = BistSession::new(&c, MixedSchemeConfig::default());
+        session.sweep(&[0, 50, 150]).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.atpg_runs, 3);
+        assert!(
+            stats.podem_cache_hits > 0,
+            "adjacent frontiers must reuse searches: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_circuits_matches_individual_sessions() {
+        let circuits = vec![
+            bist_netlist::iscas85::c17(),
+            bist_netlist::iscas85::circuit("c432").unwrap(),
+        ];
+        let prefixes = [0usize, 16, 64];
+        let summaries =
+            sweep_circuits(&circuits, &MixedSchemeConfig::default(), &prefixes).unwrap();
+        assert_eq!(summaries.len(), 2);
+        for (circuit, summary) in circuits.iter().zip(&summaries) {
+            let mut solo = BistSession::new(circuit, MixedSchemeConfig::default());
+            let expect = solo.sweep(&prefixes).unwrap();
+            for (a, b) in summary.solutions().iter().zip(expect.solutions()) {
+                assert_eq!(a.det_len, b.det_len, "{}", circuit.name());
+                assert_eq!(
+                    a.generator.deterministic(),
+                    b.generator.deterministic(),
+                    "{}",
+                    circuit.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_results_are_thread_count_independent() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let prefixes = [0usize, 40, 120];
+        let serial_cfg = MixedSchemeConfig {
+            threads: 1,
+            ..MixedSchemeConfig::default()
+        };
+        let mut serial = BistSession::new(&c, serial_cfg);
+        let expect = serial.sweep(&prefixes).unwrap();
+        for threads in [2, 4] {
+            let cfg = MixedSchemeConfig {
+                threads,
+                ..MixedSchemeConfig::default()
+            };
+            let mut session = BistSession::new(&c, cfg);
+            let got = session.sweep(&prefixes).unwrap();
+            for (a, b) in expect.solutions().iter().zip(got.solutions()) {
+                assert_eq!(a.det_len, b.det_len, "threads={threads}");
+                assert_eq!(
+                    a.generator.deterministic(),
+                    b.generator.deterministic(),
+                    "threads={threads}"
+                );
+                assert_eq!(a.coverage, b.coverage, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_cadence_skips_cheap_snapshots_and_recovers() {
+        // c17 checkpoints are so cheap to re-simulate that the cadence
+        // should retain nothing — and fallback requests must still be
+        // answered correctly from scratch
+        let c17 = bist_netlist::iscas85::c17();
+        let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
+        let a16 = session.solve_at(16).unwrap();
+        assert!(session.stats().snapshots_skipped > 0);
+        let a8 = session.solve_at(8).unwrap();
+
+        let mut fresh = BistSession::new(&c17, MixedSchemeConfig::default());
+        let b8 = fresh.solve_at(8).unwrap();
+        let b16 = fresh.solve_at(16).unwrap();
+        assert_eq!(a8.det_len, b8.det_len);
+        assert_eq!(a16.det_len, b16.det_len);
+        assert_eq!(a8.coverage, b8.coverage);
+        assert_eq!(a16.coverage, b16.coverage);
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! simulated bit-parallel through the good machine, then each live fault is
 //! injected and only its fan-out cone re-evaluated, comparing primary
 //! outputs to the good machine. Faults are dropped on first detection.
+//! On top of the bit-parallelism the live faults of every block are
+//! sharded across a work-stealing pool (`bist-par`; `BIST_THREADS` or
+//! [`FaultSim::with_threads`]) with per-worker cone scratch and a
+//! deterministic fault-order merge, so grading results are bit-identical
+//! at every thread count.
 //!
 //! Both fault classes of the paper's model are graded:
 //!

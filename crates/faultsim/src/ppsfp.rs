@@ -4,6 +4,13 @@ use std::collections::BinaryHeap;
 use bist_fault::{Fault, FaultList, FaultStatus};
 use bist_logicsim::{Pattern, PatternBlock};
 use bist_netlist::{Circuit, GateKind, NodeId};
+use bist_par::Pool;
+
+/// Below this many live faults a block is graded serially even on a wide
+/// pool: the per-block spawn cost would exceed the cone work. The cutoff
+/// only moves work between identical code paths — results are the same on
+/// either side of it.
+const PAR_MIN_FAULTS: usize = 128;
 
 /// Parallel-pattern single-fault-propagation simulator with fault dropping.
 ///
@@ -13,6 +20,17 @@ use bist_netlist::{Circuit, GateKind, NodeId};
 /// spanning call boundaries are honoured — then read results via
 /// [`FaultSim::report`], [`FaultSim::status_of`] and
 /// [`FaultSim::first_detection`].
+///
+/// # Parallel grading
+///
+/// Within each 64-pattern block the good machine is simulated once, then
+/// the live faults are sharded across the pool ([`FaultSim::with_threads`]
+/// / `BIST_THREADS`): every worker owns a contiguous fault partition and a
+/// private cone-propagation scratch, reading the shared good/previous
+/// value words. Per-fault detection masks are merged back in
+/// ascending fault order at the block barrier, so statuses, first-detection
+/// indices and drop decisions are **bit-identical at every thread count**
+/// — one thread runs the very same code inline.
 #[derive(Debug)]
 pub struct FaultSim<'c> {
     circuit: &'c Circuit,
@@ -28,14 +46,14 @@ pub struct FaultSim<'c> {
     // --- scratch buffers, reused across blocks ---
     good: Vec<u64>,
     prev: Vec<u64>,
-    fval: Vec<u64>,
-    stamp: Vec<u32>,
-    epoch: u32,
+    scratch: ConeScratch,
     topo_pos: Vec<u32>,
+    pool: Pool,
 }
 
 impl<'c> FaultSim<'c> {
-    /// Creates a simulator grading `faults` on `circuit`.
+    /// Creates a simulator grading `faults` on `circuit`, with the pool
+    /// width taken from `BIST_THREADS` / the machine.
     pub fn new(circuit: &'c Circuit, faults: FaultList) -> Self {
         let n = circuit.num_nodes();
         let mut topo_pos = vec![0u32; n];
@@ -52,11 +70,52 @@ impl<'c> FaultSim<'c> {
             last_bits: vec![false; n],
             good: vec![0; n],
             prev: vec![0; n],
-            fval: vec![0; n],
-            stamp: vec![0; n],
-            epoch: 0,
+            scratch: ConeScratch::new(n),
             topo_pos,
+            pool: Pool::from_env(),
         }
+    }
+
+    /// Re-creates a simulator mid-sequence from a carry checkpoint: the
+    /// per-fault `statuses` and good-machine `carry` bits recorded after
+    /// exactly `patterns_seen` patterns of some sequence (see
+    /// [`FaultSim::carry_bits`]). Feeding the remainder of that sequence
+    /// behaves exactly like one simulator that consumed it end to end,
+    /// except that [`FaultSim::first_detection`] is only populated for
+    /// faults detected *after* the resume point (earlier detections carry
+    /// a status but no index).
+    pub fn resume(
+        circuit: &'c Circuit,
+        faults: FaultList,
+        statuses: &[FaultStatus],
+        carry: &[bool],
+        patterns_seen: u32,
+    ) -> Self {
+        assert_eq!(statuses.len(), faults.len(), "status/universe mismatch");
+        assert_eq!(carry.len(), circuit.num_nodes(), "carry/circuit mismatch");
+        let mut sim = FaultSim::new(circuit, faults);
+        sim.status.copy_from_slice(statuses);
+        sim.last_bits.copy_from_slice(carry);
+        sim.patterns_seen = patterns_seen;
+        sim
+    }
+
+    /// Sets the pool width for subsequent [`FaultSim::simulate`] calls
+    /// (`0` = automatic: `BIST_THREADS` or the machine width). Grading
+    /// results never depend on this knob.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = Pool::resolve(threads);
+    }
+
+    /// Builder form of [`FaultSim::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// The pool width grading currently uses.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// The circuit under test.
@@ -94,6 +153,14 @@ impl<'c> FaultSim<'c> {
     /// Number of patterns consumed so far.
     pub fn patterns_seen(&self) -> u32 {
         self.patterns_seen
+    }
+
+    /// The good-machine node values after the last consumed pattern — the
+    /// stuck-open carry. Together with [`FaultSim::statuses`] and
+    /// [`FaultSim::patterns_seen`] this is a complete mid-sequence
+    /// checkpoint for [`FaultSim::resume`].
+    pub fn carry_bits(&self) -> &[bool] {
+        &self.last_bits
     }
 
     /// Forgets all grading results and the sequence position.
@@ -151,17 +218,59 @@ impl<'c> FaultSim<'c> {
             self.last_bits[i] = (g >> last) & 1 == 1;
         }
 
+        let view = BlockView {
+            circuit: self.circuit,
+            topo_pos: &self.topo_pos,
+            good: &self.good,
+            prev: &self.prev,
+            valid,
+        };
+        let live: Vec<u32> = (0..self.faults.len() as u32)
+            .filter(|&fi| self.status[fi as usize] == FaultStatus::Undetected)
+            .collect();
+
         let mut newly = 0;
-        for fi in 0..self.faults.len() {
-            if self.status[fi] != FaultStatus::Undetected {
-                continue;
-            }
-            let fault = *self.faults.get(fi).expect("index in range");
-            if let Some(mask) = self.try_detect(fault, valid) {
-                let first = mask.trailing_zeros();
-                self.status[fi] = FaultStatus::Detected;
-                self.first_detection[fi] = Some(self.patterns_seen + first);
+        let mut apply =
+            |fi: u32, mask: u64, status: &mut [FaultStatus], first: &mut [Option<u32>]| {
+                let first_idx = mask.trailing_zeros();
+                status[fi as usize] = FaultStatus::Detected;
+                first[fi as usize] = Some(self.patterns_seen + first_idx);
                 newly += 1;
+            };
+
+        if self.pool.is_serial() || live.len() < PAR_MIN_FAULTS {
+            // inline path: one persistent scratch, exactly the historical
+            // serial engine
+            for &fi in &live {
+                let fault = *self.faults.get(fi as usize).expect("index in range");
+                if let Some(mask) = view.try_detect(&mut self.scratch, fault) {
+                    apply(fi, mask, &mut self.status, &mut self.first_detection);
+                }
+            }
+        } else {
+            // sharded path: contiguous fault partitions, one private
+            // scratch per worker, detection masks merged in fault order
+            let n = self.circuit.num_nodes();
+            let faults = &self.faults;
+            let chunk = live
+                .len()
+                .div_ceil(self.pool.threads() * 4)
+                .max(PAR_MIN_FAULTS / 4);
+            let detected: Vec<Vec<(u32, u64)>> = self.pool.par_chunks_init(
+                &live,
+                chunk,
+                || ConeScratch::new(n),
+                |scratch, _chunk_index, part| {
+                    part.iter()
+                        .filter_map(|&fi| {
+                            let fault = *faults.get(fi as usize).expect("index in range");
+                            view.try_detect(scratch, fault).map(|mask| (fi, mask))
+                        })
+                        .collect()
+                },
+            );
+            for (fi, mask) in detected.into_iter().flatten() {
+                apply(fi, mask, &mut self.status, &mut self.first_detection);
             }
         }
         self.patterns_seen += block.count() as u32;
@@ -186,10 +295,44 @@ impl<'c> FaultSim<'c> {
             }
         }
     }
+}
 
+/// Per-worker cone-propagation scratch: faulty value words, visitation
+/// stamps and the current epoch. Cheap to create (two zeroed vectors) and
+/// reused across every fault a worker grades.
+#[derive(Debug)]
+struct ConeScratch {
+    fval: Vec<u64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl ConeScratch {
+    fn new(num_nodes: usize) -> Self {
+        ConeScratch {
+            fval: vec![0; num_nodes],
+            stamp: vec![0; num_nodes],
+            epoch: 0,
+        }
+    }
+}
+
+/// The read-only context shared by every worker grading one pattern block:
+/// the circuit, the good-machine and previous-pattern value words, and the
+/// block's valid-lane mask.
+#[derive(Clone, Copy)]
+struct BlockView<'a> {
+    circuit: &'a Circuit,
+    topo_pos: &'a [u32],
+    good: &'a [u64],
+    prev: &'a [u64],
+    valid: u64,
+}
+
+impl BlockView<'_> {
     /// Computes the faulty seed value at the fault site, or `None` if the
     /// fault cannot change anything in this block.
-    fn seed_value(&self, fault: Fault, valid: u64) -> Option<(NodeId, u64)> {
+    fn seed_value(&self, fault: Fault) -> Option<(NodeId, u64)> {
         match fault {
             Fault::StuckAt {
                 site,
@@ -197,7 +340,7 @@ impl<'c> FaultSim<'c> {
                 value,
             } => {
                 let forced = if value { !0u64 } else { 0 };
-                let diff = (self.good[site.index()] ^ forced) & valid;
+                let diff = (self.good[site.index()] ^ forced) & self.valid;
                 (diff != 0).then_some((site, forced))
             }
             Fault::StuckAt {
@@ -220,36 +363,36 @@ impl<'c> FaultSim<'c> {
                     })
                     .collect();
                 let fv = node.kind().eval_word(&fanin);
-                let diff = (fv ^ self.good[site.index()]) & valid;
+                let diff = (fv ^ self.good[site.index()]) & self.valid;
                 (diff != 0).then_some((site, fv))
             }
             Fault::OpenSeries { site } => {
                 let excite = self.series_excitation(site);
-                self.memory_seed(site, excite, valid)
+                self.memory_seed(site, excite)
             }
             Fault::OpenParallel { site, pin } => {
                 let excite = self.parallel_excitation(site, pin);
-                self.memory_seed(site, excite, valid)
+                self.memory_seed(site, excite)
             }
             Fault::OpenRise { site } => {
                 let g = self.good[site.index()];
                 let excite = g & !self.prev[site.index()];
-                self.memory_seed(site, excite, valid)
+                self.memory_seed(site, excite)
             }
             Fault::OpenFall { site } => {
                 let g = self.good[site.index()];
                 let excite = !g & self.prev[site.index()];
-                self.memory_seed(site, excite, valid)
+                self.memory_seed(site, excite)
             }
         }
     }
 
     /// Faulty value of a stuck-open site: the output retains its previous
     /// good value wherever the fault is excited.
-    fn memory_seed(&self, site: NodeId, excite: u64, valid: u64) -> Option<(NodeId, u64)> {
+    fn memory_seed(&self, site: NodeId, excite: u64) -> Option<(NodeId, u64)> {
         let g = self.good[site.index()];
         let fv = (g & !excite) | (self.prev[site.index()] & excite);
-        let diff = (fv ^ g) & valid;
+        let diff = (fv ^ g) & self.valid;
         (diff != 0).then_some((site, fv))
     }
 
@@ -300,22 +443,22 @@ impl<'c> FaultSim<'c> {
 
     /// Injects `fault` and propagates through its fan-out cone; returns the
     /// mask of patterns detecting it at a primary output, or `None`.
-    fn try_detect(&mut self, fault: Fault, valid: u64) -> Option<u64> {
-        let (site, seed) = self.seed_value(fault, valid)?;
+    fn try_detect(&self, scratch: &mut ConeScratch, fault: Fault) -> Option<u64> {
+        let (site, seed) = self.seed_value(fault)?;
 
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            self.stamp.fill(0);
-            self.epoch = 1;
+        scratch.epoch = scratch.epoch.wrapping_add(1);
+        if scratch.epoch == 0 {
+            scratch.stamp.fill(0);
+            scratch.epoch = 1;
         }
-        let epoch = self.epoch;
+        let epoch = scratch.epoch;
 
         let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-        self.fval[site.index()] = seed;
-        self.stamp[site.index()] = epoch;
+        scratch.fval[site.index()] = seed;
+        scratch.stamp[site.index()] = epoch;
         let mut detect = 0u64;
         if self.circuit.is_output(site) {
-            detect |= (seed ^ self.good[site.index()]) & valid;
+            detect |= (seed ^ self.good[site.index()]) & self.valid;
         }
         for &s in self.circuit.fanout(site) {
             heap.push(Reverse((self.topo_pos[s.index()], s.index() as u32)));
@@ -335,8 +478,8 @@ impl<'c> FaultSim<'c> {
             }
             fanin_buf.clear();
             fanin_buf.extend(node.fanin().iter().map(|f| {
-                if self.stamp[f.index()] == epoch {
-                    self.fval[f.index()]
+                if scratch.stamp[f.index()] == epoch {
+                    scratch.fval[f.index()]
                 } else {
                     self.good[f.index()]
                 }
@@ -345,10 +488,10 @@ impl<'c> FaultSim<'c> {
             if fv == self.good[id.index()] {
                 continue; // fault effect died here
             }
-            self.fval[id.index()] = fv;
-            self.stamp[id.index()] = epoch;
+            scratch.fval[id.index()] = fv;
+            scratch.stamp[id.index()] = epoch;
             if self.circuit.is_output(id) {
-                detect |= (fv ^ self.good[id.index()]) & valid;
+                detect |= (fv ^ self.good[id.index()]) & self.valid;
             }
             for &s in self.circuit.fanout(id) {
                 heap.push(Reverse((self.topo_pos[s.index()], s.index() as u32)));
@@ -433,6 +576,93 @@ mod tests {
                 chunked.first_detection(i),
                 "fault {i}"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_grading_is_bit_identical_to_serial() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let faults = FaultList::mixed_model(&c);
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let patterns: Vec<Pattern> = (0..400)
+            .map(|_| Pattern::random(&mut rng, c.inputs().len()))
+            .collect();
+
+        let mut serial = FaultSim::new(&c, faults.clone()).with_threads(1);
+        serial.simulate(&patterns);
+
+        for threads in [2, 3, 4, 8] {
+            let mut par = FaultSim::new(&c, faults.clone()).with_threads(threads);
+            par.simulate(&patterns);
+            assert_eq!(serial.statuses(), par.statuses(), "threads={threads}");
+            for i in 0..serial.faults().len() {
+                assert_eq!(
+                    serial.first_detection(i),
+                    par.first_detection(i),
+                    "threads={threads}, fault {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_incremental_feeding_matches_serial_monolithic() {
+        // chunked feeding at 4 threads vs one serial call: the stuck-open
+        // carry and the drop decisions must line up across both axes
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let faults = FaultList::mixed_model(&c);
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let patterns: Vec<Pattern> = (0..300)
+            .map(|_| Pattern::random(&mut rng, c.inputs().len()))
+            .collect();
+
+        let mut mono = FaultSim::new(&c, faults.clone()).with_threads(1);
+        mono.simulate(&patterns);
+
+        let mut par = FaultSim::new(&c, faults).with_threads(4);
+        for chunk in patterns.chunks(53) {
+            par.simulate(chunk);
+        }
+        assert_eq!(mono.statuses(), par.statuses());
+    }
+
+    #[test]
+    fn resume_from_carry_checkpoint_matches_straight_run() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let faults = FaultList::mixed_model(&c);
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        let patterns: Vec<Pattern> = (0..200)
+            .map(|_| Pattern::random(&mut rng, c.inputs().len()))
+            .collect();
+
+        let mut straight = FaultSim::new(&c, faults.clone());
+        straight.simulate(&patterns);
+
+        // checkpoint after 77 patterns, resume a fresh simulator from it
+        let mut head = FaultSim::new(&c, faults.clone());
+        head.simulate(&patterns[..77]);
+        let mut tail = FaultSim::resume(
+            &c,
+            faults,
+            head.statuses(),
+            head.carry_bits(),
+            head.patterns_seen(),
+        );
+        tail.simulate(&patterns[77..]);
+
+        assert_eq!(straight.statuses(), tail.statuses());
+        assert_eq!(straight.patterns_seen(), tail.patterns_seen());
+        // faults detected after the resume point carry identical global
+        // first-detection indices
+        for i in 0..straight.faults().len() {
+            if let Some(first) = tail.first_detection(i) {
+                if first >= 77 {
+                    assert_eq!(straight.first_detection(i), Some(first), "fault {i}");
+                }
+            }
         }
     }
 

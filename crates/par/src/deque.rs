@@ -1,0 +1,141 @@
+//! The work-stealing substrate: one double-ended task queue per worker.
+//!
+//! The classic lock-free Chase–Lev deque needs `unsafe`; the workspace
+//! forbids it, so each deque is a `Mutex<VecDeque<usize>>` — the owner
+//! pops task indices from the front (preserving ascending order, which
+//! keeps neighbouring faults on the same worker for cache locality) and
+//! thieves steal half the victim's remaining work from the back. Tasks
+//! here are coarse (a chunk of fault cones, one PODEM search, one whole
+//! circuit sweep), so a short critical section per task is noise next to
+//! the task body.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A set of per-worker deques over the task indices `0..tasks`.
+///
+/// Tasks are pre-distributed as contiguous ranges (worker 0 gets the
+/// first `tasks / workers` indices, and so on); imbalance is corrected at
+/// run time by stealing.
+#[derive(Debug)]
+pub(crate) struct WorkQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl WorkQueues {
+    /// Distributes `tasks` task indices over `workers` deques.
+    pub(crate) fn new(tasks: usize, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let base = tasks / workers;
+        let extra = tasks % workers;
+        let mut next = 0usize;
+        for (w, q) in queues.iter_mut().enumerate() {
+            let take = base + usize::from(w < extra);
+            q.extend(next..next + take);
+            next += take;
+        }
+        WorkQueues {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// The next task for `worker`: its own front, or — once its deque runs
+    /// dry — a batch stolen from the back of the fullest other deque.
+    /// `None` once every deque is empty (the pool is shutting down).
+    pub(crate) fn next(&self, worker: usize) -> Option<usize> {
+        if let Some(i) = self.queues[worker]
+            .lock()
+            .expect("queue poisoned")
+            .pop_front()
+        {
+            return Some(i);
+        }
+        self.steal_into(worker)
+    }
+
+    /// Steals roughly half of the fullest victim's tasks into `worker`'s
+    /// deque and returns the first of them.
+    fn steal_into(&self, worker: usize) -> Option<usize> {
+        loop {
+            // pick the victim with the most remaining work
+            let mut victim: Option<(usize, usize)> = None;
+            for (v, q) in self.queues.iter().enumerate() {
+                if v == worker {
+                    continue;
+                }
+                let len = q.lock().expect("queue poisoned").len();
+                if len > 0 && victim.map(|(_, best)| len > best).unwrap_or(true) {
+                    victim = Some((v, len));
+                }
+            }
+            let (v, _) = victim?;
+            let mut stolen: VecDeque<usize> = VecDeque::new();
+            {
+                let mut q = self.queues[v].lock().expect("queue poisoned");
+                let take = q.len().div_ceil(2);
+                for _ in 0..take {
+                    if let Some(i) = q.pop_back() {
+                        stolen.push_front(i);
+                    }
+                }
+            }
+            if stolen.is_empty() {
+                // the victim was drained between the len() probe and the
+                // lock; rescan for another one
+                continue;
+            }
+            let first = stolen.pop_front();
+            if !stolen.is_empty() {
+                let mut own = self.queues[worker].lock().expect("queue poisoned");
+                own.extend(stolen);
+            }
+            return first;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_task_handed_out_exactly_once() {
+        let q = WorkQueues::new(100, 4);
+        let mut seen = HashSet::new();
+        for w in (0..4).cycle() {
+            match q.next(w) {
+                Some(i) => assert!(seen.insert(i), "task {i} dispatched twice"),
+                None => break,
+            }
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn single_worker_drains_in_order() {
+        let q = WorkQueues::new(5, 1);
+        let order: Vec<usize> = std::iter::from_fn(|| q.next(0)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn idle_worker_steals_from_the_busy_one() {
+        // worker 1 drains its own range, then steals worker 0's entire
+        // share — a single worker must always be able to finish the job
+        let q = WorkQueues::new(8, 2);
+        let mut got: Vec<usize> = std::iter::from_fn(|| q.next(1)).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert!(q.next(0).is_none());
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let q = WorkQueues::new(2, 8);
+        let got: Vec<Option<usize>> = (0..8).map(|w| q.next(w)).collect();
+        let handed: Vec<usize> = got.into_iter().flatten().collect();
+        assert_eq!(handed.len(), 2);
+    }
+}

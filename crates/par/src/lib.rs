@@ -1,0 +1,32 @@
+//! `bist-par` — the workspace's dependency-free parallel runtime.
+//!
+//! Fault-simulation throughput is the binding constraint on exploring the
+//! mixed scheme's pseudo-random/deterministic trade-off, and the hot loops
+//! (PPSFP cone propagation, PODEM searches, per-circuit sweeps) are
+//! embarrassingly parallel *provided the merge stays deterministic*. This
+//! crate supplies exactly that substrate, in-tree and offline like the
+//! `vendor/` shims, built from `std::thread::scope` plus a work-stealing
+//! deque ([`deque`], a lock-guarded stand-in for the crossbeam Chase–Lev
+//! deque — the workspace forbids `unsafe`):
+//!
+//! * [`Pool`] — a scoped work-stealing pool with a
+//!   [`par_map`](Pool::par_map) / [`par_map_init`](Pool::par_map_init) /
+//!   [`par_chunks`](Pool::par_chunks) surface; results always come back
+//!   in input order, so callers can fold them with a deterministic,
+//!   thread-count-independent merge;
+//! * [`num_threads`] / [`env_threads`] — the `BIST_THREADS` knob.
+//!   `BIST_THREADS=1` (or `Pool::new(1)`) runs every consumer inline on
+//!   the calling thread: no worker threads, exactly the historical serial
+//!   behaviour.
+//!
+//! The engines built on top (`bist-faultsim`, `bist-atpg`, `bist-core`)
+//! guarantee bit-identical results at every pool width; the regression
+//! suite in `tests/par_identity.rs` enforces it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deque;
+mod pool;
+
+pub use pool::{env_threads, num_threads, Pool};

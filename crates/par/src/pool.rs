@@ -1,0 +1,266 @@
+//! The scoped pool: spawn `threads` workers over one task list, steal
+//! work until every task ran, reassemble results in task order.
+
+use crate::deque::WorkQueues;
+
+/// How many threads the `BIST_THREADS` environment variable requests:
+/// `Some(n)` for an explicit positive count, `None` when unset, empty,
+/// unparsable or `0` (all of which mean "decide automatically").
+pub fn env_threads() -> Option<usize> {
+    std::env::var("BIST_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The degree of parallelism the workspace should use by default:
+/// `BIST_THREADS` when set to a positive number, the machine's available
+/// parallelism otherwise.
+pub fn num_threads() -> usize {
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// A scoped work-stealing thread pool of a fixed width.
+///
+/// A pool is just a thread-count policy: every `par_*` call spawns its
+/// workers inside a [`std::thread::scope`], so closures may borrow from
+/// the caller's stack and nothing outlives the call. With one thread (or
+/// one item) the pool degrades to an inline serial loop on the calling
+/// thread — no threads spawned, byte-for-byte today's sequential
+/// behaviour; the engines in this workspace are written so their results
+/// are bit-identical either way.
+///
+/// # Example
+///
+/// ```
+/// use bist_par::Pool;
+///
+/// let squares = Pool::new(4).par_map(&[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of exactly `threads` workers (`0` is promoted to 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The default pool: [`num_threads`] wide.
+    pub fn from_env() -> Self {
+        Pool::new(num_threads())
+    }
+
+    /// Resolves a `0 = automatic` knob: `Pool::new(n)` for positive `n`,
+    /// [`Pool::from_env`] otherwise. Every `threads: usize` field in the
+    /// workspace funnels through this.
+    pub fn resolve(threads: usize) -> Self {
+        if threads == 0 {
+            Pool::from_env()
+        } else {
+            Pool::new(threads)
+        }
+    }
+
+    /// The pool width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when this pool would run work inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Maps `f` over `items`, returning results in item order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_init(items, || (), |(), _, item| f(item))
+    }
+
+    /// Maps `f` over `items` with one `init()`-produced scratch state per
+    /// worker (rayon's `map_init` shape): `f(&mut state, index, &item)`.
+    /// Results come back in item order regardless of which worker ran
+    /// what. Serial pools call `init` once and loop inline.
+    pub fn par_map_init<T, S, R, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let mut state = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(&mut state, i, item))
+                .collect();
+        }
+        let queues = WorkQueues::new(n, workers);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let f = &f;
+                    let init = &init;
+                    scope.spawn(move || {
+                        let mut state = init();
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        while let Some(i) = queues.next(w) {
+                            out.push((i, f(&mut state, i, &items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, r) in handle.join().expect("pool worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task dispatched exactly once"))
+            .collect()
+    }
+
+    /// Splits `items` into contiguous chunks of at most `chunk_size` and
+    /// maps `f(chunk_index, chunk)` over them in parallel, returning the
+    /// per-chunk results in chunk order. The chunk boundaries — and hence
+    /// the result — are a pure function of `(items.len(), chunk_size)`,
+    /// never of the pool width.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        self.par_map_init(&chunks, || (), |(), i, chunk| f(i, chunk))
+    }
+
+    /// [`Pool::par_chunks`] with one scratch state per worker.
+    pub fn par_chunks_init<T, S, R, I, F>(
+        &self,
+        items: &[T],
+        chunk_size: usize,
+        init: I,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        self.par_map_init(&chunks, init, |state, i, chunk| f(state, i, chunk))
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order_at_any_width() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 8] {
+            let got = Pool::new(threads).par_map(&items, |&x| x * 3 + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_init_reuses_worker_state() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let pool = Pool::new(4);
+        let got = pool.par_map_init(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |count, _, &x| {
+                *count += 1;
+                x
+            },
+        );
+        assert_eq!(got, items);
+        // one scratch state per *worker*, not per task
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn par_chunks_boundaries_are_width_independent() {
+        let items: Vec<u32> = (0..103).collect();
+        let serial = Pool::new(1).par_chunks(&items, 10, |i, c| (i, c.to_vec()));
+        let wide = Pool::new(7).par_chunks(&items, 10, |i, c| (i, c.to_vec()));
+        assert_eq!(serial, wide);
+        assert_eq!(serial.len(), 11);
+        assert_eq!(serial[10].1.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let none: Vec<u8> = Vec::new();
+        assert!(Pool::new(4).par_map(&none, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn borrows_from_the_caller_stack() {
+        let base = [10u64, 20, 30];
+        let items = [0usize, 1, 2];
+        let got = Pool::new(2).par_map(&items, |&i| base[i] + 1);
+        assert_eq!(got, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn resolve_and_env_knob() {
+        assert_eq!(Pool::resolve(3).threads(), 3);
+        assert!(Pool::resolve(0).threads() >= 1);
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::new(1).is_serial());
+        assert!(!Pool::new(2).is_serial());
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker panicked")]
+    fn worker_panics_propagate() {
+        let items = [0u32, 1, 2, 3, 4, 5, 6, 7];
+        Pool::new(2).par_map(&items, |&x| {
+            assert!(x < 7, "boom");
+            x
+        });
+    }
+}
