@@ -24,6 +24,10 @@ pub struct BakeoffConfig {
     pub random_length: usize,
     /// Area model for all rows.
     pub model: AreaModel,
+    /// Pool width for the internal fault simulation and ATPG (`0` =
+    /// automatic: `BIST_THREADS` or the machine width; `1` = fully
+    /// serial). Results are bit-identical at every width.
+    pub threads: usize,
 }
 
 impl Default for BakeoffConfig {
@@ -31,6 +35,7 @@ impl Default for BakeoffConfig {
         BakeoffConfig {
             random_length: 1000,
             model: AreaModel::es2_1um(),
+            threads: 0,
         }
     }
 }
@@ -85,8 +90,8 @@ impl Bakeoff {
 
 /// Grades `sequence` against a fresh copy of `faults` and returns the
 /// coverage percentage.
-fn grade(circuit: &Circuit, faults: &FaultList, sequence: &[Pattern]) -> f64 {
-    let mut sim = FaultSim::new(circuit, faults.clone());
+fn grade(circuit: &Circuit, faults: &FaultList, sequence: &[Pattern], threads: usize) -> f64 {
+    let mut sim = FaultSim::new(circuit, faults.clone()).with_threads(threads);
     sim.simulate(sequence);
     sim.report().coverage_pct()
 }
@@ -117,7 +122,11 @@ fn grade(circuit: &Circuit, faults: &FaultList, sequence: &[Pattern]) -> f64 {
 pub fn bakeoff(circuit: &Circuit, config: &BakeoffConfig) -> Bakeoff {
     let width = circuit.inputs().len();
     let faults = FaultList::mixed_model(circuit);
-    let run = TestGenerator::new(circuit, faults.clone(), AtpgOptions::default()).run();
+    let atpg_options = AtpgOptions {
+        threads: config.threads,
+        ..AtpgOptions::default()
+    };
+    let run = TestGenerator::new(circuit, faults.clone(), atpg_options).run();
     let det_patterns = run.sequence();
     let det_cubes: Vec<bist_atpg::TestCube> = run
         .units
@@ -134,7 +143,7 @@ pub fn bakeoff(circuit: &Circuit, config: &BakeoffConfig) -> Bakeoff {
             architecture: tpg.architecture(),
             test_length: sequence.len(),
             area_mm2: tpg.area_mm2(&config.model),
-            coverage_pct: grade(circuit, &faults, &sequence),
+            coverage_pct: grade(circuit, &faults, &sequence, config.threads),
             deterministic,
         });
     };

@@ -5,8 +5,12 @@
 //! cargo run --release -p bist-bench --bin bench_check -- BENCH_sweep.json ci/bench_baseline.json 20
 //! ```
 //!
-//! Three gates, each per circuit:
+//! Four gates — a schema gate on each file, then three per circuit:
 //!
+//! 0. **Schema** — both files must declare `"schema_version"` equal to
+//!    the version this checker understands; a missing or mismatched
+//!    version aborts with a clear message instead of silently comparing
+//!    incompatible layouts.
 //! 1. **Correctness** — the solved `(p, d)` points and the
 //!    `patterns_simulated` counter must match the baseline exactly; the
 //!    flow is deterministic, so any drift is a real behaviour change.
@@ -24,6 +28,27 @@
 
 use std::process::ExitCode;
 
+/// The `BENCH_sweep.json` layout this checker understands; must match
+/// `bench_sweep`'s emitted `schema_version`.
+const SCHEMA_VERSION: u64 = 2;
+
+/// Checks one file's `schema_version` declaration against
+/// [`SCHEMA_VERSION`], explaining exactly what is wrong otherwise.
+fn check_schema(path: &str, json: &str) -> Result<(), String> {
+    match num_field(json, "schema_version") {
+        Some(v) if v == SCHEMA_VERSION as f64 => Ok(()),
+        Some(v) => Err(format!(
+            "{path}: schema_version {v} does not match the supported version \
+             {SCHEMA_VERSION}; regenerate the file with this tree's bench_sweep \
+             (or update the committed baseline)"
+        )),
+        None => Err(format!(
+            "{path}: no schema_version field — the file predates the versioned \
+             layout; regenerate it with this tree's bench_sweep"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (measured_path, baseline_path) = match (args.first(), args.get(1)) {
@@ -33,15 +58,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let tolerance_pct: f64 = args
-        .get(2)
-        .map(|t| t.parse().expect("tolerance must be a number"))
-        .unwrap_or(20.0);
+    let tolerance_pct: f64 = match args.get(2).map(|t| t.parse()) {
+        None => 20.0,
+        Some(Ok(t)) => t,
+        Some(Err(_)) => {
+            eprintln!("bench_check: tolerance must be a number, got `{}`", args[2]);
+            return ExitCode::FAILURE;
+        }
+    };
 
-    let measured = std::fs::read_to_string(&measured_path)
-        .unwrap_or_else(|e| panic!("cannot read {measured_path}: {e}"));
-    let baseline = std::fs::read_to_string(&baseline_path)
-        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(measured), Some(baseline)) = (read(&measured_path), read(&baseline_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    // gate 0: never compare files of different layouts
+    for schema in [
+        check_schema(&measured_path, &measured),
+        check_schema(&baseline_path, &baseline),
+    ] {
+        if let Err(message) = schema {
+            eprintln!("bench_check FAILURE: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let mut failures: Vec<String> = Vec::new();
     let baseline_circuits = circuit_blocks(&baseline);
@@ -74,8 +120,15 @@ fn main() -> ExitCode {
         }
 
         // gate 2: relative performance
-        let base_speedup = num_field(base_block, "speedup").expect("baseline has speedup");
-        let meas_speedup = num_field(&meas_block, "speedup").expect("measured has speedup");
+        let (Some(base_speedup), Some(meas_speedup)) = (
+            num_field(base_block, "speedup"),
+            num_field(&meas_block, "speedup"),
+        ) else {
+            failures.push(format!(
+                "{name}: speedup field missing from one of the files"
+            ));
+            continue;
+        };
         let floor = base_speedup * (1.0 - tolerance_pct / 100.0);
         if meas_speedup < floor {
             failures.push(format!(

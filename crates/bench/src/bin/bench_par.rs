@@ -8,19 +8,25 @@
 //! cargo run --release -p bist-bench --bin bench_par -- --circuits c3540 --threads 8
 //! ```
 //!
-//! For each circuit the full mixed fault universe is graded against a
-//! pseudo-random sequence once per pool width (1, 2, … up to `--threads`
-//! or the machine width), asserting after every run that statuses and
-//! first-detection indices match the one-thread reference bit for bit.
-//! Writes `BENCH_par.json` with per-width wall-times and speedups. On a
-//! single-core container every width measures the same engine — the JSON
-//! then documents the (absent) parallelism rather than the scaling.
+//! For each circuit one `JobSpec::CoverageCurve` (full mixed fault
+//! universe, the pattern budget as its single checkpoint) runs once per
+//! pool width (1, 2, … up to `--threads` or the machine width), through
+//! an `Engine` pinned to that width. After every timed run the curve is
+//! compared against the one-thread reference, and an *untimed* direct
+//! `FaultSim` pass at the same width re-asserts the full bit-identity
+//! contract — per-fault statuses and first-detection indices, not just
+//! the coverage percentage. Writes `BENCH_par.json` with per-width
+//! wall-times and speedups (each timed measurement includes the
+//! fault-list build, identically at every width). On a single-core
+//! container every width measures the same engine — the JSON then
+//! documents the (absent) parallelism rather than the scaling.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use bist_bench::{banner, ExperimentArgs};
 use bist_core::prelude::*;
+use bist_engine::{CoverageCurveSpec, Engine, JobSpec};
 
 struct CircuitScaling {
     name: String,
@@ -50,38 +56,78 @@ fn main() {
 
     let poly = MixedSchemeConfig::default().poly;
     let mut results: Vec<CircuitScaling> = Vec::new();
-    for circuit in args.load_circuits() {
-        let faults = FaultList::mixed_model(&circuit);
+    for source in args.sources() {
+        let circuit = source.realize().unwrap_or_else(|e| {
+            eprintln!("cannot load circuit: {e}");
+            std::process::exit(2);
+        });
+        let fault_list = FaultList::mixed_model(&circuit);
         let patterns = pseudo_random_patterns(poly, circuit.inputs().len(), budget);
 
-        let mut reference: Option<FaultSim> = None;
+        let mut reference: Option<(f64, usize)> = None;
+        let mut bit_reference: Option<FaultSim> = None;
         let mut times: Vec<(usize, f64)> = Vec::new();
         for &w in &widths {
-            let mut sim = FaultSim::new(&circuit, faults.clone()).with_threads(w);
+            let engine = Engine::with_threads(w);
+            let config = MixedSchemeConfig {
+                threads: w,
+                ..MixedSchemeConfig::default()
+            };
             let t = Instant::now();
-            sim.simulate(&patterns);
+            let result = engine
+                .run(JobSpec::CoverageCurve(CoverageCurveSpec {
+                    circuit: source.clone(),
+                    config,
+                    checkpoints: vec![budget],
+                }))
+                .unwrap_or_else(|e| {
+                    eprintln!("coverage job failed: {e}");
+                    std::process::exit(2);
+                });
             let seconds = t.elapsed().as_secs_f64();
+            let outcome = result.as_coverage_curve().expect("curve outcome");
+            let pct = outcome.curve.points()[0].1;
             times.push((w, seconds));
             match &reference {
-                None => reference = Some(sim),
+                None => reference = Some((pct, outcome.fault_universe)),
+                Some((serial_pct, universe)) => {
+                    assert_eq!(
+                        *serial_pct,
+                        pct,
+                        "{}: width {w} diverged from serial",
+                        source.label()
+                    );
+                    assert_eq!(*universe, outcome.fault_universe);
+                }
+            }
+
+            // the full contract, untimed: per-fault statuses and
+            // first-detection indices must match the one-thread
+            // reference bit for bit (coverage_pct alone could mask a
+            // same-count-different-faults merge regression)
+            let mut sim = FaultSim::new(&circuit, fault_list.clone()).with_threads(w);
+            sim.simulate(&patterns);
+            match &bit_reference {
+                None => bit_reference = Some(sim),
                 Some(serial) => {
                     assert_eq!(
                         serial.statuses(),
                         sim.statuses(),
-                        "{}: width {w} diverged from serial",
-                        circuit.name()
+                        "{}: width {w} statuses diverged from serial",
+                        source.label()
                     );
-                    for i in 0..faults.len() {
+                    for i in 0..fault_list.len() {
                         assert_eq!(
                             serial.first_detection(i),
                             sim.first_detection(i),
                             "{}: width {w}, fault {i}",
-                            circuit.name()
+                            source.label()
                         );
                     }
                 }
             }
         }
+        let (_, faults) = reference.expect("at least one width measured");
         let serial_s = times[0].1;
         let line: Vec<String> = times
             .iter()
@@ -89,15 +135,15 @@ fn main() {
             .collect();
         println!(
             "{:>6}: {} faults, {} patterns | {}",
-            circuit.name(),
-            faults.len(),
-            patterns.len(),
+            source.label(),
+            faults,
+            budget,
             line.join(" | ")
         );
         results.push(CircuitScaling {
-            name: circuit.name().to_owned(),
-            patterns: patterns.len(),
-            faults: faults.len(),
+            name: source.label().to_owned(),
+            patterns: budget,
+            faults,
             times,
         });
     }

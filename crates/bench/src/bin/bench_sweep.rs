@@ -9,35 +9,37 @@
 //! cargo run --release -p bist-bench --bin bench_sweep -- --threads 4
 //! ```
 //!
-//! Writes `BENCH_sweep.json` into the current directory: per circuit the
-//! end-to-end sweep wall-times of both paths, the isolated
-//! *prefix-grading* wall-times (fault-list construction + pseudo-random
-//! fault simulation — the component the session de-quadratifies; the
-//! end-to-end sweep on these ladders is dominated by the per-frontier
-//! ATPG top-ups), the session's work counters (patterns simulated once
-//! vs. re-graded per point, ATPG runs vs. cached answers) and the solved
-//! `(p, d)` frontier. Both paths produce bit-identical solutions —
-//! enforced here before the numbers are written.
+//! Both paths run through the `bist-engine` job API: the session path is
+//! one `JobSpec::Sweep` (a single incremental session), the historical
+//! one-shot path is one `JobSpec::SolveAt` per point (a fresh session
+//! each, exactly the pre-session behaviour). Writes `BENCH_sweep.json`
+//! into the current directory: per circuit the end-to-end sweep
+//! wall-times of both paths, the isolated *prefix-grading* wall-times
+//! (fault-list construction + pseudo-random fault simulation — the
+//! component the session de-quadratifies), the session's work counters
+//! and the solved `(p, d)` frontier. Both paths must produce
+//! bit-identical solutions — enforced here before the numbers are
+//! written.
 //!
-//! The emitted `atpg_cache_hits` is the total deterministic-search reuse
-//! of the session path: whole top-ups answered for an already-seen
-//! frontier (`atpg_frontier_hits`) plus individual PODEM searches
-//! answered from the per-fault cube cache inside freshly generated
-//! top-ups (`podem_cache_hits`). The pool width (`--threads`, default
-//! `BIST_THREADS`/machine) moves wall-clock only — the *solved results*
-//! (points, coverage, sequences) are bit-identical at every width. The
-//! work counters are not part of that contract: cache-hit counts measure
-//! realized reuse, and a wider pool's speculative searches can seed the
-//! cache with extra entries that later score as hits (e.g. 400 hits at 4
-//! threads vs 397 at 1 for the same c432 sweep). Compare timings and
-//! counters only between runs of the same width; `sweep_digest` is the
-//! width-independent fingerprint.
+//! The JSON carries a `schema_version` (currently 2); `bench_check`
+//! refuses to compare files of different versions. The emitted
+//! `atpg_cache_hits` is the total deterministic-search reuse of the
+//! session path: whole top-ups answered for an already-seen frontier
+//! (`atpg_frontier_hits`) plus individual PODEM searches answered from
+//! the per-fault cube cache (`podem_cache_hits`). The pool width
+//! (`--threads`, default `BIST_THREADS`/machine) moves wall-clock only —
+//! the *solved results* are bit-identical at every width; compare
+//! timings and counters only between runs of the same width.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use bist_bench::{banner, ExperimentArgs};
 use bist_core::prelude::*;
+use bist_engine::{CircuitSource, Engine, JobSpec, SolveAtSpec, SweepSpec};
+
+/// Version of the `BENCH_sweep.json` layout; `bench_check` gates on it.
+const SCHEMA_VERSION: u64 = 2;
 
 struct CircuitResult {
     name: String,
@@ -52,7 +54,7 @@ struct CircuitResult {
 fn main() {
     banner(
         "BENCH sweep",
-        "incremental BistSession::sweep vs point-wise one-shot solves",
+        "incremental JobSpec::Sweep vs point-wise one-shot JobSpec::SolveAt",
     );
     let args = ExperimentArgs::parse(&["c432", "c3540"]);
     let prefixes: Vec<usize> = if args.quick {
@@ -64,32 +66,59 @@ fn main() {
         threads: args.threads,
         ..MixedSchemeConfig::default()
     };
-    let threads = bist_par::Pool::resolve(config.threads).threads();
+    let engine = Engine::with_threads(args.threads);
+    let threads = engine.threads();
     println!("prefix checkpoints: {prefixes:?}  ({threads} threads)\n");
 
     let mut results: Vec<CircuitResult> = Vec::new();
-    for circuit in args.load_circuits() {
-        // --- new path: one session, one incremental pass ---
-        let t = Instant::now();
-        let mut session = BistSession::new(&circuit, config.clone());
-        let summary = session.sweep(&prefixes).expect("sweep succeeds");
-        let session_s = t.elapsed().as_secs_f64();
-        let stats = session.stats();
+    for named_source in args.sources() {
+        let name = named_source.label().to_owned();
+        // realize once, outside every timed region, and hand all timed
+        // jobs the same inline circuit: neither path pays netlist
+        // synthesis, so the ratio compares only the flows themselves
+        let circuit = named_source.realize().unwrap_or_else(|e| {
+            eprintln!("cannot load circuit: {e}");
+            std::process::exit(2);
+        });
+        let source = CircuitSource::Inline(circuit.clone());
 
-        // --- old path: the historical MixedScheme::solve(p) per point ---
-        #[allow(deprecated)]
-        let scheme = MixedScheme::new(&circuit, config.clone());
+        // --- new path: one sweep job = one incremental session ---
+        let t = Instant::now();
+        let sweep = engine
+            .run(JobSpec::Sweep(SweepSpec {
+                circuit: source.clone(),
+                config: config.clone(),
+                prefix_lengths: prefixes.clone(),
+            }))
+            .expect("sweep job succeeds");
+        let session_s = t.elapsed().as_secs_f64();
+        let sweep = sweep.as_sweep().expect("sweep outcome");
+        let stats = sweep.stats;
+
+        // --- old path: a fresh session per point (the historical
+        // one-shot behaviour), as individual solve-at jobs ---
         let t = Instant::now();
         let mut oneshot = Vec::with_capacity(prefixes.len());
         for &p in &prefixes {
-            #[allow(deprecated)]
-            let s = scheme.solve(p).expect("solve succeeds");
-            oneshot.push(s);
+            let solved = engine
+                .run(JobSpec::SolveAt(SolveAtSpec {
+                    circuit: source.clone(),
+                    config: config.clone(),
+                    prefix_len: p,
+                }))
+                .expect("solve job succeeds");
+            oneshot.push(
+                solved
+                    .as_solve_at()
+                    .expect("solve outcome")
+                    .solution
+                    .clone(),
+            );
         }
         let oneshot_s = t.elapsed().as_secs_f64();
 
         // both paths must agree bit-for-bit before the numbers count
-        for (a, b) in summary.solutions().iter().zip(&oneshot) {
+        for (a, b) in sweep.summary.solutions().iter().zip(&oneshot) {
             assert_eq!(a.det_len, b.det_len, "paths diverge at p={}", a.prefix_len);
             assert_eq!(
                 a.generator.deterministic(),
@@ -102,9 +131,15 @@ fn main() {
         // --- the component the session de-quadratifies, in isolation:
         // fault-list construction + pseudo-random prefix grading ---
         let t = Instant::now();
-        let mut grading = BistSession::new(&circuit, config.clone());
-        let curve = grading.random_coverage_curve(&prefixes);
+        let curve = engine
+            .run(JobSpec::CoverageCurve(bist_engine::CoverageCurveSpec {
+                circuit: source.clone(),
+                config: config.clone(),
+                checkpoints: prefixes.clone(),
+            }))
+            .expect("curve job succeeds");
         let grading_session_s = t.elapsed().as_secs_f64();
+        let curve = curve.as_coverage_curve().expect("curve outcome");
 
         let width = circuit.inputs().len();
         let poly = config.poly;
@@ -119,13 +154,17 @@ fn main() {
             oneshot_curve.push((p, sim.report().coverage_pct()));
         }
         let grading_oneshot_s = t.elapsed().as_secs_f64();
-        assert_eq!(curve.points(), &oneshot_curve[..], "grading paths diverge");
+        assert_eq!(
+            curve.curve.points(),
+            &oneshot_curve[..],
+            "grading paths diverge"
+        );
 
         println!(
             "{:>6}: sweep {session_s:8.2}s vs {oneshot_s:8.2}s ({:4.2}x) | prefix grading \
              {grading_session_s:6.2}s vs {grading_oneshot_s:6.2}s ({:4.2}x) | patterns {} \
              once vs {} re-graded | ATPG {} runs, {} frontier hits, {} cube hits",
-            circuit.name(),
+            name,
             oneshot_s / session_s,
             grading_oneshot_s / grading_session_s,
             stats.patterns_simulated,
@@ -135,13 +174,14 @@ fn main() {
             stats.podem_cache_hits,
         );
         results.push(CircuitResult {
-            name: circuit.name().to_owned(),
+            name,
             session_s,
             oneshot_s,
             grading_session_s,
             grading_oneshot_s,
             stats,
-            points: summary
+            points: sweep
+                .summary
                 .solutions()
                 .iter()
                 .map(|s| (s.prefix_len, s.det_len))
@@ -157,6 +197,7 @@ fn main() {
 fn render_json(prefixes: &[usize], threads: usize, results: &[CircuitResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"experiment\": \"sweep\",\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
     let _ = writeln!(out, "  \"threads\": {threads},");
     let _ = writeln!(
         out,

@@ -7,15 +7,16 @@
 //! 90/150 cellular automaton, weighted random, multiple-polynomial LFSR
 //! reseeding — each encoding the *same* ATPG test set or spending the
 //! *same* random pattern budget, and re-grades every row by fault
-//! simulation of the hardware's actual output.
+//! simulation of the hardware's actual output. One `JobSpec::Bakeoff`
+//! per circuit, batched across the engine pool.
 //!
 //! ```text
 //! cargo run --release -p bist-bench --bin ext_tpg_bakeoff
 //! cargo run --release -p bist-bench --bin ext_tpg_bakeoff -- --circuits c880 --quick
 //! ```
 
-use bist_baselines::{bakeoff, BakeoffConfig};
 use bist_bench::{banner, ExperimentArgs};
+use bist_engine::{Engine, JobSpec};
 
 fn main() {
     banner(
@@ -23,24 +24,32 @@ fn main() {
         "TPG architecture bake-off (area vs test length vs coverage)",
     );
     let args = ExperimentArgs::parse(&["c432", "c880", "c1355"]);
-    let config = BakeoffConfig {
-        random_length: if args.quick { 200 } else { 1000 },
-        ..BakeoffConfig::default()
-    };
-    for circuit in args.load_circuits() {
-        let result = bakeoff(&circuit, &config);
+    let random_length = if args.quick { 200 } else { 1000 };
+    let engine = Engine::with_threads(args.threads);
+    let jobs: Vec<JobSpec> = args
+        .sources()
+        .into_iter()
+        .map(|source| JobSpec::bakeoff(source, random_length))
+        .collect();
+    for result in engine.run_batch(jobs) {
+        let result = result.unwrap_or_else(|e| {
+            eprintln!("bakeoff job failed: {e}");
+            std::process::exit(2);
+        });
+        let outcome = result.as_bakeoff().expect("bakeoff outcome");
+        let bakeoff = &outcome.bakeoff;
         println!(
             "\n{} — {} deterministic patterns, ceiling {:.2} %, ATPG {:.2} %",
-            circuit.name(),
-            result.deterministic_patterns,
-            result.achievable_pct,
-            result.atpg_coverage_pct
+            outcome.circuit,
+            bakeoff.deterministic_patterns,
+            bakeoff.achievable_pct,
+            bakeoff.atpg_coverage_pct
         );
         println!(
             "{:<20} {:>8} {:>10} {:>10}   kind",
             "architecture", "patterns", "area mm²", "coverage"
         );
-        for row in &result.rows {
+        for row in &bakeoff.rows {
             println!(
                 "{:<20} {:>8} {:>10.3} {:>9.2}%   {}",
                 row.architecture,
@@ -55,8 +64,8 @@ fn main() {
             );
         }
         // the paper's two extreme claims, re-checked per circuit
-        let lfsr = result.row("lfsr").expect("always present");
-        for row in &result.rows {
+        let lfsr = bakeoff.row("lfsr").expect("always present");
+        for row in &bakeoff.rows {
             assert!(
                 row.area_mm2 >= lfsr.area_mm2,
                 "{} undercuts the plain LFSR",

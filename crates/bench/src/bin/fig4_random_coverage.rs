@@ -5,7 +5,8 @@
 //! scan expansion) to C3540 under the stuck-at + stuck-open model and
 //! plots coverage against length: a fast rise (≈88.4 % at 200 patterns),
 //! then a long flat tail limited by random-pattern-resistant and redundant
-//! faults (ceiling 96.7 %).
+//! faults (ceiling 96.7 %). One `JobSpec::CoverageCurve` per circuit,
+//! batched across the engine pool.
 //!
 //! ```text
 //! cargo run --release -p bist-bench --bin fig4_random_coverage
@@ -13,7 +14,7 @@
 //! ```
 
 use bist_bench::{banner, format_curve, paper, ExperimentArgs, LENGTH_CHECKPOINTS};
-use bist_core::prelude::*;
+use bist_engine::{Engine, JobSpec};
 
 fn main() {
     banner(
@@ -26,20 +27,32 @@ fn main() {
     } else {
         LENGTH_CHECKPOINTS.to_vec()
     };
-    for circuit in args.load_circuits() {
-        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
-        let curve = session.random_coverage_curve(&checkpoints);
-        println!("\n{circuit}");
-        let reference: &[(usize, f64)] = if circuit.name() == "c3540" {
+    let engine = Engine::with_threads(args.threads);
+    let jobs: Vec<JobSpec> = args
+        .sources()
+        .into_iter()
+        .map(|source| JobSpec::coverage_curve(source, checkpoints.clone()))
+        .collect();
+    for result in engine.run_batch(jobs) {
+        let result = result.unwrap_or_else(|e| {
+            eprintln!("coverage job failed: {e}");
+            std::process::exit(2);
+        });
+        let outcome = result.as_coverage_curve().expect("curve outcome");
+        println!("\n{} ({} faults)", outcome.circuit, outcome.fault_universe);
+        let reference: &[(usize, f64)] = if outcome.circuit == "c3540" {
             &paper::FIG4_C3540
         } else {
             &[]
         };
-        print!("{}", format_curve(&curve, reference));
-        assert!(curve.is_monotone(), "coverage must be monotone in length");
-        if let Some(final_cov) = curve.final_coverage() {
+        print!("{}", format_curve(&outcome.curve, reference));
+        assert!(
+            outcome.curve.is_monotone(),
+            "coverage must be monotone in length"
+        );
+        if let Some(final_cov) = outcome.curve.final_coverage() {
             println!("final coverage: {final_cov:.2} %");
-            if circuit.name() == "c3540" {
+            if outcome.circuit == "c3540" {
                 println!(
                     "paper ceiling : {:.1} % (135 redundant faults)",
                     paper::C3540_MAX_COVERAGE_PCT

@@ -5,14 +5,15 @@
 //! patterns, fault simulation, ATPG top-up of length `d`, final coverage.
 //! The paper's reading: every tuple reaches the maximal (ATPG-limited)
 //! coverage, and a longer prefix buys a shorter deterministic suffix —
-//! e.g. its `(p₇=200, d₇=64)` and `(p=1000, d=26)` examples.
+//! e.g. its `(p₇=200, d₇=64)` and `(p=1000, d=26)` examples. One
+//! `JobSpec::Sweep` per circuit, batched across the engine pool.
 //!
 //! ```text
 //! cargo run --release -p bist-bench --bin fig5_mixed_coverage
 //! ```
 
 use bist_bench::{banner, ExperimentArgs};
-use bist_core::prelude::*;
+use bist_engine::{Engine, JobSpec};
 
 fn main() {
     banner(
@@ -25,16 +26,25 @@ fn main() {
     } else {
         vec![0, 100, 200, 500, 1000]
     };
-    for circuit in args.load_circuits() {
-        println!("\n{circuit}");
-        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
-        let summary = session.sweep(&prefixes).expect("flow succeeds");
+    let engine = Engine::with_threads(args.threads);
+    let jobs: Vec<JobSpec> = args
+        .sources()
+        .into_iter()
+        .map(|source| JobSpec::sweep(source, prefixes.clone()))
+        .collect();
+    for result in engine.run_batch(jobs) {
+        let result = result.unwrap_or_else(|e| {
+            eprintln!("sweep job failed: {e}");
+            std::process::exit(2);
+        });
+        let outcome = result.as_sweep().expect("sweep outcome");
+        println!("\n{}", outcome.circuit);
         println!(
             "{:>8} {:>8} {:>8} {:>16} {:>16}",
             "p", "d", "p+d", "prefix cov (%)", "final cov (%)"
         );
         let mut final_covs = Vec::new();
-        for s in summary.solutions() {
+        for s in outcome.summary.solutions() {
             println!(
                 "{:>8} {:>8} {:>8} {:>16.2} {:>16.2}",
                 s.prefix_len,

@@ -1,13 +1,13 @@
 //! **Figure 6** — silicon areas of the full-deterministic LFSROM hardware
 //! generators for the ISCAS-85 family.
 //!
-//! Per circuit: ATPG computes the full deterministic test set (stuck-at +
-//! stuck-open), the LFSROM synthesizer turns it into hardware, and the
-//! calibrated ES2-1µm-style model prices both the generator and the
-//! nominal chip. The paper annotates the figure with the overhead
-//! percentages (560 % for c17 down to ≈12 % for c6288) — the shape claim
-//! is that full-deterministic BIST is prohibitively expensive for small
-//! and mid-size circuits.
+//! Per circuit one `JobSpec::AreaReport`: ATPG computes the full
+//! deterministic test set (stuck-at + stuck-open), the LFSROM synthesizer
+//! turns it into hardware, and the calibrated ES2-1µm-style model prices
+//! both the generator and the nominal chip. The paper annotates the
+//! figure with the overhead percentages (560 % for c17 down to ≈12 % for
+//! c6288) — the shape claim is that full-deterministic BIST is
+//! prohibitively expensive for small and mid-size circuits.
 //!
 //! ```text
 //! cargo run --release -p bist-bench --bin fig6_deterministic_areas
@@ -15,7 +15,7 @@
 //! ```
 
 use bist_bench::{banner, paper, ExperimentArgs};
-use bist_core::prelude::*;
+use bist_engine::{Engine, JobSpec};
 
 fn main() {
     banner(
@@ -26,30 +26,30 @@ fn main() {
         "c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288",
         "c7552",
     ]);
+    let engine = Engine::with_threads(args.threads);
+    let jobs: Vec<JobSpec> = args
+        .sources()
+        .into_iter()
+        .map(JobSpec::area_report)
+        .collect();
     println!(
         "{:>7} {:>6} {:>10} {:>10} {:>12} {:>12} {:>12}",
         "circuit", "#I", "#patterns", "chip mm2", "LFSROM mm2", "overhead %", "paper %"
     );
-    for circuit in args.load_circuits() {
-        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
-        let solution = session.solve_at(0).expect("pure deterministic flow");
-        let chip = solution.chip_area_mm2;
-        let generator = solution.generator_area_mm2;
-        let overhead = solution.overhead_pct();
+    for result in engine.run_batch(jobs) {
+        let result = result.unwrap_or_else(|e| {
+            eprintln!("area job failed: {e}");
+            std::process::exit(2);
+        });
+        let r = result.as_area_report().expect("area outcome");
         let reference = paper::FIG6_OVERHEAD_PCT
             .iter()
-            .find(|(n, _)| *n == circuit.name())
+            .find(|(n, _)| *n == r.circuit)
             .map(|(_, v)| format!("{v:10.0}"))
             .unwrap_or_else(|| "-".into());
         println!(
             "{:>7} {:>6} {:>10} {:>10.2} {:>12.2} {:>12.1} {:>12}",
-            circuit.name(),
-            circuit.inputs().len(),
-            solution.det_len,
-            chip,
-            generator,
-            overhead,
-            reference
+            r.circuit, r.inputs, r.det_len, r.chip_mm2, r.generator_mm2, r.overhead_pct, reference
         );
     }
     println!("\nshape check: overhead decreases as circuits grow (c17 >> c3540 > c6288)");

@@ -5,6 +5,8 @@
 //! `d_max = 2.5 mm²`) down towards the bare-LFSR asymptote
 //! (`p_min = 0.25 mm²`): the longer the pseudo-random prefix, the fewer
 //! deterministic patterns remain to encode, the cheaper the generator.
+//! One `JobSpec::Sweep` per circuit; the asymptote is the bare LFSR
+//! netlist priced by the same area model.
 //!
 //! ```text
 //! cargo run --release -p bist-bench --bin fig7_mixed_cost
@@ -12,6 +14,7 @@
 
 use bist_bench::{banner, paper, ExperimentArgs};
 use bist_core::prelude::*;
+use bist_engine::{Engine, JobSpec};
 
 fn main() {
     banner("Figure 7", "mixed generator cost vs mixed sequence length");
@@ -21,12 +24,23 @@ fn main() {
     } else {
         vec![0, 100, 200, 500, 1000, 2000]
     };
-    for circuit in args.load_circuits() {
-        println!("\n{circuit}");
-        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
-        let summary = session.sweep(&prefixes).expect("flow succeeds");
+    let config = MixedSchemeConfig::default();
+    let lfsr_mm2 = config.area.circuit_area_mm2(&lfsr_netlist(config.poly));
+    let engine = Engine::with_threads(args.threads);
+    let jobs: Vec<JobSpec> = args
+        .sources()
+        .into_iter()
+        .map(|source| JobSpec::sweep(source, prefixes.clone()))
+        .collect();
+    for result in engine.run_batch(jobs) {
+        let result = result.unwrap_or_else(|e| {
+            eprintln!("sweep job failed: {e}");
+            std::process::exit(2);
+        });
+        let outcome = result.as_sweep().expect("sweep outcome");
+        println!("\n{}", outcome.circuit);
         println!("{:>8} {:>8} {:>8} {:>14}", "p", "d", "p+d", "cost (mm2)");
-        for s in summary.solutions() {
+        for s in outcome.summary.solutions() {
             println!(
                 "{:>8} {:>8} {:>8} {:>14.3}",
                 s.prefix_len,
@@ -35,22 +49,19 @@ fn main() {
                 s.generator_area_mm2
             );
         }
-        // asymptote: the bare LFSR (same session: the prefix grading is already done)
-        let lfsr_only = session
-            .pseudo_random_solution(prefixes.iter().copied().max().unwrap_or(1000).max(1))
-            .expect("LFSR-only solution");
         println!(
             "bare LFSR asymptote: {:.3} mm² (paper p-min: {:.2} mm²)",
-            lfsr_only.generator_area_mm2,
+            lfsr_mm2,
             paper::c3540::LFSR_MM2
         );
-        if circuit.name() == "c3540" {
+        if outcome.circuit == "c3540" {
             println!(
                 "paper d-max: {:.1} mm² (full deterministic LFSROM)",
                 paper::c3540::LFSROM_MM2
             );
         }
-        let areas: Vec<f64> = summary
+        let areas: Vec<f64> = outcome
+            .summary
             .solutions()
             .iter()
             .map(|s| s.generator_area_mm2)

@@ -4,7 +4,7 @@
 //! The same frontier as Figure 7 normalized to the chip: from the paper's
 //! `d_max = 68 %` (pure deterministic) towards `p_min = 7.5 %` (bare
 //! LFSR), with the highlighted practical point `(p = 1000, d = 26)` at
-//! ≈20 %.
+//! ≈20 %. One `JobSpec::Sweep` per circuit.
 //!
 //! ```text
 //! cargo run --release -p bist-bench --bin fig8_mixed_overhead
@@ -12,6 +12,7 @@
 
 use bist_bench::{banner, paper, ExperimentArgs};
 use bist_core::prelude::*;
+use bist_engine::{Engine, JobSpec};
 
 fn main() {
     banner(
@@ -24,15 +25,27 @@ fn main() {
     } else {
         vec![0, 100, 200, 500, 1000, 2000]
     };
-    for circuit in args.load_circuits() {
-        println!("\n{circuit}");
-        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
-        let summary = session.sweep(&prefixes).expect("flow succeeds");
+    let config = MixedSchemeConfig::default();
+    let lfsr_mm2 = config.area.circuit_area_mm2(&lfsr_netlist(config.poly));
+    let engine = Engine::with_threads(args.threads);
+    let jobs: Vec<JobSpec> = args
+        .sources()
+        .into_iter()
+        .map(|source| JobSpec::sweep(source, prefixes.clone()))
+        .collect();
+    for result in engine.run_batch(jobs) {
+        let result = result.unwrap_or_else(|e| {
+            eprintln!("sweep job failed: {e}");
+            std::process::exit(2);
+        });
+        let outcome = result.as_sweep().expect("sweep outcome");
+        println!("\n{}", outcome.circuit);
         println!(
             "{:>8} {:>8} {:>8} {:>12} {:>12}",
             "p", "d", "p+d", "cost (mm2)", "% of chip"
         );
-        for s in summary.solutions() {
+        let mut chip_mm2 = 0.0;
+        for s in outcome.summary.solutions() {
             println!(
                 "{:>8} {:>8} {:>8} {:>12.3} {:>12.1}",
                 s.prefix_len,
@@ -41,14 +54,14 @@ fn main() {
                 s.generator_area_mm2,
                 s.overhead_pct()
             );
+            chip_mm2 = s.chip_area_mm2;
         }
-        let lfsr_only = session.pseudo_random_solution(1000).expect("LFSR-only");
         println!(
             "bare LFSR asymptote: {:.1} % of chip (paper p-min: {:.1} %)",
-            lfsr_only.overhead_pct(),
+            100.0 * lfsr_mm2 / chip_mm2,
             paper::c3540::LFSR_OVERHEAD_PCT
         );
-        if circuit.name() == "c3540" {
+        if outcome.circuit == "c3540" {
             println!(
                 "paper d-max: {:.0} %; paper highlighted point (p=1000): ≈{:.0} %",
                 paper::c3540::LFSROM_OVERHEAD_PCT,

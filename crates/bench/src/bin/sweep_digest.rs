@@ -6,12 +6,13 @@
 //! BIST_THREADS=4 cargo run --release -p bist-bench --bin sweep_digest -- --check-serial
 //! ```
 //!
-//! Prints one line per solved point — circuit, `p`, `d`, the coverage
-//! counters and an FNV-1a hash of every deterministic pattern bit — and a
-//! final `total <hash>` line folding the whole sweep. Two runs agree on
-//! their digests iff they solved bit-identical sweeps, whatever their
-//! pool widths; CI runs this binary under several `BIST_THREADS` values
-//! and diffs the output.
+//! Runs one `JobSpec::Sweep` per circuit through the engine and prints
+//! one line per solved point — circuit, `p`, `d`, the coverage counters
+//! and an FNV-1a hash of every deterministic pattern bit — plus a final
+//! `total <hash>` line folding the whole sweep. Two runs agree on their
+//! digests iff they solved bit-identical sweeps, whatever their pool
+//! widths; CI runs this binary under several `BIST_THREADS` values and
+//! diffs the output.
 //!
 //! `--check-serial` additionally re-solves the sweep in-process with one
 //! thread and asserts both digests match, making every invocation a
@@ -19,6 +20,7 @@
 
 use bist_bench::ExperimentArgs;
 use bist_core::prelude::*;
+use bist_engine::{Engine, JobSpec, SweepSpec};
 
 fn main() {
     let args = ExperimentArgs::parse(&["c432"]);
@@ -41,16 +43,26 @@ fn main() {
 }
 
 fn digest_sweep(args: &ExperimentArgs, prefixes: &[usize], threads: usize) -> String {
+    let engine = Engine::with_threads(threads);
     let config = MixedSchemeConfig {
         threads,
         ..MixedSchemeConfig::default()
     };
     let mut out = String::new();
     let mut total = Fnv::new();
-    for circuit in args.load_circuits() {
-        let mut session = BistSession::new(&circuit, config.clone());
-        let summary = session.sweep(prefixes).expect("sweep succeeds");
-        for s in summary.solutions() {
+    for source in args.sources() {
+        let result = engine
+            .run(JobSpec::Sweep(SweepSpec {
+                circuit: source,
+                config: config.clone(),
+                prefix_lengths: prefixes.to_vec(),
+            }))
+            .unwrap_or_else(|e| {
+                eprintln!("sweep failed: {e}");
+                std::process::exit(2);
+            });
+        let sweep = result.as_sweep().expect("sweep outcome");
+        for s in sweep.summary.solutions() {
             let mut h = Fnv::new();
             for pattern in s.generator.deterministic() {
                 for bit in pattern.iter() {
@@ -60,7 +72,7 @@ fn digest_sweep(args: &ExperimentArgs, prefixes: &[usize], threads: usize) -> St
             }
             let line = format!(
                 "{} p={} d={} detected={} redundant={} aborted={} undetected={} seq={:016x}\n",
-                circuit.name(),
+                sweep.circuit,
                 s.prefix_len,
                 s.det_len,
                 s.coverage.detected,

@@ -2,11 +2,12 @@
 //! circuit: the full-deterministic LFSROM generator versus the pure
 //! pseudo-random LFSR.
 //!
-//! Columns mirror the paper: circuit, I/O, nominal chip area, full
-//! deterministic test set size and generator cost (with % increase), and
-//! the shared 16-bit LFSR cost (with % increase). The paper's reading:
-//! full-deterministic costs tens-to-hundreds of percent; the LFSR costs
-//! almost nothing but cannot reach deterministic coverage.
+//! One `JobSpec::AreaReport` per circuit prices the deterministic
+//! extreme; the pure pseudo-random column is the paper's shared 16-bit
+//! LFSR (0.25 mm² for every circuit), synthesized once with the same
+//! area model. The paper's reading: full-deterministic costs
+//! tens-to-hundreds of percent; the LFSR costs almost nothing but cannot
+//! reach deterministic coverage.
 //!
 //! ```text
 //! cargo run --release -p bist-bench --bin table1_extremes
@@ -15,6 +16,7 @@
 
 use bist_bench::{banner, ExperimentArgs};
 use bist_core::prelude::*;
+use bist_engine::{Engine, JobSpec};
 
 fn main() {
     banner(
@@ -25,29 +27,34 @@ fn main() {
         "c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288",
         "c7552",
     ]);
+    let config = MixedSchemeConfig::default();
+    let lfsr_mm2 = config.area.circuit_area_mm2(&lfsr_netlist(config.poly));
+    let engine = Engine::with_threads(args.threads);
+    let jobs: Vec<JobSpec> = args
+        .sources()
+        .into_iter()
+        .map(JobSpec::area_report)
+        .collect();
     println!(
-        "{:>7} {:>9} {:>10} | {:>10} {:>11} {:>10} | {:>9} {:>10}",
-        "circuit", "#I/#O", "chip mm2", "#patterns", "LFSROM mm2", "incr %", "LFSR mm2", "incr %"
+        "{:>7} {:>6} {:>10} | {:>10} {:>11} {:>10} | {:>9} {:>10}",
+        "circuit", "#I", "chip mm2", "#patterns", "LFSROM mm2", "incr %", "LFSR mm2", "incr %"
     );
-    for circuit in args.load_circuits() {
-        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
-        let deterministic = session.solve_at(0).expect("deterministic flow");
-        // The pure pseudo-random column: the paper prices the same 16-bit
-        // LFSR (0.25 mm²) for every circuit; we synthesize it with the
-        // same area model.
-        let lfsr_hw = lfsr_netlist(session.config().poly);
-        let lfsr_mm2 = session.config().area.circuit_area_mm2(&lfsr_hw);
-        let chip = deterministic.chip_area_mm2;
+    for result in engine.run_batch(jobs) {
+        let result = result.unwrap_or_else(|e| {
+            eprintln!("area job failed: {e}");
+            std::process::exit(2);
+        });
+        let r = result.as_area_report().expect("area outcome");
         println!(
-            "{:>7} {:>9} {:>10.2} | {:>10} {:>11.2} {:>10.1} | {:>9.2} {:>10.1}",
-            circuit.name(),
-            format!("{}/{}", circuit.inputs().len(), circuit.outputs().len()),
-            chip,
-            deterministic.det_len,
-            deterministic.generator_area_mm2,
-            deterministic.overhead_pct(),
+            "{:>7} {:>6} {:>10.2} | {:>10} {:>11.2} {:>10.1} | {:>9.2} {:>10.1}",
+            r.circuit,
+            r.inputs,
+            r.chip_mm2,
+            r.det_len,
+            r.generator_mm2,
+            r.overhead_pct,
             lfsr_mm2,
-            100.0 * lfsr_mm2 / chip
+            100.0 * lfsr_mm2 / r.chip_mm2
         );
     }
     println!(

@@ -12,6 +12,7 @@
 pub mod paper;
 
 use bist_core::prelude::*;
+use bist_engine::CircuitSource;
 
 /// The default sequence-length checkpoints of the paper's Figures 4/5
 /// (its x-axis runs 0..1000).
@@ -84,12 +85,25 @@ impl ExperimentArgs {
         self.extra.iter().any(|a| a == name)
     }
 
-    /// Loads the requested circuits (panicking on unknown names, which is
-    /// the right behaviour for a harness binary).
+    /// The requested circuits as engine [`CircuitSource`]s (ISCAS-85 by
+    /// name); unknown names surface as typed job failures instead of
+    /// panics.
+    pub fn sources(&self) -> Vec<CircuitSource> {
+        self.circuits.iter().map(CircuitSource::iscas85).collect()
+    }
+
+    /// Loads the requested circuits eagerly, exiting with a clear message
+    /// on unknown names (for harness binaries that drive the substrate
+    /// crates directly rather than through the engine).
     pub fn load_circuits(&self) -> Vec<Circuit> {
         self.circuits
             .iter()
-            .map(|n| iscas85::circuit(n).unwrap_or_else(|| panic!("unknown circuit `{n}`")))
+            .map(|n| {
+                iscas85::circuit(n).unwrap_or_else(|| {
+                    eprintln!("unknown ISCAS-85 circuit `{n}`");
+                    std::process::exit(2);
+                })
+            })
             .collect()
     }
 }

@@ -10,16 +10,17 @@
 //! network replays the deterministic suffix — order preserved, which the
 //! two-pattern stuck-open tests require.
 //!
-//! This crate is the workspace facade: it implements the incremental flow
-//! ([`BistSession`]: fault universe built once, prefix fault simulation
-//! advanced across checkpoints, ATPG cached per open-fault frontier), the
-//! shared-register hardware ([`MixedGenerator`], verified by
-//! cycle-accurate replay and implementing the workspace-wide
-//! [`Tpg`](bist_tpg::Tpg) trait), and the `(p, d)` trade-off sweep behind
-//! the paper's Figures 5/7/8 and Table 2 ([`BistSession::sweep`]); the
-//! substrate crates are re-exported under [`prelude`]. The historical
-//! one-shot faces ([`MixedScheme`], [`TradeoffExplorer`]) remain as
-//! deprecated shims for one release.
+//! This crate implements the incremental flow ([`BistSession`]: fault
+//! universe built once, prefix fault simulation advanced across
+//! checkpoints, ATPG cached per open-fault frontier), the shared-register
+//! hardware ([`MixedGenerator`], verified by cycle-accurate replay and
+//! implementing the workspace-wide [`Tpg`](bist_tpg::Tpg) trait), and the
+//! `(p, d)` trade-off sweep behind the paper's Figures 5/7/8 and Table 2
+//! ([`BistSession::sweep`]); the substrate crates are re-exported under
+//! [`prelude`]. The historical one-shot faces are gone (see DESIGN.md §3
+//! for the history) — the `bist-engine` crate's typed job API is the
+//! public face of the workspace, and sessions remain the lower-level
+//! building block it drives.
 //!
 //! # Quickstart
 //!
@@ -37,19 +38,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod explorer;
 mod mixed;
-mod scheme;
 /// The complete simulated self-test loop of the paper's Figure 1:
 /// generator → circuit under test → MISR signature → PASS/FAIL.
 pub mod selftest;
 mod session;
 
-#[allow(deprecated)]
-pub use explorer::{ExplorerSummary, TradeoffExplorer};
 pub use mixed::{BuildMixedError, HandoverDecode, MixedGenerator};
-#[allow(deprecated)]
-pub use scheme::MixedScheme;
 pub use session::{
     sweep_circuits, BistSession, MixedSchemeConfig, MixedSchemeError, MixedSolution, SessionStats,
     SweepSummary,
@@ -74,6 +69,4 @@ pub mod prelude {
         sweep_circuits, BistSession, MixedGenerator, MixedSchemeConfig, MixedSolution,
         SessionStats, SweepSummary,
     };
-    #[allow(deprecated)]
-    pub use crate::{MixedScheme, TradeoffExplorer};
 }

@@ -106,7 +106,7 @@ pub enum HandoverDecode {
 /// use bist_lfsr::paper_poly;
 /// use bist_logicsim::Pattern;
 ///
-/// let det: Vec<Pattern> = ["00110", "11001"].iter().map(|s| s.parse().unwrap()).collect();
+/// let det: Vec<Pattern> = ["00110", "11001"].iter().map(|s| s.parse().expect("valid pattern")).collect();
 /// let generator = MixedGenerator::build(5, paper_poly(), 4, &det)?;
 /// assert!(generator.verify());
 /// # Ok::<(), bist_core::BuildMixedError>(())
@@ -257,6 +257,13 @@ impl MixedGenerator {
         self.code_bits
     }
 
+    /// Per-step disambiguation codes of the LFSROM part (empty for pure
+    /// pseudo-random generators). `codes()[0]` is the reset value of the
+    /// disambiguation flip-flops of a pure-deterministic generator.
+    pub fn codes(&self) -> &[u64] {
+        &self.codes
+    }
+
     /// The structural netlist of the generator.
     pub fn netlist(&self) -> &Circuit {
         &self.netlist
@@ -272,6 +279,36 @@ impl MixedGenerator {
         model.area_mm2(&self.cells())
     }
 
+    /// The register reset state that makes the netlist emit the verified
+    /// sequence from power-on: `q0 = 1` seeds the LFSR recurrence when a
+    /// pseudo-random phase exists; a pure-deterministic generator instead
+    /// resets to the first suffix pattern plus its disambiguation code.
+    /// Flip-flops not listed reset to `0`.
+    ///
+    /// This is the authoritative seeding — [`MixedGenerator::replay`]
+    /// starts from it, and HDL emitters turn it into reset values so the
+    /// synthesized module and the software model agree cycle for cycle.
+    pub fn reset_states(&self) -> Vec<(NodeId, bool)> {
+        let mut values = Vec::new();
+        if self.prefix_len > 0 {
+            let q0 = self.netlist.find("q0").expect("q0 exists");
+            values.push((q0, true));
+        } else if let Some(first) = self.deterministic.first() {
+            for b in 0..self.width {
+                let q = self
+                    .netlist
+                    .find(&format!("q{}", self.width - 1 - b))
+                    .expect("pattern flip-flop exists");
+                values.push((q, first.get(b)));
+            }
+            for cb in 0..self.code_bits {
+                let c = self.netlist.find(&format!("c{cb}")).expect("code FF");
+                values.push((c, (self.codes[0] >> cb) & 1 == 1));
+            }
+        }
+        values
+    }
+
     /// Clocks the netlist through both phases; returns the emitted
     /// (pseudo-random, deterministic) pattern sequences.
     pub fn replay(&self) -> (Vec<Pattern>, Vec<Pattern>) {
@@ -285,12 +322,12 @@ impl MixedGenerator {
             .collect();
         let sample = |sim: &SeqSim<'_>| Pattern::from_fn(self.width, |b| sim.state(pattern_ffs[b]));
 
+        for (ff, value) in self.reset_states() {
+            sim.set_state(ff, value);
+        }
         let mut random = Vec::with_capacity(self.prefix_len);
         let mut det = Vec::with_capacity(self.deterministic.len());
         if self.prefix_len > 0 {
-            // seed the LFSR part with state 1
-            let q0 = self.netlist.find("q0").expect("q0 exists");
-            sim.set_state(q0, true);
             for _ in 0..self.prefix_len {
                 for _ in 0..self.width {
                     sim.step(&[false]);
@@ -302,15 +339,6 @@ impl MixedGenerator {
                 det.push(sample(&sim));
             }
         } else {
-            // seed directly with the first deterministic state
-            let first = &self.deterministic[0];
-            for (b, &ff) in pattern_ffs.iter().enumerate() {
-                sim.set_state(ff, first.get(b));
-            }
-            for cb in 0..self.code_bits {
-                let c = self.netlist.find(&format!("c{cb}")).expect("code FF");
-                sim.set_state(c, (self.codes[0] >> cb) & 1 == 1);
-            }
             for t in 0..self.deterministic.len() {
                 det.push(sample(&sim));
                 if t + 1 < self.deterministic.len() {
@@ -555,7 +583,7 @@ mod tests {
     fn verifies_small_mixed_generator() {
         let mut rng = StdRng::seed_from_u64(5);
         let det = random_patterns(&mut rng, 8, 6);
-        let g = MixedGenerator::build(8, primitive_poly(8), 10, &det).unwrap();
+        let g = MixedGenerator::build(8, primitive_poly(8), 10, &det).expect("valid generator");
         assert!(g.verify());
         assert_eq!(g.total_len(), 16);
         assert!(matches!(g.decode(), HandoverDecode::LfsrState { .. }));
@@ -566,7 +594,7 @@ mod tests {
         // width > k: the register extends the LFSR
         let mut rng = StdRng::seed_from_u64(6);
         let det = random_patterns(&mut rng, 24, 4);
-        let g = MixedGenerator::build(24, primitive_poly(8), 12, &det).unwrap();
+        let g = MixedGenerator::build(24, primitive_poly(8), 12, &det).expect("valid generator");
         assert!(g.verify());
     }
 
@@ -575,7 +603,7 @@ mod tests {
         // width < k (the c17 situation: 5 inputs, 16-bit LFSR)
         let mut rng = StdRng::seed_from_u64(7);
         let det = random_patterns(&mut rng, 5, 4);
-        let g = MixedGenerator::build(5, paper_poly(), 8, &det).unwrap();
+        let g = MixedGenerator::build(5, paper_poly(), 8, &det).expect("valid generator");
         assert!(g.verify());
     }
 
@@ -583,7 +611,7 @@ mod tests {
     fn pure_deterministic_generator() {
         let mut rng = StdRng::seed_from_u64(8);
         let det = random_patterns(&mut rng, 10, 7);
-        let g = MixedGenerator::build(10, paper_poly(), 0, &det).unwrap();
+        let g = MixedGenerator::build(10, paper_poly(), 0, &det).expect("valid generator");
         assert!(g.verify());
         assert_eq!(g.decode(), HandoverDecode::None);
         let (random, replayed) = g.replay();
@@ -593,7 +621,7 @@ mod tests {
 
     #[test]
     fn pure_pseudo_random_generator() {
-        let g = MixedGenerator::build(12, primitive_poly(8), 20, &[]).unwrap();
+        let g = MixedGenerator::build(12, primitive_poly(8), 20, &[]).expect("valid generator");
         assert!(g.verify());
         assert_eq!(g.decode(), HandoverDecode::None);
         let (random, det) = g.replay();
@@ -606,7 +634,7 @@ mod tests {
         // p·w > 2^k − 1 forces the clock-counter hand-over
         let mut rng = StdRng::seed_from_u64(9);
         let det = random_patterns(&mut rng, 16, 3);
-        let g = MixedGenerator::build(16, primitive_poly(6), 8, &det).unwrap();
+        let g = MixedGenerator::build(16, primitive_poly(6), 8, &det).expect("valid generator");
         assert!(matches!(g.decode(), HandoverDecode::ClockCounter { .. }));
         assert!(g.verify());
     }
@@ -619,7 +647,8 @@ mod tests {
             let p = rng.gen_range(0..12);
             let d = rng.gen_range(if p == 0 { 1 } else { 0 }..8);
             let det = random_patterns(&mut rng, width, d);
-            let g = MixedGenerator::build(width, primitive_poly(8), p, &det).unwrap();
+            let g =
+                MixedGenerator::build(width, primitive_poly(8), p, &det).expect("valid generator");
             assert!(
                 g.verify(),
                 "trial {trial}: width {width}, p {p}, d {d} failed replay"
@@ -647,8 +676,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let det = random_patterns(&mut rng, 20, 12);
         let model = AreaModel::es2_1um();
-        let mixed = MixedGenerator::build(20, paper_poly(), 50, &det).unwrap();
-        let lfsrom = bist_lfsrom::LfsromGenerator::synthesize(&det).unwrap();
+        let mixed = MixedGenerator::build(20, paper_poly(), 50, &det).expect("valid generator");
+        let lfsrom = bist_lfsrom::LfsromGenerator::synthesize(&det).expect("valid generator");
         let a_mixed = mixed.area_mm2(&model);
         let a_lfsrom = lfsrom.area_mm2(&model);
         assert!(

@@ -151,7 +151,7 @@ mod tests {
         let patterns = vec![Pattern::zeros(5)];
         let golden = golden_signature(&c17, &patterns, paper_poly());
         // G22 stuck-at-0: all-zero inputs drive G22 to 0 anyway
-        let g22 = c17.find("G22").unwrap();
+        let g22 = c17.find("G22").expect("c17 output G22");
         let run = faulty_signature(
             &c17,
             &patterns,

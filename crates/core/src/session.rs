@@ -1,6 +1,6 @@
 //! The incremental mixed-BIST pipeline.
 //!
-//! [`BistSession`] replaces the one-shot `MixedScheme::solve(p)` flow:
+//! [`BistSession`] replaces the historical one-shot per-point flow:
 //! instead of rebuilding the fault universe and re-grading the whole
 //! pseudo-random prefix for every requested `p`, a session computes the
 //! fault list **once**, advances one fault simulator **incrementally**
@@ -10,6 +10,7 @@
 //! pseudo-random pattern at most once and never repeats a deterministic
 //! top-up for an already-seen frontier.
 
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::rc::Rc;
@@ -175,9 +176,9 @@ pub struct SessionStats {
 ///   [`BistSession::achievable_coverage_pct`] — the paper's auxiliary
 ///   experiments, drawing on the same shared state.
 ///
-/// Results are bit-identical to the historical one-shot
-/// `MixedScheme::solve(p)` — the regression tests enforce it — the
-/// session is purely a performance and API improvement.
+/// Results are bit-identical to solving each point on a fresh session —
+/// the regression tests enforce it — the incremental state is purely a
+/// performance improvement.
 ///
 /// # Example
 ///
@@ -580,39 +581,96 @@ pub struct SweepSummary {
 }
 
 impl SweepSummary {
+    /// Assembles a summary from already-solved points, kept in the given
+    /// (request) order. This is how drivers that solve point-by-point —
+    /// emitting progress or checking cancellation between points — build
+    /// the same summary [`BistSession::sweep`] returns.
+    pub fn from_solutions(solutions: Vec<MixedSolution>) -> Self {
+        SweepSummary { solutions }
+    }
+
     /// All solved points, in request order.
     pub fn solutions(&self) -> &[MixedSolution] {
         &self.solutions
     }
 
+    /// Cost-first comparison: generator area, then total sequence length,
+    /// then prefix length — each ascending.
+    fn by_area(a: &MixedSolution, b: &MixedSolution) -> Ordering {
+        a.generator_area_mm2
+            .total_cmp(&b.generator_area_mm2)
+            .then_with(|| a.total_len().cmp(&b.total_len()))
+            .then_with(|| a.prefix_len.cmp(&b.prefix_len))
+    }
+
+    /// Length-first comparison: total sequence length, then generator
+    /// area, then prefix length — each ascending.
+    fn by_length(a: &MixedSolution, b: &MixedSolution) -> Ordering {
+        a.total_len()
+            .cmp(&b.total_len())
+            .then_with(|| a.generator_area_mm2.total_cmp(&b.generator_area_mm2))
+            .then_with(|| a.prefix_len.cmp(&b.prefix_len))
+    }
+
+    /// The first minimum under `cmp`: full ties keep the earliest point in
+    /// request order, so every selector is deterministic in the request
+    /// list alone.
+    fn select<'s>(
+        solutions: impl Iterator<Item = &'s MixedSolution>,
+        cmp: fn(&MixedSolution, &MixedSolution) -> Ordering,
+    ) -> Option<&'s MixedSolution> {
+        let mut best: Option<&MixedSolution> = None;
+        for s in solutions {
+            match best {
+                Some(b) if cmp(s, b) != Ordering::Less => {}
+                _ => best = Some(s),
+            }
+        }
+        best
+    }
+
     /// The cheapest solution (by generator area).
+    ///
+    /// Ties break deterministically: smaller total length `p + d` first,
+    /// then smaller prefix `p`, then earliest in request order.
     pub fn cheapest(&self) -> Option<&MixedSolution> {
-        self.solutions
-            .iter()
-            .min_by(|a, b| a.generator_area_mm2.total_cmp(&b.generator_area_mm2))
+        Self::select(self.solutions.iter(), Self::by_area)
     }
 
     /// The shortest total sequence.
+    ///
+    /// Ties break deterministically: cheaper generator first, then
+    /// smaller prefix `p`, then earliest in request order.
     pub fn shortest(&self) -> Option<&MixedSolution> {
-        self.solutions.iter().min_by_key(|s| s.total_len())
+        Self::select(self.solutions.iter(), Self::by_length)
     }
 
     /// The cheapest solution whose total sequence length stays within
     /// `max_len` — the paper's "careful balance" selection rule.
+    ///
+    /// Ties break exactly as in [`SweepSummary::cheapest`]: equal areas
+    /// prefer the shorter total sequence, then the smaller prefix, then
+    /// the earliest point in request order.
     pub fn cheapest_within_length(&self, max_len: usize) -> Option<&MixedSolution> {
-        self.solutions
-            .iter()
-            .filter(|s| s.total_len() <= max_len)
-            .min_by(|a, b| a.generator_area_mm2.total_cmp(&b.generator_area_mm2))
+        Self::select(
+            self.solutions.iter().filter(|s| s.total_len() <= max_len),
+            Self::by_area,
+        )
     }
 
-    /// The cheapest solution with overhead at most `max_overhead_pct` of
+    /// The shortest solution with overhead at most `max_overhead_pct` of
     /// the nominal chip area.
+    ///
+    /// Ties break exactly as in [`SweepSummary::shortest`]: equal total
+    /// lengths prefer the cheaper generator, then the smaller prefix,
+    /// then the earliest point in request order.
     pub fn within_overhead(&self, max_overhead_pct: f64) -> Option<&MixedSolution> {
-        self.solutions
-            .iter()
-            .filter(|s| s.overhead_pct() <= max_overhead_pct)
-            .min_by_key(|s| s.total_len())
+        Self::select(
+            self.solutions
+                .iter()
+                .filter(|s| s.overhead_pct() <= max_overhead_pct),
+            Self::by_length,
+        )
     }
 }
 
@@ -643,16 +701,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn session_matches_one_shot_scheme_bit_for_bit() {
-        #[allow(deprecated)]
-        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+    fn session_matches_one_shot_solves_bit_for_bit() {
+        let c = bist_netlist::iscas85::circuit("c432").expect("known benchmark");
         let mut session = BistSession::new(&c, MixedSchemeConfig::default());
-        #[allow(deprecated)]
-        let scheme = crate::MixedScheme::new(&c, MixedSchemeConfig::default());
         for p in [0usize, 50, 200] {
-            let incremental = session.solve_at(p).unwrap();
-            #[allow(deprecated)]
-            let one_shot = scheme.solve(p).unwrap();
+            let incremental = session.solve_at(p).expect("incremental solve");
+            // the historical one-shot behaviour: a fresh session per point
+            let one_shot = BistSession::new(&c, MixedSchemeConfig::default())
+                .solve_at(p)
+                .expect("one-shot solve");
             assert_eq!(incremental.prefix_len, one_shot.prefix_len);
             assert_eq!(incremental.det_len, one_shot.det_len);
             assert_eq!(
@@ -674,14 +731,14 @@ mod tests {
 
     #[test]
     fn monotone_sweep_simulates_each_pattern_once() {
-        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let c = bist_netlist::iscas85::circuit("c432").expect("known benchmark");
         let mut session = BistSession::new(&c, MixedSchemeConfig::default());
-        session.sweep(&[0, 25, 100, 250]).unwrap();
+        session.sweep(&[0, 25, 100, 250]).expect("sweep succeeds");
         let stats = session.stats();
         assert_eq!(stats.patterns_simulated, 250, "single incremental pass");
         assert_eq!(stats.patterns_resimulated, 0);
         // re-solving any earlier point is free
-        session.solve_at(100).unwrap();
+        session.solve_at(100).expect("solve succeeds");
         assert_eq!(session.stats().patterns_simulated, 250);
     }
 
@@ -689,7 +746,7 @@ mod tests {
     fn unordered_sweep_still_simulates_each_pattern_once() {
         let c = bist_netlist::iscas85::c17();
         let mut session = BistSession::new(&c, MixedSchemeConfig::default());
-        let summary = session.sweep(&[16, 0, 8]).unwrap();
+        let summary = session.sweep(&[16, 0, 8]).expect("sweep succeeds");
         assert_eq!(session.stats().patterns_simulated, 16);
         assert_eq!(session.stats().patterns_resimulated, 0);
         // request order preserved in the summary
@@ -703,7 +760,7 @@ mod tests {
         // deterministic top-up is answered from the cache
         let c = bist_netlist::iscas85::c17();
         let mut session = BistSession::new(&c, MixedSchemeConfig::default());
-        session.sweep(&[64, 96, 128]).unwrap();
+        session.sweep(&[64, 96, 128]).expect("sweep succeeds");
         let stats = session.stats();
         assert!(
             stats.atpg_cache_hits >= 1,
@@ -716,9 +773,9 @@ mod tests {
         // the p=0 top-up searches every fault; later checkpoints re-target
         // a subset of the same hard faults, so their top-ups must be
         // answered largely from the per-fault cube cache
-        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let c = bist_netlist::iscas85::circuit("c432").expect("known benchmark");
         let mut session = BistSession::new(&c, MixedSchemeConfig::default());
-        session.sweep(&[0, 50, 150]).unwrap();
+        session.sweep(&[0, 50, 150]).expect("sweep succeeds");
         let stats = session.stats();
         assert_eq!(stats.atpg_runs, 3);
         assert!(
@@ -731,15 +788,15 @@ mod tests {
     fn sweep_circuits_matches_individual_sessions() {
         let circuits = vec![
             bist_netlist::iscas85::c17(),
-            bist_netlist::iscas85::circuit("c432").unwrap(),
+            bist_netlist::iscas85::circuit("c432").expect("known benchmark"),
         ];
         let prefixes = [0usize, 16, 64];
-        let summaries =
-            sweep_circuits(&circuits, &MixedSchemeConfig::default(), &prefixes).unwrap();
+        let summaries = sweep_circuits(&circuits, &MixedSchemeConfig::default(), &prefixes)
+            .expect("sweep succeeds");
         assert_eq!(summaries.len(), 2);
         for (circuit, summary) in circuits.iter().zip(&summaries) {
             let mut solo = BistSession::new(circuit, MixedSchemeConfig::default());
-            let expect = solo.sweep(&prefixes).unwrap();
+            let expect = solo.sweep(&prefixes).expect("sweep succeeds");
             for (a, b) in summary.solutions().iter().zip(expect.solutions()) {
                 assert_eq!(a.det_len, b.det_len, "{}", circuit.name());
                 assert_eq!(
@@ -754,21 +811,21 @@ mod tests {
 
     #[test]
     fn session_results_are_thread_count_independent() {
-        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let c = bist_netlist::iscas85::circuit("c432").expect("known benchmark");
         let prefixes = [0usize, 40, 120];
         let serial_cfg = MixedSchemeConfig {
             threads: 1,
             ..MixedSchemeConfig::default()
         };
         let mut serial = BistSession::new(&c, serial_cfg);
-        let expect = serial.sweep(&prefixes).unwrap();
+        let expect = serial.sweep(&prefixes).expect("sweep succeeds");
         for threads in [2, 4] {
             let cfg = MixedSchemeConfig {
                 threads,
                 ..MixedSchemeConfig::default()
             };
             let mut session = BistSession::new(&c, cfg);
-            let got = session.sweep(&prefixes).unwrap();
+            let got = session.sweep(&prefixes).expect("sweep succeeds");
             for (a, b) in expect.solutions().iter().zip(got.solutions()) {
                 assert_eq!(a.det_len, b.det_len, "threads={threads}");
                 assert_eq!(
@@ -788,13 +845,13 @@ mod tests {
         // answered correctly from scratch
         let c17 = bist_netlist::iscas85::c17();
         let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
-        let a16 = session.solve_at(16).unwrap();
+        let a16 = session.solve_at(16).expect("solve succeeds");
         assert!(session.stats().snapshots_skipped > 0);
-        let a8 = session.solve_at(8).unwrap();
+        let a8 = session.solve_at(8).expect("solve succeeds");
 
         let mut fresh = BistSession::new(&c17, MixedSchemeConfig::default());
-        let b8 = fresh.solve_at(8).unwrap();
-        let b16 = fresh.solve_at(16).unwrap();
+        let b8 = fresh.solve_at(8).expect("solve succeeds");
+        let b16 = fresh.solve_at(16).expect("solve succeeds");
         assert_eq!(a8.det_len, b8.det_len);
         assert_eq!(a16.det_len, b16.det_len);
         assert_eq!(a8.coverage, b8.coverage);
@@ -806,7 +863,7 @@ mod tests {
         let c17 = bist_netlist::iscas85::c17();
         let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
         for p in [0usize, 4, 16] {
-            let s = session.solve_at(p).unwrap();
+            let s = session.solve_at(p).expect("solve succeeds");
             assert_eq!(s.coverage.undetected, 0, "p={p}");
             assert_eq!(s.coverage.efficiency_pct(), 100.0, "p={p}");
             assert!(s.generator.verify(), "p={p}");
@@ -818,13 +875,13 @@ mod tests {
     fn non_monotone_requests_fall_back_without_corruption() {
         let c17 = bist_netlist::iscas85::c17();
         let mut forward = BistSession::new(&c17, MixedSchemeConfig::default());
-        let a16 = forward.solve_at(16).unwrap();
-        let a8 = forward.solve_at(8).unwrap(); // below the front: fallback
+        let a16 = forward.solve_at(16).expect("solve succeeds");
+        let a8 = forward.solve_at(8).expect("solve succeeds"); // below the front: fallback
         assert!(forward.stats().patterns_resimulated > 0);
 
         let mut fresh = BistSession::new(&c17, MixedSchemeConfig::default());
-        let b8 = fresh.solve_at(8).unwrap();
-        let b16 = fresh.solve_at(16).unwrap();
+        let b8 = fresh.solve_at(8).expect("solve succeeds");
+        let b16 = fresh.solve_at(16).expect("solve succeeds");
         assert_eq!(a8.det_len, b8.det_len);
         assert_eq!(a8.coverage, b8.coverage);
         assert_eq!(a16.det_len, b16.det_len);
@@ -833,20 +890,71 @@ mod tests {
 
     #[test]
     fn random_curve_is_monotone_and_saturating() {
-        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let c = bist_netlist::iscas85::circuit("c432").expect("known benchmark");
         let mut session = BistSession::new(&c, MixedSchemeConfig::default());
         let curve = session.random_coverage_curve(&[0, 25, 50, 100, 200]);
         assert!(curve.is_monotone());
         assert_eq!(curve.points()[0].1, 0.0);
-        assert!(curve.final_coverage().unwrap() > 50.0);
+        assert!(curve.final_coverage().expect("non-empty curve") > 50.0);
         assert_eq!(session.stats().patterns_simulated, 200);
+    }
+
+    #[test]
+    fn selector_tie_breaking_is_documented_order() {
+        // hand-built solutions with exact area/length ties: the selectors
+        // must break them area → length → prefix → request order (and
+        // length → area → prefix → request order for the length-first
+        // family), never depending on float quirks or iteration internals
+        let generator =
+            MixedGenerator::build(5, bist_lfsr::paper_poly(), 4, &[]).expect("bare LFSR generator");
+        let point = |prefix_len: usize, det_len: usize, area: f64| MixedSolution {
+            prefix_len,
+            det_len,
+            coverage: CoverageReport::default(),
+            prefix_coverage: CoverageReport::default(),
+            generator_area_mm2: area,
+            chip_area_mm2: 1.0, // overhead_pct == 100 * area
+            generator: generator.clone(),
+        };
+        let summary = SweepSummary {
+            solutions: vec![
+                point(8, 4, 0.5),  // len 12
+                point(4, 8, 0.25), // len 12, cheap
+                point(2, 10, 0.25),
+                point(2, 2, 0.75), // len 4, expensive
+            ],
+        };
+
+        // area tie at 0.25: equal total length 12 for both candidates —
+        // the smaller prefix (p=2) wins
+        let cheapest = summary.cheapest().expect("non-empty");
+        assert_eq!((cheapest.prefix_len, cheapest.det_len), (2, 10));
+        // unique shortest
+        let shortest = summary.shortest().expect("non-empty");
+        assert_eq!(shortest.total_len(), 4);
+        // within length 12: same area tie as `cheapest`
+        let within = summary.cheapest_within_length(12).expect("feasible");
+        assert_eq!((within.prefix_len, within.det_len), (2, 10));
+        assert!(summary.cheapest_within_length(3).is_none());
+        // overhead <= 50 % admits only the two 0.25 mm² points (len 12
+        // each): area ties again, smaller prefix wins
+        let balanced = summary.within_overhead(50.0).expect("feasible");
+        assert_eq!((balanced.prefix_len, balanced.det_len), (2, 10));
+        assert!(summary.within_overhead(10.0).is_none());
+
+        // full tie (area, length, prefix): earliest in request order wins
+        let dup = SweepSummary {
+            solutions: vec![point(4, 8, 0.25), point(4, 8, 0.25)],
+        };
+        let first = dup.cheapest().expect("non-empty");
+        assert!(std::ptr::eq(first, &dup.solutions[0]));
     }
 
     #[test]
     fn pseudo_random_extreme() {
         let c17 = bist_netlist::iscas85::c17();
         let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
-        let s = session.pseudo_random_solution(64).unwrap();
+        let s = session.pseudo_random_solution(64).expect("p > 0");
         assert_eq!(s.det_len, 0);
         assert!(s.coverage.coverage_pct() > 80.0);
         assert!(s.generator_area_mm2 < 0.3, "a bare LFSR is cheap");

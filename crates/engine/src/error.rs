@@ -1,0 +1,146 @@
+//! The workspace-wide error hierarchy.
+//!
+//! Every failure an [`Engine`](crate::Engine) job can hit — malformed
+//! netlist sources, unknown benchmark names, infeasible specs, generator
+//! construction, HDL lint — surfaces as one [`BistError`], source-located
+//! where a source exists. Nothing in the job pipeline panics on bad
+//! input.
+
+use std::fmt;
+
+use bist_core::MixedSchemeError;
+use bist_hdl::lint::LintError;
+use bist_netlist::ParseBenchError;
+
+/// Any failure of a [`crate::Engine`] job, from spec validation to HDL
+/// emission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BistError {
+    /// A netlist source failed to parse or assemble.
+    Parse {
+        /// Name of the source (circuit/file label) being parsed.
+        source_name: String,
+        /// 1-based line the defect is attributed to; `0` when the defect
+        /// is a property of the whole netlist (e.g. no primary inputs).
+        line: usize,
+        /// Human-readable description of the defect.
+        message: String,
+    },
+    /// A benchmark name not present in the requested family.
+    UnknownCircuit {
+        /// Benchmark family, e.g. `"iscas85"`.
+        family: &'static str,
+        /// The unknown name.
+        name: String,
+    },
+    /// A job spec failed validation before any work started.
+    InvalidSpec {
+        /// Job kind, e.g. `"sweep"`.
+        job: &'static str,
+        /// What is wrong with the spec.
+        message: String,
+    },
+    /// The mixed-scheme flow failed (generator construction).
+    Scheme(MixedSchemeError),
+    /// Emitted HDL failed the lint audit.
+    Hdl {
+        /// 1-based line in the emitted HDL text.
+        line: usize,
+        /// Lint message.
+        message: String,
+    },
+    /// The job observed its cancellation token and stopped cooperatively.
+    Canceled,
+}
+
+impl BistError {
+    /// Wraps a [`ParseBenchError`] for the source called `source_name`.
+    pub fn from_parse(source_name: impl Into<String>, error: ParseBenchError) -> Self {
+        BistError::Parse {
+            source_name: source_name.into(),
+            line: error.line(),
+            message: match error {
+                ParseBenchError::Syntax { message, .. } => message,
+                ParseBenchError::Build { error, .. } => error.to_string(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for BistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BistError::Parse {
+                source_name,
+                line: 0,
+                message,
+            } => {
+                write!(f, "{source_name}: netlist invalid: {message}")
+            }
+            BistError::Parse {
+                source_name,
+                line,
+                message,
+            } => {
+                write!(f, "{source_name}:{line}: {message}")
+            }
+            BistError::UnknownCircuit { family, name } => {
+                write!(f, "unknown {family} circuit `{name}`")
+            }
+            BistError::InvalidSpec { job, message } => {
+                write!(f, "invalid {job} spec: {message}")
+            }
+            BistError::Scheme(e) => write!(f, "{e}"),
+            BistError::Hdl { line, message } => {
+                write!(f, "emitted HDL failed lint at line {line}: {message}")
+            }
+            BistError::Canceled => write!(f, "job canceled"),
+        }
+    }
+}
+
+impl std::error::Error for BistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BistError::Scheme(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MixedSchemeError> for BistError {
+    fn from(e: MixedSchemeError) -> Self {
+        BistError::Scheme(e)
+    }
+}
+
+impl From<LintError> for BistError {
+    fn from(e: LintError) -> Self {
+        BistError::Hdl {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_errors_carry_the_source_line() {
+        let err = bist_netlist::bench::parse("broken", "INPUT(a)\nOUTPUT(y)\nwhat")
+            .expect_err("malformed source");
+        let wrapped = BistError::from_parse("broken", err);
+        assert!(matches!(wrapped, BistError::Parse { line: 3, .. }));
+        assert!(wrapped.to_string().contains("broken:3:"));
+    }
+
+    #[test]
+    fn whole_netlist_defects_render_without_a_line() {
+        let err = bist_netlist::bench::parse("empty", "").expect_err("no inputs");
+        let wrapped = BistError::from_parse("empty", err);
+        assert!(matches!(wrapped, BistError::Parse { line: 0, .. }));
+        assert!(wrapped.to_string().contains("netlist invalid"));
+    }
+}

@@ -1,0 +1,62 @@
+//! `bist-engine` — the job-oriented public face of the mixed-BIST
+//! workspace.
+//!
+//! Every workload the reproduction supports — solving one `(p, d)`
+//! point, sweeping the trade-off, grading coverage curves, baking off
+//! TPG architectures, emitting synthesizable HDL, pricing the
+//! full-deterministic extreme — is one typed [`JobSpec`]: a plain struct
+//! naming a [`CircuitSource`], a
+//! [`MixedSchemeConfig`](bist_core::MixedSchemeConfig) and the variant's
+//! budgets. An [`Engine`] validates specs, schedules them across the
+//! `bist-par` pool, streams [`ProgressEvent`]s through a pull-based
+//! [`ProgressFeed`], observes cooperative [`CancelToken`]s at checkpoint
+//! boundaries, and returns typed [`JobResult`]s. Every failure — a
+//! malformed `.bench` file, an unknown benchmark, an infeasible spec —
+//! comes back as a source-located [`BistError`], never a panic.
+//!
+//! The shape follows the hybrid-BIST scheduling literature (test jobs as
+//! schedulable units with explicit budgets): new workload variants
+//! become new [`JobSpec`] variants behind the same engine, instead of
+//! new ad-hoc entry points.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bist_engine::{CircuitSource, Engine, JobSpec, ProgressEvent};
+//!
+//! let engine = Engine::new();
+//! let feed = engine.progress();
+//! let result = engine.run(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8, 16]))?;
+//!
+//! let sweep = result.as_sweep().expect("sweep jobs yield sweep outcomes");
+//! assert_eq!(sweep.summary.solutions().len(), 3);
+//! // the pull-based event stream saw every solved checkpoint
+//! let checkpoints = feed
+//!     .drain()
+//!     .into_iter()
+//!     .filter(|e| matches!(e, ProgressEvent::Checkpoint { .. }))
+//!     .count();
+//! assert_eq!(checkpoints, 3);
+//! # Ok::<(), bist_engine::BistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod progress;
+mod result;
+mod spec;
+
+pub use engine::Engine;
+pub use error::BistError;
+pub use progress::{CancelToken, JobId, ProgressEvent, ProgressFeed};
+pub use result::{
+    AreaReportOutcome, BakeoffOutcome, CurveOutcome, HdlOutcome, JobResult, SolveAtOutcome,
+    SweepOutcome,
+};
+pub use spec::{
+    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, HdlLanguage,
+    JobSpec, SolveAtSpec, SweepSpec,
+};

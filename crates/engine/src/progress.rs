@@ -1,0 +1,253 @@
+//! Streaming progress and cooperative cancellation.
+//!
+//! The engine never calls back into user code: it pushes
+//! [`ProgressEvent`]s onto a shared queue and the caller **pulls** them
+//! whenever convenient through a [`ProgressFeed`] — from the same thread
+//! between jobs, or from another thread while a batch runs. Cancellation
+//! is equally cooperative: a [`CancelToken`] is a flag the caller sets
+//! and running jobs observe at their next checkpoint boundary.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identifier of one submitted job, unique within an
+/// [`Engine`](crate::Engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// One progress notification from a running [`Engine`](crate::Engine).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// The job was accepted and is waiting for a pool worker.
+    Queued {
+        /// The job.
+        job: JobId,
+        /// Human-readable label (`"sweep c432"`, …).
+        label: String,
+    },
+    /// A worker started executing the job.
+    Started {
+        /// The job.
+        job: JobId,
+    },
+    /// The job passed an internal checkpoint — one solved prefix length,
+    /// one coverage-curve point — with the fault coverage reached so far.
+    Checkpoint {
+        /// The job.
+        job: JobId,
+        /// The prefix length / sequence position just completed.
+        prefix_len: usize,
+        /// Fault coverage reached so far, percent.
+        coverage_pct: f64,
+    },
+    /// The job completed successfully.
+    Finished {
+        /// The job.
+        job: JobId,
+    },
+    /// The job failed; the error also comes back from the `run` call.
+    Failed {
+        /// The job.
+        job: JobId,
+        /// Rendered error message.
+        message: String,
+    },
+    /// The job observed its cancellation token and stopped.
+    Canceled {
+        /// The job.
+        job: JobId,
+    },
+}
+
+impl ProgressEvent {
+    /// The job this event belongs to.
+    pub fn job(&self) -> JobId {
+        match self {
+            ProgressEvent::Queued { job, .. }
+            | ProgressEvent::Started { job }
+            | ProgressEvent::Checkpoint { job, .. }
+            | ProgressEvent::Finished { job }
+            | ProgressEvent::Failed { job, .. }
+            | ProgressEvent::Canceled { job } => *job,
+        }
+    }
+}
+
+/// Pull-based consumer handle for an engine's event stream.
+///
+/// Cloning is cheap; all clones drain the same queue (each event is
+/// delivered once, to whichever handle pulls it first).
+///
+/// Memory stays bounded for every consumer shape: an engine whose feed
+/// was never handed out (no [`Engine::progress`](crate::Engine::progress)
+/// call, or every handle dropped) records nothing at all, and a
+/// subscribed-but-idle consumer is capped at [`ProgressFeed::CAPACITY`]
+/// pending events — the oldest are dropped first and counted by
+/// [`ProgressFeed::dropped`].
+#[derive(Debug, Clone, Default)]
+pub struct ProgressFeed {
+    queue: Arc<Mutex<FeedState>>,
+}
+
+#[derive(Debug, Default)]
+struct FeedState {
+    events: VecDeque<ProgressEvent>,
+    dropped: u64,
+}
+
+impl ProgressFeed {
+    /// Upper bound on pending (undelivered) events; pushing past it
+    /// drops the oldest pending event.
+    pub const CAPACITY: usize = 65_536;
+
+    /// An empty feed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes and returns the oldest pending event, if any.
+    pub fn poll(&self) -> Option<ProgressEvent> {
+        self.queue
+            .lock()
+            .expect("feed lock never poisoned")
+            .events
+            .pop_front()
+    }
+
+    /// Removes and returns all pending events, oldest first.
+    pub fn drain(&self) -> Vec<ProgressEvent> {
+        self.queue
+            .lock()
+            .expect("feed lock never poisoned")
+            .events
+            .drain(..)
+            .collect()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.queue
+            .lock()
+            .expect("feed lock never poisoned")
+            .events
+            .len()
+    }
+
+    /// True when no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded because the queue hit [`ProgressFeed::CAPACITY`]
+    /// without being drained.
+    pub fn dropped(&self) -> u64 {
+        self.queue.lock().expect("feed lock never poisoned").dropped
+    }
+
+    /// True when someone besides the engine holds a handle on this feed.
+    pub(crate) fn has_subscribers(&self) -> bool {
+        Arc::strong_count(&self.queue) > 1
+    }
+
+    pub(crate) fn push(&self, event: ProgressEvent) {
+        // no subscriber, no record: an engine used purely for its return
+        // values must not accumulate events nobody will ever pull
+        if !self.has_subscribers() {
+            return;
+        }
+        let mut state = self.queue.lock().expect("feed lock never poisoned");
+        if state.events.len() >= Self::CAPACITY {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        state.events.push_back(event);
+    }
+}
+
+/// Cooperative cancellation flag shared between the caller and running
+/// jobs.
+///
+/// Cancelling is a request, not preemption: a job notices the flag at
+/// its next checkpoint boundary (between sweep points, between curve
+/// checkpoints) and returns [`BistError::Canceled`](crate::BistError).
+/// Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation of every job holding this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_canceled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feed_is_fifo_and_shared_between_clones() {
+        let feed = ProgressFeed::new();
+        let other = feed.clone();
+        feed.push(ProgressEvent::Started { job: JobId(1) });
+        feed.push(ProgressEvent::Finished { job: JobId(1) });
+        assert_eq!(other.len(), 2);
+        assert_eq!(other.poll(), Some(ProgressEvent::Started { job: JobId(1) }));
+        assert_eq!(feed.poll(), Some(ProgressEvent::Finished { job: JobId(1) }));
+        assert!(feed.poll().is_none());
+        assert!(feed.is_empty());
+    }
+
+    #[test]
+    fn unsubscribed_feeds_record_nothing() {
+        // a feed with a single (engine-side) handle drops pushes outright
+        let feed = ProgressFeed::new();
+        feed.push(ProgressEvent::Started { job: JobId(1) });
+        assert!(feed.is_empty());
+        assert_eq!(feed.dropped(), 0);
+    }
+
+    #[test]
+    fn pending_events_are_capped_oldest_first() {
+        let feed = ProgressFeed::new();
+        let subscriber = feed.clone();
+        for i in 0..(ProgressFeed::CAPACITY as u64 + 3) {
+            feed.push(ProgressEvent::Started { job: JobId(i) });
+        }
+        assert_eq!(subscriber.len(), ProgressFeed::CAPACITY);
+        assert_eq!(subscriber.dropped(), 3);
+        // the oldest three were dropped; delivery resumes at JobId(3)
+        assert_eq!(
+            subscriber.poll(),
+            Some(ProgressEvent::Started { job: JobId(3) })
+        );
+    }
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_canceled());
+        token.cancel();
+        assert!(clone.is_canceled());
+    }
+}

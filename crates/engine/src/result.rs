@@ -1,0 +1,169 @@
+//! Typed job outcomes.
+//!
+//! Each [`JobSpec`](crate::JobSpec) variant produces the matching
+//! [`JobResult`] variant; the `as_*` accessors unwrap the expected one
+//! without pattern-matching boilerplate.
+
+use bist_baselines::Bakeoff;
+use bist_core::{MixedSolution, SessionStats, SweepSummary};
+use bist_faultsim::CoverageCurve;
+
+/// Outcome of a [`JobSpec::SolveAt`](crate::JobSpec::SolveAt) job.
+#[derive(Debug, Clone)]
+pub struct SolveAtOutcome {
+    /// Circuit under test.
+    pub circuit: String,
+    /// The solved `(p, d)` point.
+    pub solution: MixedSolution,
+    /// Work counters of the session that solved it.
+    pub stats: SessionStats,
+}
+
+/// Outcome of a [`JobSpec::Sweep`](crate::JobSpec::Sweep) job.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Circuit under test.
+    pub circuit: String,
+    /// One solution per requested prefix length, in request order.
+    pub summary: SweepSummary,
+    /// Work counters of the shared incremental session.
+    pub stats: SessionStats,
+}
+
+/// Outcome of a [`JobSpec::CoverageCurve`](crate::JobSpec::CoverageCurve)
+/// job.
+#[derive(Debug, Clone)]
+pub struct CurveOutcome {
+    /// Circuit under test.
+    pub circuit: String,
+    /// Coverage at every requested checkpoint, in request order.
+    pub curve: CoverageCurve,
+    /// Size of the mixed fault universe graded against.
+    pub fault_universe: usize,
+}
+
+/// Outcome of a [`JobSpec::Bakeoff`](crate::JobSpec::Bakeoff) job.
+#[derive(Debug, Clone)]
+pub struct BakeoffOutcome {
+    /// Circuit under test.
+    pub circuit: String,
+    /// Every architecture's row.
+    pub bakeoff: Bakeoff,
+}
+
+/// Outcome of a [`JobSpec::EmitHdl`](crate::JobSpec::EmitHdl) job: the
+/// lint-clean artefacts, ready to write to disk.
+#[derive(Debug, Clone)]
+pub struct HdlOutcome {
+    /// Circuit under test.
+    pub circuit: String,
+    /// Module/entity name used in the artefacts.
+    pub module: String,
+    /// The solved point the generator implements.
+    pub solution: MixedSolution,
+    /// Structural Verilog, when requested.
+    pub verilog: Option<String>,
+    /// Structural VHDL, when requested.
+    pub vhdl: Option<String>,
+    /// Self-checking Verilog testbench, when requested.
+    pub testbench: Option<String>,
+}
+
+/// Outcome of an [`JobSpec::AreaReport`](crate::JobSpec::AreaReport) job —
+/// one row of the paper's Figure 6.
+#[derive(Debug, Clone)]
+pub struct AreaReportOutcome {
+    /// Circuit under test.
+    pub circuit: String,
+    /// Number of primary inputs (pattern width).
+    pub inputs: usize,
+    /// Full deterministic test set size.
+    pub det_len: usize,
+    /// Nominal chip area, mm².
+    pub chip_mm2: f64,
+    /// Full-deterministic LFSROM generator area, mm².
+    pub generator_mm2: f64,
+    /// Generator area as a percentage of the nominal chip area.
+    pub overhead_pct: f64,
+    /// Coverage the deterministic set reaches, percent.
+    pub coverage_pct: f64,
+}
+
+/// The typed outcome of one engine job.
+#[derive(Debug, Clone)]
+pub enum JobResult {
+    /// From [`JobSpec::SolveAt`](crate::JobSpec::SolveAt).
+    SolveAt(SolveAtOutcome),
+    /// From [`JobSpec::Sweep`](crate::JobSpec::Sweep).
+    Sweep(SweepOutcome),
+    /// From [`JobSpec::CoverageCurve`](crate::JobSpec::CoverageCurve).
+    CoverageCurve(CurveOutcome),
+    /// From [`JobSpec::Bakeoff`](crate::JobSpec::Bakeoff).
+    Bakeoff(BakeoffOutcome),
+    /// From [`JobSpec::EmitHdl`](crate::JobSpec::EmitHdl).
+    EmitHdl(HdlOutcome),
+    /// From [`JobSpec::AreaReport`](crate::JobSpec::AreaReport).
+    AreaReport(AreaReportOutcome),
+}
+
+impl JobResult {
+    /// The solve-at outcome, if this is one.
+    pub fn as_solve_at(&self) -> Option<&SolveAtOutcome> {
+        match self {
+            JobResult::SolveAt(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The sweep outcome, if this is one.
+    pub fn as_sweep(&self) -> Option<&SweepOutcome> {
+        match self {
+            JobResult::Sweep(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The coverage-curve outcome, if this is one.
+    pub fn as_coverage_curve(&self) -> Option<&CurveOutcome> {
+        match self {
+            JobResult::CoverageCurve(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The bake-off outcome, if this is one.
+    pub fn as_bakeoff(&self) -> Option<&BakeoffOutcome> {
+        match self {
+            JobResult::Bakeoff(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The HDL outcome, if this is one.
+    pub fn as_emit_hdl(&self) -> Option<&HdlOutcome> {
+        match self {
+            JobResult::EmitHdl(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The area-report outcome, if this is one.
+    pub fn as_area_report(&self) -> Option<&AreaReportOutcome> {
+        match self {
+            JobResult::AreaReport(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The circuit under test the job ran on.
+    pub fn circuit(&self) -> &str {
+        match self {
+            JobResult::SolveAt(o) => &o.circuit,
+            JobResult::Sweep(o) => &o.circuit,
+            JobResult::CoverageCurve(o) => &o.circuit,
+            JobResult::Bakeoff(o) => &o.circuit,
+            JobResult::EmitHdl(o) => &o.circuit,
+            JobResult::AreaReport(o) => &o.circuit,
+        }
+    }
+}

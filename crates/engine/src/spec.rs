@@ -1,0 +1,429 @@
+//! Typed job requests.
+//!
+//! Every workload the workspace supports is one [`JobSpec`] variant — a
+//! plain struct naming a circuit source, a [`MixedSchemeConfig`] and the
+//! variant's budgets. Specs are inert data: nothing is parsed, validated
+//! or simulated until an [`Engine`](crate::Engine) runs them, and every
+//! defect surfaces as a typed [`BistError`] instead of a panic.
+
+use bist_core::MixedSchemeConfig;
+use bist_netlist::{bench, iscas85, iscas89, Circuit};
+
+use crate::error::BistError;
+
+/// Where a job's circuit under test comes from.
+///
+/// Sources are realized lazily by the engine; a bad source fails the job
+/// with a located [`BistError::Parse`] or [`BistError::UnknownCircuit`],
+/// never a panic.
+#[derive(Debug, Clone)]
+pub enum CircuitSource {
+    /// An ISCAS-85 benchmark by name (`"c17"` … `"c7552"`).
+    Iscas85 {
+        /// Benchmark name.
+        name: String,
+    },
+    /// An ISCAS-89 sequential benchmark by name (`"s27"` … `"s5378"`).
+    Iscas89 {
+        /// Benchmark name.
+        name: String,
+    },
+    /// `.bench` source text, parsed on realization.
+    Bench {
+        /// Label used for the circuit and in error messages.
+        name: String,
+        /// The `.bench` netlist text.
+        text: String,
+    },
+    /// An already-built circuit.
+    Inline(Circuit),
+}
+
+impl CircuitSource {
+    /// Convenience constructor for [`CircuitSource::Iscas85`].
+    pub fn iscas85(name: impl Into<String>) -> Self {
+        CircuitSource::Iscas85 { name: name.into() }
+    }
+
+    /// Convenience constructor for [`CircuitSource::Iscas89`].
+    pub fn iscas89(name: impl Into<String>) -> Self {
+        CircuitSource::Iscas89 { name: name.into() }
+    }
+
+    /// Convenience constructor for [`CircuitSource::Bench`].
+    pub fn bench(name: impl Into<String>, text: impl Into<String>) -> Self {
+        CircuitSource::Bench {
+            name: name.into(),
+            text: text.into(),
+        }
+    }
+
+    /// The label used in progress events and error messages.
+    pub fn label(&self) -> &str {
+        match self {
+            CircuitSource::Iscas85 { name }
+            | CircuitSource::Iscas89 { name }
+            | CircuitSource::Bench { name, .. } => name,
+            CircuitSource::Inline(c) => c.name(),
+        }
+    }
+
+    /// Produces the circuit under test.
+    ///
+    /// # Errors
+    ///
+    /// [`BistError::UnknownCircuit`] for unknown benchmark names and
+    /// [`BistError::Parse`] (source-located) for malformed `.bench` text.
+    pub fn realize(&self) -> Result<Circuit, BistError> {
+        match self {
+            CircuitSource::Iscas85 { name } => {
+                iscas85::circuit(name).ok_or_else(|| BistError::UnknownCircuit {
+                    family: "iscas85",
+                    name: name.clone(),
+                })
+            }
+            CircuitSource::Iscas89 { name } => {
+                iscas89::circuit(name).ok_or_else(|| BistError::UnknownCircuit {
+                    family: "iscas89",
+                    name: name.clone(),
+                })
+            }
+            CircuitSource::Bench { name, text } => {
+                bench::parse(name, text).map_err(|e| BistError::from_parse(name, e))
+            }
+            CircuitSource::Inline(c) => Ok(c.clone()),
+        }
+    }
+}
+
+/// Which HDL artefacts an [`EmitHdlSpec`] job produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HdlLanguage {
+    /// Structural Verilog only.
+    Verilog,
+    /// Structural VHDL only.
+    Vhdl,
+    /// Both languages.
+    Both,
+}
+
+/// Solve the mixed scheme at one prefix length `p`.
+#[derive(Debug, Clone)]
+pub struct SolveAtSpec {
+    /// The circuit under test.
+    pub circuit: CircuitSource,
+    /// Flow configuration.
+    pub config: MixedSchemeConfig,
+    /// Pseudo-random prefix length `p`.
+    pub prefix_len: usize,
+}
+
+/// Sweep the `(p, d)` trade-off over many prefix lengths on one
+/// incremental session.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// The circuit under test.
+    pub circuit: CircuitSource,
+    /// Flow configuration.
+    pub config: MixedSchemeConfig,
+    /// Prefix lengths to solve, in the order results should come back.
+    pub prefix_lengths: Vec<usize>,
+}
+
+/// Grade the pure pseudo-random sequence at the given checkpoints — the
+/// paper's Figure 4 curve.
+#[derive(Debug, Clone)]
+pub struct CoverageCurveSpec {
+    /// The circuit under test.
+    pub circuit: CircuitSource,
+    /// Flow configuration.
+    pub config: MixedSchemeConfig,
+    /// Sequence lengths to report coverage at, in result order.
+    pub checkpoints: Vec<usize>,
+}
+
+/// Run every surveyed TPG architecture on one circuit, on equal terms.
+#[derive(Debug, Clone)]
+pub struct BakeoffSpec {
+    /// The circuit under test.
+    pub circuit: CircuitSource,
+    /// Flow configuration (the area model prices every row).
+    pub config: MixedSchemeConfig,
+    /// Pattern budget granted to the pseudo-random architectures.
+    pub random_length: usize,
+}
+
+/// Solve the scheme and render the mixed generator as synthesizable HDL.
+#[derive(Debug, Clone)]
+pub struct EmitHdlSpec {
+    /// The circuit under test.
+    pub circuit: CircuitSource,
+    /// Flow configuration.
+    pub config: MixedSchemeConfig,
+    /// Pseudo-random prefix length `p` of the generator to emit.
+    pub prefix_len: usize,
+    /// Which artefacts to produce.
+    pub language: HdlLanguage,
+    /// Module/entity name; default `"{circuit}_bist"`.
+    pub module_name: Option<String>,
+    /// Also emit the self-checking Verilog testbench (requires a
+    /// Verilog-producing `language`).
+    pub testbench: bool,
+}
+
+/// Price the full-deterministic extreme: LFSROM generator area versus
+/// nominal chip area — one row of the paper's Figure 6 / Table 1.
+#[derive(Debug, Clone)]
+pub struct AreaReportSpec {
+    /// The circuit under test.
+    pub circuit: CircuitSource,
+    /// Flow configuration.
+    pub config: MixedSchemeConfig,
+}
+
+/// One schedulable unit of work — the public vocabulary of the engine.
+///
+/// Every variant is a plain-data struct; construct them directly or via
+/// the [`JobSpec`] convenience constructors, then hand them to
+/// [`Engine::run`](crate::Engine::run) or
+/// [`Engine::run_batch`](crate::Engine::run_batch).
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// Solve one `(p, d)` point.
+    SolveAt(SolveAtSpec),
+    /// Sweep many prefix lengths incrementally.
+    Sweep(SweepSpec),
+    /// Coverage-versus-length curve of the pure pseudo-random phase.
+    CoverageCurve(CoverageCurveSpec),
+    /// TPG architecture bake-off.
+    Bakeoff(BakeoffSpec),
+    /// HDL emission of the solved mixed generator.
+    EmitHdl(EmitHdlSpec),
+    /// Full-deterministic area report.
+    AreaReport(AreaReportSpec),
+}
+
+impl JobSpec {
+    /// A [`JobSpec::SolveAt`] with the default configuration.
+    pub fn solve_at(circuit: CircuitSource, prefix_len: usize) -> Self {
+        JobSpec::SolveAt(SolveAtSpec {
+            circuit,
+            config: MixedSchemeConfig::default(),
+            prefix_len,
+        })
+    }
+
+    /// A [`JobSpec::Sweep`] with the default configuration.
+    pub fn sweep(circuit: CircuitSource, prefix_lengths: impl Into<Vec<usize>>) -> Self {
+        JobSpec::Sweep(SweepSpec {
+            circuit,
+            config: MixedSchemeConfig::default(),
+            prefix_lengths: prefix_lengths.into(),
+        })
+    }
+
+    /// A [`JobSpec::CoverageCurve`] with the default configuration.
+    pub fn coverage_curve(circuit: CircuitSource, checkpoints: impl Into<Vec<usize>>) -> Self {
+        JobSpec::CoverageCurve(CoverageCurveSpec {
+            circuit,
+            config: MixedSchemeConfig::default(),
+            checkpoints: checkpoints.into(),
+        })
+    }
+
+    /// A [`JobSpec::Bakeoff`] with the default configuration.
+    pub fn bakeoff(circuit: CircuitSource, random_length: usize) -> Self {
+        JobSpec::Bakeoff(BakeoffSpec {
+            circuit,
+            config: MixedSchemeConfig::default(),
+            random_length,
+        })
+    }
+
+    /// A [`JobSpec::EmitHdl`] (both languages, no testbench) with the
+    /// default configuration.
+    pub fn emit_hdl(circuit: CircuitSource, prefix_len: usize) -> Self {
+        JobSpec::EmitHdl(EmitHdlSpec {
+            circuit,
+            config: MixedSchemeConfig::default(),
+            prefix_len,
+            language: HdlLanguage::Both,
+            module_name: None,
+            testbench: false,
+        })
+    }
+
+    /// A [`JobSpec::AreaReport`] with the default configuration.
+    pub fn area_report(circuit: CircuitSource) -> Self {
+        JobSpec::AreaReport(AreaReportSpec {
+            circuit,
+            config: MixedSchemeConfig::default(),
+        })
+    }
+
+    /// The job kind as a short lowercase noun (used in labels and
+    /// [`BistError::InvalidSpec`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::SolveAt(_) => "solve-at",
+            JobSpec::Sweep(_) => "sweep",
+            JobSpec::CoverageCurve(_) => "coverage-curve",
+            JobSpec::Bakeoff(_) => "bakeoff",
+            JobSpec::EmitHdl(_) => "emit-hdl",
+            JobSpec::AreaReport(_) => "area-report",
+        }
+    }
+
+    /// The circuit source the job will run on.
+    pub fn circuit(&self) -> &CircuitSource {
+        match self {
+            JobSpec::SolveAt(s) => &s.circuit,
+            JobSpec::Sweep(s) => &s.circuit,
+            JobSpec::CoverageCurve(s) => &s.circuit,
+            JobSpec::Bakeoff(s) => &s.circuit,
+            JobSpec::EmitHdl(s) => &s.circuit,
+            JobSpec::AreaReport(s) => &s.circuit,
+        }
+    }
+
+    /// The flow configuration the job will run with.
+    pub fn config(&self) -> &MixedSchemeConfig {
+        match self {
+            JobSpec::SolveAt(s) => &s.config,
+            JobSpec::Sweep(s) => &s.config,
+            JobSpec::CoverageCurve(s) => &s.config,
+            JobSpec::Bakeoff(s) => &s.config,
+            JobSpec::EmitHdl(s) => &s.config,
+            JobSpec::AreaReport(s) => &s.config,
+        }
+    }
+
+    /// Overrides the pool width of the job's configuration.
+    pub(crate) fn set_threads(&mut self, threads: usize) {
+        let config = match self {
+            JobSpec::SolveAt(s) => &mut s.config,
+            JobSpec::Sweep(s) => &mut s.config,
+            JobSpec::CoverageCurve(s) => &mut s.config,
+            JobSpec::Bakeoff(s) => &mut s.config,
+            JobSpec::EmitHdl(s) => &mut s.config,
+            JobSpec::AreaReport(s) => &mut s.config,
+        };
+        config.threads = threads;
+    }
+
+    /// Checks the spec's own consistency — budgets, artefact
+    /// combinations — without realizing the circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`BistError::InvalidSpec`] describing the first defect found.
+    pub fn validate(&self) -> Result<(), BistError> {
+        let invalid = |message: &str| {
+            Err(BistError::InvalidSpec {
+                job: self.kind(),
+                message: message.to_owned(),
+            })
+        };
+        match self {
+            JobSpec::Sweep(s) => {
+                if s.prefix_lengths.is_empty() {
+                    return invalid("prefix_lengths must name at least one checkpoint");
+                }
+            }
+            JobSpec::CoverageCurve(s) => {
+                if s.checkpoints.is_empty() {
+                    return invalid("checkpoints must name at least one length");
+                }
+            }
+            JobSpec::Bakeoff(s) => {
+                if s.random_length == 0 {
+                    return invalid("random_length must grant at least one pattern");
+                }
+            }
+            JobSpec::EmitHdl(s) => {
+                if s.testbench && s.language == HdlLanguage::Vhdl {
+                    return invalid("the self-checking testbench is Verilog-only");
+                }
+                if let Some(name) = &s.module_name {
+                    let ok = !name.is_empty()
+                        && name
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+                    if !ok {
+                        return invalid("module_name must be a plain HDL identifier");
+                    }
+                }
+            }
+            JobSpec::SolveAt(_) | JobSpec::AreaReport(_) => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_realize_or_fail_typed() {
+        assert_eq!(
+            CircuitSource::iscas85("c17")
+                .realize()
+                .expect("known benchmark")
+                .inputs()
+                .len(),
+            5
+        );
+        assert!(matches!(
+            CircuitSource::iscas85("c9999").realize(),
+            Err(BistError::UnknownCircuit {
+                family: "iscas85",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CircuitSource::iscas89("s9999").realize(),
+            Err(BistError::UnknownCircuit {
+                family: "iscas89",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CircuitSource::bench("junk", "INPUT(a)\nOUTPUT(y)\nwat").realize(),
+            Err(BistError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_empty_budgets() {
+        let empty_sweep = JobSpec::sweep(CircuitSource::iscas85("c17"), Vec::new());
+        assert!(matches!(
+            empty_sweep.validate(),
+            Err(BistError::InvalidSpec { job: "sweep", .. })
+        ));
+        let empty_curve = JobSpec::coverage_curve(CircuitSource::iscas85("c17"), Vec::new());
+        assert!(empty_curve.validate().is_err());
+        let zero_bakeoff = JobSpec::bakeoff(CircuitSource::iscas85("c17"), 0);
+        assert!(zero_bakeoff.validate().is_err());
+        assert!(JobSpec::solve_at(CircuitSource::iscas85("c17"), 0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_hdl_specs() {
+        let mut spec = match JobSpec::emit_hdl(CircuitSource::iscas85("c17"), 4) {
+            JobSpec::EmitHdl(s) => s,
+            _ => unreachable!(),
+        };
+        spec.module_name = Some("1bad name".to_owned());
+        assert!(JobSpec::EmitHdl(spec.clone()).validate().is_err());
+        spec.module_name = Some("fine_name".to_owned());
+        assert!(JobSpec::EmitHdl(spec.clone()).validate().is_ok());
+        spec.language = HdlLanguage::Vhdl;
+        spec.testbench = true;
+        assert!(JobSpec::EmitHdl(spec).validate().is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! Integration tests: every `JobSpec` variant end-to-end through the
+//! `Engine`, plus the event stream, cancellation and the error paths.
+
+use bist_core::{BistSession, MixedSchemeConfig};
+use bist_engine::{
+    BistError, CancelToken, CircuitSource, EmitHdlSpec, Engine, HdlLanguage, JobSpec, ProgressEvent,
+};
+
+fn serial_config() -> MixedSchemeConfig {
+    MixedSchemeConfig {
+        threads: 1,
+        ..MixedSchemeConfig::default()
+    }
+}
+
+#[test]
+fn solve_at_matches_a_hand_driven_session() {
+    let engine = Engine::with_threads(1);
+    let result = engine
+        .run(JobSpec::solve_at(CircuitSource::iscas85("c17"), 8))
+        .expect("solve job succeeds");
+    let outcome = result.as_solve_at().expect("solve outcome");
+
+    let c17 = bist_netlist::iscas85::c17();
+    let expect = BistSession::new(&c17, serial_config())
+        .solve_at(8)
+        .expect("reference solve");
+    assert_eq!(outcome.circuit, "c17");
+    assert_eq!(outcome.solution.prefix_len, expect.prefix_len);
+    assert_eq!(outcome.solution.det_len, expect.det_len);
+    assert_eq!(outcome.solution.coverage, expect.coverage);
+    assert_eq!(
+        outcome.solution.generator.deterministic(),
+        expect.generator.deterministic()
+    );
+    assert!(outcome.stats.patterns_simulated >= 8);
+}
+
+#[test]
+fn sweep_is_bit_identical_to_the_session_and_keeps_request_order() {
+    let engine = Engine::with_threads(1);
+    let prefixes = [16usize, 0, 8]; // deliberately unordered
+    let result = engine
+        .run(JobSpec::sweep(CircuitSource::iscas85("c17"), prefixes))
+        .expect("sweep job succeeds");
+    let outcome = result.as_sweep().expect("sweep outcome");
+
+    let c17 = bist_netlist::iscas85::c17();
+    let expect = BistSession::new(&c17, serial_config())
+        .sweep(&prefixes)
+        .expect("reference sweep");
+    let got_ps: Vec<usize> = outcome
+        .summary
+        .solutions()
+        .iter()
+        .map(|s| s.prefix_len)
+        .collect();
+    assert_eq!(got_ps, vec![16, 0, 8], "request order preserved");
+    for (a, b) in outcome.summary.solutions().iter().zip(expect.solutions()) {
+        assert_eq!(a.det_len, b.det_len);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.generator.deterministic(), b.generator.deterministic());
+    }
+    // the engine's point-by-point drive keeps the incremental contract
+    assert_eq!(outcome.stats.patterns_simulated, 16);
+    assert_eq!(outcome.stats.patterns_resimulated, 0);
+}
+
+#[test]
+fn coverage_curve_matches_the_session_curve() {
+    let engine = Engine::with_threads(1);
+    let checkpoints = [0usize, 8, 32];
+    let result = engine
+        .run(JobSpec::coverage_curve(
+            CircuitSource::iscas85("c17"),
+            checkpoints,
+        ))
+        .expect("curve job succeeds");
+    let outcome = result.as_coverage_curve().expect("curve outcome");
+
+    let c17 = bist_netlist::iscas85::c17();
+    let mut session = BistSession::new(&c17, serial_config());
+    let expect = session.random_coverage_curve(&checkpoints);
+    assert_eq!(outcome.curve.points(), expect.points());
+    assert_eq!(outcome.fault_universe, session.faults().len());
+    assert!(outcome.curve.is_monotone());
+}
+
+#[test]
+fn bakeoff_puts_every_architecture_on_the_board() {
+    let engine = Engine::with_threads(1);
+    let result = engine
+        .run(JobSpec::bakeoff(CircuitSource::iscas85("c17"), 64))
+        .expect("bakeoff job succeeds");
+    let outcome = result.as_bakeoff().expect("bakeoff outcome");
+    assert!(
+        outcome.bakeoff.rows.len() >= 5,
+        "all surveyed architectures"
+    );
+    assert!(outcome.bakeoff.row("lfsr").is_some(), "plain LFSR row");
+    for row in &outcome.bakeoff.rows {
+        assert!(row.area_mm2 > 0.0, "{} has silicon cost", row.architecture);
+        assert!(row.test_length > 0, "{} emits patterns", row.architecture);
+    }
+    assert!(outcome.bakeoff.achievable_pct > 0.0);
+}
+
+#[test]
+fn emit_hdl_produces_lint_clean_artifacts_and_a_testbench() {
+    let engine = Engine::with_threads(1);
+    let spec = EmitHdlSpec {
+        circuit: CircuitSource::iscas85("c17"),
+        config: serial_config(),
+        prefix_len: 4,
+        language: HdlLanguage::Both,
+        module_name: None,
+        testbench: true,
+    };
+    let result = engine
+        .run(JobSpec::EmitHdl(spec))
+        .expect("emit job succeeds");
+    let outcome = result.as_emit_hdl().expect("hdl outcome");
+    assert_eq!(outcome.module, "c17_bist");
+    let verilog = outcome.verilog.as_ref().expect("verilog requested");
+    let vhdl = outcome.vhdl.as_ref().expect("vhdl requested");
+    let testbench = outcome.testbench.as_ref().expect("testbench requested");
+    assert!(verilog.contains("module c17_bist"));
+    assert!(vhdl.contains("entity c17_bist is"));
+    assert!(testbench.contains("module c17_bist_tb"));
+    // artefacts were linted by the engine; spot-check anyway
+    bist_hdl::lint::check_verilog(verilog).expect("verilog lints");
+    bist_hdl::lint::check_vhdl(vhdl).expect("vhdl lints");
+    assert_eq!(outcome.solution.prefix_len, 4);
+}
+
+#[test]
+fn emit_hdl_handles_the_pure_deterministic_extreme() {
+    let engine = Engine::with_threads(1);
+    let spec = EmitHdlSpec {
+        circuit: CircuitSource::iscas85("c17"),
+        config: serial_config(),
+        prefix_len: 0,
+        language: HdlLanguage::Verilog,
+        module_name: Some("c17_lfsrom_only".to_owned()),
+        testbench: true,
+    };
+    let result = engine
+        .run(JobSpec::EmitHdl(spec))
+        .expect("emit job succeeds");
+    let outcome = result.as_emit_hdl().expect("hdl outcome");
+    assert_eq!(outcome.module, "c17_lfsrom_only");
+    assert!(outcome.verilog.is_some());
+    assert!(outcome.vhdl.is_none(), "only verilog requested");
+    assert!(outcome.testbench.is_some());
+}
+
+#[test]
+fn area_report_prices_the_deterministic_extreme() {
+    let engine = Engine::with_threads(1);
+    let result = engine
+        .run(JobSpec::area_report(CircuitSource::iscas85("c17")))
+        .expect("area job succeeds");
+    let outcome = result.as_area_report().expect("area outcome");
+
+    let c17 = bist_netlist::iscas85::c17();
+    let expect = BistSession::new(&c17, serial_config())
+        .solve_at(0)
+        .expect("reference solve");
+    assert_eq!(outcome.circuit, "c17");
+    assert_eq!(outcome.inputs, 5);
+    assert_eq!(outcome.det_len, expect.det_len);
+    assert_eq!(outcome.generator_mm2, expect.generator_area_mm2);
+    assert_eq!(outcome.chip_mm2, expect.chip_area_mm2);
+    assert!((outcome.overhead_pct - expect.overhead_pct()).abs() < 1e-12);
+}
+
+#[test]
+fn the_event_stream_narrates_a_job_lifecycle_in_order() {
+    let engine = Engine::with_threads(1);
+    let feed = engine.progress();
+    engine
+        .run(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]))
+        .expect("sweep job succeeds");
+    let events = feed.drain();
+    assert!(matches!(&events[0], ProgressEvent::Queued { label, .. } if label == "sweep c17"));
+    assert!(matches!(events[1], ProgressEvent::Started { .. }));
+    let checkpoints: Vec<(usize, f64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            ProgressEvent::Checkpoint {
+                prefix_len,
+                coverage_pct,
+                ..
+            } => Some((*prefix_len, *coverage_pct)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(checkpoints.len(), 2);
+    assert_eq!(checkpoints[0].0, 0);
+    assert_eq!(checkpoints[1].0, 8);
+    assert!(
+        checkpoints[1].1 >= checkpoints[0].1,
+        "coverage so far grows"
+    );
+    assert!(matches!(
+        events.last(),
+        Some(ProgressEvent::Finished { .. })
+    ));
+    // one job id threads through every event
+    let id = events[0].job();
+    assert!(events.iter().all(|e| e.job() == id));
+    assert!(feed.is_empty(), "drain consumed everything");
+}
+
+#[test]
+fn batches_run_in_spec_order_with_identical_results() {
+    let engine = Engine::with_threads(1);
+    let specs = vec![
+        JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]),
+        JobSpec::area_report(CircuitSource::iscas85("c17")),
+        JobSpec::solve_at(CircuitSource::iscas85("c432"), 50),
+    ];
+    let results = engine.run_batch(specs);
+    assert_eq!(results.len(), 3);
+    let sweep = results[0].as_ref().expect("sweep ok");
+    assert!(sweep.as_sweep().is_some());
+    assert!(results[1]
+        .as_ref()
+        .expect("area ok")
+        .as_area_report()
+        .is_some());
+    let solve = results[2].as_ref().expect("solve ok");
+    let solo = engine
+        .run(JobSpec::solve_at(CircuitSource::iscas85("c432"), 50))
+        .expect("solo solve");
+    assert_eq!(
+        solve.as_solve_at().expect("solve outcome").solution.det_len,
+        solo.as_solve_at().expect("solve outcome").solution.det_len,
+        "batch and solo runs are bit-identical"
+    );
+}
+
+#[test]
+fn cancellation_is_cooperative_and_typed() {
+    let engine = Engine::with_threads(1);
+    let feed = engine.progress();
+    let token = CancelToken::new();
+    token.cancel();
+    let err = engine
+        .run_with_cancel(
+            JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8, 16]),
+            &token,
+        )
+        .expect_err("pre-canceled token stops the job");
+    assert_eq!(err, BistError::Canceled);
+    let events = feed.drain();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ProgressEvent::Canceled { .. })),
+        "cancellation is narrated: {events:?}"
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, ProgressEvent::Checkpoint { .. })),
+        "no checkpoint was reached"
+    );
+}
+
+#[test]
+fn error_paths_come_back_typed_with_failed_events() {
+    let engine = Engine::with_threads(1);
+    let feed = engine.progress();
+
+    let err = engine
+        .run(JobSpec::solve_at(CircuitSource::iscas85("c9999"), 0))
+        .expect_err("unknown benchmark");
+    assert!(matches!(
+        err,
+        BistError::UnknownCircuit {
+            family: "iscas85",
+            ..
+        }
+    ));
+
+    let err = engine
+        .run(JobSpec::sweep(
+            CircuitSource::bench("broken", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)"),
+            [0, 8],
+        ))
+        .expect_err("malformed bench text");
+    assert!(matches!(err, BistError::Parse { line: 3, .. }));
+
+    let err = engine
+        .run(JobSpec::sweep(CircuitSource::iscas85("c17"), Vec::new()))
+        .expect_err("empty sweep");
+    assert!(matches!(err, BistError::InvalidSpec { job: "sweep", .. }));
+
+    let failures = feed
+        .drain()
+        .into_iter()
+        .filter(|e| matches!(e, ProgressEvent::Failed { .. }))
+        .count();
+    assert_eq!(failures, 3, "every failure is narrated");
+}
+
+#[test]
+fn inline_and_bench_sources_run_like_builtin_ones() {
+    let engine = Engine::with_threads(1);
+    let c17_text = bist_netlist::iscas85::C17_BENCH;
+    let from_text = engine
+        .run(JobSpec::solve_at(CircuitSource::bench("c17", c17_text), 8))
+        .expect("bench-text source");
+    let inline = engine
+        .run(JobSpec::solve_at(
+            CircuitSource::Inline(bist_netlist::iscas85::c17()),
+            8,
+        ))
+        .expect("inline source");
+    assert_eq!(
+        from_text.as_solve_at().expect("outcome").solution.det_len,
+        inline.as_solve_at().expect("outcome").solution.det_len
+    );
+}

@@ -12,7 +12,7 @@ use bist_fault::FaultStatus;
 /// * [`CoverageReport::efficiency_pct`] — detected / (total − redundant),
 ///   the ATPG-style metric that reaches 100 % when everything testable is
 ///   covered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoverageReport {
     /// Faults detected by the graded sequence.
     pub detected: usize,

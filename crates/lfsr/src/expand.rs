@@ -5,7 +5,7 @@ use crate::stepper::Lfsr;
 
 /// Expansion of an LFSR's bit stream into test patterns of arbitrary
 /// width, modelling the *shared-register* BIST arrangement of the paper's
-/// mixed generator (its Figure 3, citing [Hel92] for wide circuits).
+/// mixed generator (its Figure 3, citing \[Hel92\] for wide circuits).
 ///
 /// The hardware picture: one register of `max(width, k)` D flip-flops.
 /// Cells `q0..q{k-1}` run the LFSR recurrence (the feedback bit enters

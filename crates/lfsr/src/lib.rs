@@ -8,7 +8,7 @@
 //!   period measurement.
 //! * [`ScanExpander`] — scan-chain expansion of the serial stream into
 //!   test patterns of arbitrary width, the technique the paper cites
-//!   ([Hel92]) for circuits whose input count exceeds the LFSR length.
+//!   (\[Hel92\]) for circuits whose input count exceeds the LFSR length.
 //! * [`lfsr_netlist`] — emits the LFSR as a structural netlist (D
 //!   flip-flops + XOR feedback) so the area model can cost it and
 //!   [`SeqSim`](bist_logicsim::SeqSim) can replay it.

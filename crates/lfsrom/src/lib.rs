@@ -9,7 +9,7 @@
 //! set — the smaller the deterministic sequence, the cheaper the network,
 //! which is the lever the whole mixed-scheme trade-off turns on.
 //!
-//! [`LfsromGenerator::synthesize`] handles the corner the paper's [Duf93]
+//! [`LfsromGenerator::synthesize`] handles the corner the paper's \[Duf93\]
 //! algorithm must also handle: a sequence that visits the same pattern
 //! twice has no next-state *function* over the pattern bits alone, so a
 //! minimal set of disambiguation flip-flops is appended (their next-state

@@ -10,7 +10,7 @@
 //! G22 = NOR(G10, G16)
 //! ```
 //!
-//! Parsing a file that was produced by [`write`] round-trips exactly, and
+//! Parsing a file that was produced by [`write()`] round-trips exactly, and
 //! real ISCAS-85 files from the public distribution parse unchanged, so the
 //! synthetic substrate in [`iscas85`](crate::iscas85) can be swapped for the
 //! original netlists without touching downstream code.
@@ -45,7 +45,12 @@ use crate::gate::GateKind;
 /// ```
 pub fn parse(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
     let mut builder = CircuitBuilder::new(name);
-    let mut outputs = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+    // first line declaring / referencing each name, so defects the builder
+    // can only detect at `build` time (forward references are legal) are
+    // still reported against a source line
+    let mut decl_lines: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut ref_lines: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
 
     for (lineno, raw) in source.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -56,13 +61,18 @@ pub fn parse(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
             line: lineno + 1,
             message,
         };
+        let build = |error| ParseBenchError::Build {
+            line: lineno + 1,
+            error,
+        };
 
         if let Some(rest) = strip_call(line, "INPUT") {
-            builder
-                .add_input(rest.trim())
-                .map_err(ParseBenchError::Build)?;
+            builder.add_input(rest.trim()).map_err(build)?;
+            decl_lines
+                .entry(rest.trim().to_owned())
+                .or_insert(lineno + 1);
         } else if let Some(rest) = strip_call(line, "OUTPUT") {
-            outputs.push(rest.trim().to_owned());
+            outputs.push((rest.trim().to_owned(), lineno + 1));
         } else if let Some(eq) = line.find('=') {
             let target = line[..eq].trim();
             if target.is_empty() {
@@ -89,18 +99,36 @@ pub fn parse(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
             if fanin.iter().any(|f| f.is_empty()) {
                 return Err(syntax(format!("empty fan-in name in `{rhs}`")));
             }
-            builder
-                .add_gate(target, kind, &fanin)
-                .map_err(ParseBenchError::Build)?;
+            builder.add_gate(target, kind, &fanin).map_err(build)?;
+            decl_lines.entry(target.to_owned()).or_insert(lineno + 1);
+            for f in &fanin {
+                ref_lines.entry((*f).to_owned()).or_insert(lineno + 1);
+            }
         } else {
             return Err(syntax(format!("unrecognized declaration `{line}`")));
         }
     }
 
-    for o in outputs {
-        builder.mark_output(&o).map_err(ParseBenchError::Build)?;
+    for (o, line) in &outputs {
+        builder
+            .mark_output(o)
+            .map_err(|error| ParseBenchError::Build { line: *line, error })?;
+        ref_lines.entry(o.clone()).or_insert(*line);
     }
-    builder.build().map_err(ParseBenchError::Build)
+    builder.build().map_err(|error| {
+        // attribute build-time defects to the line that introduced them
+        // where one exists; whole-netlist defects (missing I/O) keep 0
+        let line = match &error {
+            crate::BuildCircuitError::UnknownName(n) => {
+                ref_lines.get(n).copied().unwrap_or_default()
+            }
+            crate::BuildCircuitError::CombinationalCycle(n) => {
+                decl_lines.get(n).copied().unwrap_or_default()
+            }
+            _ => 0,
+        };
+        ParseBenchError::Build { line, error }
+    })
 }
 
 fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
@@ -173,18 +201,19 @@ y = NOT(mid)
 
     #[test]
     fn parses_sample() {
-        let c = parse("s", SAMPLE).unwrap();
+        let c = parse("s", SAMPLE).expect("sample parses");
         assert_eq!(c.inputs().len(), 2);
         assert_eq!(c.outputs().len(), 1);
         assert_eq!(c.num_gates(), 2);
-        assert_eq!(c.node(c.find("mid").unwrap()).kind(), GateKind::Nor);
+        let mid = c.find("mid").expect("mid declared");
+        assert_eq!(c.node(mid).kind(), GateKind::Nor);
     }
 
     #[test]
     fn round_trips() {
-        let c = parse("s", SAMPLE).unwrap();
+        let c = parse("s", SAMPLE).expect("sample parses");
         let text = write(&c);
-        let c2 = parse("s", &text).unwrap();
+        let c2 = parse("s", &text).expect("serialized text parses");
         assert_eq!(c.num_nodes(), c2.num_nodes());
         assert_eq!(c.inputs().len(), c2.inputs().len());
         for (a, b) in c.inputs().iter().zip(c2.inputs()) {
@@ -192,7 +221,7 @@ y = NOT(mid)
         }
         // same structure under name lookup
         for n in c.nodes() {
-            let id2 = c2.find(n.name()).unwrap();
+            let id2 = c2.find(n.name()).expect("name survives round trip");
             assert_eq!(c2.node(id2).kind(), n.kind());
         }
     }
@@ -200,10 +229,11 @@ y = NOT(mid)
     #[test]
     fn syntax_errors_carry_line_numbers() {
         let err = parse("s", "INPUT(a)\nOUTPUT(a)\nwhat is this").unwrap_err();
-        match err {
-            ParseBenchError::Syntax { line, .. } => assert_eq!(line, 3),
-            other => panic!("expected syntax error, got {other}"),
-        }
+        assert!(
+            matches!(err, ParseBenchError::Syntax { line: 3, .. }),
+            "expected a line-3 syntax error, got {err}"
+        );
+        assert_eq!(err.line(), 3);
     }
 
     #[test]
@@ -213,14 +243,34 @@ y = NOT(mid)
     }
 
     #[test]
-    fn build_errors_surface() {
+    fn build_errors_carry_the_offending_line() {
         let err = parse("s", "INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)").unwrap_err();
-        assert!(matches!(err, ParseBenchError::Build(_)));
+        assert!(
+            matches!(err, ParseBenchError::Build { line: 3, .. }),
+            "expected a line-3 build error, got {err}"
+        );
+        let err = parse("s", "INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)").unwrap_err();
+        assert!(
+            matches!(err, ParseBenchError::Build { line: 2, .. }),
+            "expected a line-2 build error, got {err}"
+        );
+    }
+
+    #[test]
+    fn whole_netlist_errors_use_line_zero() {
+        // no primary inputs: not attributable to any one declaration
+        let err = parse("s", "OUTPUT(y)\ny = AND(y2, y3)\ny2 = NOT(y)\ny3 = NOT(y2)").unwrap_err();
+        assert!(
+            matches!(err, ParseBenchError::Build { line: 0, .. }),
+            "expected a whole-netlist error, got {err}"
+        );
+        assert_eq!(err.line(), 0);
     }
 
     #[test]
     fn accepts_buff_alias() {
-        let c = parse("s", "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)").unwrap();
-        assert_eq!(c.node(c.find("y").unwrap()).kind(), GateKind::Buf);
+        let c = parse("s", "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)").expect("BUFF is an alias");
+        let y = c.find("y").expect("y declared");
+        assert_eq!(c.node(y).kind(), GateKind::Buf);
     }
 }

@@ -271,7 +271,7 @@ mod tests {
     #[test]
     fn rejects_duplicate_names() {
         let mut b = CircuitBuilder::new("t");
-        b.add_input("a").unwrap();
+        b.add_input("a").expect("fresh input name");
         assert_eq!(
             b.add_input("a"),
             Err(BuildCircuitError::DuplicateName("a".into()))
@@ -281,9 +281,10 @@ mod tests {
     #[test]
     fn rejects_unknown_fanin() {
         let mut b = CircuitBuilder::new("t");
-        b.add_input("a").unwrap();
-        b.add_gate("g", GateKind::And, &["a", "ghost"]).unwrap();
-        b.mark_output("g").unwrap();
+        b.add_input("a").expect("fresh input name");
+        b.add_gate("g", GateKind::And, &["a", "ghost"])
+            .expect("valid gate");
+        b.mark_output("g").expect("node exists");
         assert_eq!(
             b.build().unwrap_err(),
             BuildCircuitError::UnknownName("ghost".into())
@@ -293,7 +294,7 @@ mod tests {
     #[test]
     fn rejects_bad_arity() {
         let mut b = CircuitBuilder::new("t");
-        b.add_input("a").unwrap();
+        b.add_input("a").expect("fresh input name");
         let err = b.add_gate("g", GateKind::Not, &["a", "a"]).unwrap_err();
         assert!(matches!(err, BuildCircuitError::BadFanin { .. }));
     }
@@ -301,10 +302,12 @@ mod tests {
     #[test]
     fn rejects_combinational_cycle() {
         let mut b = CircuitBuilder::new("t");
-        b.add_input("a").unwrap();
-        b.add_gate("g1", GateKind::And, &["a", "g2"]).unwrap();
-        b.add_gate("g2", GateKind::Not, &["g1"]).unwrap();
-        b.mark_output("g2").unwrap();
+        b.add_input("a").expect("fresh input name");
+        b.add_gate("g1", GateKind::And, &["a", "g2"])
+            .expect("valid gate");
+        b.add_gate("g2", GateKind::Not, &["g1"])
+            .expect("valid gate");
+        b.mark_output("g2").expect("node exists");
         assert!(matches!(
             b.build().unwrap_err(),
             BuildCircuitError::CombinationalCycle(_)
@@ -315,18 +318,18 @@ mod tests {
     fn allows_cycles_through_dffs() {
         // Classic feedback register: q = DFF(d), d = NOT(q).
         let mut b = CircuitBuilder::new("toggle");
-        b.add_input("unused").unwrap();
-        b.add_gate("q", GateKind::Dff, &["d"]).unwrap();
-        b.add_gate("d", GateKind::Not, &["q"]).unwrap();
-        b.mark_output("q").unwrap();
-        let c = b.build().unwrap();
+        b.add_input("unused").expect("fresh input name");
+        b.add_gate("q", GateKind::Dff, &["d"]).expect("valid gate");
+        b.add_gate("d", GateKind::Not, &["q"]).expect("valid gate");
+        b.mark_output("q").expect("node exists");
+        let c = b.build().expect("valid netlist");
         assert_eq!(c.num_dffs(), 1);
     }
 
     #[test]
     fn rejects_empty_io() {
         let mut b = CircuitBuilder::new("t");
-        b.add_input("a").unwrap();
+        b.add_input("a").expect("fresh input name");
         assert_eq!(b.build().unwrap_err(), BuildCircuitError::NoOutputs);
 
         let b = CircuitBuilder::new("t");
@@ -336,18 +339,18 @@ mod tests {
     #[test]
     fn forward_references_resolve() {
         let mut b = CircuitBuilder::new("t");
-        b.add_gate("g", GateKind::Buf, &["a"]).unwrap(); // `a` declared later
-        b.add_input("a").unwrap();
-        b.mark_output("g").unwrap();
-        let c = b.build().unwrap();
+        b.add_gate("g", GateKind::Buf, &["a"]).expect("valid gate"); // `a` declared later
+        b.add_input("a").expect("fresh input name");
+        b.mark_output("g").expect("node exists");
+        let c = b.build().expect("valid netlist");
         assert_eq!(c.num_gates(), 1);
     }
 
     #[test]
     fn duplicate_output_rejected() {
         let mut b = CircuitBuilder::new("t");
-        b.add_input("a").unwrap();
-        b.mark_output("a").unwrap();
+        b.add_input("a").expect("fresh input name");
+        b.mark_output("a").expect("node exists");
         assert_eq!(
             b.mark_output("a"),
             Err(BuildCircuitError::DuplicateOutput("a".into()))

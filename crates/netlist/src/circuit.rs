@@ -238,12 +238,14 @@ mod tests {
 
     fn tiny() -> crate::Circuit {
         let mut b = CircuitBuilder::new("tiny");
-        b.add_input("a").unwrap();
-        b.add_input("b").unwrap();
-        b.add_gate("n1", GateKind::Nand, &["a", "b"]).unwrap();
-        b.add_gate("n2", GateKind::Not, &["n1"]).unwrap();
-        b.mark_output("n2").unwrap();
-        b.build().unwrap()
+        b.add_input("a").expect("fresh input name");
+        b.add_input("b").expect("fresh input name");
+        b.add_gate("n1", GateKind::Nand, &["a", "b"])
+            .expect("valid gate");
+        b.add_gate("n2", GateKind::Not, &["n1"])
+            .expect("valid gate");
+        b.mark_output("n2").expect("node exists");
+        b.build().expect("valid netlist")
     }
 
     #[test]
@@ -265,9 +267,9 @@ mod tests {
     #[test]
     fn levels_increase_along_paths() {
         let c = tiny();
-        let n1 = c.find("n1").unwrap();
-        let n2 = c.find("n2").unwrap();
-        let a = c.find("a").unwrap();
+        let n1 = c.find("n1").expect("node exists");
+        let n2 = c.find("n2").expect("node exists");
+        let a = c.find("a").expect("node exists");
         assert_eq!(c.level(a), 0);
         assert_eq!(c.level(n1), 1);
         assert_eq!(c.level(n2), 2);
@@ -277,16 +279,16 @@ mod tests {
     #[test]
     fn fanout_is_inverse_of_fanin() {
         let c = tiny();
-        let a = c.find("a").unwrap();
-        let n1 = c.find("n1").unwrap();
+        let a = c.find("a").expect("node exists");
+        let n1 = c.find("n1").expect("node exists");
         assert_eq!(c.fanout(a), &[n1]);
     }
 
     #[test]
     fn cones() {
         let c = tiny();
-        let a = c.find("a").unwrap();
-        let n2 = c.find("n2").unwrap();
+        let a = c.find("a").expect("node exists");
+        let n2 = c.find("n2").expect("node exists");
         let cone = c.fanout_cone(a);
         assert_eq!(cone.len(), 3); // a, n1, n2
         let fic = c.fanin_cone(n2);

@@ -69,10 +69,10 @@ mod tests {
     fn dffs_render_distinctly() {
         use crate::{CircuitBuilder, GateKind};
         let mut b = CircuitBuilder::new("reg");
-        b.add_input("d").unwrap();
-        b.add_gate("q", GateKind::Dff, &["d"]).unwrap();
-        b.mark_output("q").unwrap();
-        let dot = to_dot(&b.build().unwrap());
+        b.add_input("d").expect("fresh input name");
+        b.add_gate("q", GateKind::Dff, &["d"]).expect("valid gate");
+        b.mark_output("q").expect("node exists");
+        let dot = to_dot(&b.build().expect("valid netlist"));
         assert!(dot.contains("doubleoctagon"));
     }
 }

@@ -55,6 +55,13 @@ impl std::error::Error for BuildCircuitError {}
 
 /// Error produced while parsing a `.bench` file with
 /// [`bench::parse`](crate::bench::parse).
+///
+/// Every variant is source-located: `line` is the 1-based line number of
+/// the declaration the defect is attributed to (the referencing line for
+/// a dangling name, the declaring line of a node on a combinational
+/// cycle), or `0` when the defect is a property of the whole netlist —
+/// a circuit with no inputs or no outputs — rather than of any single
+/// line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseBenchError {
     /// A line could not be understood as a declaration.
@@ -66,7 +73,23 @@ pub enum ParseBenchError {
     },
     /// The declarations parsed, but the resulting netlist is structurally
     /// invalid.
-    Build(BuildCircuitError),
+    Build {
+        /// 1-based line number of the declaration that introduced the
+        /// defect, or `0` for whole-netlist defects.
+        line: usize,
+        /// The structural error.
+        error: BuildCircuitError,
+    },
+}
+
+impl ParseBenchError {
+    /// The 1-based source line the error is attributed to (`0` = the
+    /// whole netlist).
+    pub fn line(&self) -> usize {
+        match self {
+            ParseBenchError::Syntax { line, .. } | ParseBenchError::Build { line, .. } => *line,
+        }
+    }
 }
 
 impl fmt::Display for ParseBenchError {
@@ -75,7 +98,12 @@ impl fmt::Display for ParseBenchError {
             ParseBenchError::Syntax { line, message } => {
                 write!(f, "bench syntax error at line {line}: {message}")
             }
-            ParseBenchError::Build(e) => write!(f, "bench netlist invalid: {e}"),
+            ParseBenchError::Build { line: 0, error } => {
+                write!(f, "bench netlist invalid: {error}")
+            }
+            ParseBenchError::Build { line, error } => {
+                write!(f, "bench netlist invalid at line {line}: {error}")
+            }
         }
     }
 }
@@ -83,14 +111,8 @@ impl fmt::Display for ParseBenchError {
 impl std::error::Error for ParseBenchError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ParseBenchError::Build(e) => Some(e),
+            ParseBenchError::Build { error, .. } => Some(error),
             ParseBenchError::Syntax { .. } => None,
         }
-    }
-}
-
-impl From<BuildCircuitError> for ParseBenchError {
-    fn from(e: BuildCircuitError) -> Self {
-        ParseBenchError::Build(e)
     }
 }

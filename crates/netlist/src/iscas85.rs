@@ -17,7 +17,7 @@
 //! The substitution is documented in `DESIGN.md`: original ISCAS-85 netlists
 //! are not redistributable here, and every experiment depends only on these
 //! gross testability statistics. Real `.bench` files drop in via
-//! [`bench::parse`](crate::bench::parse) unchanged.
+//! [`bench::parse`](crate::bench::parse()) unchanged.
 //!
 //! # Example
 //!
@@ -25,7 +25,7 @@
 //! use bist_netlist::iscas85;
 //!
 //! let c432 = iscas85::circuit("c432").expect("known benchmark");
-//! let profile = iscas85::profile("c432").unwrap();
+//! let profile = iscas85::profile("c432").expect("known benchmark");
 //! assert_eq!(c432.inputs().len(), profile.inputs);
 //! assert_eq!(c432.outputs().len(), profile.outputs);
 //! ```
@@ -603,8 +603,8 @@ mod tests {
 
     #[test]
     fn synthesis_is_deterministic() {
-        let a = circuit("c432").unwrap();
-        let b = circuit("c432").unwrap();
+        let a = circuit("c432").expect("known benchmark");
+        let b = circuit("c432").expect("known benchmark");
         assert_eq!(a.num_nodes(), b.num_nodes());
         for (na, nb) in a.nodes().iter().zip(b.nodes()) {
             assert_eq!(na, nb);
@@ -633,7 +633,7 @@ mod tests {
 
     #[test]
     fn every_gate_reaches_an_output() {
-        let c = circuit("c880").unwrap();
+        let c = circuit("c880").expect("known benchmark");
         let mut reaches = vec![false; c.num_nodes()];
         for &o in c.outputs() {
             reaches[o.index()] = true;
@@ -658,7 +658,7 @@ mod tests {
     #[test]
     fn every_input_drives_logic() {
         for name in ["c432", "c3540"] {
-            let c = circuit(name).unwrap();
+            let c = circuit(name).expect("known benchmark");
             for &pi in c.inputs() {
                 assert!(
                     !c.fanout(pi).is_empty(),
@@ -679,15 +679,15 @@ mod tests {
         // only build the small ones here to keep the test fast; `all` is
         // exercised in release-mode integration tests
         assert_eq!(NAMES.len(), 11);
-        let c432 = circuit("c432").unwrap();
+        let c432 = circuit("c432").expect("known benchmark");
         assert!(c432.num_gates() > 100);
     }
 
     #[test]
     fn bench_round_trip_of_synthetic() {
-        let c = circuit("c432").unwrap();
+        let c = circuit("c432").expect("known benchmark");
         let text = bench::write(&c);
-        let back = bench::parse("c432", &text).unwrap();
+        let back = bench::parse("c432", &text).expect("serialized netlist parses");
         assert_eq!(back.num_nodes(), c.num_nodes());
         assert_eq!(back.outputs().len(), c.outputs().len());
     }

@@ -13,7 +13,7 @@
 //! and the larger circuits are profile-matched synthetic stand-ins
 //! (published #PI / #PO / #DFF / #gates, seeded and reproducible). Real
 //! `.bench` files — the format carries `DFF(...)` lines — drop in
-//! through [`bench::parse`](crate::bench::parse) unchanged.
+//! through [`bench::parse`](crate::bench::parse()) unchanged.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -312,7 +312,7 @@ mod tests {
 
     #[test]
     fn synthesis_is_deterministic() {
-        let p = profile("s344").unwrap();
+        let p = profile("s344").expect("known profile");
         let a = bench::write(&synthesize(p));
         let b = bench::write(&synthesize(p));
         assert_eq!(a, b);
@@ -321,7 +321,7 @@ mod tests {
     #[test]
     fn circuits_round_trip_through_bench_format() {
         for name in NAMES.iter().take(4) {
-            let c = circuit(name).unwrap();
+            let c = circuit(name).expect("known benchmark");
             let text = bench::write(&c);
             let back = bench::parse(name, &text).expect("serialized netlist parses");
             assert_eq!(back.num_gates(), c.num_gates(), "{name}");

@@ -7,7 +7,7 @@
 //!   precomputed fan-out and topological order,
 //! * [`CircuitBuilder`] — the only way to construct a [`Circuit`], with full
 //!   structural validation (unique names, legal fan-in arities, acyclicity),
-//! * [`bench`] — a reader/writer for the classic ISCAS-85 `.bench` format so
+//! * [`bench`](mod@bench) — a reader/writer for the classic ISCAS-85 `.bench` format so
 //!   real benchmark netlists drop in unchanged,
 //! * [`iscas85`] — the benchmark substrate: the exact `c17` netlist plus a
 //!   deterministic synthetic generator reproducing the published profile

@@ -6,7 +6,7 @@
 //! embarrassingly parallel *provided the merge stays deterministic*. This
 //! crate supplies exactly that substrate, in-tree and offline like the
 //! `vendor/` shims, built from `std::thread::scope` plus a work-stealing
-//! deque ([`deque`], a lock-guarded stand-in for the crossbeam Chase–Lev
+//! deque (`deque`, a lock-guarded stand-in for the crossbeam Chase–Lev
 //! deque — the workspace forbids `unsafe`):
 //!
 //! * [`Pool`] — a scoped work-stealing pool with a

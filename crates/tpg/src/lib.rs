@@ -22,7 +22,7 @@
 //! This crate also hosts the two architectures that have no crate of
 //! their own: [`PlainLfsr`] (the paper's pseudo-random extreme) and the
 //! direct [`Tpg`] implementation for
-//! [`LfsromGenerator`](bist_lfsrom::LfsromGenerator) (the deterministic
+//! [`LfsromGenerator`] (the deterministic
 //! extreme).
 //!
 //! # Example

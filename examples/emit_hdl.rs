@@ -10,18 +10,17 @@
 //! Verilog testbench that replays the expected pattern sequence. Files
 //! land in `results/hdl/`.
 //!
-//! The second half emits Verilog for a whole *fleet* of generator
-//! architectures — LFSROM, bare LFSR, shared-register mixed — through
-//! the one `Tpg` trait, no per-type plumbing.
+//! The second half does the same for the *mixed* generator through one
+//! engine `JobSpec::EmitHdl` job: solve the scheme at `p = 8`, emit
+//! lint-clean Verilog + VHDL + testbench, no per-type plumbing.
 
 use std::fs;
 
 use bist_atpg::{AtpgOptions, TestGenerator};
-use bist_core::{BistSession, MixedSchemeConfig};
+use bist_engine::{CircuitSource, EmitHdlSpec, Engine, HdlLanguage, JobSpec};
 use bist_fault::FaultList;
 use bist_hdl::{emit_verilog, emit_verilog_testbench, emit_vhdl, HdlOptions};
 use bist_lfsrom::LfsromGenerator;
-use bist_tpg::{PlainLfsr, Tpg};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c17 = bist_netlist::iscas85::c17();
@@ -83,27 +82,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("event-driven simulator (iverilog, Verilator, ModelSim).");
 
-    // --- the generic path: every architecture through one trait ---
-    let lfsr = PlainLfsr::new(bist_lfsr::paper_poly(), 1, c17.inputs().len(), 64);
-    let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
-    let mixed = session.solve_at(8)?.generator;
+    // --- the engine path: the solved mixed generator, one job ---
+    let engine = Engine::new();
+    let result = engine.run(JobSpec::EmitHdl(EmitHdlSpec {
+        circuit: CircuitSource::iscas85("c17"),
+        config: Default::default(),
+        prefix_len: 8,
+        language: HdlLanguage::Both,
+        module_name: Some("c17_mixed".to_owned()),
+        testbench: true,
+    }))?;
+    let hdl = result.as_emit_hdl().expect("emit jobs yield hdl outcomes");
     println!();
-    for tpg in [&lfsrom as &dyn Tpg, &lfsr, &mixed] {
-        // distinct `fleet_` paths: the seeded c17_lfsrom.v above (whose
-        // testbench depends on its reset values) must survive
-        let name = format!("fleet_c17_{}", tpg.architecture());
-        let options = HdlOptions::default().with_module_name(name.clone());
-        let verilog = tpg
-            .emit_verilog(&options)
-            .expect("all three architectures carry netlists");
-        bist_hdl::lint::check_verilog(&verilog)?;
-        let path = format!("results/hdl/{name}.v");
-        fs::write(&path, &verilog)?;
+    println!(
+        "mixed generator (p={}, d={}) as module `{}`:",
+        hdl.solution.prefix_len, hdl.solution.det_len, hdl.module
+    );
+    for (suffix, text) in [
+        (".v", hdl.verilog.as_deref()),
+        (".vhd", hdl.vhdl.as_deref()),
+        ("_tb.v", hdl.testbench.as_deref()),
+    ] {
+        let text = text.expect("all three artefacts requested");
+        let path = format!("results/hdl/{}{suffix}", hdl.module);
+        fs::write(&path, text)?;
         println!(
-            "wrote {path:<32} ({} lines, {} patterns x {} bits via Tpg)",
-            verilog.lines().count(),
-            tpg.test_length(),
-            tpg.width()
+            "wrote {path:<32} ({} lines, lint-clean)",
+            text.lines().count()
         );
     }
     Ok(())

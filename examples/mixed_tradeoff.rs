@@ -6,25 +6,29 @@
 //! cargo run --release --example mixed_tradeoff -- c880
 //! ```
 //!
-//! For each prefix length the full flow runs (fault simulation, ATPG
-//! top-up, generator synthesis, replay verification); the resulting
-//! frontier shows the paper's headline effect — the longer the mixed
-//! sequence, the cheaper the generator — and the selection helpers pick
-//! the kind of compromise the paper advocates (C3540: 68 % overhead at
-//! `p = 0` cut to ≈20 % at `p = 1000`).
+//! One `JobSpec::Sweep` runs the full flow per prefix length (fault
+//! simulation, ATPG top-up, generator synthesis, replay verification);
+//! the resulting frontier shows the paper's headline effect — the longer
+//! the mixed sequence, the cheaper the generator — and the selection
+//! helpers pick the kind of compromise the paper advocates (C3540: 68 %
+//! overhead at `p = 0` cut to ≈20 % at `p = 1000`), with documented
+//! deterministic tie-breaking.
 
-use bist_core::prelude::*;
+use bist::engine::{CircuitSource, Engine, JobSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "c3540".to_owned());
-    let circuit =
-        iscas85::circuit(&name).ok_or_else(|| format!("unknown ISCAS-85 circuit `{name}`"))?;
-    println!("exploring the mixed trade-off for {circuit}\n");
+    println!("exploring the mixed trade-off for {name}\n");
 
-    let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
-    let summary = session.sweep(&[0, 100, 200, 500, 1000])?;
+    let engine = Engine::new();
+    let result = engine.run(JobSpec::sweep(
+        CircuitSource::iscas85(&name),
+        [0, 100, 200, 500, 1000],
+    ))?;
+    let outcome = result.as_sweep().expect("sweep jobs yield sweep outcomes");
+    let summary = &outcome.summary;
     print!("{summary}");
 
     let cheapest = summary.cheapest().expect("sweep is non-empty");

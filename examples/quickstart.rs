@@ -1,32 +1,31 @@
-//! Quickstart: the whole mixed-BIST flow on the classic `c17` circuit.
+//! Quickstart: the whole mixed-BIST flow on the classic `c17` circuit,
+//! through the engine's job API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
 //! Walks the paper's pipeline end to end on the smallest ISCAS-85
-//! benchmark: fault universe → pseudo-random grading → ATPG top-up →
-//! mixed hardware generator → cycle-accurate replay verification.
+//! benchmark: one `JobSpec::SolveAt` job covers fault universe →
+//! pseudo-random grading → ATPG top-up → mixed hardware generator →
+//! cycle-accurate replay verification.
 
-use bist_core::prelude::*;
+use bist::engine::{CircuitSource, Engine, JobSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. the circuit under test: the exact ISCAS-85 c17 netlist
-    let c17 = iscas85::c17();
-    println!("circuit under test : {c17}");
+    // 1. the engine is the single entry point; jobs name their circuit
+    // by source, so a typo comes back as a typed error, not a panic
+    let engine = Engine::new();
+    let result = engine.run(JobSpec::solve_at(CircuitSource::iscas85("c17"), 8))?;
+    let outcome = result
+        .as_solve_at()
+        .expect("solve jobs yield solve outcomes");
+    let solution = &outcome.solution;
 
-    // 2. the paper's fault model: collapsed stuck-at + CMOS stuck-open
-    let faults = FaultList::mixed_model(&c17);
-    println!(
-        "fault universe     : {} faults ({} stuck-at, {} stuck-open)",
-        faults.len(),
-        faults.num_stuck_at(),
-        faults.num_stuck_open()
-    );
-
-    // 3. solve the mixed scheme with an 8-pattern pseudo-random prefix
-    let mut session = BistSession::new(&c17, MixedSchemeConfig::default());
-    let solution = session.solve_at(8)?;
+    // 2. the fault model behind the numbers: collapsed stuck-at + CMOS
+    // stuck-open over the exact c17 netlist
+    let total = solution.coverage.total();
+    println!("circuit under test : c17 (mixed fault universe: {total} faults)");
     println!(
         "prefix coverage    : {:.1} % after {} pseudo-random patterns",
         solution.prefix_coverage.coverage_pct(),
@@ -38,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         solution.coverage.coverage_pct()
     );
 
-    // 4. the hardware: a shared-register mixed generator
+    // 3. the hardware: a shared-register mixed generator
     let generator = &solution.generator;
     println!(
         "generator hardware : {} flip-flops, {} cells, {:.4} mm²",
@@ -47,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         solution.generator_area_mm2
     );
 
-    // 5. prove the silicon would do the right thing: replay every cycle
+    // 4. prove the silicon would do the right thing: replay every cycle
     assert!(
         generator.verify(),
         "hardware must replay both phases bit-exactly"
@@ -57,11 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         generator.total_len()
     );
 
-    // 6. the paper's trade-off in one sentence. (On a 6-gate circuit the
+    // 5. the paper's trade-off in one sentence. (On a 6-gate circuit the
     // 16-bit LFSR dominates the cost, so pure-deterministic wins here —
     // exactly the paper's Figure 6 story for c17. The mixed win appears at
     // scale: see the `mixed_tradeoff` example.)
-    let pure_det = session.solve_at(0)?;
+    let pure_det = engine.run(JobSpec::solve_at(CircuitSource::iscas85("c17"), 0))?;
+    let pure_det = &pure_det.as_solve_at().expect("solve outcome").solution;
     println!(
         "trade-off          : pure deterministic d={} costs {:.4} mm²; mixed (p=8, d={}) costs {:.4} mm²",
         pure_det.det_len, pure_det.generator_area_mm2, solution.det_len, solution.generator_area_mm2

@@ -7,33 +7,33 @@
 //! The paper's introduction surveys the BIST TPG design space — ROMs,
 //! counters with decoders, cellular automata, (weighted) LFSRs, reseeding
 //! — but its evaluation compares only the two extremes. This example puts
-//! every surveyed architecture on one board for the c432 profile: the
-//! deterministic encoders all embed the same ATPG test set, the
-//! pseudo-random generators all get the same pattern budget, and every
-//! row is re-graded by fault simulation of what the hardware would
-//! actually emit.
+//! every surveyed architecture on one board for the c432 profile with a
+//! single `JobSpec::Bakeoff`: the deterministic encoders all embed the
+//! same ATPG test set, the pseudo-random generators all get the same
+//! pattern budget, and every row is re-graded by fault simulation of what
+//! the hardware would actually emit.
 
-use bist_baselines::{bakeoff, BakeoffConfig};
+use bist::engine::{CircuitSource, Engine, JobSpec};
 
-fn main() {
-    let circuit = bist_netlist::iscas85::circuit("c432").expect("known benchmark");
-    let config = BakeoffConfig {
-        random_length: 1000,
-        ..BakeoffConfig::default()
-    };
-    let result = bakeoff(&circuit, &config);
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Engine::new();
+    let result = engine.run(JobSpec::bakeoff(CircuitSource::iscas85("c432"), 1000))?;
+    let outcome = result
+        .as_bakeoff()
+        .expect("bakeoff jobs yield bakeoff outcomes");
+    let bakeoff = &outcome.bakeoff;
 
-    println!("circuit {}", circuit.name());
+    println!("circuit {}", outcome.circuit);
     println!(
         "deterministic ATPG set: {} patterns; coverage ceiling {:.2} % (ATPG reaches {:.2} %)",
-        result.deterministic_patterns, result.achievable_pct, result.atpg_coverage_pct
+        bakeoff.deterministic_patterns, bakeoff.achievable_pct, bakeoff.atpg_coverage_pct
     );
     println!();
     println!(
         "{:<20} {:>8} {:>10} {:>10}   kind",
         "architecture", "patterns", "area mm²", "coverage"
     );
-    for row in &result.rows {
+    for row in &bakeoff.rows {
         println!(
             "{:<20} {:>8} {:>10.3} {:>9.2}%   {}",
             row.architecture,
@@ -54,4 +54,5 @@ fn main() {
     println!("coverage and pays for it in silicon. Where each encoder lands — ROM");
     println!("array vs counter-PLA vs reseeding vs the paper's LFSROM — is the");
     println!("architecture trade the mixed scheme then relaxes by shrinking d.");
+    Ok(())
 }

@@ -4,9 +4,15 @@
 //! (and the repo-level integration tests and examples) can depend on a
 //! single package. The interesting entry points:
 //!
+//! * [`engine::Engine`](bist_engine) — **the public face**: typed
+//!   [`JobSpec`](bist_engine::JobSpec)s for every workload (solve,
+//!   sweep, coverage curve, bake-off, HDL emission, area report),
+//!   scheduled across the pool with streaming progress, cooperative
+//!   cancellation and fallible parsing end-to-end.
 //! * [`core::BistSession`](bist_core) — the incremental mixed-scheme
-//!   pipeline (fault universe built once, prefix fault simulation
-//!   advanced across checkpoints, ATPG cached per open-fault frontier).
+//!   pipeline the engine drives (fault universe built once, prefix fault
+//!   simulation advanced across checkpoints, ATPG cached per open-fault
+//!   frontier).
 //! * [`tpg::Tpg`](bist_tpg) — the unified test-pattern-generator trait
 //!   every architecture in the workspace implements.
 //! * [`baselines::bakeoff`](bist_baselines) — all surveyed TPG
@@ -20,6 +26,7 @@ pub use bist_baselines as baselines;
 pub use bist_bridging as bridging;
 pub use bist_core as core;
 pub use bist_delay as delay;
+pub use bist_engine as engine;
 pub use bist_fault as fault;
 pub use bist_faultsim as faultsim;
 pub use bist_hdl as hdl;

@@ -1,0 +1,175 @@
+//! Fuzz-lite robustness of the fallible parsing path: corrupted and
+//! truncated ISCAS-85 / ISCAS-89 `.bench` fixtures must come back as
+//! `Err(BistError::Parse { line, .. })` (or still parse, for harmless
+//! mutations) — **never** a panic, and never any other error shape.
+
+use bist::engine::{BistError, CircuitSource};
+use bist::netlist::{iscas85, iscas89};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parses mutated text through the engine's source path and checks the
+/// contract: success, or a located parse error.
+fn assert_parse_contract(name: &str, text: &str) {
+    match CircuitSource::bench(name, text).realize() {
+        Ok(circuit) => {
+            assert!(!circuit.inputs().is_empty(), "valid circuits have inputs");
+        }
+        Err(BistError::Parse {
+            source_name,
+            line,
+            message,
+        }) => {
+            assert_eq!(source_name, name);
+            assert!(
+                line <= text.lines().count(),
+                "error line {line} beyond the {} source lines",
+                text.lines().count()
+            );
+            assert!(!message.is_empty(), "errors explain themselves");
+        }
+        Err(other) => panic!("bench sources only fail with Parse errors, got {other:?}"),
+    }
+}
+
+/// Applies one seeded corruption to valid `.bench` text.
+fn mutate(source: &str, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut text = source.to_owned();
+    match rng.gen_range(0..5) {
+        // truncate at an arbitrary char boundary (torn download)
+        0 => {
+            let cut = rng.gen_range(0..=text.chars().count());
+            text = text.chars().take(cut).collect();
+        }
+        // overwrite one char with line noise
+        1 => {
+            let noise = ['(', ')', '=', ',', '#', 'Z', '7', ' ', '\u{e9}'];
+            let chars: Vec<char> = text.chars().collect();
+            if !chars.is_empty() {
+                let at = rng.gen_range(0..chars.len());
+                let mut chars = chars;
+                chars[at] = noise[rng.gen_range(0..noise.len())];
+                text = chars.into_iter().collect();
+            }
+        }
+        // delete a whole line (lost declaration -> dangling references)
+        2 => {
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.len() > 1 {
+                let drop = rng.gen_range(0..lines.len());
+                text = lines
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, l)| *l)
+                    .collect::<Vec<_>>()
+                    .join("\n");
+            }
+        }
+        // duplicate a line (duplicate declarations)
+        3 => {
+            let lines: Vec<&str> = text.lines().collect();
+            if !lines.is_empty() {
+                let dup = rng.gen_range(0..lines.len());
+                let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+                for (i, l) in lines.iter().enumerate() {
+                    out.push(l);
+                    if i == dup {
+                        out.push(l);
+                    }
+                }
+                text = out.join("\n");
+            }
+        }
+        // splice in a garbage declaration
+        _ => {
+            let garbage = [
+                "wat",
+                "G1 = FROB(G2)",
+                "OUTPUT(",
+                "= AND(a, b)",
+                "INPUT(G1)",
+            ];
+            let lines: Vec<&str> = text.lines().collect();
+            let at = rng.gen_range(0..=lines.len());
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+            out.extend_from_slice(&lines[..at]);
+            out.push(garbage[rng.gen_range(0..garbage.len())]);
+            out.extend_from_slice(&lines[at..]);
+            text = out.join("\n");
+        }
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every seeded corruption of the exact c17 netlist parses or fails
+    /// with a located parse error.
+    #[test]
+    fn corrupted_iscas85_never_panics(seed in any::<u64>(), layers in 1usize..4) {
+        let mut text = iscas85::C17_BENCH.to_owned();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..layers {
+            text = mutate(&text, rng.gen());
+        }
+        assert_parse_contract("c17-mutant", &text);
+    }
+
+    /// Same for the sequential s27 netlist (exercises `DFF` declarations
+    /// and forward references).
+    #[test]
+    fn corrupted_iscas89_never_panics(seed in any::<u64>(), layers in 1usize..4) {
+        let mut text = iscas89::S27_BENCH.to_owned();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..layers {
+            text = mutate(&text, rng.gen());
+        }
+        assert_parse_contract("s27-mutant", &text);
+    }
+}
+
+#[test]
+fn every_truncation_point_is_handled() {
+    // exhaustive prefix truncation of both embedded fixtures: the
+    // cheapest systematic "torn file" sweep there is
+    for source in [iscas85::C17_BENCH, iscas89::S27_BENCH] {
+        for cut in 0..source.len() {
+            if !source.is_char_boundary(cut) {
+                continue;
+            }
+            assert_parse_contract("truncated", &source[..cut]);
+        }
+    }
+}
+
+#[test]
+fn specific_corruptions_report_exact_lines() {
+    // unterminated gate call on line 3
+    let err = CircuitSource::bench("t", "INPUT(a)\nOUTPUT(y)\ny = NAND(a")
+        .realize()
+        .expect_err("unterminated call");
+    assert!(matches!(err, BistError::Parse { line: 3, .. }), "{err:?}");
+
+    // unknown gate kind on line 3
+    let err = CircuitSource::bench("t", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)")
+        .realize()
+        .expect_err("unknown kind");
+    assert!(matches!(err, BistError::Parse { line: 3, .. }), "{err:?}");
+
+    // dangling fan-in reference: detected at build time, attributed to
+    // the referencing line 3
+    let err = CircuitSource::bench("t", "INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)")
+        .realize()
+        .expect_err("dangling reference");
+    assert!(matches!(err, BistError::Parse { line: 3, .. }), "{err:?}");
+
+    // truncation that loses every OUTPUT: a whole-netlist defect, line 0
+    let err = CircuitSource::bench("t", "INPUT(a)\ng = NOT(a)")
+        .realize()
+        .expect_err("no outputs");
+    assert!(matches!(err, BistError::Parse { line: 0, .. }), "{err:?}");
+}
