@@ -28,26 +28,7 @@
 
 use std::process::ExitCode;
 
-/// The `BENCH_sweep.json` layout this checker understands; must match
-/// `bench_sweep`'s emitted `schema_version`.
-const SCHEMA_VERSION: u64 = 2;
-
-/// Checks one file's `schema_version` declaration against
-/// [`SCHEMA_VERSION`], explaining exactly what is wrong otherwise.
-fn check_schema(path: &str, json: &str) -> Result<(), String> {
-    match num_field(json, "schema_version") {
-        Some(v) if v == SCHEMA_VERSION as f64 => Ok(()),
-        Some(v) => Err(format!(
-            "{path}: schema_version {v} does not match the supported version \
-             {SCHEMA_VERSION}; regenerate the file with this tree's bench_sweep \
-             (or update the committed baseline)"
-        )),
-        None => Err(format!(
-            "{path}: no schema_version field — the file predates the versioned \
-             layout; regenerate it with this tree's bench_sweep"
-        )),
-    }
-}
+use bist_bench::schema::{check_schema, circuit_blocks, num_field, points_of};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -158,52 +139,4 @@ fn main() -> ExitCode {
         }
         ExitCode::FAILURE
     }
-}
-
-/// Splits the fixed `bench_sweep` format into `(circuit_name, block)`
-/// pairs, each block running up to the next circuit entry.
-fn circuit_blocks(json: &str) -> Vec<(String, String)> {
-    let mut out = Vec::new();
-    let marker = "\"circuit\": \"";
-    let mut rest = json;
-    while let Some(at) = rest.find(marker) {
-        let after = &rest[at + marker.len()..];
-        let Some(name_end) = after.find('"') else {
-            break;
-        };
-        let name = after[..name_end].to_owned();
-        let body_end = after.find(marker).unwrap_or(after.len());
-        out.push((name, after[..body_end].to_owned()));
-        rest = &after[body_end..];
-    }
-    out
-}
-
-/// The numeric value following `"key":` in `block`.
-fn num_field(block: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let start = block.find(&pat)? + pat.len();
-    let rest = block[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// The raw `(p, d)` list of a circuit block, order-preserving.
-fn points_of(block: &str) -> Option<Vec<(u64, u64)>> {
-    let start = block.find("\"points\":")?;
-    let seg = &block[start..];
-    let end = seg.find(']')?;
-    let seg = &seg[..end];
-    let mut points = Vec::new();
-    let mut rest = seg;
-    while let Some(at) = rest.find("{\"p\":") {
-        let item = &rest[at..];
-        let p = num_field(item, "p")? as u64;
-        let d = num_field(item, "d")? as u64;
-        points.push((p, d));
-        rest = &item["{\"p\":".len()..];
-    }
-    Some(points)
 }

@@ -42,6 +42,7 @@ fn main() {
         "PPSFP fault-simulation scaling across pool widths",
     );
     let args = ExperimentArgs::parse(&["c432", "c3540"]);
+    args.warn_fixed_format("bench_par");
     let budget = if args.quick { 500 } else { 2000 };
     let max_threads = if args.threads > 0 {
         args.threads

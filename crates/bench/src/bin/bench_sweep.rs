@@ -34,12 +34,10 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use bist_bench::schema::SCHEMA_VERSION;
 use bist_bench::{banner, ExperimentArgs};
 use bist_core::prelude::*;
 use bist_engine::{CircuitSource, Engine, JobSpec, SolveAtSpec, SweepSpec};
-
-/// Version of the `BENCH_sweep.json` layout; `bench_check` gates on it.
-const SCHEMA_VERSION: u64 = 2;
 
 struct CircuitResult {
     name: String,
@@ -57,6 +55,7 @@ fn main() {
         "incremental JobSpec::Sweep vs point-wise one-shot JobSpec::SolveAt",
     );
     let args = ExperimentArgs::parse(&["c432", "c3540"]);
+    args.warn_fixed_format("bench_sweep");
     let prefixes: Vec<usize> = if args.quick {
         vec![0, 50, 100]
     } else {

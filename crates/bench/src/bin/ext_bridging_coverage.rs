@@ -23,6 +23,7 @@ fn main() {
         "bridging-fault coverage of stuck-at-derived BIST sequences ([Hwa93] cross-check)",
     );
     let args = ExperimentArgs::parse(&["c432", "c880"]);
+    args.warn_fixed_format("ext_bridging_coverage");
     let samples = if args.quick { 150 } else { 400 };
     for circuit in args.load_circuits() {
         let bridges = BridgingFaultList::sample(&circuit, samples, 0x1dd9);

@@ -23,6 +23,7 @@ fn main() {
         "transition-fault coverage vs mixed sequence composition",
     );
     let args = ExperimentArgs::parse(&["c880", "c1355"]);
+    args.warn_fixed_format("ext_delay_coverage");
     let prefixes: &[usize] = if args.quick {
         &[0, 64]
     } else {

@@ -24,6 +24,7 @@ fn main() {
         "TPG architecture bake-off (area vs test length vs coverage)",
     );
     let args = ExperimentArgs::parse(&["c432", "c880", "c1355"]);
+    args.warn_fixed_format("ext_tpg_bakeoff");
     let random_length = if args.quick { 200 } else { 1000 };
     let engine = Engine::with_threads(args.threads);
     let jobs: Vec<JobSpec> = args

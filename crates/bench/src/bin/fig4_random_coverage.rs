@@ -11,16 +11,15 @@
 //! ```text
 //! cargo run --release -p bist-bench --bin fig4_random_coverage
 //! cargo run --release -p bist-bench --bin fig4_random_coverage -- --circuits c432,c880 --quick
+//! cargo run --release -p bist-bench --bin fig4_random_coverage -- --format json
 //! ```
 
-use bist_bench::{banner, format_curve, paper, ExperimentArgs, LENGTH_CHECKPOINTS};
+use bist_bench::output::{Cell, Report, Section, TableData};
+use bist_bench::{paper, ExperimentArgs, LENGTH_CHECKPOINTS};
+use bist_engine::json::Json;
 use bist_engine::{Engine, JobSpec};
 
 fn main() {
-    banner(
-        "Figure 4",
-        "fault coverage vs pseudo-random sequence length (stuck-at + stuck-open)",
-    );
     let args = ExperimentArgs::parse(&["c3540"]);
     let checkpoints: Vec<usize> = if args.quick {
         vec![0, 50, 200]
@@ -33,31 +32,53 @@ fn main() {
         .into_iter()
         .map(|source| JobSpec::coverage_curve(source, checkpoints.clone()))
         .collect();
+
+    let mut report = Report::new(
+        "Figure 4",
+        "fault coverage vs pseudo-random sequence length (stuck-at + stuck-open)",
+    );
     for result in engine.run_batch(jobs) {
         let result = result.unwrap_or_else(|e| {
             eprintln!("coverage job failed: {e}");
             std::process::exit(2);
         });
         let outcome = result.as_coverage_curve().expect("curve outcome");
-        println!("\n{} ({} faults)", outcome.circuit, outcome.fault_universe);
         let reference: &[(usize, f64)] = if outcome.circuit == "c3540" {
             &paper::FIG4_C3540
         } else {
             &[]
         };
-        print!("{}", format_curve(&outcome.curve, reference));
+
+        let mut section = Section::new(&outcome.circuit);
+        section.fact("fault_universe", Json::uint(outcome.fault_universe));
+        let mut table = TableData::new(&[
+            ("length", "length"),
+            ("coverage_pct", "coverage %"),
+            ("paper_ref_pct", "paper (ref)"),
+        ]);
+        for &(len, cov) in outcome.curve.points() {
+            let reference_cell = reference
+                .iter()
+                .find(|(l, _)| *l == len)
+                .map(|&(_, c)| Cell::float(c, 1))
+                .unwrap_or_else(|| Cell::text("-"));
+            table.row(vec![Cell::uint(len), Cell::float(cov, 2), reference_cell]);
+        }
+        section.table(table);
         assert!(
             outcome.curve.is_monotone(),
             "coverage must be monotone in length"
         );
         if let Some(final_cov) = outcome.curve.final_coverage() {
-            println!("final coverage: {final_cov:.2} %");
+            section.note(format!("final coverage: {final_cov:.2} %"));
             if outcome.circuit == "c3540" {
-                println!(
-                    "paper ceiling : {:.1} % (135 redundant faults)",
+                section.note(format!(
+                    "paper ceiling: {:.1} % (135 redundant faults)",
                     paper::C3540_MAX_COVERAGE_PCT
-                );
+                ));
             }
         }
+        report.section(section);
     }
+    report.emit(args.format);
 }

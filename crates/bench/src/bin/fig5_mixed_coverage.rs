@@ -10,16 +10,14 @@
 //!
 //! ```text
 //! cargo run --release -p bist-bench --bin fig5_mixed_coverage
+//! cargo run --release -p bist-bench --bin fig5_mixed_coverage -- --format json
 //! ```
 
-use bist_bench::{banner, ExperimentArgs};
+use bist_bench::output::{Cell, Report, Section, TableData};
+use bist_bench::ExperimentArgs;
 use bist_engine::{Engine, JobSpec};
 
 fn main() {
-    banner(
-        "Figure 5",
-        "fault coverage vs mixed sequence length for (p, d) tuples",
-    );
     let args = ExperimentArgs::parse(&["c3540"]);
     let prefixes: Vec<usize> = if args.quick {
         vec![0, 100]
@@ -32,29 +30,37 @@ fn main() {
         .into_iter()
         .map(|source| JobSpec::sweep(source, prefixes.clone()))
         .collect();
+
+    let mut report = Report::new(
+        "Figure 5",
+        "fault coverage vs mixed sequence length for (p, d) tuples",
+    );
     for result in engine.run_batch(jobs) {
         let result = result.unwrap_or_else(|e| {
             eprintln!("sweep job failed: {e}");
             std::process::exit(2);
         });
         let outcome = result.as_sweep().expect("sweep outcome");
-        println!("\n{}", outcome.circuit);
-        println!(
-            "{:>8} {:>8} {:>8} {:>16} {:>16}",
-            "p", "d", "p+d", "prefix cov (%)", "final cov (%)"
-        );
+        let mut section = Section::new(&outcome.circuit);
+        let mut table = TableData::new(&[
+            ("p", "p"),
+            ("d", "d"),
+            ("total", "p+d"),
+            ("prefix_coverage_pct", "prefix cov (%)"),
+            ("coverage_pct", "final cov (%)"),
+        ]);
         let mut final_covs = Vec::new();
         for s in outcome.summary.solutions() {
-            println!(
-                "{:>8} {:>8} {:>8} {:>16.2} {:>16.2}",
-                s.prefix_len,
-                s.det_len,
-                s.total_len(),
-                s.prefix_coverage.coverage_pct(),
-                s.coverage.coverage_pct()
-            );
+            table.row(vec![
+                Cell::uint(s.prefix_len),
+                Cell::uint(s.det_len),
+                Cell::uint(s.total_len()),
+                Cell::float(s.prefix_coverage.coverage_pct(), 2),
+                Cell::float(s.coverage.coverage_pct(), 2),
+            ]);
             final_covs.push(s.coverage.coverage_pct());
         }
+        section.table(table);
         // the paper's claim: all tuples reach the same maximal coverage
         // (small spread allowed: longer prefixes may catch faults the
         // ATPG aborted on)
@@ -63,6 +69,10 @@ fn main() {
             final_covs.iter().all(|c| (c - max).abs() < 2.0),
             "all mixed tuples should converge to the maximal coverage"
         );
-        println!("all tuples reach the maximal coverage: {max:.2} % (spread < 2 %)");
+        section.note(format!(
+            "all tuples reach the maximal coverage: {max:.2} % (spread < 2 %)"
+        ));
+        report.section(section);
     }
+    report.emit(args.format);
 }

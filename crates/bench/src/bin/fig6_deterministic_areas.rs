@@ -12,16 +12,14 @@
 //! ```text
 //! cargo run --release -p bist-bench --bin fig6_deterministic_areas
 //! cargo run --release -p bist-bench --bin fig6_deterministic_areas -- --circuits c17,c432,c880
+//! cargo run --release -p bist-bench --bin fig6_deterministic_areas -- --format json
 //! ```
 
-use bist_bench::{banner, paper, ExperimentArgs};
+use bist_bench::output::{Cell, Report, Section, TableData};
+use bist_bench::{paper, ExperimentArgs};
 use bist_engine::{Engine, JobSpec};
 
 fn main() {
-    banner(
-        "Figure 6",
-        "full deterministic LFSROM generator areas across ISCAS-85",
-    );
     let args = ExperimentArgs::parse(&[
         "c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288",
         "c7552",
@@ -32,10 +30,21 @@ fn main() {
         .into_iter()
         .map(JobSpec::area_report)
         .collect();
-    println!(
-        "{:>7} {:>6} {:>10} {:>10} {:>12} {:>12} {:>12}",
-        "circuit", "#I", "#patterns", "chip mm2", "LFSROM mm2", "overhead %", "paper %"
+
+    let mut report = Report::new(
+        "Figure 6",
+        "full deterministic LFSROM generator areas across ISCAS-85",
     );
+    let mut section = Section::new("");
+    let mut table = TableData::new(&[
+        ("circuit", "circuit"),
+        ("inputs", "#I"),
+        ("patterns", "#patterns"),
+        ("chip_mm2", "chip mm2"),
+        ("lfsrom_mm2", "LFSROM mm2"),
+        ("overhead_pct", "overhead %"),
+        ("paper_pct", "paper %"),
+    ]);
     for result in engine.run_batch(jobs) {
         let result = result.unwrap_or_else(|e| {
             eprintln!("area job failed: {e}");
@@ -45,12 +54,20 @@ fn main() {
         let reference = paper::FIG6_OVERHEAD_PCT
             .iter()
             .find(|(n, _)| *n == r.circuit)
-            .map(|(_, v)| format!("{v:10.0}"))
-            .unwrap_or_else(|| "-".into());
-        println!(
-            "{:>7} {:>6} {:>10} {:>10.2} {:>12.2} {:>12.1} {:>12}",
-            r.circuit, r.inputs, r.det_len, r.chip_mm2, r.generator_mm2, r.overhead_pct, reference
-        );
+            .map(|&(_, v)| Cell::float(v, 0))
+            .unwrap_or_else(|| Cell::text("-"));
+        table.row(vec![
+            Cell::text(&r.circuit),
+            Cell::uint(r.inputs),
+            Cell::uint(r.det_len),
+            Cell::float(r.chip_mm2, 2),
+            Cell::float(r.generator_mm2, 2),
+            Cell::float(r.overhead_pct, 1),
+            reference,
+        ]);
     }
-    println!("\nshape check: overhead decreases as circuits grow (c17 >> c3540 > c6288)");
+    section.table(table);
+    section.note("shape check: overhead decreases as circuits grow (c17 >> c3540 > c6288)");
+    report.section(section);
+    report.emit(args.format);
 }

@@ -10,14 +10,16 @@
 //!
 //! ```text
 //! cargo run --release -p bist-bench --bin fig7_mixed_cost
+//! cargo run --release -p bist-bench --bin fig7_mixed_cost -- --format json
 //! ```
 
-use bist_bench::{banner, paper, ExperimentArgs};
+use bist_bench::output::{Cell, Report, Section, TableData};
+use bist_bench::{paper, ExperimentArgs};
 use bist_core::prelude::*;
+use bist_engine::json::Json;
 use bist_engine::{Engine, JobSpec};
 
 fn main() {
-    banner("Figure 7", "mixed generator cost vs mixed sequence length");
     let args = ExperimentArgs::parse(&["c3540"]);
     let prefixes: Vec<usize> = if args.quick {
         vec![0, 200]
@@ -32,33 +34,41 @@ fn main() {
         .into_iter()
         .map(|source| JobSpec::sweep(source, prefixes.clone()))
         .collect();
+
+    let mut report = Report::new("Figure 7", "mixed generator cost vs mixed sequence length");
     for result in engine.run_batch(jobs) {
         let result = result.unwrap_or_else(|e| {
             eprintln!("sweep job failed: {e}");
             std::process::exit(2);
         });
         let outcome = result.as_sweep().expect("sweep outcome");
-        println!("\n{}", outcome.circuit);
-        println!("{:>8} {:>8} {:>8} {:>14}", "p", "d", "p+d", "cost (mm2)");
+        let mut section = Section::new(&outcome.circuit);
+        section.fact("lfsr_asymptote_mm2", Json::Float(lfsr_mm2));
+        let mut table = TableData::new(&[
+            ("p", "p"),
+            ("d", "d"),
+            ("total", "p+d"),
+            ("cost_mm2", "cost (mm2)"),
+        ]);
         for s in outcome.summary.solutions() {
-            println!(
-                "{:>8} {:>8} {:>8} {:>14.3}",
-                s.prefix_len,
-                s.det_len,
-                s.total_len(),
-                s.generator_area_mm2
-            );
+            table.row(vec![
+                Cell::uint(s.prefix_len),
+                Cell::uint(s.det_len),
+                Cell::uint(s.total_len()),
+                Cell::float(s.generator_area_mm2, 3),
+            ]);
         }
-        println!(
+        section.table(table);
+        section.note(format!(
             "bare LFSR asymptote: {:.3} mm² (paper p-min: {:.2} mm²)",
             lfsr_mm2,
             paper::c3540::LFSR_MM2
-        );
+        ));
         if outcome.circuit == "c3540" {
-            println!(
+            section.note(format!(
                 "paper d-max: {:.1} mm² (full deterministic LFSROM)",
                 paper::c3540::LFSROM_MM2
-            );
+            ));
         }
         let areas: Vec<f64> = outcome
             .summary
@@ -70,5 +80,7 @@ fn main() {
             areas.first() > areas.last(),
             "cost must fall as the mixed sequence grows"
         );
+        report.section(section);
     }
+    report.emit(args.format);
 }

@@ -8,17 +8,15 @@
 //!
 //! ```text
 //! cargo run --release -p bist-bench --bin fig8_mixed_overhead
+//! cargo run --release -p bist-bench --bin fig8_mixed_overhead -- --format json
 //! ```
 
-use bist_bench::{banner, paper, ExperimentArgs};
+use bist_bench::output::{Cell, Report, Section, TableData};
+use bist_bench::{paper, ExperimentArgs};
 use bist_core::prelude::*;
 use bist_engine::{Engine, JobSpec};
 
 fn main() {
-    banner(
-        "Figure 8",
-        "mixed generator overhead (% of nominal chip) vs mixed length",
-    );
     let args = ExperimentArgs::parse(&["c3540"]);
     let prefixes: Vec<usize> = if args.quick {
         vec![0, 200]
@@ -33,40 +31,50 @@ fn main() {
         .into_iter()
         .map(|source| JobSpec::sweep(source, prefixes.clone()))
         .collect();
+
+    let mut report = Report::new(
+        "Figure 8",
+        "mixed generator overhead (% of nominal chip) vs mixed length",
+    );
     for result in engine.run_batch(jobs) {
         let result = result.unwrap_or_else(|e| {
             eprintln!("sweep job failed: {e}");
             std::process::exit(2);
         });
         let outcome = result.as_sweep().expect("sweep outcome");
-        println!("\n{}", outcome.circuit);
-        println!(
-            "{:>8} {:>8} {:>8} {:>12} {:>12}",
-            "p", "d", "p+d", "cost (mm2)", "% of chip"
-        );
+        let mut section = Section::new(&outcome.circuit);
+        let mut table = TableData::new(&[
+            ("p", "p"),
+            ("d", "d"),
+            ("total", "p+d"),
+            ("cost_mm2", "cost (mm2)"),
+            ("overhead_pct", "% of chip"),
+        ]);
         let mut chip_mm2 = 0.0;
         for s in outcome.summary.solutions() {
-            println!(
-                "{:>8} {:>8} {:>8} {:>12.3} {:>12.1}",
-                s.prefix_len,
-                s.det_len,
-                s.total_len(),
-                s.generator_area_mm2,
-                s.overhead_pct()
-            );
+            table.row(vec![
+                Cell::uint(s.prefix_len),
+                Cell::uint(s.det_len),
+                Cell::uint(s.total_len()),
+                Cell::float(s.generator_area_mm2, 3),
+                Cell::float(s.overhead_pct(), 1),
+            ]);
             chip_mm2 = s.chip_area_mm2;
         }
-        println!(
+        section.table(table);
+        section.note(format!(
             "bare LFSR asymptote: {:.1} % of chip (paper p-min: {:.1} %)",
             100.0 * lfsr_mm2 / chip_mm2,
             paper::c3540::LFSR_OVERHEAD_PCT
-        );
+        ));
         if outcome.circuit == "c3540" {
-            println!(
+            section.note(format!(
                 "paper d-max: {:.0} %; paper highlighted point (p=1000): ≈{:.0} %",
                 paper::c3540::LFSROM_OVERHEAD_PCT,
                 paper::c3540::MIXED_OVERHEAD_PCT
-            );
+            ));
         }
+        report.section(section);
     }
+    report.emit(args.format);
 }

@@ -18,12 +18,14 @@
 //! thread and asserts both digests match, making every invocation a
 //! self-contained determinism test (exit code 101 on divergence).
 
+use bist_bench::schema::Fnv;
 use bist_bench::ExperimentArgs;
 use bist_core::prelude::*;
 use bist_engine::{Engine, JobSpec, SweepSpec};
 
 fn main() {
     let args = ExperimentArgs::parse(&["c432"]);
+    args.warn_fixed_format("sweep_digest");
     let prefixes: Vec<usize> = if args.quick {
         vec![0, 50, 100]
     } else {
@@ -89,22 +91,4 @@ fn digest_sweep(args: &ExperimentArgs, prefixes: &[usize], threads: usize) -> St
     }
     out.push_str(&format!("total {:016x}\n", total.finish()));
     out
-}
-
-/// FNV-1a, 64-bit: tiny, dependency-free, stable across platforms.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xCBF2_9CE4_8422_2325)
-    }
-
-    fn push(&mut self, byte: u8) {
-        self.0 ^= u64::from(byte);
-        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
 }

@@ -12,17 +12,16 @@
 //! ```text
 //! cargo run --release -p bist-bench --bin table1_extremes
 //! cargo run --release -p bist-bench --bin table1_extremes -- --circuits c17,c432
+//! cargo run --release -p bist-bench --bin table1_extremes -- --format json
 //! ```
 
-use bist_bench::{banner, ExperimentArgs};
+use bist_bench::output::{Cell, Report, Section, TableData};
+use bist_bench::ExperimentArgs;
 use bist_core::prelude::*;
+use bist_engine::json::Json;
 use bist_engine::{Engine, JobSpec};
 
 fn main() {
-    banner(
-        "Table 1",
-        "full deterministic vs pure pseudo-random extremes, all ISCAS-85",
-    );
     let args = ExperimentArgs::parse(&[
         "c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288",
         "c7552",
@@ -35,29 +34,43 @@ fn main() {
         .into_iter()
         .map(JobSpec::area_report)
         .collect();
-    println!(
-        "{:>7} {:>6} {:>10} | {:>10} {:>11} {:>10} | {:>9} {:>10}",
-        "circuit", "#I", "chip mm2", "#patterns", "LFSROM mm2", "incr %", "LFSR mm2", "incr %"
+
+    let mut report = Report::new(
+        "Table 1",
+        "full deterministic vs pure pseudo-random extremes, all ISCAS-85",
     );
+    let mut section = Section::new("");
+    section.fact("lfsr_mm2", Json::Float(lfsr_mm2));
+    let mut table = TableData::new(&[
+        ("circuit", "circuit"),
+        ("inputs", "#I"),
+        ("chip_mm2", "chip mm2"),
+        ("patterns", "#patterns"),
+        ("lfsrom_mm2", "LFSROM mm2"),
+        ("lfsrom_incr_pct", "incr %"),
+        ("lfsr_mm2", "LFSR mm2"),
+        ("lfsr_incr_pct", "incr %"),
+    ]);
     for result in engine.run_batch(jobs) {
         let result = result.unwrap_or_else(|e| {
             eprintln!("area job failed: {e}");
             std::process::exit(2);
         });
         let r = result.as_area_report().expect("area outcome");
-        println!(
-            "{:>7} {:>6} {:>10.2} | {:>10} {:>11.2} {:>10.1} | {:>9.2} {:>10.1}",
-            r.circuit,
-            r.inputs,
-            r.chip_mm2,
-            r.det_len,
-            r.generator_mm2,
-            r.overhead_pct,
-            lfsr_mm2,
-            100.0 * lfsr_mm2 / r.chip_mm2
-        );
+        table.row(vec![
+            Cell::text(&r.circuit),
+            Cell::uint(r.inputs),
+            Cell::float(r.chip_mm2, 2),
+            Cell::uint(r.det_len),
+            Cell::float(r.generator_mm2, 2),
+            Cell::float(r.overhead_pct, 1),
+            Cell::float(lfsr_mm2, 2),
+            Cell::float(100.0 * lfsr_mm2 / r.chip_mm2, 1),
+        ]);
     }
-    println!(
-        "\n(paper reference: C3540 row = 3.8 | 144 patterns, 2.5 mm², 68 % | 0.25 mm², 7.5 %)"
-    );
+    section.table(table);
+    section
+        .note("(paper reference: C3540 row = 3.8 | 144 patterns, 2.5 mm², 68 % | 0.25 mm², 7.5 %)");
+    report.section(section);
+    report.emit(args.format);
 }

@@ -16,17 +16,15 @@
 //! ```text
 //! cargo run --release -p bist-bench --bin table2_mixed_solutions
 //! cargo run --release -p bist-bench --bin table2_mixed_solutions -- --circuits c3540 --quick
+//! cargo run --release -p bist-bench --bin table2_mixed_solutions -- --format json
 //! ```
 
-use bist_bench::{banner, paper, ExperimentArgs};
+use bist_bench::output::{Cell, Report, Section, TableData};
+use bist_bench::{paper, ExperimentArgs};
 use bist_core::prelude::*;
 use bist_engine::{Engine, JobSpec};
 
 fn main() {
-    banner(
-        "Table 2",
-        "mixed test solutions for the larger ISCAS-85 circuits",
-    );
     let args = ExperimentArgs::parse(&paper::TABLE2_CIRCUITS);
     let (prefixes, inf_len): (Vec<usize>, usize) = if args.quick {
         (vec![0, 200], 1000)
@@ -36,6 +34,11 @@ fn main() {
     let config = MixedSchemeConfig::default();
     let lfsr_mm2 = config.area.circuit_area_mm2(&lfsr_netlist(config.poly));
     let engine = Engine::with_threads(args.threads);
+
+    let mut report = Report::new(
+        "Table 2",
+        "mixed test solutions for the larger ISCAS-85 circuits",
+    );
     for source in args.sources() {
         let jobs = vec![
             JobSpec::sweep(source.clone(), prefixes.clone()),
@@ -51,22 +54,25 @@ fn main() {
             std::process::exit(2);
         });
         let outcome = sweep.as_sweep().expect("sweep outcome");
-        println!("\n=== {} ===", outcome.circuit);
-        println!(
-            "{:>8} {:>8} {:>8} {:>12} {:>12} {:>12}",
-            "p", "d", "p+d", "cost (mm2)", "incr %", "coverage %"
-        );
+        let mut section = Section::new(&outcome.circuit);
+        let mut table = TableData::new(&[
+            ("p", "p"),
+            ("d", "d"),
+            ("total", "p+d"),
+            ("cost_mm2", "cost (mm2)"),
+            ("incr_pct", "incr %"),
+            ("coverage_pct", "coverage %"),
+        ]);
         let mut chip_mm2 = 1.0;
         for s in outcome.summary.solutions() {
-            println!(
-                "{:>8} {:>8} {:>8} {:>12.3} {:>12.1} {:>12.2}",
-                s.prefix_len,
-                s.det_len,
-                s.total_len(),
-                s.generator_area_mm2,
-                s.overhead_pct(),
-                s.coverage.coverage_pct()
-            );
+            table.row(vec![
+                Cell::uint(s.prefix_len),
+                Cell::uint(s.det_len),
+                Cell::uint(s.total_len()),
+                Cell::float(s.generator_area_mm2, 3),
+                Cell::float(s.overhead_pct(), 1),
+                Cell::float(s.coverage.coverage_pct(), 2),
+            ]);
             chip_mm2 = s.chip_area_mm2;
         }
         // the ∞ row: pure pseudo-random, coverage from the curve job
@@ -76,14 +82,19 @@ fn main() {
             .curve
             .final_coverage()
             .unwrap_or(0.0);
-        println!(
-            "{:>8} {:>8} {:>8} {:>12.3} {:>12.1} {:>12.2}   (pure pseudo-random, p={inf_len})",
-            "inf",
-            0,
-            "inf",
-            lfsr_mm2,
-            100.0 * lfsr_mm2 / chip_mm2,
-            inf_cov
-        );
+        table.row(vec![
+            Cell::text("inf"),
+            Cell::uint(0),
+            Cell::text("inf"),
+            Cell::float(lfsr_mm2, 3),
+            Cell::float(100.0 * lfsr_mm2 / chip_mm2, 1),
+            Cell::float(inf_cov, 2),
+        ]);
+        section.table(table);
+        section.note(format!(
+            "(the `inf` row is the pure pseudo-random extreme, graded at p={inf_len})"
+        ));
+        report.section(section);
     }
+    report.emit(args.format);
 }

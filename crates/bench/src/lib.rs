@@ -9,10 +9,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod output;
 pub mod paper;
+pub mod schema;
 
 use bist_core::prelude::*;
 use bist_engine::CircuitSource;
+
+use crate::output::OutputFormat;
 
 /// The default sequence-length checkpoints of the paper's Figures 4/5
 /// (its x-axis runs 0..1000).
@@ -33,6 +37,8 @@ pub struct ExperimentArgs {
     /// Pool width for the parallel engines (`0` = automatic:
     /// `BIST_THREADS` or the machine width).
     pub threads: usize,
+    /// Output format (`--format text|json`).
+    pub format: OutputFormat,
     /// Extra flags the shared parser did not recognize, for binaries with
     /// private switches.
     pub extra: Vec<String>,
@@ -45,6 +51,7 @@ impl ExperimentArgs {
         let mut circuits: Vec<String> = Vec::new();
         let mut quick = false;
         let mut threads = 0usize;
+        let mut format = OutputFormat::Text;
         let mut extra: Vec<String> = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -61,6 +68,13 @@ impl ExperimentArgs {
                         .and_then(|v| v.parse().ok())
                         .expect("--threads takes a thread count");
                 }
+                "--format" => {
+                    format = match args.next().as_deref() {
+                        Some("text") => OutputFormat::Text,
+                        Some("json") => OutputFormat::Json,
+                        other => panic!("--format takes text or json, got {other:?}"),
+                    };
+                }
                 other => {
                     // binaries with private switches consume these via
                     // `has_flag`; the note keeps typos diagnosable
@@ -76,6 +90,7 @@ impl ExperimentArgs {
             circuits,
             quick,
             threads,
+            format,
             extra,
         }
     }
@@ -83,6 +98,15 @@ impl ExperimentArgs {
     /// True when flag `name` appeared among the unrecognized arguments.
     pub fn has_flag(&self, name: &str) -> bool {
         self.extra.iter().any(|a| a == name)
+    }
+
+    /// For binaries whose output format is fixed (perf harness, digest
+    /// fingerprints): warns when the shared `--format` flag asked for
+    /// anything else, instead of silently ignoring it.
+    pub fn warn_fixed_format(&self, binary: &str) {
+        if self.format != OutputFormat::Text {
+            eprintln!("note: {binary} emits a fixed output format; --format json is ignored");
+        }
     }
 
     /// The requested circuits as engine [`CircuitSource`]s (ISCAS-85 by
@@ -108,25 +132,6 @@ impl ExperimentArgs {
     }
 }
 
-/// Renders a `(length, coverage)` curve as an aligned two-column table,
-/// optionally annotated with the paper's reference points.
-pub fn format_curve(curve: &CoverageCurve, reference: &[(usize, f64)]) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{:>8}  {:>10}  {:>12}\n",
-        "length", "coverage", "paper (ref)"
-    ));
-    for &(len, cov) in curve.points() {
-        let reference_txt = reference
-            .iter()
-            .find(|(l, _)| *l == len)
-            .map(|(_, c)| format!("{c:8.1} %"))
-            .unwrap_or_else(|| "-".to_owned());
-        out.push_str(&format!("{len:>8}  {cov:9.2} %  {reference_txt:>12}\n"));
-    }
-    out
-}
-
 /// A standard banner so every experiment binary's output is self-dating
 /// and self-describing.
 pub fn banner(experiment: &str, what: &str) {
@@ -141,19 +146,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn format_curve_aligns_reference_points() {
-        let curve = CoverageCurve::new(vec![(0, 0.0), (200, 88.4)]);
-        let text = format_curve(&curve, &[(200, 88.4)]);
-        assert!(text.contains("88.40"));
-        assert!(text.lines().count() == 3);
-    }
-
-    #[test]
     fn default_circuits_load() {
         let args = ExperimentArgs {
             circuits: vec!["c17".into()],
             quick: true,
             threads: 0,
+            format: OutputFormat::Text,
             extra: Vec::new(),
         };
         assert_eq!(args.load_circuits().len(), 1);

@@ -1,0 +1,178 @@
+//! The `BENCH_sweep.json` schema contract, shared by producer and
+//! consumers.
+//!
+//! `bench_sweep` (the writer), `bench_check` (the CI gate) and any
+//! future reader must agree on the layout version and on how the fixed
+//! format is picked apart. Before this module existed the version
+//! constant and the field scrapers were duplicated per binary and could
+//! drift silently; now there is exactly one copy, unit-tested here.
+
+/// Version of the `BENCH_sweep.json` layout. The writer stamps it, the
+/// checker refuses files that do not declare exactly this value.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Checks one file's `schema_version` declaration against
+/// [`SCHEMA_VERSION`], explaining exactly what is wrong otherwise.
+///
+/// # Errors
+///
+/// A human-readable message naming `path` and the remedy.
+pub fn check_schema(path: &str, json: &str) -> Result<(), String> {
+    match num_field(json, "schema_version") {
+        Some(v) if v == SCHEMA_VERSION as f64 => Ok(()),
+        Some(v) => Err(format!(
+            "{path}: schema_version {v} does not match the supported version \
+             {SCHEMA_VERSION}; regenerate the file with this tree's bench_sweep \
+             (or update the committed baseline)"
+        )),
+        None => Err(format!(
+            "{path}: no schema_version field — the file predates the versioned \
+             layout; regenerate it with this tree's bench_sweep"
+        )),
+    }
+}
+
+/// Splits the fixed `bench_sweep` format into `(circuit_name, block)`
+/// pairs, each block running up to the next circuit entry.
+pub fn circuit_blocks(json: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let marker = "\"circuit\": \"";
+    let mut rest = json;
+    while let Some(at) = rest.find(marker) {
+        let after = &rest[at + marker.len()..];
+        let Some(name_end) = after.find('"') else {
+            break;
+        };
+        let name = after[..name_end].to_owned();
+        let body_end = after.find(marker).unwrap_or(after.len());
+        out.push((name, after[..body_end].to_owned()));
+        rest = &after[body_end..];
+    }
+    out
+}
+
+/// The numeric value following `"key":` in `block`.
+pub fn num_field(block: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = block.find(&pat)? + pat.len();
+    let rest = block[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The raw `(p, d)` list of a circuit block, order-preserving.
+pub fn points_of(block: &str) -> Option<Vec<(u64, u64)>> {
+    let start = block.find("\"points\":")?;
+    let seg = &block[start..];
+    let end = seg.find(']')?;
+    let seg = &seg[..end];
+    let mut points = Vec::new();
+    let mut rest = seg;
+    while let Some(at) = rest.find("{\"p\":") {
+        let item = &rest[at..];
+        let p = num_field(item, "p")? as u64;
+        let d = num_field(item, "d")? as u64;
+        points.push((p, d));
+        rest = &item["{\"p\":".len()..];
+    }
+    Some(points)
+}
+
+/// FNV-1a, 64-bit: the tiny, dependency-free, platform-stable hash
+/// behind `sweep_digest`'s fingerprints.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    /// Absorbs one byte.
+    pub fn push(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema_version": 2,
+  "circuits": [
+    {
+      "circuit": "c432",
+      "speedup": 2.301,
+      "patterns_simulated": 100,
+      "points": [{"p": 0, "d": 50}, {"p": 100, "d": 24}]
+    },
+    {
+      "circuit": "c3540",
+      "speedup": 1.5,
+      "patterns_simulated": 1000,
+      "points": [{"p": 0, "d": 144}]
+    }
+  ]
+}
+"#;
+
+    #[test]
+    fn schema_gate_accepts_the_current_version_only() {
+        assert!(check_schema("ok.json", SAMPLE).is_ok());
+        let older = SAMPLE.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let message = check_schema("old.json", &older).expect_err("older layout");
+        assert!(message.contains("old.json"));
+        assert!(message.contains("does not match"));
+        let missing = check_schema("none.json", "{}").expect_err("unversioned layout");
+        assert!(missing.contains("no schema_version"));
+    }
+
+    #[test]
+    fn blocks_fields_and_points_scrape_correctly() {
+        let blocks = circuit_blocks(SAMPLE);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].0, "c432");
+        assert_eq!(num_field(&blocks[0].1, "speedup"), Some(2.301));
+        assert_eq!(num_field(&blocks[0].1, "patterns_simulated"), Some(100.0));
+        assert_eq!(num_field(&blocks[0].1, "no_such_key"), None);
+        assert_eq!(
+            points_of(&blocks[0].1).expect("points present"),
+            vec![(0, 50), (100, 24)]
+        );
+        assert_eq!(
+            points_of(&blocks[1].1).expect("points present"),
+            vec![(0, 144)]
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // FNV-1a 64-bit reference values
+        let hash = |text: &str| {
+            let mut h = Fnv::new();
+            for b in text.bytes() {
+                h.push(b);
+            }
+            h.finish()
+        };
+        assert_eq!(hash(""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(hash("a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(hash("foobar"), 0x8594_4171_F739_67E8);
+    }
+}

@@ -1,0 +1,393 @@
+//! One function per subcommand, plus the dispatcher the binary calls.
+
+use std::time::Duration;
+
+use bist_engine::json::Json;
+use bist_engine::{
+    AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, Engine, HdlLanguage,
+    JobResult, JobSpec, ResultCache, SolveAtSpec, SweepSpec,
+};
+
+use crate::opts::{
+    parse_lengths, resolve_circuit, split_common, take_flag, take_value, CommonOpts, Format,
+    UsageError,
+};
+use crate::render::{event_line, result_json, result_text};
+use crate::{help, manifest, EXIT_JOB_FAILED, EXIT_USAGE};
+
+/// Runs the command line (everything after the program name) and
+/// returns the process exit code.
+pub fn dispatch(args: &[String]) -> u8 {
+    let Some((command, rest)) = args.split_first() else {
+        print!("{}", help::TOP);
+        return 0;
+    };
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        print!("{}", help::TOP);
+        return 0;
+    }
+    let (opts, mut rest) = match split_common(rest) {
+        Ok(split) => split,
+        Err(e) => return usage_error(&e),
+    };
+    if opts.help {
+        let text = match command.as_str() {
+            "solve" => help::SOLVE,
+            "sweep" => help::SWEEP,
+            "curve" => help::CURVE,
+            "bakeoff" => help::BAKEOFF,
+            "emit-hdl" => help::EMIT_HDL,
+            "area" => help::AREA,
+            "batch" => help::BATCH,
+            "cache" => help::CACHE,
+            _ => help::TOP,
+        };
+        print!("{text}");
+        return 0;
+    }
+    let mut run = || -> Result<u8, CommandError> {
+        match command.as_str() {
+            "solve" | "sweep" | "curve" | "bakeoff" | "emit-hdl" | "area" => {
+                job_command(command, &opts, &mut rest)
+            }
+            "batch" => batch_command(&opts, &rest),
+            "cache" => cache_command(&opts, &rest),
+            other => Err(UsageError(format!("unknown command `{other}` (try `bist help`)")).into()),
+        }
+    };
+    match run() {
+        Ok(code) => code,
+        Err(CommandError::Usage(e)) => usage_error(&e),
+        Err(CommandError::Job(e)) => {
+            eprintln!("bist: {e}");
+            EXIT_JOB_FAILED
+        }
+        Err(CommandError::Io(message)) => {
+            eprintln!("bist: {message}");
+            EXIT_JOB_FAILED
+        }
+    }
+}
+
+/// Either kind of failure a subcommand can produce.
+#[derive(Debug)]
+pub enum CommandError {
+    /// Malformed command line, rejected before any work (exit 2).
+    Usage(UsageError),
+    /// The engine rejected or failed the job (exit 1).
+    Job(BistError),
+    /// Work succeeded or partially ran but an I/O step failed — writing
+    /// HDL artefacts, clearing the cache (exit 1, never 2: the command
+    /// line was fine).
+    Io(String),
+}
+
+impl From<UsageError> for CommandError {
+    fn from(e: UsageError) -> Self {
+        CommandError::Usage(e)
+    }
+}
+
+impl From<BistError> for CommandError {
+    fn from(e: BistError) -> Self {
+        CommandError::Job(e)
+    }
+}
+
+fn usage_error(e: &UsageError) -> u8 {
+    eprintln!("bist: {e} (try `bist help`)");
+    EXIT_USAGE
+}
+
+/// The one circuit positional every job command takes.
+fn the_circuit(command: &str, rest: &[String]) -> Result<String, UsageError> {
+    match rest {
+        [one] => Ok(one.clone()),
+        [] => Err(UsageError(format!("{command} needs a circuit argument"))),
+        many => Err(UsageError(format!(
+            "{command} takes one circuit, got `{}`",
+            many.join(" ")
+        ))),
+    }
+}
+
+fn job_command(
+    command: &str,
+    opts: &CommonOpts,
+    rest: &mut Vec<String>,
+) -> Result<u8, CommandError> {
+    let mut out_dir: Option<String> = None;
+    let spec = match command {
+        "solve" => {
+            let prefix = required_usize(rest, "--prefix", "solve")?;
+            JobSpec::SolveAt(SolveAtSpec {
+                circuit: resolve_circuit(&the_circuit(command, rest)?)?,
+                config: Default::default(),
+                prefix_len: prefix,
+            })
+        }
+        "sweep" => {
+            let points = required_lengths(rest, "--points", "sweep")?;
+            JobSpec::Sweep(SweepSpec {
+                circuit: resolve_circuit(&the_circuit(command, rest)?)?,
+                config: Default::default(),
+                prefix_lengths: points,
+            })
+        }
+        "curve" => {
+            let points = required_lengths(rest, "--points", "curve")?;
+            JobSpec::CoverageCurve(CoverageCurveSpec {
+                circuit: resolve_circuit(&the_circuit(command, rest)?)?,
+                config: Default::default(),
+                checkpoints: points,
+            })
+        }
+        "bakeoff" => {
+            let random_length = match take_value(rest, "--random-length")? {
+                None => 1000,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| UsageError(format!("--random-length: `{v}` is not a length")))?,
+            };
+            JobSpec::Bakeoff(BakeoffSpec {
+                circuit: resolve_circuit(&the_circuit(command, rest)?)?,
+                config: Default::default(),
+                random_length,
+            })
+        }
+        "emit-hdl" => {
+            let prefix = required_usize(rest, "--prefix", "emit-hdl")?;
+            let language = match take_value(rest, "--lang")?.as_deref() {
+                None | Some("both") => HdlLanguage::Both,
+                Some("verilog") => HdlLanguage::Verilog,
+                Some("vhdl") => HdlLanguage::Vhdl,
+                Some(other) => {
+                    return Err(UsageError(format!(
+                        "--lang takes verilog | vhdl | both, got `{other}`"
+                    ))
+                    .into())
+                }
+            };
+            let module_name = take_value(rest, "--module")?;
+            let testbench = take_flag(rest, "--testbench");
+            out_dir = take_value(rest, "--out")?;
+            JobSpec::EmitHdl(EmitHdlSpec {
+                circuit: resolve_circuit(&the_circuit(command, rest)?)?,
+                config: Default::default(),
+                prefix_len: prefix,
+                language,
+                module_name,
+                testbench,
+            })
+        }
+        "area" => JobSpec::AreaReport(AreaReportSpec {
+            circuit: resolve_circuit(&the_circuit(command, rest)?)?,
+            config: Default::default(),
+        }),
+        _ => unreachable!("caller matched the command"),
+    };
+
+    let (engine, cache) = build_engine(opts, opts.threads);
+    let result = run_with_progress(&engine, vec![spec], opts.quiet)
+        .pop()
+        .expect("one job in, one result out");
+    report_cache(&cache, opts.quiet);
+    let result = result?;
+
+    if let (Some(dir), JobResult::EmitHdl(hdl)) = (&out_dir, &result) {
+        write_artefacts(dir, hdl)?;
+        if opts.format == Format::Text {
+            println!("{}: module {} — {}", hdl.circuit, hdl.module, hdl.solution);
+            return Ok(0);
+        }
+    }
+    match opts.format {
+        Format::Text => print!("{}", result_text(&result)),
+        Format::Json => print!("{}", result_json(&result).render_pretty()),
+    }
+    Ok(0)
+}
+
+fn required_usize(rest: &mut Vec<String>, flag: &str, command: &str) -> Result<usize, UsageError> {
+    let value = take_value(rest, flag)?
+        .ok_or_else(|| UsageError(format!("{command} needs `{flag} <n>`")))?;
+    value
+        .parse()
+        .map_err(|_| UsageError(format!("{flag}: `{value}` is not a length")))
+}
+
+fn required_lengths(
+    rest: &mut Vec<String>,
+    flag: &str,
+    command: &str,
+) -> Result<Vec<usize>, UsageError> {
+    let value = take_value(rest, flag)?
+        .ok_or_else(|| UsageError(format!("{command} needs `{flag} <n,n,..>`")))?;
+    parse_lengths(flag, &value)
+}
+
+fn batch_command(opts: &CommonOpts, rest: &[String]) -> Result<u8, CommandError> {
+    let path = match rest {
+        [one] => one.clone(),
+        _ => return Err(UsageError("batch takes one manifest path".to_owned()).into()),
+    };
+    let manifest = manifest::load(&path)?;
+    // precedence: --threads flag > [defaults] threads > automatic
+    let threads = if opts.threads != 0 {
+        opts.threads
+    } else {
+        manifest.threads.unwrap_or(0)
+    };
+    let (engine, cache) = build_engine(opts, threads);
+    let results = run_with_progress(&engine, manifest.jobs, opts.quiet);
+    report_cache(&cache, opts.quiet);
+
+    let mut failed = 0usize;
+    match opts.format {
+        Format::Text => {
+            for (index, result) in results.iter().enumerate() {
+                if index > 0 {
+                    println!();
+                }
+                match result {
+                    Ok(result) => print!("{}", result_text(result)),
+                    Err(e) => {
+                        failed += 1;
+                        eprintln!("bist: job {} failed: {e}", index + 1);
+                    }
+                }
+            }
+        }
+        Format::Json => {
+            let docs: Vec<Json> = results
+                .iter()
+                .map(|result| match result {
+                    Ok(result) => result_json(result),
+                    Err(e) => {
+                        failed += 1;
+                        let mut doc = Json::object();
+                        doc.push("job", Json::str("error"));
+                        doc.push("error", Json::str(e.to_string()));
+                        doc
+                    }
+                })
+                .collect();
+            for result in &results {
+                if let Err(e) = result {
+                    eprintln!("bist: {e}");
+                }
+            }
+            print!("{}", Json::Array(docs).render_pretty());
+        }
+    }
+    Ok(if failed == 0 { 0 } else { EXIT_JOB_FAILED })
+}
+
+fn cache_command(opts: &CommonOpts, rest: &[String]) -> Result<u8, CommandError> {
+    let action = match rest {
+        [one] => one.as_str(),
+        _ => return Err(UsageError("cache takes `stats` or `clear`".to_owned()).into()),
+    };
+    let cache = opts.cache().ok_or_else(|| {
+        UsageError("no cache directory configured (use --cache-dir or $BIST_CACHE_DIR)".to_owned())
+    })?;
+    match action {
+        "stats" => {
+            let stats = cache.disk_stats();
+            match opts.format {
+                Format::Text => println!(
+                    "{}: {} entries, {} bytes",
+                    cache.dir().display(),
+                    stats.entries,
+                    stats.bytes
+                ),
+                Format::Json => {
+                    let mut doc = Json::object();
+                    doc.push("dir", Json::str(cache.dir().display().to_string()));
+                    doc.push("entries", Json::uint(stats.entries));
+                    doc.push("bytes", Json::uint(stats.bytes as usize));
+                    print!("{}", doc.render_pretty());
+                }
+            }
+            Ok(0)
+        }
+        "clear" => {
+            let removed = cache.clear().map_err(|e| {
+                CommandError::Io(format!("cannot clear {}: {e}", cache.dir().display()))
+            })?;
+            println!("removed {removed} entries from {}", cache.dir().display());
+            Ok(0)
+        }
+        other => Err(UsageError(format!("cache takes `stats` or `clear`, got `{other}`")).into()),
+    }
+}
+
+fn build_engine(opts: &CommonOpts, threads: usize) -> (Engine, Option<ResultCache>) {
+    let cache = opts.cache();
+    let mut engine = Engine::with_threads(threads);
+    if let Some(cache) = cache.clone() {
+        engine = engine.with_result_cache(cache);
+    }
+    (engine, cache)
+}
+
+/// Runs a batch on a worker thread while the calling thread streams
+/// progress events to stderr.
+fn run_with_progress(
+    engine: &Engine,
+    specs: Vec<JobSpec>,
+    quiet: bool,
+) -> Vec<Result<JobResult, BistError>> {
+    if quiet {
+        return engine.run_batch(specs);
+    }
+    let feed = engine.progress();
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(|| engine.run_batch(specs));
+        loop {
+            for event in feed.drain() {
+                eprintln!("{}", event_line(&event));
+            }
+            if worker.is_finished() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for event in feed.drain() {
+            eprintln!("{}", event_line(&event));
+        }
+        worker.join().expect("worker thread does not panic")
+    })
+}
+
+/// The greppable cache summary CI asserts on (stderr, one line).
+fn report_cache(cache: &Option<ResultCache>, quiet: bool) {
+    if let (Some(cache), false) = (cache, quiet) {
+        eprintln!(
+            "cache: hits={} misses={} stores={} dir={}",
+            cache.hits(),
+            cache.misses(),
+            cache.stores(),
+            cache.dir().display()
+        );
+    }
+}
+
+fn write_artefacts(dir: &str, hdl: &bist_engine::HdlOutcome) -> Result<(), CommandError> {
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CommandError::Io(format!("cannot create {}: {e}", dir.display())))?;
+    for (suffix, text) in [
+        (".v", &hdl.verilog),
+        (".vhd", &hdl.vhdl),
+        ("_tb.v", &hdl.testbench),
+    ] {
+        if let Some(text) = text {
+            let path = dir.join(format!("{}{suffix}", hdl.module));
+            std::fs::write(&path, text)
+                .map_err(|e| CommandError::Io(format!("cannot write {}: {e}", path.display())))?;
+            eprintln!("wrote {} ({} lines)", path.display(), text.lines().count());
+        }
+    }
+    Ok(())
+}

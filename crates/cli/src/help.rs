@@ -1,0 +1,137 @@
+//! Help texts.
+//!
+//! These strings are the contract between the CLI, `docs/GUIDE.md` and
+//! the snapshot test in `tests/cli.rs`: the top-level text must match
+//! `tests/snapshots/help.txt` byte for byte, so flags cannot drift from
+//! their documentation unnoticed.
+
+/// Top-level overview (`bist`, `bist help`, `bist --help`).
+pub const TOP: &str = "\
+bist — mixed-BIST job runner (Dufaza/Viallon/Chevalier, ED&TC 1995 reproduction)
+
+USAGE
+    bist <command> [arguments] [options]
+
+COMMANDS
+    solve <circuit> --prefix <p>      solve the mixed scheme at one prefix length
+    sweep <circuit> --points <p,p,..> sweep the (p, d) trade-off incrementally
+    curve <circuit> --points <l,l,..> grade the pure pseudo-random coverage curve
+    bakeoff <circuit>                 run every TPG architecture on equal terms
+    emit-hdl <circuit> --prefix <p>   solve and render the generator as HDL
+    area <circuit>                    price the full-deterministic extreme
+    batch <manifest.toml>             run a declarative job list
+    cache <stats|clear>               inspect or empty the result cache
+    help                              print this overview
+
+CIRCUITS
+    c17 .. c7552        ISCAS-85 benchmark by name
+    s27 ..              ISCAS-89 benchmark by name
+    path/to/file.bench  a .bench netlist (parse errors report file:line)
+
+OPTIONS (every job command)
+    --format <text|json>  stdout format                  [default: text]
+    --threads <n>         pool width                     [default: BIST_THREADS or machine]
+    --cache-dir <dir>     result cache directory         [default: BIST_CACHE_DIR, unset = off]
+    --no-cache            run without the result cache
+    --quiet, -q           no progress/cache lines on stderr
+    --help, -h            command help
+
+EXIT CODES
+    0  success      1  a job failed (diagnostic on stderr)      2  usage error
+
+See docs/GUIDE.md for a task-oriented cookbook, batch-manifest authoring
+and the result-cache story.
+";
+
+/// `bist solve --help`.
+pub const SOLVE: &str = "\
+bist solve <circuit> --prefix <p> [options]
+
+Solves the mixed scheme at one pseudo-random prefix length p: fault
+simulation of the prefix, ATPG top-up of length d, generator synthesis
+and replay verification. Prints the solved (p, d) point, its coverage,
+silicon cost and the session work counters.
+";
+
+/// `bist sweep --help`.
+pub const SWEEP: &str = "\
+bist sweep <circuit> --points <p,p,..> [options]
+
+Sweeps the (p, d) trade-off over the given prefix lengths on one
+incremental session (each pseudo-random pattern graded at most once).
+Results come back in request order; the cache makes repeated sweeps of
+the same circuit/budgets milliseconds.
+";
+
+/// `bist curve --help`.
+pub const CURVE: &str = "\
+bist curve <circuit> --points <l,l,..> [options]
+
+Grades the pure pseudo-random sequence at the given lengths — the
+paper's Figure 4 coverage-versus-length curve.
+";
+
+/// `bist bakeoff --help`.
+pub const BAKEOFF: &str = "\
+bist bakeoff <circuit> [--random-length <n>] [options]
+
+Runs every surveyed TPG architecture on one circuit, on equal terms:
+deterministic encoders embed the same ATPG set, pseudo-random
+generators get --random-length patterns (default 1000), and every row
+is re-graded by the fault simulator.
+";
+
+/// `bist emit-hdl --help`.
+pub const EMIT_HDL: &str = "\
+bist emit-hdl <circuit> --prefix <p> [--lang <verilog|vhdl|both>]
+              [--module <name>] [--testbench] [--out <dir>] [options]
+
+Solves the scheme at prefix length p and renders the mixed generator as
+lint-clean structural HDL (default: both languages). --testbench adds
+the self-checking Verilog testbench (Verilog-producing --lang only).
+--out writes the artefacts as files into <dir> instead of dumping them
+to stdout.
+";
+
+/// `bist area --help`.
+pub const AREA: &str = "\
+bist area <circuit> [options]
+
+Prices the full-deterministic extreme: the LFSROM generator encoding
+the complete ATPG test set versus the nominal chip area — one row of
+the paper's Figure 6 / Table 1.
+";
+
+/// `bist batch --help`.
+pub const BATCH: &str = "\
+bist batch <manifest.toml> [options]
+
+Runs a declarative job list through the engine's batch scheduler (jobs
+shard across the pool; results are bit-identical to running each job
+alone). Per-job failures are reported and do not stop the batch; the
+exit code is 1 if any job failed.
+
+MANIFEST
+    [defaults]                 # optional
+    circuit = \"c432\"           # for jobs that name none
+    threads = 2                # pool width (the --threads flag overrides)
+
+    [[job]]                    # one table per job, run in file order
+    kind = \"sweep\"             # solve | sweep | curve | bakeoff | emit-hdl | area
+    points = [0, 100, 1000]    # sweep/curve budgets
+    # solve/emit-hdl:  prefix = <p>
+    # bakeoff:         random-length = <n>        (default 1000)
+    # emit-hdl:        language = \"verilog\"       (| \"vhdl\" | \"both\")
+    #                  module = \"name\"  testbench = true
+";
+
+/// `bist cache --help`.
+pub const CACHE: &str = "\
+bist cache <stats|clear> [--cache-dir <dir>] [options]
+
+Inspects (stats) or empties (clear) the content-addressed result cache
+under --cache-dir / $BIST_CACHE_DIR. Entries are keyed by a SHA-256 of
+the realized circuit, the flow configuration and the job budgets — the
+pool width deliberately excluded, since results are bit-identical at
+every width.
+";

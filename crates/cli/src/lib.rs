@@ -1,0 +1,36 @@
+//! Library behind the `bist` binary.
+//!
+//! The binary itself (`src/main.rs`) is a thin dispatcher; everything
+//! testable lives here:
+//!
+//! * [`opts`] — shared flag parsing (`--format`, `--threads`,
+//!   `--cache-dir`/`BIST_CACHE_DIR`, `--no-cache`, `--quiet`) and
+//!   circuit-argument resolution (benchmark names and `.bench` paths);
+//! * [`manifest`] — the declarative TOML job list behind `bist batch`,
+//!   parsed with source-located errors (`file:line: message`);
+//! * [`render`] — text and JSON rendering of every
+//!   [`JobResult`](bist_engine::JobResult) variant plus progress-event
+//!   formatting;
+//! * [`commands`] — one function per subcommand, returning the process
+//!   exit code.
+//!
+//! Layering rule: this crate speaks **only** to `bist-engine` — specs
+//! in, results and typed errors out. No substrate crate (fault
+//! simulation, ATPG, synthesis) is named here, so the CLI surface grows
+//! with [`JobSpec`](bist_engine::JobSpec) and nothing else.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod help;
+pub mod manifest;
+pub mod opts;
+pub mod render;
+
+/// Exit code for a failed job (the `BistError` diagnostic goes to
+/// stderr).
+pub const EXIT_JOB_FAILED: u8 = 1;
+
+/// Exit code for a usage error (unknown command, malformed flag).
+pub const EXIT_USAGE: u8 = 2;

@@ -1,0 +1,8 @@
+//! The `bist` binary: a thin shell around [`bist_cli::commands`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(bist_cli::commands::dispatch(&args))
+}

@@ -1,0 +1,536 @@
+//! Declarative batch manifests for `bist batch`.
+//!
+//! A manifest is a TOML file with one `[[job]]` table per job and an
+//! optional `[defaults]` table:
+//!
+//! ```toml
+//! [defaults]
+//! circuit = "c432"      # used by jobs that name none
+//! threads = 2           # pool width for the whole batch
+//!
+//! [[job]]
+//! kind = "sweep"        # solve | sweep | curve | bakeoff | emit-hdl | area
+//! points = [0, 100, 1000]
+//!
+//! [[job]]
+//! kind = "solve"
+//! circuit = "c17"       # benchmark name or path/to/netlist.bench
+//! prefix = 8
+//!
+//! [[job]]
+//! kind = "emit-hdl"
+//! circuit = "c17"
+//! prefix = 4
+//! language = "verilog"  # verilog | vhdl | both (default)
+//! module = "c17_bist"   # optional module/entity name
+//! testbench = true      # default false
+//! ```
+//!
+//! The parser covers exactly the TOML subset above — tables,
+//! array-of-tables headers, string/integer/boolean/array values,
+//! comments — and reports every defect as a source-located
+//! [`BistError::Parse`], so a bad manifest prints `file:line: message`
+//! like any other parse failure in the workspace.
+
+use bist_engine::{
+    AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, HdlLanguage, JobSpec,
+    SolveAtSpec, SweepSpec,
+};
+
+use crate::opts::resolve_circuit;
+
+/// A parsed manifest: the job list plus batch-wide settings.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// The jobs, in file order.
+    pub jobs: Vec<JobSpec>,
+    /// `[defaults] threads`, when present (the CLI `--threads` flag
+    /// overrides it).
+    pub threads: Option<usize>,
+}
+
+/// Reads and parses a manifest file.
+///
+/// # Errors
+///
+/// [`BistError::Parse`] — unreadable file (line 0) or any syntax/shape
+/// defect (its line).
+pub fn load(path: &str) -> Result<Manifest, BistError> {
+    let text = std::fs::read_to_string(path).map_err(|e| BistError::Parse {
+        source_name: path.to_owned(),
+        line: 0,
+        message: format!("cannot read: {e}"),
+    })?;
+    parse(path, &text)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    Array(Vec<Value>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "a string",
+            Value::Int(_) => "an integer",
+            Value::Bool(_) => "a boolean",
+            Value::Array(_) => "an array",
+        }
+    }
+}
+
+/// One `key = value` binding with its source line.
+type Binding = (String, Value, usize);
+
+#[derive(Debug, Default)]
+struct Table {
+    header_line: usize,
+    bindings: Vec<Binding>,
+}
+
+impl Table {
+    fn take(&mut self, key: &str) -> Option<(Value, usize)> {
+        let at = self.bindings.iter().position(|(k, _, _)| k == key)?;
+        let (_, value, line) = self.bindings.remove(at);
+        Some((value, line))
+    }
+}
+
+fn err(source_name: &str, line: usize, message: impl Into<String>) -> BistError {
+    BistError::Parse {
+        source_name: source_name.to_owned(),
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses manifest text; `source_name` labels errors.
+///
+/// # Errors
+///
+/// [`BistError::Parse`] with the 1-based line of the first defect.
+pub fn parse(source_name: &str, text: &str) -> Result<Manifest, BistError> {
+    let mut defaults = Table::default();
+    let mut jobs: Vec<Table> = Vec::new();
+    // which table the cursor is in: None (preamble), defaults, or a job
+    let mut in_defaults = false;
+
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[defaults]" {
+            in_defaults = true;
+            defaults.header_line = line_no;
+            continue;
+        }
+        if line == "[[job]]" {
+            in_defaults = false;
+            jobs.push(Table {
+                header_line: line_no,
+                bindings: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(
+                source_name,
+                line_no,
+                format!("unknown table `{line}` (expected `[defaults]` or `[[job]]`)"),
+            ));
+        }
+        let Some((key, value_text)) = line.split_once('=') else {
+            return Err(err(
+                source_name,
+                line_no,
+                format!("expected `key = value`, got `{line}`"),
+            ));
+        };
+        let key = key.trim().to_owned();
+        let value = parse_value(value_text.trim())
+            .map_err(|message| err(source_name, line_no, format!("{key}: {message}")))?;
+        let table = if in_defaults {
+            &mut defaults
+        } else {
+            jobs.last_mut().ok_or_else(|| {
+                err(
+                    source_name,
+                    line_no,
+                    "a `key = value` line before the first `[[job]]` table \
+                     (put batch-wide settings under `[defaults]`)",
+                )
+            })?
+        };
+        table.bindings.push((key, value, line_no));
+    }
+
+    let default_circuit = match defaults.take("circuit") {
+        Some((Value::Str(name), _)) => Some(name),
+        Some((other, line)) => {
+            return Err(err(
+                source_name,
+                line,
+                format!("circuit: expected a string, got {}", other.type_name()),
+            ))
+        }
+        None => None,
+    };
+    let threads = match defaults.take("threads") {
+        Some((Value::Int(n), line)) => Some(
+            usize::try_from(n)
+                .map_err(|_| err(source_name, line, "threads: must be non-negative"))?,
+        ),
+        Some((other, line)) => {
+            return Err(err(
+                source_name,
+                line,
+                format!("threads: expected an integer, got {}", other.type_name()),
+            ))
+        }
+        None => None,
+    };
+    if let Some((key, _, line)) = defaults.bindings.first() {
+        return Err(err(
+            source_name,
+            *line,
+            format!("unknown [defaults] key `{key}` (known: circuit, threads)"),
+        ));
+    }
+    if jobs.is_empty() {
+        return Err(err(
+            source_name,
+            text.lines().count().max(1),
+            "manifest declares no [[job]] tables",
+        ));
+    }
+
+    let jobs = jobs
+        .into_iter()
+        .map(|job| build_job(source_name, job, default_circuit.as_deref()))
+        .collect::<Result<_, _>>()?;
+    Ok(Manifest { jobs, threads })
+}
+
+/// Strips a `#` comment, honouring quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (at, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..at],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if let Some(body) = text.strip_prefix('"') {
+        let Some(body) = body.strip_suffix('"') else {
+            return Err(format!("unterminated string `{text}`"));
+        };
+        if body.contains('"') {
+            return Err(format!("stray quote inside `{text}`"));
+        }
+        return Ok(Value::Str(body.to_owned()));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err(format!("unterminated array `{text}`"));
+        };
+        let body = body.trim();
+        if body.is_empty() {
+            return Ok(Value::Array(Vec::new()));
+        }
+        return body
+            .split(',')
+            .map(|item| {
+                let item = item.trim();
+                match parse_value(item)? {
+                    Value::Array(_) => Err("nested arrays are not supported".to_owned()),
+                    scalar => Ok(scalar),
+                }
+            })
+            .collect::<Result<_, _>>()
+            .map(Value::Array);
+    }
+    match text {
+        "true" => Ok(Value::Bool(true)),
+        "false" => Ok(Value::Bool(false)),
+        _ => text
+            .parse()
+            .map(Value::Int)
+            .map_err(|_| format!("`{text}` is not a string, integer, boolean or array")),
+    }
+}
+
+fn take_usize(source_name: &str, job: &mut Table, key: &str) -> Result<Option<usize>, BistError> {
+    match job.take(key) {
+        None => Ok(None),
+        Some((Value::Int(n), line)) => usize::try_from(n)
+            .map(Some)
+            .map_err(|_| err(source_name, line, format!("{key}: must be non-negative"))),
+        Some((other, line)) => Err(err(
+            source_name,
+            line,
+            format!("{key}: expected an integer, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn take_lengths(source_name: &str, job: &mut Table, key: &str) -> Result<Vec<usize>, BistError> {
+    match job.take(key) {
+        None => Err(err(
+            source_name,
+            job.header_line,
+            format!("this job needs `{key} = [ … ]`"),
+        )),
+        Some((Value::Array(items), line)) => items
+            .into_iter()
+            .map(|item| match item {
+                Value::Int(n) => usize::try_from(n)
+                    .map_err(|_| err(source_name, line, format!("{key}: must be non-negative"))),
+                other => Err(err(
+                    source_name,
+                    line,
+                    format!("{key}: expected integers, got {}", other.type_name()),
+                )),
+            })
+            .collect(),
+        Some((other, line)) => Err(err(
+            source_name,
+            line,
+            format!("{key}: expected an array, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn take_string(source_name: &str, job: &mut Table, key: &str) -> Result<Option<String>, BistError> {
+    match job.take(key) {
+        None => Ok(None),
+        Some((Value::Str(s), _)) => Ok(Some(s)),
+        Some((other, line)) => Err(err(
+            source_name,
+            line,
+            format!("{key}: expected a string, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn build_job(
+    source_name: &str,
+    mut job: Table,
+    default_circuit: Option<&str>,
+) -> Result<JobSpec, BistError> {
+    let header = job.header_line;
+    let kind = take_string(source_name, &mut job, "kind")?.ok_or_else(|| {
+        err(
+            source_name,
+            header,
+            "this job needs `kind = \"…\"` (solve | sweep | curve | bakeoff | emit-hdl | area)",
+        )
+    })?;
+    let circuit_name = match take_string(source_name, &mut job, "circuit")? {
+        Some(name) => name,
+        None => default_circuit
+            .ok_or_else(|| {
+                err(
+                    source_name,
+                    header,
+                    "this job names no circuit and [defaults] declares none",
+                )
+            })?
+            .to_owned(),
+    };
+    let circuit = resolve_circuit(&circuit_name)?;
+
+    let spec = match kind.as_str() {
+        "solve" => {
+            let prefix = take_usize(source_name, &mut job, "prefix")?
+                .ok_or_else(|| err(source_name, header, "a solve job needs `prefix = <p>`"))?;
+            JobSpec::SolveAt(SolveAtSpec {
+                circuit,
+                config: Default::default(),
+                prefix_len: prefix,
+            })
+        }
+        "sweep" => JobSpec::Sweep(SweepSpec {
+            circuit,
+            config: Default::default(),
+            prefix_lengths: take_lengths(source_name, &mut job, "points")?,
+        }),
+        "curve" => JobSpec::CoverageCurve(CoverageCurveSpec {
+            circuit,
+            config: Default::default(),
+            checkpoints: take_lengths(source_name, &mut job, "points")?,
+        }),
+        "bakeoff" => JobSpec::Bakeoff(BakeoffSpec {
+            circuit,
+            config: Default::default(),
+            random_length: take_usize(source_name, &mut job, "random-length")?.unwrap_or(1000),
+        }),
+        "emit-hdl" => {
+            let prefix = take_usize(source_name, &mut job, "prefix")?
+                .ok_or_else(|| err(source_name, header, "an emit-hdl job needs `prefix = <p>`"))?;
+            let language = match take_string(source_name, &mut job, "language")?.as_deref() {
+                None | Some("both") => HdlLanguage::Both,
+                Some("verilog") => HdlLanguage::Verilog,
+                Some("vhdl") => HdlLanguage::Vhdl,
+                Some(other) => {
+                    return Err(err(
+                        source_name,
+                        header,
+                        format!("language: `{other}` is not verilog | vhdl | both"),
+                    ))
+                }
+            };
+            let testbench = match job.take("testbench") {
+                None => false,
+                Some((Value::Bool(b), _)) => b,
+                Some((other, line)) => {
+                    return Err(err(
+                        source_name,
+                        line,
+                        format!("testbench: expected a boolean, got {}", other.type_name()),
+                    ))
+                }
+            };
+            JobSpec::EmitHdl(EmitHdlSpec {
+                circuit,
+                config: Default::default(),
+                prefix_len: prefix,
+                language,
+                module_name: take_string(source_name, &mut job, "module")?,
+                testbench,
+            })
+        }
+        "area" => JobSpec::AreaReport(AreaReportSpec {
+            circuit,
+            config: Default::default(),
+        }),
+        other => {
+            return Err(err(
+                source_name,
+                header,
+                format!("kind: `{other}` is not solve | sweep | curve | bakeoff | emit-hdl | area"),
+            ))
+        }
+    };
+    if let Some((key, _, line)) = job.bindings.first() {
+        return Err(err(
+            source_name,
+            *line,
+            format!("unknown key `{key}` for a {kind} job"),
+        ));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# a three-job experiment
+[defaults]
+circuit = "c17"
+threads = 2
+
+[[job]]
+kind = "sweep"
+points = [0, 4, 8]   # prefix lengths
+
+[[job]]
+kind = "solve"
+prefix = 6
+
+[[job]]
+kind = "emit-hdl"
+prefix = 4
+language = "verilog"
+module = "c17_bist"
+testbench = true
+"#;
+
+    #[test]
+    fn parses_jobs_and_defaults() {
+        let manifest = parse("test.toml", GOOD).expect("valid manifest");
+        assert_eq!(manifest.threads, Some(2));
+        assert_eq!(manifest.jobs.len(), 3);
+        assert!(matches!(&manifest.jobs[0], JobSpec::Sweep(s) if s.prefix_lengths == [0, 4, 8]));
+        assert!(matches!(&manifest.jobs[1], JobSpec::SolveAt(s) if s.prefix_len == 6));
+        match &manifest.jobs[2] {
+            JobSpec::EmitHdl(s) => {
+                assert_eq!(s.language, HdlLanguage::Verilog);
+                assert_eq!(s.module_name.as_deref(), Some("c17_bist"));
+                assert!(s.testbench);
+            }
+            other => panic!("expected emit-hdl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_defect_is_source_located() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("[[job]]\nkind = \"sweep\"\npoints = [0, x]\n", 3, "points"),
+            ("[[job]]\nkind = \"warp\"\ncircuit = \"c17\"\n", 1, "kind"),
+            ("[[job]]\ncircuit = \"c17\"\n", 1, "kind"),
+            ("prefix = 4\n", 1, "[[job]]"),
+            ("[typo]\n", 1, "unknown table"),
+            (
+                "[[job]]\nkind = \"solve\"\ncircuit = \"c17\"\n",
+                1,
+                "prefix",
+            ),
+            (
+                "[[job]]\nkind = \"solve\"\ncircuit = \"c17\"\nprefix = 4\nwat = 1\n",
+                5,
+                "unknown key `wat`",
+            ),
+            ("[defaults]\nwat = 1\n[[job]]\nkind = \"area\"\n", 2, "wat"),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse("m.toml", text).expect_err(text);
+            match &e {
+                BistError::Parse {
+                    source_name,
+                    line: at,
+                    message,
+                } => {
+                    assert_eq!(source_name, "m.toml");
+                    assert_eq!(at, line, "wrong line for {text:?}: {message}");
+                    assert!(
+                        message.contains(needle),
+                        "message `{message}` should mention `{needle}`"
+                    );
+                }
+                other => panic!("expected a parse error, got {other:?}"),
+            }
+            // and the rendered diagnostic is the standard file:line form
+            assert!(e.to_string().starts_with("m.toml:"));
+        }
+        assert!(parse("m.toml", "").is_err(), "empty manifests are defects");
+    }
+
+    #[test]
+    fn jobs_without_circuits_need_a_default() {
+        let text = "[[job]]\nkind = \"area\"\n";
+        assert!(parse("m.toml", text).is_err());
+        let with_default = format!("[defaults]\ncircuit = \"c17\"\n{text}");
+        let manifest = parse("m.toml", &with_default).expect("default circuit applies");
+        assert_eq!(manifest.jobs.len(), 1);
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let text = "[[job]]\nkind = \"area\"\ncircuit = \"c#17\" # real comment\n";
+        let manifest = parse("m.toml", text).expect("quoted hash is content");
+        assert_eq!(manifest.jobs[0].circuit().label(), "c#17");
+    }
+}

@@ -1,0 +1,250 @@
+//! Shared option parsing for every `bist` subcommand.
+
+use std::path::PathBuf;
+
+use bist_engine::{BistError, CircuitSource, ResultCache};
+
+/// How results are written to stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Human-readable tables (the default).
+    #[default]
+    Text,
+    /// One deterministic JSON document.
+    Json,
+}
+
+/// Options shared by every job subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct CommonOpts {
+    /// Output format for stdout.
+    pub format: Format,
+    /// Pool width (`0` = automatic: `BIST_THREADS` or the machine
+    /// width).
+    pub threads: usize,
+    /// Explicit cache directory (`--cache-dir`).
+    pub cache_dir: Option<PathBuf>,
+    /// `--no-cache`: run without the result cache even if a directory is
+    /// configured.
+    pub no_cache: bool,
+    /// `--quiet`: no progress or cache lines on stderr.
+    pub quiet: bool,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+impl CommonOpts {
+    /// The cache this invocation should use: `--no-cache` beats
+    /// `--cache-dir`, which beats `$BIST_CACHE_DIR`; none configured
+    /// means no cache.
+    pub fn cache(&self) -> Option<ResultCache> {
+        if self.no_cache {
+            return None;
+        }
+        match &self.cache_dir {
+            Some(dir) => Some(ResultCache::at(dir)),
+            None => ResultCache::from_env(),
+        }
+    }
+}
+
+/// A malformed command line (maps to exit code 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Splits raw arguments into common options, leaving everything else —
+/// positionals and subcommand-private flags — in order.
+///
+/// # Errors
+///
+/// [`UsageError`] on a malformed or missing option value.
+pub fn split_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), UsageError> {
+    let mut opts = CommonOpts::default();
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => {
+                opts.format = match iter.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(UsageError(format!(
+                            "--format takes `text` or `json`, got {}",
+                            other.map_or("nothing".to_owned(), |o| format!("`{o}`"))
+                        )))
+                    }
+                };
+            }
+            "--threads" => {
+                opts.threads = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| UsageError("--threads takes a thread count".to_owned()))?;
+            }
+            "--cache-dir" => {
+                opts.cache_dir =
+                    Some(PathBuf::from(iter.next().ok_or_else(|| {
+                        UsageError("--cache-dir takes a directory path".to_owned())
+                    })?));
+            }
+            "--no-cache" => opts.no_cache = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => opts.help = true,
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((opts, rest))
+}
+
+/// Reads the value of a subcommand-private `--flag value` pair out of
+/// `rest`, removing both tokens.
+///
+/// # Errors
+///
+/// [`UsageError`] when the flag is present without a value.
+pub fn take_value(rest: &mut Vec<String>, flag: &str) -> Result<Option<String>, UsageError> {
+    match rest.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(at) if at + 1 < rest.len() => {
+            let value = rest.remove(at + 1);
+            rest.remove(at);
+            Ok(Some(value))
+        }
+        Some(_) => Err(UsageError(format!("{flag} takes a value"))),
+    }
+}
+
+/// Removes a boolean `--flag` from `rest`, reporting whether it was
+/// present.
+pub fn take_flag(rest: &mut Vec<String>, flag: &str) -> bool {
+    match rest.iter().position(|a| a == flag) {
+        Some(at) => {
+            rest.remove(at);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Parses a comma-separated length list (`0,100,1000`).
+///
+/// # Errors
+///
+/// [`UsageError`] naming the offending element.
+pub fn parse_lengths(flag: &str, text: &str) -> Result<Vec<usize>, UsageError> {
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| UsageError(format!("{flag}: `{part}` is not a length")))
+        })
+        .collect()
+}
+
+/// Resolves a circuit argument: an ISCAS benchmark name (`c…`/`s…`) or a
+/// path to a `.bench` file (read eagerly so parse errors carry
+/// `file:line`).
+///
+/// # Errors
+///
+/// [`BistError::Parse`] (line 0) when a `.bench` path cannot be read;
+/// unknown benchmark names fail later, at realization, as
+/// [`BistError::UnknownCircuit`].
+pub fn resolve_circuit(arg: &str) -> Result<CircuitSource, BistError> {
+    let looks_like_path =
+        arg.ends_with(".bench") || arg.contains(std::path::MAIN_SEPARATOR) || arg.contains('/');
+    if looks_like_path {
+        let text = std::fs::read_to_string(arg).map_err(|e| BistError::Parse {
+            source_name: arg.to_owned(),
+            line: 0,
+            message: format!("cannot read: {e}"),
+        })?;
+        return Ok(CircuitSource::bench(arg, text));
+    }
+    if arg.starts_with('s') {
+        Ok(CircuitSource::iscas89(arg))
+    } else {
+        Ok(CircuitSource::iscas85(arg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn common_flags_are_extracted_in_any_position() {
+        let (opts, rest) = split_common(&args(&[
+            "c432",
+            "--format",
+            "json",
+            "--points",
+            "0,100",
+            "--threads",
+            "2",
+            "--quiet",
+        ]))
+        .expect("valid");
+        assert_eq!(opts.format, Format::Json);
+        assert_eq!(opts.threads, 2);
+        assert!(opts.quiet);
+        assert_eq!(rest, args(&["c432", "--points", "0,100"]));
+    }
+
+    #[test]
+    fn malformed_values_are_usage_errors() {
+        assert!(split_common(&args(&["--format", "yaml"])).is_err());
+        assert!(split_common(&args(&["--threads", "many"])).is_err());
+        assert!(split_common(&args(&["--cache-dir"])).is_err());
+    }
+
+    #[test]
+    fn private_flags_pop_cleanly() {
+        let mut rest = args(&["c17", "--prefix", "8", "--testbench"]);
+        assert_eq!(
+            take_value(&mut rest, "--prefix").expect("valid"),
+            Some("8".to_owned())
+        );
+        assert!(take_flag(&mut rest, "--testbench"));
+        assert!(!take_flag(&mut rest, "--testbench"));
+        assert_eq!(rest, args(&["c17"]));
+        let mut broken = args(&["--prefix"]);
+        assert!(take_value(&mut broken, "--prefix").is_err());
+    }
+
+    #[test]
+    fn length_lists_parse_or_explain() {
+        assert_eq!(
+            parse_lengths("--points", "0, 100,1000").expect("valid"),
+            vec![0, 100, 1000]
+        );
+        let err = parse_lengths("--points", "0,x").expect_err("invalid");
+        assert!(err.0.contains("`x`"));
+    }
+
+    #[test]
+    fn circuits_resolve_by_family_or_path() {
+        assert!(matches!(
+            resolve_circuit("c432").expect("name"),
+            CircuitSource::Iscas85 { .. }
+        ));
+        assert!(matches!(
+            resolve_circuit("s27").expect("name"),
+            CircuitSource::Iscas89 { .. }
+        ));
+        let missing = resolve_circuit("no/such/file.bench").expect_err("unreadable path");
+        assert!(matches!(missing, BistError::Parse { line: 0, .. }));
+        assert!(missing.to_string().contains("no/such/file.bench"));
+    }
+}

@@ -1,0 +1,298 @@
+//! End-to-end tests of the `bist` binary: help snapshot, cache-served
+//! reruns byte-identical to computed ones, batch-vs-individual
+//! bit-identity, and diagnostic exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bist_engine::json::{self, Json};
+
+fn bist(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bist"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8(output.stdout.clone()).expect("UTF-8 stdout")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8(output.stderr.clone()).expect("UTF-8 stderr")
+}
+
+fn fresh_dir(test: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "bist-cli-{test}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn help_matches_the_committed_snapshot() {
+    let expected = include_str!("snapshots/help.txt");
+    for args in [&["--help"][..], &["help"], &[]] {
+        let output = bist(args);
+        assert!(output.status.success(), "{args:?} exits 0");
+        assert_eq!(
+            stdout(&output),
+            expected,
+            "`bist {}` drifted from tests/snapshots/help.txt — update the \
+             snapshot *and* docs/GUIDE.md together",
+            args.join(" ")
+        );
+    }
+    // every subcommand has its own help and exits 0
+    for command in [
+        "solve", "sweep", "curve", "bakeoff", "emit-hdl", "area", "batch", "cache",
+    ] {
+        let output = bist(&[command, "--help"]);
+        assert!(output.status.success(), "{command} --help exits 0");
+        assert!(
+            stdout(&output).starts_with(&format!("bist {command}")),
+            "{command} help names itself"
+        );
+    }
+}
+
+#[test]
+fn warm_rerun_is_a_cache_hit_and_byte_identical() {
+    let cache = fresh_dir("warm");
+    let cache = cache.to_str().expect("UTF-8 path");
+    let args = &[
+        "sweep",
+        "c17",
+        "--points",
+        "0,4,8",
+        "--format",
+        "json",
+        "--cache-dir",
+        cache,
+    ];
+
+    let cold = bist(args);
+    assert!(cold.status.success());
+    assert!(stderr(&cold).contains("cache: hits=0 misses=1 stores=1"));
+
+    let warm = bist(args);
+    assert!(warm.status.success());
+    assert!(
+        stderr(&warm).contains("cache: hits=1 misses=0 stores=0"),
+        "second run must be served from the cache:\n{}",
+        stderr(&warm)
+    );
+    assert_eq!(
+        stdout(&cold),
+        stdout(&warm),
+        "cache-served JSON must be byte-identical to the computed run"
+    );
+
+    // cache stats sees the entry; clear empties it
+    let stats = bist(&["cache", "stats", "--cache-dir", cache, "--format", "json"]);
+    let doc = json::parse(&stdout(&stats)).expect("valid stats JSON");
+    assert_eq!(doc.get("entries").and_then(Json::as_usize), Some(1));
+    let clear = bist(&["cache", "clear", "--cache-dir", cache]);
+    assert!(stdout(&clear).contains("removed 1 entries"));
+    // --no-cache runs the job but leaves the directory alone
+    let nocache = bist(&[
+        "sweep",
+        "c17",
+        "--points",
+        "0,4,8",
+        "--cache-dir",
+        cache,
+        "--no-cache",
+        "--quiet",
+    ]);
+    assert!(nocache.status.success());
+    assert!(
+        !stderr(&nocache).contains("cache:"),
+        "--no-cache reports no cache line"
+    );
+    let stats = bist(&["cache", "stats", "--cache-dir", cache, "--format", "json"]);
+    let doc = json::parse(&stdout(&stats)).expect("valid stats JSON");
+    assert_eq!(doc.get("entries").and_then(Json::as_usize), Some(0));
+}
+
+const MANIFEST: &str = r#"
+[defaults]
+circuit = "c17"
+
+[[job]]
+kind = "sweep"
+points = [0, 4, 8]
+
+[[job]]
+kind = "solve"
+prefix = 6
+
+[[job]]
+kind = "curve"
+points = [0, 8]
+"#;
+
+#[test]
+fn batch_is_bit_identical_to_individual_invocations_and_caches() {
+    let dir = fresh_dir("batch");
+    let manifest_path = dir.join("jobs.toml");
+    std::fs::write(&manifest_path, MANIFEST).expect("manifest written");
+    let manifest_path = manifest_path.to_str().expect("UTF-8 path");
+    let cache = dir.join("cache");
+    let cache = cache.to_str().expect("UTF-8 path");
+
+    let batch = bist(&[
+        "batch",
+        manifest_path,
+        "--format",
+        "json",
+        "--cache-dir",
+        cache,
+        "--quiet",
+    ]);
+    assert!(batch.status.success(), "batch fails: {}", stderr(&batch));
+    let docs = json::parse(&stdout(&batch)).expect("valid batch JSON");
+    let docs = docs.as_array().expect("array of results");
+    assert_eq!(docs.len(), 3);
+
+    // the same three jobs, one process each, against a *separate* cache
+    // (so every result here is independently computed)
+    let solo_cache = dir.join("solo-cache");
+    let solo_cache = solo_cache.to_str().expect("UTF-8 path");
+    let individual: Vec<Output> = [
+        &["sweep", "c17", "--points", "0,4,8"][..],
+        &["solve", "c17", "--prefix", "6"],
+        &["curve", "c17", "--points", "0,8"],
+    ]
+    .iter()
+    .map(|args| {
+        let mut full: Vec<&str> = args.to_vec();
+        full.extend_from_slice(&["--format", "json", "--cache-dir", solo_cache, "--quiet"]);
+        bist(&full)
+    })
+    .collect();
+
+    for (index, solo) in individual.iter().enumerate() {
+        assert!(solo.status.success());
+        let solo_doc = json::parse(&stdout(solo)).expect("valid solo JSON");
+        assert_eq!(
+            docs[index].render_pretty(),
+            solo_doc.render_pretty(),
+            "batch job {index} differs from its individual invocation"
+        );
+    }
+
+    // warm rerun of the whole manifest: three hits, zero misses — i.e.
+    // zero fault-simulation work
+    let warm = bist(&[
+        "batch",
+        manifest_path,
+        "--format",
+        "json",
+        "--cache-dir",
+        cache,
+    ]);
+    assert!(warm.status.success());
+    assert!(
+        stderr(&warm).contains("cache: hits=3 misses=0 stores=0"),
+        "warm manifest rerun must be all hits:\n{}",
+        stderr(&warm)
+    );
+    assert_eq!(
+        stdout(&batch),
+        stdout(&warm),
+        "warm batch JSON is byte-identical"
+    );
+}
+
+#[test]
+fn diagnostics_carry_sources_and_exit_codes() {
+    // usage errors exit 2
+    let usage = bist(&["sweep", "c17"]);
+    assert_eq!(usage.status.code(), Some(2));
+    assert!(stderr(&usage).contains("--points"));
+    let unknown = bist(&["frobnicate"]);
+    assert_eq!(unknown.status.code(), Some(2));
+
+    // engine failures exit 1 with the typed diagnostic
+    let missing = bist(&["solve", "c9999", "--prefix", "4", "--quiet"]);
+    assert_eq!(missing.status.code(), Some(1));
+    assert!(stderr(&missing).contains("unknown iscas85 circuit `c9999`"));
+
+    // a malformed .bench file reports file:line: message
+    let dir = fresh_dir("diag");
+    let bad_bench = dir.join("broken.bench");
+    std::fs::write(&bad_bench, "INPUT(a)\nOUTPUT(y)\nwat\n").expect("written");
+    let bad_bench = bad_bench.to_str().expect("UTF-8 path");
+    let parse = bist(&["area", bad_bench, "--quiet"]);
+    assert_eq!(parse.status.code(), Some(1));
+    assert!(
+        stderr(&parse).contains(&format!("{bad_bench}:3:")),
+        "parse diagnostics are file:line-located:\n{}",
+        stderr(&parse)
+    );
+
+    // ...and so does a malformed manifest
+    let bad_manifest = dir.join("bad.toml");
+    std::fs::write(
+        &bad_manifest,
+        "[[job]]\nkind = \"sweep\"\npoints = [0, x]\n",
+    )
+    .expect("written");
+    let bad_manifest = bad_manifest.to_str().expect("UTF-8 path");
+    let manifest = bist(&["batch", bad_manifest, "--quiet"]);
+    assert_eq!(manifest.status.code(), Some(1));
+    assert!(stderr(&manifest).contains(&format!("{bad_manifest}:3:")));
+
+    // a batch with one failing job still reports the others and exits 1
+    let mixed = dir.join("mixed.toml");
+    std::fs::write(
+        &mixed,
+        "[[job]]\nkind = \"solve\"\ncircuit = \"c17\"\nprefix = 4\n\n\
+         [[job]]\nkind = \"solve\"\ncircuit = \"c9999\"\nprefix = 4\n",
+    )
+    .expect("written");
+    let mixed = mixed.to_str().expect("UTF-8 path");
+    let partial = bist(&["batch", mixed, "--format", "json", "--quiet"]);
+    assert_eq!(partial.status.code(), Some(1));
+    let docs = json::parse(&stdout(&partial)).expect("valid JSON");
+    let docs = docs.as_array().expect("array");
+    assert_eq!(docs[0].get("job").and_then(Json::as_str), Some("solve"));
+    assert_eq!(docs[1].get("job").and_then(Json::as_str), Some("error"));
+}
+
+#[test]
+fn hdl_artefacts_land_on_disk_with_out() {
+    let dir = fresh_dir("hdl");
+    let out = dir.join("hdl");
+    let out_str = out.to_str().expect("UTF-8 path");
+    let output = bist(&[
+        "emit-hdl",
+        "c17",
+        "--prefix",
+        "4",
+        "--lang",
+        "verilog",
+        "--testbench",
+        "--module",
+        "c17_bist",
+        "--out",
+        out_str,
+        "--quiet",
+    ]);
+    assert!(
+        output.status.success(),
+        "emit-hdl fails: {}",
+        stderr(&output)
+    );
+    let verilog = std::fs::read_to_string(out.join("c17_bist.v")).expect("verilog file");
+    assert!(verilog.contains("module c17_bist"));
+    assert!(out.join("c17_bist_tb.v").exists(), "testbench written");
+    assert!(!out.join("c17_bist.vhd").exists(), "vhdl not requested");
+}

@@ -1,0 +1,374 @@
+//! Content-addressed on-disk result cache.
+//!
+//! A mixed-BIST job is a pure function: the realized circuit, the flow
+//! configuration and the variant's budgets fully determine the result,
+//! bit for bit, at every pool width. The cache exploits that by
+//! addressing results with a SHA-256 digest of exactly those inputs
+//! (see [`job_digest`]): a repeated job — the batch-sweep workload shape
+//! of the hybrid-BIST literature — is served from disk in milliseconds
+//! instead of re-running seconds-to-minutes of fault simulation.
+//!
+//! **What participates in the key** — the canonical `.bench` text of the
+//! *realized* circuit plus its name, the LFSR polynomial, the ATPG
+//! options, the full area model, the job kind and its budgets, and
+//! [`CACHE_SCHEMA_VERSION`]. The
+//! schema version makes invalidation structural: when the stored layout
+//! (or the meaning of any digested field) changes, the version bump
+//! changes every key, and entries written by older trees are simply
+//! never addressed again.
+//!
+//! **What does not** — the pool width (`threads`). Results are
+//! bit-identical at every width, so a result computed at one width may
+//! answer a job requested at any other.
+//!
+//! **Atomicity** — entries are written to a temporary file in the cache
+//! directory and then renamed into place. On POSIX filesystems the
+//! rename is atomic, so concurrent writers (a parallel
+//! [`Engine::run_batch`](crate::Engine::run_batch), or two `bist`
+//! processes) race benignly: readers see either nothing or a complete
+//! entry, never a torn one. A corrupt or foreign file decodes to `None`
+//! and is treated as a miss.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bist_netlist::{bench, Circuit};
+use bist_synth::CellKind;
+
+use crate::codec::{self, CACHE_SCHEMA_VERSION};
+use crate::digest::Sha256;
+use crate::json;
+use crate::result::JobResult;
+use crate::spec::{HdlLanguage, JobSpec};
+
+/// Environment variable naming the default cache directory.
+pub const CACHE_DIR_ENV: &str = "BIST_CACHE_DIR";
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+/// Handle on one on-disk cache directory, with process-lifetime
+/// hit/miss/store counters.
+///
+/// Cloning shares the counters (an [`Engine`](crate::Engine) and the
+/// caller observing it count together). The directory is created lazily
+/// on the first store.
+#[derive(Debug, Clone, Default)]
+pub struct ResultCache {
+    dir: PathBuf,
+    counters: Arc<Counters>,
+}
+
+/// What [`ResultCache::disk_stats`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheDiskStats {
+    /// Number of cache entries.
+    pub entries: usize,
+    /// Total size of all entries, bytes.
+    pub bytes: u64,
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        ResultCache {
+            dir: dir.into(),
+            counters: Arc::default(),
+        }
+    }
+
+    /// A cache rooted at `$BIST_CACHE_DIR`, if the variable is set and
+    /// non-empty.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var(CACHE_DIR_ENV) {
+            Ok(dir) if !dir.is_empty() => Some(Self::at(dir)),
+            _ => None,
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Jobs answered from disk since this cache handle was created.
+    pub fn hits(&self) -> u64 {
+        self.counters.hits.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that had to be computed.
+    pub fn misses(&self) -> u64 {
+        self.counters.misses.load(Ordering::Relaxed)
+    }
+
+    /// Results written to disk.
+    pub fn stores(&self) -> u64 {
+        self.counters.stores.load(Ordering::Relaxed)
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Looks `key` up on disk, counting a hit or a miss. Anything short
+    /// of a complete, same-schema entry — absent file, torn write,
+    /// foreign layout — is a miss.
+    pub fn lookup(&self, key: &str) -> Option<JobResult> {
+        let result = std::fs::read_to_string(self.entry_path(key))
+            .ok()
+            .and_then(|text| json::parse(&text).ok())
+            .and_then(|doc| codec::decode_result(&doc));
+        match &result {
+            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Stores `result` under `key` atomically (write to a temporary
+    /// sibling, then rename). Storage failures are deliberately silent —
+    /// a read-only or full cache directory degrades to "no cache", it
+    /// never fails the job that just computed a perfectly good result.
+    pub fn store(&self, key: &str, result: &JobResult) {
+        let text = codec::encode_result(result).render_pretty();
+        let path = self.entry_path(key);
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        // the temp name must be unique per *writer*, not just per
+        // process: one run_batch can compute the same key on two pool
+        // workers (duplicate jobs in a manifest), and a shared temp path
+        // would let one writer rename the other's half-written file into
+        // place — exactly the torn entry the rename scheme exists to
+        // prevent
+        static WRITER: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            ".tmp-{key}-{}-{}",
+            std::process::id(),
+            WRITER.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Counts the entries (and their bytes) currently on disk.
+    pub fn disk_stats(&self) -> CacheDiskStats {
+        let mut stats = CacheDiskStats {
+            entries: 0,
+            bytes: 0,
+        };
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.ends_with(".json") && !name.starts_with('.') {
+                    stats.entries += 1;
+                    stats.bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Removes every cache entry (leftover temporaries included);
+    /// returns how many entries were removed.
+    ///
+    /// # Errors
+    ///
+    /// The first I/O error hit while listing or removing.
+    pub fn clear(&self) -> std::io::Result<usize> {
+        let mut removed = 0;
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if name.ends_with(".json") || name.starts_with(".tmp-") {
+                std::fs::remove_file(entry.path())?;
+                if name.ends_with(".json") && !name.starts_with('.') {
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// A length-prefixed field write: unambiguous however the neighbouring
+/// fields are shaped (no separator can be forged by field content).
+fn feed(h: &mut Sha256, tag: &str, bytes: &[u8]) {
+    h.update(&(tag.len() as u64).to_le_bytes());
+    h.update(tag.as_bytes());
+    h.update(&(bytes.len() as u64).to_le_bytes());
+    h.update(bytes);
+}
+
+fn feed_u64(h: &mut Sha256, tag: &str, v: u64) {
+    feed(h, tag, &v.to_le_bytes());
+}
+
+/// The content address of one job: a SHA-256 over the canonical
+/// description of everything the result depends on.
+///
+/// Digested: the cache schema version, the job kind, the realized
+/// circuit (name + canonical `.bench` text), the flow configuration
+/// (polynomial, ATPG options, the full area model) and the variant's
+/// budgets. **Not** digested: `config.threads` — results are
+/// bit-identical at every pool width, so the cache deliberately serves
+/// across widths.
+pub fn job_digest(circuit: &Circuit, spec: &JobSpec) -> String {
+    let mut h = Sha256::new();
+    feed_u64(&mut h, "cache-schema", CACHE_SCHEMA_VERSION);
+    feed(&mut h, "kind", spec.kind().as_bytes());
+    feed(&mut h, "circuit-name", circuit.name().as_bytes());
+    feed(&mut h, "netlist", bench::write(circuit).as_bytes());
+
+    let config = spec.config();
+    feed_u64(&mut h, "poly", config.poly.mask());
+    feed_u64(
+        &mut h,
+        "atpg-backtrack",
+        u64::from(config.atpg.podem.backtrack_limit),
+    );
+    feed_u64(&mut h, "atpg-fill-seed", config.atpg.podem.fill_seed);
+    feed_u64(
+        &mut h,
+        "atpg-no-compaction",
+        u64::from(config.atpg.no_compaction),
+    );
+    feed_u64(
+        &mut h,
+        "area-routing",
+        config.area.routing_factor().to_bits(),
+    );
+    for kind in CellKind::ALL {
+        feed_u64(
+            &mut h,
+            &format!("area-{kind}"),
+            config.area.cell_area_um2(kind).to_bits(),
+        );
+    }
+
+    match spec {
+        JobSpec::SolveAt(s) => feed_u64(&mut h, "prefix-len", s.prefix_len as u64),
+        JobSpec::Sweep(s) => {
+            for &p in &s.prefix_lengths {
+                feed_u64(&mut h, "prefix-len", p as u64);
+            }
+        }
+        JobSpec::CoverageCurve(s) => {
+            for &cp in &s.checkpoints {
+                feed_u64(&mut h, "checkpoint", cp as u64);
+            }
+        }
+        JobSpec::Bakeoff(s) => feed_u64(&mut h, "random-length", s.random_length as u64),
+        JobSpec::EmitHdl(s) => {
+            feed_u64(&mut h, "prefix-len", s.prefix_len as u64);
+            let language = match s.language {
+                HdlLanguage::Verilog => "verilog",
+                HdlLanguage::Vhdl => "vhdl",
+                HdlLanguage::Both => "both",
+            };
+            feed(&mut h, "language", language.as_bytes());
+            feed(
+                &mut h,
+                "module-name",
+                s.module_name
+                    .as_deref()
+                    .unwrap_or("\u{0}default")
+                    .as_bytes(),
+            );
+            feed_u64(&mut h, "testbench", u64::from(s.testbench));
+        }
+        JobSpec::AreaReport(_) => {}
+    }
+    h.finish_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CircuitSource, SweepSpec};
+    use bist_core::MixedSchemeConfig;
+
+    fn c17() -> Circuit {
+        bist_netlist::iscas85::c17()
+    }
+
+    fn sweep_spec(prefixes: &[usize], threads: usize) -> JobSpec {
+        JobSpec::Sweep(SweepSpec {
+            circuit: CircuitSource::iscas85("c17"),
+            config: MixedSchemeConfig {
+                threads,
+                ..MixedSchemeConfig::default()
+            },
+            prefix_lengths: prefixes.to_vec(),
+        })
+    }
+
+    #[test]
+    fn digest_is_stable_and_budget_sensitive() {
+        let a = job_digest(&c17(), &sweep_spec(&[0, 8], 0));
+        assert_eq!(a, job_digest(&c17(), &sweep_spec(&[0, 8], 0)));
+        assert_ne!(a, job_digest(&c17(), &sweep_spec(&[0, 9], 0)));
+        assert_ne!(a, job_digest(&c17(), &sweep_spec(&[8, 0], 0)));
+        assert_ne!(
+            a,
+            job_digest(&c17(), &JobSpec::solve_at(CircuitSource::iscas85("c17"), 0))
+        );
+    }
+
+    #[test]
+    fn digest_ignores_pool_width() {
+        assert_eq!(
+            job_digest(&c17(), &sweep_spec(&[0, 8], 1)),
+            job_digest(&c17(), &sweep_spec(&[0, 8], 4))
+        );
+    }
+
+    #[test]
+    fn digest_sees_the_circuit_structure_and_name() {
+        let c17 = c17();
+        let renamed = bench::parse("c17b", &bench::write(&c17)).expect("round-trip");
+        let spec = sweep_spec(&[0, 8], 0);
+        assert_ne!(job_digest(&c17, &spec), job_digest(&renamed, &spec));
+        let other = bist_netlist::iscas85::circuit("c432").expect("known");
+        assert_ne!(job_digest(&c17, &spec), job_digest(&other, &spec));
+    }
+
+    #[test]
+    fn digest_sees_the_configuration() {
+        let mut config = MixedSchemeConfig::default();
+        config.atpg.podem.backtrack_limit += 1;
+        let tweaked = JobSpec::Sweep(SweepSpec {
+            circuit: CircuitSource::iscas85("c17"),
+            config,
+            prefix_lengths: vec![0, 8],
+        });
+        assert_ne!(
+            job_digest(&c17(), &sweep_spec(&[0, 8], 0)),
+            job_digest(&c17(), &tweaked)
+        );
+    }
+
+    #[test]
+    fn from_env_requires_the_variable() {
+        // the test runner may or may not export it; only exercise the
+        // explicit constructor here
+        let cache = ResultCache::at("/tmp/bist-cache-test-nonexistent");
+        assert_eq!(cache.disk_stats().entries, 0);
+        assert_eq!(cache.clear().expect("missing dir clears to 0"), 0);
+    }
+}

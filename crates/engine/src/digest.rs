@@ -1,0 +1,212 @@
+//! Dependency-free SHA-256, the content address of the result cache.
+//!
+//! The workspace is fully offline (no crates.io), so the cache's digest
+//! primitive lives in-tree: a straightforward, safe implementation of
+//! FIPS 180-4 SHA-256. Throughput is irrelevant here — a cache key
+//! digests a few kilobytes of canonical job description against seconds
+//! -to-minutes of fault simulation — collision resistance is what makes
+//! "same digest ⇒ same job" sound.
+
+/// Streaming SHA-256 hasher.
+///
+/// # Example
+///
+/// ```
+/// use bist_engine::digest::Sha256;
+///
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     h.finish_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length_bytes: u64,
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher (FIPS 180-4 initial state).
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buffer: [0; 64],
+            buffered: 0,
+            length_bytes: 0,
+        }
+    }
+
+    /// Absorbs `bytes` into the running digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.length_bytes = self.length_bytes.wrapping_add(bytes.len() as u64);
+        let mut rest = bytes;
+        if self.buffered > 0 {
+            let take = rest.len().min(64 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            self.compress(block.try_into().expect("split_at(64) yields 64 bytes"));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffered = rest.len();
+        }
+    }
+
+    /// Pads, finalizes and returns the 32-byte digest.
+    pub fn finish(mut self) -> [u8; 32] {
+        let bit_len = self.length_bytes.wrapping_mul(8);
+        // padding never changes the message length bookkeeping
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        // pad to 56 mod 64, then the 8-byte big-endian bit length
+        let pad_len = 1 + (119 - self.buffered) % 64;
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        let total = pad_len + 8;
+        let keep = self.length_bytes;
+        self.update(&pad[..total]);
+        debug_assert_eq!(self.buffered, 0, "padding fills the final block");
+        self.length_bytes = keep;
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// The digest as 64 lowercase hex characters.
+    pub fn finish_hex(self) -> String {
+        let mut out = String::with_capacity(64);
+        for byte in self.finish() {
+            out.push_str(&format!("{byte:02x}"));
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        let sums = [a, b, c, d, e, f, g, h];
+        for (s, v) in self.state.iter_mut().zip(sums) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// One-shot convenience: the hex SHA-256 of `bytes`.
+pub fn sha256_hex(bytes: &[u8]) -> String {
+    let mut h = Sha256::new();
+    h.update(bytes);
+    h.finish_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 / NIST CAVP known-answer vectors
+    #[test]
+    fn known_answers() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha256::new();
+        for _ in 0..1000 {
+            h.update(&[b'a'; 1000]);
+        }
+        assert_eq!(
+            h.finish_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn chunking_is_irrelevant() {
+        let data: Vec<u8> = (0..251u32).map(|i| (i % 251) as u8).collect();
+        let whole = sha256_hex(&data);
+        for chunk in [1usize, 3, 63, 64, 65, 250] {
+            let mut h = Sha256::new();
+            for piece in data.chunks(chunk) {
+                h.update(piece);
+            }
+            assert_eq!(h.finish_hex(), whole, "chunk size {chunk}");
+        }
+    }
+}

@@ -8,6 +8,7 @@ use bist_logicsim::{Pattern, SeqSim};
 use bist_netlist::Circuit;
 use bist_par::Pool;
 
+use crate::cache::{job_digest, ResultCache};
 use crate::error::BistError;
 use crate::progress::{CancelToken, JobId, ProgressEvent, ProgressFeed};
 use crate::result::{
@@ -47,6 +48,7 @@ pub struct Engine {
     threads: usize,
     feed: ProgressFeed,
     next_job: std::sync::atomic::AtomicU64,
+    cache: Option<ResultCache>,
 }
 
 impl Engine {
@@ -69,6 +71,35 @@ impl Engine {
         Pool::resolve(self.threads).threads()
     }
 
+    /// Attaches a content-addressed result cache: jobs whose digest
+    /// (realized circuit + configuration + budgets, see
+    /// [`crate::cache::job_digest`]) matches a stored entry are answered
+    /// from disk — bit-identically, at any pool width — and freshly
+    /// computed results are stored for the next run.
+    ///
+    /// Engines have no cache unless one is attached; the `bist` CLI
+    /// resolves `--cache-dir` / `BIST_CACHE_DIR` and attaches it here.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// use bist_engine::{Engine, ResultCache};
+    ///
+    /// let engine = Engine::new().with_result_cache(ResultCache::at("/var/cache/bist"));
+    /// assert!(engine.cache().is_some());
+    /// ```
+    #[must_use]
+    pub fn with_result_cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached result cache, if any (its counters report this
+    /// engine's hits/misses/stores).
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
     /// A pull handle on the engine's event stream. All handles (and the
     /// engine) share one queue; events are delivered once each.
     pub fn progress(&self) -> ProgressFeed {
@@ -84,6 +115,18 @@ impl Engine {
 
     /// Runs one job to completion on the calling thread (its internal
     /// engines still use the engine's pool width).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bist_engine::{CircuitSource, Engine, JobSpec};
+    ///
+    /// let engine = Engine::new();
+    /// let result = engine.run(JobSpec::solve_at(CircuitSource::iscas85("c17"), 8))?;
+    /// let solved = result.as_solve_at().expect("solve-at outcome");
+    /// println!("{}", solved.solution); // "(p=8, d=…): coverage …"
+    /// # Ok::<(), bist_engine::BistError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -184,14 +227,30 @@ impl Engine {
             return Err(BistError::Canceled);
         }
         let circuit = spec.circuit().realize()?;
-        match spec {
+        // content-addressed short-circuit: a digest hit answers the job
+        // from disk, bit-identically, without touching a session (a
+        // cached job emits no Checkpoint events — only its lifecycle)
+        let key = self
+            .cache
+            .as_ref()
+            .map(|cache| (cache, job_digest(&circuit, spec)));
+        if let Some((cache, key)) = &key {
+            if let Some(hit) = cache.lookup(key) {
+                return Ok(hit);
+            }
+        }
+        let result = match spec {
             JobSpec::SolveAt(s) => self.drive_solve_at(id, s, &circuit),
             JobSpec::Sweep(s) => self.drive_sweep(id, s, &circuit, cancel),
             JobSpec::CoverageCurve(s) => self.drive_curve(id, s, &circuit, cancel),
             JobSpec::Bakeoff(s) => self.drive_bakeoff(s, &circuit),
             JobSpec::EmitHdl(s) => self.drive_emit_hdl(id, s, &circuit),
             JobSpec::AreaReport(s) => self.drive_area_report(id, s, &circuit),
+        };
+        if let (Some((cache, key)), Ok(result)) = (&key, &result) {
+            cache.store(key, result);
         }
+        result
     }
 
     fn checkpoint(&self, id: JobId, prefix_len: usize, report: &CoverageReport) {

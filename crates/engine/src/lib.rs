@@ -6,7 +6,7 @@
 //! TPG architectures, emitting synthesizable HDL, pricing the
 //! full-deterministic extreme — is one typed [`JobSpec`]: a plain struct
 //! naming a [`CircuitSource`], a
-//! [`MixedSchemeConfig`](bist_core::MixedSchemeConfig) and the variant's
+//! [`MixedSchemeConfig`] and the variant's
 //! budgets. An [`Engine`] validates specs, schedules them across the
 //! `bist-par` pool, streams [`ProgressEvent`]s through a pull-based
 //! [`ProgressFeed`], observes cooperative [`CancelToken`]s at checkpoint
@@ -18,6 +18,12 @@
 //! schedulable units with explicit budgets): new workload variants
 //! become new [`JobSpec`] variants behind the same engine, instead of
 //! new ad-hoc entry points.
+//!
+//! Because every job is a pure function of its spec, an engine can carry
+//! a content-addressed [`ResultCache`]
+//! ([`Engine::with_result_cache`]): repeated jobs are answered from disk
+//! bit-identically — the batch-sweep workload of the `bist` CLI hits it
+//! constantly. See the [`cache`] module for the key/invalidation scheme.
 //!
 //! # Quickstart
 //!
@@ -43,13 +49,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod codec;
+pub mod digest;
 mod engine;
 mod error;
+pub mod json;
 mod progress;
 mod result;
 mod spec;
 
+pub use cache::{CacheDiskStats, ResultCache, CACHE_DIR_ENV};
 pub use engine::Engine;
+// The config/outcome vocabulary jobs are written in, re-exported so
+// engine consumers (the `bist` CLI above all) need no substrate crates.
+pub use bist_core::{MixedSchemeConfig, MixedSolution, SessionStats, SweepSummary};
 pub use error::BistError;
 pub use progress::{CancelToken, JobId, ProgressEvent, ProgressFeed};
 pub use result::{

@@ -122,6 +122,28 @@ impl ProgressFeed {
     }
 
     /// Removes and returns all pending events, oldest first.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bist_engine::{CircuitSource, Engine, JobSpec, ProgressEvent};
+    ///
+    /// let engine = Engine::new();
+    /// let feed = engine.progress(); // subscribe *before* running
+    /// engine.run(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]))?;
+    ///
+    /// let events = feed.drain();
+    /// // lifecycle brackets with one checkpoint per solved prefix length
+    /// assert!(matches!(events.first(), Some(ProgressEvent::Queued { .. })));
+    /// assert!(matches!(events.last(), Some(ProgressEvent::Finished { .. })));
+    /// let checkpoints = events
+    ///     .iter()
+    ///     .filter(|e| matches!(e, ProgressEvent::Checkpoint { .. }))
+    ///     .count();
+    /// assert_eq!(checkpoints, 2);
+    /// assert!(feed.is_empty(), "drain removes what it returns");
+    /// # Ok::<(), bist_engine::BistError>(())
+    /// ```
     pub fn drain(&self) -> Vec<ProgressEvent> {
         self.queue
             .lock()

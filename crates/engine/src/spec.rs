@@ -108,6 +108,22 @@ pub enum HdlLanguage {
 }
 
 /// Solve the mixed scheme at one prefix length `p`.
+///
+/// # Examples
+///
+/// ```
+/// use bist_engine::{CircuitSource, Engine, JobSpec, SolveAtSpec};
+///
+/// let spec = SolveAtSpec {
+///     circuit: CircuitSource::iscas85("c17"),
+///     config: Default::default(),
+///     prefix_len: 4,
+/// };
+/// let result = Engine::new().run(JobSpec::SolveAt(spec))?;
+/// let solved = result.as_solve_at().expect("solve-at outcome");
+/// assert_eq!(solved.solution.prefix_len, 4);
+/// # Ok::<(), bist_engine::BistError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct SolveAtSpec {
     /// The circuit under test.
@@ -120,6 +136,19 @@ pub struct SolveAtSpec {
 
 /// Sweep the `(p, d)` trade-off over many prefix lengths on one
 /// incremental session.
+///
+/// # Examples
+///
+/// ```
+/// use bist_engine::{CircuitSource, Engine, JobSpec};
+///
+/// let result = Engine::new().run(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 4, 8]))?;
+/// let sweep = result.as_sweep().expect("sweep outcome");
+/// // one solution per requested prefix length, in request order
+/// let lengths: Vec<usize> = sweep.summary.solutions().iter().map(|s| s.prefix_len).collect();
+/// assert_eq!(lengths, [0, 4, 8]);
+/// # Ok::<(), bist_engine::BistError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// The circuit under test.
@@ -132,6 +161,19 @@ pub struct SweepSpec {
 
 /// Grade the pure pseudo-random sequence at the given checkpoints — the
 /// paper's Figure 4 curve.
+///
+/// # Examples
+///
+/// ```
+/// use bist_engine::{CircuitSource, Engine, JobSpec};
+///
+/// let result =
+///     Engine::new().run(JobSpec::coverage_curve(CircuitSource::iscas85("c17"), [0, 8, 16]))?;
+/// let curve = result.as_coverage_curve().expect("curve outcome");
+/// assert_eq!(curve.curve.points().len(), 3);
+/// assert!(curve.curve.is_monotone(), "coverage never drops with length");
+/// # Ok::<(), bist_engine::BistError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct CoverageCurveSpec {
     /// The circuit under test.
@@ -143,6 +185,19 @@ pub struct CoverageCurveSpec {
 }
 
 /// Run every surveyed TPG architecture on one circuit, on equal terms.
+///
+/// # Examples
+///
+/// ```
+/// use bist_engine::{CircuitSource, Engine, JobSpec};
+///
+/// let result = Engine::new().run(JobSpec::bakeoff(CircuitSource::iscas85("c17"), 16))?;
+/// let bakeoff = result.as_bakeoff().expect("bakeoff outcome");
+/// // the paper's two extremes are always among the rows
+/// assert!(bakeoff.bakeoff.row("lfsr").is_some());
+/// assert!(bakeoff.bakeoff.row("lfsrom").is_some());
+/// # Ok::<(), bist_engine::BistError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct BakeoffSpec {
     /// The circuit under test.
@@ -154,6 +209,26 @@ pub struct BakeoffSpec {
 }
 
 /// Solve the scheme and render the mixed generator as synthesizable HDL.
+///
+/// # Examples
+///
+/// ```
+/// use bist_engine::{CircuitSource, Engine, EmitHdlSpec, HdlLanguage, JobSpec};
+///
+/// let spec = EmitHdlSpec {
+///     circuit: CircuitSource::iscas85("c17"),
+///     config: Default::default(),
+///     prefix_len: 4,
+///     language: HdlLanguage::Verilog,
+///     module_name: Some("c17_bist".to_owned()),
+///     testbench: false,
+/// };
+/// let result = Engine::new().run(JobSpec::EmitHdl(spec))?;
+/// let hdl = result.as_emit_hdl().expect("hdl outcome");
+/// assert!(hdl.verilog.as_deref().expect("verilog requested").contains("module c17_bist"));
+/// assert!(hdl.vhdl.is_none(), "only the requested language is emitted");
+/// # Ok::<(), bist_engine::BistError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct EmitHdlSpec {
     /// The circuit under test.
@@ -173,6 +248,19 @@ pub struct EmitHdlSpec {
 
 /// Price the full-deterministic extreme: LFSROM generator area versus
 /// nominal chip area — one row of the paper's Figure 6 / Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use bist_engine::{CircuitSource, Engine, JobSpec};
+///
+/// let result = Engine::new().run(JobSpec::area_report(CircuitSource::iscas85("c17")))?;
+/// let report = result.as_area_report().expect("area outcome");
+/// // the paper's shape claim: full-deterministic BIST on a tiny circuit
+/// // costs several times the chip itself
+/// assert!(report.overhead_pct > 100.0);
+/// # Ok::<(), bist_engine::BistError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct AreaReportSpec {
     /// The circuit under test.
