@@ -16,6 +16,11 @@ use crate::error::BistError;
 /// Sources are realized lazily by the engine; a bad source fails the job
 /// with a located [`BistError::Parse`] or [`BistError::UnknownCircuit`],
 /// never a panic.
+// `Inline(Circuit)` dominates the enum size (a `Circuit` header is a few
+// hundred bytes), but specs are built once per job and moved a constant
+// number of times — indirection would cost an allocation per spec clone
+// for no measurable win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum CircuitSource {
     /// An ISCAS-85 benchmark by name (`"c17"` … `"c7552"`).

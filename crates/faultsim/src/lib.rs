@@ -50,6 +50,6 @@ mod report;
 pub mod serial;
 mod testability;
 
-pub use ppsfp::FaultSim;
+pub use ppsfp::{FaultSim, SimCounters};
 pub use report::{CoverageCurve, CoverageReport};
 pub use testability::Testability;

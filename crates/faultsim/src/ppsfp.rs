@@ -1,9 +1,8 @@
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 use bist_fault::{Fault, FaultList, FaultStatus};
 use bist_logicsim::{Pattern, PatternBlock};
-use bist_netlist::{Circuit, GateKind, NodeId};
+use bist_netlist::{Circuit, GateKind, LevelQueue, NodeId, SimGraph};
 use bist_par::Pool;
 
 /// Below this many live faults a block is graded serially even on a wide
@@ -11,6 +10,22 @@ use bist_par::Pool;
 /// only moves work between identical code paths — results are the same on
 /// either side of it.
 const PAR_MIN_FAULTS: usize = 128;
+
+/// Monotonic work counters of one [`FaultSim`], exposed so throughput
+/// benchmarks can report rates (and so reviews can assert the steady-state
+/// block loop does the expected amount of work and nothing more). All
+/// counts are deterministic — identical at every thread width.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// 64-pattern blocks graded so far.
+    pub blocks: u64,
+    /// Gate evaluations performed by the good-machine simulation
+    /// (combinational gates × blocks).
+    pub good_gate_evals: u64,
+    /// Cone-propagation events: nodes drained from the levelized bucket
+    /// queue across all faults and blocks.
+    pub cone_events: u64,
+}
 
 /// Parallel-pattern single-fault-propagation simulator with fault dropping.
 ///
@@ -20,6 +35,17 @@ const PAR_MIN_FAULTS: usize = 128;
 /// spanning call boundaries are honoured — then read results via
 /// [`FaultSim::report`], [`FaultSim::status_of`] and
 /// [`FaultSim::first_detection`].
+///
+/// # Data layout
+///
+/// All hot loops run over the circuit's flattened [`SimGraph`] view (CSR
+/// adjacency + parallel kind/level arrays) and a per-worker
+/// `ConeScratch` holding a levelized bucket queue. After warm-up the
+/// steady-state block loop performs **zero heap allocations**: the good
+/// machine evaluates gates straight from CSR slices, cone propagation
+/// drains reusable per-level buckets with epoch-stamped deduplication, the
+/// live-fault list is maintained incrementally (swap-remove on detection)
+/// and the 64-pattern packing buffer is reused across blocks.
 ///
 /// # Parallel grading
 ///
@@ -34,6 +60,7 @@ const PAR_MIN_FAULTS: usize = 128;
 #[derive(Debug)]
 pub struct FaultSim<'c> {
     circuit: &'c Circuit,
+    graph: &'c SimGraph,
     faults: FaultList,
     status: Vec<FaultStatus>,
     /// Global index of the first pattern that detected each fault.
@@ -47,7 +74,20 @@ pub struct FaultSim<'c> {
     good: Vec<u64>,
     prev: Vec<u64>,
     scratch: ConeScratch,
-    topo_pos: Vec<u32>,
+    /// Indices of still-undetected faults, maintained incrementally
+    /// (swap-remove on detection). Rebuilt lazily after out-of-band status
+    /// edits ([`FaultSim::set_status`] / [`FaultSim::reset`]).
+    live: Vec<u32>,
+    live_dirty: bool,
+    /// Reused 64-pattern packing buffer (allocated on the first block).
+    block_buf: Option<PatternBlock>,
+    /// Parked per-worker scratches for the sharded path: workers lease one
+    /// at block start and return it at the block barrier, so the warm
+    /// buckets survive across blocks at every pool width.
+    scratch_park: Mutex<Vec<ConeScratch>>,
+    /// Number of combinational gates — the good-sim work per block.
+    comb_gates: u64,
+    counters: SimCounters,
     pool: Pool,
 }
 
@@ -55,14 +95,13 @@ impl<'c> FaultSim<'c> {
     /// Creates a simulator grading `faults` on `circuit`, with the pool
     /// width taken from `BIST_THREADS` / the machine.
     pub fn new(circuit: &'c Circuit, faults: FaultList) -> Self {
+        let graph = circuit.sim_graph();
         let n = circuit.num_nodes();
-        let mut topo_pos = vec![0u32; n];
-        for (pos, &id) in circuit.topo_order().iter().enumerate() {
-            topo_pos[id.index()] = pos as u32;
-        }
         let len = faults.len();
+        let comb_gates = (0..n).filter(|&i| graph.kind(i).is_combinational()).count() as u64;
         FaultSim {
             circuit,
+            graph,
             faults,
             status: vec![FaultStatus::Undetected; len],
             first_detection: vec![None; len],
@@ -70,8 +109,13 @@ impl<'c> FaultSim<'c> {
             last_bits: vec![false; n],
             good: vec![0; n],
             prev: vec![0; n],
-            scratch: ConeScratch::new(n),
-            topo_pos,
+            scratch: ConeScratch::new(graph),
+            live: Vec::with_capacity(len),
+            live_dirty: true,
+            block_buf: None,
+            scratch_park: Mutex::new(Vec::new()),
+            comb_gates,
+            counters: SimCounters::default(),
             pool: Pool::from_env(),
         }
     }
@@ -142,6 +186,7 @@ impl<'c> FaultSim<'c> {
     /// redundant or aborted faults).
     pub fn set_status(&mut self, index: usize, status: FaultStatus) {
         self.status[index] = status;
+        self.live_dirty = true;
     }
 
     /// Global index (0-based position in the full sequence fed so far) of
@@ -153,6 +198,12 @@ impl<'c> FaultSim<'c> {
     /// Number of patterns consumed so far.
     pub fn patterns_seen(&self) -> u32 {
         self.patterns_seen
+    }
+
+    /// The work performed so far (blocks, good-machine gate evaluations,
+    /// cone events). Deterministic at every thread width.
+    pub fn counters(&self) -> SimCounters {
+        self.counters
     }
 
     /// The good-machine node values after the last consumed pattern — the
@@ -169,16 +220,23 @@ impl<'c> FaultSim<'c> {
         self.first_detection.fill(None);
         self.patterns_seen = 0;
         self.last_bits.fill(false);
+        self.live_dirty = true;
     }
 
     /// Grades `patterns` (in order, continuing any previously fed
     /// sequence). Returns the number of newly detected faults.
     pub fn simulate(&mut self, patterns: &[Pattern]) -> usize {
         let mut newly = 0;
+        let mut buf = self.block_buf.take();
         for chunk in patterns.chunks(64) {
-            let block = PatternBlock::pack(self.circuit, chunk);
-            newly += self.simulate_block(&block);
+            match buf.as_mut() {
+                Some(block) => block.pack_into(self.circuit, chunk),
+                None => buf = Some(PatternBlock::pack(self.circuit, chunk)),
+            }
+            let block = buf.as_ref().expect("packed above");
+            newly += self.simulate_block(block);
         }
+        self.block_buf = buf;
         newly
     }
 
@@ -218,79 +276,104 @@ impl<'c> FaultSim<'c> {
             self.last_bits[i] = (g >> last) & 1 == 1;
         }
 
+        if self.live_dirty {
+            self.live.clear();
+            self.live.extend(
+                (0..self.faults.len() as u32)
+                    .filter(|&fi| self.status[fi as usize] == FaultStatus::Undetected),
+            );
+            self.live_dirty = false;
+        }
+
         let view = BlockView {
-            circuit: self.circuit,
-            topo_pos: &self.topo_pos,
+            graph: self.graph,
             good: &self.good,
             prev: &self.prev,
             valid,
         };
-        let live: Vec<u32> = (0..self.faults.len() as u32)
-            .filter(|&fi| self.status[fi as usize] == FaultStatus::Undetected)
-            .collect();
+        let seen = self.patterns_seen;
 
         let mut newly = 0;
-        let mut apply =
-            |fi: u32, mask: u64, status: &mut [FaultStatus], first: &mut [Option<u32>]| {
-                let first_idx = mask.trailing_zeros();
-                status[fi as usize] = FaultStatus::Detected;
-                first[fi as usize] = Some(self.patterns_seen + first_idx);
-                newly += 1;
-            };
-
-        if self.pool.is_serial() || live.len() < PAR_MIN_FAULTS {
+        if self.pool.is_serial() || self.live.len() < PAR_MIN_FAULTS {
             // inline path: one persistent scratch, exactly the historical
-            // serial engine
-            for &fi in &live {
+            // serial engine; detected faults are swap-removed from the live
+            // list as they drop
+            let mut i = 0;
+            while i < self.live.len() {
+                let fi = self.live[i];
                 let fault = *self.faults.get(fi as usize).expect("index in range");
                 if let Some(mask) = view.try_detect(&mut self.scratch, fault) {
-                    apply(fi, mask, &mut self.status, &mut self.first_detection);
+                    self.status[fi as usize] = FaultStatus::Detected;
+                    self.first_detection[fi as usize] = Some(seen + mask.trailing_zeros());
+                    newly += 1;
+                    self.live.swap_remove(i);
+                } else {
+                    i += 1;
                 }
             }
+            self.counters.cone_events += std::mem::take(&mut self.scratch.events);
         } else {
             // sharded path: contiguous fault partitions, one private
-            // scratch per worker, detection masks merged in fault order
-            let n = self.circuit.num_nodes();
+            // scratch per worker — leased from the park so its warm
+            // buckets survive the block barrier — detection masks merged
+            // in fault order
+            let graph = self.graph;
             let faults = &self.faults;
-            let chunk = live
+            let park = &self.scratch_park;
+            let chunk = self
+                .live
                 .len()
                 .div_ceil(self.pool.threads() * 4)
                 .max(PAR_MIN_FAULTS / 4);
-            let detected: Vec<Vec<(u32, u64)>> = self.pool.par_chunks_init(
-                &live,
+            let detected: Vec<(Vec<(u32, u64)>, u64)> = self.pool.par_chunks_init(
+                &self.live,
                 chunk,
-                || ConeScratch::new(n),
-                |scratch, _chunk_index, part| {
-                    part.iter()
+                || ScratchLease::take(park, graph),
+                |lease, _chunk_index, part| {
+                    let scratch = lease.scratch();
+                    let hits = part
+                        .iter()
                         .filter_map(|&fi| {
                             let fault = *faults.get(fi as usize).expect("index in range");
                             view.try_detect(scratch, fault).map(|mask| (fi, mask))
                         })
-                        .collect()
+                        .collect();
+                    (hits, std::mem::take(&mut scratch.events))
                 },
             );
-            for (fi, mask) in detected.into_iter().flatten() {
-                apply(fi, mask, &mut self.status, &mut self.first_detection);
+            for (hits, events) in detected {
+                self.counters.cone_events += events;
+                for (fi, mask) in hits {
+                    self.status[fi as usize] = FaultStatus::Detected;
+                    self.first_detection[fi as usize] = Some(seen + mask.trailing_zeros());
+                    newly += 1;
+                }
+            }
+            if newly > 0 {
+                let status = &self.status;
+                self.live
+                    .retain(|&fi| status[fi as usize] == FaultStatus::Undetected);
             }
         }
         self.patterns_seen += block.count() as u32;
+        self.counters.blocks += 1;
+        self.counters.good_gate_evals += self.comb_gates;
         newly
     }
 
     fn good_simulate(&mut self, block: &PatternBlock) {
-        for (i, &pi) in self.circuit.inputs().iter().enumerate() {
-            self.good[pi.index()] = block.input_word(i);
+        let g = self.graph;
+        for (i, &pi) in g.inputs().iter().enumerate() {
+            self.good[pi as usize] = block.input_word(i);
         }
-        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
-        for &id in self.circuit.topo_order() {
-            let node = self.circuit.node(id);
-            match node.kind() {
+        for &id in g.topo() {
+            let id = id as usize;
+            match g.kind(id) {
                 GateKind::Input => {}
-                GateKind::Dff => self.good[id.index()] = 0,
-                kind => {
-                    fanin_buf.clear();
-                    fanin_buf.extend(node.fanin().iter().map(|f| self.good[f.index()]));
-                    self.good[id.index()] = kind.eval_word(&fanin_buf);
+                GateKind::Dff => self.good[id] = 0,
+                _ => {
+                    let v = g.eval_word(id, |f| self.good[f]);
+                    self.good[id] = v;
                 }
             }
         }
@@ -298,32 +381,74 @@ impl<'c> FaultSim<'c> {
 }
 
 /// Per-worker cone-propagation scratch: faulty value words, visitation
-/// stamps and the current epoch. Cheap to create (two zeroed vectors) and
-/// reused across every fault a worker grades.
+/// stamps, and a levelized bucket queue ([`LevelQueue`]). Reused across
+/// every fault a worker grades — after warm-up the cone walk allocates
+/// nothing.
 #[derive(Debug)]
 struct ConeScratch {
+    /// Faulty value word per node, valid where `stamp == epoch`.
     fval: Vec<u64>,
+    /// Faulty-value validity stamp per node.
     stamp: Vec<u32>,
     epoch: u32,
+    queue: LevelQueue,
+    /// Nodes drained from the queue since the counter was last harvested.
+    events: u64,
 }
 
 impl ConeScratch {
-    fn new(num_nodes: usize) -> Self {
+    fn new(graph: &SimGraph) -> Self {
+        let n = graph.num_nodes();
         ConeScratch {
-            fval: vec![0; num_nodes],
-            stamp: vec![0; num_nodes],
+            fval: vec![0; n],
+            stamp: vec![0; n],
             epoch: 0,
+            queue: LevelQueue::new(graph),
+            events: 0,
+        }
+    }
+}
+
+/// A worker's block-scoped loan of a [`ConeScratch`] from the simulator's
+/// park: taken at worker start-up, handed back on drop at the block
+/// barrier. Steady-state blocks therefore reuse warm scratches instead of
+/// allocating fresh ones per block.
+struct ScratchLease<'p> {
+    scratch: Option<ConeScratch>,
+    park: &'p Mutex<Vec<ConeScratch>>,
+}
+
+impl<'p> ScratchLease<'p> {
+    fn take(park: &'p Mutex<Vec<ConeScratch>>, graph: &SimGraph) -> Self {
+        let parked = park.lock().expect("scratch park poisoned").pop();
+        ScratchLease {
+            scratch: Some(parked.unwrap_or_else(|| ConeScratch::new(graph))),
+            park,
+        }
+    }
+
+    fn scratch(&mut self) -> &mut ConeScratch {
+        self.scratch.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.park
+                .lock()
+                .expect("scratch park poisoned")
+                .push(scratch);
         }
     }
 }
 
 /// The read-only context shared by every worker grading one pattern block:
-/// the circuit, the good-machine and previous-pattern value words, and the
-/// block's valid-lane mask.
+/// the flattened circuit view, the good-machine and previous-pattern value
+/// words, and the block's valid-lane mask.
 #[derive(Clone, Copy)]
 struct BlockView<'a> {
-    circuit: &'a Circuit,
-    topo_pos: &'a [u32],
+    graph: &'a SimGraph,
     good: &'a [u64],
     prev: &'a [u64],
     valid: u64,
@@ -333,6 +458,7 @@ impl BlockView<'_> {
     /// Computes the faulty seed value at the fault site, or `None` if the
     /// fault cannot change anything in this block.
     fn seed_value(&self, fault: Fault) -> Option<(NodeId, u64)> {
+        let g = self.graph;
         match fault {
             Fault::StuckAt {
                 site,
@@ -348,21 +474,16 @@ impl BlockView<'_> {
                 pin: Some(p),
                 value,
             } => {
-                let node = self.circuit.node(site);
                 let forced = if value { !0u64 } else { 0 };
-                let fanin: Vec<u64> = node
-                    .fanin()
-                    .iter()
-                    .enumerate()
-                    .map(|(k, f)| {
+                let fv = g.kind(site.index()).eval_word_iter(
+                    g.fanin(site.index()).iter().enumerate().map(|(k, &f)| {
                         if k == p as usize {
                             forced
                         } else {
-                            self.good[f.index()]
+                            self.good[f as usize]
                         }
-                    })
-                    .collect();
-                let fv = node.kind().eval_word(&fanin);
+                    }),
+                );
                 let diff = (fv ^ self.good[site.index()]) & self.valid;
                 (diff != 0).then_some((site, fv))
             }
@@ -400,16 +521,16 @@ impl BlockView<'_> {
     /// non-controlling value at `t` but not at `t-1` (series-open
     /// excitation).
     fn series_excitation(&self, site: NodeId) -> u64 {
-        let node = self.circuit.node(site);
-        let c = match node.kind().controlling_value() {
+        let g = self.graph;
+        let c = match g.kind(site.index()).controlling_value() {
             Some(c) => c,
             None => return 0,
         };
         let mut all_nc_now = !0u64;
         let mut all_nc_prev = !0u64;
-        for f in node.fanin() {
-            let now = self.good[f.index()];
-            let before = self.prev[f.index()];
+        for &f in g.fanin(site.index()) {
+            let now = self.good[f as usize];
+            let before = self.prev[f as usize];
             // non-controlling: value != c
             all_nc_now &= if c { !now } else { now };
             all_nc_prev &= if c { !before } else { before };
@@ -421,16 +542,16 @@ impl BlockView<'_> {
     /// and all inputs were non-controlling at `t-1` (parallel-open
     /// excitation).
     fn parallel_excitation(&self, site: NodeId, p: u8) -> u64 {
-        let node = self.circuit.node(site);
-        let c = match node.kind().controlling_value() {
+        let g = self.graph;
+        let c = match g.kind(site.index()).controlling_value() {
             Some(c) => c,
             None => return 0,
         };
         let mut only_p_now = !0u64;
         let mut all_nc_prev = !0u64;
-        for (k, f) in node.fanin().iter().enumerate() {
-            let now = self.good[f.index()];
-            let before = self.prev[f.index()];
+        for (k, &f) in g.fanin(site.index()).iter().enumerate() {
+            let now = self.good[f as usize];
+            let before = self.prev[f as usize];
             if k == p as usize {
                 only_p_now &= if c { now } else { !now };
             } else {
@@ -441,10 +562,17 @@ impl BlockView<'_> {
         only_p_now & all_nc_prev
     }
 
-    /// Injects `fault` and propagates through its fan-out cone; returns the
-    /// mask of patterns detecting it at a primary output, or `None`.
+    /// Injects `fault` and propagates through its fan-out cone with the
+    /// levelized bucket queue; returns the mask of patterns detecting it at
+    /// a primary output, or `None`.
+    ///
+    /// Draining buckets in ascending level order visits every reached node
+    /// exactly once, after all of its fan-ins (which sit at strictly lower
+    /// levels) are final — the same values, and therefore the same
+    /// detection masks, as any other topological evaluation order.
     fn try_detect(&self, scratch: &mut ConeScratch, fault: Fault) -> Option<u64> {
         let (site, seed) = self.seed_value(fault)?;
+        let g = self.graph;
 
         scratch.epoch = scratch.epoch.wrapping_add(1);
         if scratch.epoch == 0 {
@@ -453,49 +581,47 @@ impl BlockView<'_> {
         }
         let epoch = scratch.epoch;
 
-        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-        scratch.fval[site.index()] = seed;
-        scratch.stamp[site.index()] = epoch;
+        let site_idx = site.index();
+        scratch.fval[site_idx] = seed;
+        scratch.stamp[site_idx] = epoch;
         let mut detect = 0u64;
-        if self.circuit.is_output(site) {
-            detect |= (seed ^ self.good[site.index()]) & self.valid;
-        }
-        for &s in self.circuit.fanout(site) {
-            heap.push(Reverse((self.topo_pos[s.index()], s.index() as u32)));
+        if g.is_output(site_idx) {
+            detect |= (seed ^ self.good[site_idx]) & self.valid;
         }
 
-        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
-        let mut last_popped = u32::MAX;
-        while let Some(Reverse((pos, idx))) = heap.pop() {
-            if pos == last_popped {
-                continue; // duplicate entry for the same node
+        scratch.queue.begin(g.level(site_idx));
+        for &s in g.fanout(site_idx) {
+            if g.kind(s as usize).is_combinational() {
+                scratch.queue.push(s, g.level(s as usize));
             }
-            last_popped = pos;
-            let id = NodeId::from_index(idx as usize);
-            let node = self.circuit.node(id);
-            if !node.kind().is_combinational() {
-                continue;
-            }
-            fanin_buf.clear();
-            fanin_buf.extend(node.fanin().iter().map(|f| {
-                if scratch.stamp[f.index()] == epoch {
-                    scratch.fval[f.index()]
-                } else {
-                    self.good[f.index()]
+        }
+
+        while let Some(bucket) = scratch.queue.take_bucket() {
+            scratch.events += bucket.len() as u64;
+            for &id in &bucket {
+                let id = id as usize;
+                let fv = g.eval_word(id, |f| {
+                    if scratch.stamp[f] == epoch {
+                        scratch.fval[f]
+                    } else {
+                        self.good[f]
+                    }
+                });
+                if fv == self.good[id] {
+                    continue; // fault effect died here
                 }
-            }));
-            let fv = node.kind().eval_word(&fanin_buf);
-            if fv == self.good[id.index()] {
-                continue; // fault effect died here
+                scratch.fval[id] = fv;
+                scratch.stamp[id] = epoch;
+                if g.is_output(id) {
+                    detect |= (fv ^ self.good[id]) & self.valid;
+                }
+                for &s in g.fanout(id) {
+                    if g.kind(s as usize).is_combinational() {
+                        scratch.queue.push(s, g.level(s as usize));
+                    }
+                }
             }
-            scratch.fval[id.index()] = fv;
-            scratch.stamp[id.index()] = epoch;
-            if self.circuit.is_output(id) {
-                detect |= (fv ^ self.good[id.index()]) & self.valid;
-            }
-            for &s in self.circuit.fanout(id) {
-                heap.push(Reverse((self.topo_pos[s.index()], s.index() as u32)));
-            }
+            scratch.queue.restore(bucket);
         }
         (detect != 0).then_some(detect)
     }
@@ -603,6 +729,11 @@ mod tests {
                     "threads={threads}, fault {i}"
                 );
             }
+            assert_eq!(
+                serial.counters(),
+                par.counters(),
+                "work counters drift at threads={threads}"
+            );
         }
     }
 
@@ -676,6 +807,35 @@ mod tests {
         sim.reset();
         assert_eq!(sim.report().detected, 0);
         assert_eq!(sim.patterns_seen(), 0);
+        // the live list is rebuilt: a re-run re-detects everything
+        let newly = sim.simulate(&exhaustive_patterns(5));
+        assert_eq!(newly, sim.faults().len());
+    }
+
+    #[test]
+    fn set_status_removes_fault_from_grading() {
+        let c17 = bist_netlist::iscas85::c17();
+        let faults = FaultList::stuck_at_collapsed(&c17);
+        let total = faults.len();
+        let mut sim = FaultSim::new(&c17, faults);
+        sim.set_status(0, FaultStatus::Redundant);
+        let newly = sim.simulate(&exhaustive_patterns(5));
+        assert_eq!(newly, total - 1, "marked fault must not be graded");
+        assert_eq!(sim.status_of(0), FaultStatus::Redundant);
+        assert_eq!(sim.first_detection(0), None);
+    }
+
+    #[test]
+    fn counters_track_block_work() {
+        let c17 = bist_netlist::iscas85::c17();
+        let faults = FaultList::stuck_at_collapsed(&c17);
+        let mut sim = FaultSim::new(&c17, faults);
+        assert_eq!(sim.counters(), SimCounters::default());
+        sim.simulate(&exhaustive_patterns(5)); // 32 patterns = 1 block
+        let counters = sim.counters();
+        assert_eq!(counters.blocks, 1);
+        assert_eq!(counters.good_gate_evals, 6, "c17 has six NAND gates");
+        assert!(counters.cone_events > 0);
     }
 
     #[test]

@@ -71,35 +71,30 @@ pub fn faulty_eval(
     };
     let (site, force) = forced?;
 
-    // forward-evaluate the faulty machine
+    // forward-evaluate the faulty machine over the flattened view
+    let g = circuit.sim_graph();
     let mut values = vec![false; circuit.num_nodes()];
-    for (i, &pi) in circuit.inputs().iter().enumerate() {
-        values[pi.index()] = pattern.get(i);
+    for (i, &pi) in g.inputs().iter().enumerate() {
+        values[pi as usize] = pattern.get(i);
     }
-    for &id in circuit.topo_order() {
-        let node = circuit.node(id);
-        let mut v = match node.kind() {
-            GateKind::Input => values[id.index()],
+    for &id in g.topo() {
+        let id = id as usize;
+        let mut v = match g.kind(id) {
+            GateKind::Input => values[id],
             GateKind::Dff => false,
             kind => {
-                let fanin: Vec<bool> = node
-                    .fanin()
-                    .iter()
-                    .enumerate()
-                    .map(|(k, f)| match force {
-                        ForcedValue::Pin(p, fv) if id == site && k == p as usize => fv,
-                        _ => values[f.index()],
-                    })
-                    .collect();
-                kind.eval_bool(&fanin)
+                kind.eval_bool_iter(g.fanin(id).iter().enumerate().map(|(k, &f)| match force {
+                    ForcedValue::Pin(p, fv) if id == site.index() && k == p as usize => fv,
+                    _ => values[f as usize],
+                }))
             }
         };
-        if id == site {
+        if id == site.index() {
             if let ForcedValue::Output(fv) = force {
                 v = fv;
             }
         }
-        values[id.index()] = v;
+        values[id] = v;
     }
     Some(values)
 }

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use bist_netlist::{Circuit, GateKind, NodeId};
+use bist_netlist::{Circuit, GateKind, LevelQueue, NodeId, SimGraph};
 
 /// Five-valued composite logic value used by the ATPG: the pair
 /// (good-machine value, faulty-machine value) with unknowns.
@@ -196,20 +196,27 @@ pub struct InjectedFault {
 #[derive(Debug)]
 pub struct FiveValueSim<'c> {
     circuit: &'c Circuit,
+    graph: &'c SimGraph,
     fault: Option<InjectedFault>,
     pi_values: Vec<Option<bool>>,
     values: Vec<V5>,
+    /// Reusable levelized implication queue (see `imply_from_input`) —
+    /// no allocations once its buckets are warm.
+    queue: LevelQueue,
 }
 
 impl<'c> FiveValueSim<'c> {
     /// Creates a simulator over `circuit`, optionally injecting `fault`.
     /// All primary inputs start at `X`.
     pub fn new(circuit: &'c Circuit, fault: Option<InjectedFault>) -> Self {
+        let graph = circuit.sim_graph();
         FiveValueSim {
             circuit,
+            graph,
             fault,
             pi_values: vec![None; circuit.inputs().len()],
             values: vec![V5::X; circuit.num_nodes()],
+            queue: LevelQueue::new(graph),
         }
     }
 
@@ -241,24 +248,31 @@ impl<'c> FiveValueSim<'c> {
 
     /// Evaluates one node under the current values and injected fault.
     fn eval_node(&self, id: NodeId) -> V5 {
-        let node = self.circuit.node(id);
-        let v = match node.kind() {
+        let g = self.graph;
+        let idx = id.index();
+        let fanin = g.fanin(idx);
+        let v = match g.kind(idx) {
             GateKind::Input => {
-                let pos = self
-                    .circuit
-                    .inputs()
-                    .iter()
-                    .position(|&pi| pi == id)
-                    .expect("input node is registered");
-                let g = self.pi_values[pos];
-                V5::from_pair(g, g)
+                let pos = g.input_pos(idx).expect("input node is registered");
+                let v = self.pi_values[pos];
+                V5::from_pair(v, v)
             }
             GateKind::Dff => V5::X,
             kind => {
-                let good = eval3(
-                    kind,
-                    node.fanin().iter().map(|f| self.values[f.index()].good()),
-                );
+                let good = eval3(kind, fanin.iter().map(|&f| self.values[f as usize].good()));
+                // Fast path: away from the fault site with no fault effect
+                // on any fan-in, the faulty machine sees exactly the good
+                // inputs — the good fold already yields both components.
+                // This is the overwhelming majority of nodes in a PODEM
+                // walk (fault effects live in one narrow cone).
+                let at_site = matches!(self.fault, Some(f) if f.site == id);
+                if !at_site
+                    && !fanin
+                        .iter()
+                        .any(|&f| self.values[f as usize].is_fault_effect())
+                {
+                    return V5::from_pair(good, good);
+                }
                 let faulty = match self.fault {
                     Some(InjectedFault {
                         site,
@@ -268,18 +282,18 @@ impl<'c> FiveValueSim<'c> {
                         let p = p as usize;
                         eval3(
                             kind,
-                            node.fanin().iter().enumerate().map(|(k, f)| {
+                            fanin.iter().enumerate().map(|(k, &f)| {
                                 if k == p {
                                     Some(stuck)
                                 } else {
-                                    self.values[f.index()].faulty()
+                                    self.values[f as usize].faulty()
                                 }
                             }),
                         )
                     }
                     _ => eval3(
                         kind,
-                        node.fanin().iter().map(|f| self.values[f.index()].faulty()),
+                        fanin.iter().map(|&f| self.values[f as usize].faulty()),
                     ),
                 };
                 V5::from_pair(good, faulty)
@@ -300,8 +314,10 @@ impl<'c> FiveValueSim<'c> {
     /// topological order under the current input assignment and injected
     /// fault.
     pub fn imply(&mut self) {
-        for &id in self.circuit.topo_order() {
-            self.values[id.index()] = self.eval_node(id);
+        let g = self.graph;
+        for &id in g.topo() {
+            let id = id as usize;
+            self.values[id] = self.eval_node(NodeId::from_index(id));
         }
     }
 
@@ -311,35 +327,44 @@ impl<'c> FiveValueSim<'c> {
     /// full [`FiveValueSim::imply`] after a single input change — but
     /// orders of magnitude cheaper on large circuits, which is what makes
     /// PODEM fast.
+    ///
+    /// The walk drains a reusable [`LevelQueue`] (the same structure the
+    /// PPSFP cone propagation uses): pending nodes bucketed by logic
+    /// level, deduplicated by epoch stamp and drained in ascending level
+    /// order, so every touched node is re-evaluated exactly once, after
+    /// all of its fan-ins settled. No allocations once the buckets are
+    /// warm.
     pub fn imply_from_input(&mut self, index: usize) {
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-        let source = self.circuit.inputs()[index];
-        let new_v = self.eval_node(source);
-        if new_v == self.values[source.index()] {
+        let g = self.graph;
+        let source = g.inputs()[index] as usize;
+        let new_v = self.eval_node(NodeId::from_index(source));
+        if new_v == self.values[source] {
             return;
         }
-        self.values[source.index()] = new_v;
-        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-        for &s in self.circuit.fanout(source) {
-            heap.push(Reverse((self.circuit.level(s), s.index() as u32)));
+        self.values[source] = new_v;
+
+        self.queue.begin(g.level(source));
+        for &s in g.fanout(source) {
+            if g.kind(s as usize).is_combinational() {
+                self.queue.push(s, g.level(s as usize));
+            }
         }
-        let mut last = None;
-        while let Some(Reverse((lvl, idx))) = heap.pop() {
-            if last == Some(idx) {
-                continue;
+
+        while let Some(bucket) = self.queue.take_bucket() {
+            for &id in &bucket {
+                let id = id as usize;
+                let v = self.eval_node(NodeId::from_index(id));
+                if v == self.values[id] {
+                    continue;
+                }
+                self.values[id] = v;
+                for &s in g.fanout(id) {
+                    if g.kind(s as usize).is_combinational() {
+                        self.queue.push(s, g.level(s as usize));
+                    }
+                }
             }
-            last = Some(idx);
-            let _ = lvl;
-            let id = NodeId::from_index(idx as usize);
-            let v = self.eval_node(id);
-            if v == self.values[id.index()] {
-                continue;
-            }
-            self.values[id.index()] = v;
-            for &s in self.circuit.fanout(id) {
-                heap.push(Reverse((self.circuit.level(s), s.index() as u32)));
-            }
+            self.queue.restore(bucket);
         }
     }
 

@@ -1,4 +1,4 @@
-use bist_netlist::{Circuit, GateKind, NodeId};
+use bist_netlist::{Circuit, GateKind, NodeId, SimGraph};
 
 use crate::pattern::{Pattern, PatternBlock};
 
@@ -32,6 +32,7 @@ use crate::pattern::{Pattern, PatternBlock};
 #[derive(Debug)]
 pub struct PackedSim<'c> {
     circuit: &'c Circuit,
+    graph: &'c SimGraph,
     values: Vec<u64>,
     dff_state: Vec<u64>,
 }
@@ -41,6 +42,7 @@ impl<'c> PackedSim<'c> {
     pub fn new(circuit: &'c Circuit) -> Self {
         PackedSim {
             circuit,
+            graph: circuit.sim_graph(),
             values: vec![0; circuit.num_nodes()],
             dff_state: vec![0; circuit.num_nodes()],
         }
@@ -76,18 +78,17 @@ impl<'c> PackedSim<'c> {
     }
 
     /// Re-evaluates all combinational nodes from the current input and DFF
-    /// state words.
+    /// state words, straight off the CSR view — no per-gate buffers.
     fn propagate(&mut self) {
-        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
-        for &id in self.circuit.topo_order() {
-            let node = self.circuit.node(id);
-            match node.kind() {
+        let g = self.graph;
+        for &id in g.topo() {
+            let id = id as usize;
+            match g.kind(id) {
                 GateKind::Input => {}
-                GateKind::Dff => self.values[id.index()] = self.dff_state[id.index()],
-                kind => {
-                    fanin_buf.clear();
-                    fanin_buf.extend(node.fanin().iter().map(|f| self.values[f.index()]));
-                    self.values[id.index()] = kind.eval_word(&fanin_buf);
+                GateKind::Dff => self.values[id] = self.dff_state[id],
+                _ => {
+                    let v = g.eval_word(id, |f| self.values[f]);
+                    self.values[id] = v;
                 }
             }
         }
@@ -130,17 +131,18 @@ impl<'c> PackedSim<'c> {
 /// Panics if `inputs.len()` differs from the circuit's input count.
 pub fn naive_eval(circuit: &Circuit, inputs: &[bool]) -> Vec<bool> {
     assert_eq!(inputs.len(), circuit.inputs().len(), "input width mismatch");
+    let g = circuit.sim_graph();
     let mut values = vec![false; circuit.num_nodes()];
-    for (i, &pi) in circuit.inputs().iter().enumerate() {
-        values[pi.index()] = inputs[i];
+    for (i, &pi) in g.inputs().iter().enumerate() {
+        values[pi as usize] = inputs[i];
     }
-    for &id in circuit.topo_order() {
-        let node = circuit.node(id);
-        match node.kind() {
+    for &id in g.topo() {
+        let id = id as usize;
+        match g.kind(id) {
             GateKind::Input | GateKind::Dff => {}
-            kind => {
-                let fanin: Vec<bool> = node.fanin().iter().map(|f| values[f.index()]).collect();
-                values[id.index()] = kind.eval_bool(&fanin);
+            _ => {
+                let v = g.eval_bool(id, |f| values[f]);
+                values[id] = v;
             }
         }
     }

@@ -187,10 +187,27 @@ impl PatternBlock {
     /// Panics if more than 64 patterns are supplied, if `patterns` is
     /// empty, or if any pattern width mismatches the circuit.
     pub fn pack(circuit: &Circuit, patterns: &[Pattern]) -> Self {
+        let mut block = PatternBlock {
+            words: Vec::new(),
+            count: 0,
+        };
+        block.pack_into(circuit, patterns);
+        block
+    }
+
+    /// Re-packs `patterns` into this block, reusing its word buffer — the
+    /// allocation-free form of [`PatternBlock::pack`] for engines that pack
+    /// one block per 64-pattern chunk of a long sequence.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PatternBlock::pack`].
+    pub fn pack_into(&mut self, circuit: &Circuit, patterns: &[Pattern]) {
         assert!(!patterns.is_empty(), "cannot pack zero patterns");
         assert!(patterns.len() <= 64, "a block holds at most 64 patterns");
         let width = circuit.inputs().len();
-        let mut words = vec![0u64; width];
+        self.words.clear();
+        self.words.resize(width, 0);
         for (j, p) in patterns.iter().enumerate() {
             assert_eq!(
                 p.len(),
@@ -199,16 +216,13 @@ impl PatternBlock {
                 p.len(),
                 width
             );
-            for (i, word) in words.iter_mut().enumerate() {
+            for (i, word) in self.words.iter_mut().enumerate() {
                 if p.get(i) {
                     *word |= 1 << j;
                 }
             }
         }
-        PatternBlock {
-            words,
-            count: patterns.len(),
-        }
+        self.count = patterns.len();
     }
 
     /// Number of patterns in the block (1..=64).
@@ -287,6 +301,19 @@ mod tests {
         assert_eq!(block.input_word(1), 0b10); // input 1 high in pattern 1
         assert_eq!(block.input_word(2), 0);
         assert_eq!(block.valid_mask(), 0b11);
+    }
+
+    #[test]
+    fn pack_into_reuses_buffer_and_matches_pack() {
+        let c17 = bist_netlist::iscas85::c17();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<Pattern> = (0..64).map(|_| Pattern::random(&mut rng, 5)).collect();
+        let b: Vec<Pattern> = (0..17).map(|_| Pattern::random(&mut rng, 5)).collect();
+        let mut reused = PatternBlock::pack(&c17, &a);
+        reused.pack_into(&c17, &b);
+        assert_eq!(reused, PatternBlock::pack(&c17, &b));
+        assert_eq!(reused.count(), 17);
+        assert_eq!(reused.valid_mask(), (1u64 << 17) - 1);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use bist_netlist::{Circuit, GateKind, NodeId};
+use bist_netlist::{Circuit, GateKind, NodeId, SimGraph};
 
 use crate::pattern::Pattern;
 
@@ -39,6 +39,7 @@ use crate::pattern::Pattern;
 #[derive(Debug)]
 pub struct SeqSim<'c> {
     circuit: &'c Circuit,
+    graph: &'c SimGraph,
     /// Registered value per node (meaningful only at DFF indices).
     state: Vec<bool>,
     /// Combinational values from the latest evaluation.
@@ -58,6 +59,7 @@ impl<'c> SeqSim<'c> {
             .collect();
         SeqSim {
             circuit,
+            graph: circuit.sim_graph(),
             state: vec![false; circuit.num_nodes()],
             values: vec![false; circuit.num_nodes()],
             dffs,
@@ -107,16 +109,9 @@ impl<'c> SeqSim<'c> {
     pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
         let outputs = self.evaluate(inputs);
         // clock: state <= D
-        let new_state: Vec<(usize, bool)> = self
-            .dffs
-            .iter()
-            .map(|&q| {
-                let d = self.circuit.node(q).fanin()[0];
-                (q.index(), self.values[d.index()])
-            })
-            .collect();
-        for (idx, v) in new_state {
-            self.state[idx] = v;
+        for q in &self.dffs {
+            let d = self.graph.fanin(q.index())[0] as usize;
+            self.state[q.index()] = self.values[d];
         }
         outputs
     }
@@ -133,19 +128,18 @@ impl<'c> SeqSim<'c> {
             self.circuit.inputs().len(),
             "input width mismatch"
         );
-        for (i, &pi) in self.circuit.inputs().iter().enumerate() {
-            self.values[pi.index()] = inputs[i];
+        let g = self.graph;
+        for (i, &pi) in g.inputs().iter().enumerate() {
+            self.values[pi as usize] = inputs[i];
         }
-        let mut fanin_buf: Vec<bool> = Vec::with_capacity(8);
-        for &id in self.circuit.topo_order() {
-            let node = self.circuit.node(id);
-            match node.kind() {
+        for &id in g.topo() {
+            let id = id as usize;
+            match g.kind(id) {
                 GateKind::Input => {}
-                GateKind::Dff => self.values[id.index()] = self.state[id.index()],
-                kind => {
-                    fanin_buf.clear();
-                    fanin_buf.extend(node.fanin().iter().map(|f| self.values[f.index()]));
-                    self.values[id.index()] = kind.eval_bool(&fanin_buf);
+                GateKind::Dff => self.values[id] = self.state[id],
+                _ => {
+                    let v = g.eval_bool(id, |f| self.values[f]);
+                    self.values[id] = v;
                 }
             }
         }

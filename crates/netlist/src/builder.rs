@@ -260,6 +260,7 @@ impl CircuitBuilder {
             level,
             name_index,
             is_output,
+            sim: std::sync::OnceLock::new(),
         })
     }
 }

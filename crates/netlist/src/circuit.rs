@@ -1,7 +1,9 @@
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::gate::GateKind;
+use crate::simgraph::SimGraph;
 use crate::stats::CircuitStats;
 
 /// Compact identifier of a node inside one [`Circuit`].
@@ -88,6 +90,10 @@ pub struct Circuit {
     pub(crate) level: Vec<u32>,
     pub(crate) name_index: HashMap<String, NodeId>,
     pub(crate) is_output: Vec<bool>,
+    /// Lazily built flattened simulation view (see [`Circuit::sim_graph`]).
+    /// Boxed so the cache adds one pointer to `Circuit`, not the whole
+    /// array-of-vectors struct.
+    pub(crate) sim: OnceLock<Box<SimGraph>>,
 }
 
 impl Circuit {
@@ -210,6 +216,13 @@ impl Circuit {
             .copied()
             .filter(|id| in_cone[id.index()])
             .collect()
+    }
+
+    /// The flattened struct-of-arrays simulation view of this circuit
+    /// (CSR adjacency plus parallel kind/level/topo arrays), built on
+    /// first use and cached — every simulation engine shares one layout.
+    pub fn sim_graph(&self) -> &SimGraph {
+        self.sim.get_or_init(|| Box::new(SimGraph::build(self)))
     }
 
     /// Summary statistics (gate mix, depth, fan-in/fan-out profile).

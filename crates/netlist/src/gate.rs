@@ -172,6 +172,95 @@ impl GateKind {
         }
     }
 
+    /// Evaluates a single-fan-in instance of the gate bit-parallel — the
+    /// one-input fast path of the simulation hot loops. Multi-input kinds
+    /// degenerate to their one-input forms (`AND(a) = a`, `NAND(a) = !a`,
+    /// parity of one bit is the bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind cannot have exactly one fan-in
+    /// (sources and constants).
+    #[inline]
+    pub fn eval_word1(self, a: u64) -> u64 {
+        match self {
+            GateKind::Buf | GateKind::And | GateKind::Or | GateKind::Xor => a,
+            GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor => !a,
+            GateKind::Input | GateKind::Dff | GateKind::Const0 | GateKind::Const1 => {
+                panic!("gate {self} evaluated with 1 input")
+            }
+        }
+    }
+
+    /// Evaluates a two-fan-in instance of the gate bit-parallel — the
+    /// two-input fast path of the simulation hot loops (the overwhelming
+    /// majority of ISCAS gates are two-input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind cannot have two fan-ins.
+    #[inline]
+    pub fn eval_word2(self, a: u64, b: u64) -> u64 {
+        match self {
+            GateKind::And => a & b,
+            GateKind::Nand => !(a & b),
+            GateKind::Or => a | b,
+            GateKind::Nor => !(a | b),
+            GateKind::Xor => a ^ b,
+            GateKind::Xnor => !(a ^ b),
+            _ => panic!("gate {self} evaluated with 2 inputs"),
+        }
+    }
+
+    /// Evaluates the gate bit-parallel over an iterator of fan-in words —
+    /// the allocation-free generic path behind [`GateKind::eval_word`]
+    /// (which requires a slice). Arity is *not* re-checked here; callers
+    /// stream fan-ins straight out of a validated netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Input`/`Dff` (sources have no logic function).
+    #[inline]
+    pub fn eval_word_iter(self, mut inputs: impl Iterator<Item = u64>) -> u64 {
+        match self {
+            GateKind::Input | GateKind::Dff => panic!("source node {self} has no logic function"),
+            GateKind::Const0 => 0,
+            GateKind::Const1 => !0,
+            GateKind::Buf => inputs.next().expect("BUF has one fan-in"),
+            GateKind::Not => !inputs.next().expect("NOT has one fan-in"),
+            GateKind::And => inputs.fold(!0u64, |a, v| a & v),
+            GateKind::Nand => !inputs.fold(!0u64, |a, v| a & v),
+            GateKind::Or => inputs.fold(0u64, |a, v| a | v),
+            GateKind::Nor => !inputs.fold(0u64, |a, v| a | v),
+            GateKind::Xor => inputs.fold(0u64, |a, v| a ^ v),
+            GateKind::Xnor => !inputs.fold(0u64, |a, v| a ^ v),
+        }
+    }
+
+    /// Evaluates the gate over an iterator of fan-in booleans — the
+    /// allocation-free counterpart of [`GateKind::eval_bool`] used by the
+    /// scalar simulation loops. Arity is *not* re-checked here.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Input`/`Dff` (sources have no logic function).
+    #[inline]
+    pub fn eval_bool_iter(self, mut inputs: impl Iterator<Item = bool>) -> bool {
+        match self {
+            GateKind::Input | GateKind::Dff => panic!("source node {self} has no logic function"),
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => inputs.next().expect("BUF has one fan-in"),
+            GateKind::Not => !inputs.next().expect("NOT has one fan-in"),
+            GateKind::And => inputs.all(|v| v),
+            GateKind::Nand => !inputs.all(|v| v),
+            GateKind::Or => inputs.any(|v| v),
+            GateKind::Nor => !inputs.any(|v| v),
+            GateKind::Xor => inputs.fold(false, |a, v| a ^ v),
+            GateKind::Xnor => !inputs.fold(false, |a, v| a ^ v),
+        }
+    }
+
     /// The `.bench` keyword for this kind (upper case), e.g. `"NAND"`.
     pub fn bench_keyword(self) -> &'static str {
         match self {
@@ -316,6 +405,48 @@ mod tests {
         }
         assert_eq!("buff".parse::<GateKind>(), Ok(GateKind::Buf));
         assert!("FROB".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn fast_paths_agree_with_slice_eval() {
+        let a = 0xAAAA_AAAA_AAAA_AAAAu64;
+        let b = 0xCCCC_CCCC_CCCC_CCCCu64;
+        let c = 0xF0F0_F0F0_F0F0_F0F0u64;
+        for kind in GateKind::MULTI_INPUT {
+            assert_eq!(kind.eval_word1(a), kind.eval_word(&[a]), "{kind}/1");
+            assert_eq!(kind.eval_word2(a, b), kind.eval_word(&[a, b]), "{kind}/2");
+            assert_eq!(
+                kind.eval_word_iter([a, b, c].into_iter()),
+                kind.eval_word(&[a, b, c]),
+                "{kind}/3"
+            );
+        }
+        for kind in [GateKind::Buf, GateKind::Not] {
+            assert_eq!(kind.eval_word1(a), kind.eval_word(&[a]), "{kind}");
+            assert_eq!(
+                kind.eval_word_iter([a].into_iter()),
+                kind.eval_word(&[a]),
+                "{kind}/iter"
+            );
+        }
+        assert_eq!(GateKind::Const0.eval_word_iter([].into_iter()), 0);
+        assert_eq!(GateKind::Const1.eval_word_iter([].into_iter()), !0);
+    }
+
+    #[test]
+    fn bool_iter_agrees_with_slice_eval() {
+        for kind in GateKind::MULTI_INPUT {
+            for bits in 0u8..8 {
+                let v = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+                assert_eq!(
+                    kind.eval_bool_iter(v.iter().copied()),
+                    kind.eval_bool(&v),
+                    "{kind} {v:?}"
+                );
+            }
+        }
+        assert!(!GateKind::Not.eval_bool_iter([true].into_iter()));
+        assert!(GateKind::Buf.eval_bool_iter([true].into_iter()));
     }
 
     #[test]

@@ -46,10 +46,12 @@ mod error;
 mod gate;
 pub mod iscas85;
 pub mod iscas89;
+mod simgraph;
 mod stats;
 
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, Node, NodeId};
 pub use error::{BuildCircuitError, ParseBenchError};
 pub use gate::GateKind;
+pub use simgraph::{LevelQueue, SimGraph};
 pub use stats::CircuitStats;
