@@ -15,6 +15,8 @@
 //! leaves the frontier, which keys every checkpoint's searches apart and
 //! drives the cache hit rate to zero.
 
+// determinism-vetted: the cache map is keyed lookup only, never iterated
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 use bist_fault::Fault;
@@ -109,6 +111,7 @@ impl CacheKey {
 /// cached and cold flows produce the same sequences.
 #[derive(Debug, Default)]
 pub struct CubeCache {
+    #[allow(clippy::disallowed_types)]
     map: HashMap<CacheKey, CachedGen>,
     hits: usize,
     misses: usize,

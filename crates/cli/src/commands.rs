@@ -5,7 +5,7 @@ use std::time::Duration;
 use bist_engine::json::Json;
 use bist_engine::{
     AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, Engine, HdlLanguage,
-    JobResult, JobSpec, ResultCache, SolveAtSpec, SweepSpec,
+    JobResult, JobSpec, LintSpec, ResultCache, SolveAtSpec, SweepSpec,
 };
 
 use crate::opts::{
@@ -38,6 +38,7 @@ pub fn dispatch(args: &[String]) -> u8 {
             "bakeoff" => help::BAKEOFF,
             "emit-hdl" => help::EMIT_HDL,
             "area" => help::AREA,
+            "lint" => help::LINT,
             "batch" => help::BATCH,
             "cache" => help::CACHE,
             _ => help::TOP,
@@ -50,6 +51,7 @@ pub fn dispatch(args: &[String]) -> u8 {
             "solve" | "sweep" | "curve" | "bakeoff" | "emit-hdl" | "area" => {
                 job_command(command, &opts, &mut rest)
             }
+            "lint" => lint_command(&opts, &mut rest),
             "batch" => batch_command(&opts, &rest),
             "cache" => cache_command(&opts, &rest),
             other => Err(UsageError(format!("unknown command `{other}` (try `bist help`)")).into()),
@@ -224,6 +226,42 @@ fn required_lengths(
     let value = take_value(rest, flag)?
         .ok_or_else(|| UsageError(format!("{command} needs `{flag} <n,n,..>`")))?;
     parse_lengths(flag, &value)
+}
+
+/// `bist lint` has its own driver because — unlike every other job
+/// command — its exit code depends on the report's content: errors (or,
+/// under `--deny warnings`, warnings) fail the process even though the
+/// job itself succeeded.
+fn lint_command(opts: &CommonOpts, rest: &mut Vec<String>) -> Result<u8, CommandError> {
+    let deny_warnings = match take_value(rest, "--deny")?.as_deref() {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => {
+            return Err(UsageError(format!("--deny takes `warnings`, got `{other}`")).into())
+        }
+    };
+    let spec = JobSpec::Lint(LintSpec {
+        circuit: resolve_circuit(&the_circuit("lint", rest)?)?,
+        config: Default::default(),
+    });
+
+    let (engine, cache) = build_engine(opts, opts.threads);
+    let result = run_with_progress(&engine, vec![spec], opts.quiet)
+        .pop()
+        .expect("one job in, one result out");
+    report_cache(&cache, opts.quiet);
+    let result = result?;
+    match opts.format {
+        Format::Text => print!("{}", result_text(&result)),
+        Format::Json => print!("{}", result_json(&result).render_pretty()),
+    }
+
+    let report = &result
+        .as_lint()
+        .expect("lint jobs yield lint outcomes")
+        .report;
+    let failing = report.has_errors() || (deny_warnings && report.has_warnings());
+    Ok(if failing { EXIT_JOB_FAILED } else { 0 })
 }
 
 fn batch_command(opts: &CommonOpts, rest: &[String]) -> Result<u8, CommandError> {

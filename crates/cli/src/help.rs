@@ -19,6 +19,7 @@ COMMANDS
     bakeoff <circuit>                 run every TPG architecture on equal terms
     emit-hdl <circuit> --prefix <p>   solve and render the generator as HDL
     area <circuit>                    price the full-deterministic extreme
+    lint <circuit>                    static netlist analysis + SCOAP testability
     batch <manifest.toml>             run a declarative job list
     cache <stats|clear>               inspect or empty the result cache
     help                              print this overview
@@ -100,6 +101,22 @@ bist area <circuit> [options]
 Prices the full-deterministic extreme: the LFSROM generator encoding
 the complete ATPG test set versus the nominal chip area — one row of
 the paper's Figure 6 / Table 1.
+";
+
+/// `bist lint --help`.
+pub const LINT: &str = "\
+bist lint <circuit> [--deny warnings] [options]
+
+Statically analyzes the netlist — no simulation: structural rules
+(undriven nets, dangling gates, floating inputs, constant drivers,
+excessive fan-out, sequential feedback loops) plus SCOAP testability
+(CC0/CC1/CO) with a random-resistance ranking of the hardest nodes.
+Diagnostics carry stable BLxxx codes and point at .bench source lines;
+--format json emits the machine-readable report CI keys on. A netlist
+that fails to parse is reported as a diagnostic, not a job failure.
+
+Exit code 0 when the report has no errors; 1 when it has errors, or —
+under --deny warnings — any warnings.
 ";
 
 /// `bist batch --help`.

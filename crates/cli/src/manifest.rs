@@ -9,7 +9,7 @@
 //! threads = 2           # pool width for the whole batch
 //!
 //! [[job]]
-//! kind = "sweep"        # solve | sweep | curve | bakeoff | emit-hdl | area
+//! kind = "sweep"        # solve | sweep | curve | bakeoff | emit-hdl | area | lint
 //! points = [0, 100, 1000]
 //!
 //! [[job]]
@@ -34,7 +34,7 @@
 
 use bist_engine::{
     AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, HdlLanguage, JobSpec,
-    SolveAtSpec, SweepSpec,
+    LintSpec, SolveAtSpec, SweepSpec,
 };
 
 use crate::opts::resolve_circuit;
@@ -333,7 +333,8 @@ fn build_job(
         err(
             source_name,
             header,
-            "this job needs `kind = \"…\"` (solve | sweep | curve | bakeoff | emit-hdl | area)",
+            "this job needs `kind = \"…\"` \
+             (solve | sweep | curve | bakeoff | emit-hdl | area | lint)",
         )
     })?;
     let circuit_name = match take_string(source_name, &mut job, "circuit")? {
@@ -414,11 +415,18 @@ fn build_job(
             circuit,
             config: Default::default(),
         }),
+        "lint" => JobSpec::Lint(LintSpec {
+            circuit,
+            config: Default::default(),
+        }),
         other => {
             return Err(err(
                 source_name,
                 header,
-                format!("kind: `{other}` is not solve | sweep | curve | bakeoff | emit-hdl | area"),
+                format!(
+                    "kind: `{other}` is not solve | sweep | curve | bakeoff | emit-hdl | area \
+                     | lint"
+                ),
             ))
         }
     };
@@ -516,6 +524,13 @@ testbench = true
             assert!(e.to_string().starts_with("m.toml:"));
         }
         assert!(parse("m.toml", "").is_err(), "empty manifests are defects");
+    }
+
+    #[test]
+    fn lint_jobs_parse() {
+        let manifest = parse("m.toml", "[[job]]\nkind = \"lint\"\ncircuit = \"c17\"\n")
+            .expect("lint job parses");
+        assert!(matches!(&manifest.jobs[0], JobSpec::Lint(_)));
     }
 
     #[test]

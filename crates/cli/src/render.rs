@@ -7,7 +7,9 @@
 use std::fmt::Write as _;
 
 use bist_engine::json::Json;
-use bist_engine::{JobResult, MixedSolution, ProgressEvent, SessionStats};
+use bist_engine::{
+    fmt_scoap, JobResult, MixedSolution, ProgressEvent, ScoapSummary, SessionStats, Severity,
+};
 
 /// One result as a JSON document (object; `bist batch` emits an array
 /// of these).
@@ -106,8 +108,70 @@ pub fn result_json(result: &JobResult) -> Json {
             doc.push("overhead_pct", Json::Float(o.overhead_pct));
             doc.push("coverage_pct", Json::Float(o.coverage_pct));
         }
+        JobResult::Lint(o) => {
+            doc.push("job", Json::str("lint"));
+            doc.push("circuit", Json::str(&o.circuit));
+            doc.push("errors", Json::uint(o.report.count(Severity::Error)));
+            doc.push("warnings", Json::uint(o.report.count(Severity::Warn)));
+            doc.push("infos", Json::uint(o.report.count(Severity::Info)));
+            doc.push(
+                "diagnostics",
+                Json::Array(
+                    o.report
+                        .diagnostics
+                        .iter()
+                        .map(|d| {
+                            let mut j = Json::object();
+                            j.push("code", Json::str(d.code.code()));
+                            j.push("severity", Json::str(d.severity.label()));
+                            j.push("line", Json::uint(d.span.line));
+                            j.push("message", Json::str(&d.message));
+                            j
+                        })
+                        .collect(),
+                ),
+            );
+            doc.push(
+                "scoap",
+                o.report.scoap.as_ref().map_or(Json::Null, scoap_json),
+            );
+        }
     }
     doc
+}
+
+fn scoap_json(s: &ScoapSummary) -> Json {
+    fn worst(value: Option<&(String, u32)>) -> Json {
+        value.map_or(Json::Null, |(name, v)| {
+            let mut j = Json::object();
+            j.push("node", Json::str(name));
+            j.push("value", Json::uint(*v as usize));
+            j
+        })
+    }
+    let mut j = Json::object();
+    j.push("nodes", Json::uint(s.nodes));
+    j.push("max_cc0", worst(s.max_cc0.as_ref()));
+    j.push("max_cc1", worst(s.max_cc1.as_ref()));
+    j.push("max_co", worst(s.max_co.as_ref()));
+    j.push(
+        "resistance",
+        Json::Array(
+            s.resistance
+                .iter()
+                .map(|r| {
+                    let mut node = Json::object();
+                    node.push("node", Json::str(&r.name));
+                    node.push("cc0", Json::uint(r.cc0 as usize));
+                    node.push("cc1", Json::uint(r.cc1 as usize));
+                    node.push("co", Json::uint(r.co as usize));
+                    node.push("score", Json::uint(r.score as usize));
+                    node
+                })
+                .collect(),
+        ),
+    );
+    j
 }
 
 fn solution_json(s: &MixedSolution) -> Json {
@@ -235,6 +299,41 @@ pub fn result_text(result: &JobResult) -> String {
                 o.coverage_pct
             );
         }
+        JobResult::Lint(o) => {
+            let r = &o.report;
+            let _ = writeln!(
+                out,
+                "{}: {} error(s), {} warning(s), {} note(s)",
+                o.circuit,
+                r.count(Severity::Error),
+                r.count(Severity::Warn),
+                r.count(Severity::Info)
+            );
+            for d in &r.diagnostics {
+                let _ = writeln!(out, "  {d}");
+            }
+            if let Some(s) = &r.scoap {
+                if !s.resistance.is_empty() {
+                    let _ = writeln!(out, "random-resistance ranking (hardest first):");
+                    let _ = writeln!(
+                        out,
+                        "{:>24} {:>8} {:>8} {:>8} {:>8}",
+                        "node", "CC0", "CC1", "CO", "score"
+                    );
+                    for n in &s.resistance {
+                        let _ = writeln!(
+                            out,
+                            "{:>24} {:>8} {:>8} {:>8} {:>8}",
+                            n.name,
+                            fmt_scoap(n.cc0),
+                            fmt_scoap(n.cc1),
+                            fmt_scoap(n.co),
+                            n.score
+                        );
+                    }
+                }
+            }
+        }
     }
     out
 }
@@ -256,6 +355,7 @@ pub fn event_line(event: &ProgressEvent) -> String {
             prefix_len,
             coverage_pct,
         } => format!("[{job}] p={prefix_len} coverage={coverage_pct:.2}%"),
+        ProgressEvent::Pass { job, name } => format!("[{job}] pass: {name}"),
         ProgressEvent::Finished { job } => format!("[{job}] finished"),
         ProgressEvent::Failed { job, message } => format!("[{job}] failed: {message}"),
         ProgressEvent::Canceled { job } => format!("[{job}] canceled"),
@@ -314,6 +414,7 @@ mod tests {
                 JobSpec::area_report(CircuitSource::iscas85("c17")),
                 "LFSROM mm2",
             ),
+            (JobSpec::lint(CircuitSource::iscas85("c17")), "[BL013]"),
         ] {
             let result = engine.run(spec).expect("c17 job succeeds");
             let text = result_text(&result);

@@ -51,7 +51,7 @@ fn help_matches_the_committed_snapshot() {
     }
     // every subcommand has its own help and exits 0
     for command in [
-        "solve", "sweep", "curve", "bakeoff", "emit-hdl", "area", "batch", "cache",
+        "solve", "sweep", "curve", "bakeoff", "emit-hdl", "area", "lint", "batch", "cache",
     ] {
         let output = bist(&[command, "--help"]);
         assert!(output.status.success(), "{command} --help exits 0");
@@ -265,6 +265,75 @@ fn diagnostics_carry_sources_and_exit_codes() {
     let docs = docs.as_array().expect("array");
     assert_eq!(docs[0].get("job").and_then(Json::as_str), Some("solve"));
     assert_eq!(docs[1].get("job").and_then(Json::as_str), Some("error"));
+}
+
+#[test]
+fn lint_exit_codes_follow_the_report() {
+    let dir = fresh_dir("lint");
+
+    // a clean benchmark exits 0 and reports its testability summary
+    let clean = bist(&["lint", "c17", "--format", "json", "--quiet"]);
+    assert!(clean.status.success(), "c17 lints clean");
+    let doc = json::parse(&stdout(&clean)).expect("valid lint JSON");
+    assert_eq!(doc.get("job").and_then(Json::as_str), Some("lint"));
+    assert_eq!(doc.get("errors").and_then(Json::as_usize), Some(0));
+    assert!(doc.get("scoap").is_some_and(|s| !matches!(s, Json::Null)));
+
+    // a warning-bearing netlist: exit 0 normally, 1 under --deny warnings
+    let warny = dir.join("warny.bench");
+    std::fs::write(&warny, "INPUT(a)\nINPUT(unused)\nOUTPUT(y)\ny = NOT(a)\n").expect("written");
+    let warny = warny.to_str().expect("UTF-8 path");
+    let lax = bist(&["lint", warny, "--quiet"]);
+    assert!(lax.status.success(), "warnings alone do not fail");
+    assert!(stdout(&lax).contains("[BL008]"), "floating input reported");
+    let strict = bist(&["lint", warny, "--deny", "warnings", "--quiet"]);
+    assert_eq!(strict.status.code(), Some(1), "--deny warnings fails");
+
+    // an unparsable netlist is *reported* (exit 1), not a job failure —
+    // stdout still carries the diagnostic with its source line
+    let broken = dir.join("broken.bench");
+    std::fs::write(&broken, "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n").expect("written");
+    let broken = broken.to_str().expect("UTF-8 path");
+    let parse = bist(&["lint", broken, "--format", "json", "--quiet"]);
+    assert_eq!(parse.status.code(), Some(1));
+    let doc = json::parse(&stdout(&parse)).expect("valid lint JSON");
+    assert_eq!(doc.get("errors").and_then(Json::as_usize), Some(1));
+    let diags = doc
+        .get("diagnostics")
+        .and_then(Json::as_array)
+        .expect("diagnostics array");
+    assert_eq!(diags[0].get("code").and_then(Json::as_str), Some("BL002"));
+    assert_eq!(diags[0].get("line").and_then(Json::as_usize), Some(3));
+}
+
+#[test]
+fn warm_lint_rerun_is_served_from_the_cache() {
+    let cache = fresh_dir("lint-cache");
+    let cache = cache.to_str().expect("UTF-8 path");
+    let args = &["lint", "c432", "--format", "json", "--cache-dir", cache];
+
+    let cold = bist(args);
+    assert!(cold.status.success(), "c432 lints clean");
+    assert!(stderr(&cold).contains("cache: hits=0 misses=1 stores=1"));
+
+    let warm = bist(args);
+    assert!(warm.status.success());
+    assert!(
+        stderr(&warm).contains("cache: hits=1 misses=0 stores=0"),
+        "warm lint must be served from the cache:\n{}",
+        stderr(&warm)
+    );
+    assert_eq!(
+        stdout(&cold),
+        stdout(&warm),
+        "cache-served report is byte-identical"
+    );
+    // served from the cache means zero analysis work: no pass events
+    assert!(
+        !stderr(&warm).contains("pass:"),
+        "warm run must not enter analysis passes:\n{}",
+        stderr(&warm)
+    );
 }
 
 #[test]

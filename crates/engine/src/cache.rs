@@ -292,7 +292,9 @@ pub fn job_digest(circuit: &Circuit, spec: &JobSpec) -> String {
             );
             feed_u64(&mut h, "testbench", u64::from(s.testbench));
         }
-        JobSpec::AreaReport(_) => {}
+        // lint has no budgets: the circuit and schema version fully
+        // determine the report
+        JobSpec::AreaReport(_) | JobSpec::Lint(_) => {}
     }
     h.finish_hex()
 }

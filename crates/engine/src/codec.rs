@@ -24,18 +24,21 @@ use bist_baselines::{Bakeoff, BakeoffRow};
 use bist_core::{MixedGenerator, MixedSolution, SessionStats, SweepSummary};
 use bist_faultsim::{CoverageCurve, CoverageReport};
 use bist_lfsr::Polynomial;
+use bist_lint::{Diagnostic, LintReport, RankedNode, RuleCode, ScoapSummary, Severity, Span};
 use bist_logicsim::Pattern;
 
 use crate::json::Json;
 use crate::result::{
-    AreaReportOutcome, BakeoffOutcome, CurveOutcome, HdlOutcome, JobResult, SolveAtOutcome,
-    SweepOutcome,
+    AreaReportOutcome, BakeoffOutcome, CurveOutcome, HdlOutcome, JobResult, LintOutcome,
+    SolveAtOutcome, SweepOutcome,
 };
 
 /// Version of the cached-result layout *and* of the cache-key digest
 /// recipe. Participates in both, so bumping it orphans every existing
 /// entry at the lookup stage already.
-pub const CACHE_SCHEMA_VERSION: u64 = 1;
+///
+/// History: 1 = initial layout; 2 = added the `lint` kind.
+pub const CACHE_SCHEMA_VERSION: u64 = 2;
 
 /// Every architecture name a [`BakeoffRow`] can carry. Rows intern their
 /// names as `&'static str`; decoding maps file strings back through this
@@ -61,6 +64,7 @@ pub fn encode_result(result: &JobResult) -> Json {
         JobResult::Bakeoff(o) => ("bakeoff", encode_bakeoff(o)),
         JobResult::EmitHdl(o) => ("emit-hdl", encode_hdl(o)),
         JobResult::AreaReport(o) => ("area-report", encode_area(o)),
+        JobResult::Lint(o) => ("lint", encode_lint(o)),
     };
     let mut doc = Json::object();
     doc.push("cache_schema", Json::uint(CACHE_SCHEMA_VERSION as usize));
@@ -82,6 +86,7 @@ pub fn decode_result(doc: &Json) -> Option<JobResult> {
         "bakeoff" => JobResult::Bakeoff(decode_bakeoff(body)?),
         "emit-hdl" => JobResult::EmitHdl(decode_hdl(body)?),
         "area-report" => JobResult::AreaReport(decode_area(body)?),
+        "lint" => JobResult::Lint(decode_lint(body)?),
         _ => return None,
     })
 }
@@ -386,6 +391,136 @@ fn decode_area(j: &Json) -> Option<AreaReportOutcome> {
     })
 }
 
+fn encode_diagnostic(d: &Diagnostic) -> Json {
+    let mut j = Json::object();
+    j.push("code", Json::str(d.code.code()));
+    j.push("severity", Json::str(d.severity.label()));
+    j.push("line", Json::uint(d.span.line));
+    j.push("message", Json::str(&d.message));
+    j
+}
+
+fn decode_diagnostic(j: &Json) -> Option<Diagnostic> {
+    let severity = match j.get("severity")?.as_str()? {
+        "info" => Severity::Info,
+        "warning" => Severity::Warn,
+        "error" => Severity::Error,
+        _ => return None,
+    };
+    Some(Diagnostic {
+        code: RuleCode::from_code(j.get("code")?.as_str()?)?,
+        severity,
+        message: j.get("message")?.as_str()?.to_owned(),
+        span: Span::line(j.get("line")?.as_usize()?),
+    })
+}
+
+fn encode_worst(worst: Option<&(String, u32)>) -> Json {
+    match worst {
+        Some((name, value)) => {
+            let mut j = Json::object();
+            j.push("name", Json::str(name));
+            j.push("value", Json::uint(*value as usize));
+            j
+        }
+        None => Json::Null,
+    }
+}
+
+fn decode_worst(j: &Json) -> Option<Option<(String, u32)>> {
+    match j {
+        Json::Null => Some(None),
+        _ => Some(Some((
+            j.get("name")?.as_str()?.to_owned(),
+            u32::try_from(j.get("value")?.as_usize()?).ok()?,
+        ))),
+    }
+}
+
+fn encode_scoap(s: &ScoapSummary) -> Json {
+    let mut j = Json::object();
+    j.push("nodes", Json::uint(s.nodes));
+    j.push("max_cc0", encode_worst(s.max_cc0.as_ref()));
+    j.push("max_cc1", encode_worst(s.max_cc1.as_ref()));
+    j.push("max_co", encode_worst(s.max_co.as_ref()));
+    j.push(
+        "resistance",
+        Json::Array(
+            s.resistance
+                .iter()
+                .map(|r| {
+                    let mut node = Json::object();
+                    node.push("name", Json::str(&r.name));
+                    node.push("cc0", Json::uint(r.cc0 as usize));
+                    node.push("cc1", Json::uint(r.cc1 as usize));
+                    node.push("co", Json::uint(r.co as usize));
+                    node.push("score", Json::uint(r.score as usize));
+                    node
+                })
+                .collect(),
+        ),
+    );
+    j
+}
+
+fn decode_scoap(j: &Json) -> Option<ScoapSummary> {
+    let resistance: Vec<RankedNode> = j
+        .get("resistance")?
+        .as_array()?
+        .iter()
+        .map(|r| {
+            Some(RankedNode {
+                name: r.get("name")?.as_str()?.to_owned(),
+                cc0: u32::try_from(r.get("cc0")?.as_usize()?).ok()?,
+                cc1: u32::try_from(r.get("cc1")?.as_usize()?).ok()?,
+                co: u32::try_from(r.get("co")?.as_usize()?).ok()?,
+                score: r.get("score")?.as_usize()? as u64,
+            })
+        })
+        .collect::<Option<_>>()?;
+    Some(ScoapSummary {
+        nodes: j.get("nodes")?.as_usize()?,
+        max_cc0: decode_worst(j.get("max_cc0")?)?,
+        max_cc1: decode_worst(j.get("max_cc1")?)?,
+        max_co: decode_worst(j.get("max_co")?)?,
+        resistance,
+    })
+}
+
+fn encode_lint(o: &LintOutcome) -> Json {
+    let mut j = Json::object();
+    j.push("circuit", Json::str(&o.circuit));
+    j.push(
+        "diagnostics",
+        Json::Array(o.report.diagnostics.iter().map(encode_diagnostic).collect()),
+    );
+    j.push(
+        "scoap",
+        match &o.report.scoap {
+            Some(s) => encode_scoap(s),
+            None => Json::Null,
+        },
+    );
+    j
+}
+
+fn decode_lint(j: &Json) -> Option<LintOutcome> {
+    let diagnostics: Vec<Diagnostic> = j
+        .get("diagnostics")?
+        .as_array()?
+        .iter()
+        .map(decode_diagnostic)
+        .collect::<Option<_>>()?;
+    let scoap = match j.get("scoap")? {
+        Json::Null => None,
+        s => Some(decode_scoap(s)?),
+    };
+    Some(LintOutcome {
+        circuit: j.get("circuit")?.as_str()?.to_owned(),
+        report: LintReport { diagnostics, scoap },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -514,12 +649,43 @@ mod tests {
     }
 
     #[test]
+    fn lint_round_trips_exactly() {
+        let engine = Engine::with_threads(1);
+        let result = engine
+            .run(JobSpec::lint(CircuitSource::iscas85("c17")))
+            .expect("c17 lint");
+        let back = round_trip(&result);
+        let (a, b) = (
+            result.as_lint().expect("lint"),
+            back.as_lint().expect("lint"),
+        );
+        assert_eq!(a.circuit, b.circuit);
+        assert_eq!(a.report, b.report);
+        assert!(a.report.scoap.is_some());
+
+        // a parse-failure report (no SCOAP summary) round-trips too
+        let broken = engine
+            .run(JobSpec::lint(CircuitSource::bench(
+                "broken",
+                "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)",
+            )))
+            .expect("lint reports defects instead of failing");
+        let back = round_trip(&broken);
+        assert_eq!(
+            broken.as_lint().expect("lint").report,
+            back.as_lint().expect("lint").report
+        );
+    }
+
+    #[test]
     fn foreign_documents_decode_to_none() {
         for text in [
             "{}",
             r#"{"cache_schema": 999, "kind": "sweep", "result": {}}"#,
-            r#"{"cache_schema": 1, "kind": "unheard-of", "result": {}}"#,
-            r#"{"cache_schema": 1, "kind": "sweep", "result": {"circuit": "x"}}"#,
+            r#"{"cache_schema": 2, "kind": "unheard-of", "result": {}}"#,
+            r#"{"cache_schema": 2, "kind": "sweep", "result": {"circuit": "x"}}"#,
+            // entries written before the lint kind existed (schema 1)
+            r#"{"cache_schema": 1, "kind": "sweep", "result": {}}"#,
         ] {
             let doc = json::parse(text).expect("well-formed JSON");
             assert!(decode_result(&doc).is_none(), "`{text}` must not decode");

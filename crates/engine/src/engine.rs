@@ -4,20 +4,21 @@ use bist_baselines::{bakeoff, BakeoffConfig};
 use bist_core::{BistSession, MixedGenerator, MixedSolution, SweepSummary};
 use bist_faultsim::{CoverageCurve, CoverageReport};
 use bist_hdl::{emit_verilog, emit_verilog_testbench, emit_vhdl, lint, HdlOptions};
+use bist_lint::{LintOptions, LintReport};
 use bist_logicsim::{Pattern, SeqSim};
-use bist_netlist::Circuit;
+use bist_netlist::{bench, Circuit};
 use bist_par::Pool;
 
 use crate::cache::{job_digest, ResultCache};
 use crate::error::BistError;
 use crate::progress::{CancelToken, JobId, ProgressEvent, ProgressFeed};
 use crate::result::{
-    AreaReportOutcome, BakeoffOutcome, CurveOutcome, HdlOutcome, JobResult, SolveAtOutcome,
-    SweepOutcome,
+    AreaReportOutcome, BakeoffOutcome, CurveOutcome, HdlOutcome, JobResult, LintOutcome,
+    SolveAtOutcome, SweepOutcome,
 };
 use crate::spec::{
-    AreaReportSpec, BakeoffSpec, CoverageCurveSpec, EmitHdlSpec, HdlLanguage, JobSpec, SolveAtSpec,
-    SweepSpec,
+    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, HdlLanguage,
+    JobSpec, LintSpec, SolveAtSpec, SweepSpec,
 };
 
 /// The single public face of the workspace: validates [`JobSpec`]s,
@@ -226,6 +227,25 @@ impl Engine {
         if cancel.is_canceled() {
             return Err(BistError::Canceled);
         }
+        // lint's contract is to *report* netlist defects, not fail on
+        // them: a `.bench` source that doesn't parse becomes a
+        // one-diagnostic report. (Uncached — the cache key requires a
+        // realized circuit, and a defective source has none.)
+        if let (JobSpec::Lint(_), CircuitSource::Bench { name, text }) = (spec, spec.circuit()) {
+            if let Err(diagnostic) = bist_lint::parse_pass(name, text) {
+                self.feed.push(ProgressEvent::Pass {
+                    job: id,
+                    name: "parse".to_owned(),
+                });
+                return Ok(JobResult::Lint(LintOutcome {
+                    circuit: name.clone(),
+                    report: LintReport {
+                        diagnostics: vec![diagnostic],
+                        scoap: None,
+                    },
+                }));
+            }
+        }
         let circuit = spec.circuit().realize()?;
         // content-addressed short-circuit: a digest hit answers the job
         // from disk, bit-identically, without touching a session (a
@@ -246,6 +266,7 @@ impl Engine {
             JobSpec::Bakeoff(s) => self.drive_bakeoff(s, &circuit),
             JobSpec::EmitHdl(s) => self.drive_emit_hdl(id, s, &circuit),
             JobSpec::AreaReport(s) => self.drive_area_report(id, s, &circuit),
+            JobSpec::Lint(s) => self.drive_lint(id, s, &circuit, cancel),
         };
         if let (Some((cache, key)), Ok(result)) = (&key, &result) {
             cache.store(key, result);
@@ -416,6 +437,57 @@ impl Engine {
             verilog,
             vhdl,
             testbench,
+        }))
+    }
+
+    fn analysis_pass(&self, id: JobId, name: &str) {
+        self.feed.push(ProgressEvent::Pass {
+            job: id,
+            name: name.to_owned(),
+        });
+    }
+
+    fn drive_lint(
+        &self,
+        id: JobId,
+        s: &LintSpec,
+        circuit: &Circuit,
+        cancel: &CancelToken,
+    ) -> Result<JobResult, BistError> {
+        let options = LintOptions::default();
+        // parse pass: recover the source map so diagnostics carry line
+        // spans — against the user's own text for Bench sources, against
+        // the canonical `.bench` serialization for everything else
+        self.analysis_pass(id, "parse");
+        let map = match &s.circuit {
+            CircuitSource::Bench { name, text } => {
+                bist_lint::parse_pass(name, text).ok().map(|(_, m)| m)
+            }
+            _ => {
+                let text = bench::write(circuit);
+                bist_lint::parse_pass(circuit.name(), &text)
+                    .ok()
+                    .map(|(_, m)| m)
+            }
+        };
+        if cancel.is_canceled() {
+            return Err(BistError::Canceled);
+        }
+        self.analysis_pass(id, "structural");
+        let mut diagnostics = bist_lint::structural_pass(circuit, map.as_ref(), &options);
+        if cancel.is_canceled() {
+            return Err(BistError::Canceled);
+        }
+        self.analysis_pass(id, "scoap");
+        let (scoap_diags, summary) = bist_lint::scoap_pass(circuit, map.as_ref(), &options);
+        diagnostics.extend(scoap_diags);
+        Ok(JobResult::Lint(LintOutcome {
+            circuit: circuit.name().to_owned(),
+            report: LintReport {
+                diagnostics,
+                scoap: Some(summary),
+            }
+            .normalize(),
         }))
     }
 

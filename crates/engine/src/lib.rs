@@ -64,13 +64,17 @@ pub use engine::Engine;
 // The config/outcome vocabulary jobs are written in, re-exported so
 // engine consumers (the `bist` CLI above all) need no substrate crates.
 pub use bist_core::{MixedSchemeConfig, MixedSolution, SessionStats, SweepSummary};
+pub use bist_lint::{
+    fmt_scoap, Diagnostic, LintOptions, LintReport, RankedNode, RuleCode, ScoapSummary, Severity,
+    Span, SCOAP_INF,
+};
 pub use error::BistError;
 pub use progress::{CancelToken, JobId, ProgressEvent, ProgressFeed};
 pub use result::{
-    AreaReportOutcome, BakeoffOutcome, CurveOutcome, HdlOutcome, JobResult, SolveAtOutcome,
-    SweepOutcome,
+    AreaReportOutcome, BakeoffOutcome, CurveOutcome, HdlOutcome, JobResult, LintOutcome,
+    SolveAtOutcome, SweepOutcome,
 };
 pub use spec::{
     AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, HdlLanguage,
-    JobSpec, SolveAtSpec, SweepSpec,
+    JobSpec, LintSpec, SolveAtSpec, SweepSpec,
 };

@@ -47,6 +47,14 @@ pub enum ProgressEvent {
         /// Fault coverage reached so far, percent.
         coverage_pct: f64,
     },
+    /// The job entered a named analysis pass (lint jobs emit one per
+    /// pass: `"parse"`, `"structural"`, `"scoap"`).
+    Pass {
+        /// The job.
+        job: JobId,
+        /// Pass name.
+        name: String,
+    },
     /// The job completed successfully.
     Finished {
         /// The job.
@@ -73,6 +81,7 @@ impl ProgressEvent {
             ProgressEvent::Queued { job, .. }
             | ProgressEvent::Started { job }
             | ProgressEvent::Checkpoint { job, .. }
+            | ProgressEvent::Pass { job, .. }
             | ProgressEvent::Finished { job }
             | ProgressEvent::Failed { job, .. }
             | ProgressEvent::Canceled { job } => *job,

@@ -7,6 +7,7 @@
 use bist_baselines::Bakeoff;
 use bist_core::{MixedSolution, SessionStats, SweepSummary};
 use bist_faultsim::CoverageCurve;
+use bist_lint::LintReport;
 
 /// Outcome of a [`JobSpec::SolveAt`](crate::JobSpec::SolveAt) job.
 #[derive(Debug, Clone)]
@@ -89,6 +90,20 @@ pub struct AreaReportOutcome {
     pub coverage_pct: f64,
 }
 
+/// Outcome of a [`JobSpec::Lint`](crate::JobSpec::Lint) job: the full
+/// static-analysis report.
+///
+/// A `.bench` source that fails to parse still yields a `LintOutcome`
+/// (the parse defect as its single error diagnostic) rather than a job
+/// failure — lint's contract is to *report* defects, not to die on them.
+#[derive(Debug, Clone)]
+pub struct LintOutcome {
+    /// Circuit under test.
+    pub circuit: String,
+    /// Diagnostics and the SCOAP testability summary.
+    pub report: LintReport,
+}
+
 /// The typed outcome of one engine job.
 #[derive(Debug, Clone)]
 pub enum JobResult {
@@ -104,6 +119,8 @@ pub enum JobResult {
     EmitHdl(HdlOutcome),
     /// From [`JobSpec::AreaReport`](crate::JobSpec::AreaReport).
     AreaReport(AreaReportOutcome),
+    /// From [`JobSpec::Lint`](crate::JobSpec::Lint).
+    Lint(LintOutcome),
 }
 
 impl JobResult {
@@ -155,6 +172,14 @@ impl JobResult {
         }
     }
 
+    /// The lint outcome, if this is one.
+    pub fn as_lint(&self) -> Option<&LintOutcome> {
+        match self {
+            JobResult::Lint(o) => Some(o),
+            _ => None,
+        }
+    }
+
     /// The circuit under test the job ran on.
     pub fn circuit(&self) -> &str {
         match self {
@@ -164,6 +189,7 @@ impl JobResult {
             JobResult::Bakeoff(o) => &o.circuit,
             JobResult::EmitHdl(o) => &o.circuit,
             JobResult::AreaReport(o) => &o.circuit,
+            JobResult::Lint(o) => &o.circuit,
         }
     }
 }

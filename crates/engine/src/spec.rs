@@ -274,6 +274,29 @@ pub struct AreaReportSpec {
     pub config: MixedSchemeConfig,
 }
 
+/// Statically analyze the circuit: structural rules plus SCOAP
+/// testability, no simulation.
+///
+/// # Examples
+///
+/// ```
+/// use bist_engine::{CircuitSource, Engine, JobSpec};
+///
+/// let result = Engine::new().run(JobSpec::lint(CircuitSource::iscas85("c17")))?;
+/// let lint = result.as_lint().expect("lint outcome");
+/// assert!(!lint.report.has_errors(), "c17 is structurally clean");
+/// assert!(lint.report.scoap.is_some(), "valid circuits get a SCOAP summary");
+/// # Ok::<(), bist_engine::BistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LintSpec {
+    /// The circuit under test.
+    pub circuit: CircuitSource,
+    /// Flow configuration (threads are irrelevant to lint; carried for
+    /// uniformity with every other job).
+    pub config: MixedSchemeConfig,
+}
+
 /// One schedulable unit of work — the public vocabulary of the engine.
 ///
 /// Every variant is a plain-data struct; construct them directly or via
@@ -294,6 +317,8 @@ pub enum JobSpec {
     EmitHdl(EmitHdlSpec),
     /// Full-deterministic area report.
     AreaReport(AreaReportSpec),
+    /// Static analysis (structural rules + SCOAP testability).
+    Lint(LintSpec),
 }
 
 impl JobSpec {
@@ -354,6 +379,14 @@ impl JobSpec {
         })
     }
 
+    /// A [`JobSpec::Lint`] with the default configuration.
+    pub fn lint(circuit: CircuitSource) -> Self {
+        JobSpec::Lint(LintSpec {
+            circuit,
+            config: MixedSchemeConfig::default(),
+        })
+    }
+
     /// The job kind as a short lowercase noun (used in labels and
     /// [`BistError::InvalidSpec`]).
     pub fn kind(&self) -> &'static str {
@@ -364,6 +397,7 @@ impl JobSpec {
             JobSpec::Bakeoff(_) => "bakeoff",
             JobSpec::EmitHdl(_) => "emit-hdl",
             JobSpec::AreaReport(_) => "area-report",
+            JobSpec::Lint(_) => "lint",
         }
     }
 
@@ -376,6 +410,7 @@ impl JobSpec {
             JobSpec::Bakeoff(s) => &s.circuit,
             JobSpec::EmitHdl(s) => &s.circuit,
             JobSpec::AreaReport(s) => &s.circuit,
+            JobSpec::Lint(s) => &s.circuit,
         }
     }
 
@@ -388,6 +423,7 @@ impl JobSpec {
             JobSpec::Bakeoff(s) => &s.config,
             JobSpec::EmitHdl(s) => &s.config,
             JobSpec::AreaReport(s) => &s.config,
+            JobSpec::Lint(s) => &s.config,
         }
     }
 
@@ -400,6 +436,7 @@ impl JobSpec {
             JobSpec::Bakeoff(s) => &mut s.config,
             JobSpec::EmitHdl(s) => &mut s.config,
             JobSpec::AreaReport(s) => &mut s.config,
+            JobSpec::Lint(s) => &mut s.config,
         };
         config.threads = threads;
     }
@@ -449,7 +486,7 @@ impl JobSpec {
                     }
                 }
             }
-            JobSpec::SolveAt(_) | JobSpec::AreaReport(_) => {}
+            JobSpec::SolveAt(_) | JobSpec::AreaReport(_) | JobSpec::Lint(_) => {}
         }
         Ok(())
     }

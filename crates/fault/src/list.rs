@@ -286,6 +286,8 @@ mod tests {
             let collapsed = FaultList::stuck_at_collapsed(&c);
             assert!(collapsed.len() < full.len(), "{name}");
             // every collapsed fault exists in the full universe
+            // determinism-vetted: membership probe only, never iterated
+            #[allow(clippy::disallowed_types)]
             let full_set: std::collections::HashSet<_> = full.iter().collect();
             for f in collapsed.iter() {
                 assert!(full_set.contains(f), "{name}: {f} not in full universe");

@@ -6,8 +6,25 @@
 //! declarations. The test suites of [`crate::emit_verilog`] and
 //! [`crate::emit_vhdl`] run every emitted file through these checks.
 
+// determinism-vetted: declaration/keyword sets are membership probes in
+// source-line order; findings surface in text order, never set order
+#[allow(clippy::disallowed_types)]
 use std::collections::HashSet;
 use std::fmt;
+
+/// Category of an HDL lint finding.
+///
+/// Lets diagnostic front-ends (the `bist-lint` unified report) map
+/// findings to stable codes without sniffing message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// An identifier is used but never declared.
+    Undeclared,
+    /// The same name is declared twice in one scope.
+    Duplicate,
+    /// Block open/close constructs do not balance.
+    Unbalanced,
+}
 
 /// A lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,6 +33,8 @@ pub struct LintError {
     pub line: usize,
     /// Explanation.
     pub message: String,
+    /// Category of the finding.
+    pub kind: LintKind,
 }
 
 impl fmt::Display for LintError {
@@ -136,6 +155,7 @@ fn strip_verilog_noise(line: &str) -> String {
 /// # Errors
 ///
 /// Returns the first [`LintError`] found.
+#[allow(clippy::disallowed_types)] // membership-only sets, see above
 pub fn check_verilog(text: &str) -> Result<(), LintError> {
     let mut declared: HashSet<String> = HashSet::new();
     let mut ports: HashSet<String> = HashSet::new();
@@ -178,6 +198,7 @@ pub fn check_verilog(text: &str) -> Result<(), LintError> {
                     return Err(LintError {
                         line: ln + 1,
                         message: format!("duplicate declaration of `{id}`"),
+                        kind: LintKind::Duplicate,
                     });
                 }
                 declared.insert(id.to_owned());
@@ -206,6 +227,7 @@ pub fn check_verilog(text: &str) -> Result<(), LintError> {
                 return Err(LintError {
                     line: ln + 1,
                     message: format!("identifier `{tok}` used but never declared"),
+                    kind: LintKind::Undeclared,
                 });
             }
         }
@@ -214,12 +236,14 @@ pub fn check_verilog(text: &str) -> Result<(), LintError> {
         return Err(LintError {
             line: text.lines().count(),
             message: format!("unbalanced module/endmodule (depth {module_depth})"),
+            kind: LintKind::Unbalanced,
         });
     }
     if begin_depth != 0 {
         return Err(LintError {
             line: text.lines().count(),
             message: format!("unbalanced begin/end (depth {begin_depth})"),
+            kind: LintKind::Unbalanced,
         });
     }
     Ok(())
@@ -232,6 +256,7 @@ pub fn check_verilog(text: &str) -> Result<(), LintError> {
 /// # Errors
 ///
 /// Returns the first [`LintError`] found.
+#[allow(clippy::disallowed_types)] // membership-only sets, see above
 pub fn check_vhdl(text: &str) -> Result<(), LintError> {
     let keywords: HashSet<&str> = VHDL_KEYWORDS.iter().copied().collect();
     let mut declared: HashSet<String> = HashSet::new();
@@ -294,6 +319,7 @@ pub fn check_vhdl(text: &str) -> Result<(), LintError> {
                 return Err(LintError {
                     line: ln + 1,
                     message: format!("identifier `{tok}` used but never declared"),
+                    kind: LintKind::Undeclared,
                 });
             }
         }
@@ -302,6 +328,7 @@ pub fn check_vhdl(text: &str) -> Result<(), LintError> {
         return Err(LintError {
             line: text.lines().count(),
             message: format!("unbalanced blocks: {opens} opened, {closes} closed"),
+            kind: LintKind::Unbalanced,
         });
     }
     Ok(())

@@ -1,3 +1,6 @@
+// determinism-vetted: collision set + dedup counter, both probed via
+// contains()/entry() in node order and never iterated
+#[allow(clippy::disallowed_types)]
 use std::collections::{HashMap, HashSet};
 
 use bist_netlist::{Circuit, NodeId};
@@ -183,6 +186,7 @@ fn sanitize(raw: &str) -> String {
 impl NameTable {
     /// Builds the table for every node of `circuit`, reserving `extra`
     /// (clock/reset names etc.) so no node collides with them.
+    #[allow(clippy::disallowed_types)] // membership/dedup only, see above
     pub fn new(circuit: &Circuit, extra: &[&str]) -> Self {
         let mut taken: HashSet<String> = extra.iter().map(|s| s.to_ascii_lowercase()).collect();
         let mut by_node = Vec::with_capacity(circuit.num_nodes());

@@ -1,3 +1,6 @@
+// determinism-vetted: the only hash map here counts per-pattern
+// occurrences via entry() in sequence order and is never iterated
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::fmt;
 
@@ -243,6 +246,7 @@ impl LfsromGenerator {
 /// Assigns each sequence position a disambiguation code: positions holding
 /// the same pattern get distinct codes (0, 1, 2, …), so (pattern, code)
 /// states are unique and the next-state function is well-defined.
+#[allow(clippy::disallowed_types)] // per-key counter, never iterated
 fn disambiguation_codes(sequence: &[Pattern]) -> Vec<u64> {
     let mut seen: HashMap<&Pattern, u64> = HashMap::new();
     sequence

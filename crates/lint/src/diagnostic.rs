@@ -1,0 +1,325 @@
+//! The reusable diagnostics vocabulary: rule codes, severities, spans,
+//! and the report that collects them.
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// Ordered `Info < Warn < Error` so `report.worst()` and threshold
+/// comparisons (`--deny warnings`) read naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Purely informational (testability summaries, sequential loops).
+    Info,
+    /// Suspicious but not structurally fatal.
+    Warn,
+    /// The netlist (or HDL) is defective.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in reports (`"error"`, `"warning"`,
+    /// `"info"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Source location of a finding.
+///
+/// Lines are 1-based lines of the `.bench` (or HDL) source the circuit
+/// was parsed from; line `0` means the finding concerns the whole
+/// netlist (or the source text is unavailable, e.g. a synthetically
+/// generated circuit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based source line, or `0` for the whole netlist.
+    pub line: usize,
+}
+
+impl Span {
+    /// A span pointing at one source line.
+    pub fn line(line: usize) -> Self {
+        Span { line }
+    }
+
+    /// The whole-netlist span (no single line owns the finding).
+    pub fn whole() -> Self {
+        Span { line: 0 }
+    }
+
+    /// True if the span names a concrete source line.
+    pub fn is_located(self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            f.write_str("netlist")
+        } else {
+            write!(f, "line {}", self.line)
+        }
+    }
+}
+
+macro_rules! rule_registry {
+    ($(#[doc = $enum_doc:literal])* $vis:vis enum $name:ident {
+        $($(#[doc = $doc:literal])* $variant:ident = ($code:literal, $sev:ident, $summary:literal)),* $(,)?
+    }) => {
+        $(#[doc = $enum_doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        $vis enum $name {
+            $($(#[doc = $doc])* $variant,)*
+        }
+
+        impl $name {
+            /// Every rule, in code order.
+            pub const ALL: &'static [$name] = &[$($name::$variant),*];
+
+            /// The stable code string (`"BL001"`, …).
+            pub fn code(self) -> &'static str {
+                match self { $($name::$variant => $code),* }
+            }
+
+            /// The severity this rule reports at.
+            pub fn default_severity(self) -> Severity {
+                match self { $($name::$variant => Severity::$sev),* }
+            }
+
+            /// One-line description of what the rule checks.
+            pub fn summary(self) -> &'static str {
+                match self { $($name::$variant => $summary),* }
+            }
+
+            /// Resolves a code string back to its rule.
+            pub fn from_code(code: &str) -> Option<$name> {
+                match code { $($code => Some($name::$variant),)* _ => None }
+            }
+        }
+    };
+}
+
+rule_registry! {
+    /// The diagnostic code registry.
+    ///
+    /// `BL0xx` codes concern `.bench` netlists (structural defects at
+    /// error level, style/testability findings at warn/info level);
+    /// `BL1xx` codes are the unified HDL lints. Codes are stable across
+    /// releases — CI keys on them.
+    pub enum RuleCode {
+        /// The combinational part of the netlist is cyclic.
+        CombinationalCycle = ("BL001", Error, "combinational cycle"),
+        /// A fan-in or output references a name that is never driven.
+        UndrivenNet = ("BL002", Error, "undriven net"),
+        /// The same name is declared (or marked as output) twice.
+        DuplicateDefinition = ("BL003", Error, "duplicate definition"),
+        /// A gate has an illegal fan-in count for its kind.
+        BadFanin = ("BL004", Error, "illegal fan-in arity"),
+        /// The circuit has no primary inputs or no primary outputs.
+        EmptyInterface = ("BL005", Error, "empty circuit interface"),
+        /// A line of the source could not be parsed at all.
+        SyntaxError = ("BL006", Error, "syntax error"),
+        /// A gate drives nothing that reaches a primary output.
+        DanglingGate = ("BL007", Warn, "dangling gate"),
+        /// A primary input drives nothing at all.
+        FloatingInput = ("BL008", Warn, "floating input"),
+        /// A constant node drives live logic.
+        ConstantDrive = ("BL009", Warn, "constant-driven logic"),
+        /// A node's fan-out exceeds the configured limit.
+        HighFanout = ("BL010", Warn, "excessive fan-out"),
+        /// SCOAP controllability exceeds the configured limit somewhere.
+        HardToControl = ("BL011", Warn, "hard-to-control logic"),
+        /// SCOAP observability exceeds the configured limit somewhere.
+        HardToObserve = ("BL012", Warn, "hard-to-observe logic"),
+        /// Per-circuit SCOAP testability summary.
+        TestabilitySummary = ("BL013", Info, "testability summary"),
+        /// A feedback loop through flip-flops (normal in sequential designs).
+        SequentialLoop = ("BL014", Info, "sequential feedback loop"),
+        /// HDL: an identifier is used but never declared.
+        HdlUndeclared = ("BL101", Error, "HDL undeclared identifier"),
+        /// HDL: the same name is declared twice in one scope.
+        HdlDuplicate = ("BL102", Error, "HDL duplicate declaration"),
+        /// HDL: block open/close constructs do not balance.
+        HdlUnbalanced = ("BL103", Error, "HDL unbalanced blocks"),
+    }
+}
+
+impl fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One lint finding: a rule code, its severity, a human message and the
+/// source span it points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub code: RuleCode,
+    /// Severity (normally the rule's default).
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Where in the source the finding points.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the rule's default severity.
+    pub fn new(code: RuleCode, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.span, self.message
+        )
+    }
+}
+
+/// Everything one lint run found, sorted deterministically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    /// All findings, sorted by (line, code, message).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The SCOAP testability summary, when the analysis ran (absent
+    /// when the netlist failed to parse).
+    pub scoap: Option<crate::scoap::ScoapSummary>,
+}
+
+impl LintReport {
+    /// Sorts findings into the canonical deterministic order: by span
+    /// (whole-netlist first), then rule code, then message.
+    pub fn normalize(mut self) -> Self {
+        self.diagnostics
+            .sort_by(|a, b| (a.span, a.code, &a.message).cmp(&(b.span, b.code, &b.message)));
+        self
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// True if any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// True if any finding is a warning.
+    pub fn has_warnings(&self) -> bool {
+        self.count(Severity::Warn) > 0
+    }
+
+    /// The most severe finding present, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// True if the run produced no errors and no warnings (info-level
+    /// findings do not count against cleanliness).
+    pub fn is_clean(&self) -> bool {
+        !self.has_errors() && !self.has_warnings()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severities_order_naturally() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Warn.label(), "warning");
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for &rule in RuleCode::ALL {
+            assert_eq!(RuleCode::from_code(rule.code()), Some(rule));
+            assert!(rule.code().starts_with("BL"));
+            assert!(!rule.summary().is_empty());
+        }
+        assert_eq!(RuleCode::from_code("BL999"), None);
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        for (i, a) in RuleCode::ALL.iter().enumerate() {
+            for b in &RuleCode::ALL[i + 1..] {
+                assert_ne!(a.code(), b.code());
+            }
+        }
+    }
+
+    #[test]
+    fn report_counts_and_worst() {
+        let mut report = LintReport::default();
+        assert!(report.is_clean());
+        assert_eq!(report.worst(), None);
+        report.diagnostics.push(Diagnostic::new(
+            RuleCode::TestabilitySummary,
+            Span::whole(),
+            "summary",
+        ));
+        assert!(report.is_clean());
+        report.diagnostics.push(Diagnostic::new(
+            RuleCode::DanglingGate,
+            Span::line(3),
+            "dangling",
+        ));
+        assert!(!report.is_clean());
+        assert_eq!(report.worst(), Some(Severity::Warn));
+        assert!(report.has_warnings());
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn normalize_sorts_by_line_then_code() {
+        let report = LintReport {
+            diagnostics: vec![
+                Diagnostic::new(RuleCode::HighFanout, Span::line(9), "b"),
+                Diagnostic::new(RuleCode::DanglingGate, Span::line(9), "a"),
+                Diagnostic::new(RuleCode::FloatingInput, Span::line(2), "c"),
+            ],
+            scoap: None,
+        }
+        .normalize();
+        let lines: Vec<usize> = report.diagnostics.iter().map(|d| d.span.line).collect();
+        assert_eq!(lines, [2, 9, 9]);
+        assert_eq!(report.diagnostics[1].code, RuleCode::DanglingGate);
+    }
+
+    #[test]
+    fn diagnostic_display_is_compact() {
+        let d = Diagnostic::new(RuleCode::UndrivenNet, Span::line(4), "net `x` undriven");
+        assert_eq!(d.to_string(), "error[BL002] line 4: net `x` undriven");
+        let d = Diagnostic::new(RuleCode::EmptyInterface, Span::whole(), "no inputs");
+        assert_eq!(d.to_string(), "error[BL005] netlist: no inputs");
+    }
+}

@@ -1,0 +1,80 @@
+//! The unified HDL lint: `crates/hdl`'s tokenizer-level Verilog/VHDL
+//! audits folded into the shared [`Diagnostic`] vocabulary, so `.bench`
+//! netlists and emitted HDL produce one report format.
+
+use bist_hdl::lint::{check_verilog, check_vhdl, LintError, LintKind};
+
+use crate::diagnostic::{Diagnostic, LintReport, RuleCode, Span};
+
+fn diagnostic_of(error: LintError) -> Diagnostic {
+    let code = match error.kind {
+        LintKind::Undeclared => RuleCode::HdlUndeclared,
+        LintKind::Duplicate => RuleCode::HdlDuplicate,
+        LintKind::Unbalanced => RuleCode::HdlUnbalanced,
+    };
+    Diagnostic::new(code, Span::line(error.line), error.message)
+}
+
+fn report(result: Result<(), LintError>) -> LintReport {
+    LintReport {
+        diagnostics: result.err().map(diagnostic_of).into_iter().collect(),
+        scoap: None,
+    }
+}
+
+/// Lints Verilog text; findings carry `BL1xx` codes.
+///
+/// # Example
+///
+/// ```
+/// let report = bist_lint::lint_verilog("module t (\n  a\n);\n  input a;\n  assign y = a;\nendmodule\n");
+/// assert!(report.has_errors());
+/// assert_eq!(report.diagnostics[0].code.code(), "BL101");
+/// ```
+pub fn lint_verilog(text: &str) -> LintReport {
+    report(check_verilog(text))
+}
+
+/// Lints VHDL text; findings carry `BL1xx` codes.
+pub fn lint_vhdl(text: &str) -> LintReport {
+    report(check_vhdl(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_verilog_is_clean() {
+        let text = "module t (\n  a,\n  y\n);\n  input a;\n  output y;\n  wire y;\n  assign y = ~a;\nendmodule\n";
+        assert!(lint_verilog(text).is_clean());
+    }
+
+    #[test]
+    fn undeclared_maps_to_bl101() {
+        let report = lint_verilog("module t (\n  a\n);\n  input a;\n  assign y = ~a;\nendmodule\n");
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, RuleCode::HdlUndeclared);
+        assert_eq!(report.diagnostics[0].span.line, 5);
+    }
+
+    #[test]
+    fn duplicate_maps_to_bl102() {
+        let report = lint_verilog("module t (\n  a\n);\n  input a;\n  input a;\nendmodule\n");
+        assert_eq!(report.diagnostics[0].code, RuleCode::HdlDuplicate);
+    }
+
+    #[test]
+    fn unbalanced_maps_to_bl103() {
+        let report = lint_verilog("module t (\n  a\n);\n  input a;\n");
+        assert_eq!(report.diagnostics[0].code, RuleCode::HdlUnbalanced);
+    }
+
+    #[test]
+    fn vhdl_findings_share_the_codes() {
+        let report = lint_vhdl(
+            "entity t is\n  port (\n    a : in std_logic\n  );\nend entity t;\narchitecture s of t is\nbegin\n  ghost <= not a;\nend architecture s;\n",
+        );
+        assert_eq!(report.diagnostics[0].code, RuleCode::HdlUndeclared);
+    }
+}

@@ -1,0 +1,347 @@
+//! Static analysis for gate-level netlists and emitted HDL.
+//!
+//! `bist-lint` answers testability questions *without simulation*: a
+//! multi-pass analyzer over [`Circuit`] producing a unified
+//! [`LintReport`] of [`Diagnostic`]s with stable `BLxxx` codes and
+//! `.bench` source spans, plus full SCOAP controllability/observability
+//! tables ([`ScoapAnalysis`]) condensed into a per-circuit testability
+//! summary.
+//!
+//! Three passes:
+//!
+//! 1. **parse** ([`parse_pass`]) — `.bench` text to [`Circuit`] +
+//!    [`SourceMap`]; hard structural defects (syntax, cycles, undriven
+//!    nets, duplicates…) become `BL001`–`BL006` error diagnostics,
+//! 2. **structural** ([`structural_pass`]) — dead logic, floating
+//!    inputs, constant drivers, fan-out excess, sequential feedback
+//!    loops (`BL007`–`BL010`, `BL014`),
+//! 3. **scoap** ([`scoap_pass`]) — SCOAP CC0/CC1/CO over the levelized
+//!    order; hard-to-control/observe findings, a random-resistance
+//!    ranking and the always-present testability summary (`BL011`–
+//!    `BL013`).
+//!
+//! Emitted Verilog/VHDL shares the vocabulary through [`lint_verilog`] /
+//! [`lint_vhdl`] (`BL101`–`BL103`).
+//!
+//! # Example
+//!
+//! ```
+//! use bist_lint::{lint_bench, LintOptions, RuleCode};
+//!
+//! let report = lint_bench(
+//!     "demo",
+//!     "INPUT(a)\nINPUT(unused)\nOUTPUT(y)\ny = NOT(a)",
+//!     &LintOptions::default(),
+//! );
+//! assert!(report.has_warnings());
+//! // findings sort by line; the whole-netlist testability summary is line 0
+//! let floating = &report.diagnostics[1];
+//! assert_eq!(floating.code, RuleCode::FloatingInput);
+//! assert_eq!(floating.span.line, 2);
+//! assert!(report.scoap.is_some(), "valid netlists get a SCOAP summary");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diagnostic;
+mod hdl;
+mod scoap;
+mod structural;
+
+use bist_netlist::{bench, BuildCircuitError, Circuit, ParseBenchError, SourceMap};
+
+pub use diagnostic::{Diagnostic, LintReport, RuleCode, Severity, Span};
+pub use hdl::{lint_verilog, lint_vhdl};
+pub use scoap::{fmt_scoap, RankedNode, ScoapAnalysis, ScoapSummary, SCOAP_INF};
+pub use structural::structural_pass;
+
+use crate::scoap::fmt_scoap as fmt;
+use crate::structural::{reachable_from_outputs, span_of};
+
+/// Tunable thresholds of the warn-level rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintOptions {
+    /// Fan-out count above which `BL010` fires.
+    pub max_fanout: usize,
+    /// SCOAP controllability above which a node counts as hard to
+    /// control (`BL011`).
+    pub cc_limit: u32,
+    /// SCOAP observability above which a node counts as hard to observe
+    /// (`BL012`).
+    pub co_limit: u32,
+    /// How many nodes the random-resistance ranking keeps.
+    pub top_ranked: usize,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            max_fanout: 16,
+            cc_limit: 100,
+            co_limit: 100,
+            top_ranked: 5,
+        }
+    }
+}
+
+/// The parse pass: `.bench` text to a circuit plus its source map, or
+/// the single error diagnostic the defect maps to (parsing stops at the
+/// first defect, so one is all there can be).
+///
+/// # Errors
+///
+/// The defect as a located `BL001`–`BL006` [`Diagnostic`].
+pub fn parse_pass(name: &str, source: &str) -> Result<(Circuit, SourceMap), Diagnostic> {
+    bench::parse_with_source_map(name, source).map_err(|e| parse_diagnostic(&e))
+}
+
+fn parse_diagnostic(error: &ParseBenchError) -> Diagnostic {
+    let span = Span::line(error.line());
+    match error {
+        ParseBenchError::Syntax { message, .. } => {
+            Diagnostic::new(RuleCode::SyntaxError, span, message.clone())
+        }
+        ParseBenchError::Build { error, .. } => {
+            let code = match error {
+                BuildCircuitError::CombinationalCycle(_) => RuleCode::CombinationalCycle,
+                BuildCircuitError::UnknownName(_) => RuleCode::UndrivenNet,
+                BuildCircuitError::DuplicateName(_) | BuildCircuitError::DuplicateOutput(_) => {
+                    RuleCode::DuplicateDefinition
+                }
+                BuildCircuitError::BadFanin { .. } => RuleCode::BadFanin,
+                BuildCircuitError::NoInputs | BuildCircuitError::NoOutputs => {
+                    RuleCode::EmptyInterface
+                }
+            };
+            Diagnostic::new(code, span, error.to_string())
+        }
+    }
+}
+
+/// The SCOAP pass: computes the full tables, derives the testability
+/// findings (`BL011`, `BL012`), and always emits the `BL013` summary.
+pub fn scoap_pass(
+    circuit: &Circuit,
+    map: Option<&SourceMap>,
+    options: &LintOptions,
+) -> (Vec<Diagnostic>, ScoapSummary) {
+    let analysis = ScoapAnalysis::analyze(circuit);
+    let summary = analysis.summary(circuit, options.top_ranked);
+    let reachable = reachable_from_outputs(circuit);
+    let mut diagnostics = Vec::new();
+
+    // hard to control: sources are trivially controllable, so only look
+    // at real logic; INF counts as over any limit (constant-tied nets)
+    let mut control_count = 0usize;
+    let mut worst_control: Option<(usize, u32)> = None;
+    // hard to observe: dangling nodes are BL007's finding, not BL012's
+    let mut observe_count = 0usize;
+    let mut worst_observe: Option<(usize, u32)> = None;
+    for (i, node) in circuit.nodes().iter().enumerate() {
+        let id = bist_netlist::NodeId::from_index(i);
+        if !node.kind().is_source() {
+            let cc = analysis.cc0(id).max(analysis.cc1(id));
+            if cc > options.cc_limit {
+                control_count += 1;
+                if worst_control.is_none_or(|(_, best)| cc > best) {
+                    worst_control = Some((i, cc));
+                }
+            }
+        }
+        if reachable[i] {
+            let co = analysis.co(id);
+            if co > options.co_limit {
+                observe_count += 1;
+                if worst_observe.is_none_or(|(_, best)| co > best) {
+                    worst_observe = Some((i, co));
+                }
+            }
+        }
+    }
+    if let Some((i, _)) = worst_control {
+        let id = bist_netlist::NodeId::from_index(i);
+        let node = circuit.node(id);
+        diagnostics.push(Diagnostic::new(
+            RuleCode::HardToControl,
+            span_of(map, node.name()),
+            format!(
+                "{control_count} hard-to-control node(s) (CC > {}); worst `{}` \
+                 (CC0={}, CC1={})",
+                options.cc_limit,
+                node.name(),
+                fmt(analysis.cc0(id)),
+                fmt(analysis.cc1(id)),
+            ),
+        ));
+    }
+    if let Some((i, co)) = worst_observe {
+        let node = circuit.node(bist_netlist::NodeId::from_index(i));
+        diagnostics.push(Diagnostic::new(
+            RuleCode::HardToObserve,
+            span_of(map, node.name()),
+            format!(
+                "{observe_count} hard-to-observe node(s) (CO > {}); worst `{}` (CO={})",
+                options.co_limit,
+                node.name(),
+                fmt(co),
+            ),
+        ));
+    }
+
+    let part = |slot: &Option<(String, u32)>, label: &str| match slot {
+        Some((name, value)) => format!("max {label} {} (`{name}`)", fmt(*value)),
+        None => format!("max {label} inf"),
+    };
+    diagnostics.push(Diagnostic::new(
+        RuleCode::TestabilitySummary,
+        Span::whole(),
+        format!(
+            "testability: {} nodes; {}; {}; {}",
+            summary.nodes,
+            part(&summary.max_cc0, "CC0"),
+            part(&summary.max_cc1, "CC1"),
+            part(&summary.max_co, "CO"),
+        ),
+    ));
+
+    (diagnostics, summary)
+}
+
+/// Lints an already-built circuit: structural + SCOAP passes. Pass the
+/// [`SourceMap`] from [`parse_pass`] when the circuit came from `.bench`
+/// text so findings carry line spans; without one, spans are
+/// whole-netlist.
+pub fn lint_circuit(
+    circuit: &Circuit,
+    map: Option<&SourceMap>,
+    options: &LintOptions,
+) -> LintReport {
+    let mut diagnostics = structural_pass(circuit, map, options);
+    let (scoap_diags, summary) = scoap_pass(circuit, map, options);
+    diagnostics.extend(scoap_diags);
+    LintReport {
+        diagnostics,
+        scoap: Some(summary),
+    }
+    .normalize()
+}
+
+/// Lints `.bench` source end to end: parse, structural, SCOAP. A parse
+/// failure yields a report with the single error diagnostic and no SCOAP
+/// summary.
+pub fn lint_bench(name: &str, source: &str, options: &LintOptions) -> LintReport {
+    match parse_pass(name, source) {
+        Ok((circuit, map)) => lint_circuit(&circuit, Some(&map), options),
+        Err(diagnostic) => LintReport {
+            diagnostics: vec![diagnostic],
+            scoap: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defects_map_to_error_codes() {
+        let cases: &[(&str, RuleCode, usize)] = &[
+            ("INPUT(a)\nOUTPUT(y)\nwat", RuleCode::SyntaxError, 3),
+            (
+                "INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)",
+                RuleCode::UndrivenNet,
+                3,
+            ),
+            (
+                "INPUT(a)\nINPUT(a)\nOUTPUT(a)",
+                RuleCode::DuplicateDefinition,
+                2,
+            ),
+            (
+                "INPUT(a)\nOUTPUT(a)\nOUTPUT(a)",
+                RuleCode::DuplicateDefinition,
+                3,
+            ),
+            ("INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)", RuleCode::BadFanin, 3),
+            (
+                "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)",
+                RuleCode::CombinationalCycle,
+                3,
+            ),
+            ("OUTPUT(y)\ny = CONST0()", RuleCode::EmptyInterface, 0),
+            ("INPUT(a)\na2 = NOT(a)", RuleCode::EmptyInterface, 0),
+        ];
+        for (source, code, line) in cases {
+            let report = lint_bench("t", source, &LintOptions::default());
+            assert_eq!(report.diagnostics.len(), 1, "source: {source}");
+            let d = &report.diagnostics[0];
+            assert_eq!(d.code, *code, "source: {source}");
+            assert_eq!(d.span.line, *line, "source: {source}");
+            assert_eq!(d.severity, Severity::Error);
+            assert!(report.scoap.is_none());
+        }
+    }
+
+    #[test]
+    fn scoap_pass_always_summarizes() {
+        let (circuit, map) =
+            parse_pass("t", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)").expect("valid netlist");
+        let (diags, summary) = scoap_pass(&circuit, Some(&map), &LintOptions::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, RuleCode::TestabilitySummary);
+        assert_eq!(summary.nodes, 2);
+    }
+
+    #[test]
+    fn tight_limits_trigger_testability_warnings() {
+        let options = LintOptions {
+            cc_limit: 2,
+            co_limit: 1,
+            ..LintOptions::default()
+        };
+        let report = lint_bench(
+            "t",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt1 = AND(a, b)\ny = AND(t1, c)",
+            &options,
+        );
+        let codes: Vec<RuleCode> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&RuleCode::HardToControl), "{codes:?}");
+        assert!(codes.contains(&RuleCode::HardToObserve), "{codes:?}");
+        // aggregate rules fire once each, pointing at the worst offender
+        assert_eq!(
+            codes
+                .iter()
+                .filter(|c| **c == RuleCode::HardToControl)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn clean_circuit_reports_only_the_summary() {
+        let report = lint_bench(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)",
+            &LintOptions::default(),
+        );
+        assert!(report.is_clean());
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, RuleCode::TestabilitySummary);
+        let scoap = report.scoap.expect("summary present");
+        assert_eq!(scoap.nodes, 3);
+        assert_eq!(scoap.max_cc1, Some(("y".to_owned(), 2)));
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let source = "INPUT(a)\nINPUT(u1)\nINPUT(u2)\nOUTPUT(y)\ny = NOT(a)\ndead = BUF(a)";
+        let a = lint_bench("t", source, &LintOptions::default());
+        let b = lint_bench("t", source, &LintOptions::default());
+        assert_eq!(a, b);
+        let lines: Vec<usize> = a.diagnostics.iter().map(|d| d.span.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "diagnostics come out line-ordered");
+    }
+}

@@ -1,0 +1,383 @@
+//! SCOAP testability analysis (Goldstein 1979), computed levelized over
+//! the circuit's topological order — no simulation.
+//!
+//! Three costs per node, all "number of circuit lines that must be set,
+//! plus one per level of logic":
+//!
+//! * **CC0** — combinational 0-controllability: effort to drive the node
+//!   to logic 0 from the primary inputs,
+//! * **CC1** — 1-controllability, dually,
+//! * **CO** — combinational observability: effort to propagate the
+//!   node's value to a primary output.
+//!
+//! Primary inputs cost `CC0 = CC1 = 1`; primary outputs cost `CO = 0`.
+//! Flip-flops use the **full-scan approximation** (consistent with the
+//! workspace's test-per-scan assumption): a DFF output is a pseudo
+//! primary input (`CC0 = CC1 = 1`) and its D pin is a pseudo primary
+//! output observed at scan-capture cost `CO = 1`. Unsatisfiable costs
+//! (the 1-side of a constant 0, the observability of a dangling gate)
+//! saturate at [`SCOAP_INF`].
+
+use bist_netlist::{Circuit, GateKind, NodeId};
+
+/// The saturation value for unsatisfiable SCOAP costs.
+pub const SCOAP_INF: u32 = u32::MAX;
+
+/// Formats a SCOAP cost, rendering [`SCOAP_INF`] as `"inf"`.
+pub fn fmt_scoap(value: u32) -> String {
+    if value == SCOAP_INF {
+        "inf".to_owned()
+    } else {
+        value.to_string()
+    }
+}
+
+fn sat(a: u32, b: u32) -> u32 {
+    a.saturating_add(b)
+}
+
+/// Full per-node SCOAP tables for one circuit.
+///
+/// # Example
+///
+/// ```
+/// let c17 = bist_netlist::iscas85::c17();
+/// let scoap = bist_lint::ScoapAnalysis::analyze(&c17);
+/// let pi = c17.inputs()[0];
+/// assert_eq!(scoap.cc0(pi), 1);
+/// assert_eq!(scoap.cc1(pi), 1);
+/// let po = c17.outputs()[0];
+/// assert_eq!(scoap.co(po), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoapAnalysis {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+impl ScoapAnalysis {
+    /// Computes the three tables: one forward pass over the topological
+    /// order for controllability, one backward pass for observability.
+    pub fn analyze(circuit: &Circuit) -> Self {
+        let n = circuit.num_nodes();
+        let mut cc0 = vec![SCOAP_INF; n];
+        let mut cc1 = vec![SCOAP_INF; n];
+
+        for &id in circuit.topo_order() {
+            let node = circuit.node(id);
+            let i = id.index();
+            let fanin = node.fanin();
+            let (c0, c1) = match node.kind() {
+                // flip-flop outputs are pseudo primary inputs under the
+                // full-scan approximation
+                GateKind::Input | GateKind::Dff => (1, 1),
+                GateKind::Const0 => (1, SCOAP_INF),
+                GateKind::Const1 => (SCOAP_INF, 1),
+                GateKind::Buf => {
+                    let f = fanin[0].index();
+                    (sat(cc0[f], 1), sat(cc1[f], 1))
+                }
+                GateKind::Not => {
+                    let f = fanin[0].index();
+                    (sat(cc1[f], 1), sat(cc0[f], 1))
+                }
+                GateKind::And | GateKind::Nand => {
+                    // all-ones to make 1, cheapest single zero to make 0
+                    let all1 = fanin.iter().fold(0, |acc, f| sat(acc, cc1[f.index()]));
+                    let any0 = fanin
+                        .iter()
+                        .map(|f| cc0[f.index()])
+                        .min()
+                        .unwrap_or(SCOAP_INF);
+                    if node.kind() == GateKind::And {
+                        (sat(any0, 1), sat(all1, 1))
+                    } else {
+                        (sat(all1, 1), sat(any0, 1))
+                    }
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let all0 = fanin.iter().fold(0, |acc, f| sat(acc, cc0[f.index()]));
+                    let any1 = fanin
+                        .iter()
+                        .map(|f| cc1[f.index()])
+                        .min()
+                        .unwrap_or(SCOAP_INF);
+                    if node.kind() == GateKind::Or {
+                        (sat(all0, 1), sat(any1, 1))
+                    } else {
+                        (sat(any1, 1), sat(all0, 1))
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // cheapest way to an even / odd number of ones,
+                    // a parity dynamic program over the pins
+                    let (mut even, mut odd) = (0u32, SCOAP_INF);
+                    for f in fanin {
+                        let (f0, f1) = (cc0[f.index()], cc1[f.index()]);
+                        let new_even = sat(even, f0).min(sat(odd, f1));
+                        let new_odd = sat(even, f1).min(sat(odd, f0));
+                        even = new_even;
+                        odd = new_odd;
+                    }
+                    if node.kind() == GateKind::Xor {
+                        (sat(even, 1), sat(odd, 1))
+                    } else {
+                        (sat(odd, 1), sat(even, 1))
+                    }
+                }
+            };
+            cc0[i] = c0;
+            cc1[i] = c1;
+        }
+
+        let mut co = vec![SCOAP_INF; n];
+        for &id in circuit.outputs() {
+            co[id.index()] = 0;
+        }
+        // scan observation points: a DFF D pin is captured at cost 1.
+        // Seeded before the backward pass because the D pin's driver sits
+        // combinationally *after* the flip-flop in topological order.
+        for node in circuit.nodes() {
+            if node.kind() == GateKind::Dff {
+                let d = node.fanin()[0].index();
+                co[d] = co[d].min(1);
+            }
+        }
+        for &id in circuit.topo_order().iter().rev() {
+            let node = circuit.node(id);
+            let kind = node.kind();
+            if kind == GateKind::Dff {
+                continue; // D-pin observation already seeded above
+            }
+            let here = co[id.index()];
+            let fanin = node.fanin();
+            for (pin, f) in fanin.iter().enumerate() {
+                let side_cost = match kind {
+                    GateKind::Buf | GateKind::Not => 0,
+                    GateKind::And | GateKind::Nand => fanin
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != pin)
+                        .fold(0, |acc, (_, g)| sat(acc, cc1[g.index()])),
+                    GateKind::Or | GateKind::Nor => fanin
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != pin)
+                        .fold(0, |acc, (_, g)| sat(acc, cc0[g.index()])),
+                    GateKind::Xor | GateKind::Xnor => fanin
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != pin)
+                        .fold(0, |acc, (_, g)| {
+                            sat(acc, cc0[g.index()].min(cc1[g.index()]))
+                        }),
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff => 0,
+                };
+                let cand = sat(sat(here, side_cost), 1);
+                let fi = f.index();
+                co[fi] = co[fi].min(cand);
+            }
+        }
+
+        ScoapAnalysis { cc0, cc1, co }
+    }
+
+    /// 0-controllability of `id`.
+    pub fn cc0(&self, id: NodeId) -> u32 {
+        self.cc0[id.index()]
+    }
+
+    /// 1-controllability of `id`.
+    pub fn cc1(&self, id: NodeId) -> u32 {
+        self.cc1[id.index()]
+    }
+
+    /// Observability of `id` ([`SCOAP_INF`] if the node reaches no
+    /// primary output or scan capture point).
+    pub fn co(&self, id: NodeId) -> u32 {
+        self.co[id.index()]
+    }
+
+    /// The combined random-resistance score of `id`:
+    /// `max(CC0, CC1) + CO`, saturating — a cheap stand-in for detection
+    /// probability that ranks random-pattern-resistant sites.
+    pub fn resistance(&self, id: NodeId) -> u64 {
+        let i = id.index();
+        u64::from(self.cc0[i].max(self.cc1[i])) + u64::from(self.co[i])
+    }
+
+    /// Condenses the tables into the per-circuit summary carried by lint
+    /// reports: worst finite costs and the `top` most random-resistant
+    /// observable nodes.
+    pub fn summary(&self, circuit: &Circuit, top: usize) -> ScoapSummary {
+        let mut max_cc0: Option<(String, u32)> = None;
+        let mut max_cc1: Option<(String, u32)> = None;
+        let mut max_co: Option<(String, u32)> = None;
+        let mut ranked: Vec<RankedNode> = Vec::new();
+        for (i, node) in circuit.nodes().iter().enumerate() {
+            let id = NodeId::from_index(i);
+            let update = |slot: &mut Option<(String, u32)>, value: u32| {
+                if value != SCOAP_INF && slot.as_ref().is_none_or(|(_, best)| value > *best) {
+                    *slot = Some((node.name().to_owned(), value));
+                }
+            };
+            update(&mut max_cc0, self.cc0[i]);
+            update(&mut max_cc1, self.cc1[i]);
+            update(&mut max_co, self.co[i]);
+            let cc = self.cc0[i].max(self.cc1[i]);
+            if cc != SCOAP_INF && self.co[i] != SCOAP_INF {
+                ranked.push(RankedNode {
+                    name: node.name().to_owned(),
+                    cc0: self.cc0[i],
+                    cc1: self.cc1[i],
+                    co: self.co[i],
+                    score: self.resistance(id),
+                });
+            }
+        }
+        // hardest first; name breaks ties so the ranking is total
+        ranked.sort_by(|a, b| b.score.cmp(&a.score).then_with(|| a.name.cmp(&b.name)));
+        ranked.truncate(top);
+        ScoapSummary {
+            nodes: circuit.num_nodes(),
+            max_cc0,
+            max_cc1,
+            max_co,
+            resistance: ranked,
+        }
+    }
+}
+
+/// One entry of the random-resistance ranking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedNode {
+    /// Node name.
+    pub name: String,
+    /// 0-controllability.
+    pub cc0: u32,
+    /// 1-controllability.
+    pub cc1: u32,
+    /// Observability.
+    pub co: u32,
+    /// `max(CC0, CC1) + CO` — higher is more random-resistant.
+    pub score: u64,
+}
+
+/// Per-circuit SCOAP digest: worst finite costs (by node) and the most
+/// random-resistant observable nodes, hardest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoapSummary {
+    /// Number of nodes analyzed.
+    pub nodes: usize,
+    /// Largest finite CC0 and the node carrying it.
+    pub max_cc0: Option<(String, u32)>,
+    /// Largest finite CC1 and the node carrying it.
+    pub max_cc1: Option<(String, u32)>,
+    /// Largest finite CO and the node carrying it.
+    pub max_co: Option<(String, u32)>,
+    /// The estimated random-resistance ranking, hardest first.
+    pub resistance: Vec<RankedNode>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::bench;
+
+    fn circuit(src: &str) -> Circuit {
+        bench::parse("t", src).expect("test netlist parses")
+    }
+
+    #[test]
+    fn and_gate_costs() {
+        let c = circuit("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)");
+        let s = ScoapAnalysis::analyze(&c);
+        let y = c.find("y").expect("y exists");
+        let a = c.find("a").expect("a exists");
+        assert_eq!(s.cc1(y), 3); // 1 + 1 + 1
+        assert_eq!(s.cc0(y), 2); // min(1,1) + 1
+        assert_eq!(s.co(y), 0);
+        assert_eq!(s.co(a), 2); // CO(y) + CC1(b) + 1
+    }
+
+    #[test]
+    fn inverting_gates_swap_sides() {
+        let c = circuit("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOR(a, b)");
+        let s = ScoapAnalysis::analyze(&c);
+        let y = c.find("y").expect("y exists");
+        assert_eq!(s.cc1(y), 3); // all-zeros + 1
+        assert_eq!(s.cc0(y), 2); // any-one + 1
+    }
+
+    #[test]
+    fn xor_parity_dp() {
+        let c = circuit("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XOR(a, b, c)");
+        let s = ScoapAnalysis::analyze(&c);
+        let y = c.find("y").expect("y exists");
+        // three unit-cost pins: even parity (0 or 2 ones) costs 3, odd too
+        assert_eq!(s.cc0(y), 4);
+        assert_eq!(s.cc1(y), 4);
+        let a = c.find("a").expect("a exists");
+        // CO(a) = CO(y) + min-side(b) + min-side(c) + 1
+        assert_eq!(s.co(a), 3);
+    }
+
+    #[test]
+    fn constants_saturate() {
+        let c = circuit("INPUT(a)\nOUTPUT(y)\nk = CONST0()\ny = AND(a, k)");
+        let s = ScoapAnalysis::analyze(&c);
+        let k = c.find("k").expect("k exists");
+        let y = c.find("y").expect("y exists");
+        assert_eq!(s.cc0(k), 1);
+        assert_eq!(s.cc1(k), SCOAP_INF);
+        assert_eq!(s.cc1(y), SCOAP_INF); // needs the constant at 1
+        assert_eq!(s.cc0(y), 2);
+        // observing `a` requires the constant at 1: impossible
+        let a = c.find("a").expect("a exists");
+        assert_eq!(s.co(a), SCOAP_INF);
+    }
+
+    #[test]
+    fn dff_is_pseudo_pi_and_pseudo_po() {
+        let c = circuit("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NAND(a, q)");
+        let s = ScoapAnalysis::analyze(&c);
+        let q = c.find("q").expect("q exists");
+        let d = c.find("d").expect("d exists");
+        assert_eq!(s.cc0(q), 1);
+        assert_eq!(s.cc1(q), 1);
+        assert_eq!(s.co(q), 0); // primary output
+        assert_eq!(s.co(d), 1); // scan capture
+    }
+
+    #[test]
+    fn dangling_nodes_are_unobservable() {
+        let c = circuit("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ndead = NOT(a)");
+        let s = ScoapAnalysis::analyze(&c);
+        let dead = c.find("dead").expect("dead exists");
+        assert_eq!(s.co(dead), SCOAP_INF);
+        // and they are excluded from the resistance ranking
+        let summary = s.summary(&c, 10);
+        assert!(summary.resistance.iter().all(|r| r.name != "dead"));
+    }
+
+    #[test]
+    fn summary_ranks_hardest_first() {
+        let c = circuit("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a, b)\ny = AND(t, c)");
+        let s = ScoapAnalysis::analyze(&c);
+        let summary = s.summary(&c, 3);
+        assert_eq!(summary.nodes, 5);
+        assert_eq!(summary.resistance.len(), 3);
+        for pair in summary.resistance.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+        let (name, value) = summary.max_cc1.expect("finite CC1 exists");
+        assert_eq!((name.as_str(), value), ("y", 5)); // 3 (t) + 1 (c) + 1
+    }
+
+    #[test]
+    fn fmt_scoap_renders_inf() {
+        assert_eq!(fmt_scoap(7), "7");
+        assert_eq!(fmt_scoap(SCOAP_INF), "inf");
+    }
+}

@@ -1,0 +1,276 @@
+//! Structural rules over a validated [`Circuit`]: dead logic, floating
+//! inputs, constant drivers, fan-out excess, sequential feedback loops.
+//!
+//! Hard structural defects (cycles, duplicates, undriven nets) can never
+//! reach this pass — [`CircuitBuilder`](bist_netlist::CircuitBuilder)
+//! rejects them — so they are reported by the parse pass
+//! ([`crate::parse_pass`]) instead.
+
+use bist_netlist::{Circuit, GateKind, NodeId, SourceMap};
+
+use crate::diagnostic::{Diagnostic, RuleCode, Span};
+use crate::LintOptions;
+
+pub(crate) fn span_of(map: Option<&SourceMap>, name: &str) -> Span {
+    map.and_then(|m| m.line_for(name))
+        .map(Span::line)
+        .unwrap_or_default()
+}
+
+/// Which nodes can influence some primary output — walked backward over
+/// fan-in edges, *through* flip-flops (a gate feeding only a D pin whose
+/// state eventually reaches an output is live logic).
+pub(crate) fn reachable_from_outputs(circuit: &Circuit) -> Vec<bool> {
+    let mut reachable = vec![false; circuit.num_nodes()];
+    let mut worklist: Vec<NodeId> = circuit
+        .outputs()
+        .iter()
+        .copied()
+        .inspect(|id| reachable[id.index()] = true)
+        .collect();
+    while let Some(id) = worklist.pop() {
+        for &f in circuit.node(id).fanin() {
+            if !reachable[f.index()] {
+                reachable[f.index()] = true;
+                worklist.push(f);
+            }
+        }
+    }
+    reachable
+}
+
+/// Strongly connected components of the full node graph (combinational
+/// *and* sequential edges), iterative Tarjan. Components of size ≥ 2 or
+/// with a self-loop are feedback loops; in a validated circuit every one
+/// passes through at least one flip-flop.
+fn feedback_components(circuit: &Circuit) -> Vec<Vec<usize>> {
+    const UNVISITED: usize = usize::MAX;
+    let n = circuit.num_nodes();
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(frame) = frames.last_mut() {
+            let (v, child) = (frame.0, frame.1);
+            if child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let fanout = circuit.fanout(NodeId::from_index(v));
+            if child < fanout.len() {
+                frame.1 += 1;
+                let w = fanout[child].index();
+                if index[w] == UNVISITED {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    low[parent.0] = low[parent.0].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let is_loop = component.len() > 1
+                        || circuit
+                            .fanout(NodeId::from_index(v))
+                            .iter()
+                            .any(|w| w.index() == v);
+                    if is_loop {
+                        component.sort_unstable();
+                        components.push(component);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Runs every structural rule, returning its findings (unsorted; the
+/// report normalizes).
+pub fn structural_pass(
+    circuit: &Circuit,
+    map: Option<&SourceMap>,
+    options: &LintOptions,
+) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let reachable = reachable_from_outputs(circuit);
+
+    for (i, node) in circuit.nodes().iter().enumerate() {
+        let id = NodeId::from_index(i);
+        let span = || span_of(map, node.name());
+        match node.kind() {
+            GateKind::Input => {
+                if circuit.fanout(id).is_empty() && !circuit.is_output(id) {
+                    diagnostics.push(Diagnostic::new(
+                        RuleCode::FloatingInput,
+                        span(),
+                        format!("input `{}` drives nothing", node.name()),
+                    ));
+                }
+            }
+            GateKind::Const0 | GateKind::Const1 => {
+                if !circuit.fanout(id).is_empty() {
+                    let value = if node.kind() == GateKind::Const0 {
+                        0
+                    } else {
+                        1
+                    };
+                    diagnostics.push(Diagnostic::new(
+                        RuleCode::ConstantDrive,
+                        span(),
+                        format!(
+                            "constant {value} `{}` drives {} gate(s) — tied logic is \
+                             untestable on one side",
+                            node.name(),
+                            circuit.fanout(id).len()
+                        ),
+                    ));
+                }
+            }
+            _ => {
+                if !reachable[i] {
+                    diagnostics.push(Diagnostic::new(
+                        RuleCode::DanglingGate,
+                        span(),
+                        format!("gate `{}` cannot reach any primary output", node.name()),
+                    ));
+                }
+            }
+        }
+        let fanout = circuit.fanout(id).len();
+        if fanout > options.max_fanout {
+            diagnostics.push(Diagnostic::new(
+                RuleCode::HighFanout,
+                span(),
+                format!(
+                    "`{}` fans out to {fanout} pins (limit {})",
+                    node.name(),
+                    options.max_fanout
+                ),
+            ));
+        }
+    }
+
+    for component in feedback_components(circuit) {
+        let representative = circuit.node(NodeId::from_index(component[0])).name();
+        let dffs = component
+            .iter()
+            .filter(|&&i| circuit.node(NodeId::from_index(i)).kind() == GateKind::Dff)
+            .count();
+        diagnostics.push(Diagnostic::new(
+            RuleCode::SequentialLoop,
+            span_of(map, representative),
+            format!(
+                "feedback loop of {} node(s) through {dffs} flip-flop(s) (e.g. `{representative}`)",
+                component.len()
+            ),
+        ));
+    }
+
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_netlist::bench;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let (circuit, map) = bench::parse_with_source_map("t", src).expect("test netlist parses");
+        structural_pass(&circuit, Some(&map), &LintOptions::default())
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<RuleCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_circuit_is_quiet() {
+        let diags = run("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)");
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn flags_floating_input_with_its_line() {
+        let diags = run("INPUT(a)\nINPUT(unused)\nOUTPUT(y)\ny = NOT(a)");
+        assert_eq!(codes(&diags), [RuleCode::FloatingInput]);
+        assert_eq!(diags[0].span.line, 2);
+    }
+
+    #[test]
+    fn flags_dangling_gates() {
+        let diags = run("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ndead = BUF(a)");
+        assert_eq!(codes(&diags), [RuleCode::DanglingGate]);
+        assert_eq!(diags[0].span.line, 4);
+    }
+
+    #[test]
+    fn gates_feeding_scan_state_are_live() {
+        // d only feeds the flip-flop; the flip-flop reaches the output
+        let diags = run("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NAND(a, q)");
+        assert_eq!(codes(&diags), [RuleCode::SequentialLoop]);
+    }
+
+    #[test]
+    fn flags_constant_drivers() {
+        let diags = run("INPUT(a)\nOUTPUT(y)\nk = CONST1()\ny = AND(a, k)");
+        assert_eq!(codes(&diags), [RuleCode::ConstantDrive]);
+        assert_eq!(diags[0].span.line, 3);
+    }
+
+    #[test]
+    fn flags_excess_fanout() {
+        let mut src = String::from("INPUT(a)\nOUTPUT(y)\n");
+        for i in 0..3 {
+            src.push_str(&format!("b{i} = NOT(a)\n"));
+        }
+        src.push_str("y = AND(b0, b1, b2)\n");
+        let (circuit, map) = bench::parse_with_source_map("t", &src).expect("parses");
+        let options = LintOptions {
+            max_fanout: 2,
+            ..LintOptions::default()
+        };
+        let diags = structural_pass(&circuit, Some(&map), &options);
+        assert_eq!(codes(&diags), [RuleCode::HighFanout]);
+        assert_eq!(diags[0].span.line, 1); // `a` fans out 3 times
+    }
+
+    #[test]
+    fn reports_one_loop_per_component() {
+        // two independent feedback registers
+        let diags = run("INPUT(a)\nOUTPUT(q1)\nOUTPUT(q2)\n\
+             q1 = DFF(d1)\nd1 = NOT(q1)\n\
+             q2 = DFF(d2)\nd2 = NOR(q2, a)");
+        assert_eq!(
+            codes(&diags),
+            [RuleCode::SequentialLoop, RuleCode::SequentialLoop]
+        );
+    }
+
+    #[test]
+    fn self_loop_dff_is_a_loop() {
+        let diags = run("INPUT(a)\nOUTPUT(y)\nq = DFF(q)\ny = AND(a, q)");
+        assert_eq!(codes(&diags), [RuleCode::SequentialLoop]);
+    }
+}

@@ -19,8 +19,61 @@ use std::str::FromStr;
 
 use crate::builder::CircuitBuilder;
 use crate::circuit::Circuit;
-use crate::error::ParseBenchError;
+use crate::error::{BuildCircuitError, ParseBenchError};
 use crate::gate::GateKind;
+
+/// Where each name of a parsed `.bench` source first appears.
+///
+/// Built as a by-product of [`parse_with_source_map`]; the declaration
+/// and reference lines let diagnostics — parse errors here, lint
+/// findings downstream — point at a concrete source line even for
+/// defects the builder can only detect at `build` time (forward
+/// references are legal, so a name's declaration may come after its
+/// first use).
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    // name lookup only — never iterated, so map order cannot leak into
+    // any output
+    #[allow(clippy::disallowed_types)]
+    decl_lines: std::collections::HashMap<String, usize>,
+    #[allow(clippy::disallowed_types)]
+    ref_lines: std::collections::HashMap<String, usize>,
+}
+
+impl SourceMap {
+    /// The 1-based line where `name` is first declared (`INPUT(name)` or
+    /// `name = KIND(...)`).
+    pub fn decl_line(&self, name: &str) -> Option<usize> {
+        self.decl_lines.get(name).copied()
+    }
+
+    /// The 1-based line where `name` is first referenced (as a fan-in or
+    /// in an `OUTPUT(name)` marking).
+    pub fn ref_line(&self, name: &str) -> Option<usize> {
+        self.ref_lines.get(name).copied()
+    }
+
+    /// The best source line for a diagnostic about `name`: its
+    /// declaration if one exists, otherwise its first reference.
+    pub fn line_for(&self, name: &str) -> Option<usize> {
+        self.decl_line(name).or_else(|| self.ref_line(name))
+    }
+
+    /// The source line a builder-time defect should be attributed to:
+    /// the declaring line for defects about a declared node, the first
+    /// referencing line for defects about a missing one, `0` for
+    /// whole-netlist defects (missing I/O) that no single line owns.
+    pub fn attribute(&self, error: &BuildCircuitError) -> usize {
+        match error {
+            BuildCircuitError::UnknownName(n) => self.ref_line(n).unwrap_or_default(),
+            BuildCircuitError::DuplicateName(n)
+            | BuildCircuitError::CombinationalCycle(n)
+            | BuildCircuitError::BadFanin { name: n, .. } => self.line_for(n).unwrap_or_default(),
+            BuildCircuitError::DuplicateOutput(n) => self.ref_line(n).unwrap_or_default(),
+            BuildCircuitError::NoInputs | BuildCircuitError::NoOutputs => 0,
+        }
+    }
+}
 
 /// Parses `.bench` source text into a [`Circuit`] named `name`.
 ///
@@ -44,13 +97,23 @@ use crate::gate::GateKind;
 /// # Ok::<(), bist_netlist::ParseBenchError>(())
 /// ```
 pub fn parse(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
+    parse_with_source_map(name, source).map(|(circuit, _)| circuit)
+}
+
+/// [`parse`], additionally returning the [`SourceMap`] of declaration
+/// and reference lines — the span substrate the `bist-lint` analyzer
+/// points its diagnostics with.
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_with_source_map(
+    name: &str,
+    source: &str,
+) -> Result<(Circuit, SourceMap), ParseBenchError> {
     let mut builder = CircuitBuilder::new(name);
     let mut outputs: Vec<(String, usize)> = Vec::new();
-    // first line declaring / referencing each name, so defects the builder
-    // can only detect at `build` time (forward references are legal) are
-    // still reported against a source line
-    let mut decl_lines: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
-    let mut ref_lines: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut map = SourceMap::default();
 
     for (lineno, raw) in source.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -68,7 +131,7 @@ pub fn parse(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
 
         if let Some(rest) = strip_call(line, "INPUT") {
             builder.add_input(rest.trim()).map_err(build)?;
-            decl_lines
+            map.decl_lines
                 .entry(rest.trim().to_owned())
                 .or_insert(lineno + 1);
         } else if let Some(rest) = strip_call(line, "OUTPUT") {
@@ -100,9 +163,11 @@ pub fn parse(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
                 return Err(syntax(format!("empty fan-in name in `{rhs}`")));
             }
             builder.add_gate(target, kind, &fanin).map_err(build)?;
-            decl_lines.entry(target.to_owned()).or_insert(lineno + 1);
+            map.decl_lines
+                .entry(target.to_owned())
+                .or_insert(lineno + 1);
             for f in &fanin {
-                ref_lines.entry((*f).to_owned()).or_insert(lineno + 1);
+                map.ref_lines.entry((*f).to_owned()).or_insert(lineno + 1);
             }
         } else {
             return Err(syntax(format!("unrecognized declaration `{line}`")));
@@ -113,22 +178,13 @@ pub fn parse(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
         builder
             .mark_output(o)
             .map_err(|error| ParseBenchError::Build { line: *line, error })?;
-        ref_lines.entry(o.clone()).or_insert(*line);
+        map.ref_lines.entry(o.clone()).or_insert(*line);
     }
-    builder.build().map_err(|error| {
-        // attribute build-time defects to the line that introduced them
-        // where one exists; whole-netlist defects (missing I/O) keep 0
-        let line = match &error {
-            crate::BuildCircuitError::UnknownName(n) => {
-                ref_lines.get(n).copied().unwrap_or_default()
-            }
-            crate::BuildCircuitError::CombinationalCycle(n) => {
-                decl_lines.get(n).copied().unwrap_or_default()
-            }
-            _ => 0,
-        };
-        ParseBenchError::Build { line, error }
-    })
+    let circuit = builder.build().map_err(|error| ParseBenchError::Build {
+        line: map.attribute(&error),
+        error,
+    })?;
+    Ok((circuit, map))
 }
 
 fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
@@ -254,6 +310,41 @@ y = NOT(mid)
             matches!(err, ParseBenchError::Build { line: 2, .. }),
             "expected a line-2 build error, got {err}"
         );
+    }
+
+    #[test]
+    fn source_map_records_first_lines() {
+        let (_, map) = parse_with_source_map("s", SAMPLE).expect("sample parses");
+        assert_eq!(map.decl_line("mid"), Some(6));
+        assert_eq!(map.ref_line("mid"), Some(7));
+        assert_eq!(map.decl_line("a"), Some(3));
+        assert_eq!(map.ref_line("a"), Some(6));
+        // OUTPUT(y) references `y` before its declaration; line_for prefers
+        // the declaration
+        assert_eq!(map.ref_line("y"), Some(5));
+        assert_eq!(map.line_for("y"), Some(7));
+        assert_eq!(map.line_for("ghost"), None);
+    }
+
+    #[test]
+    fn source_map_attributes_every_build_defect() {
+        let (_, map) = parse_with_source_map("s", SAMPLE).expect("sample parses");
+        use crate::BuildCircuitError as E;
+        assert_eq!(map.attribute(&E::DuplicateName("mid".into())), 6);
+        assert_eq!(map.attribute(&E::UnknownName("mid".into())), 7);
+        assert_eq!(map.attribute(&E::UnknownName("ghost".into())), 0);
+        assert_eq!(
+            map.attribute(&E::BadFanin {
+                name: "y".into(),
+                kind: "NOT".into(),
+                got: 2
+            }),
+            7
+        );
+        assert_eq!(map.attribute(&E::CombinationalCycle("mid".into())), 6);
+        assert_eq!(map.attribute(&E::DuplicateOutput("y".into())), 5);
+        assert_eq!(map.attribute(&E::NoInputs), 0);
+        assert_eq!(map.attribute(&E::NoOutputs), 0);
     }
 
     #[test]

@@ -1,3 +1,6 @@
+// determinism-vetted: the builder's name index is lookup-only (nodes are
+// stored and emitted in declaration order), never iterated
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 use crate::circuit::{Circuit, Node, NodeId};
@@ -34,6 +37,7 @@ use crate::gate::GateKind;
 pub struct CircuitBuilder {
     name: String,
     nodes: Vec<PendingNode>,
+    #[allow(clippy::disallowed_types)]
     name_index: HashMap<String, usize>,
     outputs: Vec<String>,
 }
@@ -47,6 +51,7 @@ struct PendingNode {
 
 impl CircuitBuilder {
     /// Creates an empty builder for a circuit called `name`.
+    #[allow(clippy::disallowed_types)]
     pub fn new(name: impl Into<String>) -> Self {
         CircuitBuilder {
             name: name.into(),

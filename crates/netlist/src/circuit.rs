@@ -1,3 +1,6 @@
+// determinism-vetted: the circuit's name index is lookup-only (node
+// order lives in `nodes`/`topo`), never iterated
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::OnceLock;
@@ -88,6 +91,7 @@ pub struct Circuit {
     /// Logic level per node: sources are level 0, a gate is
     /// `1 + max(level of fanins)`.
     pub(crate) level: Vec<u32>,
+    #[allow(clippy::disallowed_types)]
     pub(crate) name_index: HashMap<String, NodeId>,
     pub(crate) is_output: Vec<bool>,
     /// Lazily built flattened simulation view (see [`Circuit::sim_graph`]).
@@ -264,6 +268,8 @@ mod tests {
     #[test]
     fn topo_order_respects_fanin() {
         let c = tiny();
+        // determinism-vetted: keyed position lookup only, never iterated
+        #[allow(clippy::disallowed_types)]
         let pos: std::collections::HashMap<_, _> = c
             .topo_order()
             .iter()

@@ -200,6 +200,9 @@ pub fn synthesize(profile: &SeqProfile) -> Circuit {
     // D-pins and primary outputs tap the deepest third of the body
     let tail_start = sources.len() + (profile.gates * 2) / 3;
     let tail: Vec<String> = nodes[tail_start.min(nodes.len() - 1)..].to_vec();
+    // determinism-vetted: dedup membership only; output order comes from
+    // the rng-driven selection loop, not from set iteration
+    #[allow(clippy::disallowed_types)]
     let mut marked = std::collections::HashSet::new();
     let mut o = 0;
     while o < profile.outputs {
@@ -216,6 +219,9 @@ pub fn synthesize(profile: &SeqProfile) -> Circuit {
     // or the fault universe fills up with structurally untestable faults
     // no real circuit has: fold dangling nodes into the D-pin gates as
     // extra XOR fan-ins, round-robin across the flip-flops
+    // determinism-vetted: membership probe only (`dangling` is collected
+    // by scanning `nodes` in declaration order)
+    #[allow(clippy::disallowed_types)]
     let mut used: std::collections::HashSet<String> = marked.iter().cloned().collect();
     for (name, fanin) in &fanin_record {
         let _ = name;

@@ -49,6 +49,7 @@ pub mod iscas89;
 mod simgraph;
 mod stats;
 
+pub use bench::SourceMap;
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, Node, NodeId};
 pub use error::{BuildCircuitError, ParseBenchError};

@@ -98,11 +98,14 @@ impl WorkQueues {
 #[cfg(test)]
 mod tests {
     use super::*;
+    // determinism-vetted: insert/uniqueness bookkeeping, never iterated
+    #[allow(clippy::disallowed_types)]
     use std::collections::HashSet;
 
     #[test]
     fn every_task_handed_out_exactly_once() {
         let q = WorkQueues::new(100, 4);
+        #[allow(clippy::disallowed_types)]
         let mut seen = HashSet::new();
         for w in (0..4).cycle() {
             match q.next(w) {

@@ -1,3 +1,6 @@
+// determinism-vetted: the only hash set here deduplicates observation
+// points via insert(); marking order follows the circuit's node order
+#[allow(clippy::disallowed_types)]
 use std::collections::HashSet;
 use std::fmt;
 
@@ -109,6 +112,7 @@ impl ScanDesign {
         }
         // original primary outputs, plus every flip-flop's D driver as a
         // pseudo-primary output (deduplicated: one node is observed once)
+        #[allow(clippy::disallowed_types)]
         let mut marked: HashSet<String> = HashSet::new();
         for &po in circuit.outputs() {
             let name = circuit.node(po).name();

@@ -1,3 +1,6 @@
+// determinism-vetted: both hash maps below deduplicate/index cubes via
+// entry()/insert() in minterm order and are never iterated
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 use bist_logicsim::Pattern;
@@ -130,6 +133,7 @@ fn expand_all(width: usize, spec: &OutputSpec) -> Vec<Cube> {
         assert_eq!(m.len(), width, "minterm width mismatch");
     }
     let off = Columns::new(width, &spec.off);
+    #[allow(clippy::disallowed_types)]
     let mut seen = HashMap::new();
     let mut candidates = Vec::new();
     for (j, m) in spec.on.iter().enumerate() {
@@ -207,6 +211,7 @@ pub fn synthesize_pla_with(
     options: SynthesisOptions,
 ) -> TwoLevelNetwork {
     let mut terms: Vec<Cube> = Vec::new();
+    #[allow(clippy::disallowed_types)]
     let mut term_index: HashMap<Cube, usize> = HashMap::new();
     let mut outputs = Vec::with_capacity(specs.len());
 

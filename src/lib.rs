@@ -17,6 +17,8 @@
 //!   every architecture in the workspace implements.
 //! * [`baselines::bakeoff`](bist_baselines) — all surveyed TPG
 //!   architectures compared on one circuit.
+//! * [`lint::lint_bench`](bist_lint) — simulation-free static analysis:
+//!   structural rules and SCOAP testability as unified diagnostics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +34,7 @@ pub use bist_faultsim as faultsim;
 pub use bist_hdl as hdl;
 pub use bist_lfsr as lfsr;
 pub use bist_lfsrom as lfsrom;
+pub use bist_lint as lint;
 pub use bist_logicsim as logicsim;
 pub use bist_netlist as netlist;
 pub use bist_scan as scan;

@@ -1,0 +1,420 @@
+//! The `bist-lint` rule registry, pinned: every `BLxxx` code has a
+//! trigger fixture asserting the exact source line it points at, the
+//! SCOAP tables for c17 and s27 are checked against hand-computed
+//! values, and linting never panics on the parse-robustness mutation
+//! corpus.
+
+use bist::lint::{
+    lint_bench, lint_verilog, lint_vhdl, Diagnostic, LintOptions, LintReport, RuleCode,
+    ScoapAnalysis,
+};
+use bist::netlist::{iscas85, iscas89};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The diagnostic of `code` in `report`, asserting it fired exactly once.
+fn one(report: &LintReport, code: RuleCode) -> &Diagnostic {
+    let hits: Vec<&Diagnostic> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == code)
+        .collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "{code} should fire exactly once, got {:?}",
+        report.diagnostics
+    );
+    hits[0]
+}
+
+/// Every netlist rule (`BL001`–`BL014`) fires on its trigger fixture,
+/// exactly once, pointing at the expected source line — and together the
+/// fixtures exercise the whole `BL0xx` registry.
+#[test]
+fn every_netlist_code_has_a_trigger_fixture() {
+    let tight = LintOptions {
+        max_fanout: 2,
+        cc_limit: 2,
+        co_limit: 1,
+        ..LintOptions::default()
+    };
+    let default = LintOptions::default();
+    let cases: &[(RuleCode, &str, &LintOptions, usize)] = &[
+        (
+            RuleCode::CombinationalCycle,
+            "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)",
+            &default,
+            3,
+        ),
+        (
+            RuleCode::UndrivenNet,
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)",
+            &default,
+            3,
+        ),
+        (
+            RuleCode::DuplicateDefinition,
+            "INPUT(a)\nINPUT(a)\nOUTPUT(a)",
+            &default,
+            2,
+        ),
+        (
+            RuleCode::BadFanin,
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)",
+            &default,
+            3,
+        ),
+        // whole-netlist defect: no single line owns it
+        (
+            RuleCode::EmptyInterface,
+            "INPUT(a)\na2 = NOT(a)",
+            &default,
+            0,
+        ),
+        (
+            RuleCode::SyntaxError,
+            "INPUT(a)\nOUTPUT(y)\nwat",
+            &default,
+            3,
+        ),
+        (
+            RuleCode::DanglingGate,
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ndead = BUF(a)",
+            &default,
+            4,
+        ),
+        (
+            RuleCode::FloatingInput,
+            "INPUT(a)\nINPUT(unused)\nOUTPUT(y)\ny = NOT(a)",
+            &default,
+            2,
+        ),
+        (
+            RuleCode::ConstantDrive,
+            "INPUT(a)\nOUTPUT(y)\nk = CONST1()\ny = AND(a, k)",
+            &default,
+            3,
+        ),
+        (
+            // `a` fans out to b0, b1, b2 — three pins over the limit of 2
+            RuleCode::HighFanout,
+            "INPUT(a)\nOUTPUT(y)\nb0 = NOT(a)\nb1 = NOT(a)\nb2 = NOT(a)\ny = AND(b0, b1, b2)",
+            &tight,
+            1,
+        ),
+        (
+            // worst controllability is y: CC1 = 3 (t1) + 1 (c) + 1 = 5
+            RuleCode::HardToControl,
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt1 = AND(a, b)\ny = AND(t1, c)",
+            &tight,
+            6,
+        ),
+        (
+            // worst observability is a: CO = CO(t1) + CC1(b) + 1 = 4
+            RuleCode::HardToObserve,
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt1 = AND(a, b)\ny = AND(t1, c)",
+            &tight,
+            1,
+        ),
+        (
+            RuleCode::TestabilitySummary,
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)",
+            &default,
+            0,
+        ),
+        (
+            RuleCode::SequentialLoop,
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(q)\ny = AND(a, q)",
+            &default,
+            3,
+        ),
+    ];
+
+    let mut covered: Vec<RuleCode> = Vec::new();
+    for (code, source, options, line) in cases {
+        let report = lint_bench("fixture", source, options);
+        let d = one(&report, *code);
+        assert_eq!(d.span.line, *line, "{code} on {source:?}");
+        assert_eq!(d.severity, code.default_severity(), "{code}");
+        if !covered.contains(code) {
+            covered.push(*code);
+        }
+    }
+    let netlist_rules: Vec<RuleCode> = RuleCode::ALL
+        .iter()
+        .copied()
+        .filter(|r| !r.code().starts_with("BL1"))
+        .collect();
+    covered.sort_unstable();
+    assert_eq!(
+        covered, netlist_rules,
+        "every BL0xx rule needs a trigger fixture"
+    );
+}
+
+/// Every HDL rule (`BL101`–`BL103`) fires on its snippet with the right
+/// line, through both front-ends where the defect exists in both.
+#[test]
+fn every_hdl_code_has_a_trigger_fixture() {
+    // BL101: `y` assigned but never declared (line 5)
+    let report = lint_verilog("module t (\n  a\n);\n  input a;\n  assign y = ~a;\nendmodule\n");
+    let d = one(&report, RuleCode::HdlUndeclared);
+    assert_eq!(d.span.line, 5);
+
+    // BL102: port `a` declared twice (line 5)
+    let report = lint_verilog("module t (\n  a\n);\n  input a;\n  input a;\nendmodule\n");
+    let d = one(&report, RuleCode::HdlDuplicate);
+    assert_eq!(d.span.line, 5);
+
+    // BL103: module never closes — attributed to the last line
+    let report = lint_verilog("module t (\n  a\n);\n  input a;\n");
+    let d = one(&report, RuleCode::HdlUnbalanced);
+    assert_eq!(d.span.line, 4);
+
+    // the VHDL front-end shares the vocabulary
+    let report = lint_vhdl(
+        "entity t is\n  port (\n    a : in std_logic\n  );\nend entity t;\n\
+         architecture s of t is\nbegin\n  ghost <= not a;\nend architecture s;\n",
+    );
+    let d = one(&report, RuleCode::HdlUndeclared);
+    assert_eq!(d.span.line, 8);
+
+    let hdl_rules: Vec<&RuleCode> = RuleCode::ALL
+        .iter()
+        .filter(|r| r.code().starts_with("BL1"))
+        .collect();
+    assert_eq!(hdl_rules.len(), 3, "new HDL rules need fixtures here");
+}
+
+/// SCOAP on c17, pinned bit-exact against the hand-computed tables
+/// (Goldstein's rules applied to the exact ISCAS-85 netlist on paper).
+#[test]
+fn c17_scoap_matches_the_hand_computed_table() {
+    let c17 = iscas85::c17();
+    let scoap = ScoapAnalysis::analyze(&c17);
+    let expected: &[(&str, u32, u32, u32)] = &[
+        // (node, CC0, CC1, CO)
+        ("G1", 1, 1, 5),
+        ("G2", 1, 1, 6),
+        ("G3", 1, 1, 5),
+        ("G6", 1, 1, 7),
+        ("G7", 1, 1, 6),
+        ("G10", 3, 2, 3),
+        ("G11", 3, 2, 5),
+        ("G16", 4, 2, 3),
+        ("G19", 4, 2, 3),
+        ("G22", 5, 4, 0),
+        ("G23", 5, 5, 0),
+    ];
+    assert_eq!(c17.num_nodes(), expected.len(), "table covers every node");
+    for &(name, cc0, cc1, co) in expected {
+        let id = c17.find(name).expect("known node");
+        assert_eq!(scoap.cc0(id), cc0, "CC0({name})");
+        assert_eq!(scoap.cc1(id), cc1, "CC1({name})");
+        assert_eq!(scoap.co(id), co, "CO({name})");
+    }
+
+    let summary = scoap.summary(&c17, 5);
+    assert_eq!(summary.max_cc0, Some(("G22".to_owned(), 5)));
+    assert_eq!(summary.max_cc1, Some(("G23".to_owned(), 5)));
+    assert_eq!(summary.max_co, Some(("G6".to_owned(), 7)));
+    // score = max(CC0, CC1) + CO, ties broken by name
+    let ranked: Vec<(&str, u64)> = summary
+        .resistance
+        .iter()
+        .map(|r| (r.name.as_str(), r.score))
+        .collect();
+    assert_eq!(
+        ranked,
+        [("G11", 8), ("G6", 8), ("G16", 7), ("G19", 7), ("G2", 7)]
+    );
+}
+
+/// SCOAP on s27, pinned bit-exact — this is the fixture that locks in
+/// the full-scan flip-flop policy (DFF outputs are pseudo primary
+/// inputs, D pins are observed at scan-capture cost 1).
+#[test]
+fn s27_scoap_matches_the_hand_computed_table() {
+    let s27 = iscas89::s27();
+    let scoap = ScoapAnalysis::analyze(&s27);
+    let expected: &[(&str, u32, u32, u32)] = &[
+        // (node, CC0, CC1, CO)
+        ("G0", 1, 1, 5),
+        ("G1", 1, 1, 5),
+        ("G2", 1, 1, 4),
+        ("G3", 1, 1, 11),
+        ("G5", 1, 1, 9),  // DFF: pseudo primary input
+        ("G6", 1, 1, 12), // DFF
+        ("G7", 1, 1, 5),  // DFF
+        ("G8", 2, 4, 9),
+        ("G9", 7, 5, 3),
+        ("G10", 3, 5, 1), // D pin of G5: scan capture
+        ("G11", 2, 9, 1), // D pin of G6, also observed through G17
+        ("G12", 2, 3, 3),
+        ("G13", 2, 4, 1), // D pin of G7
+        ("G14", 2, 2, 4),
+        ("G15", 5, 4, 6),
+        ("G16", 4, 2, 8),
+        ("G17", 10, 3, 0), // primary output
+    ];
+    assert_eq!(s27.num_nodes(), expected.len(), "table covers every node");
+    for &(name, cc0, cc1, co) in expected {
+        let id = s27.find(name).expect("known node");
+        assert_eq!(scoap.cc0(id), cc0, "CC0({name})");
+        assert_eq!(scoap.cc1(id), cc1, "CC1({name})");
+        assert_eq!(scoap.co(id), co, "CO({name})");
+    }
+}
+
+/// End-to-end lint of the embedded s27: both feedback registers are
+/// reported as sequential loops (info level), and nothing else fires.
+#[test]
+fn s27_lints_clean_with_two_feedback_loops() {
+    let report = lint_bench("s27", iscas89::S27_BENCH, &LintOptions::default());
+    assert!(report.is_clean(), "unexpected findings: {report:?}");
+    let loops = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == RuleCode::SequentialLoop)
+        .count();
+    assert_eq!(loops, 2, "{{G5..G16}} and {{G7,G12,G13}} feedback loops");
+    one(&report, RuleCode::TestabilitySummary);
+    assert!(report.scoap.is_some());
+}
+
+/// Applies one seeded corruption to valid `.bench` text (the same
+/// corruption classes as `tests/parse_robustness.rs`).
+fn mutate(source: &str, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut text = source.to_owned();
+    match rng.gen_range(0..5) {
+        // truncate at an arbitrary char boundary
+        0 => {
+            let cut = rng.gen_range(0..=text.chars().count());
+            text = text.chars().take(cut).collect();
+        }
+        // overwrite one char with line noise
+        1 => {
+            let noise = ['(', ')', '=', ',', '#', 'Z', '7', ' ', '\u{e9}'];
+            let chars: Vec<char> = text.chars().collect();
+            if !chars.is_empty() {
+                let at = rng.gen_range(0..chars.len());
+                let mut chars = chars;
+                chars[at] = noise[rng.gen_range(0..noise.len())];
+                text = chars.into_iter().collect();
+            }
+        }
+        // delete a whole line
+        2 => {
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.len() > 1 {
+                let drop = rng.gen_range(0..lines.len());
+                text = lines
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, l)| *l)
+                    .collect::<Vec<_>>()
+                    .join("\n");
+            }
+        }
+        // duplicate a line
+        3 => {
+            let lines: Vec<&str> = text.lines().collect();
+            if !lines.is_empty() {
+                let dup = rng.gen_range(0..lines.len());
+                let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+                for (i, l) in lines.iter().enumerate() {
+                    out.push(l);
+                    if i == dup {
+                        out.push(l);
+                    }
+                }
+                text = out.join("\n");
+            }
+        }
+        // splice in a garbage declaration
+        _ => {
+            let garbage = [
+                "wat",
+                "G1 = FROB(G2)",
+                "OUTPUT(",
+                "= AND(a, b)",
+                "INPUT(G1)",
+            ];
+            let lines: Vec<&str> = text.lines().collect();
+            let at = rng.gen_range(0..=lines.len());
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+            out.extend_from_slice(&lines[..at]);
+            out.push(garbage[rng.gen_range(0..garbage.len())]);
+            out.extend_from_slice(&lines[at..]);
+            text = out.join("\n");
+        }
+    }
+    text
+}
+
+/// Lints corrupted text and checks the contract: a deterministic report,
+/// either one located parse error (no SCOAP) or a full analysis whose
+/// findings all point inside the source.
+fn assert_lint_contract(name: &str, text: &str) {
+    let options = LintOptions::default();
+    let report = lint_bench(name, text, &options);
+    assert_eq!(report, lint_bench(name, text, &options), "lint determinism");
+    match &report.scoap {
+        None => {
+            assert_eq!(
+                report.diagnostics.len(),
+                1,
+                "parse failures yield one finding"
+            );
+            assert!(report.has_errors());
+            assert!(
+                report.diagnostics[0].span.line <= text.lines().count(),
+                "span beyond the source: {:?}",
+                report.diagnostics[0]
+            );
+        }
+        Some(summary) => {
+            assert!(summary.nodes > 0);
+            for d in &report.diagnostics {
+                assert!(
+                    d.span.line <= text.lines().count(),
+                    "span beyond the source: {d:?}"
+                );
+            }
+            let codes: Vec<RuleCode> = report.diagnostics.iter().map(|d| d.code).collect();
+            assert!(codes.contains(&RuleCode::TestabilitySummary), "{codes:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Linting any seeded corruption of c17 never panics and honours the
+    /// report contract.
+    #[test]
+    fn lint_never_panics_on_corrupted_iscas85(seed in any::<u64>(), layers in 1usize..4) {
+        let mut text = iscas85::C17_BENCH.to_owned();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..layers {
+            text = mutate(&text, rng.gen());
+        }
+        assert_lint_contract("c17-mutant", &text);
+    }
+
+    /// Same over the sequential s27 (exercises DFF declarations, forward
+    /// references and the feedback-loop rule under corruption).
+    #[test]
+    fn lint_never_panics_on_corrupted_iscas89(seed in any::<u64>(), layers in 1usize..4) {
+        let mut text = iscas89::S27_BENCH.to_owned();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..layers {
+            text = mutate(&text, rng.gen());
+        }
+        assert_lint_contract("s27-mutant", &text);
+    }
+}

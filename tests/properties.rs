@@ -189,6 +189,8 @@ proptest! {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(seed);
+        // determinism-vetted: uniqueness bookkeeping, never iterated
+        #[allow(clippy::disallowed_types)]
         let mut seen = std::collections::HashSet::new();
         let mut mk = |n: usize| -> Vec<Pattern> {
             let mut v = Vec::new();

@@ -53,6 +53,8 @@ fn fleet() -> Vec<Box<dyn Tpg>> {
 #[test]
 fn every_tpg_implementor_is_internally_consistent() {
     let model = bist_synth::AreaModel::es2_1um();
+    // determinism-vetted: uniqueness bookkeeping, never iterated
+    #[allow(clippy::disallowed_types)]
     let mut seen = std::collections::HashSet::new();
     for tpg in fleet() {
         let arch = tpg.architecture();
