@@ -5,14 +5,16 @@ use std::time::Duration;
 use bist_engine::json::Json;
 use bist_engine::{
     AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, Engine, HdlLanguage,
-    JobResult, JobSpec, LintSpec, ResultCache, SolveAtSpec, SweepSpec,
+    JobHandle, JobResult, JobSpec, LintSpec, ResultCache, SolveAtSpec, SweepSpec,
 };
 
+use crate::client::{self, Connect};
 use crate::opts::{
     parse_lengths, resolve_circuit, split_common, take_flag, take_value, CommonOpts, Format,
     UsageError,
 };
 use crate::render::{event_line, result_json, result_text};
+use crate::serve::{ServeConfig, Server};
 use crate::{help, manifest, EXIT_JOB_FAILED, EXIT_USAGE};
 
 /// Runs the command line (everything after the program name) and
@@ -41,6 +43,8 @@ pub fn dispatch(args: &[String]) -> u8 {
             "lint" => help::LINT,
             "batch" => help::BATCH,
             "cache" => help::CACHE,
+            "serve" => help::SERVE,
+            "server" => help::SERVER,
             _ => help::TOP,
         };
         print!("{text}");
@@ -54,6 +58,8 @@ pub fn dispatch(args: &[String]) -> u8 {
             "lint" => lint_command(&opts, &mut rest),
             "batch" => batch_command(&opts, &rest),
             "cache" => cache_command(&opts, &rest),
+            "serve" => serve_command(&opts, &mut rest),
+            "server" => server_command(&opts, &rest),
             other => Err(UsageError(format!("unknown command `{other}` (try `bist help`)")).into()),
         }
     };
@@ -189,12 +195,7 @@ fn job_command(
         _ => unreachable!("caller matched the command"),
     };
 
-    let (engine, cache) = build_engine(opts, opts.threads);
-    let result = run_with_progress(&engine, vec![spec], opts.quiet)
-        .pop()
-        .expect("one job in, one result out");
-    report_cache(&cache, opts.quiet);
-    let result = result?;
+    let result = run_one(opts, spec)?;
 
     if let (Some(dir), JobResult::EmitHdl(hdl)) = (&out_dir, &result) {
         write_artefacts(dir, hdl)?;
@@ -245,12 +246,7 @@ fn lint_command(opts: &CommonOpts, rest: &mut Vec<String>) -> Result<u8, Command
         config: Default::default(),
     });
 
-    let (engine, cache) = build_engine(opts, opts.threads);
-    let result = run_with_progress(&engine, vec![spec], opts.quiet)
-        .pop()
-        .expect("one job in, one result out");
-    report_cache(&cache, opts.quiet);
-    let result = result?;
+    let result = run_one(opts, spec)?;
     match opts.format {
         Format::Text => print!("{}", result_text(&result)),
         Format::Json => print!("{}", result_json(&result).render_pretty()),
@@ -265,6 +261,12 @@ fn lint_command(opts: &CommonOpts, rest: &mut Vec<String>) -> Result<u8, Command
 }
 
 fn batch_command(opts: &CommonOpts, rest: &[String]) -> Result<u8, CommandError> {
+    if opts.connect.is_some() {
+        return Err(UsageError(
+            "batch runs locally; submit jobs one at a time with --connect".to_owned(),
+        )
+        .into());
+    }
     let path = match rest {
         [one] => one.clone(),
         _ => return Err(UsageError("batch takes one manifest path".to_owned()).into()),
@@ -334,16 +336,18 @@ fn cache_command(opts: &CommonOpts, rest: &[String]) -> Result<u8, CommandError>
             let stats = cache.disk_stats();
             match opts.format {
                 Format::Text => println!(
-                    "{}: {} entries, {} bytes",
+                    "{}: {} entries, {} bytes, {} evicted",
                     cache.dir().display(),
                     stats.entries,
-                    stats.bytes
+                    stats.bytes,
+                    stats.evictions
                 ),
                 Format::Json => {
                     let mut doc = Json::object();
                     doc.push("dir", Json::str(cache.dir().display().to_string()));
                     doc.push("entries", Json::uint(stats.entries));
                     doc.push("bytes", Json::uint(stats.bytes as usize));
+                    doc.push("evictions", Json::uint(stats.evictions as usize));
                     print!("{}", doc.render_pretty());
                 }
             }
@@ -360,6 +364,165 @@ fn cache_command(opts: &CommonOpts, rest: &[String]) -> Result<u8, CommandError>
     }
 }
 
+/// Runs one job spec — on a `bist serve` daemon when `--connect` is
+/// given, in-process otherwise. The two paths feed the same renderers,
+/// so a served result is byte-identical on stdout to a local run.
+fn run_one(opts: &CommonOpts, spec: JobSpec) -> Result<JobResult, CommandError> {
+    if let Some(target) = &opts.connect {
+        let connect = Connect::parse(target)?;
+        return client::run_remote(&connect, spec, opts.quiet);
+    }
+    let (engine, cache) = build_engine(opts, opts.threads);
+    let result = run_with_progress(&engine, vec![spec], opts.quiet)
+        .pop()
+        .expect("one job in, one result out");
+    report_cache(&cache, opts.quiet);
+    Ok(result?)
+}
+
+/// `bist serve`: bind the configured listeners and run until a
+/// `shutdown` request drains the queue.
+fn serve_command(opts: &CommonOpts, rest: &mut Vec<String>) -> Result<u8, CommandError> {
+    let listen = take_value(rest, "--listen")?;
+    let socket = take_value(rest, "--socket")?.map(std::path::PathBuf::from);
+    let jobs = match take_value(rest, "--jobs")? {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| UsageError(format!("--jobs: `{v}` is not a worker count")))?,
+    };
+    let queue_capacity = match take_value(rest, "--queue")? {
+        None => 64,
+        Some(v) => v
+            .parse()
+            .map_err(|_| UsageError(format!("--queue: `{v}` is not a queue depth")))?,
+    };
+    let cache_capacity: Option<u64> = match take_value(rest, "--cache-capacity")? {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| UsageError(format!("--cache-capacity: `{v}` is not a byte count")))?,
+        ),
+    };
+    if !rest.is_empty() {
+        return Err(UsageError(format!("serve does not take `{}`", rest.join(" "))).into());
+    }
+    // default to loopback TCP so a bare `bist serve` works out of the box
+    let listen = match (&listen, &socket) {
+        (None, None) => Some("127.0.0.1:7117".to_owned()),
+        _ => listen,
+    };
+    let cache = match (opts.cache(), cache_capacity) {
+        (Some(c), Some(bytes)) => Some(c.with_capacity(bytes)),
+        (c, _) => c,
+    };
+    let server = Server::bind(ServeConfig {
+        listen,
+        socket,
+        jobs,
+        queue_capacity,
+        retry_after_ms: 500,
+        cache,
+    })?;
+    if !opts.quiet {
+        if let Some(addr) = server.tcp_addr() {
+            eprintln!("bist serve: listening on {addr}");
+        }
+        if let Some(path) = server.socket_path() {
+            eprintln!("bist serve: listening on unix:{}", path.display());
+        }
+    }
+    server.serve()?;
+    if !opts.quiet {
+        eprintln!("bist serve: drained, shutting down");
+    }
+    Ok(0)
+}
+
+/// `bist server <stats|shutdown> --connect <target>`: control verbs
+/// against a running daemon.
+fn server_command(opts: &CommonOpts, rest: &[String]) -> Result<u8, CommandError> {
+    let action = match rest {
+        [one] => one.as_str(),
+        _ => return Err(UsageError("server takes `stats` or `shutdown`".to_owned()).into()),
+    };
+    let target = opts.connect.as_deref().ok_or_else(|| {
+        UsageError("server needs `--connect <host:port | unix:/path>`".to_owned())
+    })?;
+    let connect = Connect::parse(target)?;
+    match action {
+        "stats" => {
+            let stats = client::server_stats(&connect)?;
+            match opts.format {
+                Format::Text => {
+                    println!(
+                        "uptime: {} ms\njobs: submitted={} completed={} failed={} rejected={} queued={} running={}",
+                        stats.uptime_ms,
+                        stats.submitted,
+                        stats.completed,
+                        stats.failed,
+                        stats.rejected,
+                        stats.queued,
+                        stats.running
+                    );
+                    match stats.cache {
+                        Some(c) => println!(
+                            "cache: hits={} misses={} stores={} evictions={} entries={} bytes={} capacity={}",
+                            c.hits,
+                            c.misses,
+                            c.stores,
+                            c.evictions,
+                            c.entries,
+                            c.bytes,
+                            c.capacity_bytes
+                                .map_or("none".to_owned(), |b| b.to_string())
+                        ),
+                        None => println!("cache: off"),
+                    }
+                }
+                Format::Json => {
+                    let mut doc = Json::object();
+                    doc.push("uptime_ms", Json::uint(stats.uptime_ms as usize));
+                    doc.push("submitted", Json::uint(stats.submitted as usize));
+                    doc.push("completed", Json::uint(stats.completed as usize));
+                    doc.push("failed", Json::uint(stats.failed as usize));
+                    doc.push("rejected", Json::uint(stats.rejected as usize));
+                    doc.push("queued", Json::uint(stats.queued as usize));
+                    doc.push("running", Json::uint(stats.running as usize));
+                    doc.push(
+                        "cache",
+                        stats.cache.map_or(Json::Null, |c| {
+                            let mut j = Json::object();
+                            j.push("hits", Json::uint(c.hits as usize));
+                            j.push("misses", Json::uint(c.misses as usize));
+                            j.push("stores", Json::uint(c.stores as usize));
+                            j.push("evictions", Json::uint(c.evictions as usize));
+                            j.push("entries", Json::uint(c.entries as usize));
+                            j.push("bytes", Json::uint(c.bytes as usize));
+                            j.push(
+                                "capacity_bytes",
+                                c.capacity_bytes
+                                    .map_or(Json::Null, |b| Json::uint(b as usize)),
+                            );
+                            j
+                        }),
+                    );
+                    print!("{}", doc.render_pretty());
+                }
+            }
+            Ok(0)
+        }
+        "shutdown" => {
+            let (queued, running) = client::server_shutdown(&connect)?;
+            println!("server stopping: {queued} queued, {running} running jobs draining");
+            Ok(0)
+        }
+        other => {
+            Err(UsageError(format!("server takes `stats` or `shutdown`, got `{other}`")).into())
+        }
+    }
+}
+
 fn build_engine(opts: &CommonOpts, threads: usize) -> (Engine, Option<ResultCache>) {
     let cache = opts.cache();
     let mut engine = Engine::with_threads(threads);
@@ -369,33 +532,47 @@ fn build_engine(opts: &CommonOpts, threads: usize) -> (Engine, Option<ResultCach
     (engine, cache)
 }
 
-/// Runs a batch on a worker thread while the calling thread streams
-/// progress events to stderr.
+/// Submits a batch asynchronously and streams progress events to
+/// stderr from the per-job handle feeds while the jobs run — blocking
+/// on [`ProgressFeed`](bist_engine::ProgressFeed)`::poll_timeout`
+/// between events rather than busy-polling.
 fn run_with_progress(
     engine: &Engine,
     specs: Vec<JobSpec>,
     quiet: bool,
 ) -> Vec<Result<JobResult, BistError>> {
+    let handles = engine.submit_batch(specs);
     if quiet {
-        return engine.run_batch(specs);
+        return handles.into_iter().map(JobHandle::wait).collect();
     }
-    let feed = engine.progress();
-    std::thread::scope(|scope| {
-        let worker = scope.spawn(|| engine.run_batch(specs));
-        loop {
+    let feeds: Vec<_> = handles.iter().map(|h| h.progress().clone()).collect();
+    loop {
+        let mut printed = false;
+        for feed in &feeds {
             for event in feed.drain() {
                 eprintln!("{}", event_line(&event));
+                printed = true;
             }
-            if worker.is_finished() {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(20));
         }
+        if handles.iter().all(JobHandle::is_finished) {
+            break;
+        }
+        if !printed {
+            // nothing pending anywhere: park on the first unfinished
+            // job's feed until an event (or its completion) wakes us
+            if let Some(handle) = handles.iter().find(|h| !h.is_finished()) {
+                if let Some(event) = handle.progress().poll_timeout(Duration::from_millis(50)) {
+                    eprintln!("{}", event_line(&event));
+                }
+            }
+        }
+    }
+    for feed in &feeds {
         for event in feed.drain() {
             eprintln!("{}", event_line(&event));
         }
-        worker.join().expect("worker thread does not panic")
-    })
+    }
+    handles.into_iter().map(JobHandle::wait).collect()
 }
 
 /// The greppable cache summary CI asserts on (stderr, one line).

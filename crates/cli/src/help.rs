@@ -22,6 +22,8 @@ COMMANDS
     lint <circuit>                    static netlist analysis + SCOAP testability
     batch <manifest.toml>             run a declarative job list
     cache <stats|clear>               inspect or empty the result cache
+    serve                             run the jobs-over-a-socket test service
+    server <stats|shutdown>           control a running service (--connect)
     help                              print this overview
 
 CIRCUITS
@@ -34,6 +36,7 @@ OPTIONS (every job command)
     --threads <n>         pool width                     [default: BIST_THREADS or machine]
     --cache-dir <dir>     result cache directory         [default: BIST_CACHE_DIR, unset = off]
     --no-cache            run without the result cache
+    --connect <target>    run on a `bist serve` daemon (host:port | unix:/path)
     --quiet, -q           no progress/cache lines on stderr
     --help, -h            command help
 
@@ -140,6 +143,38 @@ MANIFEST
     # bakeoff:         random-length = <n>        (default 1000)
     # emit-hdl:        language = \"verilog\"       (| \"vhdl\" | \"both\")
     #                  module = \"name\"  testbench = true
+";
+
+/// `bist serve --help`.
+pub const SERVE: &str = "\
+bist serve [--listen <host:port>] [--socket <path>] [--jobs <n>]
+           [--queue <n>] [--cache-capacity <bytes>] [options]
+
+Runs the multi-tenant test service: clients submit jobs over the
+versioned NDJSON wire protocol (docs/PROTOCOL.md) and stream progress
+back. Defaults to --listen 127.0.0.1:7117 when no listener is given;
+--socket adds (or replaces it with) a unix-domain socket.
+
+Concurrent sessions multiplex onto --jobs worker threads (default: the
+machine width) with fair FIFO-per-client scheduling. Admission is
+bounded at --queue waiting jobs (default 64): beyond it submissions
+are rejected with a retry hint, never parked. The server-lifetime
+result cache (--cache-dir / $BIST_CACHE_DIR) answers repeated
+submissions bit-identically without re-simulation; --cache-capacity
+caps it with least-recently-used eviction.
+
+A `shutdown` request (`bist server shutdown`) stops admission, drains
+every queued and in-flight job, then exits 0.
+";
+
+/// `bist server --help`.
+pub const SERVER: &str = "\
+bist server <stats|shutdown> --connect <host:port | unix:/path> [options]
+
+Control verbs against a running `bist serve`: `stats` prints lifetime
+counters (jobs submitted/completed/failed/rejected, queue depth, cache
+hit rates and eviction counts, honouring --format json); `shutdown`
+asks it to drain in-flight jobs and exit.
 ";
 
 /// `bist cache --help`.

@@ -12,7 +12,12 @@
 //!   [`JobResult`](bist_engine::JobResult) variant plus progress-event
 //!   formatting;
 //! * [`commands`] — one function per subcommand, returning the process
-//!   exit code.
+//!   exit code;
+//! * [`serve`] — the `bist serve` daemon: NDJSON wire sessions over
+//!   TCP/unix sockets, fair per-client scheduling, admission control
+//!   and graceful drain;
+//! * [`client`] — the `--connect` side: submit to a running daemon and
+//!   stream its events as if the job ran locally.
 //!
 //! Layering rule: this crate speaks **only** to `bist-engine` — specs
 //! in, results and typed errors out. No substrate crate (fault
@@ -22,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod commands;
 pub mod help;
 pub mod manifest;
 pub mod opts;
 pub mod render;
+pub mod serve;
 
 /// Exit code for a failed job (the `BistError` diagnostic goes to
 /// stderr).

@@ -29,6 +29,9 @@ pub struct CommonOpts {
     pub no_cache: bool,
     /// `--quiet`: no progress or cache lines on stderr.
     pub quiet: bool,
+    /// `--connect <host:port | unix:/path>`: run the job on a `bist
+    /// serve` daemon instead of in-process.
+    pub connect: Option<String>,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -95,6 +98,11 @@ pub fn split_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), UsageE
                     })?));
             }
             "--no-cache" => opts.no_cache = true,
+            "--connect" => {
+                opts.connect = Some(iter.next().cloned().ok_or_else(|| {
+                    UsageError("--connect takes `host:port` or `unix:/path`".to_owned())
+                })?);
+            }
             "--quiet" | "-q" => opts.quiet = true,
             "--help" | "-h" => opts.help = true,
             _ => rest.push(arg.clone()),

@@ -1,0 +1,272 @@
+//! End-to-end contract of `bist serve`: concurrent clients over real
+//! TCP sockets get results byte-identical to one-shot local runs, the
+//! server-lifetime cache answers repeats without re-simulation,
+//! admission control rejects (never hangs) when the queue is full, and
+//! a shutdown request drains in-flight jobs before `serve()` returns.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bist_cli::commands::CommandError;
+use bist_cli::render::result_json;
+use bist_cli::serve::{ServeConfig, Server};
+use bist_engine::wire::{self, Request, Response};
+use bist_engine::{CircuitSource, Engine, JobResult, JobSpec, ResultCache};
+
+fn fresh_dir(test: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "bist-serve-{test}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Starts a server on an ephemeral loopback port; returns its address
+/// and the thread `serve()` runs on (joins to its exit status).
+fn start(
+    config: ServeConfig,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<Result<(), CommandError>>,
+) {
+    let server = Server::bind(ServeConfig {
+        listen: Some("127.0.0.1:0".to_owned()),
+        ..config
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.tcp_addr().expect("tcp listener bound");
+    let thread = std::thread::spawn(move || server.serve());
+    (addr, thread)
+}
+
+/// One raw wire session — deliberately not the [`bist_cli::client`]
+/// plumbing, so the protocol itself is what's under test.
+struct TestClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TestClient {
+    fn connect(addr: SocketAddr) -> Self {
+        let writer = TcpStream::connect(addr).expect("connect to test server");
+        let reader = BufReader::new(writer.try_clone().expect("clone socket"));
+        TestClient { reader, writer }
+    }
+
+    fn send(&mut self, request: &Request) {
+        let line = wire::encode_request(request);
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .expect("send request line");
+    }
+
+    fn next(&mut self) -> Response {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert_ne!(n, 0, "server closed the connection mid-session");
+        wire::decode_response(line.trim_end()).expect("response line decodes")
+    }
+
+    /// Submits and pumps the session until the terminal result,
+    /// asserting every event belongs to the accepted job.
+    fn run(&mut self, spec: JobSpec) -> (JobResult, bool) {
+        self.send(&Request::Submit {
+            spec: Box::new(spec),
+        });
+        let mut job = None;
+        loop {
+            match self.next() {
+                Response::Accepted { job: id } => job = Some(id),
+                Response::Event { event } => {
+                    assert_eq!(Some(event.job().0), job, "events carry the accepted id");
+                }
+                Response::Result {
+                    job: id,
+                    cached,
+                    result,
+                } => {
+                    assert_eq!(Some(id), job);
+                    return (*result, cached);
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+    }
+}
+
+fn sweep_spec() -> JobSpec {
+    JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8])
+}
+
+fn solve_spec() -> JobSpec {
+    JobSpec::solve_at(CircuitSource::iscas85("c17"), 4)
+}
+
+#[test]
+fn concurrent_clients_match_one_shot_runs_and_repeats_hit_the_cache() {
+    let dir = fresh_dir("concurrent");
+    let (addr, server) = start(ServeConfig {
+        jobs: 2,
+        queue_capacity: 16,
+        retry_after_ms: 100,
+        cache: Some(ResultCache::at(&dir)),
+        ..ServeConfig::default()
+    });
+
+    // two tenants submit different jobs at the same time
+    let sweeper = std::thread::spawn(move || TestClient::connect(addr).run(sweep_spec()));
+    let solver = std::thread::spawn(move || TestClient::connect(addr).run(solve_spec()));
+    let (sweep_served, sweep_cached) = sweeper.join().expect("sweep client");
+    let (solve_served, solve_cached) = solver.join().expect("solve client");
+    assert!(!sweep_cached && !solve_cached, "cold cache: both computed");
+
+    // byte-identical to the one-shot CLI path (same renderer, local run)
+    let local = Engine::with_threads(1);
+    let sweep_local = local.run(sweep_spec()).expect("local sweep");
+    let solve_local = local.run(solve_spec()).expect("local solve");
+    assert_eq!(
+        result_json(&sweep_served).render_pretty(),
+        result_json(&sweep_local).render_pretty(),
+        "served sweep is byte-identical to a one-shot run"
+    );
+    assert_eq!(
+        result_json(&solve_served).render_pretty(),
+        result_json(&solve_local).render_pretty(),
+        "served solve is byte-identical to a one-shot run"
+    );
+
+    // a repeat submission is answered from the server-lifetime cache
+    let (sweep_again, cached) = TestClient::connect(addr).run(sweep_spec());
+    assert!(cached, "identical resubmission is a cache hit");
+    assert_eq!(
+        result_json(&sweep_again).render_pretty(),
+        result_json(&sweep_served).render_pretty(),
+        "cached result is byte-identical to the computed one"
+    );
+
+    // lifetime stats see the traffic and the hit
+    let mut control = TestClient::connect(addr);
+    control.send(&Request::Stats);
+    let Response::Stats { stats } = control.next() else {
+        panic!("stats request answers with stats");
+    };
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(stats.completed, 3);
+    let cache = stats.cache.expect("server runs with a cache");
+    assert_eq!(cache.hits, 1);
+    assert_eq!(cache.stores, 2);
+
+    // graceful shutdown: serve() returns Ok (the daemon's exit 0)
+    control.send(&Request::Shutdown);
+    let Response::Stopping { .. } = control.next() else {
+        panic!("shutdown request answers with stopping");
+    };
+    server
+        .join()
+        .expect("serve thread")
+        .expect("graceful shutdown exits cleanly");
+}
+
+#[test]
+fn a_full_queue_rejects_with_a_retry_hint_and_shutdown_drains_in_flight_work() {
+    let (addr, server) = start(ServeConfig {
+        jobs: 1,
+        queue_capacity: 1,
+        retry_after_ms: 250,
+        ..ServeConfig::default()
+    });
+
+    // occupy the single worker with a long job …
+    let mut busy = TestClient::connect(addr);
+    busy.send(&Request::Submit {
+        spec: Box::new(JobSpec::sweep(CircuitSource::iscas85("c432"), [0, 40])),
+    });
+    let Response::Accepted { .. } = busy.next() else {
+        panic!("first submission admitted");
+    };
+    // … give the worker a moment to pop it off the queue …
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // … then fill the queue; the overflow submission must be rejected
+    // promptly, not parked
+    let mut eager = TestClient::connect(addr);
+    let mut rejections = 0;
+    for _ in 0..2 {
+        eager.send(&Request::Submit {
+            spec: Box::new(solve_spec()),
+        });
+        match eager.next() {
+            Response::Accepted { .. } => {}
+            Response::Rejected {
+                reason,
+                retry_after_ms,
+            } => {
+                rejections += 1;
+                assert!(reason.contains("queue full"), "reason names the cause");
+                assert_eq!(retry_after_ms, Some(250), "rejection carries the hint");
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(rejections >= 1, "a bounded queue must reject overflow");
+
+    // shutdown drains: the in-flight sweep still completes and its
+    // client still receives the terminal result line
+    let mut control = TestClient::connect(addr);
+    control.send(&Request::Shutdown);
+    let Response::Stopping { .. } = control.next() else {
+        panic!("shutdown request answers with stopping");
+    };
+    let drained = loop {
+        match busy.next() {
+            Response::Event { .. } => {}
+            Response::Result { result, .. } => break result,
+            other => panic!("unexpected response: {other:?}"),
+        }
+    };
+    assert!(
+        drained.as_sweep().is_some(),
+        "in-flight job ran to completion"
+    );
+    server
+        .join()
+        .expect("serve thread")
+        .expect("drained shutdown exits cleanly");
+
+    // and a post-drain submission is refused, not hung: either the
+    // listener is already gone (connection refused) or the session is
+    // answered with a rejection / closed without a result
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(stream) => {
+            let mut late = TestClient {
+                reader: BufReader::new(stream.try_clone().expect("clone socket")),
+                writer: stream,
+            };
+            late.send(&Request::Submit {
+                spec: Box::new(solve_spec()),
+            });
+            matches!(late.next_or_eof(), None | Some(Response::Rejected { .. }))
+        }
+    };
+    assert!(refused, "a draining/stopped server refuses new work");
+}
+
+impl TestClient {
+    /// Like [`TestClient::next`] but treats EOF as `None` — for
+    /// post-shutdown probes where the server may already be gone.
+    fn next_or_eof(&mut self) -> Option<Response> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(wire::decode_response(line.trim_end()).expect("response decodes")),
+        }
+    }
+}

@@ -29,9 +29,11 @@
 //! entry, never a torn one. A corrupt or foreign file decodes to `None`
 //! and is treated as a miss.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
 
 use bist_netlist::{bench, Circuit};
 use bist_synth::CellKind;
@@ -50,27 +52,53 @@ struct Counters {
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// In-memory recency tracking for the LRU size cap: a monotone tick is
+/// recorded per key on every hit and store. Keys this handle never
+/// touched (entries left by earlier processes) have no tick and evict
+/// first, ordered by file mtime.
+#[derive(Debug, Default)]
+struct Recency {
+    tick: AtomicU64,
+    touched: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Recency {
+    fn touch(&self, key: &str) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        self.touched
+            .lock()
+            .expect("recency lock never poisoned")
+            .insert(key.to_owned(), tick);
+    }
 }
 
 /// Handle on one on-disk cache directory, with process-lifetime
-/// hit/miss/store counters.
+/// hit/miss/store counters and an optional LRU size cap.
 ///
-/// Cloning shares the counters (an [`Engine`](crate::Engine) and the
-/// caller observing it count together). The directory is created lazily
-/// on the first store.
+/// Cloning shares the counters and the recency state (an
+/// [`Engine`](crate::Engine) and the caller observing it count
+/// together). The directory is created lazily on the first store.
 #[derive(Debug, Clone, Default)]
 pub struct ResultCache {
     dir: PathBuf,
+    capacity: Option<u64>,
     counters: Arc<Counters>,
+    recency: Arc<Recency>,
 }
 
-/// What [`ResultCache::disk_stats`] found on disk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What [`ResultCache::disk_stats`] found on disk, plus this handle's
+/// lifetime eviction count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheDiskStats {
     /// Number of cache entries.
     pub entries: usize,
     /// Total size of all entries, bytes.
     pub bytes: u64,
+    /// Entries evicted by the size cap since this handle was created.
+    pub evictions: u64,
 }
 
 impl ResultCache {
@@ -78,8 +106,24 @@ impl ResultCache {
     pub fn at(dir: impl Into<PathBuf>) -> Self {
         ResultCache {
             dir: dir.into(),
-            counters: Arc::default(),
+            ..ResultCache::default()
         }
+    }
+
+    /// Caps the cache at `bytes` on disk: every store that pushes the
+    /// directory past the cap evicts least-recently-used entries (see
+    /// [`ResultCache::evict_to`]) until it fits again. `bist serve`
+    /// runs its server-lifetime cache with a cap; the one-shot CLI
+    /// leaves it unbounded.
+    #[must_use]
+    pub fn with_capacity(mut self, bytes: u64) -> Self {
+        self.capacity = Some(bytes);
+        self
+    }
+
+    /// The configured size cap, if any.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
     }
 
     /// A cache rooted at `$BIST_CACHE_DIR`, if the variable is set and
@@ -111,6 +155,11 @@ impl ResultCache {
         self.counters.stores.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted by the size cap since this handle was created.
+    pub fn evictions(&self) -> u64 {
+        self.counters.evictions.load(Ordering::Relaxed)
+    }
+
     fn entry_path(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{key}.json"))
     }
@@ -124,7 +173,10 @@ impl ResultCache {
             .and_then(|text| json::parse(&text).ok())
             .and_then(|doc| codec::decode_result(&doc));
         match &result {
-            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.recency.touch(key);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed)
+            }
             None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
         };
         result
@@ -154,9 +206,84 @@ impl ResultCache {
         ));
         if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
             self.counters.stores.fetch_add(1, Ordering::Relaxed);
+            self.recency.touch(key);
+            if let Some(capacity) = self.capacity {
+                self.evict_to(capacity);
+            }
         } else {
             let _ = std::fs::remove_file(&tmp);
         }
+    }
+
+    /// Evicts least-recently-used entries until the directory holds at
+    /// most `budget` bytes; returns how many entries were removed (also
+    /// accumulated into [`ResultCache::evictions`]).
+    ///
+    /// Recency is tracked in memory per handle (hits and stores touch a
+    /// key); entries this handle never touched — left by earlier
+    /// processes — are presumed coldest and evict first, oldest file
+    /// modification time first. Removal failures are silent, like
+    /// store's: a shared directory where another process already
+    /// removed the file degrades gracefully.
+    pub fn evict_to(&self, budget: u64) -> u64 {
+        let mut entries: Vec<(String, u64, SystemTime)> = Vec::new();
+        let mut total: u64 = 0;
+        if let Ok(dir) = std::fs::read_dir(&self.dir) {
+            for entry in dir.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if let Some(key) = name.strip_suffix(".json") {
+                    if name.starts_with('.') {
+                        continue;
+                    }
+                    let meta = match entry.metadata() {
+                        Ok(meta) => meta,
+                        Err(_) => continue,
+                    };
+                    let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                    total += meta.len();
+                    entries.push((key.to_owned(), meta.len(), mtime));
+                }
+            }
+        }
+        if total <= budget {
+            return 0;
+        }
+        // coldest first: untouched entries by mtime (ties broken by key
+        // for determinism), then touched entries by recency tick
+        let ticks = self
+            .recency
+            .touched
+            .lock()
+            .expect("recency lock never poisoned");
+        entries.sort_by(
+            |(ka, _, ma), (kb, _, mb)| match (ticks.get(ka), ticks.get(kb)) {
+                (Some(a), Some(b)) => a.cmp(b),
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (None, None) => ma.cmp(mb).then_with(|| ka.cmp(kb)),
+            },
+        );
+        drop(ticks);
+        let mut evicted = 0;
+        for (key, bytes, _) in entries {
+            if total <= budget {
+                break;
+            }
+            if std::fs::remove_file(self.entry_path(&key)).is_ok() {
+                total = total.saturating_sub(bytes);
+                evicted += 1;
+                self.recency
+                    .touched
+                    .lock()
+                    .expect("recency lock never poisoned")
+                    .remove(&key);
+            }
+        }
+        self.counters
+            .evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+        evicted
     }
 
     /// Counts the entries (and their bytes) currently on disk.
@@ -164,6 +291,7 @@ impl ResultCache {
         let mut stats = CacheDiskStats {
             entries: 0,
             bytes: 0,
+            evictions: self.evictions(),
         };
         if let Ok(entries) = std::fs::read_dir(&self.dir) {
             for entry in entries.flatten() {
@@ -363,6 +491,78 @@ mod tests {
             job_digest(&c17(), &sweep_spec(&[0, 8], 0)),
             job_digest(&c17(), &tweaked)
         );
+    }
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "bist-cache-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn tiny_result() -> JobResult {
+        crate::Engine::with_threads(1)
+            .run(JobSpec::lint(CircuitSource::iscas85("c17")))
+            .expect("c17 lints")
+    }
+
+    #[test]
+    fn capped_store_evicts_least_recently_used() {
+        let dir = unique_dir("lru");
+        let result = tiny_result();
+        // measure one entry, then cap the cache at two entries' bytes
+        let probe = ResultCache::at(&dir);
+        probe.store("probe", &result);
+        let entry_bytes = probe.disk_stats().bytes;
+        probe.clear().expect("probe clear");
+        assert!(entry_bytes > 0);
+
+        let cache = ResultCache::at(&dir).with_capacity(2 * entry_bytes);
+        assert_eq!(cache.capacity(), Some(2 * entry_bytes));
+        cache.store("aaaa", &result);
+        cache.store("bbbb", &result);
+        assert_eq!(cache.evictions(), 0);
+        // touch `aaaa` so `bbbb` is now the least recently used
+        assert!(cache.lookup("aaaa").is_some());
+        cache.store("cccc", &result);
+        let stats = cache.disk_stats();
+        assert_eq!(stats.entries, 2, "cap holds two entries");
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.lookup("aaaa").is_some(), "recently used survives");
+        assert!(cache.lookup("cccc").is_some(), "just-stored survives");
+        assert!(cache.lookup("bbbb").is_none(), "LRU entry was evicted");
+        cache.clear().expect("clear");
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn untouched_entries_evict_before_touched_ones() {
+        let dir = unique_dir("lru-foreign");
+        let result = tiny_result();
+        // a "foreign" entry this handle never touched
+        ResultCache::at(&dir).store("foreign", &result);
+        let cache = ResultCache::at(&dir);
+        cache.store("mine", &result);
+        let evicted = cache.evict_to(cache.disk_stats().bytes - 1);
+        assert_eq!(evicted, 1);
+        assert!(cache.lookup("mine").is_some(), "touched entry survives");
+        let stats = cache.disk_stats();
+        assert_eq!(stats.entries, 1);
+        cache.clear().expect("clear");
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn evict_to_is_a_noop_under_budget() {
+        let dir = unique_dir("lru-noop");
+        let cache = ResultCache::at(&dir);
+        cache.store("only", &tiny_result());
+        assert_eq!(cache.evict_to(u64::MAX), 0);
+        assert_eq!(cache.evictions(), 0);
+        cache.clear().expect("clear");
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! The job scheduler and per-job drivers.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use bist_baselines::{bakeoff, BakeoffConfig};
 use bist_core::{BistSession, MixedGenerator, MixedSolution, SweepSummary};
 use bist_faultsim::{CoverageCurve, CoverageReport};
@@ -11,6 +14,7 @@ use bist_par::Pool;
 
 use crate::cache::{job_digest, ResultCache};
 use crate::error::BistError;
+use crate::handle::{JobHandle, JobSlot, SlotGuard};
 use crate::progress::{CancelToken, JobId, ProgressEvent, ProgressFeed};
 use crate::result::{
     AreaReportOutcome, BakeoffOutcome, CurveOutcome, HdlOutcome, JobResult, LintOutcome,
@@ -21,15 +25,36 @@ use crate::spec::{
     JobSpec, LintSpec, SolveAtSpec, SweepSpec,
 };
 
+/// Routes one job's events to its private feed and, for the deprecated
+/// engine-wide stream, to the shared shim feed.
+#[derive(Debug, Clone)]
+struct EventSink {
+    job: ProgressFeed,
+    shim: ProgressFeed,
+}
+
+impl EventSink {
+    fn push(&self, event: ProgressEvent) {
+        self.job.push(event.clone());
+        self.shim.push(event);
+    }
+}
+
 /// The single public face of the workspace: validates [`JobSpec`]s,
 /// schedules them across the `bist-par` pool, streams [`ProgressEvent`]s
 /// and returns typed [`JobResult`]s.
 ///
-/// One engine serves any number of jobs; submit them one at a time with
-/// [`Engine::run`] or as a batch sharded across the pool with
-/// [`Engine::run_batch`]. Results are bit-identical at every pool width
-/// and to driving [`BistSession`] by hand — the engine adds scheduling,
+/// One engine serves any number of jobs. [`Engine::submit`] returns an
+/// asynchronous [`JobHandle`] carrying a per-job event feed, a
+/// [`CancelToken`] and a blocking [`JobHandle::wait`]; the synchronous
+/// [`Engine::run`] / [`Engine::run_batch`] are thin submit-then-wait
+/// wrappers. Results are bit-identical at every pool width and to
+/// driving [`BistSession`] by hand — the engine adds scheduling,
 /// validation, progress and cancellation, never different numbers.
+///
+/// Cloning an engine is cheap and yields a second handle on the *same*
+/// engine: the clones share the pool width, the result cache (and its
+/// counters), the job-id counter and the deprecated engine-wide feed.
 ///
 /// # Example
 ///
@@ -42,14 +67,30 @@ use crate::spec::{
 /// assert_eq!(sweep.summary.solutions().len(), 2);
 /// # Ok::<(), bist_engine::BistError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+#[derive(Debug, Default)]
+struct EngineInner {
     /// Pool width for batch sharding and the per-job engines (`0` =
     /// automatic: `BIST_THREADS` or the machine width).
     threads: usize,
     feed: ProgressFeed,
-    next_job: std::sync::atomic::AtomicU64,
+    next_job: AtomicU64,
     cache: Option<ResultCache>,
+}
+
+impl Clone for EngineInner {
+    fn clone(&self) -> Self {
+        EngineInner {
+            threads: self.threads,
+            feed: self.feed.clone(),
+            next_job: AtomicU64::new(self.next_job.load(Ordering::SeqCst)),
+            cache: self.cache.clone(),
+        }
+    }
 }
 
 impl Engine {
@@ -62,14 +103,16 @@ impl Engine {
     /// An engine pinned to a pool width (`1` = fully serial).
     pub fn with_threads(threads: usize) -> Self {
         Engine {
-            threads,
-            ..Self::default()
+            inner: Arc::new(EngineInner {
+                threads,
+                ..EngineInner::default()
+            }),
         }
     }
 
     /// The effective pool width jobs will run at.
     pub fn threads(&self) -> usize {
-        Pool::resolve(self.threads).threads()
+        Pool::resolve(self.inner.threads).threads()
     }
 
     /// Attaches a content-addressed result cache: jobs whose digest
@@ -91,31 +134,137 @@ impl Engine {
     /// ```
     #[must_use]
     pub fn with_result_cache(mut self, cache: ResultCache) -> Self {
-        self.cache = Some(cache);
+        Arc::make_mut(&mut self.inner).cache = Some(cache);
         self
     }
 
     /// The attached result cache, if any (its counters report this
     /// engine's hits/misses/stores).
     pub fn cache(&self) -> Option<&ResultCache> {
-        self.cache.as_ref()
+        self.inner.cache.as_ref()
     }
 
-    /// A pull handle on the engine's event stream. All handles (and the
-    /// engine) share one queue; events are delivered once each.
+    /// A pull handle on the deprecated engine-wide event stream, which
+    /// interleaves every submitted job. All handles (and the engine)
+    /// share one queue; events are delivered once each.
+    #[deprecated(
+        since = "0.7.0",
+        note = "subscribe per job: Engine::submit returns a JobHandle whose \
+                progress() feed carries only that job's events"
+    )]
     pub fn progress(&self) -> ProgressFeed {
-        self.feed.clone()
+        self.inner.feed.clone()
     }
 
     fn next_id(&self) -> JobId {
-        JobId(
-            self.next_job
-                .fetch_add(1, std::sync::atomic::Ordering::SeqCst),
-        )
+        JobId(self.inner.next_job.fetch_add(1, Ordering::SeqCst))
     }
 
-    /// Runs one job to completion on the calling thread (its internal
-    /// engines still use the engine's pool width).
+    /// Submits one job for asynchronous execution; the returned
+    /// [`JobHandle`] owns the job's private progress feed, its
+    /// cancellation token and the blocking [`JobHandle::wait`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bist_engine::{CircuitSource, Engine, JobSpec, ProgressEvent};
+    /// use std::time::Duration;
+    ///
+    /// let engine = Engine::new();
+    /// let handle = engine.submit(JobSpec::solve_at(CircuitSource::iscas85("c17"), 8));
+    /// // pull events without busy-waiting while the job runs
+    /// while !handle.is_finished() {
+    ///     if let Some(event) = handle.progress().poll_timeout(Duration::from_millis(10)) {
+    ///         assert_eq!(event.job(), handle.id());
+    ///     }
+    /// }
+    /// let result = handle.wait()?;
+    /// assert!(result.as_solve_at().is_some());
+    /// # Ok::<(), bist_engine::BistError>(())
+    /// ```
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let mut handles = self.submit_batch_with_cancel(vec![spec], &CancelToken::new());
+        handles.pop().expect("one spec in, one handle out")
+    }
+
+    /// [`Engine::submit`] with a caller-held cancellation token.
+    pub fn submit_with_cancel(&self, spec: JobSpec, cancel: &CancelToken) -> JobHandle {
+        let mut handles = self.submit_batch_with_cancel(vec![spec], cancel);
+        handles.pop().expect("one spec in, one handle out")
+    }
+
+    /// Submits a batch of jobs sharded across the pool, returning one
+    /// [`JobHandle`] per spec, in spec order.
+    ///
+    /// With a parallel pool and more than one job, each job's own
+    /// engines run serially (one level of parallelism, no
+    /// oversubscription) — results are bit-identical either way.
+    pub fn submit_batch(&self, specs: Vec<JobSpec>) -> Vec<JobHandle> {
+        self.submit_batch_with_cancel(specs, &CancelToken::new())
+    }
+
+    /// [`Engine::submit_batch`] with a shared cancellation token:
+    /// cancelling it stops every job still running at its next
+    /// checkpoint.
+    pub fn submit_batch_with_cancel(
+        &self,
+        specs: Vec<JobSpec>,
+        cancel: &CancelToken,
+    ) -> Vec<JobHandle> {
+        let pool = Pool::resolve(self.inner.threads);
+        let inner_threads = if pool.is_serial() || specs.len() <= 1 {
+            self.inner.threads
+        } else {
+            1
+        };
+        let mut handles = Vec::with_capacity(specs.len());
+        let mut work: Vec<(JobId, JobSpec, ProgressFeed, SlotGuard)> =
+            Vec::with_capacity(specs.len());
+        for mut spec in specs {
+            if spec.config().threads == 0 {
+                spec.set_threads(inner_threads);
+            }
+            let id = self.next_id();
+            let label = format!("{} {}", spec.kind(), spec.circuit().label());
+            let feed = ProgressFeed::new();
+            let slot = Arc::new(JobSlot::default());
+            let sink = EventSink {
+                job: feed.clone(),
+                shim: self.inner.feed.clone(),
+            };
+            handles.push(JobHandle {
+                id,
+                label: label.clone(),
+                feed: feed.clone(),
+                cancel: cancel.clone(),
+                slot: slot.clone(),
+            });
+            sink.push(ProgressEvent::Queued { job: id, label });
+            work.push((id, spec, feed, SlotGuard(slot)));
+        }
+        let engine = self.clone();
+        let cancel = cancel.clone();
+        std::thread::Builder::new()
+            .name("bist-engine".to_owned())
+            .spawn(move || {
+                let pool = Pool::resolve(engine.inner.threads);
+                pool.par_map(&work, |(id, spec, feed, guard)| {
+                    let sink = EventSink {
+                        job: feed.clone(),
+                        shim: engine.inner.feed.clone(),
+                    };
+                    match engine.execute(*id, spec, &cancel, &sink) {
+                        Ok((result, cached)) => guard.0.fill(Ok(result), cached),
+                        Err(e) => guard.0.fill(Err(e), false),
+                    }
+                });
+            })
+            .expect("spawn engine scheduler thread");
+        handles
+    }
+
+    /// Runs one job to completion — [`Engine::submit`] followed by
+    /// [`JobHandle::wait`].
     ///
     /// # Examples
     ///
@@ -145,23 +294,12 @@ impl Engine {
         spec: JobSpec,
         cancel: &CancelToken,
     ) -> Result<JobResult, BistError> {
-        let mut spec = spec;
-        if spec.config().threads == 0 {
-            spec.set_threads(self.threads);
-        }
-        let id = self.next_id();
-        self.feed.push(ProgressEvent::Queued {
-            job: id,
-            label: format!("{} {}", spec.kind(), spec.circuit().label()),
-        });
-        self.execute(id, &spec, cancel)
+        self.submit_with_cancel(spec, cancel).wait()
     }
 
-    /// Runs a batch of jobs, sharded across the pool: with a parallel
-    /// pool and more than one job, each job's own engines run serially
-    /// (one level of parallelism, no oversubscription) — results are
-    /// bit-identical either way. Returns one result per spec, in spec
-    /// order.
+    /// Runs a batch of jobs — [`Engine::submit_batch`] followed by a
+    /// [`JobHandle::wait`] per handle. Returns one result per spec, in
+    /// spec order.
     pub fn run_batch(&self, specs: Vec<JobSpec>) -> Vec<Result<JobResult, BistError>> {
         self.run_batch_with_cancel(specs, &CancelToken::new())
     }
@@ -173,43 +311,28 @@ impl Engine {
         specs: Vec<JobSpec>,
         cancel: &CancelToken,
     ) -> Vec<Result<JobResult, BistError>> {
-        let pool = Pool::resolve(self.threads);
-        let inner_threads = if pool.is_serial() || specs.len() <= 1 {
-            self.threads
-        } else {
-            1
-        };
-        let jobs: Vec<(JobId, JobSpec)> = specs
+        self.submit_batch_with_cancel(specs, cancel)
             .into_iter()
-            .map(|mut spec| {
-                if spec.config().threads == 0 {
-                    spec.set_threads(inner_threads);
-                }
-                let id = self.next_id();
-                self.feed.push(ProgressEvent::Queued {
-                    job: id,
-                    label: format!("{} {}", spec.kind(), spec.circuit().label()),
-                });
-                (id, spec)
-            })
-            .collect();
-        pool.par_map(&jobs, |(id, spec)| self.execute(*id, spec, cancel))
+            .map(JobHandle::wait)
+            .collect()
     }
 
     /// Validates, realizes and drives one job, bracketing it with
-    /// lifecycle events.
+    /// lifecycle events. The boolean marks a result answered from the
+    /// cache.
     fn execute(
         &self,
         id: JobId,
         spec: &JobSpec,
         cancel: &CancelToken,
-    ) -> Result<JobResult, BistError> {
-        self.feed.push(ProgressEvent::Started { job: id });
-        let result = self.drive(id, spec, cancel);
+        sink: &EventSink,
+    ) -> Result<(JobResult, bool), BistError> {
+        sink.push(ProgressEvent::Started { job: id });
+        let result = self.drive(id, spec, cancel, sink);
         match &result {
-            Ok(_) => self.feed.push(ProgressEvent::Finished { job: id }),
-            Err(BistError::Canceled) => self.feed.push(ProgressEvent::Canceled { job: id }),
-            Err(e) => self.feed.push(ProgressEvent::Failed {
+            Ok(_) => sink.push(ProgressEvent::Finished { job: id }),
+            Err(BistError::Canceled) => sink.push(ProgressEvent::Canceled { job: id }),
+            Err(e) => sink.push(ProgressEvent::Failed {
                 job: id,
                 message: e.to_string(),
             }),
@@ -222,7 +345,8 @@ impl Engine {
         id: JobId,
         spec: &JobSpec,
         cancel: &CancelToken,
-    ) -> Result<JobResult, BistError> {
+        sink: &EventSink,
+    ) -> Result<(JobResult, bool), BistError> {
         spec.validate()?;
         if cancel.is_canceled() {
             return Err(BistError::Canceled);
@@ -233,17 +357,20 @@ impl Engine {
         // realized circuit, and a defective source has none.)
         if let (JobSpec::Lint(_), CircuitSource::Bench { name, text }) = (spec, spec.circuit()) {
             if let Err(diagnostic) = bist_lint::parse_pass(name, text) {
-                self.feed.push(ProgressEvent::Pass {
+                sink.push(ProgressEvent::Pass {
                     job: id,
                     name: "parse".to_owned(),
                 });
-                return Ok(JobResult::Lint(LintOutcome {
-                    circuit: name.clone(),
-                    report: LintReport {
-                        diagnostics: vec![diagnostic],
-                        scoap: None,
-                    },
-                }));
+                return Ok((
+                    JobResult::Lint(LintOutcome {
+                        circuit: name.clone(),
+                        report: LintReport {
+                            diagnostics: vec![diagnostic],
+                            scoap: None,
+                        },
+                    }),
+                    false,
+                ));
             }
         }
         let circuit = spec.circuit().realize()?;
@@ -251,31 +378,32 @@ impl Engine {
         // from disk, bit-identically, without touching a session (a
         // cached job emits no Checkpoint events — only its lifecycle)
         let key = self
+            .inner
             .cache
             .as_ref()
             .map(|cache| (cache, job_digest(&circuit, spec)));
         if let Some((cache, key)) = &key {
             if let Some(hit) = cache.lookup(key) {
-                return Ok(hit);
+                return Ok((hit, true));
             }
         }
         let result = match spec {
-            JobSpec::SolveAt(s) => self.drive_solve_at(id, s, &circuit),
-            JobSpec::Sweep(s) => self.drive_sweep(id, s, &circuit, cancel),
-            JobSpec::CoverageCurve(s) => self.drive_curve(id, s, &circuit, cancel),
+            JobSpec::SolveAt(s) => self.drive_solve_at(id, s, &circuit, sink),
+            JobSpec::Sweep(s) => self.drive_sweep(id, s, &circuit, cancel, sink),
+            JobSpec::CoverageCurve(s) => self.drive_curve(id, s, &circuit, cancel, sink),
             JobSpec::Bakeoff(s) => self.drive_bakeoff(s, &circuit),
-            JobSpec::EmitHdl(s) => self.drive_emit_hdl(id, s, &circuit),
-            JobSpec::AreaReport(s) => self.drive_area_report(id, s, &circuit),
-            JobSpec::Lint(s) => self.drive_lint(id, s, &circuit, cancel),
+            JobSpec::EmitHdl(s) => self.drive_emit_hdl(id, s, &circuit, sink),
+            JobSpec::AreaReport(s) => self.drive_area_report(id, s, &circuit, sink),
+            JobSpec::Lint(s) => self.drive_lint(id, s, &circuit, cancel, sink),
         };
         if let (Some((cache, key)), Ok(result)) = (&key, &result) {
             cache.store(key, result);
         }
-        result
+        result.map(|result| (result, false))
     }
 
-    fn checkpoint(&self, id: JobId, prefix_len: usize, report: &CoverageReport) {
-        self.feed.push(ProgressEvent::Checkpoint {
+    fn checkpoint(&self, sink: &EventSink, id: JobId, prefix_len: usize, report: &CoverageReport) {
+        sink.push(ProgressEvent::Checkpoint {
             job: id,
             prefix_len,
             coverage_pct: report.coverage_pct(),
@@ -292,10 +420,11 @@ impl Engine {
         id: JobId,
         s: &SolveAtSpec,
         circuit: &Circuit,
+        sink: &EventSink,
     ) -> Result<JobResult, BistError> {
         let mut session = BistSession::new(circuit, s.config.clone());
         let solution = session.solve_at(s.prefix_len)?;
-        self.checkpoint(id, s.prefix_len, &solution.coverage);
+        self.checkpoint(sink, id, s.prefix_len, &solution.coverage);
         Ok(JobResult::SolveAt(SolveAtOutcome {
             circuit: circuit.name().to_owned(),
             solution,
@@ -309,6 +438,7 @@ impl Engine {
         s: &SweepSpec,
         circuit: &Circuit,
         cancel: &CancelToken,
+        sink: &EventSink,
     ) -> Result<JobResult, BistError> {
         let mut session = BistSession::new(circuit, s.config.clone());
         // ascending solve order keeps the incremental contract (each
@@ -325,7 +455,7 @@ impl Engine {
                 return Err(BistError::Canceled);
             }
             let solution = session.solve_at(p)?;
-            self.checkpoint(id, p, &solution.coverage);
+            self.checkpoint(sink, id, p, &solution.coverage);
             solved.insert(p, solution);
         }
         let solutions: Vec<MixedSolution> =
@@ -343,6 +473,7 @@ impl Engine {
         s: &CoverageCurveSpec,
         circuit: &Circuit,
         cancel: &CancelToken,
+        sink: &EventSink,
     ) -> Result<JobResult, BistError> {
         let mut session = BistSession::new(circuit, s.config.clone());
         let universe = session.faults().len();
@@ -356,7 +487,7 @@ impl Engine {
             }
             let point = session.random_coverage_curve(&[cp]);
             let pct = point.points()[0].1;
-            self.feed.push(ProgressEvent::Checkpoint {
+            sink.push(ProgressEvent::Checkpoint {
                 job: id,
                 prefix_len: cp,
                 coverage_pct: pct,
@@ -389,10 +520,11 @@ impl Engine {
         id: JobId,
         s: &EmitHdlSpec,
         circuit: &Circuit,
+        sink: &EventSink,
     ) -> Result<JobResult, BistError> {
         let mut session = BistSession::new(circuit, s.config.clone());
         let solution = session.solve_at(s.prefix_len)?;
-        self.checkpoint(id, s.prefix_len, &solution.coverage);
+        self.checkpoint(sink, id, s.prefix_len, &solution.coverage);
 
         let module = s
             .module_name
@@ -440,8 +572,8 @@ impl Engine {
         }))
     }
 
-    fn analysis_pass(&self, id: JobId, name: &str) {
-        self.feed.push(ProgressEvent::Pass {
+    fn analysis_pass(&self, sink: &EventSink, id: JobId, name: &str) {
+        sink.push(ProgressEvent::Pass {
             job: id,
             name: name.to_owned(),
         });
@@ -453,12 +585,13 @@ impl Engine {
         s: &LintSpec,
         circuit: &Circuit,
         cancel: &CancelToken,
+        sink: &EventSink,
     ) -> Result<JobResult, BistError> {
         let options = LintOptions::default();
         // parse pass: recover the source map so diagnostics carry line
         // spans — against the user's own text for Bench sources, against
         // the canonical `.bench` serialization for everything else
-        self.analysis_pass(id, "parse");
+        self.analysis_pass(sink, id, "parse");
         let map = match &s.circuit {
             CircuitSource::Bench { name, text } => {
                 bist_lint::parse_pass(name, text).ok().map(|(_, m)| m)
@@ -473,12 +606,12 @@ impl Engine {
         if cancel.is_canceled() {
             return Err(BistError::Canceled);
         }
-        self.analysis_pass(id, "structural");
+        self.analysis_pass(sink, id, "structural");
         let mut diagnostics = bist_lint::structural_pass(circuit, map.as_ref(), &options);
         if cancel.is_canceled() {
             return Err(BistError::Canceled);
         }
-        self.analysis_pass(id, "scoap");
+        self.analysis_pass(sink, id, "scoap");
         let (scoap_diags, summary) = bist_lint::scoap_pass(circuit, map.as_ref(), &options);
         diagnostics.extend(scoap_diags);
         Ok(JobResult::Lint(LintOutcome {
@@ -496,10 +629,11 @@ impl Engine {
         id: JobId,
         s: &AreaReportSpec,
         circuit: &Circuit,
+        sink: &EventSink,
     ) -> Result<JobResult, BistError> {
         let mut session = BistSession::new(circuit, s.config.clone());
         let solution = session.solve_at(0)?;
-        self.checkpoint(id, 0, &solution.coverage);
+        self.checkpoint(sink, id, 0, &solution.coverage);
         Ok(JobResult::AreaReport(AreaReportOutcome {
             circuit: circuit.name().to_owned(),
             inputs: circuit.inputs().len(),

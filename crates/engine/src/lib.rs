@@ -25,18 +25,26 @@
 //! bit-identically — the batch-sweep workload of the `bist` CLI hits it
 //! constantly. See the [`cache`] module for the key/invalidation scheme.
 //!
+//! For long-running hosts — above all the `bist serve` daemon — jobs
+//! are submitted asynchronously: [`Engine::submit`] returns a
+//! [`JobHandle`] owning a *per-job* [`ProgressFeed`], a [`CancelToken`]
+//! and a blocking [`JobHandle::wait`]. The [`wire`] module gives specs,
+//! results and events a versioned newline-delimited-JSON encoding for
+//! shipping them across a socket.
+//!
 //! # Quickstart
 //!
 //! ```
 //! use bist_engine::{CircuitSource, Engine, JobSpec, ProgressEvent};
 //!
 //! let engine = Engine::new();
-//! let feed = engine.progress();
-//! let result = engine.run(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8, 16]))?;
+//! let handle = engine.submit(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8, 16]));
+//! let feed = handle.progress().clone(); // keep pulling after wait()
+//! let result = handle.wait()?;
 //!
 //! let sweep = result.as_sweep().expect("sweep jobs yield sweep outcomes");
 //! assert_eq!(sweep.summary.solutions().len(), 3);
-//! // the pull-based event stream saw every solved checkpoint
+//! // the per-job event stream saw every solved checkpoint
 //! let checkpoints = feed
 //!     .drain()
 //!     .into_iter()
@@ -54,13 +62,17 @@ pub mod codec;
 pub mod digest;
 mod engine;
 mod error;
+mod handle;
 pub mod json;
 mod progress;
 mod result;
 mod spec;
+pub mod wire;
 
 pub use cache::{CacheDiskStats, ResultCache, CACHE_DIR_ENV};
 pub use engine::Engine;
+pub use handle::JobHandle;
+pub use wire::{WireError, WIRE_SCHEMA_VERSION};
 // The config/outcome vocabulary jobs are written in, re-exported so
 // engine consumers (the `bist` CLI above all) need no substrate crates.
 pub use bist_core::{MixedSchemeConfig, MixedSolution, SessionStats, SweepSummary};

@@ -3,13 +3,17 @@
 //! The engine never calls back into user code: it pushes
 //! [`ProgressEvent`]s onto a shared queue and the caller **pulls** them
 //! whenever convenient through a [`ProgressFeed`] — from the same thread
-//! between jobs, or from another thread while a batch runs. Cancellation
-//! is equally cooperative: a [`CancelToken`] is a flag the caller sets
-//! and running jobs observe at their next checkpoint boundary.
+//! between jobs, or from another thread while a batch runs. Since the
+//! handle redesign each submitted job carries its *own* feed (see
+//! [`JobHandle::progress`](crate::JobHandle::progress)), so consumers
+//! never have to demultiplex interleaved batches. Cancellation is
+//! equally cooperative: a [`CancelToken`] is a flag the caller sets and
+//! running jobs observe at their next checkpoint boundary.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Identifier of one submitted job, unique within an
 /// [`Engine`](crate::Engine).
@@ -87,22 +91,53 @@ impl ProgressEvent {
             | ProgressEvent::Canceled { job } => *job,
         }
     }
+
+    /// The same event re-addressed to `job` — used by `bist serve` to
+    /// translate engine-internal ids into the ids handed to clients.
+    pub fn with_job(self, job: JobId) -> ProgressEvent {
+        match self {
+            ProgressEvent::Queued { label, .. } => ProgressEvent::Queued { job, label },
+            ProgressEvent::Started { .. } => ProgressEvent::Started { job },
+            ProgressEvent::Checkpoint {
+                prefix_len,
+                coverage_pct,
+                ..
+            } => ProgressEvent::Checkpoint {
+                job,
+                prefix_len,
+                coverage_pct,
+            },
+            ProgressEvent::Pass { name, .. } => ProgressEvent::Pass { job, name },
+            ProgressEvent::Finished { .. } => ProgressEvent::Finished { job },
+            ProgressEvent::Failed { message, .. } => ProgressEvent::Failed { job, message },
+            ProgressEvent::Canceled { .. } => ProgressEvent::Canceled { job },
+        }
+    }
 }
 
-/// Pull-based consumer handle for an engine's event stream.
+/// Pull-based consumer handle for an event stream.
 ///
 /// Cloning is cheap; all clones drain the same queue (each event is
 /// delivered once, to whichever handle pulls it first).
 ///
-/// Memory stays bounded for every consumer shape: an engine whose feed
-/// was never handed out (no [`Engine::progress`](crate::Engine::progress)
-/// call, or every handle dropped) records nothing at all, and a
-/// subscribed-but-idle consumer is capped at [`ProgressFeed::CAPACITY`]
-/// pending events — the oldest are dropped first and counted by
-/// [`ProgressFeed::dropped`].
+/// Memory stays bounded for every consumer shape: a feed nobody
+/// subscribed to (every caller-side handle dropped) records nothing at
+/// all, and a subscribed-but-idle consumer is capped at
+/// [`ProgressFeed::CAPACITY`] pending events — the oldest are dropped
+/// first and counted by [`ProgressFeed::dropped`].
+///
+/// Consumers may spin on [`ProgressFeed::poll`] or, kinder to the host,
+/// block with [`ProgressFeed::poll_timeout`] — the producing side wakes
+/// sleepers on every push.
 #[derive(Debug, Clone, Default)]
 pub struct ProgressFeed {
-    queue: Arc<Mutex<FeedState>>,
+    shared: Arc<FeedShared>,
+}
+
+#[derive(Debug, Default)]
+struct FeedShared {
+    state: Mutex<FeedState>,
+    ready: Condvar,
 }
 
 #[derive(Debug, Default)]
@@ -121,13 +156,40 @@ impl ProgressFeed {
         Self::default()
     }
 
+    fn state(&self) -> std::sync::MutexGuard<'_, FeedState> {
+        self.shared.state.lock().expect("feed lock never poisoned")
+    }
+
     /// Removes and returns the oldest pending event, if any.
     pub fn poll(&self) -> Option<ProgressEvent> {
-        self.queue
-            .lock()
-            .expect("feed lock never poisoned")
-            .events
-            .pop_front()
+        self.state().events.pop_front()
+    }
+
+    /// Blocks until an event is pending (returning it) or the timeout
+    /// elapses (returning `None`).
+    ///
+    /// This is the non-busy-waiting sibling of [`ProgressFeed::poll`]:
+    /// the CLI's progress renderer and the `bist serve` event pumps park
+    /// here instead of sleeping in a poll loop, and wake on the very
+    /// push that makes an event available.
+    pub fn poll_timeout(&self, timeout: Duration) -> Option<ProgressEvent> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state();
+        loop {
+            if let Some(event) = state.events.pop_front() {
+                return Some(event);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _timed_out) = self
+                .shared
+                .ready
+                .wait_timeout(state, deadline - now)
+                .expect("feed lock never poisoned");
+            state = next;
+        }
     }
 
     /// Removes and returns all pending events, oldest first.
@@ -138,8 +200,9 @@ impl ProgressFeed {
     /// use bist_engine::{CircuitSource, Engine, JobSpec, ProgressEvent};
     ///
     /// let engine = Engine::new();
-    /// let feed = engine.progress(); // subscribe *before* running
-    /// engine.run(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]))?;
+    /// let handle = engine.submit(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]));
+    /// let feed = handle.progress().clone(); // survives the wait below
+    /// handle.wait()?;
     ///
     /// let events = feed.drain();
     /// // lifecycle brackets with one checkpoint per solved prefix length
@@ -154,21 +217,12 @@ impl ProgressFeed {
     /// # Ok::<(), bist_engine::BistError>(())
     /// ```
     pub fn drain(&self) -> Vec<ProgressEvent> {
-        self.queue
-            .lock()
-            .expect("feed lock never poisoned")
-            .events
-            .drain(..)
-            .collect()
+        self.state().events.drain(..).collect()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.queue
-            .lock()
-            .expect("feed lock never poisoned")
-            .events
-            .len()
+        self.state().events.len()
     }
 
     /// True when no event is pending.
@@ -179,12 +233,12 @@ impl ProgressFeed {
     /// Events discarded because the queue hit [`ProgressFeed::CAPACITY`]
     /// without being drained.
     pub fn dropped(&self) -> u64 {
-        self.queue.lock().expect("feed lock never poisoned").dropped
+        self.state().dropped
     }
 
     /// True when someone besides the engine holds a handle on this feed.
     pub(crate) fn has_subscribers(&self) -> bool {
-        Arc::strong_count(&self.queue) > 1
+        Arc::strong_count(&self.shared) > 1
     }
 
     pub(crate) fn push(&self, event: ProgressEvent) {
@@ -193,12 +247,14 @@ impl ProgressFeed {
         if !self.has_subscribers() {
             return;
         }
-        let mut state = self.queue.lock().expect("feed lock never poisoned");
+        let mut state = self.state();
         if state.events.len() >= Self::CAPACITY {
             state.events.pop_front();
             state.dropped += 1;
         }
         state.events.push_back(event);
+        drop(state);
+        self.shared.ready.notify_all();
     }
 }
 
@@ -271,6 +327,69 @@ mod tests {
             subscriber.poll(),
             Some(ProgressEvent::Started { job: JobId(3) })
         );
+    }
+
+    #[test]
+    fn poll_timeout_returns_pending_event_immediately() {
+        let feed = ProgressFeed::new();
+        let subscriber = feed.clone();
+        feed.push(ProgressEvent::Started { job: JobId(7) });
+        assert_eq!(
+            subscriber.poll_timeout(Duration::from_secs(5)),
+            Some(ProgressEvent::Started { job: JobId(7) })
+        );
+    }
+
+    #[test]
+    fn poll_timeout_times_out_empty() {
+        let feed = ProgressFeed::new();
+        let start = Instant::now();
+        assert_eq!(feed.poll_timeout(Duration::from_millis(20)), None);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn poll_timeout_wakes_on_push_from_another_thread() {
+        let feed = ProgressFeed::new();
+        let producer = feed.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            producer.push(ProgressEvent::Finished { job: JobId(9) });
+        });
+        // generous timeout: the wake, not the deadline, should end the wait
+        let got = feed.poll_timeout(Duration::from_secs(10));
+        t.join().expect("producer thread");
+        assert_eq!(got, Some(ProgressEvent::Finished { job: JobId(9) }));
+    }
+
+    #[test]
+    fn with_job_retags_every_variant() {
+        let to = JobId(42);
+        let cases = vec![
+            ProgressEvent::Queued {
+                job: JobId(1),
+                label: "sweep c17".to_owned(),
+            },
+            ProgressEvent::Started { job: JobId(1) },
+            ProgressEvent::Checkpoint {
+                job: JobId(1),
+                prefix_len: 8,
+                coverage_pct: 50.0,
+            },
+            ProgressEvent::Pass {
+                job: JobId(1),
+                name: "scoap".to_owned(),
+            },
+            ProgressEvent::Finished { job: JobId(1) },
+            ProgressEvent::Failed {
+                job: JobId(1),
+                message: "boom".to_owned(),
+            },
+            ProgressEvent::Canceled { job: JobId(1) },
+        ];
+        for event in cases {
+            assert_eq!(event.with_job(to).job(), to);
+        }
     }
 
     #[test]

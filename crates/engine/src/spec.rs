@@ -102,13 +102,14 @@ impl CircuitSource {
 }
 
 /// Which HDL artefacts an [`EmitHdlSpec`] job produces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum HdlLanguage {
     /// Structural Verilog only.
     Verilog,
     /// Structural VHDL only.
     Vhdl,
-    /// Both languages.
+    /// Both languages (the `bist emit-hdl` default).
+    #[default]
     Both,
 }
 

@@ -76,32 +76,43 @@ fn warm_batch_rerun_is_all_hits_and_bit_identical() {
     // from disk — the cache-hit counters are the assertion that zero
     // flow work (fault simulation, ATPG, synthesis) happened
     let warm = Engine::with_threads(1).with_result_cache(ResultCache::at(&dir));
-    let feed = warm.progress();
-    let warm_results: Vec<_> = warm
-        .run_batch(three_jobs())
-        .into_iter()
-        .map(|r| r.expect("job succeeds"))
-        .collect();
+    let handles = warm.submit_batch(three_jobs());
+    let feeds: Vec<_> = handles.iter().map(|h| h.progress().clone()).collect();
+    let mut warm_results = Vec::new();
+    for handle in handles {
+        // wait() consumes the handle, so sample cache_hit() once done
+        while !handle.is_finished() {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(
+            handle.cache_hit(),
+            Some(true),
+            "warm job answered from the cache"
+        );
+        warm_results.push(handle.wait().expect("job succeeds"));
+    }
     let cache = warm.cache().expect("attached");
     assert_eq!(cache.hits(), 3, "every warm job must be a cache hit");
     assert_eq!(cache.misses(), 0);
     assert_eq!(cache.stores(), 0);
 
     // cached jobs still run the full lifecycle, minus checkpoints
-    let events = feed.drain();
-    assert_eq!(
-        events
-            .iter()
-            .filter(|e| matches!(e, ProgressEvent::Finished { .. }))
-            .count(),
-        3
-    );
-    assert!(
-        !events
-            .iter()
-            .any(|e| matches!(e, ProgressEvent::Checkpoint { .. })),
-        "a cache hit performs no checkpointed work"
-    );
+    for feed in &feeds {
+        let events = feed.drain();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, ProgressEvent::Finished { .. }))
+                .count(),
+            1
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, ProgressEvent::Checkpoint { .. })),
+            "a cache hit performs no checkpointed work"
+        );
+    }
 
     // and the answers are bit-identical to the computed ones
     assert_eq!(

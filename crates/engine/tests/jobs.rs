@@ -177,10 +177,9 @@ fn area_report_prices_the_deterministic_extreme() {
 #[test]
 fn the_event_stream_narrates_a_job_lifecycle_in_order() {
     let engine = Engine::with_threads(1);
-    let feed = engine.progress();
-    engine
-        .run(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]))
-        .expect("sweep job succeeds");
+    let handle = engine.submit(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]));
+    let feed = handle.progress().clone();
+    handle.wait().expect("sweep job succeeds");
     let events = feed.drain();
     assert!(matches!(&events[0], ProgressEvent::Queued { label, .. } if label == "sweep c17"));
     assert!(matches!(events[1], ProgressEvent::Started { .. }));
@@ -243,15 +242,14 @@ fn batches_run_in_spec_order_with_identical_results() {
 #[test]
 fn cancellation_is_cooperative_and_typed() {
     let engine = Engine::with_threads(1);
-    let feed = engine.progress();
     let token = CancelToken::new();
     token.cancel();
-    let err = engine
-        .run_with_cancel(
-            JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8, 16]),
-            &token,
-        )
-        .expect_err("pre-canceled token stops the job");
+    let handle = engine.submit_with_cancel(
+        JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8, 16]),
+        &token,
+    );
+    let feed = handle.progress().clone();
+    let err = handle.wait().expect_err("pre-canceled token stops the job");
     assert_eq!(err, BistError::Canceled);
     let events = feed.drain();
     assert!(
@@ -271,11 +269,20 @@ fn cancellation_is_cooperative_and_typed() {
 #[test]
 fn error_paths_come_back_typed_with_failed_events() {
     let engine = Engine::with_threads(1);
-    let feed = engine.progress();
+    let mut failures = 0usize;
+    let mut run = |spec: JobSpec| {
+        let handle = engine.submit(spec);
+        let feed = handle.progress().clone();
+        let err = handle.wait().expect_err("job fails");
+        failures += feed
+            .drain()
+            .into_iter()
+            .filter(|e| matches!(e, ProgressEvent::Failed { .. }))
+            .count();
+        err
+    };
 
-    let err = engine
-        .run(JobSpec::solve_at(CircuitSource::iscas85("c9999"), 0))
-        .expect_err("unknown benchmark");
+    let err = run(JobSpec::solve_at(CircuitSource::iscas85("c9999"), 0));
     assert!(matches!(
         err,
         BistError::UnknownCircuit {
@@ -284,25 +291,34 @@ fn error_paths_come_back_typed_with_failed_events() {
         }
     ));
 
-    let err = engine
-        .run(JobSpec::sweep(
-            CircuitSource::bench("broken", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)"),
-            [0, 8],
-        ))
-        .expect_err("malformed bench text");
+    let err = run(JobSpec::sweep(
+        CircuitSource::bench("broken", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)"),
+        [0, 8],
+    ));
     assert!(matches!(err, BistError::Parse { line: 3, .. }));
 
-    let err = engine
-        .run(JobSpec::sweep(CircuitSource::iscas85("c17"), Vec::new()))
-        .expect_err("empty sweep");
+    let err = run(JobSpec::sweep(CircuitSource::iscas85("c17"), Vec::new()));
     assert!(matches!(err, BistError::InvalidSpec { job: "sweep", .. }));
 
-    let failures = feed
-        .drain()
-        .into_iter()
-        .filter(|e| matches!(e, ProgressEvent::Failed { .. }))
-        .count();
-    assert_eq!(failures, 3, "every failure is narrated");
+    assert_eq!(failures, 3, "every failure is narrated on its own feed");
+}
+
+#[test]
+#[allow(deprecated)]
+fn the_deprecated_engine_wide_feed_still_mirrors_every_job() {
+    // the one-release compatibility shim: the engine-wide stream keeps
+    // interleaving every job's events until it is removed
+    let engine = Engine::with_threads(1);
+    let feed = engine.progress();
+    engine
+        .run(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]))
+        .expect("sweep job succeeds");
+    let events = feed.drain();
+    assert!(matches!(&events[0], ProgressEvent::Queued { label, .. } if label == "sweep c17"));
+    assert!(matches!(
+        events.last(),
+        Some(ProgressEvent::Finished { .. })
+    ));
 }
 
 #[test]

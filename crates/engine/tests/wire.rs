@@ -1,0 +1,242 @@
+//! Round-trip properties of the `bist serve` wire protocol: every
+//! encode→decode→re-encode chain must be byte-identical, for randomized
+//! specs and events as well as real computed results. Byte equality of
+//! the re-encoded line is the bit-exactness contract — it covers f64
+//! bit patterns (NaNs included), hex-encoded 64-bit words and string
+//! escaping in one assertion, without requiring `PartialEq` on specs.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use bist_engine::wire::{self, Request, Response, ServerStats, WireCacheStats};
+use bist_engine::{
+    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, Engine,
+    HdlLanguage, JobId, JobSpec, LintSpec, MixedSchemeConfig, ProgressEvent, SolveAtSpec,
+    SweepSpec,
+};
+use bist_lfsr::Polynomial;
+use bist_synth::{AreaModel, CellKind};
+
+fn any_circuit(sel: u8) -> CircuitSource {
+    match sel % 4 {
+        0 => CircuitSource::iscas85("c17"),
+        1 => CircuitSource::iscas85("c432"),
+        2 => CircuitSource::iscas89("s27"),
+        _ => CircuitSource::bench(
+            "custom \"quoted\"",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
+        ),
+    }
+}
+
+/// A deliberately adversarial configuration: arbitrary polynomial mask,
+/// arbitrary f64 bit patterns (NaNs and subnormals included) in the
+/// area model — the wire must carry all of it bit-exactly.
+fn any_config(poly: u64, word: u64) -> MixedSchemeConfig {
+    let areas: BTreeMap<CellKind, f64> = CellKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| {
+            let bits = word.wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            (kind, f64::from_bits(bits))
+        })
+        .collect();
+    let mut config = MixedSchemeConfig {
+        poly: Polynomial::from_mask(poly),
+        area: AreaModel::with_areas(areas, f64::from_bits(word.rotate_left(17))),
+        threads: (word % 3) as usize,
+        ..MixedSchemeConfig::default()
+    };
+    config.atpg.podem.fill_seed = word;
+    config.atpg.podem.backtrack_limit = (word >> 32) as u32;
+    config.atpg.no_compaction = word & 1 == 1;
+    config.atpg.threads = (word % 5) as usize;
+    config
+}
+
+fn any_spec(kind: u8, sel: u8, poly: u64, word: u64) -> JobSpec {
+    let circuit = any_circuit(sel);
+    let config = any_config(poly, word);
+    let budget = (word % 10_000) as usize;
+    match kind % 7 {
+        0 => JobSpec::SolveAt(SolveAtSpec {
+            circuit,
+            config,
+            prefix_len: budget,
+        }),
+        1 => JobSpec::Sweep(SweepSpec {
+            circuit,
+            config,
+            prefix_lengths: vec![budget, budget / 2, budget % 17],
+        }),
+        2 => JobSpec::CoverageCurve(CoverageCurveSpec {
+            circuit,
+            config,
+            checkpoints: vec![0, budget],
+        }),
+        3 => JobSpec::Bakeoff(BakeoffSpec {
+            circuit,
+            config,
+            random_length: budget,
+        }),
+        4 => JobSpec::EmitHdl(EmitHdlSpec {
+            circuit,
+            config,
+            prefix_len: budget,
+            language: match word % 3 {
+                0 => HdlLanguage::Verilog,
+                1 => HdlLanguage::Vhdl,
+                _ => HdlLanguage::Both,
+            },
+            module_name: (word & 2 == 2).then(|| format!("m_{budget}")),
+            testbench: word & 4 == 4,
+        }),
+        5 => JobSpec::AreaReport(AreaReportSpec { circuit, config }),
+        _ => JobSpec::Lint(LintSpec { circuit, config }),
+    }
+}
+
+fn any_event(variant: u8, job: u64, word: u64) -> ProgressEvent {
+    let job = JobId(job);
+    // labels/messages exercise escaping: quotes, backslashes, newlines
+    let text = format!("sweep \"c17\"\\{word}\nline2");
+    match variant % 7 {
+        0 => ProgressEvent::Queued { job, label: text },
+        1 => ProgressEvent::Started { job },
+        2 => ProgressEvent::Checkpoint {
+            job,
+            prefix_len: (word % 100_000) as usize,
+            coverage_pct: f64::from_bits(word),
+        },
+        3 => ProgressEvent::Pass { job, name: text },
+        4 => ProgressEvent::Finished { job },
+        5 => ProgressEvent::Failed { job, message: text },
+        _ => ProgressEvent::Canceled { job },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn specs_round_trip_bit_identically(
+        kind in any::<u8>(),
+        sel in any::<u8>(),
+        poly in any::<u64>(),
+        word in any::<u64>(),
+    ) {
+        let spec = any_spec(kind, sel, poly, word);
+        let encoded = wire::encode_spec(&spec).render();
+        let decoded = wire::decode_spec(&bist_engine::json::parse(&encoded).expect("wire line parses"))
+            .expect("encoded spec decodes");
+        let reencoded = wire::encode_spec(&decoded).render();
+        prop_assert_eq!(&encoded, &reencoded, "spec round trip must be byte-identical");
+    }
+
+    #[test]
+    fn submit_requests_round_trip_bit_identically(
+        kind in any::<u8>(),
+        sel in any::<u8>(),
+        poly in any::<u64>(),
+        word in any::<u64>(),
+    ) {
+        let request = Request::Submit { spec: Box::new(any_spec(kind, sel, poly, word)) };
+        let line = wire::encode_request(&request);
+        prop_assert!(!line.contains('\n'), "wire lines carry no raw newline");
+        let decoded = wire::decode_request(&line).expect("request decodes");
+        prop_assert_eq!(&line, &wire::encode_request(&decoded));
+    }
+
+    #[test]
+    fn events_round_trip_bit_identically(
+        variant in any::<u8>(),
+        job in any::<u64>(),
+        word in any::<u64>(),
+    ) {
+        let event = any_event(variant, job, word);
+        let line = wire::encode_response(&Response::Event { event });
+        prop_assert!(!line.contains('\n'), "wire lines carry no raw newline");
+        let decoded = wire::decode_response(&line).expect("event decodes");
+        prop_assert_eq!(&line, &wire::encode_response(&decoded));
+    }
+
+    #[test]
+    fn control_responses_round_trip_bit_identically(
+        job in any::<u64>(),
+        word in any::<u64>(),
+        flag in any::<bool>(),
+    ) {
+        let stats = ServerStats {
+            uptime_ms: word % 1_000_000,
+            submitted: word % 101,
+            completed: word % 97,
+            failed: word % 7,
+            rejected: word % 5,
+            queued: word % 11,
+            running: word % 3,
+            cache: flag.then(|| WireCacheStats {
+                hits: word % 13,
+                misses: word % 17,
+                stores: word % 19,
+                evictions: word % 23,
+                entries: word % 29,
+                bytes: word % 1_000_003,
+                capacity_bytes: (word & 8 == 8).then_some(word % 1_000_033),
+            }),
+        };
+        for response in [
+            Response::Accepted { job },
+            Response::Rejected {
+                reason: "queue full (64 jobs waiting)".to_owned(),
+                retry_after_ms: flag.then_some(word % 10_000),
+            },
+            Response::Failed { job, error: "bench \"x\": bad\nline 2".to_owned() },
+            Response::Stats { stats },
+            Response::Stopping { queued: word % 31, running: word % 37 },
+        ] {
+            let line = wire::encode_response(&response);
+            let decoded = wire::decode_response(&line).expect("response decodes");
+            prop_assert_eq!(&line, &wire::encode_response(&decoded));
+        }
+    }
+}
+
+#[test]
+fn computed_results_survive_the_wire_bit_identically() {
+    let engine = Engine::with_threads(1);
+    for spec in [
+        JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]),
+        JobSpec::solve_at(CircuitSource::iscas85("c17"), 4),
+        JobSpec::lint(CircuitSource::iscas85("c17")),
+    ] {
+        let result = engine.run(spec).expect("c17 job succeeds");
+        let line = wire::encode_response(&Response::Result {
+            job: 7,
+            cached: true,
+            result: Box::new(result),
+        });
+        assert!(!line.contains('\n'));
+        let decoded = wire::decode_response(&line).expect("result decodes");
+        let Response::Result { job, cached, .. } = &decoded else {
+            panic!("result response decodes as a result");
+        };
+        assert_eq!((*job, *cached), (7, true));
+        assert_eq!(
+            line,
+            wire::encode_response(&decoded),
+            "result payloads round-trip byte-identically"
+        );
+    }
+}
+
+#[test]
+fn foreign_schema_versions_are_rejected_with_both_versions_named() {
+    let line = wire::encode_request(&Request::Stats).replace("\"v\": 1", "\"v\": 999");
+    let err = wire::decode_request(&line).expect_err("foreign version refused");
+    assert!(
+        err.message.contains("999"),
+        "names the foreign version: {err}"
+    );
+    assert!(err.message.contains('1'), "names our version: {err}");
+}

@@ -25,15 +25,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<Vec<_>, _>>()?;
 
     let engine = Engine::new();
-    let feed = engine.progress();
     println!(
         "sweeping {circuit} at p = {prefixes:?} on {} thread(s)\n",
         engine.threads()
     );
-    let result = engine.run(JobSpec::sweep(CircuitSource::iscas85(&circuit), prefixes))?;
+    let handle = engine.submit(JobSpec::sweep(CircuitSource::iscas85(&circuit), prefixes));
+    let feed = handle.progress().clone();
+    let result = handle.wait()?;
 
-    // the pull-based event stream: every lifecycle step and per-point
-    // checkpoint (with fault coverage so far)
+    // the per-job pull-based event stream: every lifecycle step and
+    // per-point checkpoint (with fault coverage so far)
     for event in feed.drain() {
         match event {
             ProgressEvent::Queued { job, label } => println!("{job}: queued   {label}"),
