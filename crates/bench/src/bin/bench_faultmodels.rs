@@ -1,0 +1,164 @@
+//! **BENCH_faultmodels** — wall-time and coverage of the mixed-scheme
+//! sweep under every fault model, recorded machine-readably so the cost
+//! of the model-generic engine is tracked over time.
+//!
+//! ```text
+//! cargo run --release -p bist-bench --bin bench_faultmodels
+//! cargo run --release -p bist-bench --bin bench_faultmodels -- --quick
+//! cargo run --release -p bist-bench --bin bench_faultmodels -- --circuits c432 --threads 4
+//! ```
+//!
+//! One `JobSpec::Sweep` per circuit × model (stuck-at, transition,
+//! bridging) through the `bist-engine` job API — the exact code path
+//! `bist sweep <c> --fault-model <m>` runs. Writes
+//! `BENCH_faultmodels.json` into the current directory: per circuit and
+//! model the universe size, the end-to-end sweep wall-time, the solved
+//! `(p, d)` frontier and the final coverage. The JSON carries the shared
+//! `schema_version`; the pool width moves wall-clock only — solved
+//! results are bit-identical at every width, so compare timings between
+//! runs of the same width only.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bist_bench::schema::SCHEMA_VERSION;
+use bist_bench::{banner, ExperimentArgs};
+use bist_core::prelude::*;
+use bist_engine::{CircuitSource, Engine, FaultModel, JobSpec, SweepSpec};
+
+struct ModelResult {
+    model: FaultModel,
+    universe: usize,
+    seconds: f64,
+    final_coverage_pct: f64,
+    points: Vec<(usize, usize)>,
+}
+
+struct CircuitResult {
+    name: String,
+    models: Vec<ModelResult>,
+}
+
+fn main() {
+    banner(
+        "BENCH faultmodels",
+        "mixed-scheme sweep wall-time per fault model",
+    );
+    let args = ExperimentArgs::parse(&["c432", "c880"]);
+    args.warn_fixed_format("bench_faultmodels");
+    let prefixes: Vec<usize> = if args.quick {
+        vec![0, 50, 100]
+    } else {
+        vec![0, 100, 200, 500]
+    };
+    let models = [
+        FaultModel::StuckAt,
+        FaultModel::Transition,
+        FaultModel::bridging(),
+    ];
+    let config = MixedSchemeConfig {
+        threads: args.threads,
+        ..MixedSchemeConfig::default()
+    };
+    let engine = Engine::with_threads(args.threads);
+    let threads = engine.threads();
+    println!("prefix checkpoints: {prefixes:?}  ({threads} threads)\n");
+
+    let mut results: Vec<CircuitResult> = Vec::new();
+    for named_source in args.sources() {
+        let name = named_source.label().to_owned();
+        // realize once, outside every timed region: no model pays
+        // netlist synthesis, so the times compare only the flows
+        let circuit = named_source.realize().unwrap_or_else(|e| {
+            eprintln!("cannot load circuit: {e}");
+            std::process::exit(2);
+        });
+        let source = CircuitSource::Inline(circuit);
+        let mut rows = Vec::with_capacity(models.len());
+        for model in models {
+            let t = Instant::now();
+            let outcome = engine
+                .run(JobSpec::Sweep(SweepSpec {
+                    circuit: source.clone(),
+                    config: config.clone(),
+                    prefix_lengths: prefixes.clone(),
+                    fault_model: model,
+                }))
+                .expect("sweep job succeeds");
+            let seconds = t.elapsed().as_secs_f64();
+            let sweep = outcome.as_sweep().expect("sweep outcome");
+            let last = sweep
+                .summary
+                .solutions()
+                .last()
+                .expect("at least one checkpoint");
+            let row = ModelResult {
+                model,
+                universe: last.coverage.total(),
+                seconds,
+                final_coverage_pct: last.coverage.coverage_pct(),
+                points: sweep
+                    .summary
+                    .solutions()
+                    .iter()
+                    .map(|s| (s.prefix_len, s.det_len))
+                    .collect(),
+            };
+            println!(
+                "{:>6} {:<12} {:>7} faults  {:>8.2}s  final {:>6.2}%  d(last) {}",
+                name,
+                row.model.name(),
+                row.universe,
+                row.seconds,
+                row.final_coverage_pct,
+                last.det_len
+            );
+            rows.push(row);
+        }
+        results.push(CircuitResult { name, models: rows });
+    }
+
+    let json = render_json(&prefixes, threads, &results);
+    std::fs::write("BENCH_faultmodels.json", &json).expect("writable working directory");
+    println!("\nwrote BENCH_faultmodels.json ({} bytes)", json.len());
+}
+
+fn render_json(prefixes: &[usize], threads: usize, results: &[CircuitResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"faultmodels\",\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(
+        out,
+        "  \"prefix_lengths\": [{}],",
+        prefixes
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    out.push_str("  \"circuits\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(out, "    {{\n      \"circuit\": \"{}\",", r.name);
+        out.push_str("      \"models\": [\n");
+        for (j, m) in r.models.iter().enumerate() {
+            let points = m
+                .points
+                .iter()
+                .map(|(p, d)| format!("{{\"p\": {p}, \"d\": {d}}}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                out,
+                "        {{\"model\": \"{}\", \"universe\": {}, \"seconds\": {:.4}, \
+                 \"final_coverage_pct\": {:.4}, \"points\": [{}]}}",
+                m.model, m.universe, m.seconds, m.final_coverage_pct, points
+            );
+            out.push_str(if j + 1 < r.models.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n    }");
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -80,6 +80,7 @@ fn main() {
                     circuit: source.clone(),
                     config,
                     checkpoints: vec![budget],
+                    fault_model: Default::default(),
                 }))
                 .unwrap_or_else(|e| {
                     eprintln!("coverage job failed: {e}");

@@ -37,7 +37,7 @@ use std::time::Instant;
 use bist_bench::schema::SCHEMA_VERSION;
 use bist_bench::{banner, ExperimentArgs};
 use bist_core::prelude::*;
-use bist_engine::{CircuitSource, Engine, JobSpec, SolveAtSpec, SweepSpec};
+use bist_engine::{CircuitSource, Engine, FaultModel, JobSpec, SolveAtSpec, SweepSpec};
 
 struct CircuitResult {
     name: String,
@@ -88,6 +88,7 @@ fn main() {
                 circuit: source.clone(),
                 config: config.clone(),
                 prefix_lengths: prefixes.clone(),
+                fault_model: FaultModel::default(),
             }))
             .expect("sweep job succeeds");
         let session_s = t.elapsed().as_secs_f64();
@@ -104,6 +105,7 @@ fn main() {
                     circuit: source.clone(),
                     config: config.clone(),
                     prefix_len: p,
+                    fault_model: FaultModel::default(),
                 }))
                 .expect("solve job succeeds");
             oneshot.push(
@@ -135,6 +137,7 @@ fn main() {
                 circuit: source.clone(),
                 config: config.clone(),
                 checkpoints: prefixes.clone(),
+                fault_model: FaultModel::default(),
             }))
             .expect("curve job succeeds");
         let grading_session_s = t.elapsed().as_secs_f64();

@@ -8,14 +8,31 @@
 //! criteria: voltage-sense (propagate to an output) and Iddq (merely
 //! excite the short).
 //!
+//! The voltage numbers come straight from engine jobs —
+//! `JobSpec::CoverageCurve` and `JobSpec::SolveAt` with
+//! `fault_model: bridging` — the exact path `bist curve/solve <c>
+//! --fault-model bridging:N` runs. Only the Iddq column (a criterion
+//! the engine's voltage-sense outcomes don't carry) is re-graded here,
+//! with [`bist_faultmodel::ModelSim`] over the same sequences.
+//!
 //! ```text
 //! cargo run --release -p bist-bench --bin ext_bridging_coverage
 //! cargo run --release -p bist-bench --bin ext_bridging_coverage -- --circuits c432 --quick
 //! ```
 
 use bist_bench::{banner, ExperimentArgs};
-use bist_bridging::{BridgingFaultList, BridgingSim};
 use bist_core::prelude::*;
+use bist_engine::{CircuitSource, CoverageCurveSpec, Engine, FaultModel, JobSpec, SolveAtSpec};
+use bist_faultmodel::ModelSim;
+
+/// Grades `patterns` under the Iddq criterion: a short counts as soon
+/// as it is excited, whether or not the discrepancy reaches an output.
+fn iddq_pct(circuit: &Circuit, model: FaultModel, patterns: &[Pattern]) -> f64 {
+    let mut sim = ModelSim::new(circuit, model);
+    sim.simulate(patterns);
+    sim.iddq_coverage_pct()
+        .expect("the bridging model defines an Iddq criterion")
+}
 
 fn main() {
     banner(
@@ -24,25 +41,42 @@ fn main() {
     );
     let args = ExperimentArgs::parse(&["c432", "c880"]);
     args.warn_fixed_format("ext_bridging_coverage");
-    let samples = if args.quick { 150 } else { 400 };
+    let samples: u32 = if args.quick { 150 } else { 400 };
+    let model = FaultModel::Bridging {
+        pairs: samples,
+        seed: 0x1dd9,
+    };
+    let p = if args.quick { 128 } else { 512 };
+    let engine = Engine::with_threads(args.threads);
+    let config = MixedSchemeConfig {
+        threads: args.threads,
+        ..MixedSchemeConfig::default()
+    };
     for circuit in args.load_circuits() {
-        let bridges = BridgingFaultList::sample(&circuit, samples, 0x1dd9);
-        let mut session = BistSession::new(&circuit, MixedSchemeConfig::default());
+        let source = CircuitSource::Inline(circuit.clone());
         println!(
             "\n{} — {} sampled non-feedback bridges",
             circuit.name(),
-            bridges.len()
+            model.universe_len(&circuit)
         );
         println!(
             "{:<26} {:>9} {:>12} {:>10}",
             "sequence", "patterns", "voltage %", "Iddq %"
         );
 
-        let p = if args.quick { 128 } else { 512 };
-        let random_only = session.pseudo_random_patterns(p);
-        let mut sim = BridgingSim::new(&circuit, bridges.clone());
-        sim.simulate(&random_only);
-        let (rand_v, rand_q) = (sim.report().coverage_pct(), sim.iddq_coverage_pct());
+        let curve = engine
+            .run(JobSpec::CoverageCurve(CoverageCurveSpec {
+                circuit: source.clone(),
+                config: config.clone(),
+                checkpoints: vec![p],
+                fault_model: model,
+            }))
+            .expect("curve job succeeds");
+        let curve = curve.as_coverage_curve().expect("curve outcome");
+        let (_, rand_v) = curve.curve.points()[0];
+        let width = circuit.inputs().len();
+        let random_only = pseudo_random_patterns(config.poly, width, p);
+        let rand_q = iddq_pct(&circuit, model, &random_only);
         println!(
             "{:<26} {:>9} {:>11.2}% {:>9.2}%",
             format!("pseudo-random (p={p})"),
@@ -51,17 +85,25 @@ fn main() {
             rand_q
         );
 
-        let solution = session.solve_at(p).expect("solvable");
+        let solved = engine
+            .run(JobSpec::SolveAt(SolveAtSpec {
+                circuit: source,
+                config: config.clone(),
+                prefix_len: p,
+                fault_model: model,
+            }))
+            .expect("solve job succeeds");
+        let solution = &solved.as_solve_at().expect("solve outcome").solution;
         let (prefix, suffix) = solution.generator.replay();
         let mixed: Vec<Pattern> = prefix.into_iter().chain(suffix).collect();
-        let mixed_len = mixed.len();
-        let mut sim = BridgingSim::new(&circuit, bridges.clone());
-        sim.simulate(&mixed);
-        let (mix_v, mix_q) = (sim.report().coverage_pct(), sim.iddq_coverage_pct());
+        let (mix_v, mix_q) = (
+            solution.coverage.coverage_pct(),
+            iddq_pct(&circuit, model, &mixed),
+        );
         println!(
             "{:<26} {:>9} {:>11.2}% {:>9.2}%",
             format!("mixed (p={p}, d={})", solution.det_len),
-            mixed_len,
+            mixed.len(),
             mix_v,
             mix_q
         );

@@ -8,14 +8,18 @@
 //! model, where every deterministic test is an ordered two-pattern pair
 //! that the LFSROM's order-preserving replay applies verbatim.
 //!
+//! The whole experiment is one `JobSpec::Sweep` with
+//! `fault_model: transition` — the exact code path `bist sweep <c>
+//! --fault-model transition` runs, so these numbers cannot drift from
+//! what users measure.
+//!
 //! ```text
 //! cargo run --release -p bist-bench --bin ext_delay_coverage
 //! cargo run --release -p bist-bench --bin ext_delay_coverage -- --circuits c432 --quick
 //! ```
 
 use bist_bench::{banner, ExperimentArgs};
-use bist_delay::{DelayAtpgOptions, DelayTestGenerator, TransitionFaultList};
-use bist_lfsr::{paper_poly, pseudo_random_patterns};
+use bist_engine::{Engine, FaultModel, JobSpec, MixedSchemeConfig, SweepSpec};
 
 fn main() {
     banner(
@@ -29,40 +33,48 @@ fn main() {
     } else {
         &[0, 64, 256, 1024]
     };
-    for circuit in args.load_circuits() {
-        let width = circuit.inputs().len();
-        let faults = TransitionFaultList::universe(&circuit);
-        println!("\n{} — {} transition faults", circuit.name(), faults.len());
+    let engine = Engine::with_threads(args.threads);
+    for source in args.sources() {
+        let outcome = engine
+            .run(JobSpec::Sweep(SweepSpec {
+                circuit: source.clone(),
+                config: MixedSchemeConfig {
+                    threads: args.threads,
+                    ..MixedSchemeConfig::default()
+                },
+                prefix_lengths: prefixes.to_vec(),
+                fault_model: FaultModel::Transition,
+            }))
+            .unwrap_or_else(|e| {
+                eprintln!("sweep failed: {e}");
+                std::process::exit(2);
+            });
+        let sweep = outcome.as_sweep().expect("sweep outcome");
+        let universe = sweep
+            .summary
+            .solutions()
+            .first()
+            .map_or(0, |s| s.coverage.total());
+        println!("\n{} — {} transition faults", sweep.circuit, universe);
         println!(
             "{:>6}  {:>12}  {:>12}  {:>12}  {:>12}",
             "p", "prefix cov %", "top-up d", "final cov %", "redundant"
         );
         let mut last_d = usize::MAX;
-        for &p in prefixes {
-            let prefix = pseudo_random_patterns(paper_poly(), width, p);
-            let run = DelayTestGenerator::new(
-                &circuit,
-                faults.clone(),
-                DelayAtpgOptions {
-                    prefix,
-                    ..DelayAtpgOptions::default()
-                },
-            )
-            .run();
-            let prefix_cov = 100.0 * run.prefix_detected as f64 / run.report.total().max(1) as f64;
+        for solution in sweep.summary.solutions() {
             println!(
                 "{:>6}  {:>11.2}%  {:>12}  {:>11.2}%  {:>12}",
-                p,
-                prefix_cov,
-                run.num_patterns(),
-                run.report.coverage_pct(),
-                run.report.redundant
+                solution.prefix_len,
+                solution.prefix_coverage.coverage_pct(),
+                solution.det_len,
+                solution.coverage.coverage_pct(),
+                solution.coverage.redundant
             );
             assert!(
-                run.num_patterns() <= last_d.saturating_add(6),
+                solution.det_len <= last_d.saturating_add(12),
                 "top-up must shrink as the prefix grows (compaction jitter aside)"
             );
-            last_d = run.num_patterns();
+            last_d = solution.det_len;
         }
     }
     println!("\nShape claim: like the paper's Figure 5, every prefix length reaches");

@@ -21,7 +21,7 @@
 use bist_bench::schema::Fnv;
 use bist_bench::ExperimentArgs;
 use bist_core::prelude::*;
-use bist_engine::{Engine, JobSpec, SweepSpec};
+use bist_engine::{Engine, FaultModel, JobSpec, SweepSpec};
 
 fn main() {
     let args = ExperimentArgs::parse(&["c432"]);
@@ -58,6 +58,7 @@ fn digest_sweep(args: &ExperimentArgs, prefixes: &[usize], threads: usize) -> St
                 circuit: source,
                 config: config.clone(),
                 prefix_lengths: prefixes.to_vec(),
+                fault_model: FaultModel::default(),
             }))
             .unwrap_or_else(|e| {
                 eprintln!("sweep failed: {e}");

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod model;
+pub mod serial;
 mod sim;
 
 pub use model::{is_feedback_pair, BridgeKind, BridgingFault, BridgingFaultList};

@@ -28,6 +28,14 @@ impl BridgeKind {
             BridgeKind::WiredOr => a | b,
         }
     }
+
+    /// Boolean form of [`BridgeKind::resolve_word`].
+    pub fn resolve(self, a: bool, b: bool) -> bool {
+        match self {
+            BridgeKind::WiredAnd => a && b,
+            BridgeKind::WiredOr => a || b,
+        }
+    }
 }
 
 impl fmt::Display for BridgeKind {

@@ -1,10 +1,7 @@
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use bist_fault::FaultStatus;
-use bist_faultsim::CoverageReport;
-use bist_logicsim::{Pattern, PatternBlock};
-use bist_netlist::{Circuit, GateKind, NodeId};
+use bist_faultsim::{BlockCtx, CoverageReport, Seeds, SimCounters, WordFault, WordSim};
+use bist_logicsim::Pattern;
+use bist_netlist::Circuit;
 
 use crate::model::{BridgingFault, BridgingFaultList};
 
@@ -17,7 +14,15 @@ use crate::model::{BridgingFault, BridgingFaultList};
 /// opposite values (excitation — the same condition Iddq testing senses
 /// as elevated quiescent current) *and* propagates the resolved value's
 /// difference to a primary output (voltage-sense detection, the stricter
-/// criterion graded here).
+/// criterion graded by [`BridgingSim::report`]).
+///
+/// This is the bridging instantiation of the model-generic [`WordSim`]
+/// engine shared with [`bist_faultsim::FaultSim`]: the model contributes
+/// the *two* resolved-value seeds (a short drives both nodes), so cone
+/// propagation starts from the union of both fan-outs, and opts into the
+/// engine's per-fault excitation tracking for the Iddq criterion. The
+/// good machine, levelized cone walk, fault dropping and `bist-par`
+/// sharding (bit-identical at every thread count) come from the engine.
 ///
 /// # Example
 ///
@@ -36,214 +41,138 @@ use crate::model::{BridgingFault, BridgingFaultList};
 /// ```
 #[derive(Debug)]
 pub struct BridgingSim<'c> {
-    circuit: &'c Circuit,
-    faults: BridgingFaultList,
-    status: Vec<FaultStatus>,
-    first_detection: Vec<Option<u32>>,
-    patterns_seen: u32,
-    /// Word of patterns (per fault) where the bridge was *excited*
-    /// (opposite driven values) regardless of propagation — the Iddq
-    /// detectability mask, accumulated as an any-pattern flag.
-    iddq_detected: Vec<bool>,
-    // --- scratch buffers ---
-    good: Vec<u64>,
-    fval: Vec<u64>,
-    stamp: Vec<u32>,
-    epoch: u32,
-    topo_pos: Vec<u32>,
+    /// The universe, kept in list form for [`BridgingSim::faults`] (the
+    /// engine holds its own flat copy).
+    list: BridgingFaultList,
+    inner: WordSim<'c, BridgingFault>,
 }
 
 impl<'c> BridgingSim<'c> {
-    /// Creates a simulator grading `faults` on `circuit`.
+    /// Creates a simulator grading `faults` on `circuit`, with the pool
+    /// width taken from `BIST_THREADS` / the machine.
     pub fn new(circuit: &'c Circuit, faults: BridgingFaultList) -> Self {
-        let n = circuit.num_nodes();
-        let mut topo_pos = vec![0u32; n];
-        for (pos, &id) in circuit.topo_order().iter().enumerate() {
-            topo_pos[id.index()] = pos as u32;
-        }
-        let len = faults.len();
+        let flat: Vec<BridgingFault> = faults.iter().copied().collect();
         BridgingSim {
-            circuit,
-            faults,
-            status: vec![FaultStatus::Undetected; len],
-            first_detection: vec![None; len],
-            patterns_seen: 0,
-            iddq_detected: vec![false; len],
-            good: vec![0; n],
-            fval: vec![0; n],
-            stamp: vec![0; n],
-            epoch: 0,
-            topo_pos,
+            list: faults,
+            inner: WordSim::new(circuit, flat),
         }
+    }
+
+    /// Sets the pool width for subsequent [`BridgingSim::simulate`] calls
+    /// (`0` = automatic). Grading results never depend on this knob.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.inner.set_threads(threads);
+    }
+
+    /// Builder form of [`BridgingSim::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// The pool width grading currently uses.
+    pub fn threads(&self) -> usize {
+        self.inner.threads()
     }
 
     /// The circuit under test.
     pub fn circuit(&self) -> &'c Circuit {
-        self.circuit
+        self.inner.circuit()
     }
 
     /// The fault universe being graded.
     pub fn faults(&self) -> &BridgingFaultList {
-        &self.faults
+        &self.list
     }
 
     /// Status of fault `index` (voltage-sense detection).
     pub fn status_of(&self, index: usize) -> FaultStatus {
-        self.status[index]
+        self.inner.status_of(index)
     }
 
     /// All statuses, parallel to [`BridgingSim::faults`].
     pub fn statuses(&self) -> &[FaultStatus] {
-        &self.status
+        self.inner.statuses()
+    }
+
+    /// Overrides the status of fault `index`.
+    pub fn set_status(&mut self, index: usize, status: FaultStatus) {
+        self.inner.set_status(index, status);
     }
 
     /// True if some pattern so far *excited* fault `index` (opposite
     /// driven values) — the Iddq criterion, which needs no propagation.
     pub fn iddq_detected(&self, index: usize) -> bool {
-        self.iddq_detected[index]
+        self.inner.excited(index)
     }
 
     /// Fraction of the universe the sequence excites (Iddq coverage), %.
     pub fn iddq_coverage_pct(&self) -> f64 {
-        if self.faults.is_empty() {
+        if self.list.is_empty() {
             return 0.0;
         }
-        100.0 * self.iddq_detected.iter().filter(|&&d| d).count() as f64 / self.faults.len() as f64
+        100.0 * self.inner.excited_count() as f64 / self.list.len() as f64
     }
 
     /// Global index of the first pattern that detected fault `index` at
     /// an output.
     pub fn first_detection(&self, index: usize) -> Option<u32> {
-        self.first_detection[index]
+        self.inner.first_detection(index)
     }
 
     /// Number of patterns consumed so far.
     pub fn patterns_seen(&self) -> u32 {
-        self.patterns_seen
+        self.inner.patterns_seen()
+    }
+
+    /// The work performed so far. Deterministic at every thread width.
+    pub fn counters(&self) -> SimCounters {
+        self.inner.counters()
+    }
+
+    /// Forgets all grading results (voltage and Iddq) and the sequence
+    /// position.
+    pub fn reset(&mut self) {
+        self.inner.reset();
     }
 
     /// Coverage summary (voltage-sense).
     pub fn report(&self) -> CoverageReport {
-        CoverageReport::from_statuses(&self.status)
+        self.inner.report()
     }
 
     /// Grades `patterns` (continuing any previously fed sequence).
     /// Returns the number of newly (voltage-)detected faults.
     pub fn simulate(&mut self, patterns: &[Pattern]) -> usize {
-        let mut newly = 0;
-        for chunk in patterns.chunks(64) {
-            let block = PatternBlock::pack(self.circuit, chunk);
-            newly += self.simulate_block(&block);
+        self.inner.simulate(patterns)
+    }
+}
+
+impl WordFault for BridgingFault {
+    /// Excitation every block keeps the Iddq mask current for the whole
+    /// universe, detected bridges included.
+    const TRACKS_EXCITATION: bool = true;
+
+    /// Where excited, the short drives *both* nodes to the resolved value
+    /// (elsewhere the resolution of two equal values is the value itself,
+    /// so the seed words degrade to the good machine).
+    fn seeds(&self, ctx: &BlockCtx<'_>) -> Seeds {
+        let ga = ctx.good[self.a.index()];
+        let gb = ctx.good[self.b.index()];
+        if (ga ^ gb) & ctx.valid == 0 {
+            return Seeds::NONE;
         }
-        newly
+        let resolved = self.kind.resolve_word(ga, gb);
+        Seeds::two(
+            self.a.index() as u32,
+            resolved,
+            self.b.index() as u32,
+            resolved,
+        )
     }
 
-    fn simulate_block(&mut self, block: &PatternBlock) -> usize {
-        let valid = block.valid_mask();
-        self.good_simulate(block);
-        let mut newly = 0;
-        for fi in 0..self.faults.len() {
-            let fault = *self.faults.get(fi).expect("index in range");
-            let ga = self.good[fault.a.index()];
-            let gb = self.good[fault.b.index()];
-            let excited = (ga ^ gb) & valid;
-            if excited != 0 {
-                self.iddq_detected[fi] = true;
-            }
-            if self.status[fi] != FaultStatus::Undetected || excited == 0 {
-                continue;
-            }
-            if let Some(mask) = self.try_detect(fault, valid) {
-                let first = mask.trailing_zeros();
-                self.status[fi] = FaultStatus::Detected;
-                self.first_detection[fi] = Some(self.patterns_seen + first);
-                newly += 1;
-            }
-        }
-        self.patterns_seen += block.count() as u32;
-        newly
-    }
-
-    fn good_simulate(&mut self, block: &PatternBlock) {
-        for (i, &pi) in self.circuit.inputs().iter().enumerate() {
-            self.good[pi.index()] = block.input_word(i);
-        }
-        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
-        for &id in self.circuit.topo_order() {
-            let node = self.circuit.node(id);
-            match node.kind() {
-                GateKind::Input => {}
-                GateKind::Dff => self.good[id.index()] = 0,
-                kind => {
-                    fanin_buf.clear();
-                    fanin_buf.extend(node.fanin().iter().map(|f| self.good[f.index()]));
-                    self.good[id.index()] = kind.eval_word(&fanin_buf);
-                }
-            }
-        }
-    }
-
-    /// Injects the bridge (both nodes take the resolved value) and
-    /// propagates through the union of the two fan-out cones.
-    fn try_detect(&mut self, fault: BridgingFault, valid: u64) -> Option<u64> {
-        let ga = self.good[fault.a.index()];
-        let gb = self.good[fault.b.index()];
-        let resolved = fault.kind.resolve_word(ga, gb);
-
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            self.stamp.fill(0);
-            self.epoch = 1;
-        }
-        let epoch = self.epoch;
-
-        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-        let mut detect = 0u64;
-        for (site, g) in [(fault.a, ga), (fault.b, gb)] {
-            self.fval[site.index()] = resolved;
-            self.stamp[site.index()] = epoch;
-            if self.circuit.is_output(site) {
-                detect |= (resolved ^ g) & valid;
-            }
-            for &s in self.circuit.fanout(site) {
-                heap.push(Reverse((self.topo_pos[s.index()], s.index() as u32)));
-            }
-        }
-
-        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
-        let mut last_popped = u32::MAX;
-        while let Some(Reverse((pos, idx))) = heap.pop() {
-            if pos == last_popped {
-                continue;
-            }
-            last_popped = pos;
-            let id = NodeId::from_index(idx as usize);
-            let node = self.circuit.node(id);
-            if !node.kind().is_combinational() {
-                continue;
-            }
-            fanin_buf.clear();
-            fanin_buf.extend(node.fanin().iter().map(|f| {
-                if self.stamp[f.index()] == epoch {
-                    self.fval[f.index()]
-                } else {
-                    self.good[f.index()]
-                }
-            }));
-            let fv = node.kind().eval_word(&fanin_buf);
-            if fv == self.good[id.index()] {
-                continue;
-            }
-            self.fval[id.index()] = fv;
-            self.stamp[id.index()] = epoch;
-            if self.circuit.is_output(id) {
-                detect |= (fv ^ self.good[id.index()]) & valid;
-            }
-            for &s in self.circuit.fanout(id) {
-                heap.push(Reverse((self.topo_pos[s.index()], s.index() as u32)));
-            }
-        }
-        (detect != 0).then_some(detect)
+    fn excitation(&self, ctx: &BlockCtx<'_>) -> u64 {
+        (ctx.good[self.a.index()] ^ ctx.good[self.b.index()]) & ctx.valid
     }
 }
 
@@ -356,5 +285,38 @@ mod tests {
         }
         assert_eq!(mono.statuses(), chunked.statuses());
         assert_eq!(mono.iddq_coverage_pct(), chunked.iddq_coverage_pct());
+    }
+
+    #[test]
+    fn parallel_grading_is_bit_identical_to_serial() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let faults = BridgingFaultList::sample(&c, 200, 5);
+        let mut rng = StdRng::seed_from_u64(31);
+        let patterns: Vec<Pattern> = (0..300)
+            .map(|_| Pattern::random(&mut rng, c.inputs().len()))
+            .collect();
+
+        let mut serial = BridgingSim::new(&c, faults.clone()).with_threads(1);
+        serial.simulate(&patterns);
+
+        for threads in [2, 4] {
+            let mut par = BridgingSim::new(&c, faults.clone()).with_threads(threads);
+            par.simulate(&patterns);
+            assert_eq!(serial.statuses(), par.statuses(), "threads={threads}");
+            for i in 0..serial.faults().len() {
+                assert_eq!(
+                    serial.first_detection(i),
+                    par.first_detection(i),
+                    "threads={threads}, fault {i}"
+                );
+                assert_eq!(
+                    serial.iddq_detected(i),
+                    par.iddq_detected(i),
+                    "threads={threads}, fault {i} iddq"
+                );
+            }
+            assert_eq!(serial.counters(), par.counters(), "threads={threads}");
+        }
     }
 }

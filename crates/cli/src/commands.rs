@@ -4,8 +4,8 @@ use std::time::Duration;
 
 use bist_engine::json::Json;
 use bist_engine::{
-    AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, Engine, HdlLanguage,
-    JobHandle, JobResult, JobSpec, LintSpec, ResultCache, SolveAtSpec, SweepSpec,
+    AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, Engine, FaultModel,
+    HdlLanguage, JobHandle, JobResult, JobSpec, LintSpec, ResultCache, SolveAtSpec, SweepSpec,
 };
 
 use crate::client::{self, Connect};
@@ -128,26 +128,32 @@ fn job_command(
     let spec = match command {
         "solve" => {
             let prefix = required_usize(rest, "--prefix", "solve")?;
+            let fault_model = fault_model_flag(rest)?;
             JobSpec::SolveAt(SolveAtSpec {
                 circuit: resolve_circuit(&the_circuit(command, rest)?)?,
                 config: Default::default(),
                 prefix_len: prefix,
+                fault_model,
             })
         }
         "sweep" => {
             let points = required_lengths(rest, "--points", "sweep")?;
+            let fault_model = fault_model_flag(rest)?;
             JobSpec::Sweep(SweepSpec {
                 circuit: resolve_circuit(&the_circuit(command, rest)?)?,
                 config: Default::default(),
                 prefix_lengths: points,
+                fault_model,
             })
         }
         "curve" => {
             let points = required_lengths(rest, "--points", "curve")?;
+            let fault_model = fault_model_flag(rest)?;
             JobSpec::CoverageCurve(CoverageCurveSpec {
                 circuit: resolve_circuit(&the_circuit(command, rest)?)?,
                 config: Default::default(),
                 checkpoints: points,
+                fault_model,
             })
         }
         "bakeoff" => {
@@ -209,6 +215,17 @@ fn job_command(
         Format::Json => print!("{}", result_json(&result).render_pretty()),
     }
     Ok(0)
+}
+
+/// `--fault-model stuck-at | transition | bridging[:PAIRS[:SEED]]`;
+/// absent means stuck-at, the paper's model.
+fn fault_model_flag(rest: &mut Vec<String>) -> Result<FaultModel, UsageError> {
+    match take_value(rest, "--fault-model")? {
+        None => Ok(FaultModel::default()),
+        Some(v) => v
+            .parse()
+            .map_err(|e| UsageError(format!("--fault-model: {e}"))),
+    }
 }
 
 fn required_usize(rest: &mut Vec<String>, flag: &str, command: &str) -> Result<usize, UsageError> {

@@ -31,6 +31,9 @@ CIRCUITS
     s27 ..              ISCAS-89 benchmark by name
     path/to/file.bench  a .bench netlist (parse errors report file:line)
 
+FAULT MODELS (solve, sweep, curve)
+    --fault-model <m>   stuck-at (default) | transition | bridging[:PAIRS[:SEED]]
+
 OPTIONS (every job command)
     --format <text|json>  stdout format                  [default: text]
     --threads <n>         pool width                     [default: BIST_THREADS or machine]
@@ -55,6 +58,11 @@ Solves the mixed scheme at one pseudo-random prefix length p: fault
 simulation of the prefix, ATPG top-up of length d, generator synthesis
 and replay verification. Prints the solved (p, d) point, its coverage,
 silicon cost and the session work counters.
+
+--fault-model selects the graded universe: stuck-at (default, the
+paper's model), transition (launch-on-capture pattern pairs, with a
+delay-aware ATPG top-up), or bridging[:PAIRS[:SEED]] (a reproducibly
+sampled wired-AND/OR short universe graded over the stuck-at hardware).
 ";
 
 /// `bist sweep --help`.
@@ -64,7 +72,9 @@ bist sweep <circuit> --points <p,p,..> [options]
 Sweeps the (p, d) trade-off over the given prefix lengths on one
 incremental session (each pseudo-random pattern graded at most once).
 Results come back in request order; the cache makes repeated sweeps of
-the same circuit/budgets milliseconds.
+the same circuit/budgets milliseconds. --fault-model sweeps the same
+trade-off against the transition or bridging universe instead of
+stuck-at (see `bist solve --help`).
 ";
 
 /// `bist curve --help`.
@@ -72,7 +82,9 @@ pub const CURVE: &str = "\
 bist curve <circuit> --points <l,l,..> [options]
 
 Grades the pure pseudo-random sequence at the given lengths — the
-paper's Figure 4 coverage-versus-length curve.
+paper's Figure 4 coverage-versus-length curve. --fault-model grades the
+transition or bridging universe instead of stuck-at (see `bist solve
+--help`).
 ";
 
 /// `bist bakeoff --help`.
@@ -139,10 +151,11 @@ MANIFEST
     [[job]]                    # one table per job, run in file order
     kind = \"sweep\"             # solve | sweep | curve | bakeoff | emit-hdl | area
     points = [0, 100, 1000]    # sweep/curve budgets
-    # solve/emit-hdl:  prefix = <p>
-    # bakeoff:         random-length = <n>        (default 1000)
-    # emit-hdl:        language = \"verilog\"       (| \"vhdl\" | \"both\")
-    #                  module = \"name\"  testbench = true
+    # solve/emit-hdl:    prefix = <p>
+    # solve/sweep/curve: fault-model = \"transition\"  (default \"stuck-at\")
+    # bakeoff:           random-length = <n>        (default 1000)
+    # emit-hdl:          language = \"verilog\"       (| \"vhdl\" | \"both\")
+    #                    module = \"name\"  testbench = true
 ";
 
 /// `bist serve --help`.

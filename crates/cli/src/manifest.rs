@@ -11,6 +11,7 @@
 //! [[job]]
 //! kind = "sweep"        # solve | sweep | curve | bakeoff | emit-hdl | area | lint
 //! points = [0, 100, 1000]
+//! fault-model = "transition"  # stuck-at (default) | transition | bridging[:PAIRS[:SEED]]
 //!
 //! [[job]]
 //! kind = "solve"
@@ -33,8 +34,8 @@
 //! like any other parse failure in the workspace.
 
 use bist_engine::{
-    AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, HdlLanguage, JobSpec,
-    LintSpec, SolveAtSpec, SweepSpec,
+    AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, FaultModel,
+    HdlLanguage, JobSpec, LintSpec, SolveAtSpec, SweepSpec,
 };
 
 use crate::opts::resolve_circuit;
@@ -323,6 +324,21 @@ fn take_string(source_name: &str, job: &mut Table, key: &str) -> Result<Option<S
     }
 }
 
+/// `fault-model = "transition"` (absent means stuck-at).
+fn take_fault_model(source_name: &str, job: &mut Table) -> Result<FaultModel, BistError> {
+    let line = job
+        .bindings
+        .iter()
+        .find(|(k, _, _)| k == "fault-model")
+        .map_or(job.header_line, |(_, _, line)| *line);
+    match take_string(source_name, job, "fault-model")? {
+        None => Ok(FaultModel::default()),
+        Some(text) => text
+            .parse()
+            .map_err(|e| err(source_name, line, format!("fault-model: {e}"))),
+    }
+}
+
 fn build_job(
     source_name: &str,
     mut job: Table,
@@ -359,17 +375,20 @@ fn build_job(
                 circuit,
                 config: Default::default(),
                 prefix_len: prefix,
+                fault_model: take_fault_model(source_name, &mut job)?,
             })
         }
         "sweep" => JobSpec::Sweep(SweepSpec {
             circuit,
             config: Default::default(),
             prefix_lengths: take_lengths(source_name, &mut job, "points")?,
+            fault_model: take_fault_model(source_name, &mut job)?,
         }),
         "curve" => JobSpec::CoverageCurve(CoverageCurveSpec {
             circuit,
             config: Default::default(),
             checkpoints: take_lengths(source_name, &mut job, "points")?,
+            fault_model: take_fault_model(source_name, &mut job)?,
         }),
         "bakeoff" => JobSpec::Bakeoff(BakeoffSpec {
             circuit,
@@ -524,6 +543,26 @@ testbench = true
             assert!(e.to_string().starts_with("m.toml:"));
         }
         assert!(parse("m.toml", "").is_err(), "empty manifests are defects");
+    }
+
+    #[test]
+    fn fault_models_parse_per_job() {
+        let text = "[[job]]\nkind = \"sweep\"\ncircuit = \"c17\"\npoints = [0, 8]\n\
+                    fault-model = \"transition\"\n\
+                    [[job]]\nkind = \"solve\"\ncircuit = \"c17\"\nprefix = 4\n";
+        let manifest = parse("m.toml", text).expect("valid manifest");
+        assert!(
+            matches!(&manifest.jobs[0], JobSpec::Sweep(s) if s.fault_model == FaultModel::Transition)
+        );
+        assert!(
+            matches!(&manifest.jobs[1], JobSpec::SolveAt(s) if s.fault_model == FaultModel::StuckAt)
+        );
+
+        let bad = "[[job]]\nkind = \"curve\"\ncircuit = \"c17\"\npoints = [8]\n\
+                   fault-model = \"warp\"\n";
+        let e = parse("m.toml", bad).expect_err("unknown model");
+        assert!(e.to_string().contains("m.toml:5"), "{e}");
+        assert!(e.to_string().contains("warp"), "{e}");
     }
 
     #[test]

@@ -121,6 +121,75 @@ fn warm_rerun_is_a_cache_hit_and_byte_identical() {
     assert_eq!(doc.get("entries").and_then(Json::as_usize), Some(0));
 }
 
+#[test]
+fn fault_model_runs_are_distinct_cache_entries_and_cache_cleanly() {
+    let cache = fresh_dir("models");
+    let cache = cache.to_str().expect("UTF-8 path");
+    let args = |model: &'static str| {
+        vec![
+            "sweep",
+            "c17",
+            "--points",
+            "0,8",
+            "--fault-model",
+            model,
+            "--format",
+            "json",
+            "--cache-dir",
+            cache,
+        ]
+    };
+
+    // stuck-at, transition and bridging all run end-to-end and miss
+    // each other's cache entries (three distinct digests)
+    let mut outputs = Vec::new();
+    for model in ["stuck-at", "transition", "bridging"] {
+        let cold = bist(&args(model));
+        assert!(cold.status.success(), "{model}: {}", stderr(&cold));
+        assert!(
+            stderr(&cold).contains("misses=1 stores=1"),
+            "{model} is its own entry:\n{}",
+            stderr(&cold)
+        );
+        let warm = bist(&args(model));
+        assert!(warm.status.success());
+        assert!(stderr(&warm).contains("hits=1 misses=0"));
+        assert_eq!(
+            stdout(&cold),
+            stdout(&warm),
+            "{model}: cache-served JSON must be byte-identical"
+        );
+        outputs.push(stdout(&cold));
+    }
+    assert_ne!(outputs[0], outputs[1], "models grade different universes");
+    assert_ne!(outputs[0], outputs[2]);
+
+    // the explicit default shares the implicit default's cache entry:
+    // pre-existing stuck-at keys are unchanged
+    let implicit = bist(&[
+        "sweep",
+        "c17",
+        "--points",
+        "0,8",
+        "--format",
+        "json",
+        "--cache-dir",
+        cache,
+    ]);
+    assert!(implicit.status.success());
+    assert!(
+        stderr(&implicit).contains("hits=1 misses=0"),
+        "an unflagged sweep hits the stuck-at entry:\n{}",
+        stderr(&implicit)
+    );
+    assert_eq!(stdout(&implicit), outputs[0]);
+
+    // unknown models are usage errors, before any work
+    let bad = bist(&["sweep", "c17", "--points", "0,8", "--fault-model", "warp"]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(stderr(&bad).contains("warp"));
+}
+
 const MANIFEST: &str = r#"
 [defaults]
 circuit = "c17"

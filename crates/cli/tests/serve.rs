@@ -13,7 +13,7 @@ use bist_cli::commands::CommandError;
 use bist_cli::render::result_json;
 use bist_cli::serve::{ServeConfig, Server};
 use bist_engine::wire::{self, Request, Response};
-use bist_engine::{CircuitSource, Engine, JobResult, JobSpec, ResultCache};
+use bist_engine::{CircuitSource, Engine, FaultModel, JobResult, JobSpec, ResultCache};
 
 fn fresh_dir(test: &str) -> PathBuf {
     static NEXT: AtomicU64 = AtomicU64::new(0);
@@ -107,6 +107,58 @@ fn sweep_spec() -> JobSpec {
 
 fn solve_spec() -> JobSpec {
     JobSpec::solve_at(CircuitSource::iscas85("c17"), 4)
+}
+
+fn model_sweep_spec(model: FaultModel) -> JobSpec {
+    let mut spec = sweep_spec();
+    if let JobSpec::Sweep(s) = &mut spec {
+        s.fault_model = model;
+    }
+    spec
+}
+
+#[test]
+fn fault_model_jobs_cross_the_wire_and_hit_the_server_cache() {
+    let dir = fresh_dir("models");
+    let (addr, server) = start(ServeConfig {
+        jobs: 1,
+        queue_capacity: 16,
+        retry_after_ms: 100,
+        cache: Some(ResultCache::at(&dir)),
+        ..ServeConfig::default()
+    });
+
+    let local = Engine::with_threads(1);
+    for model in [FaultModel::Transition, FaultModel::bridging()] {
+        let (served, cached) = TestClient::connect(addr).run(model_sweep_spec(model));
+        assert!(!cached, "cold cache: computed");
+        let reference = local.run(model_sweep_spec(model)).expect("local run");
+        assert_eq!(
+            result_json(&served).render_pretty(),
+            result_json(&reference).render_pretty(),
+            "served {model} sweep is byte-identical to a local run"
+        );
+        let (again, cached) = TestClient::connect(addr).run(model_sweep_spec(model));
+        assert!(cached, "identical {model} resubmission is a cache hit");
+        assert_eq!(
+            result_json(&again).render_pretty(),
+            result_json(&served).render_pretty()
+        );
+    }
+    // the stuck-at entry is untouched by the model runs: a default
+    // sweep still computes fresh
+    let (_, cached) = TestClient::connect(addr).run(sweep_spec());
+    assert!(!cached, "models never alias the stuck-at entry");
+
+    let mut control = TestClient::connect(addr);
+    control.send(&Request::Shutdown);
+    let Response::Stopping { .. } = control.next() else {
+        panic!("shutdown request answers with stopping");
+    };
+    server
+        .join()
+        .expect("serve thread")
+        .expect("graceful shutdown exits cleanly");
 }
 
 #[test]

@@ -1,10 +1,7 @@
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use bist_fault::FaultStatus;
-use bist_faultsim::CoverageReport;
-use bist_logicsim::{Pattern, PatternBlock};
-use bist_netlist::{Circuit, GateKind, NodeId};
+use bist_faultsim::{BlockCtx, CoverageReport, Seeds, SimCounters, WordFault, WordSim};
+use bist_logicsim::Pattern;
+use bist_netlist::Circuit;
 
 use crate::model::{TransitionFault, TransitionFaultList};
 
@@ -12,13 +9,18 @@ use crate::model::{TransitionFault, TransitionFaultList};
 ///
 /// Patterns are applied as one continuous sequence — exactly what a BIST
 /// generator does — so pattern `t-1` doubles as the initialization vector
-/// of pattern `t`. A [`TransitionFault`] is detected at step `t` when the
-/// faulted line transitions between `t-1` and `t` in the good machine
-/// (launch) and the line's erroneously retained value is observed at a
-/// primary output under pattern `t` (capture). The engine mirrors the
-/// PPSFP structure of [`bist_faultsim::FaultSim`]: 64 patterns per block,
-/// single-fault forward propagation over the fan-out cone, carry of the
-/// last good values across block boundaries.
+/// of pattern `t` (launch-on-capture). A [`TransitionFault`] is detected
+/// at step `t` when the faulted line transitions between `t-1` and `t` in
+/// the good machine (launch) and the line's erroneously retained value is
+/// observed at a primary output under pattern `t` (capture).
+///
+/// This is the transition-delay instantiation of the model-generic
+/// [`WordSim`] engine shared with [`bist_faultsim::FaultSim`]: the model
+/// contributes only the launch mask and the retained-value seed word;
+/// the flattened-graph good machine, allocation-free levelized cone
+/// propagation, live-list fault dropping, `bist-par` sharding
+/// (bit-identical at every thread count) and carry checkpoints come from
+/// the shared engine.
 ///
 /// # Example
 ///
@@ -34,290 +36,197 @@ use crate::model::{TransitionFault, TransitionFaultList};
 /// ```
 #[derive(Debug)]
 pub struct TransitionSim<'c> {
-    circuit: &'c Circuit,
-    faults: TransitionFaultList,
-    status: Vec<FaultStatus>,
-    first_detection: Vec<Option<u32>>,
-    patterns_seen: u32,
-    /// Good-machine value of every node for the last pattern of the
-    /// previous block (the launch carry).
-    last_bits: Vec<bool>,
-    // --- scratch buffers, reused across blocks ---
-    good: Vec<u64>,
-    prev: Vec<u64>,
-    fval: Vec<u64>,
-    stamp: Vec<u32>,
-    epoch: u32,
-    topo_pos: Vec<u32>,
+    /// The universe, kept in list form for [`TransitionSim::faults`] /
+    /// [`TransitionSim::open_faults`] (the engine holds its own flat copy).
+    list: TransitionFaultList,
+    inner: WordSim<'c, TransitionFault>,
 }
 
 impl<'c> TransitionSim<'c> {
-    /// Creates a simulator grading `faults` on `circuit`.
+    /// Creates a simulator grading `faults` on `circuit`, with the pool
+    /// width taken from `BIST_THREADS` / the machine.
     pub fn new(circuit: &'c Circuit, faults: TransitionFaultList) -> Self {
-        let n = circuit.num_nodes();
-        let mut topo_pos = vec![0u32; n];
-        for (pos, &id) in circuit.topo_order().iter().enumerate() {
-            topo_pos[id.index()] = pos as u32;
-        }
-        let len = faults.len();
+        let flat: Vec<TransitionFault> = faults.iter().copied().collect();
         TransitionSim {
-            circuit,
-            faults,
-            status: vec![FaultStatus::Undetected; len],
-            first_detection: vec![None; len],
-            patterns_seen: 0,
-            last_bits: vec![false; n],
-            good: vec![0; n],
-            prev: vec![0; n],
-            fval: vec![0; n],
-            stamp: vec![0; n],
-            epoch: 0,
-            topo_pos,
+            list: faults,
+            inner: WordSim::new(circuit, flat),
         }
+    }
+
+    /// Re-creates a simulator mid-sequence from a carry checkpoint (see
+    /// [`TransitionSim::carry_bits`]); feeding the rest of the sequence
+    /// behaves exactly like one simulator that consumed it end to end,
+    /// except [`TransitionSim::first_detection`] only covers faults
+    /// detected after the resume point.
+    pub fn resume(
+        circuit: &'c Circuit,
+        faults: TransitionFaultList,
+        statuses: &[FaultStatus],
+        carry: &[bool],
+        patterns_seen: u32,
+    ) -> Self {
+        let flat: Vec<TransitionFault> = faults.iter().copied().collect();
+        TransitionSim {
+            list: faults,
+            inner: WordSim::resume(circuit, flat, statuses, carry, patterns_seen),
+        }
+    }
+
+    /// Sets the pool width for subsequent [`TransitionSim::simulate`]
+    /// calls (`0` = automatic). Grading results never depend on this knob.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.inner.set_threads(threads);
+    }
+
+    /// Builder form of [`TransitionSim::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// The pool width grading currently uses.
+    pub fn threads(&self) -> usize {
+        self.inner.threads()
     }
 
     /// The circuit under test.
     pub fn circuit(&self) -> &'c Circuit {
-        self.circuit
+        self.inner.circuit()
     }
 
     /// The fault universe being graded.
     pub fn faults(&self) -> &TransitionFaultList {
-        &self.faults
+        &self.list
     }
 
     /// Status of fault `index`.
     pub fn status_of(&self, index: usize) -> FaultStatus {
-        self.status[index]
+        self.inner.status_of(index)
     }
 
     /// All statuses, parallel to [`TransitionSim::faults`].
     pub fn statuses(&self) -> &[FaultStatus] {
-        &self.status
+        self.inner.statuses()
     }
 
     /// Overrides the status of fault `index` (the delay ATPG uses this for
     /// redundant / aborted bookkeeping).
     pub fn set_status(&mut self, index: usize, status: FaultStatus) {
-        self.status[index] = status;
+        self.inner.set_status(index, status);
     }
 
     /// Global index of the first pattern whose capture detected fault
     /// `index`.
     pub fn first_detection(&self, index: usize) -> Option<u32> {
-        self.first_detection[index]
+        self.inner.first_detection(index)
     }
 
     /// Number of patterns consumed so far.
     pub fn patterns_seen(&self) -> u32 {
-        self.patterns_seen
+        self.inner.patterns_seen()
+    }
+
+    /// The work performed so far. Deterministic at every thread width.
+    pub fn counters(&self) -> SimCounters {
+        self.inner.counters()
+    }
+
+    /// The good-machine node values after the last consumed pattern — the
+    /// launch carry. Together with [`TransitionSim::statuses`] and
+    /// [`TransitionSim::patterns_seen`] this is a complete mid-sequence
+    /// checkpoint for [`TransitionSim::resume`].
+    pub fn carry_bits(&self) -> &[bool] {
+        self.inner.carry_bits()
     }
 
     /// Forgets all grading results and the sequence position.
     pub fn reset(&mut self) {
-        self.status.fill(FaultStatus::Undetected);
-        self.first_detection.fill(None);
-        self.patterns_seen = 0;
-        self.last_bits.fill(false);
+        self.inner.reset();
     }
 
     /// Grades `patterns` (in order, continuing any previously fed
     /// sequence). Returns the number of newly detected faults.
     pub fn simulate(&mut self, patterns: &[Pattern]) -> usize {
-        let mut newly = 0;
-        for chunk in patterns.chunks(64) {
-            let block = PatternBlock::pack(self.circuit, chunk);
-            newly += self.simulate_block(&block);
-        }
-        newly
+        self.inner.simulate(patterns)
     }
 
     /// Coverage summary over the whole universe.
     pub fn report(&self) -> CoverageReport {
-        CoverageReport::from_statuses(&self.status)
+        self.inner.report()
     }
 
     /// The faults still open (undetected or aborted), with their indices.
     pub fn open_faults(&self) -> Vec<(usize, TransitionFault)> {
-        self.faults
+        self.list
             .iter()
             .enumerate()
-            .filter(|(i, _)| self.status[*i].is_open())
+            .filter(|(i, _)| self.inner.status_of(*i).is_open())
             .map(|(i, f)| (i, *f))
             .collect()
     }
+}
 
-    fn simulate_block(&mut self, block: &PatternBlock) -> usize {
-        let valid = block.valid_mask();
-        self.good_simulate(block);
-        let first_ever = self.patterns_seen == 0;
-        for (i, g) in self.good.iter().enumerate() {
-            let carry = if first_ever {
-                g & 1 // pattern 0 has no predecessor: prev := self (no launch)
-            } else {
-                u64::from(self.last_bits[i])
-            };
-            self.prev[i] = (g << 1) | carry;
+impl WordFault for TransitionFault {
+    /// The retained-value seed at the effect site: where the launch mask
+    /// excites the fault, the line (stem) or the gate input (branch)
+    /// erroneously keeps its initial value through capture.
+    fn seeds(&self, ctx: &BlockCtx<'_>) -> Seeds {
+        let g = ctx.graph;
+        let site = self.site.index();
+        let excite = launch_mask(ctx, *self);
+        if excite & ctx.valid == 0 {
+            return Seeds::NONE;
         }
-        let last = block.count() - 1;
-        for (i, g) in self.good.iter().enumerate() {
-            self.last_bits[i] = (g >> last) & 1 == 1;
-        }
-
-        let mut newly = 0;
-        for fi in 0..self.faults.len() {
-            if self.status[fi] != FaultStatus::Undetected {
-                continue;
-            }
-            let fault = *self.faults.get(fi).expect("index in range");
-            if let Some(mask) = self.try_detect(fault, valid) {
-                let first = mask.trailing_zeros();
-                self.status[fi] = FaultStatus::Detected;
-                self.first_detection[fi] = Some(self.patterns_seen + first);
-                newly += 1;
-            }
-        }
-        self.patterns_seen += block.count() as u32;
-        newly
-    }
-
-    fn good_simulate(&mut self, block: &PatternBlock) {
-        for (i, &pi) in self.circuit.inputs().iter().enumerate() {
-            self.good[pi.index()] = block.input_word(i);
-        }
-        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
-        for &id in self.circuit.topo_order() {
-            let node = self.circuit.node(id);
-            match node.kind() {
-                GateKind::Input => {}
-                GateKind::Dff => self.good[id.index()] = 0,
-                kind => {
-                    fanin_buf.clear();
-                    fanin_buf.extend(node.fanin().iter().map(|f| self.good[f.index()]));
-                    self.good[id.index()] = kind.eval_word(&fanin_buf);
-                }
-            }
-        }
-    }
-
-    /// Word of patterns where the faulted line launches its transition:
-    /// driver held the initial value at `t-1` and the final value at `t`.
-    fn launch_mask(&self, fault: TransitionFault) -> u64 {
-        let driver = fault.driver(self.circuit);
-        let g = self.good[driver.index()];
-        let before = self.prev[driver.index()];
-        let init = fault.initial_value();
-        let was_init = if init { before } else { !before };
-        let is_final = if init { !g } else { g };
-        was_init & is_final
-    }
-
-    /// Computes the faulty value at the effect site for this block, or
-    /// `None` if the fault changes nothing.
-    fn seed_value(&self, fault: TransitionFault, valid: u64) -> Option<(NodeId, u64)> {
-        let excite = self.launch_mask(fault);
-        if excite & valid == 0 {
-            return None;
-        }
-        let init_word = if fault.initial_value() { !0u64 } else { 0 };
-        match fault.pin {
+        let init_word = if self.initial_value() { !0u64 } else { 0 };
+        let fv = match self.pin {
             None => {
                 // The stem erroneously retains the initial value where
                 // excited; elsewhere it follows the good machine.
-                let g = self.good[fault.site.index()];
-                let fv = (g & !excite) | (init_word & excite);
-                let diff = (fv ^ g) & valid;
-                (diff != 0).then_some((fault.site, fv))
+                let good = ctx.good[site];
+                (good & !excite) | (init_word & excite)
             }
             Some(p) => {
                 // Only the branch into pin `p` is late: re-evaluate the gate
                 // with that pin forced to the initial value where excited.
-                let node = self.circuit.node(fault.site);
-                let fanin: Vec<u64> = node
-                    .fanin()
-                    .iter()
-                    .enumerate()
-                    .map(|(k, f)| {
-                        let g = self.good[f.index()];
+                g.kind(site)
+                    .eval_word_iter(g.fanin(site).iter().enumerate().map(|(k, &f)| {
+                        let good = ctx.good[f as usize];
                         if k == p as usize {
-                            (g & !excite) | (init_word & excite)
+                            (good & !excite) | (init_word & excite)
                         } else {
-                            g
+                            good
                         }
-                    })
-                    .collect();
-                let fv = node.kind().eval_word(&fanin);
-                let g = self.good[fault.site.index()];
-                let diff = (fv ^ g) & valid;
-                (diff != 0).then_some((fault.site, fv))
+                    }))
             }
+        };
+        let diff = (fv ^ ctx.good[site]) & ctx.valid;
+        if diff == 0 {
+            return Seeds::NONE;
         }
+        Seeds::one(site as u32, fv)
     }
+}
 
-    /// Injects `fault` and propagates through its fan-out cone; returns the
-    /// mask of patterns detecting it at a primary output, or `None`.
-    fn try_detect(&mut self, fault: TransitionFault, valid: u64) -> Option<u64> {
-        let (site, seed) = self.seed_value(fault, valid)?;
-
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            self.stamp.fill(0);
-            self.epoch = 1;
-        }
-        let epoch = self.epoch;
-
-        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-        self.fval[site.index()] = seed;
-        self.stamp[site.index()] = epoch;
-        let mut detect = 0u64;
-        if self.circuit.is_output(site) {
-            detect |= (seed ^ self.good[site.index()]) & valid;
-        }
-        for &s in self.circuit.fanout(site) {
-            heap.push(Reverse((self.topo_pos[s.index()], s.index() as u32)));
-        }
-
-        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
-        let mut last_popped = u32::MAX;
-        while let Some(Reverse((pos, idx))) = heap.pop() {
-            if pos == last_popped {
-                continue;
-            }
-            last_popped = pos;
-            let id = NodeId::from_index(idx as usize);
-            let node = self.circuit.node(id);
-            if !node.kind().is_combinational() {
-                continue;
-            }
-            fanin_buf.clear();
-            fanin_buf.extend(node.fanin().iter().map(|f| {
-                if self.stamp[f.index()] == epoch {
-                    self.fval[f.index()]
-                } else {
-                    self.good[f.index()]
-                }
-            }));
-            let fv = node.kind().eval_word(&fanin_buf);
-            if fv == self.good[id.index()] {
-                continue;
-            }
-            self.fval[id.index()] = fv;
-            self.stamp[id.index()] = epoch;
-            if self.circuit.is_output(id) {
-                detect |= (fv ^ self.good[id.index()]) & valid;
-            }
-            for &s in self.circuit.fanout(id) {
-                heap.push(Reverse((self.topo_pos[s.index()], s.index() as u32)));
-            }
-        }
-        (detect != 0).then_some(detect)
-    }
+/// Word of patterns where the faulted line launches its transition:
+/// driver held the initial value at `t-1` and the final value at `t`.
+fn launch_mask(ctx: &BlockCtx<'_>, fault: TransitionFault) -> u64 {
+    let driver = match fault.pin {
+        None => fault.site.index(),
+        Some(p) => ctx.graph.fanin(fault.site.index())[p as usize] as usize,
+    };
+    let g = ctx.good[driver];
+    let before = ctx.prev[driver];
+    let init = fault.initial_value();
+    let was_init = if init { before } else { !before };
+    let is_final = if init { !g } else { g };
+    was_init & is_final
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::Transition;
+    use bist_netlist::GateKind;
     use rand::{rngs::StdRng, SeedableRng};
 
     fn random_sequence(width: usize, count: usize, seed: u64) -> Vec<Pattern> {
@@ -461,6 +370,58 @@ mod tests {
                 "fault {i}"
             );
         }
+    }
+
+    #[test]
+    fn parallel_grading_is_bit_identical_to_serial() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let faults = TransitionFaultList::universe(&c);
+        let patterns = random_sequence(c.inputs().len(), 400, 7);
+
+        let mut serial = TransitionSim::new(&c, faults.clone()).with_threads(1);
+        serial.simulate(&patterns);
+
+        for threads in [2, 4] {
+            let mut par = TransitionSim::new(&c, faults.clone()).with_threads(threads);
+            par.simulate(&patterns);
+            assert_eq!(serial.statuses(), par.statuses(), "threads={threads}");
+            for i in 0..serial.faults().len() {
+                assert_eq!(
+                    serial.first_detection(i),
+                    par.first_detection(i),
+                    "threads={threads}, fault {i}"
+                );
+            }
+            assert_eq!(
+                serial.counters(),
+                par.counters(),
+                "work counters drift at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_from_carry_checkpoint_matches_straight_run() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let faults = TransitionFaultList::universe(&c);
+        let patterns = random_sequence(c.inputs().len(), 200, 23);
+
+        let mut straight = TransitionSim::new(&c, faults.clone());
+        straight.simulate(&patterns);
+
+        let mut head = TransitionSim::new(&c, faults.clone());
+        head.simulate(&patterns[..77]);
+        let mut tail = TransitionSim::resume(
+            &c,
+            faults,
+            head.statuses(),
+            head.carry_bits(),
+            head.patterns_seen(),
+        );
+        tail.simulate(&patterns[77..]);
+
+        assert_eq!(straight.statuses(), tail.statuses());
+        assert_eq!(straight.patterns_seen(), tail.patterns_seen());
     }
 
     #[test]

@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::SystemTime;
 
+use bist_faultmodel::FaultModel;
 use bist_netlist::{bench, Circuit};
 use bist_synth::CellKind;
 
@@ -424,6 +425,18 @@ pub fn job_digest(circuit: &Circuit, spec: &JobSpec) -> String {
         // determine the report
         JobSpec::AreaReport(_) | JobSpec::Lint(_) => {}
     }
+
+    // The fault model joined the spec after stuck-at results were
+    // already on disk: the default feeds nothing, so every digest (and
+    // cache entry) minted before the field existed stays valid.
+    let model = spec.fault_model();
+    if !model.is_default() {
+        feed(&mut h, "fault-model", model.name().as_bytes());
+        if let FaultModel::Bridging { pairs, seed } = model {
+            feed_u64(&mut h, "bridge-pairs", u64::from(pairs));
+            feed_u64(&mut h, "bridge-seed", seed);
+        }
+    }
     h.finish_hex()
 }
 
@@ -445,6 +458,7 @@ mod tests {
                 ..MixedSchemeConfig::default()
             },
             prefix_lengths: prefixes.to_vec(),
+            fault_model: FaultModel::default(),
         })
     }
 
@@ -479,6 +493,37 @@ mod tests {
     }
 
     #[test]
+    fn digest_separates_fault_models_but_not_the_default_one() {
+        // The explicit default must hash exactly like specs built before
+        // the field existed (the constructor path): old cache entries
+        // stay addressable.
+        let baseline = job_digest(&c17(), &sweep_spec(&[0, 8], 0));
+        let with_model = |model: FaultModel| {
+            let mut spec = sweep_spec(&[0, 8], 0);
+            if let JobSpec::Sweep(s) = &mut spec {
+                s.fault_model = model;
+            }
+            job_digest(&c17(), &spec)
+        };
+        assert_eq!(baseline, with_model(FaultModel::StuckAt));
+
+        let transition = with_model(FaultModel::Transition);
+        let bridging = with_model(FaultModel::bridging());
+        assert_ne!(baseline, transition);
+        assert_ne!(baseline, bridging);
+        assert_ne!(transition, bridging);
+        // bridging universes are parameterized: pairs/seed are part of
+        // the key
+        assert_ne!(
+            bridging,
+            with_model(FaultModel::Bridging {
+                pairs: 7,
+                seed: 0x1dd9,
+            })
+        );
+    }
+
+    #[test]
     fn digest_sees_the_configuration() {
         let mut config = MixedSchemeConfig::default();
         config.atpg.podem.backtrack_limit += 1;
@@ -486,6 +531,7 @@ mod tests {
             circuit: CircuitSource::iscas85("c17"),
             config,
             prefix_lengths: vec![0, 8],
+            fault_model: FaultModel::default(),
         });
         assert_ne!(
             job_digest(&c17(), &sweep_spec(&[0, 8], 0)),

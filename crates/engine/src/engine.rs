@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use bist_baselines::{bakeoff, BakeoffConfig};
 use bist_core::{BistSession, MixedGenerator, MixedSolution, SweepSummary};
+use bist_faultmodel::ModelSession;
 use bist_faultsim::{CoverageCurve, CoverageReport};
 use bist_hdl::{emit_verilog, emit_verilog_testbench, emit_vhdl, lint, HdlOptions};
 use bist_lint::{LintOptions, LintReport};
@@ -25,21 +26,6 @@ use crate::spec::{
     JobSpec, LintSpec, SolveAtSpec, SweepSpec,
 };
 
-/// Routes one job's events to its private feed and, for the deprecated
-/// engine-wide stream, to the shared shim feed.
-#[derive(Debug, Clone)]
-struct EventSink {
-    job: ProgressFeed,
-    shim: ProgressFeed,
-}
-
-impl EventSink {
-    fn push(&self, event: ProgressEvent) {
-        self.job.push(event.clone());
-        self.shim.push(event);
-    }
-}
-
 /// The single public face of the workspace: validates [`JobSpec`]s,
 /// schedules them across the `bist-par` pool, streams [`ProgressEvent`]s
 /// and returns typed [`JobResult`]s.
@@ -54,7 +40,7 @@ impl EventSink {
 ///
 /// Cloning an engine is cheap and yields a second handle on the *same*
 /// engine: the clones share the pool width, the result cache (and its
-/// counters), the job-id counter and the deprecated engine-wide feed.
+/// counters) and the job-id counter.
 ///
 /// # Example
 ///
@@ -77,7 +63,6 @@ struct EngineInner {
     /// Pool width for batch sharding and the per-job engines (`0` =
     /// automatic: `BIST_THREADS` or the machine width).
     threads: usize,
-    feed: ProgressFeed,
     next_job: AtomicU64,
     cache: Option<ResultCache>,
 }
@@ -86,7 +71,6 @@ impl Clone for EngineInner {
     fn clone(&self) -> Self {
         EngineInner {
             threads: self.threads,
-            feed: self.feed.clone(),
             next_job: AtomicU64::new(self.next_job.load(Ordering::SeqCst)),
             cache: self.cache.clone(),
         }
@@ -142,18 +126,6 @@ impl Engine {
     /// engine's hits/misses/stores).
     pub fn cache(&self) -> Option<&ResultCache> {
         self.inner.cache.as_ref()
-    }
-
-    /// A pull handle on the deprecated engine-wide event stream, which
-    /// interleaves every submitted job. All handles (and the engine)
-    /// share one queue; events are delivered once each.
-    #[deprecated(
-        since = "0.7.0",
-        note = "subscribe per job: Engine::submit returns a JobHandle whose \
-                progress() feed carries only that job's events"
-    )]
-    pub fn progress(&self) -> ProgressFeed {
-        self.inner.feed.clone()
     }
 
     fn next_id(&self) -> JobId {
@@ -228,10 +200,6 @@ impl Engine {
             let label = format!("{} {}", spec.kind(), spec.circuit().label());
             let feed = ProgressFeed::new();
             let slot = Arc::new(JobSlot::default());
-            let sink = EventSink {
-                job: feed.clone(),
-                shim: self.inner.feed.clone(),
-            };
             handles.push(JobHandle {
                 id,
                 label: label.clone(),
@@ -239,7 +207,7 @@ impl Engine {
                 cancel: cancel.clone(),
                 slot: slot.clone(),
             });
-            sink.push(ProgressEvent::Queued { job: id, label });
+            feed.push(ProgressEvent::Queued { job: id, label });
             work.push((id, spec, feed, SlotGuard(slot)));
         }
         let engine = self.clone();
@@ -249,11 +217,7 @@ impl Engine {
             .spawn(move || {
                 let pool = Pool::resolve(engine.inner.threads);
                 pool.par_map(&work, |(id, spec, feed, guard)| {
-                    let sink = EventSink {
-                        job: feed.clone(),
-                        shim: engine.inner.feed.clone(),
-                    };
-                    match engine.execute(*id, spec, &cancel, &sink) {
+                    match engine.execute(*id, spec, &cancel, feed) {
                         Ok((result, cached)) => guard.0.fill(Ok(result), cached),
                         Err(e) => guard.0.fill(Err(e), false),
                     }
@@ -325,14 +289,14 @@ impl Engine {
         id: JobId,
         spec: &JobSpec,
         cancel: &CancelToken,
-        sink: &EventSink,
+        feed: &ProgressFeed,
     ) -> Result<(JobResult, bool), BistError> {
-        sink.push(ProgressEvent::Started { job: id });
-        let result = self.drive(id, spec, cancel, sink);
+        feed.push(ProgressEvent::Started { job: id });
+        let result = self.drive(id, spec, cancel, feed);
         match &result {
-            Ok(_) => sink.push(ProgressEvent::Finished { job: id }),
-            Err(BistError::Canceled) => sink.push(ProgressEvent::Canceled { job: id }),
-            Err(e) => sink.push(ProgressEvent::Failed {
+            Ok(_) => feed.push(ProgressEvent::Finished { job: id }),
+            Err(BistError::Canceled) => feed.push(ProgressEvent::Canceled { job: id }),
+            Err(e) => feed.push(ProgressEvent::Failed {
                 job: id,
                 message: e.to_string(),
             }),
@@ -345,7 +309,7 @@ impl Engine {
         id: JobId,
         spec: &JobSpec,
         cancel: &CancelToken,
-        sink: &EventSink,
+        feed: &ProgressFeed,
     ) -> Result<(JobResult, bool), BistError> {
         spec.validate()?;
         if cancel.is_canceled() {
@@ -357,7 +321,7 @@ impl Engine {
         // realized circuit, and a defective source has none.)
         if let (JobSpec::Lint(_), CircuitSource::Bench { name, text }) = (spec, spec.circuit()) {
             if let Err(diagnostic) = bist_lint::parse_pass(name, text) {
-                sink.push(ProgressEvent::Pass {
+                feed.push(ProgressEvent::Pass {
                     job: id,
                     name: "parse".to_owned(),
                 });
@@ -388,13 +352,13 @@ impl Engine {
             }
         }
         let result = match spec {
-            JobSpec::SolveAt(s) => self.drive_solve_at(id, s, &circuit, sink),
-            JobSpec::Sweep(s) => self.drive_sweep(id, s, &circuit, cancel, sink),
-            JobSpec::CoverageCurve(s) => self.drive_curve(id, s, &circuit, cancel, sink),
+            JobSpec::SolveAt(s) => self.drive_solve_at(id, s, &circuit, feed),
+            JobSpec::Sweep(s) => self.drive_sweep(id, s, &circuit, cancel, feed),
+            JobSpec::CoverageCurve(s) => self.drive_curve(id, s, &circuit, cancel, feed),
             JobSpec::Bakeoff(s) => self.drive_bakeoff(s, &circuit),
-            JobSpec::EmitHdl(s) => self.drive_emit_hdl(id, s, &circuit, sink),
-            JobSpec::AreaReport(s) => self.drive_area_report(id, s, &circuit, sink),
-            JobSpec::Lint(s) => self.drive_lint(id, s, &circuit, cancel, sink),
+            JobSpec::EmitHdl(s) => self.drive_emit_hdl(id, s, &circuit, feed),
+            JobSpec::AreaReport(s) => self.drive_area_report(id, s, &circuit, feed),
+            JobSpec::Lint(s) => self.drive_lint(id, s, &circuit, cancel, feed),
         };
         if let (Some((cache, key)), Ok(result)) = (&key, &result) {
             cache.store(key, result);
@@ -402,8 +366,14 @@ impl Engine {
         result.map(|result| (result, false))
     }
 
-    fn checkpoint(&self, sink: &EventSink, id: JobId, prefix_len: usize, report: &CoverageReport) {
-        sink.push(ProgressEvent::Checkpoint {
+    fn checkpoint(
+        &self,
+        feed: &ProgressFeed,
+        id: JobId,
+        prefix_len: usize,
+        report: &CoverageReport,
+    ) {
+        feed.push(ProgressEvent::Checkpoint {
             job: id,
             prefix_len,
             coverage_pct: report.coverage_pct(),
@@ -420,11 +390,11 @@ impl Engine {
         id: JobId,
         s: &SolveAtSpec,
         circuit: &Circuit,
-        sink: &EventSink,
+        feed: &ProgressFeed,
     ) -> Result<JobResult, BistError> {
-        let mut session = BistSession::new(circuit, s.config.clone());
+        let mut session = ModelSession::new(circuit, s.config.clone(), s.fault_model);
         let solution = session.solve_at(s.prefix_len)?;
-        self.checkpoint(sink, id, s.prefix_len, &solution.coverage);
+        self.checkpoint(feed, id, s.prefix_len, &solution.coverage);
         Ok(JobResult::SolveAt(SolveAtOutcome {
             circuit: circuit.name().to_owned(),
             solution,
@@ -438,13 +408,13 @@ impl Engine {
         s: &SweepSpec,
         circuit: &Circuit,
         cancel: &CancelToken,
-        sink: &EventSink,
+        feed: &ProgressFeed,
     ) -> Result<JobResult, BistError> {
-        let mut session = BistSession::new(circuit, s.config.clone());
+        let mut session = ModelSession::new(circuit, s.config.clone(), s.fault_model);
         // ascending solve order keeps the incremental contract (each
         // pseudo-random pattern graded at most once) while leaving a
         // cancellation/progress boundary between points; results are
-        // bit-identical to `BistSession::sweep`
+        // bit-identical to `ModelSession::sweep`
         let mut ascending: Vec<usize> = s.prefix_lengths.clone();
         ascending.sort_unstable();
         ascending.dedup();
@@ -455,7 +425,7 @@ impl Engine {
                 return Err(BistError::Canceled);
             }
             let solution = session.solve_at(p)?;
-            self.checkpoint(sink, id, p, &solution.coverage);
+            self.checkpoint(feed, id, p, &solution.coverage);
             solved.insert(p, solution);
         }
         let solutions: Vec<MixedSolution> =
@@ -473,10 +443,10 @@ impl Engine {
         s: &CoverageCurveSpec,
         circuit: &Circuit,
         cancel: &CancelToken,
-        sink: &EventSink,
+        feed: &ProgressFeed,
     ) -> Result<JobResult, BistError> {
-        let mut session = BistSession::new(circuit, s.config.clone());
-        let universe = session.faults().len();
+        let mut session = ModelSession::new(circuit, s.config.clone(), s.fault_model);
+        let universe = session.universe_len();
         let mut ascending: Vec<usize> = s.checkpoints.clone();
         ascending.sort_unstable();
         ascending.dedup();
@@ -487,7 +457,7 @@ impl Engine {
             }
             let point = session.random_coverage_curve(&[cp]);
             let pct = point.points()[0].1;
-            sink.push(ProgressEvent::Checkpoint {
+            feed.push(ProgressEvent::Checkpoint {
                 job: id,
                 prefix_len: cp,
                 coverage_pct: pct,
@@ -520,11 +490,11 @@ impl Engine {
         id: JobId,
         s: &EmitHdlSpec,
         circuit: &Circuit,
-        sink: &EventSink,
+        feed: &ProgressFeed,
     ) -> Result<JobResult, BistError> {
         let mut session = BistSession::new(circuit, s.config.clone());
         let solution = session.solve_at(s.prefix_len)?;
-        self.checkpoint(sink, id, s.prefix_len, &solution.coverage);
+        self.checkpoint(feed, id, s.prefix_len, &solution.coverage);
 
         let module = s
             .module_name
@@ -572,8 +542,8 @@ impl Engine {
         }))
     }
 
-    fn analysis_pass(&self, sink: &EventSink, id: JobId, name: &str) {
-        sink.push(ProgressEvent::Pass {
+    fn analysis_pass(&self, feed: &ProgressFeed, id: JobId, name: &str) {
+        feed.push(ProgressEvent::Pass {
             job: id,
             name: name.to_owned(),
         });
@@ -585,13 +555,13 @@ impl Engine {
         s: &LintSpec,
         circuit: &Circuit,
         cancel: &CancelToken,
-        sink: &EventSink,
+        feed: &ProgressFeed,
     ) -> Result<JobResult, BistError> {
         let options = LintOptions::default();
         // parse pass: recover the source map so diagnostics carry line
         // spans — against the user's own text for Bench sources, against
         // the canonical `.bench` serialization for everything else
-        self.analysis_pass(sink, id, "parse");
+        self.analysis_pass(feed, id, "parse");
         let map = match &s.circuit {
             CircuitSource::Bench { name, text } => {
                 bist_lint::parse_pass(name, text).ok().map(|(_, m)| m)
@@ -606,12 +576,12 @@ impl Engine {
         if cancel.is_canceled() {
             return Err(BistError::Canceled);
         }
-        self.analysis_pass(sink, id, "structural");
+        self.analysis_pass(feed, id, "structural");
         let mut diagnostics = bist_lint::structural_pass(circuit, map.as_ref(), &options);
         if cancel.is_canceled() {
             return Err(BistError::Canceled);
         }
-        self.analysis_pass(sink, id, "scoap");
+        self.analysis_pass(feed, id, "scoap");
         let (scoap_diags, summary) = bist_lint::scoap_pass(circuit, map.as_ref(), &options);
         diagnostics.extend(scoap_diags);
         Ok(JobResult::Lint(LintOutcome {
@@ -629,11 +599,11 @@ impl Engine {
         id: JobId,
         s: &AreaReportSpec,
         circuit: &Circuit,
-        sink: &EventSink,
+        feed: &ProgressFeed,
     ) -> Result<JobResult, BistError> {
         let mut session = BistSession::new(circuit, s.config.clone());
         let solution = session.solve_at(0)?;
-        self.checkpoint(sink, id, 0, &solution.coverage);
+        self.checkpoint(feed, id, 0, &solution.coverage);
         Ok(JobResult::AreaReport(AreaReportOutcome {
             circuit: circuit.name().to_owned(),
             inputs: circuit.inputs().len(),

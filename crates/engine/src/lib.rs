@@ -76,6 +76,7 @@ pub use wire::{WireError, WIRE_SCHEMA_VERSION};
 // The config/outcome vocabulary jobs are written in, re-exported so
 // engine consumers (the `bist` CLI above all) need no substrate crates.
 pub use bist_core::{MixedSchemeConfig, MixedSolution, SessionStats, SweepSummary};
+pub use bist_faultmodel::{FaultModel, ParseFaultModelError};
 pub use bist_lint::{
     fmt_scoap, Diagnostic, LintOptions, LintReport, RankedNode, RuleCode, ScoapSummary, Severity,
     Span, SCOAP_INF,

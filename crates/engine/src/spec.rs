@@ -7,6 +7,7 @@
 //! defect surfaces as a typed [`BistError`] instead of a panic.
 
 use bist_core::MixedSchemeConfig;
+use bist_faultmodel::FaultModel;
 use bist_netlist::{bench, iscas85, iscas89, Circuit};
 
 use crate::error::BistError;
@@ -124,6 +125,7 @@ pub enum HdlLanguage {
 ///     circuit: CircuitSource::iscas85("c17"),
 ///     config: Default::default(),
 ///     prefix_len: 4,
+///     fault_model: Default::default(),
 /// };
 /// let result = Engine::new().run(JobSpec::SolveAt(spec))?;
 /// let solved = result.as_solve_at().expect("solve-at outcome");
@@ -138,6 +140,10 @@ pub struct SolveAtSpec {
     pub config: MixedSchemeConfig,
     /// Pseudo-random prefix length `p`.
     pub prefix_len: usize,
+    /// Which fault universe to grade and top up against. The default
+    /// ([`FaultModel::StuckAt`]) hashes, encodes and caches exactly as
+    /// specs did before this field existed.
+    pub fault_model: FaultModel,
 }
 
 /// Sweep the `(p, d)` trade-off over many prefix lengths on one
@@ -163,6 +169,10 @@ pub struct SweepSpec {
     pub config: MixedSchemeConfig,
     /// Prefix lengths to solve, in the order results should come back.
     pub prefix_lengths: Vec<usize>,
+    /// Which fault universe to grade and top up against. The default
+    /// ([`FaultModel::StuckAt`]) hashes, encodes and caches exactly as
+    /// specs did before this field existed.
+    pub fault_model: FaultModel,
 }
 
 /// Grade the pure pseudo-random sequence at the given checkpoints — the
@@ -188,6 +198,10 @@ pub struct CoverageCurveSpec {
     pub config: MixedSchemeConfig,
     /// Sequence lengths to report coverage at, in result order.
     pub checkpoints: Vec<usize>,
+    /// Which fault universe to grade. The default
+    /// ([`FaultModel::StuckAt`]) hashes, encodes and caches exactly as
+    /// specs did before this field existed.
+    pub fault_model: FaultModel,
 }
 
 /// Run every surveyed TPG architecture on one circuit, on equal terms.
@@ -329,6 +343,7 @@ impl JobSpec {
             circuit,
             config: MixedSchemeConfig::default(),
             prefix_len,
+            fault_model: FaultModel::default(),
         })
     }
 
@@ -338,6 +353,7 @@ impl JobSpec {
             circuit,
             config: MixedSchemeConfig::default(),
             prefix_lengths: prefix_lengths.into(),
+            fault_model: FaultModel::default(),
         })
     }
 
@@ -347,6 +363,7 @@ impl JobSpec {
             circuit,
             config: MixedSchemeConfig::default(),
             checkpoints: checkpoints.into(),
+            fault_model: FaultModel::default(),
         })
     }
 
@@ -412,6 +429,21 @@ impl JobSpec {
             JobSpec::EmitHdl(s) => &s.circuit,
             JobSpec::AreaReport(s) => &s.circuit,
             JobSpec::Lint(s) => &s.circuit,
+        }
+    }
+
+    /// The fault model the job grades against — [`FaultModel::StuckAt`]
+    /// for the job kinds that don't carry one (bakeoff, HDL emission,
+    /// area report and lint always run the paper's stuck-at flow).
+    pub fn fault_model(&self) -> FaultModel {
+        match self {
+            JobSpec::SolveAt(s) => s.fault_model,
+            JobSpec::Sweep(s) => s.fault_model,
+            JobSpec::CoverageCurve(s) => s.fault_model,
+            JobSpec::Bakeoff(_)
+            | JobSpec::EmitHdl(_)
+            | JobSpec::AreaReport(_)
+            | JobSpec::Lint(_) => FaultModel::StuckAt,
         }
     }
 

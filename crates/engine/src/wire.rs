@@ -33,6 +33,7 @@ use crate::spec::{
     JobSpec, LintSpec, SolveAtSpec, SweepSpec,
 };
 use bist_core::MixedSchemeConfig;
+use bist_faultmodel::{FaultModel, ParseFaultModelError};
 use bist_lfsr::Polynomial;
 use bist_synth::AreaModel;
 
@@ -412,7 +413,28 @@ pub fn encode_spec(spec: &JobSpec) -> Json {
         }
         JobSpec::AreaReport(_) | JobSpec::Lint(_) => {}
     }
+    // Emitted only when the job grades something other than stuck-at:
+    // the default spec's wire bytes are unchanged from schema-v1 peers
+    // that predate the field, and such peers keep decoding our default
+    // specs.
+    let model = spec.fault_model();
+    if !model.is_default() {
+        o.push("fault_model", Json::str(model.to_string()));
+    }
     o
+}
+
+/// The optional `fault_model` field: absent means stuck-at, the only
+/// model that existed when the wire schema was minted.
+fn decode_fault_model(j: &Json) -> Result<FaultModel, WireError> {
+    match j.get("fault_model") {
+        None | Some(Json::Null) => Ok(FaultModel::default()),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| err("`fault_model` is not a string"))?
+            .parse()
+            .map_err(|e: ParseFaultModelError| err(e.to_string())),
+    }
 }
 
 /// Decodes a wire document produced by [`encode_spec`].
@@ -428,16 +450,19 @@ pub fn decode_spec(j: &Json) -> Result<JobSpec, WireError> {
             circuit,
             config,
             prefix_len: get_usize(j, "prefix_len")?,
+            fault_model: decode_fault_model(j)?,
         })),
         "sweep" => Ok(JobSpec::Sweep(SweepSpec {
             circuit,
             config,
             prefix_lengths: decode_lengths(j, "prefix_lengths")?,
+            fault_model: decode_fault_model(j)?,
         })),
         "coverage-curve" => Ok(JobSpec::CoverageCurve(CoverageCurveSpec {
             circuit,
             config,
             checkpoints: decode_lengths(j, "checkpoints")?,
+            fault_model: decode_fault_model(j)?,
         })),
         "bakeoff" => Ok(JobSpec::Bakeoff(BakeoffSpec {
             circuit,
@@ -775,6 +800,45 @@ mod tests {
             assert!(line.starts_with("{\"v\": 1, \"type\": \"submit\""));
             assert!(!line.contains('\n'), "NDJSON frames stay single-line");
         }
+    }
+
+    #[test]
+    fn fault_models_cross_the_wire_only_when_non_default() {
+        let circuit = || CircuitSource::iscas85("c17");
+        // default model: no field on the wire — bytes identical to a
+        // peer that predates the concept
+        let line = round_trip_request(&Request::Submit {
+            spec: Box::new(JobSpec::sweep(circuit(), [0, 8])),
+        });
+        assert!(!line.contains("fault_model"), "{line}");
+
+        for model in [
+            FaultModel::Transition,
+            FaultModel::bridging(),
+            FaultModel::Bridging {
+                pairs: 12,
+                seed: 99,
+            },
+        ] {
+            let mut spec = JobSpec::sweep(circuit(), [0, 8]);
+            if let JobSpec::Sweep(s) = &mut spec {
+                s.fault_model = model;
+            }
+            let line = round_trip_request(&Request::Submit {
+                spec: Box::new(spec),
+            });
+            assert!(line.contains("fault_model"), "{line}");
+            let Request::Submit { spec } = decode_request(&line).expect("decodes") else {
+                panic!("submit round-trips as submit");
+            };
+            assert_eq!(spec.fault_model(), model);
+        }
+
+        // absent field decodes as stuck-at; a malformed one fails typed
+        let stripped = line.replace(", \"fault_model\": \"transition\"", "");
+        assert_eq!(stripped, line, "default line never carried the field");
+        let bad = line.replace("\"sweep\"", "\"sweep\", \"fault_model\": \"warp\"");
+        assert!(decode_request(&bad).is_err());
     }
 
     #[test]

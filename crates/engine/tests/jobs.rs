@@ -3,7 +3,8 @@
 
 use bist_core::{BistSession, MixedSchemeConfig};
 use bist_engine::{
-    BistError, CancelToken, CircuitSource, EmitHdlSpec, Engine, HdlLanguage, JobSpec, ProgressEvent,
+    BistError, CancelToken, CircuitSource, EmitHdlSpec, Engine, FaultModel, HdlLanguage, JobSpec,
+    ProgressEvent,
 };
 
 fn serial_config() -> MixedSchemeConfig {
@@ -304,21 +305,35 @@ fn error_paths_come_back_typed_with_failed_events() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn the_deprecated_engine_wide_feed_still_mirrors_every_job() {
-    // the one-release compatibility shim: the engine-wide stream keeps
-    // interleaving every job's events until it is removed
+fn fault_model_jobs_run_through_the_same_engine_face() {
+    // transition and bridging specs drive the same submit/progress/wait
+    // machinery as stuck-at ones, and their solutions verify
     let engine = Engine::with_threads(1);
-    let feed = engine.progress();
-    engine
-        .run(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]))
-        .expect("sweep job succeeds");
-    let events = feed.drain();
-    assert!(matches!(&events[0], ProgressEvent::Queued { label, .. } if label == "sweep c17"));
-    assert!(matches!(
-        events.last(),
-        Some(ProgressEvent::Finished { .. })
-    ));
+    for model in [FaultModel::Transition, FaultModel::bridging()] {
+        let mut spec = JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]);
+        if let JobSpec::Sweep(s) = &mut spec {
+            s.fault_model = model;
+        }
+        let handle = engine.submit(spec);
+        let feed = handle.progress().clone();
+        let result = handle.wait().expect("model sweep succeeds");
+        let sweep = result.as_sweep().expect("sweep outcome");
+        assert_eq!(sweep.summary.solutions().len(), 2);
+        for solution in sweep.summary.solutions() {
+            assert!(solution.generator.verify());
+        }
+        let events = feed.drain();
+        assert!(matches!(&events[0], ProgressEvent::Queued { label, .. } if label == "sweep c17"));
+        let checkpoints = events
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::Checkpoint { .. }))
+            .count();
+        assert_eq!(checkpoints, 2, "one checkpoint per solved point");
+        assert!(matches!(
+            events.last(),
+            Some(ProgressEvent::Finished { .. })
+        ));
+    }
 }
 
 #[test]

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 
 use bist_engine::wire::{self, Request, Response, ServerStats, WireCacheStats};
 use bist_engine::{
-    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, Engine,
+    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, Engine, FaultModel,
     HdlLanguage, JobId, JobSpec, LintSpec, MixedSchemeConfig, ProgressEvent, SolveAtSpec,
     SweepSpec,
 };
@@ -59,21 +59,33 @@ fn any_spec(kind: u8, sel: u8, poly: u64, word: u64) -> JobSpec {
     let circuit = any_circuit(sel);
     let config = any_config(poly, word);
     let budget = (word % 10_000) as usize;
+    let fault_model = match word % 4 {
+        0 => FaultModel::StuckAt,
+        1 => FaultModel::Transition,
+        2 => FaultModel::bridging(),
+        _ => FaultModel::Bridging {
+            pairs: (word % 500) as u32 + 1,
+            seed: word.rotate_left(9),
+        },
+    };
     match kind % 7 {
         0 => JobSpec::SolveAt(SolveAtSpec {
             circuit,
             config,
             prefix_len: budget,
+            fault_model,
         }),
         1 => JobSpec::Sweep(SweepSpec {
             circuit,
             config,
             prefix_lengths: vec![budget, budget / 2, budget % 17],
+            fault_model,
         }),
         2 => JobSpec::CoverageCurve(CoverageCurveSpec {
             circuit,
             config,
             checkpoints: vec![0, budget],
+            fault_model,
         }),
         3 => JobSpec::Bakeoff(BakeoffSpec {
             circuit,

@@ -1,0 +1,48 @@
+//! Model-generic fault subsystem for the LFSROM mixed-BIST reproduction.
+//!
+//! The paper evaluates its mixed test scheme on the stuck-at/stuck-open
+//! universe only, while *arguing* about delay and bridging defects (§2.2,
+//! §3.1, and the \[Hwa93\] ceiling citation). This crate turns those
+//! arguments into workloads: one [`FaultModel`] value selects which
+//! universe a job enumerates, grades and — where the model admits ATPG —
+//! tops up deterministically, behind the same face the stuck-at flow has
+//! always had.
+//!
+//! * [`FaultModel`] — the model selector (`stuck-at` is the default and
+//!   keeps every digest, cache key and wire byte unchanged; `transition`
+//!   grades launch-on-capture pattern *pairs*; `bridging` grades a
+//!   reproducibly sampled short universe).
+//! * [`ModelSim`] — one word-parallel simulator for any model, all three
+//!   backed by the same [`WordSim`](bist_faultsim::WordSim) engine
+//!   (64-pattern blocks, levelized cone propagation, fault dropping,
+//!   bit-identical results at every `bist-par` width).
+//! * [`serial_grade`] — the naive pattern-at-a-time oracles, for
+//!   property-testing the packed engines per model.
+//! * [`ModelSession`] — the mixed-scheme solve/sweep/curve flow over any
+//!   model, delegating to [`bist_core::BistSession`] for the default one.
+//!
+//! # Example
+//!
+//! ```
+//! use bist_core::MixedSchemeConfig;
+//! use bist_faultmodel::{FaultModel, ModelSession};
+//!
+//! let c17 = bist_netlist::iscas85::c17();
+//! let model: FaultModel = "transition".parse().unwrap();
+//! let mut session = ModelSession::new(&c17, MixedSchemeConfig::default(), model);
+//! let solution = session.solve_at(8)?;
+//! assert!(solution.generator.verify());
+//! # Ok::<(), bist_core::MixedSchemeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod session;
+
+pub use model::{
+    serial_grade, FaultModel, ModelSim, ParseFaultModelError, DEFAULT_BRIDGE_PAIRS,
+    DEFAULT_BRIDGE_SEED,
+};
+pub use session::ModelSession;

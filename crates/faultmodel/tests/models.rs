@@ -1,0 +1,89 @@
+//! Cross-model contract of the fault subsystem: for every
+//! [`FaultModel`] the packed word-parallel engine agrees with the naive
+//! serial oracle fault for fault at every pool width, and the coverage
+//! a fixed LFSR sequence reaches on the reference circuits is pinned so
+//! simulator changes cannot silently move the numbers the docs and the
+//! paper comparison quote.
+
+use bist_core::prelude::*;
+use bist_faultmodel::{serial_grade, FaultModel, ModelSim};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Bridging kept small so the serial oracle stays fast.
+const MODELS: [FaultModel; 3] = [
+    FaultModel::StuckAt,
+    FaultModel::Transition,
+    FaultModel::Bridging {
+        pairs: 64,
+        seed: 0x1dd9,
+    },
+];
+
+fn random_patterns(circuit: &Circuit, n: usize, seed: u64) -> Vec<Pattern> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = circuit.inputs().len();
+    (0..n).map(|_| Pattern::random(&mut rng, width)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn packed_engines_match_the_serial_oracle_for_every_model(seed in any::<u64>()) {
+        for circuit in [bist_netlist::iscas85::c17(), bist_netlist::iscas89::s27()] {
+            let patterns = random_patterns(&circuit, 48, seed);
+            for model in MODELS {
+                let serial = serial_grade(&circuit, model, &patterns);
+                for width in [1, 2, 4] {
+                    let mut sim = ModelSim::new(&circuit, model).with_threads(width);
+                    sim.simulate(&patterns);
+                    prop_assert_eq!(serial.len(), sim.universe_len());
+                    for (i, &reference) in serial.iter().enumerate() {
+                        prop_assert_eq!(
+                            reference,
+                            sim.first_detection(i),
+                            "{} fault {i} of {} disagrees at width {width}",
+                            model,
+                            circuit.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Detected/universe counts of the flow's default LFSR sequence —
+/// pinned, so a simulator change that moves them is a loud diff, not a
+/// silent drift.
+#[test]
+fn pinned_coverage_of_the_default_lfsr_sequence() {
+    let poly = MixedSchemeConfig::default().poly;
+    let expect = [
+        ("c432", FaultModel::StuckAt, (806usize, 1159usize)),
+        ("c432", FaultModel::Transition, (627, 946)),
+        ("c432", FaultModel::bridging(), (241, 256)),
+        ("s27", FaultModel::StuckAt, (26, 55)),
+        ("s27", FaultModel::Transition, (20, 44)),
+        ("s27", FaultModel::bridging(), (60, 102)),
+    ];
+    let mut failed = false;
+    for (name, model, (detected, universe)) in expect {
+        let circuit =
+            bist_netlist::iscas85::circuit(name).unwrap_or_else(bist_netlist::iscas89::s27);
+        let patterns = pseudo_random_patterns(poly, circuit.inputs().len(), 256);
+        let mut sim = ModelSim::new(&circuit, model);
+        sim.simulate(&patterns);
+        let report = sim.report();
+        println!(
+            "(\"{}\", {:?}, ({}, {})),",
+            name,
+            model,
+            report.detected,
+            report.total()
+        );
+        failed |= (report.detected, report.total()) != (detected, universe);
+    }
+    assert!(!failed, "a pinned coverage number moved (see stdout)");
+}

@@ -49,7 +49,9 @@ mod ppsfp;
 mod report;
 pub mod serial;
 mod testability;
+mod wordsim;
 
-pub use ppsfp::{FaultSim, SimCounters};
+pub use ppsfp::FaultSim;
 pub use report::{CoverageCurve, CoverageReport};
 pub use testability::Testability;
+pub use wordsim::{BlockCtx, Seeds, SimCounters, WordFault, WordSim};

@@ -1,33 +1,11 @@
-use std::sync::Mutex;
-
 use bist_fault::{Fault, FaultList, FaultStatus};
-use bist_logicsim::{Pattern, PatternBlock};
-use bist_netlist::{Circuit, GateKind, LevelQueue, NodeId, SimGraph};
-use bist_par::Pool;
+use bist_logicsim::Pattern;
+use bist_netlist::{Circuit, NodeId};
 
-/// Below this many live faults a block is graded serially even on a wide
-/// pool: the per-block spawn cost would exceed the cone work. The cutoff
-/// only moves work between identical code paths — results are the same on
-/// either side of it.
-const PAR_MIN_FAULTS: usize = 128;
+use crate::wordsim::{BlockCtx, Seeds, SimCounters, WordFault, WordSim};
 
-/// Monotonic work counters of one [`FaultSim`], exposed so throughput
-/// benchmarks can report rates (and so reviews can assert the steady-state
-/// block loop does the expected amount of work and nothing more). All
-/// counts are deterministic — identical at every thread width.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SimCounters {
-    /// 64-pattern blocks graded so far.
-    pub blocks: u64,
-    /// Gate evaluations performed by the good-machine simulation
-    /// (combinational gates × blocks).
-    pub good_gate_evals: u64,
-    /// Cone-propagation events: nodes drained from the levelized bucket
-    /// queue across all faults and blocks.
-    pub cone_events: u64,
-}
-
-/// Parallel-pattern single-fault-propagation simulator with fault dropping.
+/// Parallel-pattern single-fault-propagation simulator with fault dropping
+/// for the paper's stuck-at + stuck-open universe.
 ///
 /// Create one per (circuit, fault list) pair, feed it patterns with
 /// [`FaultSim::simulate`] — in one call or incrementally; the engine keeps
@@ -36,87 +14,29 @@ pub struct SimCounters {
 /// [`FaultSim::report`], [`FaultSim::status_of`] and
 /// [`FaultSim::first_detection`].
 ///
-/// # Data layout
-///
-/// All hot loops run over the circuit's flattened [`SimGraph`] view (CSR
-/// adjacency + parallel kind/level arrays) and a per-worker
-/// `ConeScratch` holding a levelized bucket queue. After warm-up the
-/// steady-state block loop performs **zero heap allocations**: the good
-/// machine evaluates gates straight from CSR slices, cone propagation
-/// drains reusable per-level buckets with epoch-stamped deduplication, the
-/// live-fault list is maintained incrementally (swap-remove on detection)
-/// and the 64-pattern packing buffer is reused across blocks.
-///
-/// # Parallel grading
-///
-/// Within each 64-pattern block the good machine is simulated once, then
-/// the live faults are sharded across the pool ([`FaultSim::with_threads`]
-/// / `BIST_THREADS`): every worker owns a contiguous fault partition and a
-/// private cone-propagation scratch, reading the shared good/previous
-/// value words. Per-fault detection masks are merged back in
-/// ascending fault order at the block barrier, so statuses, first-detection
-/// indices and drop decisions are **bit-identical at every thread count**
-/// — one thread runs the very same code inline.
+/// This is the stuck-at/stuck-open instantiation of the model-generic
+/// [`WordSim`] engine: the [`Fault`] model contributes only the faulty
+/// seed words (see the [`WordFault`] impl below); everything else —
+/// flattened-graph good machine, allocation-free levelized cone
+/// propagation, live-list fault dropping, `bist-par` sharding with
+/// fault-order merge (**bit-identical at every thread count**), carry
+/// checkpoints — lives in the shared engine.
 #[derive(Debug)]
 pub struct FaultSim<'c> {
-    circuit: &'c Circuit,
-    graph: &'c SimGraph,
-    faults: FaultList,
-    status: Vec<FaultStatus>,
-    /// Global index of the first pattern that detected each fault.
-    first_detection: Vec<Option<u32>>,
-    /// Patterns consumed so far (across all `simulate` calls).
-    patterns_seen: u32,
-    /// Good-machine value of every node for the last pattern of the
-    /// previous block (the stuck-open carry).
-    last_bits: Vec<bool>,
-    // --- scratch buffers, reused across blocks ---
-    good: Vec<u64>,
-    prev: Vec<u64>,
-    scratch: ConeScratch,
-    /// Indices of still-undetected faults, maintained incrementally
-    /// (swap-remove on detection). Rebuilt lazily after out-of-band status
-    /// edits ([`FaultSim::set_status`] / [`FaultSim::reset`]).
-    live: Vec<u32>,
-    live_dirty: bool,
-    /// Reused 64-pattern packing buffer (allocated on the first block).
-    block_buf: Option<PatternBlock>,
-    /// Parked per-worker scratches for the sharded path: workers lease one
-    /// at block start and return it at the block barrier, so the warm
-    /// buckets survive across blocks at every pool width.
-    scratch_park: Mutex<Vec<ConeScratch>>,
-    /// Number of combinational gates — the good-sim work per block.
-    comb_gates: u64,
-    counters: SimCounters,
-    pool: Pool,
+    /// The universe, kept in list form for [`FaultSim::faults`] /
+    /// [`FaultSim::open_faults`] (the engine holds its own flat copy).
+    list: FaultList,
+    inner: WordSim<'c, Fault>,
 }
 
 impl<'c> FaultSim<'c> {
     /// Creates a simulator grading `faults` on `circuit`, with the pool
     /// width taken from `BIST_THREADS` / the machine.
     pub fn new(circuit: &'c Circuit, faults: FaultList) -> Self {
-        let graph = circuit.sim_graph();
-        let n = circuit.num_nodes();
-        let len = faults.len();
-        let comb_gates = (0..n).filter(|&i| graph.kind(i).is_combinational()).count() as u64;
+        let flat: Vec<Fault> = faults.iter().copied().collect();
         FaultSim {
-            circuit,
-            graph,
-            faults,
-            status: vec![FaultStatus::Undetected; len],
-            first_detection: vec![None; len],
-            patterns_seen: 0,
-            last_bits: vec![false; n],
-            good: vec![0; n],
-            prev: vec![0; n],
-            scratch: ConeScratch::new(graph),
-            live: Vec::with_capacity(len),
-            live_dirty: true,
-            block_buf: None,
-            scratch_park: Mutex::new(Vec::new()),
-            comb_gates,
-            counters: SimCounters::default(),
-            pool: Pool::from_env(),
+            list: faults,
+            inner: WordSim::new(circuit, flat),
         }
     }
 
@@ -135,20 +55,18 @@ impl<'c> FaultSim<'c> {
         carry: &[bool],
         patterns_seen: u32,
     ) -> Self {
-        assert_eq!(statuses.len(), faults.len(), "status/universe mismatch");
-        assert_eq!(carry.len(), circuit.num_nodes(), "carry/circuit mismatch");
-        let mut sim = FaultSim::new(circuit, faults);
-        sim.status.copy_from_slice(statuses);
-        sim.last_bits.copy_from_slice(carry);
-        sim.patterns_seen = patterns_seen;
-        sim
+        let flat: Vec<Fault> = faults.iter().copied().collect();
+        FaultSim {
+            list: faults,
+            inner: WordSim::resume(circuit, flat, statuses, carry, patterns_seen),
+        }
     }
 
     /// Sets the pool width for subsequent [`FaultSim::simulate`] calls
     /// (`0` = automatic: `BIST_THREADS` or the machine width). Grading
     /// results never depend on this knob.
     pub fn set_threads(&mut self, threads: usize) {
-        self.pool = Pool::resolve(threads);
+        self.inner.set_threads(threads);
     }
 
     /// Builder form of [`FaultSim::set_threads`].
@@ -159,51 +77,50 @@ impl<'c> FaultSim<'c> {
 
     /// The pool width grading currently uses.
     pub fn threads(&self) -> usize {
-        self.pool.threads()
+        self.inner.threads()
     }
 
     /// The circuit under test.
     pub fn circuit(&self) -> &'c Circuit {
-        self.circuit
+        self.inner.circuit()
     }
 
     /// The fault universe being graded.
     pub fn faults(&self) -> &FaultList {
-        &self.faults
+        &self.list
     }
 
     /// Status of fault `index`.
     pub fn status_of(&self, index: usize) -> FaultStatus {
-        self.status[index]
+        self.inner.status_of(index)
     }
 
     /// All statuses, parallel to [`FaultSim::faults`].
     pub fn statuses(&self) -> &[FaultStatus] {
-        &self.status
+        self.inner.statuses()
     }
 
     /// Overrides the status of fault `index` (the ATPG uses this to mark
     /// redundant or aborted faults).
     pub fn set_status(&mut self, index: usize, status: FaultStatus) {
-        self.status[index] = status;
-        self.live_dirty = true;
+        self.inner.set_status(index, status);
     }
 
     /// Global index (0-based position in the full sequence fed so far) of
     /// the first pattern that detected fault `index`.
     pub fn first_detection(&self, index: usize) -> Option<u32> {
-        self.first_detection[index]
+        self.inner.first_detection(index)
     }
 
     /// Number of patterns consumed so far.
     pub fn patterns_seen(&self) -> u32 {
-        self.patterns_seen
+        self.inner.patterns_seen()
     }
 
     /// The work performed so far (blocks, good-machine gate evaluations,
     /// cone events). Deterministic at every thread width.
     pub fn counters(&self) -> SimCounters {
-        self.counters
+        self.inner.counters()
     }
 
     /// The good-machine node values after the last consumed pattern — the
@@ -211,262 +128,50 @@ impl<'c> FaultSim<'c> {
     /// [`FaultSim::patterns_seen`] this is a complete mid-sequence
     /// checkpoint for [`FaultSim::resume`].
     pub fn carry_bits(&self) -> &[bool] {
-        &self.last_bits
+        self.inner.carry_bits()
     }
 
     /// Forgets all grading results and the sequence position.
     pub fn reset(&mut self) {
-        self.status.fill(FaultStatus::Undetected);
-        self.first_detection.fill(None);
-        self.patterns_seen = 0;
-        self.last_bits.fill(false);
-        self.live_dirty = true;
+        self.inner.reset();
     }
 
     /// Grades `patterns` (in order, continuing any previously fed
     /// sequence). Returns the number of newly detected faults.
     pub fn simulate(&mut self, patterns: &[Pattern]) -> usize {
-        let mut newly = 0;
-        let mut buf = self.block_buf.take();
-        for chunk in patterns.chunks(64) {
-            match buf.as_mut() {
-                Some(block) => block.pack_into(self.circuit, chunk),
-                None => buf = Some(PatternBlock::pack(self.circuit, chunk)),
-            }
-            let block = buf.as_ref().expect("packed above");
-            newly += self.simulate_block(block);
-        }
-        self.block_buf = buf;
-        newly
+        self.inner.simulate(patterns)
     }
 
     /// Coverage summary over the whole universe.
     pub fn report(&self) -> crate::CoverageReport {
-        crate::CoverageReport::from_statuses(&self.status)
+        self.inner.report()
     }
 
     /// The faults that are still open (undetected or aborted), with their
     /// indices in the original universe.
     pub fn open_faults(&self) -> Vec<(usize, Fault)> {
-        self.faults
+        self.list
             .iter()
             .enumerate()
-            .filter(|(i, _)| self.status[*i].is_open())
+            .filter(|(i, _)| self.inner.status_of(*i).is_open())
             .map(|(i, f)| (i, *f))
             .collect()
     }
-
-    fn simulate_block(&mut self, block: &PatternBlock) -> usize {
-        let valid = block.valid_mask();
-        self.good_simulate(block);
-        // previous-pattern words: bit j of prev = bit j-1 of good, with the
-        // carry from the previous block in bit 0
-        let first_ever = self.patterns_seen == 0;
-        for (i, g) in self.good.iter().enumerate() {
-            let carry = if first_ever {
-                g & 1 // pattern 0 has no predecessor: prev := self (kills excitation)
-            } else {
-                u64::from(self.last_bits[i])
-            };
-            self.prev[i] = (g << 1) | carry;
-        }
-        // stash the carry for the next block
-        let last = block.count() - 1;
-        for (i, g) in self.good.iter().enumerate() {
-            self.last_bits[i] = (g >> last) & 1 == 1;
-        }
-
-        if self.live_dirty {
-            self.live.clear();
-            self.live.extend(
-                (0..self.faults.len() as u32)
-                    .filter(|&fi| self.status[fi as usize] == FaultStatus::Undetected),
-            );
-            self.live_dirty = false;
-        }
-
-        let view = BlockView {
-            graph: self.graph,
-            good: &self.good,
-            prev: &self.prev,
-            valid,
-        };
-        let seen = self.patterns_seen;
-
-        let mut newly = 0;
-        if self.pool.is_serial() || self.live.len() < PAR_MIN_FAULTS {
-            // inline path: one persistent scratch, exactly the historical
-            // serial engine; detected faults are swap-removed from the live
-            // list as they drop
-            let mut i = 0;
-            while i < self.live.len() {
-                let fi = self.live[i];
-                let fault = *self.faults.get(fi as usize).expect("index in range");
-                if let Some(mask) = view.try_detect(&mut self.scratch, fault) {
-                    self.status[fi as usize] = FaultStatus::Detected;
-                    self.first_detection[fi as usize] = Some(seen + mask.trailing_zeros());
-                    newly += 1;
-                    self.live.swap_remove(i);
-                } else {
-                    i += 1;
-                }
-            }
-            self.counters.cone_events += std::mem::take(&mut self.scratch.events);
-        } else {
-            // sharded path: contiguous fault partitions, one private
-            // scratch per worker — leased from the park so its warm
-            // buckets survive the block barrier — detection masks merged
-            // in fault order
-            let graph = self.graph;
-            let faults = &self.faults;
-            let park = &self.scratch_park;
-            let chunk = self
-                .live
-                .len()
-                .div_ceil(self.pool.threads() * 4)
-                .max(PAR_MIN_FAULTS / 4);
-            let detected: Vec<(Vec<(u32, u64)>, u64)> = self.pool.par_chunks_init(
-                &self.live,
-                chunk,
-                || ScratchLease::take(park, graph),
-                |lease, _chunk_index, part| {
-                    let scratch = lease.scratch();
-                    let hits = part
-                        .iter()
-                        .filter_map(|&fi| {
-                            let fault = *faults.get(fi as usize).expect("index in range");
-                            view.try_detect(scratch, fault).map(|mask| (fi, mask))
-                        })
-                        .collect();
-                    (hits, std::mem::take(&mut scratch.events))
-                },
-            );
-            for (hits, events) in detected {
-                self.counters.cone_events += events;
-                for (fi, mask) in hits {
-                    self.status[fi as usize] = FaultStatus::Detected;
-                    self.first_detection[fi as usize] = Some(seen + mask.trailing_zeros());
-                    newly += 1;
-                }
-            }
-            if newly > 0 {
-                let status = &self.status;
-                self.live
-                    .retain(|&fi| status[fi as usize] == FaultStatus::Undetected);
-            }
-        }
-        self.patterns_seen += block.count() as u32;
-        self.counters.blocks += 1;
-        self.counters.good_gate_evals += self.comb_gates;
-        newly
-    }
-
-    fn good_simulate(&mut self, block: &PatternBlock) {
-        let g = self.graph;
-        for (i, &pi) in g.inputs().iter().enumerate() {
-            self.good[pi as usize] = block.input_word(i);
-        }
-        for &id in g.topo() {
-            let id = id as usize;
-            match g.kind(id) {
-                GateKind::Input => {}
-                GateKind::Dff => self.good[id] = 0,
-                _ => {
-                    let v = g.eval_word(id, |f| self.good[f]);
-                    self.good[id] = v;
-                }
-            }
-        }
-    }
 }
 
-/// Per-worker cone-propagation scratch: faulty value words, visitation
-/// stamps, and a levelized bucket queue ([`LevelQueue`]). Reused across
-/// every fault a worker grades — after warm-up the cone walk allocates
-/// nothing.
-#[derive(Debug)]
-struct ConeScratch {
-    /// Faulty value word per node, valid where `stamp == epoch`.
-    fval: Vec<u64>,
-    /// Faulty-value validity stamp per node.
-    stamp: Vec<u32>,
-    epoch: u32,
-    queue: LevelQueue,
-    /// Nodes drained from the queue since the counter was last harvested.
-    events: u64,
-}
-
-impl ConeScratch {
-    fn new(graph: &SimGraph) -> Self {
-        let n = graph.num_nodes();
-        ConeScratch {
-            fval: vec![0; n],
-            stamp: vec![0; n],
-            epoch: 0,
-            queue: LevelQueue::new(graph),
-            events: 0,
-        }
-    }
-}
-
-/// A worker's block-scoped loan of a [`ConeScratch`] from the simulator's
-/// park: taken at worker start-up, handed back on drop at the block
-/// barrier. Steady-state blocks therefore reuse warm scratches instead of
-/// allocating fresh ones per block.
-struct ScratchLease<'p> {
-    scratch: Option<ConeScratch>,
-    park: &'p Mutex<Vec<ConeScratch>>,
-}
-
-impl<'p> ScratchLease<'p> {
-    fn take(park: &'p Mutex<Vec<ConeScratch>>, graph: &SimGraph) -> Self {
-        let parked = park.lock().expect("scratch park poisoned").pop();
-        ScratchLease {
-            scratch: Some(parked.unwrap_or_else(|| ConeScratch::new(graph))),
-            park,
-        }
-    }
-
-    fn scratch(&mut self) -> &mut ConeScratch {
-        self.scratch.as_mut().expect("present until drop")
-    }
-}
-
-impl Drop for ScratchLease<'_> {
-    fn drop(&mut self) {
-        if let Some(scratch) = self.scratch.take() {
-            self.park
-                .lock()
-                .expect("scratch park poisoned")
-                .push(scratch);
-        }
-    }
-}
-
-/// The read-only context shared by every worker grading one pattern block:
-/// the flattened circuit view, the good-machine and previous-pattern value
-/// words, and the block's valid-lane mask.
-#[derive(Clone, Copy)]
-struct BlockView<'a> {
-    graph: &'a SimGraph,
-    good: &'a [u64],
-    prev: &'a [u64],
-    valid: u64,
-}
-
-impl BlockView<'_> {
-    /// Computes the faulty seed value at the fault site, or `None` if the
-    /// fault cannot change anything in this block.
-    fn seed_value(&self, fault: Fault) -> Option<(NodeId, u64)> {
-        let g = self.graph;
-        match fault {
+impl WordFault for Fault {
+    /// Computes the faulty seed value at the fault site, or no seeds if
+    /// the fault cannot change anything in this block.
+    fn seeds(&self, ctx: &BlockCtx<'_>) -> Seeds {
+        let g = ctx.graph;
+        let seed = match *self {
             Fault::StuckAt {
                 site,
                 pin: None,
                 value,
             } => {
                 let forced = if value { !0u64 } else { 0 };
-                let diff = (self.good[site.index()] ^ forced) & self.valid;
+                let diff = (ctx.good[site.index()] ^ forced) & ctx.valid;
                 (diff != 0).then_some((site, forced))
             }
             Fault::StuckAt {
@@ -480,157 +185,98 @@ impl BlockView<'_> {
                         if k == p as usize {
                             forced
                         } else {
-                            self.good[f as usize]
+                            ctx.good[f as usize]
                         }
                     }),
                 );
-                let diff = (fv ^ self.good[site.index()]) & self.valid;
+                let diff = (fv ^ ctx.good[site.index()]) & ctx.valid;
                 (diff != 0).then_some((site, fv))
             }
             Fault::OpenSeries { site } => {
-                let excite = self.series_excitation(site);
-                self.memory_seed(site, excite)
+                let excite = series_excitation(ctx, site);
+                memory_seed(ctx, site, excite)
             }
             Fault::OpenParallel { site, pin } => {
-                let excite = self.parallel_excitation(site, pin);
-                self.memory_seed(site, excite)
+                let excite = parallel_excitation(ctx, site, pin);
+                memory_seed(ctx, site, excite)
             }
             Fault::OpenRise { site } => {
-                let g = self.good[site.index()];
-                let excite = g & !self.prev[site.index()];
-                self.memory_seed(site, excite)
+                let g = ctx.good[site.index()];
+                let excite = g & !ctx.prev[site.index()];
+                memory_seed(ctx, site, excite)
             }
             Fault::OpenFall { site } => {
-                let g = self.good[site.index()];
-                let excite = !g & self.prev[site.index()];
-                self.memory_seed(site, excite)
+                let g = ctx.good[site.index()];
+                let excite = !g & ctx.prev[site.index()];
+                memory_seed(ctx, site, excite)
             }
-        }
-    }
-
-    /// Faulty value of a stuck-open site: the output retains its previous
-    /// good value wherever the fault is excited.
-    fn memory_seed(&self, site: NodeId, excite: u64) -> Option<(NodeId, u64)> {
-        let g = self.good[site.index()];
-        let fv = (g & !excite) | (self.prev[site.index()] & excite);
-        let diff = (fv ^ g) & self.valid;
-        (diff != 0).then_some((site, fv))
-    }
-
-    /// Mask of patterns where *all* inputs of `site` hold the
-    /// non-controlling value at `t` but not at `t-1` (series-open
-    /// excitation).
-    fn series_excitation(&self, site: NodeId) -> u64 {
-        let g = self.graph;
-        let c = match g.kind(site.index()).controlling_value() {
-            Some(c) => c,
-            None => return 0,
         };
-        let mut all_nc_now = !0u64;
-        let mut all_nc_prev = !0u64;
-        for &f in g.fanin(site.index()) {
-            let now = self.good[f as usize];
-            let before = self.prev[f as usize];
-            // non-controlling: value != c
-            all_nc_now &= if c { !now } else { now };
-            all_nc_prev &= if c { !before } else { before };
+        match seed {
+            Some((site, value)) => Seeds::one(site.index() as u32, value),
+            None => Seeds::NONE,
         }
-        all_nc_now & !all_nc_prev
     }
+}
 
-    /// Mask of patterns where pin `p` is the only controlling input at `t`
-    /// and all inputs were non-controlling at `t-1` (parallel-open
-    /// excitation).
-    fn parallel_excitation(&self, site: NodeId, p: u8) -> u64 {
-        let g = self.graph;
-        let c = match g.kind(site.index()).controlling_value() {
-            Some(c) => c,
-            None => return 0,
-        };
-        let mut only_p_now = !0u64;
-        let mut all_nc_prev = !0u64;
-        for (k, &f) in g.fanin(site.index()).iter().enumerate() {
-            let now = self.good[f as usize];
-            let before = self.prev[f as usize];
-            if k == p as usize {
-                only_p_now &= if c { now } else { !now };
-            } else {
-                only_p_now &= if c { !now } else { now };
-            }
-            all_nc_prev &= if c { !before } else { before };
-        }
-        only_p_now & all_nc_prev
+/// Faulty value of a stuck-open site: the output retains its previous
+/// good value wherever the fault is excited.
+fn memory_seed(ctx: &BlockCtx<'_>, site: NodeId, excite: u64) -> Option<(NodeId, u64)> {
+    let g = ctx.good[site.index()];
+    let fv = (g & !excite) | (ctx.prev[site.index()] & excite);
+    let diff = (fv ^ g) & ctx.valid;
+    (diff != 0).then_some((site, fv))
+}
+
+/// Mask of patterns where *all* inputs of `site` hold the
+/// non-controlling value at `t` but not at `t-1` (series-open
+/// excitation).
+fn series_excitation(ctx: &BlockCtx<'_>, site: NodeId) -> u64 {
+    let g = ctx.graph;
+    let c = match g.kind(site.index()).controlling_value() {
+        Some(c) => c,
+        None => return 0,
+    };
+    let mut all_nc_now = !0u64;
+    let mut all_nc_prev = !0u64;
+    for &f in g.fanin(site.index()) {
+        let now = ctx.good[f as usize];
+        let before = ctx.prev[f as usize];
+        // non-controlling: value != c
+        all_nc_now &= if c { !now } else { now };
+        all_nc_prev &= if c { !before } else { before };
     }
+    all_nc_now & !all_nc_prev
+}
 
-    /// Injects `fault` and propagates through its fan-out cone with the
-    /// levelized bucket queue; returns the mask of patterns detecting it at
-    /// a primary output, or `None`.
-    ///
-    /// Draining buckets in ascending level order visits every reached node
-    /// exactly once, after all of its fan-ins (which sit at strictly lower
-    /// levels) are final — the same values, and therefore the same
-    /// detection masks, as any other topological evaluation order.
-    fn try_detect(&self, scratch: &mut ConeScratch, fault: Fault) -> Option<u64> {
-        let (site, seed) = self.seed_value(fault)?;
-        let g = self.graph;
-
-        scratch.epoch = scratch.epoch.wrapping_add(1);
-        if scratch.epoch == 0 {
-            scratch.stamp.fill(0);
-            scratch.epoch = 1;
+/// Mask of patterns where pin `p` is the only controlling input at `t`
+/// and all inputs were non-controlling at `t-1` (parallel-open
+/// excitation).
+fn parallel_excitation(ctx: &BlockCtx<'_>, site: NodeId, p: u8) -> u64 {
+    let g = ctx.graph;
+    let c = match g.kind(site.index()).controlling_value() {
+        Some(c) => c,
+        None => return 0,
+    };
+    let mut only_p_now = !0u64;
+    let mut all_nc_prev = !0u64;
+    for (k, &f) in g.fanin(site.index()).iter().enumerate() {
+        let now = ctx.good[f as usize];
+        let before = ctx.prev[f as usize];
+        if k == p as usize {
+            only_p_now &= if c { now } else { !now };
+        } else {
+            only_p_now &= if c { !now } else { now };
         }
-        let epoch = scratch.epoch;
-
-        let site_idx = site.index();
-        scratch.fval[site_idx] = seed;
-        scratch.stamp[site_idx] = epoch;
-        let mut detect = 0u64;
-        if g.is_output(site_idx) {
-            detect |= (seed ^ self.good[site_idx]) & self.valid;
-        }
-
-        scratch.queue.begin(g.level(site_idx));
-        for &s in g.fanout(site_idx) {
-            if g.kind(s as usize).is_combinational() {
-                scratch.queue.push(s, g.level(s as usize));
-            }
-        }
-
-        while let Some(bucket) = scratch.queue.take_bucket() {
-            scratch.events += bucket.len() as u64;
-            for &id in &bucket {
-                let id = id as usize;
-                let fv = g.eval_word(id, |f| {
-                    if scratch.stamp[f] == epoch {
-                        scratch.fval[f]
-                    } else {
-                        self.good[f]
-                    }
-                });
-                if fv == self.good[id] {
-                    continue; // fault effect died here
-                }
-                scratch.fval[id] = fv;
-                scratch.stamp[id] = epoch;
-                if g.is_output(id) {
-                    detect |= (fv ^ self.good[id]) & self.valid;
-                }
-                for &s in g.fanout(id) {
-                    if g.kind(s as usize).is_combinational() {
-                        scratch.queue.push(s, g.level(s as usize));
-                    }
-                }
-            }
-            scratch.queue.restore(bucket);
-        }
-        (detect != 0).then_some(detect)
+        all_nc_prev &= if c { !before } else { before };
     }
+    only_p_now & all_nc_prev
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use bist_fault::FaultList;
+    use bist_netlist::GateKind;
 
     fn exhaustive_patterns(width: usize) -> Vec<Pattern> {
         (0u32..(1 << width))
