@@ -1,0 +1,179 @@
+//! **BENCH_collapse** — what fault collapsing and sampled estimation
+//! buy, recorded machine-readably so the universe cuts and the
+//! representative-grading speedup are tracked over time.
+//!
+//! ```text
+//! cargo run --release -p bist-bench --bin bench_collapse
+//! cargo run --release -p bist-bench --bin bench_collapse -- --quick
+//! cargo run --release -p bist-bench --bin bench_collapse -- --circuits c880 --patterns 2048
+//! ```
+//!
+//! Three measurements per circuit, all over the same LFSR pseudo-random
+//! sequence:
+//!
+//! 1. **universe cut** — [`CollapsedUniverse`] sizes: full stuck-at
+//!    faults, equivalence-class representatives, dominance-prime
+//!    targets, and the cut percentage;
+//! 2. **grading speedup** — one full-universe [`FaultSim`] pass versus
+//!    one representatives-only pass projected back through the class
+//!    map; the projected report is asserted equal to the full one, so
+//!    the timing comparison is also an identity check;
+//! 3. **estimation shortcut** — [`estimate_coverage`] with the default
+//!    sample budget against the exact full pass, as a wall-clock ratio
+//!    (`estimate_seconds / full_sim_seconds`).
+//!
+//! The sizes, coverage and interval fields are deterministic; only the
+//! `*_seconds` and ratio fields move between machines. Writes
+//! `BENCH_collapse.json` into the current directory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bist_bench::schema::SCHEMA_VERSION;
+use bist_bench::{banner, ExperimentArgs};
+use bist_core::prelude::*;
+use bist_fault::CollapsedUniverse;
+use bist_faultmodel::{estimate_coverage, CoverageEstimate};
+use bist_par::Pool;
+
+struct CircuitResult {
+    name: String,
+    patterns: usize,
+    stats: bist_fault::CollapseStats,
+    coverage_pct: f64,
+    full_seconds: f64,
+    collapsed_seconds: f64,
+    estimate: CoverageEstimate,
+    estimate_seconds: f64,
+}
+
+fn main() {
+    banner(
+        "BENCH collapse",
+        "universe cuts, representative-grading speedup, estimate-vs-exact cost",
+    );
+    let args = ExperimentArgs::parse(&["c432", "c3540"]);
+    args.warn_fixed_format("bench_collapse");
+    let patterns_budget = match args
+        .extra
+        .iter()
+        .position(|a| a == "--patterns")
+        .and_then(|i| args.extra.get(i + 1))
+    {
+        Some(v) => v.parse().expect("--patterns takes a pattern count"),
+        None if args.quick => 512,
+        None => 4_096,
+    };
+    let config = MixedSchemeConfig::default();
+    println!("pattern budget: {patterns_budget}\n");
+
+    let mut results = Vec::new();
+    for circuit in args.load_circuits() {
+        let name = circuit.name().to_owned();
+        let universe = CollapsedUniverse::build(&circuit);
+        let stats = universe.stats();
+        let patterns = pseudo_random_patterns(config.poly, circuit.inputs().len(), patterns_budget);
+
+        // --- full-universe grading: the baseline cost and the oracle ---
+        let mut full = FaultSim::new(&circuit, universe.full().clone()).with_threads(args.threads);
+        let t = Instant::now();
+        full.simulate(&patterns);
+        let full_seconds = t.elapsed().as_secs_f64();
+        let full_report = full.report();
+
+        // --- representatives only, projected back: must be identical ---
+        let mut reps =
+            FaultSim::new(&circuit, universe.representatives().clone()).with_threads(args.threads);
+        let t = Instant::now();
+        reps.simulate(&patterns);
+        let collapsed_seconds = t.elapsed().as_secs_f64();
+        assert_eq!(
+            reps.report_projected(&universe),
+            full_report,
+            "{name}: projected report must match full-universe grading"
+        );
+
+        // --- the sampling shortcut at the same prefix ---
+        let t = Instant::now();
+        let estimate = estimate_coverage(&circuit, &config, patterns_budget, 256, 95, 0xb157);
+        let estimate_seconds = t.elapsed().as_secs_f64();
+        let exact_pct = full_report.coverage_pct();
+        assert!(
+            estimate.lo_pct <= exact_pct && exact_pct <= estimate.hi_pct,
+            "{name}: exact coverage {exact_pct:.3} outside the pinned interval \
+             [{:.3}, {:.3}]",
+            estimate.lo_pct,
+            estimate.hi_pct
+        );
+
+        println!(
+            "{:>6}: {} faults -> {} reps ({:.1} % cut, {} prime) | grading {:.3}s -> {:.3}s \
+             | estimate {:.2} % [{:.2}, {:.2}] in {:.0} % of exact time",
+            name,
+            stats.full,
+            stats.representatives,
+            stats.cut_pct,
+            stats.prime,
+            full_seconds,
+            collapsed_seconds,
+            estimate.estimate_pct,
+            estimate.lo_pct,
+            estimate.hi_pct,
+            100.0 * estimate_seconds / full_seconds,
+        );
+        results.push(CircuitResult {
+            name,
+            patterns: patterns_budget,
+            stats,
+            coverage_pct: exact_pct,
+            full_seconds,
+            collapsed_seconds,
+            estimate,
+            estimate_seconds,
+        });
+    }
+
+    let json = render_json(args.threads, &results);
+    std::fs::write("BENCH_collapse.json", &json).expect("writable working directory");
+    println!("\nwrote BENCH_collapse.json ({} bytes)", json.len());
+}
+
+fn render_json(threads: usize, results: &[CircuitResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"collapse\",\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"threads\": {},", Pool::resolve(threads).threads());
+    out.push_str("  \"circuits\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"circuit\": \"{}\",\n      \"patterns\": {},\n      \
+             \"full_universe\": {},\n      \"representatives\": {},\n      \
+             \"prime\": {},\n      \"cut_pct\": {:.2},\n      \
+             \"coverage_pct\": {:.4},\n      \"full_sim_seconds\": {:.6},\n      \
+             \"collapsed_sim_seconds\": {:.6},\n      \"grading_speedup\": {:.3},\n      \
+             \"estimate_samples\": {},\n      \"estimate_pct\": {:.4},\n      \
+             \"estimate_lo_pct\": {:.4},\n      \"estimate_hi_pct\": {:.4},\n      \
+             \"estimate_seconds\": {:.6},\n      \"estimate_vs_exact_pct\": {:.2}\n    }}",
+            r.name,
+            r.patterns,
+            r.stats.full,
+            r.stats.representatives,
+            r.stats.prime,
+            r.stats.cut_pct,
+            r.coverage_pct,
+            r.full_seconds,
+            r.collapsed_seconds,
+            r.full_seconds / r.collapsed_seconds,
+            r.estimate.samples,
+            r.estimate.estimate_pct,
+            r.estimate.lo_pct,
+            r.estimate.hi_pct,
+            r.estimate_seconds,
+            100.0 * r.estimate_seconds / r.full_seconds,
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

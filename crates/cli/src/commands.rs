@@ -4,8 +4,9 @@ use std::time::Duration;
 
 use bist_engine::json::Json;
 use bist_engine::{
-    AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, Engine, FaultModel,
-    HdlLanguage, JobHandle, JobResult, JobSpec, LintSpec, ResultCache, SolveAtSpec, SweepSpec,
+    AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, Engine, EstimateSpec,
+    FaultModel, HdlLanguage, JobHandle, JobResult, JobSpec, LintSpec, ResultCache, SolveAtSpec,
+    SweepSpec, DEFAULT_ESTIMATE_CONFIDENCE, DEFAULT_ESTIMATE_SAMPLES, DEFAULT_ESTIMATE_SEED,
 };
 
 use crate::client::{self, Connect};
@@ -40,6 +41,7 @@ pub fn dispatch(args: &[String]) -> u8 {
             "bakeoff" => help::BAKEOFF,
             "emit-hdl" => help::EMIT_HDL,
             "area" => help::AREA,
+            "estimate" => help::ESTIMATE,
             "lint" => help::LINT,
             "batch" => help::BATCH,
             "cache" => help::CACHE,
@@ -52,7 +54,7 @@ pub fn dispatch(args: &[String]) -> u8 {
     }
     let mut run = || -> Result<u8, CommandError> {
         match command.as_str() {
-            "solve" | "sweep" | "curve" | "bakeoff" | "emit-hdl" | "area" => {
+            "solve" | "sweep" | "curve" | "bakeoff" | "emit-hdl" | "area" | "estimate" => {
                 job_command(command, &opts, &mut rest)
             }
             "lint" => lint_command(&opts, &mut rest),
@@ -198,6 +200,33 @@ fn job_command(
             circuit: resolve_circuit(&the_circuit(command, rest)?)?,
             config: Default::default(),
         }),
+        "estimate" => {
+            let prefix = required_usize(rest, "--prefix", "estimate")?;
+            let samples = match take_value(rest, "--samples")? {
+                None => DEFAULT_ESTIMATE_SAMPLES,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| UsageError(format!("--samples: `{v}` is not a count")))?,
+            };
+            let confidence = match take_value(rest, "--confidence")? {
+                None => DEFAULT_ESTIMATE_CONFIDENCE,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| UsageError(format!("--confidence: `{v}` is not a percentage")))?,
+            };
+            let seed = match take_value(rest, "--seed")? {
+                None => DEFAULT_ESTIMATE_SEED,
+                Some(v) => parse_seed(&v)?,
+            };
+            JobSpec::CoverageEstimate(EstimateSpec {
+                circuit: resolve_circuit(&the_circuit(command, rest)?)?,
+                config: Default::default(),
+                prefix_len: prefix,
+                samples,
+                confidence,
+                seed,
+            })
+        }
         _ => unreachable!("caller matched the command"),
     };
 
@@ -226,6 +255,18 @@ fn fault_model_flag(rest: &mut Vec<String>) -> Result<FaultModel, UsageError> {
             .parse()
             .map_err(|e| UsageError(format!("--fault-model: {e}"))),
     }
+}
+
+/// `--seed` accepts a decimal or `0x`-prefixed hexadecimal 64-bit word.
+fn parse_seed(value: &str) -> Result<u64, UsageError> {
+    let parsed = match value
+        .strip_prefix("0x")
+        .or_else(|| value.strip_prefix("0X"))
+    {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => value.parse(),
+    };
+    parsed.map_err(|_| UsageError(format!("--seed: `{value}` is not a 64-bit seed")))
 }
 
 fn required_usize(rest: &mut Vec<String>, flag: &str, command: &str) -> Result<usize, UsageError> {

@@ -19,6 +19,7 @@ COMMANDS
     bakeoff <circuit>                 run every TPG architecture on equal terms
     emit-hdl <circuit> --prefix <p>   solve and render the generator as HDL
     area <circuit>                    price the full-deterministic extreme
+    estimate <circuit> --prefix <p>   sampled coverage estimate with a confidence interval
     lint <circuit>                    static netlist analysis + SCOAP testability
     batch <manifest.toml>             run a declarative job list
     cache <stats|clear>               inspect or empty the result cache
@@ -118,6 +119,21 @@ the complete ATPG test set versus the nominal chip area — one row of
 the paper's Figure 6 / Table 1.
 ";
 
+/// `bist estimate --help`.
+pub const ESTIMATE: &str = "\
+bist estimate <circuit> --prefix <p> [--samples <n>] [--confidence <90|95|99>]
+              [--seed <word>] [options]
+
+Estimates the coverage the first p pseudo-random patterns reach by
+grading a seed-pinned stratified sample of the stuck-at universe
+(default 256 faults) through its collapsed-universe representatives,
+and reports a Wilson confidence interval (default 95 %). The sample is
+a pure function of the spec: the same circuit, prefix, sample budget,
+confidence and --seed (decimal or 0x-hex) always return the same
+interval, bit for bit, at every pool width — and the result caches
+like any other job.
+";
+
 /// `bist lint --help`.
 pub const LINT: &str = "\
 bist lint <circuit> [--deny warnings] [options]
@@ -150,12 +166,15 @@ MANIFEST
 
     [[job]]                    # one table per job, run in file order
     kind = \"sweep\"             # solve | sweep | curve | bakeoff | emit-hdl | area
+                               # | estimate | lint
     points = [0, 100, 1000]    # sweep/curve budgets
     # solve/emit-hdl:    prefix = <p>
     # solve/sweep/curve: fault-model = \"transition\"  (default \"stuck-at\")
     # bakeoff:           random-length = <n>        (default 1000)
     # emit-hdl:          language = \"verilog\"       (| \"vhdl\" | \"both\")
     #                    module = \"name\"  testbench = true
+    # estimate:          prefix = <p>  samples = <n>  confidence = <90|95|99>
+    #                    seed = <int or \"0x…\" string>
 ";
 
 /// `bist serve --help`.

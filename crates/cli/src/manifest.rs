@@ -9,7 +9,7 @@
 //! threads = 2           # pool width for the whole batch
 //!
 //! [[job]]
-//! kind = "sweep"        # solve | sweep | curve | bakeoff | emit-hdl | area | lint
+//! kind = "sweep"        # solve | sweep | curve | bakeoff | emit-hdl | area | estimate | lint
 //! points = [0, 100, 1000]
 //! fault-model = "transition"  # stuck-at (default) | transition | bridging[:PAIRS[:SEED]]
 //!
@@ -34,8 +34,9 @@
 //! like any other parse failure in the workspace.
 
 use bist_engine::{
-    AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, FaultModel,
-    HdlLanguage, JobSpec, LintSpec, SolveAtSpec, SweepSpec,
+    AreaReportSpec, BakeoffSpec, BistError, CoverageCurveSpec, EmitHdlSpec, EstimateSpec,
+    FaultModel, HdlLanguage, JobSpec, LintSpec, SolveAtSpec, SweepSpec,
+    DEFAULT_ESTIMATE_CONFIDENCE, DEFAULT_ESTIMATE_SAMPLES, DEFAULT_ESTIMATE_SEED,
 };
 
 use crate::opts::resolve_circuit;
@@ -339,6 +340,39 @@ fn take_fault_model(source_name: &str, job: &mut Table) -> Result<FaultModel, Bi
     }
 }
 
+/// `seed = 0xB157` won't parse as TOML here (integers are decimal), so
+/// estimate jobs may write the seed as a decimal integer or a
+/// `"0x…"`-prefixed string — the same spellings `--seed` takes.
+fn take_seed(source_name: &str, job: &mut Table) -> Result<u64, BistError> {
+    match job.take("seed") {
+        None => Ok(DEFAULT_ESTIMATE_SEED),
+        Some((Value::Int(n), line)) => {
+            u64::try_from(n).map_err(|_| err(source_name, line, "seed: must be non-negative"))
+        }
+        Some((Value::Str(s), line)) => {
+            let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.map_err(|_| {
+                err(
+                    source_name,
+                    line,
+                    format!("seed: `{s}` is not a 64-bit seed"),
+                )
+            })
+        }
+        Some((other, line)) => Err(err(
+            source_name,
+            line,
+            format!(
+                "seed: expected an integer or a string, got {}",
+                other.type_name()
+            ),
+        )),
+    }
+}
+
 fn build_job(
     source_name: &str,
     mut job: Table,
@@ -350,7 +384,7 @@ fn build_job(
             source_name,
             header,
             "this job needs `kind = \"…\"` \
-             (solve | sweep | curve | bakeoff | emit-hdl | area | lint)",
+             (solve | sweep | curve | bakeoff | emit-hdl | area | estimate | lint)",
         )
     })?;
     let circuit_name = match take_string(source_name, &mut job, "circuit")? {
@@ -434,6 +468,26 @@ fn build_job(
             circuit,
             config: Default::default(),
         }),
+        "estimate" => {
+            let prefix = take_usize(source_name, &mut job, "prefix")?
+                .ok_or_else(|| err(source_name, header, "an estimate job needs `prefix = <p>`"))?;
+            let samples =
+                take_usize(source_name, &mut job, "samples")?.unwrap_or(DEFAULT_ESTIMATE_SAMPLES);
+            let confidence = match take_usize(source_name, &mut job, "confidence")? {
+                None => DEFAULT_ESTIMATE_CONFIDENCE,
+                Some(n) => u32::try_from(n)
+                    .map_err(|_| err(source_name, header, "confidence: exceeds u32"))?,
+            };
+            let seed = take_seed(source_name, &mut job)?;
+            JobSpec::CoverageEstimate(EstimateSpec {
+                circuit,
+                config: Default::default(),
+                prefix_len: prefix,
+                samples,
+                confidence,
+                seed,
+            })
+        }
         "lint" => JobSpec::Lint(LintSpec {
             circuit,
             config: Default::default(),
@@ -444,7 +498,7 @@ fn build_job(
                 header,
                 format!(
                     "kind: `{other}` is not solve | sweep | curve | bakeoff | emit-hdl | area \
-                     | lint"
+                     | estimate | lint"
                 ),
             ))
         }
@@ -563,6 +617,33 @@ testbench = true
         let e = parse("m.toml", bad).expect_err("unknown model");
         assert!(e.to_string().contains("m.toml:5"), "{e}");
         assert!(e.to_string().contains("warp"), "{e}");
+    }
+
+    #[test]
+    fn estimate_jobs_parse_with_defaults_and_seed_spellings() {
+        let text = "[[job]]\nkind = \"estimate\"\ncircuit = \"c17\"\nprefix = 32\n\
+                    [[job]]\nkind = \"estimate\"\ncircuit = \"c17\"\nprefix = 32\n\
+                    samples = 40\nconfidence = 99\nseed = \"0xDEAD\"\n\
+                    [[job]]\nkind = \"estimate\"\ncircuit = \"c17\"\nprefix = 32\nseed = 7\n";
+        let manifest = parse("m.toml", text).expect("valid manifest");
+        match &manifest.jobs[0] {
+            JobSpec::CoverageEstimate(s) => {
+                assert_eq!(s.samples, DEFAULT_ESTIMATE_SAMPLES);
+                assert_eq!(s.confidence, DEFAULT_ESTIMATE_CONFIDENCE);
+                assert_eq!(s.seed, DEFAULT_ESTIMATE_SEED);
+            }
+            other => panic!("expected estimate, got {other:?}"),
+        }
+        assert!(matches!(
+            &manifest.jobs[1],
+            JobSpec::CoverageEstimate(s)
+                if s.samples == 40 && s.confidence == 99 && s.seed == 0xDEAD
+        ));
+        assert!(matches!(&manifest.jobs[2], JobSpec::CoverageEstimate(s) if s.seed == 7));
+
+        let bad = "[[job]]\nkind = \"estimate\"\ncircuit = \"c17\"\nprefix = 32\nseed = \"zap\"\n";
+        let e = parse("m.toml", bad).expect_err("bad seed");
+        assert!(e.to_string().contains("m.toml:5"), "{e}");
     }
 
     #[test]

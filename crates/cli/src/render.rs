@@ -136,6 +136,20 @@ pub fn result_json(result: &JobResult) -> Json {
                 o.report.scoap.as_ref().map_or(Json::Null, scoap_json),
             );
         }
+        JobResult::CoverageEstimate(o) => {
+            doc.push("job", Json::str("estimate"));
+            doc.push("circuit", Json::str(&o.circuit));
+            doc.push("fault_universe", Json::uint(o.fault_universe));
+            doc.push("representatives", Json::uint(o.representatives));
+            doc.push("prefix_len", Json::uint(o.prefix_len));
+            doc.push("samples", Json::uint(o.samples));
+            doc.push("detected_samples", Json::uint(o.detected_samples));
+            doc.push("estimate_pct", Json::Float(o.estimate_pct));
+            doc.push("lo_pct", Json::Float(o.lo_pct));
+            doc.push("hi_pct", Json::Float(o.hi_pct));
+            doc.push("confidence", Json::uint(o.confidence as usize));
+            doc.push("seed", Json::Str(format!("{:#x}", o.seed)));
+        }
     }
     doc
 }
@@ -334,6 +348,23 @@ pub fn result_text(result: &JobResult) -> String {
                 }
             }
         }
+        JobResult::CoverageEstimate(o) => {
+            let _ = writeln!(
+                out,
+                "{}: estimated coverage {:.2} % [{:.2}, {:.2}] at {} % confidence",
+                o.circuit, o.estimate_pct, o.lo_pct, o.hi_pct, o.confidence
+            );
+            let _ = writeln!(
+                out,
+                "sample: {}/{} faults detected (universe {}, {} representatives), prefix {}, seed {:#x}",
+                o.detected_samples,
+                o.samples,
+                o.fault_universe,
+                o.representatives,
+                o.prefix_len,
+                o.seed
+            );
+        }
     }
     out
 }
@@ -356,7 +387,13 @@ pub fn event_line(event: &ProgressEvent) -> String {
             coverage_pct,
         } => format!("[{job}] p={prefix_len} coverage={coverage_pct:.2}%"),
         ProgressEvent::Pass { job, name } => format!("[{job}] pass: {name}"),
-        ProgressEvent::Finished { job } => format!("[{job}] finished"),
+        ProgressEvent::Finished { job, cache_hit } => {
+            if *cache_hit {
+                format!("[{job}] finished (cache hit)")
+            } else {
+                format!("[{job}] finished")
+            }
+        }
         ProgressEvent::Failed { job, message } => format!("[{job}] failed: {message}"),
         ProgressEvent::Canceled { job } => format!("[{job}] canceled"),
     }
@@ -415,6 +452,10 @@ mod tests {
                 "LFSROM mm2",
             ),
             (JobSpec::lint(CircuitSource::iscas85("c17")), "[BL013]"),
+            (
+                JobSpec::estimate(CircuitSource::iscas85("c17"), 32),
+                "% confidence",
+            ),
         ] {
             let result = engine.run(spec).expect("c17 job succeeds");
             let text = result_text(&result);

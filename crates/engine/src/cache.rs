@@ -421,6 +421,12 @@ pub fn job_digest(circuit: &Circuit, spec: &JobSpec) -> String {
             );
             feed_u64(&mut h, "testbench", u64::from(s.testbench));
         }
+        JobSpec::CoverageEstimate(s) => {
+            feed_u64(&mut h, "prefix-len", s.prefix_len as u64);
+            feed_u64(&mut h, "samples", s.samples as u64);
+            feed_u64(&mut h, "confidence", u64::from(s.confidence));
+            feed_u64(&mut h, "estimate-seed", s.seed);
+        }
         // lint has no budgets: the circuit and schema version fully
         // determine the report
         JobSpec::AreaReport(_) | JobSpec::Lint(_) => {}

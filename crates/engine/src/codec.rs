@@ -29,16 +29,17 @@ use bist_logicsim::Pattern;
 
 use crate::json::Json;
 use crate::result::{
-    AreaReportOutcome, BakeoffOutcome, CurveOutcome, HdlOutcome, JobResult, LintOutcome,
-    SolveAtOutcome, SweepOutcome,
+    AreaReportOutcome, BakeoffOutcome, CurveOutcome, EstimateOutcome, HdlOutcome, JobResult,
+    LintOutcome, SolveAtOutcome, SweepOutcome,
 };
 
 /// Version of the cached-result layout *and* of the cache-key digest
 /// recipe. Participates in both, so bumping it orphans every existing
 /// entry at the lookup stage already.
 ///
-/// History: 1 = initial layout; 2 = added the `lint` kind.
-pub const CACHE_SCHEMA_VERSION: u64 = 2;
+/// History: 1 = initial layout; 2 = added the `lint` kind; 3 = added
+/// the `estimate` kind.
+pub const CACHE_SCHEMA_VERSION: u64 = 3;
 
 /// Every architecture name a [`BakeoffRow`] can carry. Rows intern their
 /// names as `&'static str`; decoding maps file strings back through this
@@ -65,6 +66,7 @@ pub fn encode_result(result: &JobResult) -> Json {
         JobResult::EmitHdl(o) => ("emit-hdl", encode_hdl(o)),
         JobResult::AreaReport(o) => ("area-report", encode_area(o)),
         JobResult::Lint(o) => ("lint", encode_lint(o)),
+        JobResult::CoverageEstimate(o) => ("estimate", encode_estimate(o)),
     };
     let mut doc = Json::object();
     doc.push("cache_schema", Json::uint(CACHE_SCHEMA_VERSION as usize));
@@ -87,6 +89,7 @@ pub fn decode_result(doc: &Json) -> Option<JobResult> {
         "emit-hdl" => JobResult::EmitHdl(decode_hdl(body)?),
         "area-report" => JobResult::AreaReport(decode_area(body)?),
         "lint" => JobResult::Lint(decode_lint(body)?),
+        "estimate" => JobResult::CoverageEstimate(decode_estimate(body)?),
         _ => return None,
     })
 }
@@ -521,6 +524,38 @@ fn decode_lint(j: &Json) -> Option<LintOutcome> {
     })
 }
 
+fn encode_estimate(o: &EstimateOutcome) -> Json {
+    let mut j = Json::object();
+    j.push("circuit", Json::str(&o.circuit));
+    j.push("fault_universe", Json::uint(o.fault_universe));
+    j.push("representatives", Json::uint(o.representatives));
+    j.push("prefix_len", Json::uint(o.prefix_len));
+    j.push("samples", Json::uint(o.samples));
+    j.push("detected_samples", Json::uint(o.detected_samples));
+    j.push("estimate_pct", Json::f64_bits(o.estimate_pct));
+    j.push("lo_pct", Json::f64_bits(o.lo_pct));
+    j.push("hi_pct", Json::f64_bits(o.hi_pct));
+    j.push("confidence", Json::uint(o.confidence as usize));
+    j.push("seed", Json::Str(format!("{:016x}", o.seed)));
+    j
+}
+
+fn decode_estimate(j: &Json) -> Option<EstimateOutcome> {
+    Some(EstimateOutcome {
+        circuit: j.get("circuit")?.as_str()?.to_owned(),
+        fault_universe: j.get("fault_universe")?.as_usize()?,
+        representatives: j.get("representatives")?.as_usize()?,
+        prefix_len: j.get("prefix_len")?.as_usize()?,
+        samples: j.get("samples")?.as_usize()?,
+        detected_samples: j.get("detected_samples")?.as_usize()?,
+        estimate_pct: j.get("estimate_pct")?.as_f64_bits()?,
+        lo_pct: j.get("lo_pct")?.as_f64_bits()?,
+        hi_pct: j.get("hi_pct")?.as_f64_bits()?,
+        confidence: u32::try_from(j.get("confidence")?.as_usize()?).ok()?,
+        seed: u64::from_str_radix(j.get("seed")?.as_str()?, 16).ok()?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -678,14 +713,38 @@ mod tests {
     }
 
     #[test]
+    fn estimate_round_trips_bit_identically() {
+        let engine = Engine::with_threads(1);
+        let result = engine
+            .run(JobSpec::estimate(CircuitSource::iscas85("c17"), 32))
+            .expect("c17 estimate");
+        let back = round_trip(&result);
+        let (a, b) = (
+            result.as_estimate().expect("estimate"),
+            back.as_estimate().expect("estimate"),
+        );
+        assert_eq!(a.circuit, b.circuit);
+        assert_eq!(a.fault_universe, b.fault_universe);
+        assert_eq!(a.representatives, b.representatives);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.detected_samples, b.detected_samples);
+        assert_eq!(a.estimate_pct.to_bits(), b.estimate_pct.to_bits());
+        assert_eq!(a.lo_pct.to_bits(), b.lo_pct.to_bits());
+        assert_eq!(a.hi_pct.to_bits(), b.hi_pct.to_bits());
+        assert_eq!(a.confidence, b.confidence);
+        assert_eq!(a.seed, b.seed);
+    }
+
+    #[test]
     fn foreign_documents_decode_to_none() {
         for text in [
             "{}",
             r#"{"cache_schema": 999, "kind": "sweep", "result": {}}"#,
-            r#"{"cache_schema": 2, "kind": "unheard-of", "result": {}}"#,
-            r#"{"cache_schema": 2, "kind": "sweep", "result": {"circuit": "x"}}"#,
-            // entries written before the lint kind existed (schema 1)
+            r#"{"cache_schema": 3, "kind": "unheard-of", "result": {}}"#,
+            r#"{"cache_schema": 3, "kind": "sweep", "result": {"circuit": "x"}}"#,
+            // entries written before the lint / estimate kinds existed
             r#"{"cache_schema": 1, "kind": "sweep", "result": {}}"#,
+            r#"{"cache_schema": 2, "kind": "sweep", "result": {}}"#,
         ] {
             let doc = json::parse(text).expect("well-formed JSON");
             assert!(decode_result(&doc).is_none(), "`{text}` must not decode");

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use bist_baselines::{bakeoff, BakeoffConfig};
 use bist_core::{BistSession, MixedGenerator, MixedSolution, SweepSummary};
-use bist_faultmodel::ModelSession;
+use bist_faultmodel::{estimate_coverage, ModelSession};
 use bist_faultsim::{CoverageCurve, CoverageReport};
 use bist_hdl::{emit_verilog, emit_verilog_testbench, emit_vhdl, lint, HdlOptions};
 use bist_lint::{LintOptions, LintReport};
@@ -18,12 +18,12 @@ use crate::error::BistError;
 use crate::handle::{JobHandle, JobSlot, SlotGuard};
 use crate::progress::{CancelToken, JobId, ProgressEvent, ProgressFeed};
 use crate::result::{
-    AreaReportOutcome, BakeoffOutcome, CurveOutcome, HdlOutcome, JobResult, LintOutcome,
-    SolveAtOutcome, SweepOutcome,
+    AreaReportOutcome, BakeoffOutcome, CurveOutcome, EstimateOutcome, HdlOutcome, JobResult,
+    LintOutcome, SolveAtOutcome, SweepOutcome,
 };
 use crate::spec::{
-    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, HdlLanguage,
-    JobSpec, LintSpec, SolveAtSpec, SweepSpec,
+    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, EstimateSpec,
+    HdlLanguage, JobSpec, LintSpec, SolveAtSpec, SweepSpec,
 };
 
 /// The single public face of the workspace: validates [`JobSpec`]s,
@@ -294,7 +294,10 @@ impl Engine {
         feed.push(ProgressEvent::Started { job: id });
         let result = self.drive(id, spec, cancel, feed);
         match &result {
-            Ok(_) => feed.push(ProgressEvent::Finished { job: id }),
+            Ok((_, cached)) => feed.push(ProgressEvent::Finished {
+                job: id,
+                cache_hit: *cached,
+            }),
             Err(BistError::Canceled) => feed.push(ProgressEvent::Canceled { job: id }),
             Err(e) => feed.push(ProgressEvent::Failed {
                 job: id,
@@ -359,6 +362,7 @@ impl Engine {
             JobSpec::EmitHdl(s) => self.drive_emit_hdl(id, s, &circuit, feed),
             JobSpec::AreaReport(s) => self.drive_area_report(id, s, &circuit, feed),
             JobSpec::Lint(s) => self.drive_lint(id, s, &circuit, cancel, feed),
+            JobSpec::CoverageEstimate(s) => self.drive_estimate(id, s, &circuit, feed),
         };
         if let (Some((cache, key)), Ok(result)) = (&key, &result) {
             cache.store(key, result);
@@ -591,6 +595,43 @@ impl Engine {
                 scoap: Some(summary),
             }
             .normalize(),
+        }))
+    }
+
+    fn drive_estimate(
+        &self,
+        id: JobId,
+        s: &EstimateSpec,
+        circuit: &Circuit,
+        feed: &ProgressFeed,
+    ) -> Result<JobResult, BistError> {
+        // one indivisible sampled grading pass: like solve-at, the only
+        // cancellation boundary is the one before work starts
+        let e = estimate_coverage(
+            circuit,
+            &s.config,
+            s.prefix_len,
+            s.samples,
+            s.confidence,
+            s.seed,
+        );
+        feed.push(ProgressEvent::Checkpoint {
+            job: id,
+            prefix_len: s.prefix_len,
+            coverage_pct: e.estimate_pct,
+        });
+        Ok(JobResult::CoverageEstimate(EstimateOutcome {
+            circuit: circuit.name().to_owned(),
+            fault_universe: e.fault_universe,
+            representatives: e.representatives,
+            prefix_len: e.prefix_len,
+            samples: e.samples,
+            detected_samples: e.detected_samples,
+            estimate_pct: e.estimate_pct,
+            lo_pct: e.lo_pct,
+            hi_pct: e.hi_pct,
+            confidence: e.confidence,
+            seed: e.seed,
         }))
     }
 

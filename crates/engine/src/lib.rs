@@ -84,10 +84,11 @@ pub use bist_lint::{
 pub use error::BistError;
 pub use progress::{CancelToken, JobId, ProgressEvent, ProgressFeed};
 pub use result::{
-    AreaReportOutcome, BakeoffOutcome, CurveOutcome, HdlOutcome, JobResult, LintOutcome,
-    SolveAtOutcome, SweepOutcome,
+    AreaReportOutcome, BakeoffOutcome, CurveOutcome, EstimateOutcome, HdlOutcome, JobResult,
+    LintOutcome, SolveAtOutcome, SweepOutcome,
 };
 pub use spec::{
-    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, HdlLanguage,
-    JobSpec, LintSpec, SolveAtSpec, SweepSpec,
+    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, EstimateSpec,
+    HdlLanguage, JobSpec, LintSpec, SolveAtSpec, SweepSpec, DEFAULT_ESTIMATE_CONFIDENCE,
+    DEFAULT_ESTIMATE_SAMPLES, DEFAULT_ESTIMATE_SEED,
 };

@@ -63,6 +63,10 @@ pub enum ProgressEvent {
     Finished {
         /// The job.
         job: JobId,
+        /// True when the result came from the warm cache rather than a
+        /// fresh computation — same bytes either way, but clients (and
+        /// `bist serve` subscribers) can tell the difference.
+        cache_hit: bool,
     },
     /// The job failed; the error also comes back from the `run` call.
     Failed {
@@ -86,7 +90,7 @@ impl ProgressEvent {
             | ProgressEvent::Started { job }
             | ProgressEvent::Checkpoint { job, .. }
             | ProgressEvent::Pass { job, .. }
-            | ProgressEvent::Finished { job }
+            | ProgressEvent::Finished { job, .. }
             | ProgressEvent::Failed { job, .. }
             | ProgressEvent::Canceled { job } => *job,
         }
@@ -108,7 +112,7 @@ impl ProgressEvent {
                 coverage_pct,
             },
             ProgressEvent::Pass { name, .. } => ProgressEvent::Pass { job, name },
-            ProgressEvent::Finished { .. } => ProgressEvent::Finished { job },
+            ProgressEvent::Finished { cache_hit, .. } => ProgressEvent::Finished { job, cache_hit },
             ProgressEvent::Failed { message, .. } => ProgressEvent::Failed { job, message },
             ProgressEvent::Canceled { .. } => ProgressEvent::Canceled { job },
         }
@@ -296,10 +300,19 @@ mod tests {
         let feed = ProgressFeed::new();
         let other = feed.clone();
         feed.push(ProgressEvent::Started { job: JobId(1) });
-        feed.push(ProgressEvent::Finished { job: JobId(1) });
+        feed.push(ProgressEvent::Finished {
+            job: JobId(1),
+            cache_hit: false,
+        });
         assert_eq!(other.len(), 2);
         assert_eq!(other.poll(), Some(ProgressEvent::Started { job: JobId(1) }));
-        assert_eq!(feed.poll(), Some(ProgressEvent::Finished { job: JobId(1) }));
+        assert_eq!(
+            feed.poll(),
+            Some(ProgressEvent::Finished {
+                job: JobId(1),
+                cache_hit: false,
+            })
+        );
         assert!(feed.poll().is_none());
         assert!(feed.is_empty());
     }
@@ -354,12 +367,21 @@ mod tests {
         let producer = feed.clone();
         let t = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(30));
-            producer.push(ProgressEvent::Finished { job: JobId(9) });
+            producer.push(ProgressEvent::Finished {
+                job: JobId(9),
+                cache_hit: true,
+            });
         });
         // generous timeout: the wake, not the deadline, should end the wait
         let got = feed.poll_timeout(Duration::from_secs(10));
         t.join().expect("producer thread");
-        assert_eq!(got, Some(ProgressEvent::Finished { job: JobId(9) }));
+        assert_eq!(
+            got,
+            Some(ProgressEvent::Finished {
+                job: JobId(9),
+                cache_hit: true,
+            })
+        );
     }
 
     #[test]
@@ -380,7 +402,10 @@ mod tests {
                 job: JobId(1),
                 name: "scoap".to_owned(),
             },
-            ProgressEvent::Finished { job: JobId(1) },
+            ProgressEvent::Finished {
+                job: JobId(1),
+                cache_hit: true,
+            },
             ProgressEvent::Failed {
                 job: JobId(1),
                 message: "boom".to_owned(),

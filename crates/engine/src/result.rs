@@ -104,6 +104,36 @@ pub struct LintOutcome {
     pub report: LintReport,
 }
 
+/// Outcome of a
+/// [`JobSpec::CoverageEstimate`](crate::JobSpec::CoverageEstimate) job:
+/// a sampled coverage figure with its confidence interval. All figures
+/// speak in the full stuck-at universe.
+#[derive(Debug, Clone)]
+pub struct EstimateOutcome {
+    /// Circuit under test.
+    pub circuit: String,
+    /// Size of the full stuck-at universe being estimated.
+    pub fault_universe: usize,
+    /// Equivalence-class representatives in the collapsed universe.
+    pub representatives: usize,
+    /// Pseudo-random prefix length graded.
+    pub prefix_len: usize,
+    /// Faults actually sampled (the request, capped at the universe).
+    pub samples: usize,
+    /// Sampled faults whose class representative was detected.
+    pub detected_samples: usize,
+    /// Point estimate of the coverage, percent.
+    pub estimate_pct: f64,
+    /// Lower bound of the confidence interval, percent.
+    pub lo_pct: f64,
+    /// Upper bound of the confidence interval, percent.
+    pub hi_pct: f64,
+    /// Confidence level, percent (90, 95 or 99).
+    pub confidence: u32,
+    /// The sampling seed the estimate is pinned to.
+    pub seed: u64,
+}
+
 /// The typed outcome of one engine job.
 #[derive(Debug, Clone)]
 pub enum JobResult {
@@ -121,6 +151,8 @@ pub enum JobResult {
     AreaReport(AreaReportOutcome),
     /// From [`JobSpec::Lint`](crate::JobSpec::Lint).
     Lint(LintOutcome),
+    /// From [`JobSpec::CoverageEstimate`](crate::JobSpec::CoverageEstimate).
+    CoverageEstimate(EstimateOutcome),
 }
 
 impl JobResult {
@@ -180,6 +212,14 @@ impl JobResult {
         }
     }
 
+    /// The coverage-estimate outcome, if this is one.
+    pub fn as_estimate(&self) -> Option<&EstimateOutcome> {
+        match self {
+            JobResult::CoverageEstimate(o) => Some(o),
+            _ => None,
+        }
+    }
+
     /// The circuit under test the job ran on.
     pub fn circuit(&self) -> &str {
         match self {
@@ -190,6 +230,7 @@ impl JobResult {
             JobResult::EmitHdl(o) => &o.circuit,
             JobResult::AreaReport(o) => &o.circuit,
             JobResult::Lint(o) => &o.circuit,
+            JobResult::CoverageEstimate(o) => &o.circuit,
         }
     }
 }

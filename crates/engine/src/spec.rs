@@ -289,6 +289,57 @@ pub struct AreaReportSpec {
     pub config: MixedSchemeConfig,
 }
 
+/// Default sample budget of a [`EstimateSpec`].
+pub const DEFAULT_ESTIMATE_SAMPLES: usize = 256;
+
+/// Default confidence level of a [`EstimateSpec`], percent.
+pub const DEFAULT_ESTIMATE_CONFIDENCE: u32 = 95;
+
+/// Default sampling seed of a [`EstimateSpec`].
+pub const DEFAULT_ESTIMATE_SEED: u64 = 0xb157;
+
+/// Estimate the coverage a pseudo-random prefix reaches by grading a
+/// seed-pinned stratified sample of the stuck-at universe — the cheap,
+/// statistically qualified answer a service returns before the exact
+/// sweep finishes.
+///
+/// # Examples
+///
+/// ```
+/// use bist_engine::{CircuitSource, Engine, EstimateSpec, JobSpec};
+///
+/// let spec = EstimateSpec {
+///     circuit: CircuitSource::iscas85("c17"),
+///     config: Default::default(),
+///     prefix_len: 32,
+///     samples: 20,
+///     confidence: 95,
+///     seed: 0xb157,
+/// };
+/// let result = Engine::new().run(JobSpec::CoverageEstimate(spec))?;
+/// let estimate = result.as_estimate().expect("estimate outcome");
+/// assert_eq!(estimate.samples, 20);
+/// assert!(estimate.lo_pct <= estimate.estimate_pct);
+/// assert!(estimate.estimate_pct <= estimate.hi_pct);
+/// # Ok::<(), bist_engine::BistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EstimateSpec {
+    /// The circuit under test.
+    pub circuit: CircuitSource,
+    /// Flow configuration.
+    pub config: MixedSchemeConfig,
+    /// Pseudo-random prefix length to grade the sample against.
+    pub prefix_len: usize,
+    /// Faults to sample (capped at the universe size; must be ≥ 1).
+    pub samples: usize,
+    /// Confidence level of the interval, percent (90, 95 or 99).
+    pub confidence: u32,
+    /// Sampling seed the estimate is pinned to: the same spec always
+    /// selects the same faults and returns the same interval.
+    pub seed: u64,
+}
+
 /// Statically analyze the circuit: structural rules plus SCOAP
 /// testability, no simulation.
 ///
@@ -334,6 +385,8 @@ pub enum JobSpec {
     AreaReport(AreaReportSpec),
     /// Static analysis (structural rules + SCOAP testability).
     Lint(LintSpec),
+    /// Sampled coverage estimate with a confidence interval.
+    CoverageEstimate(EstimateSpec),
 }
 
 impl JobSpec {
@@ -405,6 +458,19 @@ impl JobSpec {
         })
     }
 
+    /// A [`JobSpec::CoverageEstimate`] with the default configuration,
+    /// sample budget, confidence level and seed.
+    pub fn estimate(circuit: CircuitSource, prefix_len: usize) -> Self {
+        JobSpec::CoverageEstimate(EstimateSpec {
+            circuit,
+            config: MixedSchemeConfig::default(),
+            prefix_len,
+            samples: DEFAULT_ESTIMATE_SAMPLES,
+            confidence: DEFAULT_ESTIMATE_CONFIDENCE,
+            seed: DEFAULT_ESTIMATE_SEED,
+        })
+    }
+
     /// The job kind as a short lowercase noun (used in labels and
     /// [`BistError::InvalidSpec`]).
     pub fn kind(&self) -> &'static str {
@@ -416,6 +482,7 @@ impl JobSpec {
             JobSpec::EmitHdl(_) => "emit-hdl",
             JobSpec::AreaReport(_) => "area-report",
             JobSpec::Lint(_) => "lint",
+            JobSpec::CoverageEstimate(_) => "estimate",
         }
     }
 
@@ -429,6 +496,7 @@ impl JobSpec {
             JobSpec::EmitHdl(s) => &s.circuit,
             JobSpec::AreaReport(s) => &s.circuit,
             JobSpec::Lint(s) => &s.circuit,
+            JobSpec::CoverageEstimate(s) => &s.circuit,
         }
     }
 
@@ -443,7 +511,8 @@ impl JobSpec {
             JobSpec::Bakeoff(_)
             | JobSpec::EmitHdl(_)
             | JobSpec::AreaReport(_)
-            | JobSpec::Lint(_) => FaultModel::StuckAt,
+            | JobSpec::Lint(_)
+            | JobSpec::CoverageEstimate(_) => FaultModel::StuckAt,
         }
     }
 
@@ -457,6 +526,7 @@ impl JobSpec {
             JobSpec::EmitHdl(s) => &s.config,
             JobSpec::AreaReport(s) => &s.config,
             JobSpec::Lint(s) => &s.config,
+            JobSpec::CoverageEstimate(s) => &s.config,
         }
     }
 
@@ -470,6 +540,7 @@ impl JobSpec {
             JobSpec::EmitHdl(s) => &mut s.config,
             JobSpec::AreaReport(s) => &mut s.config,
             JobSpec::Lint(s) => &mut s.config,
+            JobSpec::CoverageEstimate(s) => &mut s.config,
         };
         config.threads = threads;
     }
@@ -517,6 +588,14 @@ impl JobSpec {
                     if !ok {
                         return invalid("module_name must be a plain HDL identifier");
                     }
+                }
+            }
+            JobSpec::CoverageEstimate(s) => {
+                if s.samples == 0 {
+                    return invalid("samples must grade at least one fault");
+                }
+                if !matches!(s.confidence, 90 | 95 | 99) {
+                    return invalid("confidence must be 90, 95 or 99");
                 }
             }
             JobSpec::SolveAt(_) | JobSpec::AreaReport(_) | JobSpec::Lint(_) => {}
@@ -570,6 +649,20 @@ mod tests {
         assert!(empty_curve.validate().is_err());
         let zero_bakeoff = JobSpec::bakeoff(CircuitSource::iscas85("c17"), 0);
         assert!(zero_bakeoff.validate().is_err());
+        let mut estimate = match JobSpec::estimate(CircuitSource::iscas85("c17"), 8) {
+            JobSpec::CoverageEstimate(s) => s,
+            _ => unreachable!(),
+        };
+        assert!(JobSpec::CoverageEstimate(estimate.clone())
+            .validate()
+            .is_ok());
+        estimate.samples = 0;
+        assert!(JobSpec::CoverageEstimate(estimate.clone())
+            .validate()
+            .is_err());
+        estimate.samples = 16;
+        estimate.confidence = 80;
+        assert!(JobSpec::CoverageEstimate(estimate).validate().is_err());
         assert!(JobSpec::solve_at(CircuitSource::iscas85("c17"), 0)
             .validate()
             .is_ok());

@@ -29,8 +29,8 @@ use crate::json::Json;
 use crate::progress::{JobId, ProgressEvent};
 use crate::result::JobResult;
 use crate::spec::{
-    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, HdlLanguage,
-    JobSpec, LintSpec, SolveAtSpec, SweepSpec,
+    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, EstimateSpec,
+    HdlLanguage, JobSpec, LintSpec, SolveAtSpec, SweepSpec,
 };
 use bist_core::MixedSchemeConfig;
 use bist_faultmodel::{FaultModel, ParseFaultModelError};
@@ -411,6 +411,12 @@ pub fn encode_spec(spec: &JobSpec) -> Json {
             );
             o.push("testbench", Json::Bool(s.testbench));
         }
+        JobSpec::CoverageEstimate(s) => {
+            o.push("prefix_len", Json::uint(s.prefix_len));
+            o.push("samples", Json::uint(s.samples));
+            o.push("confidence", Json::uint(s.confidence as usize));
+            o.push("seed", hex64(s.seed));
+        }
         JobSpec::AreaReport(_) | JobSpec::Lint(_) => {}
     }
     // Emitted only when the job grades something other than stuck-at:
@@ -491,6 +497,15 @@ pub fn decode_spec(j: &Json) -> Result<JobSpec, WireError> {
         })),
         "area-report" => Ok(JobSpec::AreaReport(AreaReportSpec { circuit, config })),
         "lint" => Ok(JobSpec::Lint(LintSpec { circuit, config })),
+        "estimate" => Ok(JobSpec::CoverageEstimate(EstimateSpec {
+            circuit,
+            config,
+            prefix_len: get_usize(j, "prefix_len")?,
+            samples: get_usize(j, "samples")?,
+            confidence: u32::try_from(get_usize(j, "confidence")?)
+                .map_err(|_| err("`confidence` exceeds u32"))?,
+            seed: get_hex64(j, "seed")?,
+        })),
         other => Err(err(format!("unknown job kind `{other}`"))),
     }
 }
@@ -505,7 +520,7 @@ pub fn encode_event(event: &ProgressEvent) -> Json {
         ProgressEvent::Started { job } => ("started", job),
         ProgressEvent::Checkpoint { job, .. } => ("checkpoint", job),
         ProgressEvent::Pass { job, .. } => ("pass", job),
-        ProgressEvent::Finished { job } => ("finished", job),
+        ProgressEvent::Finished { job, .. } => ("finished", job),
         ProgressEvent::Failed { job, .. } => ("failed", job),
         ProgressEvent::Canceled { job } => ("canceled", job),
     };
@@ -528,6 +543,13 @@ pub fn encode_event(event: &ProgressEvent) -> Json {
         }
         ProgressEvent::Failed { message, .. } => {
             o.push("message", Json::str(message));
+        }
+        // emitted only when true: warm-cache answers flag themselves,
+        // computed results keep the field-free bytes older peers expect
+        ProgressEvent::Finished {
+            cache_hit: true, ..
+        } => {
+            o.push("cache_hit", Json::Bool(true));
         }
         _ => {}
     }
@@ -556,7 +578,12 @@ pub fn decode_event(j: &Json) -> Result<ProgressEvent, WireError> {
             job,
             name: get_str(j, "name")?.to_owned(),
         }),
-        "finished" => Ok(ProgressEvent::Finished { job }),
+        "finished" => Ok(ProgressEvent::Finished {
+            job,
+            // absent on lines from peers that predate the flag (and on
+            // every computed result): decodes as "not a cache hit"
+            cache_hit: j.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
+        }),
         "failed" => Ok(ProgressEvent::Failed {
             job,
             message: get_str(j, "message")?.to_owned(),
@@ -792,6 +819,7 @@ mod tests {
             JobSpec::emit_hdl(circuit(), 4),
             JobSpec::area_report(circuit()),
             JobSpec::lint(circuit()),
+            JobSpec::estimate(circuit(), 32),
         ];
         for spec in specs {
             let line = round_trip_request(&Request::Submit {
@@ -953,5 +981,24 @@ mod tests {
         let doc = encode_event(&event);
         let back = decode_event(&doc).expect("decodes");
         assert_eq!(back, event);
+    }
+
+    #[test]
+    fn finished_carries_cache_hit_only_when_warm() {
+        let cold = ProgressEvent::Finished {
+            job: JobId(4),
+            cache_hit: false,
+        };
+        let doc = encode_event(&cold);
+        assert!(doc.get("cache_hit").is_none(), "cold line stays field-free");
+        assert_eq!(decode_event(&doc).expect("decodes"), cold);
+
+        let warm = ProgressEvent::Finished {
+            job: JobId(4),
+            cache_hit: true,
+        };
+        let doc = encode_event(&warm);
+        assert_eq!(doc.get("cache_hit").and_then(Json::as_bool), Some(true));
+        assert_eq!(decode_event(&doc).expect("decodes"), warm);
     }
 }

@@ -11,9 +11,9 @@ use proptest::prelude::*;
 
 use bist_engine::wire::{self, Request, Response, ServerStats, WireCacheStats};
 use bist_engine::{
-    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, Engine, FaultModel,
-    HdlLanguage, JobId, JobSpec, LintSpec, MixedSchemeConfig, ProgressEvent, SolveAtSpec,
-    SweepSpec,
+    AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, Engine,
+    EstimateSpec, FaultModel, HdlLanguage, JobId, JobSpec, LintSpec, MixedSchemeConfig,
+    ProgressEvent, SolveAtSpec, SweepSpec,
 };
 use bist_lfsr::Polynomial;
 use bist_synth::{AreaModel, CellKind};
@@ -68,7 +68,7 @@ fn any_spec(kind: u8, sel: u8, poly: u64, word: u64) -> JobSpec {
             seed: word.rotate_left(9),
         },
     };
-    match kind % 7 {
+    match kind % 8 {
         0 => JobSpec::SolveAt(SolveAtSpec {
             circuit,
             config,
@@ -105,6 +105,14 @@ fn any_spec(kind: u8, sel: u8, poly: u64, word: u64) -> JobSpec {
             testbench: word & 4 == 4,
         }),
         5 => JobSpec::AreaReport(AreaReportSpec { circuit, config }),
+        6 => JobSpec::CoverageEstimate(EstimateSpec {
+            circuit,
+            config,
+            prefix_len: budget,
+            samples: budget + 1,
+            confidence: [90, 95, 99][(word % 3) as usize],
+            seed: word.rotate_right(23),
+        }),
         _ => JobSpec::Lint(LintSpec { circuit, config }),
     }
 }
@@ -113,7 +121,7 @@ fn any_event(variant: u8, job: u64, word: u64) -> ProgressEvent {
     let job = JobId(job);
     // labels/messages exercise escaping: quotes, backslashes, newlines
     let text = format!("sweep \"c17\"\\{word}\nline2");
-    match variant % 7 {
+    match variant % 8 {
         0 => ProgressEvent::Queued { job, label: text },
         1 => ProgressEvent::Started { job },
         2 => ProgressEvent::Checkpoint {
@@ -122,8 +130,15 @@ fn any_event(variant: u8, job: u64, word: u64) -> ProgressEvent {
             coverage_pct: f64::from_bits(word),
         },
         3 => ProgressEvent::Pass { job, name: text },
-        4 => ProgressEvent::Finished { job },
+        4 => ProgressEvent::Finished {
+            job,
+            cache_hit: false,
+        },
         5 => ProgressEvent::Failed { job, message: text },
+        6 => ProgressEvent::Finished {
+            job,
+            cache_hit: true,
+        },
         _ => ProgressEvent::Canceled { job },
     }
 }

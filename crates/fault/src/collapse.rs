@@ -1,0 +1,395 @@
+use std::collections::BTreeMap;
+
+use bist_netlist::{Circuit, GateKind, NodeId, SimGraph};
+
+use crate::fault::Fault;
+use crate::list::FaultList;
+
+/// Structural equivalence collapsing over the single stuck-at universe,
+/// with the maps that let engines grade *representatives only* while
+/// every report keeps speaking in the full universe.
+///
+/// The universe pair is the one [`FaultList`] already defines:
+/// [`FaultList::stuck_at_full`] (both polarities on every stem and
+/// fan-out branch) and [`FaultList::stuck_at_collapsed`] (classic fault
+/// folding). This type computes, over the [`SimGraph`] CSR fan-in/fan-out
+/// arrays, the *fold chain* each full fault takes through those rules and
+/// records where it lands: `rep_of[full_index] → representative_index`.
+/// Grading only the representatives and projecting the statuses back
+/// through that map is bit-identical to grading the full universe,
+/// because every fold step is a true equivalence (identical faulty
+/// functions at every observation point):
+///
+/// * a branch fault whose driver feeds exactly one pin — and is neither a
+///   flip-flop nor a primary output — *is* the driver's stem;
+/// * pin faults inside NOT/BUF force the output exactly like the
+///   (inverted) output stem fault;
+/// * a pin stuck at the controlling value of AND/NAND/OR/NOR forces the
+///   controlled output, exactly like the output stem stuck there;
+/// * a stem feeding exactly one pin of such a gate (and not observed as a
+///   primary output) folds forward through the same two rules.
+///
+/// Two fold targets named by `stuck_at_collapsed` exist in *neither*
+/// universe: the stem of a D flip-flop driver (flip-flop sites carry no
+/// faults) and — soundness, not economy — a single-fanout driver that is
+/// *also* a primary output (its stem is observable at the output pad, the
+/// branch is not; they are not equivalent). Such branch faults stay their
+/// own representatives, appended after the collapsed list — a handful per
+/// circuit (c432 has one primary output feeding a gate, c880 four; c17 and
+/// c1908 have none, so their representative lists *are* `stuck_at_collapsed`
+/// exactly).
+///
+/// On top of the equivalence classes a classical *dominance* pass marks
+/// the prime representatives (see [`CollapsedUniverse::is_prime`]): the
+/// output stem stuck at the complement of the controlled value is
+/// detected by every test for any surviving input fault of the same
+/// gate, so ATPG target selection can skip it. Dominance is one-way —
+/// projection never uses it; it only shrinks the *targeting* set.
+///
+/// # Example
+///
+/// ```
+/// use bist_fault::{CollapsedUniverse, FaultStatus};
+///
+/// let c17 = bist_netlist::iscas85::c17();
+/// let universe = CollapsedUniverse::build(&c17);
+/// assert_eq!(universe.full().len(), 46);
+/// assert_eq!(universe.representatives().len(), 22);
+/// assert!(universe.stats().cut_pct > 40.0);
+///
+/// // grade the 22 representatives, report over all 46 faults
+/// let per_rep = vec![FaultStatus::Detected; 22];
+/// let per_full = universe.project(&per_rep);
+/// assert_eq!(per_full.len(), 46);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollapsedUniverse {
+    full: FaultList,
+    representatives: FaultList,
+    rep_of: Vec<usize>,
+    class_size: Vec<usize>,
+    prime: Vec<bool>,
+}
+
+/// Size summary of one [`CollapsedUniverse`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollapseStats {
+    /// Faults in the uncollapsed stuck-at universe.
+    pub full: usize,
+    /// Equivalence-class representatives (the graded set).
+    pub representatives: usize,
+    /// Representatives surviving the dominance pass (the ATPG targets).
+    pub prime: usize,
+    /// Universe cut from collapsing, percent: `100 · (1 − reps/full)`.
+    pub cut_pct: f64,
+}
+
+impl CollapsedUniverse {
+    /// Collapses `circuit`'s stuck-at universe.
+    pub fn build(circuit: &Circuit) -> Self {
+        let graph = circuit.sim_graph();
+        let full = FaultList::stuck_at_full(circuit);
+        let mut representatives = FaultList::stuck_at_collapsed(circuit);
+        let mut index: BTreeMap<Fault, usize> = representatives
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (*f, i))
+            .collect();
+        let mut rep_of = Vec::with_capacity(full.len());
+        for fault in full.iter() {
+            let rep = representative(graph, *fault);
+            let next = representatives.len();
+            let idx = *index.entry(rep).or_insert(next);
+            if idx == next {
+                // a fold target outside `stuck_at_collapsed`: the fault
+                // represents itself (flip-flop or primary-output driver)
+                representatives.push(rep);
+            }
+            rep_of.push(idx);
+        }
+        let mut class_size = vec![0usize; representatives.len()];
+        for &r in &rep_of {
+            class_size[r] += 1;
+        }
+        let prime = representatives
+            .iter()
+            .map(|f| rep_is_prime(graph, f))
+            .collect();
+        CollapsedUniverse {
+            full,
+            representatives,
+            rep_of,
+            class_size,
+            prime,
+        }
+    }
+
+    /// The uncollapsed stuck-at universe every report speaks in.
+    pub fn full(&self) -> &FaultList {
+        &self.full
+    }
+
+    /// The equivalence-class representatives, in a stable order: the
+    /// `stuck_at_collapsed` list first, then any self-representing
+    /// extras (see the type docs).
+    pub fn representatives(&self) -> &FaultList {
+        &self.representatives
+    }
+
+    /// Representative index of the full-universe fault at `full_index`.
+    pub fn rep_of(&self, full_index: usize) -> usize {
+        self.rep_of[full_index]
+    }
+
+    /// The whole full-index → representative-index map.
+    pub fn rep_map(&self) -> &[usize] {
+        &self.rep_of
+    }
+
+    /// Number of full-universe faults folding into representative
+    /// `rep_index` (itself included; never zero).
+    pub fn class_size(&self, rep_index: usize) -> usize {
+        self.class_size[rep_index]
+    }
+
+    /// True when representative `rep_index` survives the dominance pass:
+    /// an AND/NAND/OR/NOR output stem stuck at the complement of its
+    /// controlled value is non-prime (every test for a surviving input
+    /// fault of that gate detects it); everything else is prime.
+    pub fn is_prime(&self, rep_index: usize) -> bool {
+        self.prime[rep_index]
+    }
+
+    /// Size summary.
+    pub fn stats(&self) -> CollapseStats {
+        let full = self.full.len();
+        let representatives = self.representatives.len();
+        let cut_pct = if full == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - representatives as f64 / full as f64)
+        };
+        CollapseStats {
+            full,
+            representatives,
+            prime: self.prime.iter().filter(|&&p| p).count(),
+            cut_pct,
+        }
+    }
+
+    /// Projects a per-representative array (statuses, first-detection
+    /// indices, …) back onto the full universe: position `i` of the
+    /// result is `per_rep[rep_of(i)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_rep` is not exactly one entry per representative.
+    pub fn project<T: Copy>(&self, per_rep: &[T]) -> Vec<T> {
+        assert_eq!(
+            per_rep.len(),
+            self.representatives.len(),
+            "projection input must be one entry per representative"
+        );
+        self.rep_of.iter().map(|&r| per_rep[r]).collect()
+    }
+}
+
+/// Builds a stem fault by dense node index.
+fn stem(id: usize, value: bool) -> Fault {
+    Fault::StuckAt {
+        site: NodeId::from_index(id),
+        pin: None,
+        value,
+    }
+}
+
+/// The output-stem polarity a pin fault folds into *inside* a gate of
+/// `kind`, if the gate admits the fold: NOT/BUF pin faults map onto the
+/// (inverted) output, and a pin stuck at the controlling value forces
+/// the controlled output.
+fn inside_gate(kind: GateKind, value: bool) -> Option<bool> {
+    match kind {
+        GateKind::Not => Some(!value),
+        GateKind::Buf => Some(value),
+        k if k.controlling_value() == Some(value) => k.controlled_output(),
+        _ => None,
+    }
+}
+
+/// Folds one full-universe fault to its class representative by applying
+/// the `stuck_at_collapsed` drop rules as rewrite steps until none fires.
+///
+/// Terminates in `O(depth)` steps: the branch→driver-stem step moves
+/// backward once, every other step moves strictly forward in
+/// topological order.
+fn representative(graph: &SimGraph, mut fault: Fault) -> Fault {
+    loop {
+        let Fault::StuckAt { site, pin, value } = fault else {
+            return fault;
+        };
+        let id = site.index();
+        let next = match pin {
+            Some(p) => {
+                let driver = graph.fanin(id)[p as usize] as usize;
+                if graph.fanout(driver).len() <= 1
+                    && graph.kind(driver) != GateKind::Dff
+                    && !graph.is_output(driver)
+                {
+                    // the branch is the driver's whole net: same signal
+                    Some(stem(driver, value))
+                } else {
+                    // inside-gate equivalence; when the driver's stem is
+                    // not foldable-to (forks, flip-flop, or observed as
+                    // a primary output) this is the only rewrite left
+                    inside_gate(graph.kind(id), value).map(|v| stem(id, v))
+                }
+            }
+            None => {
+                let fanout = graph.fanout(id);
+                if fanout.len() == 1 && !graph.is_output(id) {
+                    let consumer = fanout[0] as usize;
+                    inside_gate(graph.kind(consumer), value).map(|v| stem(consumer, v))
+                } else {
+                    None
+                }
+            }
+        };
+        match next {
+            Some(folded) => fault = folded,
+            None => return fault,
+        }
+    }
+}
+
+/// Dominance: the output stem stuck at the complement of the controlled
+/// value is detected by every test for the gate's surviving input faults.
+fn rep_is_prime(graph: &SimGraph, fault: &Fault) -> bool {
+    match fault {
+        Fault::StuckAt {
+            site,
+            pin: None,
+            value,
+        } => match graph.kind(site.index()).controlled_output() {
+            Some(controlled) => *value == controlled,
+            None => true,
+        },
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultStatus;
+
+    #[test]
+    fn c17_matches_the_textbook_lists_exactly() {
+        let c17 = bist_netlist::iscas85::c17();
+        let u = CollapsedUniverse::build(&c17);
+        assert_eq!(u.full(), &FaultList::stuck_at_full(&c17));
+        assert_eq!(u.full().len(), 46);
+        assert_eq!(u.representatives(), &FaultList::stuck_at_collapsed(&c17));
+        assert_eq!(u.representatives().len(), 22);
+
+        let stats = u.stats();
+        assert_eq!(stats.full, 46);
+        assert_eq!(stats.representatives, 22);
+        assert!(stats.cut_pct > 40.0 && stats.cut_pct < 60.0, "{stats:?}");
+        // the six NAND output s-a-0 stems are dominance-removable
+        assert!(stats.prime < stats.representatives, "{stats:?}");
+    }
+
+    #[test]
+    fn classes_partition_the_full_universe() {
+        for name in ["c17", "c432", "c880"] {
+            let c = bist_netlist::iscas85::circuit(name).expect("known benchmark");
+            let u = CollapsedUniverse::build(&c);
+            let collapsed = FaultList::stuck_at_collapsed(&c);
+            // the collapsed list is a stable prefix of the representatives
+            assert_eq!(
+                &u.representatives().faults()[..collapsed.len()],
+                collapsed.faults(),
+                "{name}"
+            );
+            let sizes: usize = (0..u.representatives().len())
+                .map(|r| u.class_size(r))
+                .sum();
+            assert_eq!(sizes, u.full().len(), "{name}");
+            assert!(
+                (0..u.representatives().len()).all(|r| u.class_size(r) >= 1),
+                "{name}"
+            );
+            // every representative folds to itself
+            for (i, f) in u.representatives().iter().enumerate() {
+                assert_eq!(representative(c.sim_graph(), *f), *f, "{name} rep {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn iscas85_cuts_are_pinned() {
+        // (full, representatives, prime); representatives differ from
+        // `stuck_at_collapsed` only by primary-output-driver extras
+        // (c432 has one PO feeding a gate, c880 four)
+        for (name, full, reps, prime) in [
+            ("c17", 46, 22, 18),
+            ("c432", 1170, 667, 570),
+            ("c880", 2748, 1681, 1465),
+        ] {
+            let c = bist_netlist::iscas85::circuit(name).expect("known benchmark");
+            let s = CollapsedUniverse::build(&c).stats();
+            assert_eq!(
+                (s.full, s.representatives, s.prime),
+                (full, reps, prime),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_circuits_keep_orphan_branches_as_extras() {
+        let s27 = bist_netlist::iscas89::circuit("s27").expect("known benchmark");
+        let u = CollapsedUniverse::build(&s27);
+        let collapsed = FaultList::stuck_at_collapsed(&s27);
+        assert!(u.representatives().len() >= collapsed.len());
+        for extra in &u.representatives().faults()[collapsed.len()..] {
+            // extras are branch faults behind a flip-flop or
+            // primary-output driver, representing themselves
+            assert!(
+                matches!(extra, Fault::StuckAt { pin: Some(_), .. }),
+                "{extra}"
+            );
+        }
+        let sizes: usize = (0..u.representatives().len())
+            .map(|r| u.class_size(r))
+            .sum();
+        assert_eq!(sizes, u.full().len());
+    }
+
+    #[test]
+    fn projection_speaks_the_full_universe() {
+        let c17 = bist_netlist::iscas85::c17();
+        let u = CollapsedUniverse::build(&c17);
+        let per_rep: Vec<FaultStatus> = (0..u.representatives().len())
+            .map(|i| {
+                if i % 3 == 0 {
+                    FaultStatus::Detected
+                } else {
+                    FaultStatus::Undetected
+                }
+            })
+            .collect();
+        let per_full = u.project(&per_rep);
+        assert_eq!(per_full.len(), u.full().len());
+        for (i, s) in per_full.iter().enumerate() {
+            assert_eq!(*s, per_rep[u.rep_of(i)], "full fault {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per representative")]
+    fn projection_rejects_mismatched_input() {
+        let c17 = bist_netlist::iscas85::c17();
+        CollapsedUniverse::build(&c17).project(&[FaultStatus::Detected]);
+    }
+}

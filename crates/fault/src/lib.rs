@@ -9,6 +9,10 @@
 //! * [`FaultList`] — fault universe construction with classic equivalence
 //!   collapsing (fault folding through single-fan-out nets and
 //!   controlling-value equivalence inside AND/NAND/OR/NOR gates),
+//! * [`CollapsedUniverse`] — the full↔collapsed bridge: per-fault
+//!   representative maps so engines grade only class representatives while
+//!   reports keep speaking in the full universe, plus the dominance-pruned
+//!   prime set for ATPG targeting,
 //! * [`FaultStatus`] — the lifecycle a fault goes through during fault
 //!   simulation and ATPG.
 //!
@@ -46,8 +50,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod collapse;
 mod fault;
 mod list;
 
+pub use collapse::{CollapseStats, CollapsedUniverse};
 pub use fault::{Fault, FaultStatus};
 pub use list::FaultList;

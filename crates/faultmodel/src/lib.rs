@@ -20,6 +20,9 @@
 //!   property-testing the packed engines per model.
 //! * [`ModelSession`] — the mixed-scheme solve/sweep/curve flow over any
 //!   model, delegating to [`bist_core::BistSession`] for the default one.
+//! * [`estimate_coverage`] — seed-pinned stratified sampling of the
+//!   stuck-at universe with a Wilson confidence interval: the cheap
+//!   first answer a service returns before the exact run finishes.
 //!
 //! # Example
 //!
@@ -38,9 +41,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod estimate;
 mod model;
 mod session;
 
+pub use estimate::{estimate_coverage, CoverageEstimate};
 pub use model::{
     serial_grade, FaultModel, ModelSim, ParseFaultModelError, DEFAULT_BRIDGE_PAIRS,
     DEFAULT_BRIDGE_SEED,

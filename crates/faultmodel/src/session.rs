@@ -181,8 +181,9 @@ fn curve(
 }
 
 /// The scheme's pseudo-random stream — identical to the one
-/// [`BistSession`] feeds its own simulator.
-fn stream(config: &MixedSchemeConfig, circuit: &Circuit) -> ScanExpander {
+/// [`BistSession`] feeds its own simulator (the coverage estimator
+/// grades a sample of the universe against the very same stream).
+pub(crate) fn stream(config: &MixedSchemeConfig, circuit: &Circuit) -> ScanExpander {
     ScanExpander::new(Lfsr::fibonacci(config.poly, 1), circuit.inputs().len())
 }
 

@@ -1,4 +1,4 @@
-use bist_fault::{Fault, FaultList, FaultStatus};
+use bist_fault::{CollapsedUniverse, Fault, FaultList, FaultStatus};
 use bist_logicsim::Pattern;
 use bist_netlist::{Circuit, NodeId};
 
@@ -145,6 +145,32 @@ impl<'c> FaultSim<'c> {
     /// Coverage summary over the whole universe.
     pub fn report(&self) -> crate::CoverageReport {
         self.inner.report()
+    }
+
+    /// The per-fault statuses of the *full* stuck-at universe, for a
+    /// simulator grading only `universe`'s representatives: each full
+    /// fault reports its class representative's status. Because every
+    /// collapsing step is a true equivalence, this is bit-identical to
+    /// grading the full universe directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this simulator is not grading exactly
+    /// `universe.representatives()`.
+    pub fn statuses_projected(&self, universe: &CollapsedUniverse) -> Vec<FaultStatus> {
+        assert_eq!(
+            &self.list,
+            universe.representatives(),
+            "simulator must grade the universe's representative list"
+        );
+        universe.project(self.inner.statuses())
+    }
+
+    /// Coverage summary over the *full* stuck-at universe, for a
+    /// simulator grading only `universe`'s representatives (see
+    /// [`FaultSim::statuses_projected`]).
+    pub fn report_projected(&self, universe: &CollapsedUniverse) -> crate::CoverageReport {
+        crate::CoverageReport::from_statuses(&self.statuses_projected(universe))
     }
 
     /// The faults that are still open (undetected or aborted), with their
@@ -322,6 +348,28 @@ mod tests {
         // a single pattern has no predecessor: nothing may be detected
         let newly = sim.simulate(&[Pattern::from_fn(5, |_| true)]);
         assert_eq!(newly, 0);
+    }
+
+    #[test]
+    fn representative_grading_projects_to_full_universe_grading() {
+        let c = bist_netlist::iscas85::circuit("c432").unwrap();
+        let universe = CollapsedUniverse::build(&c);
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let patterns: Vec<Pattern> = (0..200)
+            .map(|_| Pattern::random(&mut rng, c.inputs().len()))
+            .collect();
+
+        let mut full = FaultSim::new(&c, universe.full().clone());
+        full.simulate(&patterns);
+
+        let mut reps = FaultSim::new(&c, universe.representatives().clone());
+        reps.simulate(&patterns);
+
+        assert_eq!(reps.statuses_projected(&universe), full.statuses());
+        assert_eq!(reps.report_projected(&universe), full.report());
+        // and strictly less grading work
+        assert!(reps.counters().cone_events < full.counters().cone_events);
     }
 
     #[test]

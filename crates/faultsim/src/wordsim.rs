@@ -279,8 +279,8 @@ impl BlockCtx<'_> {
 }
 
 /// The model-generic parallel-pattern single-fault-propagation simulator
-/// with fault dropping. See the [module docs](self) for the division of
-/// labour between the engine and a [`WordFault`] model.
+/// with fault dropping. See the `wordsim` module docs for the division
+/// of labour between the engine and a [`WordFault`] model.
 ///
 /// Create one per (circuit, fault universe) pair, feed it patterns with
 /// [`WordSim::simulate`] — in one call or incrementally; the engine keeps

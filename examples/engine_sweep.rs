@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 prefix_len,
                 coverage_pct,
             } => println!("{job}: solved   p={prefix_len:<6} coverage so far {coverage_pct:.2} %"),
-            ProgressEvent::Finished { job } => println!("{job}: finished"),
+            ProgressEvent::Finished { job, .. } => println!("{job}: finished"),
             other => println!("{}: {other:?}", other.job()),
         }
     }
