@@ -20,7 +20,8 @@
 use std::collections::HashMap;
 
 use bist_fault::Fault;
-use bist_logicsim::Pattern;
+use bist_logicsim::{InjectedFault, Pattern};
+use bist_netlist::NodeId;
 
 use crate::cube::TestCube;
 use crate::podem::PodemOptions;
@@ -103,16 +104,49 @@ impl CacheKey {
     }
 }
 
+/// The seed-independent result of one raw PODEM search: the outcome kind
+/// and, for a successful search, the pre-fill cube. PODEM's decisions
+/// never read `fill_seed` (it only fills don't-cares once the goal is
+/// reached), so this is a pure function of the injected fault — or the
+/// justification requirements — and the backtrack budget alone. Distinct
+/// *faults* whose searches coincide (every series-open shares its `v2`
+/// target and `v1` requirement with the same gate's rise- or fall-open;
+/// a series-open's `v2` is literally a stem stuck-at) share one entry and
+/// re-fill the cube with their own seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum RawSearch {
+    /// The search reached its goal; the cube holds the committed bits.
+    Test { cube: TestCube },
+    /// The search space was exhausted.
+    Redundant,
+    /// The backtrack budget ran out first.
+    Aborted,
+}
+
 /// A cache of per-fault deterministic search results, intended to be
 /// carried across many [`TestGenerator`](crate::TestGenerator) runs on
 /// the **same circuit** (a sweep of the mixed scheme's prefix ladder, a
 /// batch of related ATPG jobs). Results answered from the cache are
 /// bit-identical to fresh searches — memoization of a pure function — so
 /// cached and cold flows produce the same sequences.
+///
+/// Besides the per-fault outcome map it memoizes *raw searches* (see
+/// [`RawSearch`]): seed-independent cube-level results keyed by the
+/// search target rather than the fault consuming it, so faults whose
+/// deterministic targets coincide pay for one search between them.
 #[derive(Debug, Default)]
 pub struct CubeCache {
     #[allow(clippy::disallowed_types)]
     map: HashMap<CacheKey, CachedGen>,
+    /// Raw detect searches keyed by `(target, backtrack_limit)`.
+    // determinism-vetted: keyed lookup only, never iterated
+    #[allow(clippy::disallowed_types)]
+    raw_detect: HashMap<(InjectedFault, u32), RawSearch>,
+    /// Raw justification searches keyed by `(requirements, backtrack_limit)`
+    /// — requirement *order* steers the search, so it stays in the key.
+    // determinism-vetted: keyed lookup only, never iterated
+    #[allow(clippy::disallowed_types)]
+    raw_justify: HashMap<(Vec<(NodeId, bool)>, u32), RawSearch>,
     hits: usize,
     misses: usize,
 }
@@ -159,6 +193,40 @@ impl CubeCache {
 
     pub(crate) fn count_miss(&mut self) {
         self.misses += 1;
+    }
+
+    pub(crate) fn raw_detect(
+        &self,
+        target: InjectedFault,
+        backtrack_limit: u32,
+    ) -> Option<&RawSearch> {
+        self.raw_detect.get(&(target, backtrack_limit))
+    }
+
+    pub(crate) fn insert_raw_detect(
+        &mut self,
+        target: InjectedFault,
+        backtrack_limit: u32,
+        raw: RawSearch,
+    ) {
+        self.raw_detect.insert((target, backtrack_limit), raw);
+    }
+
+    pub(crate) fn raw_justify(
+        &self,
+        reqs: &[(NodeId, bool)],
+        backtrack_limit: u32,
+    ) -> Option<&RawSearch> {
+        self.raw_justify.get(&(reqs.to_vec(), backtrack_limit))
+    }
+
+    pub(crate) fn insert_raw_justify(
+        &mut self,
+        reqs: Vec<(NodeId, bool)>,
+        backtrack_limit: u32,
+        raw: RawSearch,
+    ) {
+        self.raw_justify.insert((reqs, backtrack_limit), raw);
     }
 }
 

@@ -1,12 +1,15 @@
 use bist_fault::{Fault, FaultList, FaultStatus};
 use bist_faultsim::{CoverageReport, FaultSim};
 use bist_logicsim::{InjectedFault, Pattern};
-use bist_netlist::Circuit;
+use bist_netlist::{Circuit, NodeId};
 use bist_par::Pool;
 
-use crate::cache::{stable_fill_seed, CachedGen, CubeCache};
+use crate::cache::{stable_fill_seed, CachedGen, CubeCache, RawSearch};
 use crate::cube::TestCube;
-use crate::podem::{justify_cube, podem_cube, CubeOutcome, PodemOptions};
+use crate::podem::{fill_cube, justify_cube, podem_cube, CubeOutcome, PodemOptions};
+
+/// One justification requirement: drive `node` to the given good value.
+type NodeReq = (NodeId, bool);
 
 /// Options for the full ATPG flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -138,17 +141,78 @@ impl<'c> TestGenerator<'c> {
                 continue;
             }
 
-            // run the missing searches, concurrently across the batch
+            // run the missing searches, concurrently across the batch.
+            // Searches run at the *raw* level (seed-independent, keyed by
+            // the deterministic target rather than the consuming fault),
+            // so batch members whose targets coincide — every series-open
+            // with its gate's rise- or fall-open, stuck-open `v2`s with
+            // stem stuck-ats — pay for one search between them, and each
+            // consumer re-fills the shared cube with its own seed.
             let misses: Vec<(usize, Fault)> = batch
                 .iter()
                 .map(|&fi| (fi, *faults.get(fi).expect("index in range")))
                 .filter(|(_, fault)| cache.get(*fault, target_options(options, fault)).is_none())
                 .collect();
-            let fresh = pool.par_map(&misses, |&(_, fault)| {
-                generate_for(circuit, fault, target_options(options, &fault))
+
+            // phase 1: the detect search every miss starts with (for a
+            // stuck-open, its v2 transition target)
+            let mut pending: Vec<(InjectedFault, PodemOptions)> = Vec::new();
+            for &(_, fault) in &misses {
+                let opts = target_options(options, &fault);
+                let target = detect_target(circuit, &fault);
+                if cache.raw_detect(target, opts.backtrack_limit).is_none()
+                    && !pending.iter().any(|&(t, _)| t == target)
+                {
+                    pending.push((target, opts));
+                }
+            }
+            let raws = pool.par_map(&pending, |&(target, opts)| {
+                match podem_cube(circuit, target, opts) {
+                    CubeOutcome::Test { cube, .. } => RawSearch::Test { cube },
+                    CubeOutcome::Redundant => RawSearch::Redundant,
+                    CubeOutcome::Aborted => RawSearch::Aborted,
+                }
             });
+            for ((target, opts), raw) in pending.into_iter().zip(raws) {
+                cache.insert_raw_detect(target, opts.backtrack_limit, raw);
+            }
+
+            // phase 2: v1 justification for stuck-opens whose v2 search
+            // produced a test (the only case the serial flow justifies)
+            let mut pending: Vec<(Vec<NodeReq>, PodemOptions)> = Vec::new();
+            for &(_, fault) in &misses {
+                if matches!(fault, Fault::StuckAt { .. }) {
+                    continue;
+                }
+                let opts = target_options(options, &fault);
+                let (v2_target, v1_reqs) = open_fault_targets(circuit, fault);
+                if !matches!(
+                    cache.raw_detect(v2_target, opts.backtrack_limit),
+                    Some(RawSearch::Test { .. })
+                ) {
+                    continue;
+                }
+                if cache.raw_justify(&v1_reqs, opts.backtrack_limit).is_none()
+                    && !pending.iter().any(|(r, _)| *r == v1_reqs)
+                {
+                    pending.push((v1_reqs, opts));
+                }
+            }
+            let raws = pool.par_map(&pending, |(reqs, opts)| {
+                match justify_cube(circuit, reqs, *opts) {
+                    CubeOutcome::Test { cube, .. } => RawSearch::Test { cube },
+                    CubeOutcome::Redundant => RawSearch::Redundant,
+                    CubeOutcome::Aborted => RawSearch::Aborted,
+                }
+            });
+            for ((reqs, opts), raw) in pending.into_iter().zip(raws) {
+                cache.insert_raw_justify(reqs, opts.backtrack_limit, raw);
+            }
+
+            // assemble each miss's per-fault outcome from the raw results
             let freshly_searched: Vec<usize> = misses.iter().map(|&(fi, _)| fi).collect();
-            for ((_, fault), generated) in misses.into_iter().zip(fresh) {
+            for (_, fault) in misses {
+                let generated = assemble(circuit, cache, options, &fault);
                 cache.insert(fault, target_options(options, &fault), generated);
             }
 
@@ -253,49 +317,73 @@ fn target_options(options: AtpgOptions, fault: &Fault) -> PodemOptions {
     }
 }
 
-/// Runs the deterministic searches for one target — a pure function of
-/// its arguments, safe to evaluate speculatively on any worker.
-fn generate_for(circuit: &Circuit, fault: Fault, podem_opts: PodemOptions) -> CachedGen {
-    match fault {
-        Fault::StuckAt { site, pin, value } => {
-            match podem_cube(
-                circuit,
-                InjectedFault {
-                    site,
-                    pin,
-                    stuck: value,
-                },
-                podem_opts,
-            ) {
-                CubeOutcome::Test { pattern, cube } => CachedGen::Unit {
-                    patterns: vec![pattern],
-                    cubes: vec![cube],
+/// The stuck-at target a fault's deterministic generation starts with: a
+/// stuck-at fault is its own target, a stuck-open contributes its `v2`
+/// transition target.
+fn detect_target(circuit: &Circuit, fault: &Fault) -> InjectedFault {
+    match *fault {
+        Fault::StuckAt { site, pin, value } => InjectedFault {
+            site,
+            pin,
+            stuck: value,
+        },
+        open => open_fault_targets(circuit, open).0,
+    }
+}
+
+/// Materializes one fault's replayable outcome from the raw search
+/// results resolved for its batch: the same decision tree the historical
+/// per-fault searches walked (`calls` counts *logical* searches so the
+/// `atpg_calls` accounting is unchanged by raw-search sharing), with each
+/// shared cube re-filled under this fault's own seed.
+fn assemble(
+    circuit: &Circuit,
+    cache: &CubeCache,
+    options: AtpgOptions,
+    fault: &Fault,
+) -> CachedGen {
+    let opts = target_options(options, fault);
+    let limit = opts.backtrack_limit;
+    match *fault {
+        Fault::StuckAt { .. } => {
+            match cache
+                .raw_detect(detect_target(circuit, fault), limit)
+                .expect("detect target resolved in phase 1")
+            {
+                RawSearch::Test { cube } => CachedGen::Unit {
+                    patterns: vec![fill_cube(cube, opts.fill_seed)],
+                    cubes: vec![cube.clone()],
                     calls: 1,
                 },
-                CubeOutcome::Redundant => CachedGen::Redundant { calls: 1 },
-                CubeOutcome::Aborted => CachedGen::Aborted { calls: 1 },
+                RawSearch::Redundant => CachedGen::Redundant { calls: 1 },
+                RawSearch::Aborted => CachedGen::Aborted { calls: 1 },
             }
         }
         open => {
-            let (v2_fault, v1_reqs) = open_fault_targets(circuit, open);
-            match podem_cube(circuit, v2_fault, podem_opts) {
-                CubeOutcome::Test {
-                    pattern: v2,
-                    cube: v2_cube,
-                } => match justify_cube(circuit, &v1_reqs, podem_opts) {
-                    CubeOutcome::Test {
-                        pattern: v1,
-                        cube: v1_cube,
-                    } => CachedGen::Unit {
-                        patterns: vec![v1, v2],
-                        cubes: vec![v1_cube, v2_cube],
-                        calls: 2,
-                    },
-                    CubeOutcome::Redundant => CachedGen::Redundant { calls: 2 },
-                    CubeOutcome::Aborted => CachedGen::Aborted { calls: 2 },
-                },
-                CubeOutcome::Redundant => CachedGen::Redundant { calls: 1 },
-                CubeOutcome::Aborted => CachedGen::Aborted { calls: 1 },
+            let (v2_target, v1_reqs) = open_fault_targets(circuit, open);
+            match cache
+                .raw_detect(v2_target, limit)
+                .expect("v2 target resolved in phase 1")
+            {
+                RawSearch::Test { cube: v2_cube } => {
+                    match cache
+                        .raw_justify(&v1_reqs, limit)
+                        .expect("v1 requirements resolved in phase 2")
+                    {
+                        RawSearch::Test { cube: v1_cube } => CachedGen::Unit {
+                            patterns: vec![
+                                fill_cube(v1_cube, opts.fill_seed),
+                                fill_cube(v2_cube, opts.fill_seed),
+                            ],
+                            cubes: vec![v1_cube.clone(), v2_cube.clone()],
+                            calls: 2,
+                        },
+                        RawSearch::Redundant => CachedGen::Redundant { calls: 2 },
+                        RawSearch::Aborted => CachedGen::Aborted { calls: 2 },
+                    }
+                }
+                RawSearch::Redundant => CachedGen::Redundant { calls: 1 },
+                RawSearch::Aborted => CachedGen::Aborted { calls: 1 },
             }
         }
     }

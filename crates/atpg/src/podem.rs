@@ -160,6 +160,29 @@ pub fn justify_cube(
     Search::new(circuit, Goal::Justify(requirements.to_vec()), options).run()
 }
 
+/// Applies the deterministic X-fill to a pre-fill cube: specified bits
+/// pass through, don't-cares are filled by a sparse xorshift stream — 1s
+/// with probability 1/8. Fully random fill maximizes collateral detection
+/// but makes the deterministic sequence incompressible (the LFSROM
+/// two-level network blows up); all-zero fill compresses best but
+/// patterns barely differ. Sparse biased fill keeps both properties.
+///
+/// This is exactly the fill a search performs when it reaches its goal,
+/// exposed separately because the search *decisions* (and therefore the
+/// cube) never depend on `fill_seed` — so one search's cube can be
+/// re-filled for any consumer whose seed differs.
+pub fn fill_cube(cube: &TestCube, fill_seed: u64) -> Pattern {
+    let mut fill = fill_seed | 1;
+    Pattern::from_fn(cube.len(), |i| {
+        cube.get(i).unwrap_or_else(|| {
+            fill ^= fill << 13;
+            fill ^= fill >> 7;
+            fill ^= fill << 17;
+            fill & 7 == 7
+        })
+    })
+}
+
 #[derive(Debug, Clone)]
 enum Goal {
     Detect(InjectedFault),
@@ -231,9 +254,36 @@ impl<'c> Search<'c> {
             .copied()
             .filter(|&id| circuit.is_output(id))
             .collect();
+        let mut sim = FiveValueSim::new(circuit, fault);
+        if let Goal::Justify(reqs) = &goal {
+            // A justification search only ever reads the requirement
+            // nodes, the fan-in chains its backtrace walks down from them,
+            // and the raw input assignments — all inside the requirements'
+            // fan-in cone. Scoping implication to that cone keeps every
+            // value the search can observe bit-identical (the mask is
+            // fan-in closed) while skipping the rest of each input's
+            // fan-out cone, which on deep circuits is most of the netlist.
+            let mut in_scope = vec![false; circuit.num_nodes()];
+            let mut stack: Vec<NodeId> = Vec::new();
+            for &(node, _) in reqs {
+                if !in_scope[node.index()] {
+                    in_scope[node.index()] = true;
+                    stack.push(node);
+                }
+            }
+            while let Some(id) = stack.pop() {
+                for &f in circuit.node(id).fanin() {
+                    if !in_scope[f.index()] {
+                        in_scope[f.index()] = true;
+                        stack.push(f);
+                    }
+                }
+            }
+            sim.restrict_scope(in_scope);
+        }
         Search {
             circuit,
-            sim: FiveValueSim::new(circuit, fault),
+            sim,
             goal,
             options,
             stack: Vec::new(),
@@ -316,21 +366,7 @@ impl<'c> Search<'c> {
                 Objective::Achieved => {
                     let width = self.circuit.inputs().len();
                     let cube = TestCube::from_bits((0..width).map(|i| self.sim.input(i)).collect());
-                    // Sparse xorshift fill for unassigned inputs: 1s with
-                    // probability 1/8. Fully random fill maximizes collateral
-                    // detection but makes the deterministic sequence
-                    // incompressible (the LFSROM two-level network blows up);
-                    // all-zero fill compresses best but patterns barely
-                    // differ. Sparse biased fill keeps both properties.
-                    let mut fill = self.options.fill_seed | 1;
-                    let pattern = Pattern::from_fn(width, |i| {
-                        self.sim.input(i).unwrap_or_else(|| {
-                            fill ^= fill << 13;
-                            fill ^= fill >> 7;
-                            fill ^= fill << 17;
-                            fill & 7 == 7
-                        })
-                    });
+                    let pattern = fill_cube(&cube, self.options.fill_seed);
                     return CubeOutcome::Test { pattern, cube };
                 }
                 Objective::Drive(node, value) => match self.backtrace(node, value) {

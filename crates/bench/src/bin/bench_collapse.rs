@@ -20,7 +20,13 @@
 //!    the timing comparison is also an identity check;
 //! 3. **estimation shortcut** — [`estimate_coverage`] with the default
 //!    sample budget against the exact full pass, as a wall-clock ratio
-//!    (`estimate_seconds / full_sim_seconds`).
+//!    (`estimate_seconds / full_sim_seconds`);
+//! 4. **collapsed session** — one `BistSession::solve_at` in
+//!    `CollapseMode::InFlow` (representative-only grading and ATPG, the
+//!    default everywhere) versus one in `CollapseMode::FullUniverse`:
+//!    the end-to-end win of collapsing *inside* the exact flow, with
+//!    the full-universe projections of both legs asserted identical and
+//!    their shared FNV digest written out.
 //!
 //! The sizes, coverage and interval fields are deterministic; only the
 //! `*_seconds` and ratio fields move between machines. Writes
@@ -29,7 +35,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use bist_bench::schema::SCHEMA_VERSION;
+use bist_bench::schema::{Fnv, SCHEMA_VERSION};
 use bist_bench::{banner, ExperimentArgs};
 use bist_core::prelude::*;
 use bist_fault::CollapsedUniverse;
@@ -45,6 +51,10 @@ struct CircuitResult {
     collapsed_seconds: f64,
     estimate: CoverageEstimate,
     estimate_seconds: f64,
+    session_prefix: usize,
+    session_collapsed_seconds: f64,
+    session_full_seconds: f64,
+    session_digest: u64,
 }
 
 fn main() {
@@ -106,6 +116,41 @@ fn main() {
             estimate.hi_pct
         );
 
+        // --- the same cut inside the exact flow: a full solve (prefix
+        // grading + ATPG top-up + synthesis) per collapse mode ---
+        let session_config = MixedSchemeConfig {
+            threads: args.threads,
+            ..MixedSchemeConfig::default()
+        };
+        let session_prefix = patterns_budget / 4;
+        let t = Instant::now();
+        let mut collapsed_session =
+            BistSession::with_mode(&circuit, session_config.clone(), CollapseMode::InFlow);
+        collapsed_session
+            .solve_at(session_prefix)
+            .expect("collapsed solve succeeds");
+        let session_collapsed_seconds = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let mut full_session =
+            BistSession::with_mode(&circuit, session_config, CollapseMode::FullUniverse);
+        full_session
+            .solve_at(session_prefix)
+            .expect("full-universe solve succeeds");
+        let session_full_seconds = t.elapsed().as_secs_f64();
+
+        // identical full-universe statuses, or the timings don't count
+        let a = collapsed_session.full_universe_statuses_at(session_prefix);
+        let b = full_session.full_universe_statuses_at(session_prefix);
+        assert_eq!(a, b, "{name}: session projection diverges");
+        let mut digest = Fnv::new();
+        for s in &a {
+            for byte in format!("{s:?}").bytes() {
+                digest.push(byte);
+            }
+        }
+        let session_digest = digest.finish();
+
         println!(
             "{:>6}: {} faults -> {} reps ({:.1} % cut, {} prime) | grading {:.3}s -> {:.3}s \
              | estimate {:.2} % [{:.2}, {:.2}] in {:.0} % of exact time",
@@ -121,6 +166,13 @@ fn main() {
             estimate.hi_pct,
             100.0 * estimate_seconds / full_seconds,
         );
+        println!(
+            "        session solve at p={session_prefix}: collapsed {:.3}s vs full universe \
+             {:.3}s ({:.2}x), digest {session_digest:016x}",
+            session_collapsed_seconds,
+            session_full_seconds,
+            session_full_seconds / session_collapsed_seconds,
+        );
         results.push(CircuitResult {
             name,
             patterns: patterns_budget,
@@ -130,6 +182,10 @@ fn main() {
             collapsed_seconds,
             estimate,
             estimate_seconds,
+            session_prefix,
+            session_collapsed_seconds,
+            session_full_seconds,
+            session_digest,
         });
     }
 
@@ -154,7 +210,12 @@ fn render_json(threads: usize, results: &[CircuitResult]) -> String {
              \"collapsed_sim_seconds\": {:.6},\n      \"grading_speedup\": {:.3},\n      \
              \"estimate_samples\": {},\n      \"estimate_pct\": {:.4},\n      \
              \"estimate_lo_pct\": {:.4},\n      \"estimate_hi_pct\": {:.4},\n      \
-             \"estimate_seconds\": {:.6},\n      \"estimate_vs_exact_pct\": {:.2}\n    }}",
+             \"estimate_seconds\": {:.6},\n      \"estimate_vs_exact_pct\": {:.2},\n      \
+             \"session_prefix\": {},\n      \
+             \"session_collapsed_seconds\": {:.6},\n      \
+             \"session_full_seconds\": {:.6},\n      \
+             \"session_speedup\": {:.3},\n      \
+             \"session_digest\": \"{:016x}\"\n    }}",
             r.name,
             r.patterns,
             r.stats.full,
@@ -171,6 +232,11 @@ fn render_json(threads: usize, results: &[CircuitResult]) -> String {
             r.estimate.hi_pct,
             r.estimate_seconds,
             100.0 * r.estimate_seconds / r.full_seconds,
+            r.session_prefix,
+            r.session_collapsed_seconds,
+            r.session_full_seconds,
+            r.session_full_seconds / r.session_collapsed_seconds,
+            r.session_digest,
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }

@@ -83,6 +83,7 @@ fn main() {
                     config: config.clone(),
                     prefix_lengths: prefixes.clone(),
                     fault_model: model,
+                    estimate_first: false,
                 }))
                 .expect("sweep job succeeds");
             let seconds = t.elapsed().as_secs_f64();

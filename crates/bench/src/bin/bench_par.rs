@@ -9,17 +9,21 @@
 //! ```
 //!
 //! For each circuit one `JobSpec::CoverageCurve` (full mixed fault
-//! universe, the pattern budget as its single checkpoint) runs once per
-//! pool width (1, 2, … up to `--threads` or the machine width), through
-//! an `Engine` pinned to that width. After every timed run the curve is
-//! compared against the one-thread reference, and an *untimed* direct
-//! `FaultSim` pass at the same width re-asserts the full bit-identity
-//! contract — per-fault statuses and first-detection indices, not just
-//! the coverage percentage. Writes `BENCH_par.json` with per-width
-//! wall-times and speedups (each timed measurement includes the
-//! fault-list build, identically at every width). On a single-core
-//! container every width measures the same engine — the JSON then
-//! documents the (absent) parallelism rather than the scaling.
+//! universe, the pattern budget as its single checkpoint) runs per pool
+//! width (1, 2, … up to `--threads` or the machine width), through an
+//! `Engine` pinned to that width. Each width is timed as the best of
+//! several repetitions — the first repetition doubles as the warm-up,
+//! and the minimum is the stable estimate on a noisy container. After
+//! every timed run the curve is compared against the one-thread
+//! reference, and an *untimed* direct `FaultSim` pass at the same width
+//! re-asserts the full bit-identity contract — per-fault statuses and
+//! first-detection indices, not just the coverage percentage. Writes
+//! `BENCH_par.json` with per-width wall-times and speedups (each timed
+//! measurement includes the fault-list build, identically at every
+//! width). On a machine narrower than the pool the per-worker sharding
+//! threshold grades inline at every width (see DESIGN.md §13) — the
+//! JSON then documents the overhead-free fallback rather than the
+//! scaling.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -74,19 +78,29 @@ fn main() {
                 threads: w,
                 ..MixedSchemeConfig::default()
             };
-            let t = Instant::now();
-            let result = engine
-                .run(JobSpec::CoverageCurve(CoverageCurveSpec {
+            let spec = || {
+                JobSpec::CoverageCurve(CoverageCurveSpec {
                     circuit: source.clone(),
-                    config,
+                    config: config.clone(),
                     checkpoints: vec![budget],
                     fault_model: Default::default(),
-                }))
-                .unwrap_or_else(|e| {
+                })
+            };
+            // best-of-N: repetition one is the warm-up, the minimum is
+            // the measurement
+            let reps = if args.quick { 3 } else { 5 };
+            let mut seconds = f64::INFINITY;
+            let mut result = None;
+            for _ in 0..reps {
+                let t = Instant::now();
+                let r = engine.run(spec()).unwrap_or_else(|e| {
                     eprintln!("coverage job failed: {e}");
                     std::process::exit(2);
                 });
-            let seconds = t.elapsed().as_secs_f64();
+                seconds = seconds.min(t.elapsed().as_secs_f64());
+                result = Some(r);
+            }
+            let result = result.expect("at least one repetition");
             let outcome = result.as_coverage_curve().expect("curve outcome");
             let pct = outcome.curve.points()[0].1;
             times.push((w, seconds));

@@ -19,7 +19,13 @@
 //! component the session de-quadratifies), the session's work counters
 //! and the solved `(p, d)` frontier. Both paths must produce
 //! bit-identical solutions — enforced here before the numbers are
-//! written.
+//! written. A third pair of legs runs the same sweep on a direct
+//! `BistSession` in `CollapseMode::InFlow` (representative-only
+//! grading, the default everywhere) versus `CollapseMode::FullUniverse`
+//! (the counterfactual): `collapsed_session_speedup` is what collapsing
+//! buys inside the exact flow, and the shared `projected_digest` proves
+//! both legs commit the same full-universe statuses at every
+//! checkpoint.
 //!
 //! The JSON carries a `schema_version` (currently 2); `bench_check`
 //! refuses to compare files of different versions. The emitted
@@ -34,7 +40,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use bist_bench::schema::SCHEMA_VERSION;
+use bist_bench::schema::{Fnv, SCHEMA_VERSION};
 use bist_bench::{banner, ExperimentArgs};
 use bist_core::prelude::*;
 use bist_engine::{CircuitSource, Engine, FaultModel, JobSpec, SolveAtSpec, SweepSpec};
@@ -45,8 +51,21 @@ struct CircuitResult {
     oneshot_s: f64,
     grading_session_s: f64,
     grading_oneshot_s: f64,
+    collapsed_session_s: f64,
+    full_universe_session_s: f64,
+    projected_digest: u64,
     stats: SessionStats,
     points: Vec<(usize, usize)>,
+}
+
+/// FNV-1a over the full-universe status vector — the cross-leg
+/// fingerprint written into the JSON.
+fn absorb_statuses(digest: &mut Fnv, statuses: &[FaultStatus]) {
+    for s in statuses {
+        for byte in format!("{s:?}").bytes() {
+            digest.push(byte);
+        }
+    }
 }
 
 fn main() {
@@ -89,6 +108,7 @@ fn main() {
                 config: config.clone(),
                 prefix_lengths: prefixes.clone(),
                 fault_model: FaultModel::default(),
+                estimate_first: false,
             }))
             .expect("sweep job succeeds");
         let session_s = t.elapsed().as_secs_f64();
@@ -106,6 +126,7 @@ fn main() {
                     config: config.clone(),
                     prefix_len: p,
                     fault_model: FaultModel::default(),
+                    estimate_first: false,
                 }))
                 .expect("solve job succeeds");
             oneshot.push(
@@ -162,6 +183,83 @@ fn main() {
             "grading paths diverge"
         );
 
+        // --- representative-only grading in the exact flow vs the
+        // full-universe counterfactual: the same sweep on one direct
+        // `BistSession` per collapse mode. The projection at every
+        // checkpoint ties the two legs bit-for-bit, so the timing ratio
+        // is also an identity check. Each leg is timed twice on a fresh
+        // session and the minimum kept: the legs are deterministic, so
+        // min-of-N isolates the leg's true cost from scheduler and
+        // allocator jitter, which on shared boxes reaches double digits. ---
+        let t = Instant::now();
+        let mut collapsed_session =
+            BistSession::with_mode(&circuit, config.clone(), CollapseMode::InFlow);
+        let collapsed_summary = collapsed_session
+            .sweep(&prefixes)
+            .expect("collapsed sweep succeeds");
+        let mut collapsed_session_s = t.elapsed().as_secs_f64();
+        {
+            let mut retry = BistSession::with_mode(&circuit, config.clone(), CollapseMode::InFlow);
+            let t = Instant::now();
+            retry.sweep(&prefixes).expect("collapsed sweep succeeds");
+            collapsed_session_s = collapsed_session_s.min(t.elapsed().as_secs_f64());
+        }
+        // the default mode IS the engine path above: the committed
+        // solutions must be bit-identical
+        for (a, b) in sweep
+            .summary
+            .solutions()
+            .iter()
+            .zip(collapsed_summary.solutions())
+        {
+            assert_eq!(
+                a.det_len, b.det_len,
+                "collapsed session diverges from the engine sweep at p={}",
+                a.prefix_len
+            );
+            assert_eq!(
+                a.generator.deterministic(),
+                b.generator.deterministic(),
+                "collapsed session diverges from the engine sweep at p={}",
+                a.prefix_len
+            );
+        }
+
+        let t = Instant::now();
+        let mut full_session =
+            BistSession::with_mode(&circuit, config.clone(), CollapseMode::FullUniverse);
+        full_session
+            .sweep(&prefixes)
+            .expect("full-universe sweep succeeds");
+        let mut full_universe_session_s = t.elapsed().as_secs_f64();
+        {
+            let mut retry =
+                BistSession::with_mode(&circuit, config.clone(), CollapseMode::FullUniverse);
+            let t = Instant::now();
+            retry
+                .sweep(&prefixes)
+                .expect("full-universe sweep succeeds");
+            full_universe_session_s = full_universe_session_s.min(t.elapsed().as_secs_f64());
+        }
+
+        // both legs must agree on the full-universe statuses at every
+        // checkpoint; the digest lands in the JSON so any drift is
+        // visible across runs and machines
+        let mut digest = Fnv::new();
+        for &p in &prefixes {
+            let a = collapsed_session.full_universe_statuses_at(p);
+            let b = full_session.full_universe_statuses_at(p);
+            assert_eq!(a, b, "full-universe projection diverges at p={p}");
+            absorb_statuses(&mut digest, &a);
+        }
+        let projected_digest = digest.finish();
+
+        println!(
+            "{:>6}: collapsed session {collapsed_session_s:6.2}s vs full universe \
+             {full_universe_session_s:6.2}s ({:4.2}x), digest {projected_digest:016x}",
+            name,
+            full_universe_session_s / collapsed_session_s,
+        );
         println!(
             "{:>6}: sweep {session_s:8.2}s vs {oneshot_s:8.2}s ({:4.2}x) | prefix grading \
              {grading_session_s:6.2}s vs {grading_oneshot_s:6.2}s ({:4.2}x) | patterns {} \
@@ -181,6 +279,9 @@ fn main() {
             oneshot_s,
             grading_session_s,
             grading_oneshot_s,
+            collapsed_session_s,
+            full_universe_session_s,
+            projected_digest,
             stats,
             points: sweep
                 .summary
@@ -225,6 +326,10 @@ fn render_json(prefixes: &[usize], threads: usize, results: &[CircuitResult]) ->
              \"prefix_grading_session_seconds\": {:.4},\n      \
              \"prefix_grading_oneshot_seconds\": {:.4},\n      \
              \"prefix_grading_speedup\": {:.3},\n      \
+             \"collapsed_session_seconds\": {:.4},\n      \
+             \"full_universe_session_seconds\": {:.4},\n      \
+             \"collapsed_session_speedup\": {:.3},\n      \
+             \"projected_digest\": \"{:016x}\",\n      \
              \"patterns_simulated\": {},\n      \"patterns_resimulated\": {},\n      \
              \"atpg_runs\": {},\n      \"atpg_cache_hits\": {},\n      \
              \"atpg_frontier_hits\": {},\n      \"podem_cache_hits\": {},\n      \
@@ -237,6 +342,10 @@ fn render_json(prefixes: &[usize], threads: usize, results: &[CircuitResult]) ->
             r.grading_session_s,
             r.grading_oneshot_s,
             r.grading_oneshot_s / r.grading_session_s,
+            r.collapsed_session_s,
+            r.full_universe_session_s,
+            r.full_universe_session_s / r.collapsed_session_s,
+            r.projected_digest,
             r.stats.patterns_simulated,
             r.stats.patterns_resimulated,
             r.stats.atpg_runs,

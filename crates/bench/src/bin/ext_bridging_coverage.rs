@@ -91,6 +91,7 @@ fn main() {
                 config: config.clone(),
                 prefix_len: p,
                 fault_model: model,
+                estimate_first: false,
             }))
             .expect("solve job succeeds");
         let solution = &solved.as_solve_at().expect("solve outcome").solution;

@@ -44,6 +44,7 @@ fn main() {
                 },
                 prefix_lengths: prefixes.to_vec(),
                 fault_model: FaultModel::Transition,
+                estimate_first: false,
             }))
             .unwrap_or_else(|e| {
                 eprintln!("sweep failed: {e}");

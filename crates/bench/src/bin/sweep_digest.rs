@@ -59,6 +59,7 @@ fn digest_sweep(args: &ExperimentArgs, prefixes: &[usize], threads: usize) -> St
                 config: config.clone(),
                 prefix_lengths: prefixes.to_vec(),
                 fault_model: FaultModel::default(),
+                estimate_first: false,
             }))
             .unwrap_or_else(|e| {
                 eprintln!("sweep failed: {e}");

@@ -131,21 +131,25 @@ fn job_command(
         "solve" => {
             let prefix = required_usize(rest, "--prefix", "solve")?;
             let fault_model = fault_model_flag(rest)?;
+            let estimate_first = take_flag(rest, "--estimate-first");
             JobSpec::SolveAt(SolveAtSpec {
                 circuit: resolve_circuit(&the_circuit(command, rest)?)?,
                 config: Default::default(),
                 prefix_len: prefix,
                 fault_model,
+                estimate_first,
             })
         }
         "sweep" => {
             let points = required_lengths(rest, "--points", "sweep")?;
             let fault_model = fault_model_flag(rest)?;
+            let estimate_first = take_flag(rest, "--estimate-first");
             JobSpec::Sweep(SweepSpec {
                 circuit: resolve_circuit(&the_circuit(command, rest)?)?,
                 config: Default::default(),
                 prefix_lengths: points,
                 fault_model,
+                estimate_first,
             })
         }
         "curve" => {

@@ -64,6 +64,10 @@ silicon cost and the session work counters.
 paper's model), transition (launch-on-capture pattern pairs, with a
 delay-aware ATPG top-up), or bridging[:PAIRS[:SEED]] (a reproducibly
 sampled wired-AND/OR short universe graded over the stuck-at hardware).
+
+--estimate-first streams a sampled coverage preview (Wilson interval)
+before the exact run; the flag never changes the exact result or its
+cache entry, and a warm cache hit answers exactly with no preview.
 ";
 
 /// `bist sweep --help`.
@@ -75,7 +79,8 @@ incremental session (each pseudo-random pattern graded at most once).
 Results come back in request order; the cache makes repeated sweeps of
 the same circuit/budgets milliseconds. --fault-model sweeps the same
 trade-off against the transition or bridging universe instead of
-stuck-at (see `bist solve --help`).
+stuck-at (see `bist solve --help`); --estimate-first streams a sampled
+coverage preview at the longest prefix before the exact points arrive.
 ";
 
 /// `bist curve --help`.

@@ -12,6 +12,7 @@
 //! kind = "sweep"        # solve | sweep | curve | bakeoff | emit-hdl | area | estimate | lint
 //! points = [0, 100, 1000]
 //! fault-model = "transition"  # stuck-at (default) | transition | bridging[:PAIRS[:SEED]]
+//! estimate-first = true # default false: sampled preview before the exact run
 //!
 //! [[job]]
 //! kind = "solve"
@@ -373,6 +374,23 @@ fn take_seed(source_name: &str, job: &mut Table) -> Result<u64, BistError> {
     }
 }
 
+/// `estimate-first = true` (absent means off): stream a sampled
+/// coverage preview before the exact solve/sweep run.
+fn take_estimate_first(source_name: &str, job: &mut Table) -> Result<bool, BistError> {
+    match job.take("estimate-first") {
+        None => Ok(false),
+        Some((Value::Bool(b), _)) => Ok(b),
+        Some((other, line)) => Err(err(
+            source_name,
+            line,
+            format!(
+                "estimate-first: expected a boolean, got {}",
+                other.type_name()
+            ),
+        )),
+    }
+}
+
 fn build_job(
     source_name: &str,
     mut job: Table,
@@ -410,6 +428,7 @@ fn build_job(
                 config: Default::default(),
                 prefix_len: prefix,
                 fault_model: take_fault_model(source_name, &mut job)?,
+                estimate_first: take_estimate_first(source_name, &mut job)?,
             })
         }
         "sweep" => JobSpec::Sweep(SweepSpec {
@@ -417,6 +436,7 @@ fn build_job(
             config: Default::default(),
             prefix_lengths: take_lengths(source_name, &mut job, "points")?,
             fault_model: take_fault_model(source_name, &mut job)?,
+            estimate_first: take_estimate_first(source_name, &mut job)?,
         }),
         "curve" => JobSpec::CoverageCurve(CoverageCurveSpec {
             circuit,
@@ -617,6 +637,33 @@ testbench = true
         let e = parse("m.toml", bad).expect_err("unknown model");
         assert!(e.to_string().contains("m.toml:5"), "{e}");
         assert!(e.to_string().contains("warp"), "{e}");
+    }
+
+    #[test]
+    fn estimate_first_parses_per_job_and_defaults_off() {
+        let text = "[[job]]\nkind = \"sweep\"\ncircuit = \"c17\"\npoints = [0, 8]\n\
+                    estimate-first = true\n\
+                    [[job]]\nkind = \"solve\"\ncircuit = \"c17\"\nprefix = 4\n\
+                    estimate-first = true\n\
+                    [[job]]\nkind = \"sweep\"\ncircuit = \"c17\"\npoints = [0, 8]\n";
+        let manifest = parse("m.toml", text).expect("valid manifest");
+        assert!(matches!(&manifest.jobs[0], JobSpec::Sweep(s) if s.estimate_first));
+        assert!(matches!(&manifest.jobs[1], JobSpec::SolveAt(s) if s.estimate_first));
+        assert!(
+            matches!(&manifest.jobs[2], JobSpec::Sweep(s) if !s.estimate_first),
+            "absent means off"
+        );
+
+        let bad = "[[job]]\nkind = \"sweep\"\ncircuit = \"c17\"\npoints = [0, 8]\n\
+                   estimate-first = 1\n";
+        let e = parse("m.toml", bad).expect_err("non-boolean flag");
+        assert!(e.to_string().contains("m.toml:5"), "{e}");
+        assert!(e.to_string().contains("boolean"), "{e}");
+
+        // jobs with no preview phase reject the key like any other typo
+        let misplaced = "[[job]]\nkind = \"area\"\ncircuit = \"c17\"\nestimate-first = true\n";
+        let e = parse("m.toml", misplaced).expect_err("area jobs have no preview");
+        assert!(e.to_string().contains("estimate-first"), "{e}");
     }
 
     #[test]

@@ -386,6 +386,18 @@ pub fn event_line(event: &ProgressEvent) -> String {
             prefix_len,
             coverage_pct,
         } => format!("[{job}] p={prefix_len} coverage={coverage_pct:.2}%"),
+        ProgressEvent::Estimate {
+            job,
+            prefix_len,
+            samples,
+            estimate_pct,
+            lo_pct,
+            hi_pct,
+            confidence,
+        } => format!(
+            "[{job}] estimate p={prefix_len} coverage\u{2248}{estimate_pct:.2}% \
+             [{lo_pct:.2}, {hi_pct:.2}] ({confidence}% ci, {samples} samples)"
+        ),
         ProgressEvent::Pass { job, name } => format!("[{job}] pass: {name}"),
         ProgressEvent::Finished { job, cache_hit } => {
             if *cache_hit {

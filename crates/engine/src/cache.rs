@@ -465,6 +465,7 @@ mod tests {
             },
             prefix_lengths: prefixes.to_vec(),
             fault_model: FaultModel::default(),
+            estimate_first: false,
         })
     }
 
@@ -530,6 +531,19 @@ mod tests {
     }
 
     #[test]
+    fn digest_ignores_estimate_first() {
+        // The preview only changes what streams before the exact run; the
+        // committed result is byte-identical, so an estimate-first job
+        // must hit (and warm) the same cache entry as the plain one.
+        let baseline = job_digest(&c17(), &sweep_spec(&[0, 8], 0));
+        let mut spec = sweep_spec(&[0, 8], 0);
+        if let JobSpec::Sweep(s) = &mut spec {
+            s.estimate_first = true;
+        }
+        assert_eq!(baseline, job_digest(&c17(), &spec));
+    }
+
+    #[test]
     fn digest_sees_the_configuration() {
         let mut config = MixedSchemeConfig::default();
         config.atpg.podem.backtrack_limit += 1;
@@ -538,6 +552,7 @@ mod tests {
             config,
             prefix_lengths: vec![0, 8],
             fault_model: FaultModel::default(),
+            estimate_first: false,
         });
         assert_ne!(
             job_digest(&c17(), &sweep_spec(&[0, 8], 0)),

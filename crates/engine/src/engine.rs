@@ -23,7 +23,8 @@ use crate::result::{
 };
 use crate::spec::{
     AreaReportSpec, BakeoffSpec, CircuitSource, CoverageCurveSpec, EmitHdlSpec, EstimateSpec,
-    HdlLanguage, JobSpec, LintSpec, SolveAtSpec, SweepSpec,
+    HdlLanguage, JobSpec, LintSpec, SolveAtSpec, SweepSpec, DEFAULT_ESTIMATE_CONFIDENCE,
+    DEFAULT_ESTIMATE_SAMPLES, DEFAULT_ESTIMATE_SEED,
 };
 
 /// The single public face of the workspace: validates [`JobSpec`]s,
@@ -384,6 +385,38 @@ impl Engine {
         });
     }
 
+    /// The estimate-first preview: a sampled Wilson-interval coverage
+    /// estimate at `prefix_len`, pushed before the exact run produces
+    /// anything. Runs only on a cold cache (`drive`'s digest lookup
+    /// short-circuits first), uses the default sample budget, and never
+    /// touches the job's outcome.
+    fn estimate_preview(
+        &self,
+        feed: &ProgressFeed,
+        id: JobId,
+        s_config: &bist_core::MixedSchemeConfig,
+        circuit: &Circuit,
+        prefix_len: usize,
+    ) {
+        let e = estimate_coverage(
+            circuit,
+            s_config,
+            prefix_len,
+            DEFAULT_ESTIMATE_SAMPLES,
+            DEFAULT_ESTIMATE_CONFIDENCE,
+            DEFAULT_ESTIMATE_SEED,
+        );
+        feed.push(ProgressEvent::Estimate {
+            job: id,
+            prefix_len,
+            samples: e.samples,
+            estimate_pct: e.estimate_pct,
+            lo_pct: e.lo_pct,
+            hi_pct: e.hi_pct,
+            confidence: e.confidence,
+        });
+    }
+
     // Single-point jobs (solve-at, emit-hdl, area-report) have no
     // internal checkpoint, so their only cancellation boundary is the
     // one before work starts (in `drive`): once the point is solved the
@@ -396,6 +429,9 @@ impl Engine {
         circuit: &Circuit,
         feed: &ProgressFeed,
     ) -> Result<JobResult, BistError> {
+        if s.estimate_first {
+            self.estimate_preview(feed, id, &s.config, circuit, s.prefix_len);
+        }
         let mut session = ModelSession::new(circuit, s.config.clone(), s.fault_model);
         let solution = session.solve_at(s.prefix_len)?;
         self.checkpoint(feed, id, s.prefix_len, &solution.coverage);
@@ -414,6 +450,12 @@ impl Engine {
         cancel: &CancelToken,
         feed: &ProgressFeed,
     ) -> Result<JobResult, BistError> {
+        if s.estimate_first {
+            // preview the sweep's longest prefix — the point the exact
+            // run will take longest to confirm
+            let longest = s.prefix_lengths.iter().copied().max().unwrap_or(0);
+            self.estimate_preview(feed, id, &s.config, circuit, longest);
+        }
         let mut session = ModelSession::new(circuit, s.config.clone(), s.fault_model);
         // ascending solve order keeps the incremental contract (each
         // pseudo-random pattern graded at most once) while leaving a

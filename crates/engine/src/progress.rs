@@ -51,6 +51,28 @@ pub enum ProgressEvent {
         /// Fault coverage reached so far, percent.
         coverage_pct: f64,
     },
+    /// The statistically qualified preview an estimate-first job emits
+    /// before its exact run produces anything: a Wilson-interval
+    /// coverage estimate from the representative sample. At most one per
+    /// job, always before the first [`ProgressEvent::Checkpoint`]; a
+    /// warm cache hit answers exactly and skips the preview.
+    Estimate {
+        /// The job.
+        job: JobId,
+        /// Prefix length the estimate speaks for (a sweep previews its
+        /// longest prefix).
+        prefix_len: usize,
+        /// Faults sampled.
+        samples: usize,
+        /// Point estimate of the coverage, percent.
+        estimate_pct: f64,
+        /// Lower bound of the confidence interval, percent.
+        lo_pct: f64,
+        /// Upper bound of the confidence interval, percent.
+        hi_pct: f64,
+        /// Confidence level of the interval, percent.
+        confidence: u32,
+    },
     /// The job entered a named analysis pass (lint jobs emit one per
     /// pass: `"parse"`, `"structural"`, `"scoap"`).
     Pass {
@@ -89,6 +111,7 @@ impl ProgressEvent {
             ProgressEvent::Queued { job, .. }
             | ProgressEvent::Started { job }
             | ProgressEvent::Checkpoint { job, .. }
+            | ProgressEvent::Estimate { job, .. }
             | ProgressEvent::Pass { job, .. }
             | ProgressEvent::Finished { job, .. }
             | ProgressEvent::Failed { job, .. }
@@ -110,6 +133,23 @@ impl ProgressEvent {
                 job,
                 prefix_len,
                 coverage_pct,
+            },
+            ProgressEvent::Estimate {
+                prefix_len,
+                samples,
+                estimate_pct,
+                lo_pct,
+                hi_pct,
+                confidence,
+                ..
+            } => ProgressEvent::Estimate {
+                job,
+                prefix_len,
+                samples,
+                estimate_pct,
+                lo_pct,
+                hi_pct,
+                confidence,
             },
             ProgressEvent::Pass { name, .. } => ProgressEvent::Pass { job, name },
             ProgressEvent::Finished { cache_hit, .. } => ProgressEvent::Finished { job, cache_hit },
@@ -397,6 +437,15 @@ mod tests {
                 job: JobId(1),
                 prefix_len: 8,
                 coverage_pct: 50.0,
+            },
+            ProgressEvent::Estimate {
+                job: JobId(1),
+                prefix_len: 128,
+                samples: 256,
+                estimate_pct: 91.5,
+                lo_pct: 87.2,
+                hi_pct: 94.6,
+                confidence: 95,
             },
             ProgressEvent::Pass {
                 job: JobId(1),

@@ -126,6 +126,7 @@ pub enum HdlLanguage {
 ///     config: Default::default(),
 ///     prefix_len: 4,
 ///     fault_model: Default::default(),
+///     estimate_first: false,
 /// };
 /// let result = Engine::new().run(JobSpec::SolveAt(spec))?;
 /// let solved = result.as_solve_at().expect("solve-at outcome");
@@ -144,6 +145,12 @@ pub struct SolveAtSpec {
     /// ([`FaultModel::StuckAt`]) hashes, encodes and caches exactly as
     /// specs did before this field existed.
     pub fault_model: FaultModel,
+    /// Emit a [`ProgressEvent::Estimate`](crate::ProgressEvent::Estimate)
+    /// — a Wilson-interval coverage preview from the representative
+    /// sample — before the exact run streams its result. Off by default;
+    /// the flag never participates in digests, caching or the outcome
+    /// (a warm cache hit skips the preview entirely).
+    pub estimate_first: bool,
 }
 
 /// Sweep the `(p, d)` trade-off over many prefix lengths on one
@@ -173,6 +180,11 @@ pub struct SweepSpec {
     /// ([`FaultModel::StuckAt`]) hashes, encodes and caches exactly as
     /// specs did before this field existed.
     pub fault_model: FaultModel,
+    /// Emit a [`ProgressEvent::Estimate`](crate::ProgressEvent::Estimate)
+    /// at the sweep's longest prefix before the exact run streams its
+    /// checkpoints. Off by default; never participates in digests,
+    /// caching or the outcome (a warm cache hit skips the preview).
+    pub estimate_first: bool,
 }
 
 /// Grade the pure pseudo-random sequence at the given checkpoints — the
@@ -397,6 +409,7 @@ impl JobSpec {
             config: MixedSchemeConfig::default(),
             prefix_len,
             fault_model: FaultModel::default(),
+            estimate_first: false,
         })
     }
 
@@ -407,6 +420,7 @@ impl JobSpec {
             config: MixedSchemeConfig::default(),
             prefix_lengths: prefix_lengths.into(),
             fault_model: FaultModel::default(),
+            estimate_first: false,
         })
     }
 

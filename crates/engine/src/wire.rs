@@ -389,9 +389,17 @@ pub fn encode_spec(spec: &JobSpec) -> Json {
     match spec {
         JobSpec::SolveAt(s) => {
             o.push("prefix_len", Json::uint(s.prefix_len));
+            // emitted only when set: default specs keep the wire bytes
+            // peers that predate estimate-first serving expect
+            if s.estimate_first {
+                o.push("estimate_first", Json::Bool(true));
+            }
         }
         JobSpec::Sweep(s) => {
             o.push("prefix_lengths", encode_lengths(&s.prefix_lengths));
+            if s.estimate_first {
+                o.push("estimate_first", Json::Bool(true));
+            }
         }
         JobSpec::CoverageCurve(s) => {
             o.push("checkpoints", encode_lengths(&s.checkpoints));
@@ -443,6 +451,14 @@ fn decode_fault_model(j: &Json) -> Result<FaultModel, WireError> {
     }
 }
 
+/// The optional `estimate_first` flag: absent means off — the only
+/// behaviour that existed before estimate-first serving.
+fn decode_estimate_first(j: &Json) -> bool {
+    j.get("estimate_first")
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+}
+
 /// Decodes a wire document produced by [`encode_spec`].
 ///
 /// # Errors
@@ -457,12 +473,14 @@ pub fn decode_spec(j: &Json) -> Result<JobSpec, WireError> {
             config,
             prefix_len: get_usize(j, "prefix_len")?,
             fault_model: decode_fault_model(j)?,
+            estimate_first: decode_estimate_first(j),
         })),
         "sweep" => Ok(JobSpec::Sweep(SweepSpec {
             circuit,
             config,
             prefix_lengths: decode_lengths(j, "prefix_lengths")?,
             fault_model: decode_fault_model(j)?,
+            estimate_first: decode_estimate_first(j),
         })),
         "coverage-curve" => Ok(JobSpec::CoverageCurve(CoverageCurveSpec {
             circuit,
@@ -519,6 +537,7 @@ pub fn encode_event(event: &ProgressEvent) -> Json {
         ProgressEvent::Queued { job, .. } => ("queued", job),
         ProgressEvent::Started { job } => ("started", job),
         ProgressEvent::Checkpoint { job, .. } => ("checkpoint", job),
+        ProgressEvent::Estimate { job, .. } => ("estimate", job),
         ProgressEvent::Pass { job, .. } => ("pass", job),
         ProgressEvent::Finished { job, .. } => ("finished", job),
         ProgressEvent::Failed { job, .. } => ("failed", job),
@@ -537,6 +556,22 @@ pub fn encode_event(event: &ProgressEvent) -> Json {
         } => {
             o.push("prefix_len", Json::uint(*prefix_len));
             o.push("coverage_pct", Json::f64_bits(*coverage_pct));
+        }
+        ProgressEvent::Estimate {
+            prefix_len,
+            samples,
+            estimate_pct,
+            lo_pct,
+            hi_pct,
+            confidence,
+            ..
+        } => {
+            o.push("prefix_len", Json::uint(*prefix_len));
+            o.push("samples", Json::uint(*samples));
+            o.push("estimate_pct", Json::f64_bits(*estimate_pct));
+            o.push("lo_pct", Json::f64_bits(*lo_pct));
+            o.push("hi_pct", Json::f64_bits(*hi_pct));
+            o.push("confidence", Json::uint(*confidence as usize));
         }
         ProgressEvent::Pass { name, .. } => {
             o.push("name", Json::str(name));
@@ -573,6 +608,16 @@ pub fn decode_event(j: &Json) -> Result<ProgressEvent, WireError> {
             job,
             prefix_len: get_usize(j, "prefix_len")?,
             coverage_pct: get_f64_bits(j, "coverage_pct")?,
+        }),
+        "estimate" => Ok(ProgressEvent::Estimate {
+            job,
+            prefix_len: get_usize(j, "prefix_len")?,
+            samples: get_usize(j, "samples")?,
+            estimate_pct: get_f64_bits(j, "estimate_pct")?,
+            lo_pct: get_f64_bits(j, "lo_pct")?,
+            hi_pct: get_f64_bits(j, "hi_pct")?,
+            confidence: u32::try_from(get_usize(j, "confidence")?)
+                .map_err(|_| err("`confidence` exceeds u32"))?,
         }),
         "pass" => Ok(ProgressEvent::Pass {
             job,
@@ -1000,5 +1045,69 @@ mod tests {
         let doc = encode_event(&warm);
         assert_eq!(doc.get("cache_hit").and_then(Json::as_bool), Some(true));
         assert_eq!(decode_event(&doc).expect("decodes"), warm);
+    }
+
+    #[test]
+    fn estimate_first_crosses_the_wire_only_when_set() {
+        let circuit = || CircuitSource::iscas85("c17");
+        // off (the default): no field — bytes identical to a peer that
+        // predates estimate-first serving
+        for spec in [
+            JobSpec::solve_at(circuit(), 8),
+            JobSpec::sweep(circuit(), [0, 8]),
+        ] {
+            let line = round_trip_request(&Request::Submit {
+                spec: Box::new(spec),
+            });
+            assert!(!line.contains("estimate_first"), "{line}");
+        }
+
+        for mut spec in [
+            JobSpec::solve_at(circuit(), 8),
+            JobSpec::sweep(circuit(), [0, 8]),
+        ] {
+            match &mut spec {
+                JobSpec::SolveAt(s) => s.estimate_first = true,
+                JobSpec::Sweep(s) => s.estimate_first = true,
+                _ => unreachable!(),
+            }
+            let line = round_trip_request(&Request::Submit {
+                spec: Box::new(spec),
+            });
+            assert!(line.contains("\"estimate_first\": true"), "{line}");
+            let Request::Submit { spec } = decode_request(&line).expect("decodes") else {
+                panic!("submit round-trips as submit");
+            };
+            let set = match spec.as_ref() {
+                JobSpec::SolveAt(s) => s.estimate_first,
+                JobSpec::Sweep(s) => s.estimate_first,
+                _ => unreachable!(),
+            };
+            assert!(set, "flag survives the round trip");
+        }
+    }
+
+    #[test]
+    fn estimate_events_round_trip_bit_exactly() {
+        let event = ProgressEvent::Estimate {
+            job: JobId(7),
+            prefix_len: 200,
+            samples: 256,
+            estimate_pct: f64::from_bits(0x4056_f5c2_8f5c_28f6),
+            lo_pct: f64::from_bits(0x4055_b0a3_d70a_3d71),
+            hi_pct: f64::from_bits(0x4057_9999_9999_999a),
+            confidence: 95,
+        };
+        let doc = encode_event(&event);
+        let back = decode_event(&doc).expect("decodes");
+        assert_eq!(back, event);
+
+        // the event sits inside the same response envelope as every
+        // other progress line
+        let line = encode_response(&Response::Event {
+            event: event.clone(),
+        });
+        let back = decode_response(&line).expect("decodes");
+        assert_eq!(line, encode_response(&back), "re-encode is bit-identical");
     }
 }

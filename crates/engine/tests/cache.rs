@@ -137,6 +137,55 @@ fn warm_batch_rerun_is_all_hits_and_bit_identical() {
 }
 
 #[test]
+fn warm_estimate_first_job_skips_the_preview() {
+    let dir = fresh_dir("estimate-first");
+    let with_preview = || {
+        let mut spec = JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]);
+        if let JobSpec::Sweep(s) = &mut spec {
+            s.estimate_first = true;
+        }
+        spec
+    };
+
+    // cold: the preview streams, then the exact run computes and stores
+    let cold = Engine::with_threads(1).with_result_cache(ResultCache::at(&dir));
+    let handle = cold.submit(with_preview());
+    let feed = handle.progress().clone();
+    let cold_result = handle.wait().expect("sweep succeeds");
+    assert!(
+        feed.drain()
+            .iter()
+            .any(|e| matches!(e, ProgressEvent::Estimate { .. })),
+        "cold estimate-first run streams a preview"
+    );
+
+    // warm: the flag never feeds the digest, so even a plain spec hits
+    // the entry — and a hit answers exactly, skipping the preview
+    let warm = Engine::with_threads(1).with_result_cache(ResultCache::at(&dir));
+    for spec in [
+        JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]),
+        with_preview(),
+    ] {
+        let handle = warm.submit(spec);
+        let feed = handle.progress().clone();
+        let warm_result = handle.wait().expect("sweep succeeds");
+        let events = feed.drain();
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, ProgressEvent::Estimate { .. })),
+            "a warm job answers exactly — no preview: {events:?}"
+        );
+        assert_eq!(
+            sweep_fingerprint(&cold_result),
+            sweep_fingerprint(&warm_result)
+        );
+    }
+    let cache = warm.cache().expect("attached");
+    assert_eq!(cache.hits(), 2, "both warm specs address one entry");
+}
+
+#[test]
 fn cache_serves_across_pool_widths() {
     let dir = fresh_dir("widths");
     let spec = || JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]);

@@ -213,6 +213,68 @@ fn the_event_stream_narrates_a_job_lifecycle_in_order() {
 }
 
 #[test]
+fn estimate_first_previews_before_the_first_checkpoint() {
+    let engine = Engine::with_threads(1);
+    let mut spec = JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]);
+    if let JobSpec::Sweep(s) = &mut spec {
+        s.estimate_first = true;
+    }
+    let handle = engine.submit(spec);
+    let feed = handle.progress().clone();
+    let result = handle.wait().expect("sweep job succeeds");
+    let events = feed.drain();
+
+    let previews: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| matches!(e, ProgressEvent::Estimate { .. }).then_some(i))
+        .collect();
+    assert_eq!(previews.len(), 1, "exactly one preview per job: {events:?}");
+    let first_checkpoint = events
+        .iter()
+        .position(|e| matches!(e, ProgressEvent::Checkpoint { .. }))
+        .expect("exact checkpoints still stream");
+    assert!(
+        previews[0] < first_checkpoint,
+        "the preview lands before any exact point"
+    );
+    match &events[previews[0]] {
+        ProgressEvent::Estimate {
+            prefix_len,
+            samples,
+            estimate_pct,
+            lo_pct,
+            hi_pct,
+            confidence,
+            ..
+        } => {
+            assert_eq!(*prefix_len, 8, "preview targets the longest prefix");
+            assert!(*samples > 0);
+            assert!(lo_pct <= estimate_pct && estimate_pct <= hi_pct);
+            assert_eq!(*confidence, 95);
+        }
+        other => panic!("filtered to Estimate, got {other:?}"),
+    }
+
+    // the preview never perturbs the exact outcome
+    let plain = engine
+        .run(JobSpec::sweep(CircuitSource::iscas85("c17"), [0, 8]))
+        .expect("plain sweep");
+    let with = result.as_sweep().expect("sweep outcome");
+    let without = plain.as_sweep().expect("sweep outcome");
+    for (a, b) in with
+        .summary
+        .solutions()
+        .iter()
+        .zip(without.summary.solutions())
+    {
+        assert_eq!(a.det_len, b.det_len);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.generator.deterministic(), b.generator.deterministic());
+    }
+}
+
+#[test]
 fn batches_run_in_spec_order_with_identical_results() {
     let engine = Engine::with_threads(1);
     let specs = vec![

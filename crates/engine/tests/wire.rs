@@ -74,12 +74,14 @@ fn any_spec(kind: u8, sel: u8, poly: u64, word: u64) -> JobSpec {
             config,
             prefix_len: budget,
             fault_model,
+            estimate_first: word & 8 == 8,
         }),
         1 => JobSpec::Sweep(SweepSpec {
             circuit,
             config,
             prefix_lengths: vec![budget, budget / 2, budget % 17],
             fault_model,
+            estimate_first: word & 8 == 8,
         }),
         2 => JobSpec::CoverageCurve(CoverageCurveSpec {
             circuit,

@@ -69,6 +69,14 @@ impl<'c> FaultSim<'c> {
         self.inner.set_threads(threads);
     }
 
+    /// Pretends the machine has `n` hardware threads (see
+    /// `WordSim::set_hw_threads`): keeps the sharded path under test on
+    /// boxes narrower than the test's pool.
+    #[cfg(test)]
+    pub(crate) fn set_hw_threads(&mut self, n: usize) {
+        self.inner.set_hw_threads(n);
+    }
+
     /// Builder form of [`FaultSim::set_threads`].
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.set_threads(threads);
@@ -414,6 +422,9 @@ mod tests {
 
         for threads in [2, 3, 4, 8] {
             let mut par = FaultSim::new(&c, faults.clone()).with_threads(threads);
+            // force the sharded path even on a narrower machine (the
+            // hw clamp would otherwise grade inline and test nothing)
+            par.set_hw_threads(threads);
             par.simulate(&patterns);
             assert_eq!(serial.statuses(), par.statuses(), "threads={threads}");
             for i in 0..serial.faults().len() {
@@ -447,6 +458,7 @@ mod tests {
         mono.simulate(&patterns);
 
         let mut par = FaultSim::new(&c, faults).with_threads(4);
+        par.set_hw_threads(4);
         for chunk in patterns.chunks(53) {
             par.simulate(chunk);
         }

@@ -36,6 +36,15 @@ use bist_par::Pool;
 /// either side of it.
 const PAR_MIN_FAULTS: usize = 128;
 
+/// Minimum live faults per worker before sharding a block pays: each
+/// extra worker costs a scratch lease, a spawn and a share of the merge
+/// barrier, so a shard thinner than this loses more to overhead than it
+/// gains in parallel cone work. Together with [`PAR_MIN_FAULTS`] this
+/// puts the serial/sharded crossover at `workers × 256` live faults
+/// (see DESIGN.md §13). Like `PAR_MIN_FAULTS`, the cutoff only selects
+/// between bit-identical code paths.
+const PAR_MIN_FAULTS_PER_WORKER: usize = 256;
+
 /// Monotonic work counters of one [`WordSim`], exposed so throughput
 /// benchmarks can report rates (and so reviews can assert the steady-state
 /// block loop does the expected amount of work and nothing more). All
@@ -323,6 +332,11 @@ pub struct WordSim<'c, F> {
     comb_gates: u64,
     counters: SimCounters,
     pool: Pool,
+    /// Hardware thread count, cached at construction: a pool wider than
+    /// the machine only adds scheduling overhead, so the sharding
+    /// decision clamps the worker count here (`BIST_THREADS` above the
+    /// core count still grades correctly, just without phantom workers).
+    hw_threads: usize,
 }
 
 impl<'c, F: WordFault> WordSim<'c, F> {
@@ -356,7 +370,15 @@ impl<'c, F: WordFault> WordSim<'c, F> {
             comb_gates,
             counters: SimCounters::default(),
             pool: Pool::from_env(),
+            hw_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         }
+    }
+
+    /// Pretends the machine has `n` hardware threads, so the sharded
+    /// path stays testable on boxes narrower than the test's pool.
+    #[cfg(test)]
+    pub(crate) fn set_hw_threads(&mut self, n: usize) {
+        self.hw_threads = n.max(1);
     }
 
     /// Re-creates a simulator mid-sequence from a carry checkpoint: the
@@ -550,7 +572,9 @@ impl<'c, F: WordFault> WordSim<'c, F> {
         }
 
         let mut newly = 0;
-        if self.pool.is_serial() || self.live.len() < PAR_MIN_FAULTS {
+        let workers = self.pool.threads().min(self.hw_threads);
+        let min_live = PAR_MIN_FAULTS.max(workers * PAR_MIN_FAULTS_PER_WORKER);
+        if self.pool.is_serial() || workers <= 1 || self.live.len() < min_live {
             // inline path: one persistent scratch, exactly the historical
             // serial engine; detected faults are swap-removed from the live
             // list as they drop
@@ -579,7 +603,7 @@ impl<'c, F: WordFault> WordSim<'c, F> {
             let chunk = self
                 .live
                 .len()
-                .div_ceil(self.pool.threads() * 4)
+                .div_ceil(workers * 4)
                 .max(PAR_MIN_FAULTS / 4);
             let detected: Vec<(Vec<(u32, u64)>, u64)> = self.pool.par_chunks_init(
                 &self.live,

@@ -203,6 +203,9 @@ pub struct FiveValueSim<'c> {
     /// Reusable levelized implication queue (see `imply_from_input`) —
     /// no allocations once its buckets are warm.
     queue: LevelQueue,
+    /// Optional propagation scope (see [`FiveValueSim::restrict_scope`]):
+    /// implication maintains values only for marked nodes.
+    scope: Option<Vec<bool>>,
 }
 
 impl<'c> FiveValueSim<'c> {
@@ -217,7 +220,47 @@ impl<'c> FiveValueSim<'c> {
             pi_values: vec![None; circuit.inputs().len()],
             values: vec![V5::X; circuit.num_nodes()],
             queue: LevelQueue::new(graph),
+            scope: None,
         }
+    }
+
+    /// Restricts implication to the nodes marked in `in_scope`: [`imply`]
+    /// and [`imply_from_input`] skip everything else, which keeps stale
+    /// values (`X` unless previously written) outside the scope.
+    ///
+    /// The mask must be *fan-in closed* — every fan-in of an in-scope node
+    /// is in scope — so the kept region is self-contained: each in-scope
+    /// node sees exactly the fan-in values a full implication would, and
+    /// its value is therefore bit-identical to the unscoped simulator's. A
+    /// caller that reads only in-scope nodes (plus [`FiveValueSim::input`],
+    /// which bypasses node values) cannot observe the difference; the
+    /// whole-circuit inspectors ([`FiveValueSim::d_frontier`],
+    /// [`FiveValueSim::fault_at_output`],
+    /// [`FiveValueSim::x_path_to_output_exists`]) read out-of-scope nodes
+    /// and are *not* meaningful on a scoped simulator.
+    ///
+    /// This is the workhorse behind justification-goal PODEM searches: a
+    /// goal over a handful of nodes only ever reads their fan-in cone, and
+    /// skipping the rest of each input's fan-out cone makes every decision
+    /// step proportionally cheaper without perturbing the search.
+    ///
+    /// [`imply`]: FiveValueSim::imply
+    /// [`imply_from_input`]: FiveValueSim::imply_from_input
+    pub fn restrict_scope(&mut self, in_scope: Vec<bool>) {
+        debug_assert_eq!(in_scope.len(), self.circuit.num_nodes());
+        debug_assert!(
+            self.circuit.topo_order().iter().all(|&id| {
+                !in_scope[id.index()]
+                    || self
+                        .circuit
+                        .node(id)
+                        .fanin()
+                        .iter()
+                        .all(|f| in_scope[f.index()])
+            }),
+            "propagation scope must be fan-in closed"
+        );
+        self.scope = Some(in_scope);
     }
 
     /// The circuit this simulator is bound to.
@@ -315,9 +358,22 @@ impl<'c> FiveValueSim<'c> {
     /// fault.
     pub fn imply(&mut self) {
         let g = self.graph;
-        for &id in g.topo() {
-            let id = id as usize;
-            self.values[id] = self.eval_node(NodeId::from_index(id));
+        match self.scope.take() {
+            None => {
+                for &id in g.topo() {
+                    let id = id as usize;
+                    self.values[id] = self.eval_node(NodeId::from_index(id));
+                }
+            }
+            Some(mask) => {
+                for &id in g.topo() {
+                    let id = id as usize;
+                    if mask[id] {
+                        self.values[id] = self.eval_node(NodeId::from_index(id));
+                    }
+                }
+                self.scope = Some(mask);
+            }
         }
     }
 
@@ -335,8 +391,17 @@ impl<'c> FiveValueSim<'c> {
     /// all of its fan-ins settled. No allocations once the buckets are
     /// warm.
     pub fn imply_from_input(&mut self, index: usize) {
+        let scope = self.scope.take();
+        self.imply_from_input_masked(index, scope.as_deref());
+        self.scope = scope;
+    }
+
+    fn imply_from_input_masked(&mut self, index: usize, mask: Option<&[bool]>) {
         let g = self.graph;
         let source = g.inputs()[index] as usize;
+        if mask.is_some_and(|m| !m[source]) {
+            return;
+        }
         let new_v = self.eval_node(NodeId::from_index(source));
         if new_v == self.values[source] {
             return;
@@ -345,11 +410,19 @@ impl<'c> FiveValueSim<'c> {
 
         self.queue.begin(g.level(source));
         for &s in g.fanout(source) {
-            if g.kind(s as usize).is_combinational() {
-                self.queue.push(s, g.level(s as usize));
+            let si = s as usize;
+            if g.kind(si).is_combinational() && mask.is_none_or(|m| m[si]) {
+                self.queue.push(s, g.level(si));
             }
         }
+        self.drain_queue(mask);
+    }
 
+    /// Drains the pending levelized wave: re-evaluates each queued node
+    /// after its fan-ins settled, queueing fan-outs of nodes whose value
+    /// changed.
+    fn drain_queue(&mut self, mask: Option<&[bool]>) {
+        let g = self.graph;
         while let Some(bucket) = self.queue.take_bucket() {
             for &id in &bucket {
                 let id = id as usize;
@@ -359,8 +432,9 @@ impl<'c> FiveValueSim<'c> {
                 }
                 self.values[id] = v;
                 for &s in g.fanout(id) {
-                    if g.kind(s as usize).is_combinational() {
-                        self.queue.push(s, g.level(s as usize));
+                    let si = s as usize;
+                    if g.kind(si).is_combinational() && mask.is_none_or(|m| m[si]) {
+                        self.queue.push(s, g.level(si));
                     }
                 }
             }

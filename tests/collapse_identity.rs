@@ -12,6 +12,14 @@
 //! solve itself must be width-invariant for every [`FaultModel`], so
 //! the representative-only grading path cannot leak thread-count
 //! nondeterminism into solutions.
+//!
+//! A third battery lifts the identity to the session layer:
+//! representative-only (`CollapseMode::InFlow`) sessions must commit
+//! bit-identical sweeps — every `(p, d)` point, coverage report, and
+//! synthesized deterministic pattern — to the uncollapsed
+//! (`CollapseMode::Off`) flow, across random reconvergent circuits,
+//! widths 1/2/4 and all three fault models, including a non-monotone
+//! revisit below the checkpoint front (the snapshot-resume path).
 
 use bist_core::prelude::*;
 use proptest::prelude::*;
@@ -117,6 +125,79 @@ proptest! {
                 projected.coverage_pct().to_bits(),
                 full.report().coverage_pct().to_bits()
             );
+        }
+    }
+
+    /// The tentpole identity at the session layer: a representative-only
+    /// (`InFlow`) session commits bit-identical sweeps to the
+    /// uncollapsed (`Off`) flow for every fault model and pool width,
+    /// including a non-monotone revisit below the checkpoint front.
+    #[test]
+    fn inflow_sessions_match_uncollapsed_flow(circuit in arb_circuit()) {
+        let prefixes = [0usize, 12, 30];
+        let models = [
+            FaultModel::StuckAt,
+            FaultModel::Transition,
+            FaultModel::bridging(),
+        ];
+        for model in models {
+            for width in [1usize, 2, 4] {
+                let config = MixedSchemeConfig {
+                    threads: width,
+                    ..MixedSchemeConfig::default()
+                };
+                let mut inflow = ModelSession::with_collapse_mode(
+                    &circuit,
+                    config.clone(),
+                    model,
+                    CollapseMode::InFlow,
+                );
+                let mut off = ModelSession::with_collapse_mode(
+                    &circuit,
+                    config,
+                    model,
+                    CollapseMode::Off,
+                );
+                match (inflow.sweep(&prefixes), off.sweep(&prefixes)) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(a.solutions().len(), b.solutions().len());
+                        for (x, y) in a.solutions().iter().zip(b.solutions()) {
+                            prop_assert_eq!(x.prefix_len, y.prefix_len);
+                            prop_assert_eq!(
+                                x.det_len, y.det_len,
+                                "{:?} width {}: det_len diverges at p={}",
+                                model, width, x.prefix_len
+                            );
+                            prop_assert_eq!(&x.coverage, &y.coverage);
+                            prop_assert_eq!(&x.prefix_coverage, &y.prefix_coverage);
+                            prop_assert_eq!(
+                                x.generator.deterministic(),
+                                y.generator.deterministic()
+                            );
+                        }
+                        // a revisit below the committed front resumes
+                        // from a checkpoint snapshot — identical too
+                        let x = inflow.solve_at(7).expect("revisit below front solves");
+                        let y = off.solve_at(7).expect("revisit below front solves");
+                        prop_assert_eq!(x.det_len, y.det_len);
+                        prop_assert_eq!(&x.coverage, &y.coverage);
+                        prop_assert_eq!(
+                            x.generator.deterministic(),
+                            y.generator.deterministic()
+                        );
+                    }
+                    // a degenerate circuit may be unsolvable — then both
+                    // flows must refuse identically
+                    (Err(ea), Err(eb)) => prop_assert_eq!(ea.to_string(), eb.to_string()),
+                    (a, b) => prop_assert!(
+                        false,
+                        "one flow failed where the other solved \
+                         (inflow ok: {}, off ok: {})",
+                        a.is_ok(),
+                        b.is_ok()
+                    ),
+                }
+            }
         }
     }
 
